@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 2 (gzip ranked RAW profile) and Fig. 3
+//! (flush_block WAR/WAW profile).
+
+use alchemist_bench::fig2_fig3;
+use alchemist_workloads::Scale;
+
+fn main() {
+    print!("{}", fig2_fig3(Scale::Default));
+}

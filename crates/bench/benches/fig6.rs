@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 6: normalized construct size vs violating
+//! static RAW dependences for gzip (before/after the removal step),
+//! 197.parser and 130.lisp, plus the delaunay negative result (section
+//! IV-B1: hot constructs with very many violating RAW dependences).
+
+use alchemist_bench::{fig6, render_fig6};
+use alchemist_workloads::Scale;
+
+fn main() {
+    let data = fig6(Scale::Default, 10);
+    print!("{}", render_fig6(&data));
+}

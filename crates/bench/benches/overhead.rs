@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for profiling overhead (E15): native VM
+//! execution vs full Alchemist profiling on two representative workloads,
+//! plus the raw cost of the indexing machinery on a loop-heavy kernel.
+
+use alchemist_core::{profile_module, ProfileConfig};
+use alchemist_vm::{compile_source, ExecConfig, NullSink};
+use alchemist_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_workload(c: &mut Criterion, name: &'static str) {
+    let w = alchemist_workloads::by_name(name).expect("workload");
+    let module = w.module();
+    let cfg = w.exec_config(Scale::Tiny);
+    let mut group = c.benchmark_group(name);
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            alchemist_vm::run(&module, &cfg, &mut NullSink).expect("runs")
+        })
+    });
+    group.bench_function("profiled", |b| {
+        b.iter(|| {
+            profile_module(&module, &cfg, ProfileConfig::default()).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_indexing_kernel(c: &mut Criterion) {
+    // A branch-heavy kernel: stresses predicate push/pop and rule 5.
+    let module = compile_source(
+        "int acc;
+         int main() {
+             int i;
+             for (i = 0; i < 20000; i++) {
+                 if (i % 3 == 0) { acc += i; } else { acc -= 1; }
+                 if (i % 7 == 0) acc ^= i;
+             }
+             return acc;
+         }",
+    )
+    .expect("kernel compiles");
+    let cfg = ExecConfig::default();
+    let mut group = c.benchmark_group("indexing_kernel");
+    group.bench_function("native", |b| {
+        b.iter(|| alchemist_vm::run(&module, &cfg, &mut NullSink).expect("runs"))
+    });
+    group.bench_function("profiled", |b| {
+        b.iter(|| {
+            profile_module(&module, &cfg, ProfileConfig::default()).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_workload(c, "gzip-1.3.5");
+    bench_workload(c, "aes");
+    bench_indexing_kernel(c);
+}
+
+criterion_group!(
+    name = suite;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+);
+criterion_main!(suite);

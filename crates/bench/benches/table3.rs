@@ -1,0 +1,20 @@
+//! Regenerates the paper's Table III: benchmarks, static/dynamic construct
+//! counts, original vs profiled running time.
+//!
+//! The paper ran gzip/bzip2/parser/li/ogg/aes/par2/delaunay natively and
+//! under Valgrind-based Alchemist (slowdowns 166-712x including Valgrind's
+//! own 5-10x). Here both runs share the same VM, so the slowdown isolates
+//! the profiling work itself (indexing + shadow memory + profile updates).
+
+use alchemist_bench::{render_table3, table3};
+use alchemist_workloads::Scale;
+
+fn main() {
+    println!("=== Table III: benchmarks and profiling overhead ===");
+    println!("(scale = Default; times are host wall-clock)\n");
+    let rows = table3(Scale::Default);
+    print!("{}", render_table3(&rows));
+    println!("\npaper: slowdowns of 166-712x on Valgrind; here the profiled");
+    println!("run and the baseline share one VM, so the factor isolates the");
+    println!("indexing/shadow-memory cost alone.");
+}

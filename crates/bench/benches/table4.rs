@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table IV: the parallelized code locations and
+//! their static violating RAW/WAW/WAR conflict counts.
+
+use alchemist_bench::{render_table4, table4};
+use alchemist_workloads::Scale;
+
+fn main() {
+    println!("=== Table IV: parallelization experience (conflict profiles) ===\n");
+    let rows = table4(Scale::Default);
+    print!("{}", render_table4(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table V: sequential vs parallel time and
+//! speedup on 4 threads, via the deterministic schedule simulator with the
+//! paper's transformations (privatization/reductions) applied.
+
+use alchemist_bench::{render_table5, table5};
+use alchemist_workloads::Scale;
+
+fn main() {
+    println!("=== Table V: simulated parallelization results (4 threads) ===\n");
+    let rows = table5(Scale::Default, 4);
+    print!("{}", render_table5(&rows));
+    println!("\nShape check vs paper: bzip2/ogg near-linear, aes/par2 clearly");
+    println!("sublinear, delaunay at or below 1 (not parallelizable).");
+}

@@ -1,0 +1,473 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Each driver returns both structured rows (consumed by tests, which
+//! assert the paper's *shape*) and renders a text table comparable to the
+//! paper's artifact. The `cargo bench` targets in `benches/` print these.
+
+use alchemist_core::{
+    profile_module, DepKind, ProfileConfig, ProfileReport,
+};
+use alchemist_parsim::{extract_tasks, simulate, ExtractConfig, SimConfig};
+use alchemist_vm::NullSink;
+use alchemist_workloads::{Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Mini-C source lines.
+    pub loc: usize,
+    /// Static constructs (functions + predicates).
+    pub static_constructs: usize,
+    /// Dynamic construct instances profiled.
+    pub dynamic_constructs: u64,
+    /// Native run wall time, seconds.
+    pub orig_secs: f64,
+    /// Profiled run wall time, seconds.
+    pub prof_secs: f64,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+impl Table3Row {
+    /// Profiling slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        if self.orig_secs <= 0.0 {
+            return 0.0;
+        }
+        self.prof_secs / self.orig_secs
+    }
+}
+
+/// Table III: per benchmark, static/dynamic construct counts and native vs
+/// profiled running time.
+pub fn table3(scale: Scale) -> Vec<Table3Row> {
+    alchemist_workloads::all()
+        .iter()
+        .map(|w| table3_row(w, scale))
+        .collect()
+}
+
+fn table3_row(w: &Workload, scale: Scale) -> Table3Row {
+    let module = w.module();
+    let exec_cfg = w.exec_config(scale);
+
+    let t0 = Instant::now();
+    let native = alchemist_vm::run(&module, &exec_cfg, &mut NullSink)
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let orig_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (profile, exec, _, _) =
+        profile_module(&module, &exec_cfg, ProfileConfig::default())
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let prof_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(native.output, exec.output, "profiling must not change results");
+
+    let dynamic: u64 = profile.constructs().map(|c| c.inst).sum();
+    Table3Row {
+        name: w.name,
+        loc: w.loc(),
+        static_constructs: module
+            .analysis
+            .static_construct_count(module.funcs.len()),
+        dynamic_constructs: dynamic,
+        orig_secs,
+        prof_secs,
+        steps: exec.steps,
+    }
+}
+
+/// Renders Table III in the paper's layout.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "Benchmark", "LOC", "Static", "Dynamic", "Orig.(s)", "Prof.(s)", "Slowdn"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>8} {:>12} {:>10.4} {:>10.4} {:>7.0}x",
+            r.name,
+            r.loc,
+            r.static_constructs,
+            r.dynamic_constructs,
+            r.orig_secs,
+            r.prof_secs,
+            r.slowdown()
+        );
+    }
+    out
+}
+
+/// Figures 2 and 3: the gzip profile listing (RAW, then WAR/WAW for the
+/// flush_block construct).
+pub fn fig2_fig3(scale: Scale) -> String {
+    let w = alchemist_workloads::by_name("gzip-1.3.5").expect("gzip workload");
+    let (module, profile, _) = w.profile(scale);
+    let report = ProfileReport::new(&profile, &module);
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Fig. 2: gzip ranked RAW profile ===");
+    out.push_str(&report.render(10));
+    let _ = writeln!(out, "\n=== Fig. 3: flush_block WAR/WAW profile ===");
+    if let Some(fb) = report.find("Method flush_block") {
+        out.push_str(&report.render_war_waw(fb.head));
+    }
+    out
+}
+
+/// One Fig. 6 dataset: a benchmark's top constructs with normalized sizes
+/// and violating-RAW counts, before and (for gzip) after the removal step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Data {
+    /// Sub-figure label, e.g. "6(a) gzip".
+    pub label: String,
+    /// Scatter points for the largest constructs.
+    pub points: Vec<alchemist_core::Fig6Point>,
+}
+
+/// Figure 6: profile-quality series for gzip (before/after removal),
+/// 197.parser, 130.lisp, plus the delaunay negative result.
+pub fn fig6(scale: Scale, top_n: usize) -> Vec<Fig6Data> {
+    let mut out = Vec::new();
+
+    let gzip = alchemist_workloads::by_name("gzip-1.3.5").expect("gzip");
+    let (gm, gp, _) = gzip.profile(scale);
+    let greport = ProfileReport::new(&gp, &gm);
+    out.push(Fig6Data {
+        label: "6(a) gzip".to_owned(),
+        points: greport.fig6_series(top_n),
+    });
+    // 6(b): remove the top-ranked loop construct (C1, the driver loop) and
+    // everything with one nested instance per instance of it.
+    let c1 = greport
+        .ranked()
+        .iter()
+        .find(|c| c.kind == alchemist_core::ConstructKind::Loop)
+        .map(|c| c.head);
+    if let Some(c1) = c1 {
+        let reduced = greport.remove_with_nested(c1);
+        out.push(Fig6Data {
+            label: "6(b) gzip after removing C1".to_owned(),
+            points: reduced.fig6_series(top_n),
+        });
+    }
+
+    for (name, label) in
+        [("197.parser", "6(c) 197.parser"), ("130.li", "6(d) 130.lisp")]
+    {
+        let w = alchemist_workloads::by_name(name).expect("workload");
+        let (m, p, _) = w.profile(scale);
+        let report = ProfileReport::new(&p, &m);
+        out.push(Fig6Data {
+            label: label.to_owned(),
+            points: report.fig6_series(top_n),
+        });
+    }
+
+    let del = alchemist_workloads::by_name("delaunay").expect("delaunay");
+    let (dm, dp, _) = del.profile(scale);
+    let dreport = ProfileReport::new(&dp, &dm);
+    out.push(Fig6Data {
+        label: "delaunay (negative result)".to_owned(),
+        points: dreport.fig6_series(top_n),
+    });
+    out
+}
+
+/// Renders the Fig. 6 series as text.
+pub fn render_fig6(data: &[Fig6Data]) -> String {
+    let mut out = String::new();
+    for d in data {
+        let _ = writeln!(out, "=== Fig. {} ===", d.label);
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<30} {:>10} {:>12} {:>10}",
+            "rank", "construct", "norm.size", "norm.violRAW", "violRAW"
+        );
+        for p in &d.points {
+            let _ = writeln!(
+                out,
+                "  C{:<3} {:<30} {:>10.4} {:>12.4} {:>10}",
+                p.rank, p.label, p.norm_size, p.norm_violations, p.violating_raw
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of Table IV: a parallelized location and its conflict counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Construct label (the "code location" column).
+    pub location: String,
+    /// Violating static RAW edges.
+    pub raw: usize,
+    /// Violating static WAW edges.
+    pub waw: usize,
+    /// Violating static WAR edges.
+    pub war: usize,
+}
+
+/// Table IV: for every parallelized workload, the profile of each marked
+/// construct (static violating RAW/WAW/WAR counts).
+pub fn table4(scale: Scale) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for name in ["bzip2", "ogg", "aes", "par2"] {
+        let w = alchemist_workloads::by_name(name).expect("workload");
+        let (module, profile, _) = w.profile(scale);
+        let report = ProfileReport::new(&profile, &module);
+        for &head in &w.resolve_targets(&module) {
+            if let Some(c) = report.by_head(head) {
+                rows.push(Table4Row {
+                    name: w.name,
+                    location: c.label.clone(),
+                    raw: c.violating_raw,
+                    waw: c.violating_waw,
+                    war: c.violating_war,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders Table IV.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<34} {:>5} {:>5} {:>5}",
+        "Program", "Code location", "RAW", "WAW", "WAR"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<34} {:>5} {:>5} {:>5}",
+            r.name, r.location, r.raw, r.waw, r.war
+        );
+    }
+    out
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Sequential instructions.
+    pub seq: u64,
+    /// Simulated parallel instructions (makespan).
+    pub par: u64,
+    /// Simulated speedup.
+    pub speedup: f64,
+    /// The paper's reported speedup, when available.
+    pub paper_speedup: Option<f64>,
+    /// Tasks spawned in the simulation.
+    pub tasks: usize,
+}
+
+/// Table V: simulated 4-thread speedups for every workload with a
+/// parallelization recipe (the paper's rows plus the programs it discusses
+/// qualitatively).
+pub fn table5(scale: Scale, threads: usize) -> Vec<Table5Row> {
+    alchemist_workloads::all()
+        .iter()
+        .filter_map(|w| {
+            let spec = w.parallel.as_ref()?;
+            let module = w.module();
+            let mut cfg = ExtractConfig::default();
+            for head in w.resolve_targets(&module) {
+                cfg = cfg.mark(head);
+            }
+            for var in spec.privatized {
+                cfg = cfg.privatize(var);
+            }
+            let trace = extract_tasks(&module, &w.exec_config(scale), cfg)
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+            let result = simulate(&trace, &SimConfig::with_threads(threads));
+            Some(Table5Row {
+                name: w.name,
+                seq: result.t_seq,
+                par: result.t_par,
+                speedup: result.speedup,
+                paper_speedup: spec.paper_speedup,
+                tasks: result.tasks,
+            })
+        })
+        .collect()
+}
+
+/// Renders Table V.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>9} {:>8} {:>7}",
+        "Benchmark", "Seq.(inst)", "Par.(inst)", "Speedup", "Paper", "Tasks"
+    );
+    for r in rows {
+        let paper = r
+            .paper_speedup
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "-".to_owned());
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>12} {:>8.2}x {:>8} {:>7}",
+            r.name, r.seq, r.par, r.speedup, paper, r.tasks
+        );
+    }
+    out
+}
+
+/// Pool-size ablation (E13): profile gzip with shrinking pools; report
+/// reuse/overflow behaviour and whether violating-RAW counts survive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolAblationRow {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Peak nodes allocated.
+    pub allocated: usize,
+    /// Reuses of retired nodes.
+    pub reused: u64,
+    /// Forced growths past capacity.
+    pub overflow_growths: u64,
+    /// Total violating static RAW edges found.
+    pub total_violating_raw: usize,
+}
+
+/// Runs the pool ablation on one workload.
+pub fn pool_ablation(name: &str, scale: Scale, capacities: &[usize]) -> Vec<PoolAblationRow> {
+    let w = alchemist_workloads::by_name(name).expect("workload");
+    let module = w.module();
+    capacities
+        .iter()
+        .map(|&capacity| {
+            let cfg = ProfileConfig { pool_capacity: capacity, ..Default::default() };
+            let (profile, _, stats, _) =
+                profile_module(&module, &w.exec_config(scale), cfg)
+                    .unwrap_or_else(|e| panic!("{name} trapped: {e}"));
+            PoolAblationRow {
+                capacity,
+                allocated: stats.allocated,
+                reused: stats.reused,
+                overflow_growths: stats.overflow_growths,
+                total_violating_raw: profile.total_violating(DepKind::Raw),
+            }
+        })
+        .collect()
+}
+
+/// Renders the pool ablation.
+pub fn render_pool_ablation(name: &str, rows: &[PoolAblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pool ablation: {name}");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10} {:>14}",
+        "capacity", "allocated", "reused", "growths", "violatingRAW"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>10} {:>10} {:>14}",
+            r.capacity, r.allocated, r.reused, r.overflow_growths, r.total_violating_raw
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_covers_all_benchmarks_and_counts() {
+        let rows = table3(Scale::Tiny);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.static_constructs > 0, "{}", r.name);
+            assert!(r.dynamic_constructs > r.static_constructs as u64, "{}", r.name);
+            assert!(r.steps > 0);
+        }
+        let text = render_table3(&rows);
+        assert!(text.contains("gzip-1.3.5"));
+        assert!(text.contains("delaunay"));
+    }
+
+    #[test]
+    fn fig2_mentions_flush_block_and_raw_edges() {
+        let text = fig2_fig3(Scale::Tiny);
+        assert!(text.contains("Method flush_block"), "{text}");
+        assert!(text.contains("RAW: line"), "{text}");
+        assert!(text.contains("WAW: line") || text.contains("WAR: line"), "{text}");
+    }
+
+    #[test]
+    fn fig6_has_five_series() {
+        let data = fig6(Scale::Tiny, 8);
+        assert_eq!(data.len(), 5);
+        let text = render_fig6(&data);
+        assert!(text.contains("6(a) gzip"));
+        assert!(text.contains("6(b)"));
+        assert!(text.contains("6(c) 197.parser"));
+        assert!(text.contains("6(d) 130.lisp"));
+        assert!(text.contains("delaunay"));
+    }
+
+    #[test]
+    fn fig6_delaunay_has_heavy_violations() {
+        let data = fig6(Scale::Tiny, 8);
+        let del = data.last().unwrap();
+        let max_viol = del.points.iter().map(|p| p.violating_raw).max().unwrap_or(0);
+        assert!(
+            max_viol >= 5,
+            "delaunay's hot constructs must show many violating RAW deps, got {max_viol}"
+        );
+    }
+
+    #[test]
+    fn table4_reports_marked_constructs() {
+        let rows = table4(Scale::Tiny);
+        assert!(rows.len() >= 5, "bzip2 + ogg + aes + 2x par2: {rows:?}");
+        let aes = rows.iter().find(|r| r.name == "aes").unwrap();
+        assert!(
+            aes.waw + aes.war > 0,
+            "aes must show ivec conflicts: {aes:?}"
+        );
+    }
+
+    #[test]
+    fn table5_speedups_fall_in_expected_ranges() {
+        let rows = table5(Scale::Small, 4);
+        for r in &rows {
+            let w = alchemist_workloads::by_name(r.name).unwrap();
+            let (lo, hi) = w.parallel.as_ref().unwrap().expected_speedup;
+            assert!(
+                r.speedup >= lo && r.speedup <= hi,
+                "{}: simulated {:.2} outside [{lo}, {hi}]",
+                r.name,
+                r.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn pool_ablation_reports_reuse_under_pressure() {
+        let rows = pool_ablation("gzip-1.3.5", Scale::Tiny, &[16, 1024, 1_000_000]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].reused > 0, "tiny pool must recycle: {rows:?}");
+        assert_eq!(
+            rows[2].reused, 0,
+            "paper-size pool never needs to recycle at this scale"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! # alchemist-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! Alchemist paper (CGO 2009). See [`experiments`] for the per-artifact
+//! drivers; the `benches/` targets print them under `cargo bench`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    fig2_fig3, fig6, pool_ablation, render_fig6, render_pool_ablation,
+    render_table3, render_table4, render_table5, table3, table4, table5,
+    Fig6Data, PoolAblationRow, Table3Row, Table4Row, Table5Row,
+};

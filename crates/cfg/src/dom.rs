@@ -1,0 +1,292 @@
+//! Dominator and post-dominator trees.
+//!
+//! Implements the iterative algorithm of Cooper, Harvey and Kennedy
+//! ("A Simple, Fast Dominance Algorithm"). Post-dominators are computed as
+//! dominators of the reversed graph rooted at the exit node.
+
+use crate::graph::DiGraph;
+
+/// A (post-)dominator tree over a graph's nodes.
+///
+/// Nodes unreachable from the root have no entry ([`DomTree::idom`] returns
+/// `None` and [`DomTree::dominates`] returns `false` for them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    root: u32,
+    /// Immediate dominator per node; `idom[root] == root`; `None` when
+    /// unreachable.
+    idom: Vec<Option<u32>>,
+    /// Depth in the dominator tree (root = 0); `usize::MAX` when unreachable.
+    depth: Vec<usize>,
+}
+
+impl DomTree {
+    /// The root of the tree (entry node for dominators, exit node for
+    /// post-dominators).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The immediate dominator of `n`, or `None` if `n` is the root or
+    /// unreachable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alchemist_cfg::{DiGraph, dominators};
+    /// let mut g = DiGraph::new(3);
+    /// g.add_edge(0, 1);
+    /// g.add_edge(1, 2);
+    /// let dom = dominators(&g, 0);
+    /// assert_eq!(dom.idom(2), Some(1));
+    /// assert_eq!(dom.idom(0), None);
+    /// ```
+    pub fn idom(&self, n: u32) -> Option<u32> {
+        let i = *self.idom.get(n as usize)?;
+        match i {
+            Some(d) if d != n => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `n` is reachable from the root (and so has a defined
+    /// dominance relation).
+    pub fn is_reachable(&self, n: u32) -> bool {
+        self.idom.get(n as usize).is_some_and(|d| d.is_some())
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Depth of `n` below the root, or `None` if unreachable.
+    pub fn depth(&self, n: u32) -> Option<usize> {
+        let d = *self.depth.get(n as usize)?;
+        (d != usize::MAX).then_some(d)
+    }
+}
+
+/// Computes the dominator tree of `g` rooted at `root`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn dominators(g: &DiGraph, root: u32) -> DomTree {
+    assert!((root as usize) < g.node_count(), "root {root} out of range");
+    let rpo = g.reverse_postorder(root);
+    let n = g.node_count();
+    // Map node -> position in reverse postorder (lower = earlier).
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &node) in rpo.iter().enumerate() {
+        rpo_index[node as usize] = i;
+    }
+
+    let mut idom: Vec<Option<u32>> = vec![None; n];
+    idom[root as usize] = Some(root);
+
+    let intersect = |idom: &[Option<u32>], mut a: u32, mut b: u32| -> u32 {
+        while a != b {
+            while rpo_index[a as usize] > rpo_index[b as usize] {
+                a = idom[a as usize].expect("processed node has idom");
+            }
+            while rpo_index[b as usize] > rpo_index[a as usize] {
+                b = idom[b as usize].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in rpo.iter().skip(1) {
+            // First processed predecessor.
+            let mut new_idom: Option<u32> = None;
+            for &p in g.preds(node) {
+                if idom[p as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[node as usize] != Some(ni) {
+                    idom[node as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Depths by walking up; reachable nodes only.
+    let mut depth = vec![usize::MAX; n];
+    depth[root as usize] = 0;
+    for &node in &rpo {
+        if node == root {
+            continue;
+        }
+        // rpo order guarantees the idom is already processed.
+        if let Some(d) = idom[node as usize] {
+            depth[node as usize] = depth[d as usize].saturating_add(1);
+        }
+    }
+
+    DomTree { root, idom, depth }
+}
+
+/// Computes the post-dominator tree of `g` with exit node `exit`.
+///
+/// Nodes that cannot reach `exit` (e.g. infinite loops) are unreachable in
+/// the tree.
+///
+/// # Panics
+///
+/// Panics if `exit` is out of range.
+pub fn post_dominators(g: &DiGraph, exit: u32) -> DomTree {
+    dominators(&g.reversed(), exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic CHK paper example graph.
+    fn chk_graph() -> DiGraph {
+        // 6 nodes: 0=entry(6 in paper) ... reusing small diamond-with-loop.
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 5);
+        g.add_edge(4, 5);
+        g.add_edge(4, 2); // loop back
+        g
+    }
+
+    #[test]
+    fn straight_line_dominators() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom(1), Some(0));
+        assert_eq!(d.idom(2), Some(1));
+        assert!(d.dominates(0, 2));
+        assert!(!d.dominates(2, 0));
+        assert_eq!(d.depth(2), Some(2));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_fork() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom(3), Some(0), "join's idom skips both branch arms");
+        assert!(d.dominates(0, 3));
+        assert!(!d.dominates(1, 3));
+    }
+
+    #[test]
+    fn loop_does_not_break_dominance() {
+        let d = dominators(&chk_graph(), 0);
+        assert_eq!(d.idom(2), Some(0));
+        assert_eq!(d.idom(4), Some(2));
+        assert_eq!(d.idom(5), Some(0));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom(2), None);
+        assert!(!d.is_reachable(2));
+        assert!(!d.dominates(0, 2));
+        assert_eq!(d.depth(2), None);
+    }
+
+    #[test]
+    fn post_dominators_of_diamond() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let pd = post_dominators(&g, 3);
+        assert_eq!(pd.idom(0), Some(3), "fork's immediate post-dominator is join");
+        assert_eq!(pd.idom(1), Some(3));
+        assert!(pd.dominates(3, 0));
+    }
+
+    #[test]
+    fn post_dominators_while_loop_shape() {
+        // H(cond) -> B(body) -> H ; H -> X(exit)
+        let mut g = DiGraph::new(3);
+        let (h, b, x) = (0, 1, 2);
+        g.add_edge(h, b);
+        g.add_edge(h, x);
+        g.add_edge(b, h);
+        let pd = post_dominators(&g, x);
+        assert_eq!(pd.idom(h), Some(x), "loop header post-dominated by exit");
+        assert_eq!(pd.idom(b), Some(h), "body post-dominated by header");
+    }
+
+    #[test]
+    fn post_dominators_while_with_compound_condition() {
+        // The `while (a && b)` shape from the design notes:
+        // H -> M, H -> X, M -> B, M -> X, B -> H.
+        let mut g = DiGraph::new(4);
+        let (h, m, b, x) = (0, 1, 2, 3);
+        g.add_edge(h, m);
+        g.add_edge(h, x);
+        g.add_edge(m, b);
+        g.add_edge(m, x);
+        g.add_edge(b, h);
+        let pd = post_dominators(&g, x);
+        assert_eq!(pd.idom(h), Some(x));
+        assert_eq!(pd.idom(m), Some(x));
+        assert_eq!(pd.idom(b), Some(h));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_post_dominator() {
+        // 0 -> 1 <-> 2 (1,2 never reach exit 3); 0 -> 3.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(0, 3);
+        let pd = post_dominators(&g, 3);
+        assert_eq!(pd.idom(1), None);
+        assert_eq!(pd.idom(2), None);
+        assert!(pd.is_reachable(0));
+    }
+
+    #[test]
+    fn self_dominance_is_reflexive() {
+        let g = chk_graph();
+        let d = dominators(&g, 0);
+        for n in 0..6 {
+            assert!(d.dominates(n, n), "node {n} must dominate itself");
+        }
+    }
+}

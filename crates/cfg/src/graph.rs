@@ -1,0 +1,198 @@
+//! A compact directed graph over dense `u32` node ids.
+
+/// A directed graph with nodes `0..n` and adjacency stored both ways.
+///
+/// Nodes are dense indices; edges may be added in any order. Parallel edges
+/// are deduplicated (control-flow graphs never need multiplicity).
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_cfg::DiGraph;
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.succs(1), &[2]);
+/// assert_eq!(g.preds(1), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiGraph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Adds the edge `u -> v`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!((u as usize) < self.node_count(), "source {u} out of range");
+        assert!((v as usize) < self.node_count(), "target {v} out of range");
+        if !self.succs[u as usize].contains(&v) {
+            self.succs[u as usize].push(v);
+            self.preds[v as usize].push(u);
+        }
+    }
+
+    /// Successors of `u`, in insertion order.
+    pub fn succs(&self, u: u32) -> &[u32] {
+        &self.succs[u as usize]
+    }
+
+    /// Predecessors of `u`, in insertion order.
+    pub fn preds(&self, u: u32) -> &[u32] {
+        &self.preds[u as usize]
+    }
+
+    /// Returns the edge-reversed graph.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph { succs: self.preds.clone(), preds: self.succs.clone() }
+    }
+
+    /// Nodes in reverse postorder of a depth-first search from `root`.
+    /// Unreachable nodes are absent.
+    pub fn reverse_postorder(&self, root: u32) -> Vec<u32> {
+        let n = self.node_count();
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        // Iterative DFS that records a node after all its children.
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        if (root as usize) < n {
+            visited[root as usize] = true;
+            stack.push((root, 0));
+        }
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = self.succs(node);
+            if *next < succs.len() {
+                let child = succs[*next];
+                *next += 1;
+                if !visited[child as usize] {
+                    visited[child as usize] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// All nodes reachable from `root` (including `root`).
+    pub fn reachable(&self, root: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut work = vec![root];
+        if (root as usize) < self.node_count() {
+            seen[root as usize] = true;
+        }
+        while let Some(u) = work.pop() {
+            for &v in self.succs(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    work.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn adjacency_is_recorded_both_ways() {
+        let g = diamond();
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.preds(3), &[1, 2]);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.preds(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn reversed_swaps_direction() {
+        let g = diamond().reversed();
+        assert_eq!(g.succs(3), &[1, 2]);
+        assert_eq!(g.preds(0), &[1, 2]);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_root_ends_at_sinks() {
+        let g = diamond();
+        let order = g.reverse_postorder(0);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        assert_eq!(*order.last().unwrap(), 3);
+        // 1 and 2 appear before 3.
+        let pos = |x: u32| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn reverse_postorder_skips_unreachable() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        // node 2 is unreachable
+        let order = g.reverse_postorder(0);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn reverse_postorder_handles_cycles() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // cycle
+        g.add_edge(1, 2);
+        let order = g.reverse_postorder(0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn reachable_marks_component() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let seen = g.reachable(0);
+        assert_eq!(seen, vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # alchemist-cfg
+//!
+//! Control-flow-graph analyses for the Alchemist profiling infrastructure:
+//! directed graphs, dominators, post-dominators and natural loops.
+//!
+//! The CGO 2009 Alchemist paper builds its execution index from two static
+//! facts about each function's control-flow graph:
+//!
+//! 1. the **immediate post-dominator** of every predicate (a construct is
+//!    "started by a predicate and terminated by the immediate post-dominator
+//!    of the predicate"), and
+//! 2. whether a predicate is a **loop predicate** (instrumentation rule 4
+//!    treats each loop iteration as a construct instance).
+//!
+//! This crate supplies those facts for arbitrary graphs. Dominators are
+//! computed with the Cooper–Harvey–Kennedy iterative algorithm; post-
+//! dominators are dominators of the edge-reversed graph rooted at the exit
+//! node. Nodes that cannot reach the exit (e.g. bodies of `while(1)` loops
+//! with no `break`) have no post-dominator, which the runtime treats as
+//! "popped only at function exit".
+//!
+//! ## Example
+//!
+//! ```
+//! use alchemist_cfg::{DiGraph, post_dominators};
+//!
+//! // 0 -> 1 -> 3, 0 -> 2 -> 3   (a diamond)
+//! let mut g = DiGraph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(0, 2);
+//! g.add_edge(1, 3);
+//! g.add_edge(2, 3);
+//! let pdom = post_dominators(&g, 3);
+//! assert_eq!(pdom.idom(0), Some(3)); // the join post-dominates the fork
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod graph;
+pub mod loops;
+
+pub use dom::{dominators, post_dominators, DomTree};
+pub use graph::DiGraph;
+pub use loops::{natural_loops, Loop, LoopForest};

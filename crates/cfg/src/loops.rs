@@ -1,0 +1,261 @@
+//! Natural-loop detection.
+//!
+//! A *back edge* is an edge `u -> h` where `h` dominates `u`. The natural
+//! loop of that back edge is `h` plus every node that can reach `u` without
+//! passing through `h`. Alchemist uses loop information to classify
+//! predicates: a conditional branch whose block is a loop header (or is the
+//! source of a back edge, as in `do`-`while`) delimits loop *iterations*
+//! (instrumentation rule 4 of the paper).
+
+use crate::dom::DomTree;
+use crate::graph::DiGraph;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: u32,
+    /// Sources of back edges into `header` that produced this loop.
+    pub latches: Vec<u32>,
+    /// Membership bitmap over all nodes (includes header and latches).
+    pub body: Vec<bool>,
+}
+
+impl Loop {
+    /// Whether `n` belongs to the loop.
+    pub fn contains(&self, n: u32) -> bool {
+        self.body.get(n as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes in the loop.
+    pub fn len(&self) -> usize {
+        self.body.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the loop body is empty (never true for well-formed loops).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// All natural loops of a graph, merged per header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoopForest {
+    /// Loops in discovery order, one per distinct header.
+    pub loops: Vec<Loop>,
+    headers: Vec<bool>,
+    latch_nodes: Vec<bool>,
+    in_loop: Vec<bool>,
+}
+
+impl LoopForest {
+    /// Whether `n` is the header of some natural loop.
+    pub fn is_header(&self, n: u32) -> bool {
+        self.headers.get(n as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `n` is the source of some back edge.
+    pub fn is_latch(&self, n: u32) -> bool {
+        self.latch_nodes.get(n as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `n` is inside any natural loop.
+    pub fn in_any_loop(&self, n: u32) -> bool {
+        self.in_loop.get(n as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Finds all natural loops of `g` given its dominator tree.
+///
+/// Loops sharing a header are merged (standard practice). Back edges whose
+/// source is unreachable are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_cfg::{natural_loops, dominators, DiGraph};
+/// let mut g = DiGraph::new(3); // 0 -> 1 -> 2, 1 -> 1 is a self loop
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 1);
+/// g.add_edge(1, 2);
+/// let dom = dominators(&g, 0);
+/// let loops = natural_loops(&g, &dom);
+/// assert!(loops.is_header(1));
+/// assert_eq!(loops.loops.len(), 1);
+/// ```
+pub fn natural_loops(g: &DiGraph, dom: &DomTree) -> LoopForest {
+    let n = g.node_count();
+    let mut forest = LoopForest {
+        loops: Vec::new(),
+        headers: vec![false; n],
+        latch_nodes: vec![false; n],
+        in_loop: vec![false; n],
+    };
+    // Discover back edges in node order for determinism.
+    for u in 0..n as u32 {
+        if !dom.is_reachable(u) {
+            continue;
+        }
+        for &h in g.succs(u) {
+            if dom.dominates(h, u) {
+                forest.latch_nodes[u as usize] = true;
+                add_back_edge(g, &mut forest, h, u);
+            }
+        }
+    }
+    for l in &forest.loops {
+        for (i, &inside) in l.body.iter().enumerate() {
+            if inside {
+                forest.in_loop[i] = true;
+            }
+        }
+    }
+    forest
+}
+
+fn add_back_edge(g: &DiGraph, forest: &mut LoopForest, header: u32, latch: u32) {
+    let n = g.node_count();
+    let lp = if forest.headers[header as usize] {
+        forest
+            .loops
+            .iter_mut()
+            .find(|l| l.header == header)
+            .expect("header flag implies a recorded loop")
+    } else {
+        forest.headers[header as usize] = true;
+        forest.loops.push(Loop {
+            header,
+            latches: Vec::new(),
+            body: vec![false; n],
+        });
+        forest.loops.last_mut().expect("just pushed")
+    };
+    if !lp.latches.contains(&latch) {
+        lp.latches.push(latch);
+    }
+    // Natural loop: header + reverse reachability from latch stopping at header.
+    lp.body[header as usize] = true;
+    let mut work = Vec::new();
+    if !lp.body[latch as usize] {
+        lp.body[latch as usize] = true;
+        work.push(latch);
+    }
+    while let Some(u) = work.pop() {
+        for &p in g.preds(u) {
+            if !lp.body[p as usize] {
+                lp.body[p as usize] = true;
+                work.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::dominators;
+
+    fn while_loop() -> DiGraph {
+        // E -> H; H -> B, H -> X; B -> H
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 1);
+        g
+    }
+
+    #[test]
+    fn while_loop_detected() {
+        let g = while_loop();
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latches, vec![2]);
+        assert!(l.contains(1) && l.contains(2));
+        assert!(!l.contains(0) && !l.contains(3));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+        assert!(loops.is_header(1));
+        assert!(loops.is_latch(2));
+        assert!(loops.in_any_loop(2));
+        assert!(!loops.in_any_loop(3));
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        // E -> H1 -> H2 -> B -> H2 ; B2: H2 -> L1body -> H1 ; H1 -> X
+        // 0=E, 1=H1, 2=H2, 3=B(inner latch), 4=outer latch, 5=X
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2); // inner back edge
+        g.add_edge(2, 4);
+        g.add_edge(4, 1); // outer back edge
+        g.add_edge(1, 5);
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert_eq!(loops.loops.len(), 2);
+        assert!(loops.is_header(1) && loops.is_header(2));
+        let outer = loops.loops.iter().find(|l| l.header == 1).unwrap();
+        let inner = loops.loops.iter().find(|l| l.header == 2).unwrap();
+        assert!(outer.contains(2) && outer.contains(3) && outer.contains(4));
+        assert!(inner.contains(3) && !inner.contains(4) && !inner.contains(1));
+    }
+
+    #[test]
+    fn loops_sharing_header_are_merged() {
+        // Two back edges to the same header (e.g. `continue` + loop end).
+        // 0 -> 1(H) -> 2 -> 1, 1 -> 3 -> 1, 1 -> 4(X)
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        g.add_edge(3, 1);
+        g.add_edge(1, 4);
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        assert_eq!(l.latches.len(), 2);
+        assert!(l.contains(2) && l.contains(3));
+    }
+
+    #[test]
+    fn do_while_latch_is_predicate_block() {
+        // E -> B(H); B -> Q; Q -> B (back), Q -> X.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert!(loops.is_header(1), "body start is the header");
+        assert!(loops.is_latch(2), "bottom test is the latch");
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_loops() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert!(loops.loops.is_empty());
+        assert!(!loops.in_any_loop(1));
+    }
+
+    #[test]
+    fn non_dominating_cycle_edge_is_not_back_edge() {
+        // Irreducible-ish: 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1, 1 -> 3.
+        // Neither 1 nor 2 dominates the other, so no natural loop.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        let loops = natural_loops(&g, &dominators(&g, 0));
+        assert!(loops.loops.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests validating the CHK dominator implementation against a
+//! brute-force reference (iterative dataflow over full dominator sets),
+//! plus structural properties of dominance and natural loops.
+
+use alchemist_cfg::{dominators, natural_loops, post_dominators, DiGraph};
+use proptest::prelude::*;
+
+/// Brute force: `dom(n)` = {n} ∪ ⋂ dom(preds) to a fixed point, starting
+/// from "all nodes" for everything but the root.
+fn reference_dominators(g: &DiGraph, root: u32) -> Vec<Option<Vec<bool>>> {
+    let n = g.node_count();
+    let reachable = g.reachable(root);
+    let mut dom: Vec<Vec<bool>> = (0..n)
+        .map(|i| {
+            if i as u32 == root {
+                let mut v = vec![false; n];
+                v[i] = true;
+                v
+            } else {
+                vec![true; n]
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n {
+            if u as u32 == root || !reachable[u] {
+                continue;
+            }
+            let mut new: Option<Vec<bool>> = None;
+            for &p in g.preds(u as u32) {
+                if !reachable[p as usize] {
+                    continue;
+                }
+                new = Some(match new {
+                    None => dom[p as usize].clone(),
+                    Some(acc) => acc
+                        .iter()
+                        .zip(&dom[p as usize])
+                        .map(|(a, b)| *a && *b)
+                        .collect(),
+                });
+            }
+            let mut new = new.unwrap_or_else(|| vec![false; n]);
+            new[u] = true;
+            if new != dom[u] {
+                dom[u] = new;
+                changed = true;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| reachable[i].then(|| dom[i].clone()))
+        .collect()
+}
+
+/// A random graph with `n` nodes rooted at 0: a spanning arborescence (so
+/// everything is reachable) plus random extra edges.
+fn arb_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = DiGraph> {
+    (2..max_nodes, proptest::collection::vec((0u32..100, 0u32..100), 0..max_extra))
+        .prop_map(move |(n, extras)| {
+            let mut g = DiGraph::new(n);
+            for v in 1..n as u32 {
+                // Parent chosen deterministically below v: keeps everything
+                // reachable from 0.
+                let parent = (v * 7 + 3) % v;
+                g.add_edge(parent, v);
+            }
+            for (a, b) in extras {
+                let u = a % n as u32;
+                let v = b % n as u32;
+                g.add_edge(u, v);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chk_matches_bruteforce(g in arb_graph(24, 40)) {
+        let tree = dominators(&g, 0);
+        let reference = reference_dominators(&g, 0);
+        for b in 0..g.node_count() as u32 {
+            match &reference[b as usize] {
+                None => prop_assert!(!tree.is_reachable(b)),
+                Some(set) => {
+                    for a in 0..g.node_count() as u32 {
+                        prop_assert_eq!(
+                            tree.dominates(a, b),
+                            set[a as usize],
+                            "dominates({}, {}) mismatch", a, b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_a_strict_dominator(g in arb_graph(24, 40)) {
+        let tree = dominators(&g, 0);
+        for n in 1..g.node_count() as u32 {
+            if let Some(d) = tree.idom(n) {
+                prop_assert_ne!(d, n);
+                prop_assert!(tree.dominates(d, n));
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_and_transitive(g in arb_graph(16, 24)) {
+        let tree = dominators(&g, 0);
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && tree.dominates(a, b) {
+                    prop_assert!(!tree.dominates(b, a), "{} <-> {}", a, b);
+                }
+                for c in 0..n {
+                    if tree.dominates(a, b) && tree.dominates(b, c) {
+                        prop_assert!(tree.dominates(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_dominates_every_reachable_node(g in arb_graph(24, 40)) {
+        let tree = dominators(&g, 0);
+        for n in 0..g.node_count() as u32 {
+            if tree.is_reachable(n) {
+                prop_assert!(tree.dominates(0, n));
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_are_dominators_of_reverse(g in arb_graph(16, 24)) {
+        // Route every node to a fresh exit so post-dominance is total.
+        let n = g.node_count();
+        let mut g2 = DiGraph::new(n + 1);
+        for u in 0..n as u32 {
+            for &v in g.succs(u) {
+                g2.add_edge(u, v);
+            }
+            g2.add_edge(u, n as u32);
+        }
+        let pdom = post_dominators(&g2, n as u32);
+        let dom_rev = dominators(&g2.reversed(), n as u32);
+        for a in 0..=n as u32 {
+            for b in 0..=n as u32 {
+                prop_assert_eq!(pdom.dominates(a, b), dom_rev.dominates(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_headers_dominate_their_bodies(g in arb_graph(24, 40)) {
+        let dom = dominators(&g, 0);
+        let loops = natural_loops(&g, &dom);
+        for l in &loops.loops {
+            for node in 0..g.node_count() as u32 {
+                if l.contains(node) {
+                    prop_assert!(
+                        dom.dominates(l.header, node),
+                        "header {} does not dominate member {}",
+                        l.header,
+                        node
+                    );
+                }
+            }
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_membership_is_consistent(g in arb_graph(24, 40)) {
+        let dom = dominators(&g, 0);
+        let loops = natural_loops(&g, &dom);
+        for node in 0..g.node_count() as u32 {
+            let in_some = loops.loops.iter().any(|l| l.contains(node));
+            prop_assert_eq!(loops.in_any_loop(node), in_some);
+        }
+    }
+}

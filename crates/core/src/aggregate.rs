@@ -1,0 +1,206 @@
+//! Multi-run profile aggregation.
+//!
+//! The paper's usability claim is built on "gathering and analyzing
+//! *profile runs*" (plural): dependence profiles are input-dependent
+//! ("as with any profiling technique, the completeness of the dependencies
+//! identified by Alchemist is a function of the test inputs"), so a
+//! credible parallelization decision merges profiles from several inputs.
+//!
+//! Aggregation semantics:
+//!
+//! * construct durations and instance counts accumulate (so `tdur_mean`
+//!   becomes the across-run mean);
+//! * per-edge `min_tdep` takes the minimum across runs — the most
+//!   constraining observation wins, exactly like within one run;
+//! * exercise counts and nesting statistics sum;
+//! * an edge present in *any* run is present in the union (a construct is
+//!   only a candidate if it is clean on **every** input).
+
+use crate::construct::DepKind;
+use crate::profile::DepProfile;
+use crate::profiler::ProfileConfig;
+use crate::runner::{profile_module, ProfileError};
+use alchemist_vm::{ExecConfig, Module};
+
+/// Merges `other` into `base` with the union/min semantics above.
+pub fn merge_profiles(base: &mut DepProfile, other: &DepProfile) {
+    base.total_steps += other.total_steps;
+    for c in other.constructs() {
+        base.merge_duration(c.id, c.ttotal, c.inst);
+        for (key, stat) in &c.edges {
+            base.merge_edge(c.id, *key, *stat);
+        }
+        for (ancestor, count) in &c.nested_in {
+            base.merge_nested(c.id, *ancestor, *count);
+        }
+    }
+}
+
+/// Profiles `module` once per input buffer and returns the aggregated
+/// profile (plus per-run profiles for inspection).
+///
+/// # Errors
+///
+/// Returns the first run's trap, if any input makes the program fault.
+pub fn profile_many(
+    module: &Module,
+    inputs: &[Vec<i64>],
+    config: ProfileConfig,
+) -> Result<(DepProfile, Vec<DepProfile>), ProfileError> {
+    let mut aggregated = DepProfile::new();
+    let mut runs = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let exec_cfg = ExecConfig::with_input(input.clone());
+        let (profile, ..) = profile_module(module, &exec_cfg, config.clone())?;
+        merge_profiles(&mut aggregated, &profile);
+        runs.push(profile);
+    }
+    Ok((aggregated, runs))
+}
+
+/// Edges of `kind` on `head` that appear in the aggregate but not in every
+/// individual run — the input-dependent dependences the paper warns about.
+pub fn input_dependent_edges(
+    aggregated: &DepProfile,
+    runs: &[DepProfile],
+    head: alchemist_vm::Pc,
+    kind: DepKind,
+) -> Vec<crate::profile::EdgeKey> {
+    let Some(agg) = aggregated.construct(head) else {
+        return Vec::new();
+    };
+    agg.edges
+        .keys()
+        .filter(|k| k.kind == kind)
+        .filter(|k| {
+            !runs.iter().all(|r| {
+                r.construct(head)
+                    .map(|c| c.edges.contains_key(k))
+                    .unwrap_or(false)
+            })
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::compile_source;
+
+    /// The shared conflict only triggers when the input contains a value
+    /// above the threshold.
+    const INPUT_SENSITIVE: &str = "
+        int flag;
+        int sink;
+        void scan(int i) {
+            if (input(i) > 100) flag = i;
+        }
+        int main() {
+            int i;
+            int n = input_len();
+            for (i = 0; i < n; i++) scan(i);
+            sink = flag;
+            return sink;
+        }";
+
+    #[test]
+    fn aggregation_unions_edges_across_inputs() {
+        let module = compile_source(INPUT_SENSITIVE).unwrap();
+        let benign = vec![1i64, 2, 3, 4];
+        let hot = vec![1i64, 200, 3, 200];
+        let (agg, runs) = profile_many(
+            &module,
+            &[benign, hot],
+            ProfileConfig::default(),
+        )
+        .unwrap();
+        let scan_head = module.func_by_name("scan").unwrap().1.entry;
+        // The benign run never writes flag inside scan -> no WAW there.
+        let benign_edges = runs[0]
+            .construct(scan_head)
+            .map(|c| c.edges.len())
+            .unwrap_or(0);
+        let hot_edges = runs[1].construct(scan_head).unwrap().edges.len();
+        assert!(hot_edges > benign_edges, "{benign_edges} vs {hot_edges}");
+        // The aggregate contains the hot run's edges.
+        assert_eq!(agg.construct(scan_head).unwrap().edges.len(), hot_edges);
+        // And flags them as input-dependent.
+        let dependent = input_dependent_edges(
+            &agg,
+            &runs,
+            scan_head,
+            crate::construct::DepKind::Waw,
+        );
+        assert!(
+            !dependent.is_empty(),
+            "the flag WAW appears in one run only"
+        );
+    }
+
+    #[test]
+    fn aggregation_accumulates_durations() {
+        let module = compile_source(
+            "int g; int main() { int i; int n = input_len(); \
+             for (i = 0; i < n; i++) g += i; return g; }",
+        )
+        .unwrap();
+        let (agg, runs) = profile_many(
+            &module,
+            &[vec![0; 4], vec![0; 8]],
+            ProfileConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            agg.total_steps,
+            runs[0].total_steps + runs[1].total_steps
+        );
+        let main_head = module.funcs[module.main.0 as usize].entry;
+        let agg_main = agg.construct(main_head).unwrap();
+        assert_eq!(agg_main.inst, 2, "one instance per run");
+        assert_eq!(agg_main.ttotal, agg.total_steps);
+    }
+
+    #[test]
+    fn merged_min_tdep_takes_the_minimum() {
+        let module = compile_source(
+            "int g;
+             void w() { g = 1; }
+             int main() {
+                 int i; int n = input_len();
+                 w();
+                 for (i = 0; i < n; i++) i = i;
+                 return g;
+             }",
+        )
+        .unwrap();
+        // Short continuation vs long continuation: the RAW distance from
+        // w's write to the final read differs; the aggregate keeps the min.
+        let (agg, runs) =
+            profile_many(&module, &[vec![0; 2], vec![0; 60]], ProfileConfig::default())
+                .unwrap();
+        let w_head = module.func_by_name("w").unwrap().1.entry;
+        let min_each: Vec<u64> = runs
+            .iter()
+            .map(|r| {
+                r.construct(w_head)
+                    .unwrap()
+                    .edges
+                    .values()
+                    .map(|s| s.min_tdep)
+                    .min()
+                    .unwrap()
+            })
+            .collect();
+        let agg_min = agg
+            .construct(w_head)
+            .unwrap()
+            .edges
+            .values()
+            .map(|s| s.min_tdep)
+            .min()
+            .unwrap();
+        assert_eq!(agg_min, *min_each.iter().min().unwrap());
+        assert!(min_each[0] < min_each[1], "{min_each:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Construct identities.
+//!
+//! A *construct* in the paper's sense is an aggregate program region that
+//! could be spawned as a future: a procedure, a loop (each iteration being
+//! one instance), or a conditional. Statically, a construct is identified by
+//! the program counter of its *head* — the function entry or the predicate
+//! (conditional branch) that starts it.
+
+use alchemist_vm::{Module, Pc, PredKind};
+use std::fmt;
+
+/// What kind of region a construct is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstructKind {
+    /// A procedure (one instance per call).
+    Method,
+    /// A loop (one instance per iteration, per the paper's rule 4).
+    Loop,
+    /// A conditional (`if`, `&&`, ternary).
+    Branch,
+}
+
+impl fmt::Display for ConstructKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstructKind::Method => write!(f, "Method"),
+            ConstructKind::Loop => write!(f, "Loop"),
+            ConstructKind::Branch => write!(f, "Branch"),
+        }
+    }
+}
+
+/// A static construct: its head pc and kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstructId {
+    /// Head instruction: function entry or predicate pc.
+    pub head: Pc,
+    /// Region kind.
+    pub kind: ConstructKind,
+}
+
+impl ConstructId {
+    /// Creates a construct id.
+    pub fn new(head: Pc, kind: ConstructKind) -> Self {
+        ConstructId { head, kind }
+    }
+
+    /// A human-readable label in the paper's style, e.g.
+    /// `Method flush_block` or `Loop (main, 14)`.
+    pub fn label(&self, module: &Module) -> String {
+        match self.kind {
+            ConstructKind::Method => {
+                let func = module
+                    .func_at(self.head)
+                    .map(|f| module.funcs[f.0 as usize].name.clone())
+                    .unwrap_or_else(|| "?".to_owned());
+                format!("Method {func}")
+            }
+            kind => {
+                let func = module
+                    .func_at(self.head)
+                    .map(|f| module.funcs[f.0 as usize].name.clone())
+                    .unwrap_or_else(|| "?".to_owned());
+                format!("{kind} ({func}, {})", module.line_at(self.head))
+            }
+        }
+    }
+
+    /// The construct kind for a predicate classification.
+    pub fn kind_of_pred(kind: PredKind) -> ConstructKind {
+        match kind {
+            PredKind::Loop => ConstructKind::Loop,
+            PredKind::Branch => ConstructKind::Branch,
+        }
+    }
+}
+
+/// The three dependence kinds the profiler records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Read-after-write (true/flow dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Raw => write!(f, "RAW"),
+            DepKind::War => write!(f, "WAR"),
+            DepKind::Waw => write!(f, "WAW"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::compile_source;
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(ConstructKind::Method.to_string(), "Method");
+        assert_eq!(ConstructKind::Loop.to_string(), "Loop");
+        assert_eq!(DepKind::Raw.to_string(), "RAW");
+        assert_eq!(DepKind::War.to_string(), "WAR");
+        assert_eq!(DepKind::Waw.to_string(), "WAW");
+    }
+
+    #[test]
+    fn method_label_uses_function_name() {
+        let m = compile_source("int main() { return 0; }").unwrap();
+        let id = ConstructId::new(m.funcs[0].entry, ConstructKind::Method);
+        assert_eq!(id.label(&m), "Method main");
+    }
+
+    #[test]
+    fn loop_label_includes_function_and_line() {
+        let m = compile_source(
+            "int main() {\n int i;\n for (i = 0; i < 3; i++) { }\n return 0;\n}",
+        )
+        .unwrap();
+        // Find the loop predicate.
+        let pred = (0..m.ops.len() as u32)
+            .map(Pc)
+            .find(|&pc| m.analysis.predicate_kind(pc) == Some(PredKind::Loop))
+            .expect("for loop produces a loop predicate");
+        let id = ConstructId::new(pred, ConstructKind::Loop);
+        let label = id.label(&m);
+        assert!(label.starts_with("Loop (main, "), "{label}");
+    }
+}

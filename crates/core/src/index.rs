@@ -1,0 +1,430 @@
+//! The execution-indexing stack (instrumentation rules, Fig. 5 of the paper).
+//!
+//! The stack's state *is* the execution index of the current point: the
+//! chain of construct instances (procedures, loop iterations, conditionals)
+//! the point is nested in. Popped instances stay reachable through the
+//! [`ConstructPool`] parent links, which is how the index **tree** needed
+//! for attributing dependences to already-completed constructs is
+//! maintained.
+//!
+//! Rules implemented here, with the event that triggers each:
+//!
+//! 1. *Enter procedure* → push a `Method` entry (a **barrier**: predicate
+//!    matching never crosses it, which keeps recursion frames separate).
+//! 2. *Exit procedure* → pop entries up to and including the barrier
+//!    (predicates left open by `return`-out-of-loop close here; this is the
+//!    paper's handling of irregular control flow).
+//! 3. /4. *Predicate at `p`* → if an instance of `p` is already open in the
+//!    current frame, pop it and everything above it (for a loop predicate
+//!    this ends the previous iteration — rule 4; the generalization to any
+//!    predicate also bounds the stack for `if (..) break`-style regions
+//!    whose post-dominator is outside the loop). Then push a new instance.
+//! 5. *Statement `s`* → on entry to basic block `s`, pop every predicate
+//!    whose immediate post-dominator is `s`.
+
+use crate::construct::{ConstructId, ConstructKind};
+use crate::pool::{ConstructPool, NodeRef};
+use crate::profile::DepProfile;
+use alchemist_vm::{BlockId, Pc, Time};
+
+/// One open construct instance on the indexing stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    /// The instance's pool node.
+    pub node: NodeRef,
+    /// Static head pc.
+    pub head: Pc,
+    /// Construct kind.
+    pub kind: ConstructKind,
+    /// Immediate post-dominator of the predicate's block (`None` for
+    /// procedures and for predicates that only close at function exit).
+    pub ipdom: Option<BlockId>,
+    /// `true` for procedure entries (rule barriers).
+    pub is_barrier: bool,
+}
+
+/// The indexing stack.
+#[derive(Debug)]
+pub struct IndexStack {
+    entries: Vec<StackEntry>,
+    /// Deepest nesting observed (the paper's `L`).
+    pub max_depth: usize,
+    /// Whether to record nesting statistics on pops (Fig. 6(b) support).
+    pub track_nesting: bool,
+}
+
+impl IndexStack {
+    /// Creates an empty stack.
+    pub fn new(track_nesting: bool) -> Self {
+        IndexStack { entries: Vec::with_capacity(64), max_depth: 0, track_nesting }
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The innermost open construct instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (no function has been entered).
+    pub fn current(&self) -> NodeRef {
+        self.entries.last().expect("indexing stack is empty").node
+    }
+
+    /// The open instances from outermost to innermost (the execution index
+    /// of the current point, as in Fig. 4 of the paper).
+    pub fn index(&self) -> impl Iterator<Item = &StackEntry> {
+        self.entries.iter()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        head: Pc,
+        kind: ConstructKind,
+        ipdom: Option<BlockId>,
+        is_barrier: bool,
+        t: Time,
+    ) {
+        let parent = self.entries.last().map(|e| e.node);
+        let node = pool.push_instance(head, kind, parent, t);
+        profile.on_push(ConstructId::new(head, kind));
+        self.entries.push(StackEntry { node, head, kind, ipdom, is_barrier });
+        self.max_depth = self.max_depth.max(self.entries.len());
+    }
+
+    fn pop_one(&mut self, pool: &mut ConstructPool, profile: &mut DepProfile, t: Time) {
+        let entry = self.entries.pop().expect("pop on empty indexing stack");
+        let t_enter = pool.node(entry.node.id).t_enter;
+        pool.complete_instance(entry.node, t);
+        let id = ConstructId::new(entry.head, entry.kind);
+        if self.track_nesting {
+            profile.on_pop(id, t_enter, t, self.entries.iter().map(|e| e.head));
+        } else {
+            profile.on_pop(id, t_enter, t, std::iter::empty());
+        }
+    }
+
+    /// Rule 1: a procedure with entry pc `head` was entered.
+    pub fn enter_function(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        head: Pc,
+        t: Time,
+    ) {
+        self.push(pool, profile, head, ConstructKind::Method, None, true, t);
+    }
+
+    /// Rule 2: the current procedure returns. Pops any predicates it left
+    /// open, then the procedure entry itself.
+    pub fn exit_function(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        t: Time,
+    ) {
+        loop {
+            let was_barrier =
+                self.entries.last().expect("function exit without entry").is_barrier;
+            self.pop_one(pool, profile, t);
+            if was_barrier {
+                return;
+            }
+        }
+    }
+
+    /// Rules 3/4: the predicate at `head` executed.
+    pub fn predicate(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        head: Pc,
+        kind: ConstructKind,
+        ipdom: Option<BlockId>,
+        t: Time,
+    ) {
+        // Find an open instance of the same predicate in the current frame.
+        let mut found = None;
+        for (i, e) in self.entries.iter().enumerate().rev() {
+            if e.is_barrier {
+                break;
+            }
+            if e.head == head {
+                found = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = found {
+            // Re-execution: the previous instance's region is over (for a
+            // loop predicate this is the end of the previous iteration).
+            while self.entries.len() > i {
+                self.pop_one(pool, profile, t);
+            }
+        }
+        self.push(pool, profile, head, kind, ipdom, false, t);
+    }
+
+    /// Rule 5: control entered basic block `block`. Pops every predicate
+    /// whose immediate post-dominator is this block.
+    pub fn block_entry(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        block: BlockId,
+        t: Time,
+    ) {
+        while let Some(top) = self.entries.last() {
+            if top.is_barrier || top.ipdom != Some(block) {
+                break;
+            }
+            self.pop_one(pool, profile, t);
+        }
+    }
+
+    /// Closes everything still open (used when a run traps mid-execution).
+    pub fn finalize(
+        &mut self,
+        pool: &mut ConstructPool,
+        profile: &mut DepProfile,
+        t: Time,
+    ) {
+        while !self.entries.is_empty() {
+            self.pop_one(pool, profile, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        stack: IndexStack,
+        pool: ConstructPool,
+        profile: DepProfile,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                stack: IndexStack::new(true),
+                pool: ConstructPool::new(1024, 64),
+                profile: DepProfile::new(),
+            }
+        }
+
+        fn enter(&mut self, pc: u32, t: Time) {
+            self.stack.enter_function(&mut self.pool, &mut self.profile, Pc(pc), t);
+        }
+
+        fn exit(&mut self, t: Time) {
+            self.stack.exit_function(&mut self.pool, &mut self.profile, t);
+        }
+
+        fn pred(&mut self, pc: u32, ipdom: Option<u32>, t: Time) {
+            self.stack.predicate(
+                &mut self.pool,
+                &mut self.profile,
+                Pc(pc),
+                ConstructKind::Loop,
+                ipdom.map(BlockId),
+                t,
+            );
+        }
+
+        fn block(&mut self, b: u32, t: Time) {
+            self.stack.block_entry(&mut self.pool, &mut self.profile, BlockId(b), t);
+        }
+
+        fn heads(&self) -> Vec<u32> {
+            self.stack.index().map(|e| e.head.0).collect()
+        }
+    }
+
+    #[test]
+    fn procedure_nesting_mirrors_call_structure() {
+        // Fig. 4(a): A calls B.
+        let mut f = Fixture::new();
+        f.enter(100, 0); // A
+        f.enter(200, 5); // B
+        assert_eq!(f.heads(), vec![100, 200]);
+        f.exit(9); // B returns
+        assert_eq!(f.heads(), vec![100]);
+        f.exit(12); // A returns
+        assert_eq!(f.stack.depth(), 0);
+        let a = f.profile.construct(Pc(100)).unwrap();
+        assert_eq!((a.inst, a.ttotal), (1, 12));
+        let b = f.profile.construct(Pc(200)).unwrap();
+        assert_eq!((b.inst, b.ttotal), (1, 4));
+    }
+
+    #[test]
+    fn nested_ifs_pop_at_their_ipdoms() {
+        // Fig. 4(b): if(2){ s3; if(4) s5; } inside C.
+        let mut f = Fixture::new();
+        f.enter(1, 0); // C
+        f.pred(2, Some(9), 1); // outer if, joins at block 9
+        f.pred(4, Some(8), 3); // inner if, joins at block 8
+        assert_eq!(f.heads(), vec![1, 2, 4]);
+        f.block(8, 6); // inner join: pops construct 4 only
+        assert_eq!(f.heads(), vec![1, 2]);
+        f.block(9, 7); // outer join
+        assert_eq!(f.heads(), vec![1]);
+    }
+
+    #[test]
+    fn one_block_can_close_multiple_constructs() {
+        // Two nested ifs sharing a join block.
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(2, Some(9), 1);
+        f.pred(4, Some(9), 2);
+        f.block(9, 5);
+        assert_eq!(f.heads(), vec![1], "rule 5 pops while the top matches");
+        assert_eq!(f.profile.construct(Pc(4)).unwrap().inst, 1);
+        assert_eq!(f.profile.construct(Pc(2)).unwrap().inst, 1);
+    }
+
+    #[test]
+    fn loop_iterations_become_sibling_instances() {
+        // Fig. 4(c): three executions of loop predicate 2; iteration i+1
+        // must be a sibling (not a child) of iteration i.
+        let mut f = Fixture::new();
+        f.enter(1, 0); // D
+        f.pred(2, Some(50), 1); // iteration 1
+        let n1 = f.stack.current();
+        f.pred(2, Some(50), 10); // iteration 2: pops #1, pushes #2
+        let n2 = f.stack.current();
+        assert_eq!(f.heads(), vec![1, 2]);
+        assert_ne!(n1, n2);
+        let p1 = f.pool.resolve(n1).expect("iteration 1 retained");
+        let p2 = f.pool.resolve(n2).unwrap();
+        assert_eq!(
+            p1.parent, p2.parent,
+            "iterations share the enclosing construct as parent"
+        );
+        assert_eq!(p1.t_exit, Some(10), "previous iteration closed at re-execution");
+        // Loop exit via rule 5.
+        f.block(50, 20);
+        assert_eq!(f.heads(), vec![1]);
+        assert_eq!(f.profile.construct(Pc(2)).unwrap().inst, 2);
+    }
+
+    #[test]
+    fn nested_loop_iterations_nest_under_outer_iteration() {
+        // Fig. 4(c): inner loop 4 iterations are children of the current
+        // iteration of outer loop 2.
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(2, Some(50), 1); // outer iter 1
+        let outer = f.stack.current();
+        f.pred(4, Some(40), 2); // inner iter 1
+        f.pred(4, Some(40), 5); // inner iter 2
+        let inner2 = f.stack.current();
+        assert_eq!(f.pool.resolve(inner2).unwrap().parent, Some(outer));
+        f.block(40, 8); // inner loop exits
+        f.pred(2, Some(50), 9); // outer iter 2: pops iter 1
+        assert_eq!(f.heads(), vec![1, 2]);
+        assert_eq!(f.profile.construct(Pc(4)).unwrap().inst, 2);
+    }
+
+    #[test]
+    fn predicate_reexecution_pops_everything_above() {
+        // while(1) { if(a) break; if(b) break; } — header has no predicate;
+        // re-executing `a` must close the dangling `b` and `a` regions.
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(10, None, 1); // if(a), ipdom escapes the loop
+        f.pred(20, None, 2); // if(b)
+        assert_eq!(f.heads(), vec![1, 10, 20]);
+        f.pred(10, None, 5); // next iteration
+        assert_eq!(f.heads(), vec![1, 10], "stack stays bounded");
+        assert_eq!(f.profile.construct(Pc(20)).unwrap().inst, 1);
+        assert_eq!(f.profile.construct(Pc(10)).unwrap().inst, 1);
+    }
+
+    #[test]
+    fn function_exit_closes_open_predicates() {
+        // return from inside a loop: rule 2 cleans up.
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(2, Some(50), 1);
+        f.pred(4, Some(40), 2);
+        f.exit(9);
+        assert_eq!(f.stack.depth(), 0);
+        assert_eq!(f.profile.construct(Pc(2)).unwrap().inst, 1);
+        assert_eq!(f.profile.construct(Pc(4)).unwrap().inst, 1);
+    }
+
+    #[test]
+    fn barriers_isolate_recursive_frames() {
+        // f's loop predicate open, f calls f, inner f runs the same
+        // predicate: the inner execution must NOT pop the outer iteration.
+        let mut f = Fixture::new();
+        f.enter(1, 0); // outer f
+        f.pred(2, Some(50), 1); // outer iteration
+        f.enter(1, 3); // inner f (recursion)
+        f.pred(2, Some(50), 4); // inner iteration: new instance
+        assert_eq!(f.heads(), vec![1, 2, 1, 2]);
+        f.pred(2, Some(50), 6); // inner loop iterates: pops only inner
+        assert_eq!(f.heads(), vec![1, 2, 1, 2]);
+        assert_eq!(f.profile.construct(Pc(2)).unwrap().inst, 1);
+        f.exit(8); // inner f returns (pops its iteration + barrier)
+        assert_eq!(f.heads(), vec![1, 2]);
+        // Block entry in the outer frame now closes the outer iteration.
+        f.block(50, 9);
+        assert_eq!(f.heads(), vec![1]);
+    }
+
+    #[test]
+    fn recursion_ttotal_not_double_counted() {
+        let mut f = Fixture::new();
+        f.enter(7, 0);
+        f.enter(7, 2);
+        f.exit(8); // inner: [2,8] — must not add to ttotal yet
+        f.exit(10); // outer: [0,10]
+        let c = f.profile.construct(Pc(7)).unwrap();
+        assert_eq!(c.inst, 2);
+        assert_eq!(c.ttotal, 10);
+    }
+
+    #[test]
+    fn rule5_does_not_cross_barriers() {
+        // A predicate in the caller must not be popped by a callee block
+        // that happens to carry the same (global) block id... which cannot
+        // collide in practice, but the barrier must stop rule 5 regardless.
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(2, Some(33), 1);
+        f.enter(9, 2); // call
+        f.block(33, 3); // block entry inside callee
+        assert_eq!(f.heads(), vec![1, 2, 9], "caller predicate survives");
+    }
+
+    #[test]
+    fn finalize_closes_all() {
+        let mut f = Fixture::new();
+        f.enter(1, 0);
+        f.pred(2, Some(5), 1);
+        f.enter(3, 2);
+        f.stack.finalize(&mut f.pool, &mut f.profile, 10);
+        assert_eq!(f.stack.depth(), 0);
+        assert_eq!(f.stack.max_depth, 3);
+    }
+
+    #[test]
+    fn index_path_matches_paper_notation() {
+        // The index of an execution point is the root-to-point path.
+        let mut f = Fixture::new();
+        f.enter(1, 0); // D
+        f.pred(2, Some(50), 1);
+        f.pred(4, Some(40), 2);
+        // Index of a point inside: [D, 2, 4] — compare Fig. 4(c).
+        assert_eq!(f.heads(), vec![1, 2, 4]);
+    }
+}

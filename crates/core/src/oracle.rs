@@ -1,0 +1,283 @@
+//! A brute-force reference profiler.
+//!
+//! Replays a recorded event stream with **no resource bounds**: the full
+//! index tree is kept alive forever and the per-address reader sets are
+//! unbounded. It exists to validate the online profiler:
+//!
+//! * with a generous pool and reader cap, the online profiler must produce
+//!   *exactly* the oracle's profile;
+//! * with a tiny pool, the online profile must be a subset whose recorded
+//!   distances are never smaller than the oracle's (retirement may only
+//!   drop information, never invent it).
+//!
+//! The implementation shares no code with the production data structures
+//! beyond the instrumentation-rule semantics themselves.
+
+use crate::construct::{ConstructId, ConstructKind, DepKind};
+use crate::profile::{DepProfile, EdgeKey, EdgeStat};
+use alchemist_vm::{Event, Module, Pc, Time};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct ONode {
+    label: Pc,
+    kind: ConstructKind,
+    t_enter: Time,
+    t_exit: Option<Time>,
+    parent: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OEntry {
+    node: usize,
+    head: Pc,
+    ipdom: Option<alchemist_vm::BlockId>,
+    is_barrier: bool,
+}
+
+#[derive(Debug, Default)]
+struct OCell {
+    last_write: Option<(Pc, Time, usize)>,
+    reads: Vec<(Pc, Time, usize)>,
+}
+
+/// Replays `events` (from a [`RecordingSink`](alchemist_vm::RecordingSink))
+/// and computes the unbounded reference profile.
+///
+/// `total_steps` is the executed instruction count of the run.
+pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> DepProfile {
+    let mut tree: Vec<ONode> = Vec::new();
+    let mut stack: Vec<OEntry> = Vec::new();
+    let mut shadow: HashMap<u32, OCell> = HashMap::new();
+    let mut profile = DepProfile::new();
+    // (kind, head pc, tail pc, construct) -> (min_tdep, count), built
+    // directly, then poured into the DepProfile at the end.
+    let mut edges: HashMap<(Pc, EdgeKey), EdgeStat> = HashMap::new();
+    let mut durations: HashMap<Pc, (u64, u64, ConstructKind)> = HashMap::new();
+    let mut nesting: HashMap<Pc, u32> = HashMap::new();
+    let mut nested_in: HashMap<(Pc, Pc), u64> = HashMap::new();
+
+    let pop =
+        |tree: &mut Vec<ONode>, stack: &mut Vec<OEntry>, t: Time,
+         durations: &mut HashMap<Pc, (u64, u64, ConstructKind)>,
+         nesting: &mut HashMap<Pc, u32>,
+         nested_in: &mut HashMap<(Pc, Pc), u64>| {
+            let e = stack.pop().expect("oracle pop on empty stack");
+            tree[e.node].t_exit = Some(t);
+            let node = &tree[e.node];
+            let d = durations.entry(e.head).or_insert((0, 0, node.kind));
+            d.1 += 1;
+            let level = nesting.entry(e.head).or_insert(0);
+            *level = level.saturating_sub(1);
+            if *level == 0 {
+                d.0 += t.saturating_sub(node.t_enter);
+            }
+            for a in stack.iter() {
+                if a.head != e.head {
+                    *nested_in.entry((e.head, a.head)).or_insert(0) += 1;
+                }
+            }
+        };
+
+    let push = |tree: &mut Vec<ONode>,
+                    stack: &mut Vec<OEntry>,
+                    head: Pc,
+                    kind: ConstructKind,
+                    ipdom: Option<alchemist_vm::BlockId>,
+                    is_barrier: bool,
+                    t: Time,
+                    nesting: &mut HashMap<Pc, u32>| {
+        let parent = stack.last().map(|e| e.node);
+        tree.push(ONode { label: head, kind, t_enter: t, t_exit: None, parent });
+        *nesting.entry(head).or_insert(0) += 1;
+        stack.push(OEntry { node: tree.len() - 1, head, ipdom, is_barrier });
+    };
+
+    let record = |tree: &[ONode],
+                      edges: &mut HashMap<(Pc, EdgeKey), EdgeStat>,
+                      kind: DepKind,
+                      head_pc: Pc,
+                      head_node: usize,
+                      t_head: Time,
+                      tail_pc: Pc,
+                      t_tail: Time,
+                      addr: u32| {
+        let tdep = t_tail.saturating_sub(t_head);
+        let mut cur = Some(head_node);
+        while let Some(i) = cur {
+            let n = &tree[i];
+            if n.t_exit.is_none() {
+                break; // active: intra-construct from here up
+            }
+            let key = EdgeKey { kind, head: head_pc, tail: tail_pc };
+            let stat = edges
+                .entry((n.label, key))
+                .or_insert(EdgeStat { min_tdep: u64::MAX, count: 0, sample_addr: addr });
+            stat.count += 1;
+            if tdep < stat.min_tdep {
+                stat.min_tdep = tdep;
+                stat.sample_addr = addr;
+            }
+            cur = n.parent;
+        }
+    };
+
+    let traced = |addr: u32| addr < module.global_words;
+
+    for ev in events {
+        match *ev {
+            Event::Enter { t, func, .. } => {
+                let head = module.funcs[func.0 as usize].entry;
+                push(
+                    &mut tree, &mut stack, head, ConstructKind::Method, None, true,
+                    t, &mut nesting,
+                );
+            }
+            Event::Exit { t, .. } => loop {
+                let barrier = stack.last().expect("exit without entry").is_barrier;
+                pop(&mut tree, &mut stack, t, &mut durations, &mut nesting, &mut nested_in);
+                if barrier {
+                    break;
+                }
+            },
+            Event::Predicate { t, pc, block, .. } => {
+                let kind = module
+                    .analysis
+                    .predicate_kind(pc)
+                    .map(ConstructId::kind_of_pred)
+                    .expect("predicate event from non-predicate pc");
+                let ipdom = module.analysis.block(block).ipdom;
+                let mut found = None;
+                for (i, e) in stack.iter().enumerate().rev() {
+                    if e.is_barrier {
+                        break;
+                    }
+                    if e.head == pc {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                if let Some(i) = found {
+                    while stack.len() > i {
+                        pop(
+                            &mut tree, &mut stack, t, &mut durations, &mut nesting,
+                            &mut nested_in,
+                        );
+                    }
+                }
+                push(&mut tree, &mut stack, pc, kind, ipdom, false, t, &mut nesting);
+            }
+            Event::Block { t, block } => {
+                while let Some(top) = stack.last() {
+                    if top.is_barrier || top.ipdom != Some(block) {
+                        break;
+                    }
+                    pop(
+                        &mut tree, &mut stack, t, &mut durations, &mut nesting,
+                        &mut nested_in,
+                    );
+                }
+            }
+            Event::Read { t, addr, pc } => {
+                if !traced(addr) {
+                    continue;
+                }
+                let node = stack.last().expect("read outside any function").node;
+                let cell = shadow.entry(addr).or_default();
+                if let Some((wpc, wt, wnode)) = cell.last_write {
+                    record(&tree, &mut edges, DepKind::Raw, wpc, wnode, wt, pc, t, addr);
+                }
+                if let Some(r) = cell.reads.iter_mut().find(|r| r.0 == pc) {
+                    *r = (pc, t, node);
+                } else {
+                    cell.reads.push((pc, t, node));
+                }
+            }
+            Event::Write { t, addr, pc } => {
+                if !traced(addr) {
+                    continue;
+                }
+                let node = stack.last().expect("write outside any function").node;
+                let cell = shadow.entry(addr).or_default();
+                if let Some((wpc, wt, wnode)) = cell.last_write {
+                    record(&tree, &mut edges, DepKind::Waw, wpc, wnode, wt, pc, t, addr);
+                }
+                for (rpc, rt, rnode) in cell.reads.drain(..).collect::<Vec<_>>() {
+                    record(&tree, &mut edges, DepKind::War, rpc, rnode, rt, pc, t, addr);
+                }
+                cell.last_write = Some((pc, t, node));
+            }
+        }
+    }
+    // Close any still-open constructs (trap case).
+    while !stack.is_empty() {
+        pop(
+            &mut tree,
+            &mut stack,
+            total_steps,
+            &mut durations,
+            &mut nesting,
+            &mut nested_in,
+        );
+    }
+
+    // Pour the collected data into a DepProfile.
+    let kind_of: HashMap<Pc, ConstructKind> =
+        durations.iter().map(|(h, d)| (*h, d.2)).collect();
+    for (head, (ttotal, inst, kind)) in &durations {
+        profile.merge_duration(ConstructId::new(*head, *kind), *ttotal, *inst);
+    }
+    profile.total_steps = total_steps;
+    for ((construct, key), stat) in edges {
+        let kind = kind_of.get(&construct).copied().unwrap_or(ConstructKind::Branch);
+        profile.merge_edge(ConstructId::new(construct, kind), key, stat);
+    }
+    for ((desc, anc), count) in nested_in {
+        let kind = kind_of.get(&desc).copied().unwrap_or(ConstructKind::Branch);
+        profile.merge_nested(ConstructId::new(desc, kind), anc, count);
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::{compile_source, run, ExecConfig, RecordingSink};
+
+    fn oracle_for(src: &str) -> (DepProfile, Module) {
+        let module = compile_source(src).unwrap();
+        let mut rec = RecordingSink::default();
+        let outcome = run(&module, &ExecConfig::default(), &mut rec).unwrap();
+        let profile = oracle_profile(&module, &rec.events, outcome.steps);
+        (profile, module)
+    }
+
+    #[test]
+    fn oracle_profiles_main() {
+        let (p, m) = oracle_for("int main() { return 0; }");
+        let main = p.construct(m.funcs[0].entry).unwrap();
+        assert_eq!(main.inst, 1);
+        assert_eq!(main.ttotal, p.total_steps);
+    }
+
+    #[test]
+    fn oracle_detects_cross_call_raw() {
+        let (p, m) = oracle_for(
+            "int g; void f() { g = g + 1; } int main() { f(); f(); return g; }",
+        );
+        let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
+        assert!(f.edges.keys().any(|k| k.kind == DepKind::Raw));
+    }
+
+    #[test]
+    fn oracle_counts_loop_iterations() {
+        let (p, _m) = oracle_for(
+            "int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }",
+        );
+        let lp = p
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .unwrap();
+        assert_eq!(lp.inst, 6);
+    }
+}

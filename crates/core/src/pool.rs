@@ -1,0 +1,328 @@
+//! The bounded construct pool (Table I of the paper).
+//!
+//! Every dynamic construct instance is a node of the execution index tree.
+//! Maintaining the whole tree would be prohibitively expensive, so the paper
+//! bounds memory with a *construct pool* and a **lazy retirement** rule:
+//!
+//! > if a construct instance `C` has ended for a period longer than
+//! > `Tdur(C)`, it is safe to remove the instance from the index tree,
+//! > because any dependence between a point in `C` and a future point must
+//! > satisfy `Tdep > Tdur(C)` and hence does not affect the profiling
+//! > result.
+//!
+//! Completed nodes are appended to the tail of a retirement queue and reuse
+//! is attempted from the head, so a completed construct stays accessible for
+//! as long as pool pressure allows (the paper's "lazy retiring strategy").
+//!
+//! Reused nodes bump a **generation counter**; stale references held by the
+//! shadow memory or by child nodes detect reuse by comparing generations.
+//! This makes the paper's timestamp-window check
+//! (`c.Tenter <= Th < c.Texit`) explicit and exact.
+
+use crate::construct::ConstructKind;
+use alchemist_vm::{Pc, Time};
+use std::collections::VecDeque;
+
+/// Handle to a pool node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// A generation-tagged node reference, safe against reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// The pool slot.
+    pub id: NodeId,
+    /// The generation the reference was taken at.
+    pub gen: u32,
+}
+
+/// One construct instance in the index tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Head pc of the static construct this instance belongs to.
+    pub label: Pc,
+    /// Construct kind (for reporting).
+    pub kind: ConstructKind,
+    /// Timestamp of the instance's start.
+    pub t_enter: Time,
+    /// Timestamp of the instance's end; `None` while active.
+    pub t_exit: Option<Time>,
+    /// Parent instance in the index tree (the enclosing construct);
+    /// `None` for the root (`main`).
+    pub parent: Option<NodeRef>,
+    /// Reuse generation.
+    pub gen: u32,
+}
+
+impl Node {
+    fn fresh() -> Self {
+        Node {
+            label: Pc(0),
+            kind: ConstructKind::Method,
+            t_enter: 0,
+            t_exit: None,
+            parent: None,
+            gen: 0,
+        }
+    }
+}
+
+/// Statistics about pool behaviour (for the pool-size ablation, E13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Nodes ever allocated (peak live footprint).
+    pub allocated: usize,
+    /// Times a completed node was reclaimed and reused.
+    pub reused: u64,
+    /// Times the pool had to grow beyond its configured capacity because no
+    /// queued node was retirable (0 with a generous capacity, as the paper
+    /// reports for its 1M-entry pool).
+    pub overflow_growths: u64,
+}
+
+/// The construct pool: node storage plus the retirement queue.
+#[derive(Debug)]
+pub struct ConstructPool {
+    nodes: Vec<Node>,
+    /// Never-used slots available for allocation.
+    free: Vec<NodeId>,
+    /// Completed instances, oldest first, awaiting reuse.
+    retired: VecDeque<NodeId>,
+    /// Upper bound on nodes allocated before reuse is attempted.
+    capacity: usize,
+    /// How many queue entries to inspect when looking for a retirable node.
+    scan_cap: usize,
+    stats: PoolStats,
+}
+
+impl ConstructPool {
+    /// Creates a pool that prefers staying within `capacity` nodes.
+    ///
+    /// `scan_cap` bounds how many completed nodes are examined per
+    /// allocation when searching for one that satisfies the retirement
+    /// condition (the paper scans unboundedly; a small cap gives the same
+    /// behaviour in practice at O(1) cost).
+    pub fn new(capacity: usize, scan_cap: usize) -> Self {
+        ConstructPool {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            retired: VecDeque::new(),
+            capacity: capacity.max(1),
+            scan_cap: scan_cap.max(1),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Read-only access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Resolves a generation-tagged reference; `None` if the node was
+    /// retired and reused since the reference was taken.
+    pub fn resolve(&self, r: NodeRef) -> Option<&Node> {
+        let n = self.nodes.get(r.id.0 as usize)?;
+        (n.gen == r.gen).then_some(n)
+    }
+
+    /// Pool behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether the retirement condition holds for `node` at time `now`:
+    /// the instance has been complete for at least its own duration.
+    fn retirable(node: &Node, now: Time) -> bool {
+        match node.t_exit {
+            Some(exit) => now.saturating_sub(exit) >= exit.saturating_sub(node.t_enter),
+            None => false,
+        }
+    }
+
+    /// Starts a new construct instance at time `now`, reusing a retired
+    /// node when possible. Returns a generation-tagged reference.
+    pub fn push_instance(
+        &mut self,
+        label: Pc,
+        kind: ConstructKind,
+        parent: Option<NodeRef>,
+        now: Time,
+    ) -> NodeRef {
+        let id = self.acquire(now);
+        let node = &mut self.nodes[id.0 as usize];
+        node.label = label;
+        node.kind = kind;
+        node.t_enter = now;
+        node.t_exit = None;
+        node.parent = parent;
+        let gen = node.gen;
+        NodeRef { id, gen }
+    }
+
+    /// Marks an instance complete at time `now` and queues it for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is stale (an instance may only be completed
+    /// by the indexing stack that created it).
+    pub fn complete_instance(&mut self, r: NodeRef, now: Time) {
+        let node = &mut self.nodes[r.id.0 as usize];
+        assert_eq!(node.gen, r.gen, "completing a stale node reference");
+        debug_assert!(node.t_exit.is_none(), "node completed twice");
+        node.t_exit = Some(now);
+        self.retired.push_back(r.id);
+    }
+
+    fn acquire(&mut self, now: Time) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            return id;
+        }
+        if self.nodes.len() < self.capacity {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node::fresh());
+            self.stats.allocated = self.nodes.len();
+            return id;
+        }
+        // At capacity: scan the oldest completed nodes for a retirable one.
+        let limit = self.scan_cap.min(self.retired.len());
+        for i in 0..limit {
+            let id = self.retired[i];
+            if Self::retirable(&self.nodes[id.0 as usize], now) {
+                self.retired.remove(i);
+                let node = &mut self.nodes[id.0 as usize];
+                node.gen = node.gen.wrapping_add(1);
+                self.stats.reused += 1;
+                return id;
+            }
+        }
+        // Nothing retirable: grow beyond capacity (the paper's fixed pool
+        // would overflow here; growing keeps the profile exact).
+        self.stats.overflow_growths += 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::fresh());
+        self.stats.allocated = self.nodes.len();
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: usize) -> ConstructPool {
+        ConstructPool::new(cap, 64)
+    }
+
+    #[test]
+    fn push_then_resolve_round_trips() {
+        let mut p = pool(4);
+        let r = p.push_instance(Pc(10), ConstructKind::Loop, None, 5);
+        let n = p.resolve(r).expect("live node resolves");
+        assert_eq!(n.label, Pc(10));
+        assert_eq!(n.t_enter, 5);
+        assert_eq!(n.t_exit, None);
+        assert!(n.parent.is_none());
+    }
+
+    #[test]
+    fn parent_links_are_kept() {
+        let mut p = pool(4);
+        let a = p.push_instance(Pc(1), ConstructKind::Method, None, 0);
+        let b = p.push_instance(Pc(2), ConstructKind::Loop, Some(a), 1);
+        assert_eq!(p.resolve(b).unwrap().parent, Some(a));
+    }
+
+    #[test]
+    fn completed_node_still_resolves_until_reused() {
+        let mut p = pool(1);
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        p.complete_instance(a, 10);
+        assert!(p.resolve(a).is_some(), "lazy retirement keeps node visible");
+    }
+
+    #[test]
+    fn reuse_waits_for_retirement_window() {
+        // Node lived [0, 10]; it must not be reused before t=20.
+        let mut p = pool(1);
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        p.complete_instance(a, 10);
+        let b = p.push_instance(Pc(2), ConstructKind::Loop, None, 15);
+        // Not retirable at 15: pool must grow instead of reusing.
+        assert_ne!(a.id, b.id);
+        assert_eq!(p.stats().overflow_growths, 1);
+        assert!(p.resolve(a).is_some(), "old node untouched by growth");
+    }
+
+    #[test]
+    fn reuse_happens_after_window_and_invalidates_refs() {
+        let mut p = pool(1);
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        p.complete_instance(a, 10);
+        // At t=20 the node completed 10 ago with duration 10: retirable.
+        let b = p.push_instance(Pc(2), ConstructKind::Loop, None, 20);
+        assert_eq!(a.id, b.id, "slot reused");
+        assert!(p.resolve(a).is_none(), "stale generation detected");
+        assert!(p.resolve(b).is_some());
+        assert_eq!(p.stats().reused, 1);
+        assert_eq!(p.stats().overflow_growths, 0);
+    }
+
+    #[test]
+    fn zero_duration_instances_retire_immediately() {
+        let mut p = pool(1);
+        let a = p.push_instance(Pc(1), ConstructKind::Branch, None, 5);
+        p.complete_instance(a, 5);
+        let b = p.push_instance(Pc(2), ConstructKind::Branch, None, 5);
+        assert_eq!(a.id, b.id);
+    }
+
+    #[test]
+    fn oldest_retirable_is_preferred() {
+        let mut p = pool(2);
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        let b = p.push_instance(Pc(2), ConstructKind::Loop, None, 0);
+        p.complete_instance(a, 2);
+        p.complete_instance(b, 4);
+        // Both retirable at t=100; the queue head (a) is reused first.
+        let c = p.push_instance(Pc(3), ConstructKind::Loop, None, 100);
+        assert_eq!(c.id, a.id);
+    }
+
+    #[test]
+    fn scan_skips_non_retirable_head() {
+        let mut p = pool(2);
+        // a: long duration [0,100]; b: short [90,91].
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        let b = p.push_instance(Pc(2), ConstructKind::Loop, None, 90);
+        p.complete_instance(a, 100);
+        p.complete_instance(b, 91);
+        // t=110: a needs 100 quiet ticks (not until 200); b needed 1.
+        let c = p.push_instance(Pc(3), ConstructKind::Loop, None, 110);
+        assert_eq!(c.id, b.id, "scan passes over the unretirable head");
+        assert!(p.resolve(a).is_some(), "head left in place");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale node reference")]
+    fn completing_stale_reference_panics() {
+        let mut p = pool(1);
+        let a = p.push_instance(Pc(1), ConstructKind::Loop, None, 0);
+        p.complete_instance(a, 1);
+        let _b = p.push_instance(Pc(2), ConstructKind::Loop, None, 10);
+        p.complete_instance(a, 20); // a's slot was reused
+    }
+
+    #[test]
+    fn stats_track_allocation() {
+        let mut p = pool(8);
+        for i in 0..5 {
+            let r = p.push_instance(Pc(i), ConstructKind::Branch, None, i as Time);
+            p.complete_instance(r, i as Time);
+        }
+        assert!(p.stats().allocated <= 5);
+    }
+}

@@ -1,0 +1,407 @@
+//! The dependence profile and its online update algorithm (Table II).
+//!
+//! The profile is keyed by *static* construct (head pc). Each entry
+//! accumulates:
+//!
+//! * `Ttotal` — total instructions spent in instances of the construct
+//!   (recursion-safe: nested instances of the same construct are counted
+//!   once, per the paper's nesting-counter fix),
+//! * `inst` — number of completed instances, and
+//! * one record per exercised dependence edge `(kind, head pc, tail pc)`
+//!   with the **minimum** observed `Tdep` (the paper keeps the minimum
+//!   because it bounds the exploitable concurrency) and an exercise count.
+//!
+//! [`DepProfile::record_dependence`] is the paper's `Profile()` procedure:
+//! starting from the construct instance enclosing the dependence head, walk
+//! parent links upward and update every *completed* enclosing construct,
+//! stopping at the first active (still-running) instance — for it and all
+//! its ancestors the dependence is intra-construct — or at a retired node.
+
+use crate::construct::{ConstructId, DepKind};
+use crate::pool::{ConstructPool, NodeRef};
+use alchemist_vm::{Pc, Time};
+use std::collections::HashMap;
+
+/// Statistics for one static dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeStat {
+    /// Minimum observed distance `t(tail) - t(head)`.
+    pub min_tdep: u64,
+    /// How many times the edge was exercised against this construct.
+    pub count: u64,
+    /// A conflicting address observed for the edge (resolves to the
+    /// variable name in reports).
+    pub sample_addr: u32,
+}
+
+/// Key of a static dependence edge within a construct's profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeKey {
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Head (earlier access) instruction.
+    pub head: Pc,
+    /// Tail (later access) instruction.
+    pub tail: Pc,
+}
+
+/// Accumulated profile of one static construct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructProfile {
+    /// The construct's identity.
+    pub id: ConstructId,
+    /// Total instructions across instances (outermost instances only, so
+    /// recursion is not double-counted).
+    pub ttotal: u64,
+    /// Completed instance count.
+    pub inst: u64,
+    /// Dependence edges crossing this construct's boundary.
+    pub edges: HashMap<EdgeKey, EdgeStat>,
+    /// Live nesting depth (recursion counter; transient during profiling).
+    nesting: u32,
+    /// Instances nested within other static constructs:
+    /// `nested_in[ancestor_head] = count`. Used for the paper's Fig. 6(b)
+    /// "remove constructs with a single nested instance" step.
+    pub nested_in: HashMap<Pc, u64>,
+}
+
+impl ConstructProfile {
+    fn new(id: ConstructId) -> Self {
+        ConstructProfile {
+            id,
+            ttotal: 0,
+            inst: 0,
+            edges: HashMap::new(),
+            nesting: 0,
+            nested_in: HashMap::new(),
+        }
+    }
+
+    /// Mean instance duration in instructions (the `Tdur` used to classify
+    /// violating dependences). Zero when no instance completed.
+    pub fn tdur_mean(&self) -> u64 {
+        self.ttotal.checked_div(self.inst).unwrap_or(0)
+    }
+
+    /// Edges of `kind` whose minimum distance does not exceed the mean
+    /// duration — the paper's *violating* dependences (`Tdep <= Tdur`).
+    pub fn violating(&self, kind: DepKind) -> impl Iterator<Item = (&EdgeKey, &EdgeStat)> {
+        let tdur = self.tdur_mean();
+        self.edges
+            .iter()
+            .filter(move |(k, s)| k.kind == kind && s.min_tdep <= tdur)
+    }
+
+    /// Number of distinct violating static edges of `kind`.
+    pub fn violating_count(&self, kind: DepKind) -> usize {
+        self.violating(kind).count()
+    }
+
+    /// Number of distinct static edges of `kind` (violating or not).
+    pub fn edge_count(&self, kind: DepKind) -> usize {
+        self.edges.keys().filter(|k| k.kind == kind).count()
+    }
+}
+
+/// The whole-program dependence profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepProfile {
+    constructs: HashMap<Pc, ConstructProfile>,
+    /// Total instructions executed by the profiled run.
+    pub total_steps: u64,
+}
+
+impl DepProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        DepProfile::default()
+    }
+
+    /// The profile entry for a construct, if it ever started an instance.
+    pub fn construct(&self, head: Pc) -> Option<&ConstructProfile> {
+        self.constructs.get(&head)
+    }
+
+    /// Iterates all constructs in arbitrary order.
+    pub fn constructs(&self) -> impl Iterator<Item = &ConstructProfile> {
+        self.constructs.values()
+    }
+
+    /// Number of profiled static constructs.
+    pub fn len(&self) -> usize {
+        self.constructs.len()
+    }
+
+    /// Whether no construct was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.constructs.is_empty()
+    }
+
+    fn entry(&mut self, id: ConstructId) -> &mut ConstructProfile {
+        self.constructs
+            .entry(id.head)
+            .or_insert_with(|| ConstructProfile::new(id))
+    }
+
+    /// Notes that an instance of `id` started (push). Maintains the
+    /// recursion nesting counter.
+    pub fn on_push(&mut self, id: ConstructId) {
+        self.entry(id).nesting += 1;
+    }
+
+    /// Notes that an instance of `id` completed (pop), running from
+    /// `t_enter` to `t_exit`; `ancestors` are the static heads of the
+    /// instances still open on the indexing stack (for nesting statistics).
+    pub fn on_pop(
+        &mut self,
+        id: ConstructId,
+        t_enter: Time,
+        t_exit: Time,
+        ancestors: impl Iterator<Item = Pc>,
+    ) {
+        let e = self.entry(id);
+        e.inst += 1;
+        debug_assert!(e.nesting > 0, "pop without matching push");
+        e.nesting = e.nesting.saturating_sub(1);
+        // Recursion fix (paper, "Recursion"): aggregate Ttotal only for the
+        // outermost live instance of this static construct.
+        if e.nesting == 0 {
+            e.ttotal += t_exit.saturating_sub(t_enter);
+        }
+        for a in ancestors {
+            if a != id.head {
+                *e.nested_in.entry(a).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The paper's `Profile()` procedure (Table II): records a dependence
+    /// of `kind` from `(head_pc, t_head)` to `(tail_pc, t_tail)`, where
+    /// `head_node` is the construct instance that encloses the head access.
+    ///
+    /// Walks bottom-up through completed enclosing instances, adding or
+    /// tightening the edge in each one's profile; stops at the first active
+    /// instance (intra-construct from there up) or at a node whose slot was
+    /// retired and reused (its window guarantee makes the edge irrelevant).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_dependence(
+        &mut self,
+        pool: &ConstructPool,
+        kind: DepKind,
+        head_pc: Pc,
+        head_node: NodeRef,
+        t_head: Time,
+        tail_pc: Pc,
+        t_tail: Time,
+        addr: u32,
+    ) {
+        let tdep = t_tail.saturating_sub(t_head);
+        let mut cur = Some(head_node);
+        while let Some(r) = cur {
+            // Stale generation: node retired and reused. Stop (Table II's
+            // `c.Tenter <= Th < c.Texit` fails for the new occupant).
+            let Some(node) = pool.resolve(r) else { break };
+            // Active instance: the dependence is internal to it and to all
+            // of its ancestors.
+            let Some(t_exit) = node.t_exit else { break };
+            debug_assert!(
+                node.t_enter <= t_head && t_head < t_exit.max(node.t_enter + 1),
+                "head access outside its enclosing instance window"
+            );
+            let id = ConstructId::new(node.label, node.kind);
+            let e = self.entry(id);
+            let stat = e
+                .edges
+                .entry(EdgeKey { kind, head: head_pc, tail: tail_pc })
+                .or_insert(EdgeStat { min_tdep: u64::MAX, count: 0, sample_addr: addr });
+            stat.count += 1;
+            if tdep < stat.min_tdep {
+                stat.min_tdep = tdep;
+                stat.sample_addr = addr;
+            }
+            cur = node.parent;
+        }
+    }
+
+    /// Total violating static edges of `kind` across all constructs
+    /// (Fig. 6's normalization denominator).
+    pub fn total_violating(&self, kind: DepKind) -> usize {
+        self.constructs.values().map(|c| c.violating_count(kind)).sum()
+    }
+
+    /// Adds `ttotal`/`inst` directly to a construct's duration statistics
+    /// (used by offline profile builders such as the oracle).
+    pub fn merge_duration(&mut self, id: ConstructId, ttotal: u64, inst: u64) {
+        let e = self.entry(id);
+        e.ttotal += ttotal;
+        e.inst += inst;
+    }
+
+    /// Merges an edge statistic into a construct's profile, keeping the
+    /// minimum distance and summing counts.
+    pub fn merge_edge(&mut self, construct: ConstructId, key: EdgeKey, stat: EdgeStat) {
+        let e = self.entry(construct);
+        let s = e.edges.entry(key).or_insert(EdgeStat {
+            min_tdep: u64::MAX,
+            count: 0,
+            sample_addr: stat.sample_addr,
+        });
+        s.count += stat.count;
+        if stat.min_tdep < s.min_tdep {
+            s.min_tdep = stat.min_tdep;
+            s.sample_addr = stat.sample_addr;
+        }
+    }
+
+    /// Merges a nesting count (descendant instances observed inside an
+    /// ancestor construct).
+    pub fn merge_nested(&mut self, descendant: ConstructId, ancestor: Pc, count: u64) {
+        *self.entry(descendant).nested_in.entry(ancestor).or_insert(0) += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::ConstructKind;
+    use crate::pool::ConstructPool;
+
+    fn cid(pc: u32, kind: ConstructKind) -> ConstructId {
+        ConstructId::new(Pc(pc), kind)
+    }
+
+    #[test]
+    fn ttotal_and_inst_accumulate() {
+        let mut p = DepProfile::new();
+        let id = cid(5, ConstructKind::Loop);
+        for i in 0..3u64 {
+            p.on_push(id);
+            p.on_pop(id, i * 10, i * 10 + 4, std::iter::empty());
+        }
+        let c = p.construct(Pc(5)).unwrap();
+        assert_eq!(c.inst, 3);
+        assert_eq!(c.ttotal, 12);
+        assert_eq!(c.tdur_mean(), 4);
+    }
+
+    #[test]
+    fn recursion_counts_outermost_only() {
+        let mut p = DepProfile::new();
+        let f = cid(7, ConstructKind::Method);
+        // f calls f: push f@0, push f@2, pop f@8 (inner), pop f@10 (outer).
+        p.on_push(f);
+        p.on_push(f);
+        p.on_pop(f, 2, 8, std::iter::empty());
+        p.on_pop(f, 0, 10, std::iter::empty());
+        let c = p.construct(Pc(7)).unwrap();
+        assert_eq!(c.inst, 2, "both instances counted");
+        assert_eq!(c.ttotal, 10, "inner duration not double-counted");
+    }
+
+    #[test]
+    fn record_dependence_updates_completed_ancestors_only() {
+        let mut pool = ConstructPool::new(16, 4);
+        let mut p = DepProfile::new();
+        // main (active) > loop iteration (completed) > if (completed).
+        let main = pool.push_instance(Pc(0), ConstructKind::Method, None, 0);
+        p.on_push(cid(0, ConstructKind::Method));
+        let it = pool.push_instance(Pc(10), ConstructKind::Loop, Some(main), 5);
+        p.on_push(cid(10, ConstructKind::Loop));
+        let iff = pool.push_instance(Pc(20), ConstructKind::Branch, Some(it), 6);
+        p.on_push(cid(20, ConstructKind::Branch));
+        // Head access at t=7 inside `iff`.
+        pool.complete_instance(iff, 8);
+        p.on_pop(cid(20, ConstructKind::Branch), 6, 8, std::iter::empty());
+        pool.complete_instance(it, 9);
+        p.on_pop(cid(10, ConstructKind::Loop), 5, 9, std::iter::empty());
+        // Tail at t=12; main still active.
+        p.record_dependence(&pool, DepKind::Raw, Pc(100), iff, 7, Pc(200), 12, 3);
+
+        let key = EdgeKey { kind: DepKind::Raw, head: Pc(100), tail: Pc(200) };
+        assert_eq!(
+            p.construct(Pc(20)).unwrap().edges[&key],
+            EdgeStat { min_tdep: 5, count: 1, sample_addr: 3 }
+        );
+        assert_eq!(
+            p.construct(Pc(10)).unwrap().edges[&key],
+            EdgeStat { min_tdep: 5, count: 1, sample_addr: 3 }
+        );
+        assert!(
+            p.construct(Pc(0)).unwrap().edges.is_empty(),
+            "active main must not record (intra-construct)"
+        );
+    }
+
+    #[test]
+    fn min_tdep_is_kept() {
+        let mut pool = ConstructPool::new(16, 4);
+        let mut p = DepProfile::new();
+        let n = pool.push_instance(Pc(10), ConstructKind::Loop, None, 0);
+        p.on_push(cid(10, ConstructKind::Loop));
+        pool.complete_instance(n, 10);
+        p.on_pop(cid(10, ConstructKind::Loop), 0, 10, std::iter::empty());
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 5, Pc(2), 50, 7); // 45
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 8, Pc(2), 20, 9); // 12
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 2, Pc(2), 90, 7); // 88
+        let key = EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(2) };
+        let stat = p.construct(Pc(10)).unwrap().edges[&key];
+        assert_eq!(stat.min_tdep, 12);
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.sample_addr, 9, "address follows the minimum");
+    }
+
+    #[test]
+    fn retired_nodes_stop_the_walk() {
+        let mut pool = ConstructPool::new(1, 4);
+        let mut p = DepProfile::new();
+        let a = pool.push_instance(Pc(10), ConstructKind::Loop, None, 0);
+        p.on_push(cid(10, ConstructKind::Loop));
+        pool.complete_instance(a, 10);
+        p.on_pop(cid(10, ConstructKind::Loop), 0, 10, std::iter::empty());
+        // Force reuse of a's slot at t=30 (completed 20 ago > duration 10).
+        let _b = pool.push_instance(Pc(99), ConstructKind::Loop, None, 30);
+        // A dependence whose head ref is the stale `a` must be dropped.
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), a, 5, Pc(2), 31, 0);
+        assert!(p.construct(Pc(10)).unwrap().edges.is_empty());
+    }
+
+    #[test]
+    fn violating_classification_uses_mean_duration() {
+        let mut p = DepProfile::new();
+        let id = cid(3, ConstructKind::Method);
+        p.on_push(id);
+        p.on_pop(id, 0, 100, std::iter::empty()); // Tdur = 100
+        let c = p.entry(id);
+        c.edges.insert(
+            EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(2) },
+            EdgeStat { min_tdep: 50, count: 1, sample_addr: 0 }, // violating (50 <= 100)
+        );
+        c.edges.insert(
+            EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(3) },
+            EdgeStat { min_tdep: 150, count: 1, sample_addr: 0 }, // fine (150 > 100)
+        );
+        c.edges.insert(
+            EdgeKey { kind: DepKind::War, head: Pc(4), tail: Pc(5) },
+            EdgeStat { min_tdep: 10, count: 1, sample_addr: 0 }, // violating, different kind
+        );
+        let c = p.construct(Pc(3)).unwrap();
+        assert_eq!(c.violating_count(DepKind::Raw), 1);
+        assert_eq!(c.violating_count(DepKind::War), 1);
+        assert_eq!(c.violating_count(DepKind::Waw), 0);
+        assert_eq!(c.edge_count(DepKind::Raw), 2);
+        assert_eq!(p.total_violating(DepKind::Raw), 1);
+    }
+
+    #[test]
+    fn nesting_statistics_recorded() {
+        let mut p = DepProfile::new();
+        let inner = cid(10, ConstructKind::Loop);
+        let outer = Pc(1);
+        p.on_push(inner);
+        p.on_pop(inner, 0, 5, [outer].into_iter());
+        p.on_push(inner);
+        p.on_pop(inner, 6, 9, [outer].into_iter());
+        let c = p.construct(Pc(10)).unwrap();
+        assert_eq!(c.nested_in[&outer], 2);
+    }
+}

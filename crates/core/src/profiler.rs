@@ -1,0 +1,476 @@
+//! The online Alchemist profiler, as a [`TraceSink`].
+//!
+//! Wires the three mechanisms together:
+//!
+//! * VM control events drive the [`IndexStack`] (instrumentation rules),
+//! * VM memory events update the [`ShadowMemory`], and
+//! * every detected dependence is pushed through
+//!   [`DepProfile::record_dependence`] (the Table II bottom-up walk).
+//!
+//! By default only *globally visible* memory (the global segment) is
+//! profiled: in the futures execution model the paper targets, a spawned
+//! construct gets its own stack, so frame-local reuse of stack addresses
+//! between unrelated calls is not a real dependence. Set
+//! [`ProfileConfig::trace_frame_memory`] to include frame memory (useful
+//! for the indexing ablation).
+
+use crate::construct::{ConstructId, DepKind};
+use crate::index::IndexStack;
+use crate::pool::{ConstructPool, PoolStats};
+use crate::profile::DepProfile;
+use crate::shadow::{Access, ShadowMemory};
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{BlockId, Module, Pc, Time, TraceSink};
+
+/// How much dynamic context the index tree captures.
+///
+/// [`IndexMode::Full`] is Alchemist; [`IndexMode::CallContextOnly`] is the
+/// baseline the paper argues against in section III ("Inadequacy of
+/// Context Sensitivity"): only procedure constructs are indexed, so
+/// loop-carried dependences cannot be separated from same-iteration ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Full execution indexing: procedures, loop iterations, conditionals.
+    #[default]
+    Full,
+    /// Calling-context indexing only (the [2]/[6]/[8]-style baseline).
+    CallContextOnly,
+}
+
+/// Profiler tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Construct-pool capacity before reuse is attempted (paper: 1M).
+    pub pool_capacity: usize,
+    /// Retirement-queue entries scanned per allocation.
+    pub pool_scan_cap: usize,
+    /// Distinct read sites kept per address between writes.
+    pub reader_cap: usize,
+    /// Also profile frame (stack) memory, not just globals.
+    pub trace_frame_memory: bool,
+    /// Record nesting statistics (needed for the Fig. 6(b) removal step).
+    pub track_nesting: bool,
+    /// Context captured by the index (the E14 ablation knob).
+    pub index_mode: IndexMode,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            pool_capacity: 1_000_000,
+            pool_scan_cap: 64,
+            reader_cap: 8,
+            trace_frame_memory: false,
+            track_nesting: true,
+            index_mode: IndexMode::Full,
+        }
+    }
+}
+
+/// The online profiler. Create with [`AlchemistProfiler::new`], pass to
+/// [`alchemist_vm::run`], then call [`AlchemistProfiler::into_profile`].
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_core::{AlchemistProfiler, ProfileConfig};
+/// use alchemist_vm::{compile_source, run, ExecConfig};
+///
+/// let module = compile_source(
+///     "int g; int main() { int i; for (i = 0; i < 4; i++) g += i; return g; }",
+/// )?;
+/// let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+/// let outcome = run(&module, &ExecConfig::default(), &mut prof).unwrap();
+/// let profile = prof.into_profile(outcome.steps);
+/// assert!(profile.len() >= 2); // main + the loop, at least
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+#[derive(Debug)]
+pub struct AlchemistProfiler<'m> {
+    module: &'m Module,
+    config: ProfileConfig,
+    stack: IndexStack,
+    pool: ConstructPool,
+    shadow: ShadowMemory,
+    profile: DepProfile,
+}
+
+impl<'m> AlchemistProfiler<'m> {
+    /// Creates a profiler for one run of `module`.
+    pub fn new(module: &'m Module, config: ProfileConfig) -> Self {
+        AlchemistProfiler {
+            module,
+            stack: IndexStack::new(config.track_nesting),
+            pool: ConstructPool::new(config.pool_capacity, config.pool_scan_cap),
+            shadow: ShadowMemory::with_dense_limit(
+                config.reader_cap,
+                module.global_words,
+            ),
+            profile: DepProfile::new(),
+            config,
+        }
+    }
+
+    fn traced(&self, addr: u32) -> bool {
+        self.config.trace_frame_memory || addr < self.module.global_words
+    }
+
+    /// Pool behaviour counters (for the pool ablation).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Deepest construct nesting observed (the paper's `L`).
+    pub fn max_depth(&self) -> usize {
+        self.stack.max_depth
+    }
+
+    /// Finishes the run and extracts the profile. `total_steps` is the
+    /// run's final instruction count (used for normalization in reports).
+    pub fn into_profile(mut self, total_steps: u64) -> DepProfile {
+        // Close anything left open (only happens after a trap).
+        self.stack.finalize(&mut self.pool, &mut self.profile, total_steps);
+        self.profile.total_steps = total_steps;
+        self.profile
+    }
+}
+
+impl TraceSink for AlchemistProfiler<'_> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32) {
+        let head = self.module.funcs[func.0 as usize].entry;
+        self.stack.enter_function(&mut self.pool, &mut self.profile, head, t);
+    }
+
+    fn on_exit_function(&mut self, t: Time, _func: FuncId) {
+        self.stack.exit_function(&mut self.pool, &mut self.profile, t);
+    }
+
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        if self.config.index_mode == IndexMode::CallContextOnly {
+            return;
+        }
+        self.stack.block_entry(&mut self.pool, &mut self.profile, block, t);
+    }
+
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool) {
+        if self.config.index_mode == IndexMode::CallContextOnly {
+            return;
+        }
+        let kind = self
+            .module
+            .analysis
+            .predicate_kind(pc)
+            .map(ConstructId::kind_of_pred)
+            .expect("predicate event from a non-predicate instruction");
+        let ipdom = self.module.analysis.block(block).ipdom;
+        self.stack
+            .predicate(&mut self.pool, &mut self.profile, pc, kind, ipdom, t);
+    }
+
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        if !self.traced(addr) {
+            return;
+        }
+        let access = Access { pc, t, node: self.stack.current() };
+        if let Some(dep) = self.shadow.on_read(addr, access) {
+            self.profile.record_dependence(
+                &self.pool,
+                DepKind::Raw,
+                dep.head.pc,
+                dep.head.node,
+                dep.head.t,
+                pc,
+                t,
+                dep.addr,
+            );
+        }
+    }
+
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        if !self.traced(addr) {
+            return;
+        }
+        let access = Access { pc, t, node: self.stack.current() };
+        let (waw, wars) = self.shadow.on_write(addr, access);
+        if let Some(dep) = waw {
+            self.profile.record_dependence(
+                &self.pool,
+                DepKind::Waw,
+                dep.head.pc,
+                dep.head.node,
+                dep.head.t,
+                pc,
+                t,
+                dep.addr,
+            );
+        }
+        for dep in wars {
+            self.profile.record_dependence(
+                &self.pool,
+                DepKind::War,
+                dep.head.pc,
+                dep.head.node,
+                dep.head.t,
+                pc,
+                t,
+                dep.addr,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::ConstructKind;
+    use alchemist_vm::{compile_source, run, ExecConfig};
+
+    fn profile_src(src: &str) -> (DepProfile, Module) {
+        let module = compile_source(src).unwrap();
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        let outcome = run(&module, &ExecConfig::default(), &mut prof).unwrap();
+        (prof.into_profile(outcome.steps), module)
+    }
+
+    fn profile_src_with(
+        src: &str,
+        config: ProfileConfig,
+        input: Vec<i64>,
+    ) -> (DepProfile, Module) {
+        let module = compile_source(src).unwrap();
+        let mut prof = AlchemistProfiler::new(&module, config);
+        let outcome = run(&module, &ExecConfig::with_input(input), &mut prof).unwrap();
+        (prof.into_profile(outcome.steps), module)
+    }
+
+    #[test]
+    fn main_is_profiled_once_with_full_duration() {
+        let (p, m) = profile_src("int main() { return 0; }");
+        let main = p.construct(m.funcs[0].entry).unwrap();
+        assert_eq!(main.inst, 1);
+        assert_eq!(main.id.kind, ConstructKind::Method);
+        assert_eq!(main.ttotal, p.total_steps);
+    }
+
+    #[test]
+    fn loop_iterations_counted_as_instances() {
+        let (p, m) = profile_src(
+            "int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }",
+        );
+        let lp = p
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .expect("loop construct profiled");
+        // The for predicate executes 6 times; 6 instances are opened and
+        // closed (the final, falsified test still brackets an instance).
+        assert_eq!(lp.inst, 6);
+        let _ = m;
+    }
+
+    #[test]
+    fn cross_iteration_raw_is_detected_on_loop() {
+        // g += i: the write at iteration i is read at iteration i+1 — a
+        // cross-boundary RAW for the loop construct.
+        let (p, _m) = profile_src(
+            "int g; int main() { int i; for (i = 0; i < 5; i++) g += 1; return g; }",
+        );
+        let lp = p
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .unwrap();
+        assert!(
+            lp.edges.keys().any(|k| k.kind == DepKind::Raw),
+            "loop-carried RAW on g must cross iteration boundary"
+        );
+        assert!(
+            lp.edges.keys().any(|k| k.kind == DepKind::Waw),
+            "loop-carried WAW on g"
+        );
+    }
+
+    #[test]
+    fn independent_iterations_have_no_cross_deps() {
+        // Each iteration writes a distinct cell: no cross-iteration edges
+        // on the loop construct.
+        let (p, _m) = profile_src(
+            "int a[8]; int main() { int i; for (i = 0; i < 8; i++) a[i] = i; return a[3]; }",
+        );
+        let lp = p
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .unwrap();
+        let cross_on_array: Vec<_> = lp
+            .edges
+            .keys()
+            .filter(|k| matches!(k.kind, DepKind::Waw | DepKind::War))
+            .collect();
+        assert!(
+            cross_on_array.is_empty(),
+            "disjoint writes must not alias: {cross_on_array:?}"
+        );
+    }
+
+    #[test]
+    fn frame_memory_ignored_by_default_but_traceable() {
+        let src = "int main() { int x = 0; int i; \
+                    for (i = 0; i < 4; i++) x += i; return x; }";
+        let (p_default, _) = profile_src(src);
+        let loop_default = p_default
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .unwrap();
+        assert_eq!(
+            loop_default.edges.len(),
+            0,
+            "locals not traced by default"
+        );
+        let cfg = ProfileConfig { trace_frame_memory: true, ..Default::default() };
+        let (p_frames, _) = profile_src_with(src, cfg, vec![]);
+        let loop_frames = p_frames
+            .constructs()
+            .find(|c| c.id.kind == ConstructKind::Loop)
+            .unwrap();
+        assert!(
+            loop_frames.edges.keys().any(|k| k.kind == DepKind::Raw),
+            "with frame tracing the x accumulation shows up"
+        );
+    }
+
+    #[test]
+    fn procedure_to_continuation_raw_detected() {
+        // Paper Fig. 1/2 shape: f writes a global, the continuation reads it.
+        let (p, m) = profile_src(
+            "int out;
+             void f() { out = 42; }
+             int main() { f(); return out; }",
+        );
+        let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
+        let raw: Vec<_> = f.edges.keys().filter(|k| k.kind == DepKind::Raw).collect();
+        assert_eq!(raw.len(), 1, "exactly the out write->read edge");
+        // The distance is tiny (return + read), hence violating.
+        assert_eq!(f.violating_count(DepKind::Raw), 1);
+    }
+
+    #[test]
+    fn intra_construct_dependences_are_discarded() {
+        // Both accesses inside f in the same call: nothing recorded for f.
+        let (p, m) = profile_src(
+            "int g;
+             void f() { g = 1; g = g + 1; }
+             int main() { f(); return 0; }",
+        );
+        let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
+        assert!(
+            f.edges.is_empty(),
+            "write->read inside one call is intra-construct: {:?}",
+            f.edges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dependence_between_calls_attributed_to_first_call() {
+        // f() called twice; the second call reads what the first wrote.
+        // The edge belongs to Method f (crosses its boundary).
+        let (p, m) = profile_src(
+            "int g;
+             void f() { g = g + 1; }
+             int main() { f(); f(); return g; }",
+        );
+        let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
+        assert!(f.edges.keys().any(|k| k.kind == DepKind::Raw));
+        assert_eq!(f.inst, 2);
+    }
+
+    #[test]
+    fn waw_and_war_detected_across_calls() {
+        let (p, m) = profile_src(
+            "int g; int h;
+             void f() { g = 7; h = g; }
+             int main() { f(); f(); return g + h; }",
+        );
+        let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
+        assert!(f.edges.keys().any(|k| k.kind == DepKind::Waw), "g written twice");
+        assert!(
+            f.edges.keys().any(|k| k.kind == DepKind::War),
+            "g read (call 1, h = g) then written (call 2)"
+        );
+    }
+
+    #[test]
+    fn pool_stats_and_depth_reported() {
+        let module = compile_source(
+            "int g; int main() { int i; for (i = 0; i < 50; i++) g += i; return g; }",
+        )
+        .unwrap();
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        let outcome = run(&module, &ExecConfig::default(), &mut prof).unwrap();
+        assert!(prof.max_depth() >= 2);
+        assert!(prof.pool_stats().allocated >= 2);
+        let _ = prof.into_profile(outcome.steps);
+    }
+
+    #[test]
+    fn tiny_pool_still_produces_a_profile() {
+        let cfg = ProfileConfig { pool_capacity: 2, ..Default::default() };
+        let (p, _m) = profile_src_with(
+            "int g; int main() { int i; for (i = 0; i < 40; i++) g += i; return g; }",
+            cfg,
+            vec![],
+        );
+        assert!(p.total_steps > 0);
+        assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn total_steps_recorded() {
+        let (p, _m) = profile_src("int main() { return 1; }");
+        assert_eq!(p.total_steps, 2);
+    }
+
+    #[test]
+    fn call_context_only_mode_sees_no_loop_constructs() {
+        let src = "int g;
+            void bump() { g += 1; }
+            int main() { int i; for (i = 0; i < 6; i++) bump(); return g; }";
+        let cfg = ProfileConfig {
+            index_mode: crate::profiler::IndexMode::CallContextOnly,
+            ..Default::default()
+        };
+        let (p, m) = profile_src_with(src, cfg, vec![]);
+        assert!(
+            p.constructs().all(|c| c.id.kind == ConstructKind::Method),
+            "only procedures indexed in call-context mode"
+        );
+        // The cross-iteration dependence is still visible on `bump` (it
+        // crosses the call boundary), so the method profile survives...
+        let bump = p.construct(m.func_by_name("bump").unwrap().1.entry).unwrap();
+        assert!(bump.edges.keys().any(|k| k.kind == DepKind::Raw));
+    }
+
+    #[test]
+    fn call_context_only_mode_misses_loop_carried_deps() {
+        // The dependence is loop-carried but INLINE (no call): full
+        // indexing attributes it to the loop construct; the context-only
+        // baseline has no construct to hang it on at all (main is active).
+        let src =
+            "int g; int main() { int i; for (i = 0; i < 6; i++) g += i; return g; }";
+        let (full, _) = profile_src(src);
+        let full_loop_edges: usize = full
+            .constructs()
+            .filter(|c| c.id.kind == ConstructKind::Loop)
+            .map(|c| c.edges.len())
+            .sum();
+        assert!(full_loop_edges > 0, "full mode sees the loop-carried RAW");
+
+        let cfg = ProfileConfig {
+            index_mode: crate::profiler::IndexMode::CallContextOnly,
+            ..Default::default()
+        };
+        let (ctx, _) = profile_src_with(src, cfg, vec![]);
+        let total_edges: usize = ctx.constructs().map(|c| c.edges.len()).sum();
+        assert_eq!(
+            total_edges, 0,
+            "context-only profiling cannot attribute the loop-carried dep"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Shadow memory for online dependence detection.
+//!
+//! Every profiled memory word carries shadow state: the last write access
+//! and the set of distinct read sites since that write. Each access is
+//! tagged with its instruction, timestamp and the construct instance (index
+//! tree node) that was executing — enough to classify and attribute RAW,
+//! WAR and WAW dependences the moment the second access occurs:
+//!
+//! * a **read** forms a RAW edge with the last write;
+//! * a **write** forms a WAW edge with the last write and a WAR edge with
+//!   every recorded read since that write, then clears the read set.
+//!
+//! Keeping all *distinct read pcs* (rather than only the most recent read)
+//! preserves the static WAR edge set the paper reports in Table IV; the set
+//! is capped per address to bound memory, replacing the stalest entry on
+//! overflow.
+
+use crate::pool::NodeRef;
+use alchemist_vm::{Pc, Time};
+use std::collections::HashMap;
+
+/// One recorded access, tagged with attribution data `T` (the construct
+/// instance for the profiler, a task id for the parallel simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access<T = NodeRef> {
+    /// The accessing instruction.
+    pub pc: Pc,
+    /// When it happened.
+    pub t: Time,
+    /// Attribution tag: the construct instance (or task) executing at the
+    /// time of the access.
+    pub node: T,
+}
+
+/// A dependence detected between two accesses to the same address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectedDep<T = NodeRef> {
+    /// The earlier access (the dependence head).
+    pub head: Access<T>,
+    /// Tail instruction.
+    pub tail_pc: Pc,
+    /// Tail timestamp.
+    pub tail_t: Time,
+    /// The conflicting address (for resolving the variable name).
+    pub addr: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Cell<T> {
+    last_write: Option<Access<T>>,
+    /// Distinct read sites since the last write (tiny in practice).
+    reads: Vec<Access<T>>,
+}
+
+impl<T> Default for Cell<T> {
+    fn default() -> Self {
+        Cell { last_write: None, reads: Vec::new() }
+    }
+}
+
+/// Shadow state for the whole profiled address range.
+///
+/// Addresses below the *dense limit* (the global segment, whose size is
+/// known up front) are backed by a flat vector — the common case for every
+/// profiled access — while higher addresses (frame memory, only traced
+/// with [`trace_frame_memory`](crate::ProfileConfig::trace_frame_memory))
+/// fall back to a hash map. This mirrors the constant-factor indexing
+/// optimizations the paper cites from the PLDI'08 work.
+#[derive(Debug)]
+pub struct ShadowMemory<T = NodeRef> {
+    dense: Vec<Option<Cell<T>>>,
+    sparse: HashMap<u32, Cell<T>>,
+    reader_cap: usize,
+    /// Count of reads dropped because a cell's read set was full.
+    pub dropped_readers: u64,
+}
+
+impl<T: Copy> ShadowMemory<T> {
+    /// Creates shadow memory keeping at most `reader_cap` distinct read
+    /// sites per address between writes (sparse backing only).
+    pub fn new(reader_cap: usize) -> Self {
+        Self::with_dense_limit(reader_cap, 0)
+    }
+
+    /// Like [`ShadowMemory::new`], with addresses `0..dense_limit` backed
+    /// by a flat vector for O(1) access.
+    pub fn with_dense_limit(reader_cap: usize, dense_limit: u32) -> Self {
+        let mut dense = Vec::new();
+        dense.resize_with(dense_limit as usize, || None);
+        ShadowMemory {
+            dense,
+            sparse: HashMap::new(),
+            reader_cap: reader_cap.max(1),
+            dropped_readers: 0,
+        }
+    }
+
+    /// Number of addresses with shadow state.
+    pub fn len(&self) -> usize {
+        self.dense.iter().filter(|c| c.is_some()).count() + self.sparse.len()
+    }
+
+    /// Whether no address has been accessed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn cell(&mut self, addr: u32) -> &mut Cell<T> {
+        if (addr as usize) < self.dense.len() {
+            self.dense[addr as usize].get_or_insert_with(Cell::default)
+        } else {
+            self.sparse.entry(addr).or_default()
+        }
+    }
+
+    /// Records a read; returns the RAW dependence it completes, if any.
+    pub fn on_read(&mut self, addr: u32, access: Access<T>) -> Option<DetectedDep<T>> {
+        let reader_cap = self.reader_cap;
+        let mut dropped = false;
+        let cell = self.cell(addr);
+        // Track the read for future WAR detection.
+        if let Some(existing) = cell.reads.iter_mut().find(|r| r.pc == access.pc) {
+            // Same site read again: keep the later (more constraining) one.
+            *existing = access;
+        } else if cell.reads.len() < reader_cap {
+            cell.reads.push(access);
+        } else {
+            // Replace the stalest entry.
+            dropped = true;
+            if let Some(oldest) = cell.reads.iter_mut().min_by_key(|r| r.t) {
+                *oldest = access;
+            }
+        }
+        let dep = cell.last_write.map(|head| DetectedDep {
+            head,
+            tail_pc: access.pc,
+            tail_t: access.t,
+            addr,
+        });
+        if dropped {
+            self.dropped_readers += 1;
+        }
+        dep
+    }
+
+    /// Records a write; returns the WAW dependence (with the previous
+    /// write) and all WAR dependences (with reads since that write).
+    pub fn on_write(
+        &mut self,
+        addr: u32,
+        access: Access<T>,
+    ) -> (Option<DetectedDep<T>>, Vec<DetectedDep<T>>) {
+        let cell = self.cell(addr);
+        let waw = cell.last_write.map(|head| DetectedDep {
+            head,
+            tail_pc: access.pc,
+            tail_t: access.t,
+            addr,
+        });
+        let wars = cell
+            .reads
+            .drain(..)
+            .map(|head| DetectedDep { head, tail_pc: access.pc, tail_t: access.t, addr })
+            .collect();
+        cell.last_write = Some(access);
+        (waw, wars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::NodeId;
+
+    fn acc(pc: u32, t: Time) -> Access {
+        Access { pc: Pc(pc), t, node: NodeRef { id: NodeId(0), gen: 0 } }
+    }
+
+    #[test]
+    fn read_after_write_detects_raw() {
+        let mut s = ShadowMemory::new(8);
+        let (waw, wars) = s.on_write(100, acc(1, 10));
+        assert!(waw.is_none() && wars.is_empty());
+        let raw = s.on_read(100, acc(2, 15)).expect("RAW detected");
+        assert_eq!(raw.head.pc, Pc(1));
+        assert_eq!(raw.tail_pc, Pc(2));
+        assert_eq!(raw.tail_t, 15);
+    }
+
+    #[test]
+    fn read_without_prior_write_is_not_raw() {
+        let mut s = ShadowMemory::new(8);
+        assert!(s.on_read(5, acc(1, 1)).is_none());
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn write_after_write_detects_waw() {
+        let mut s = ShadowMemory::new(8);
+        s.on_write(7, acc(1, 1));
+        let (waw, _) = s.on_write(7, acc(2, 9));
+        let waw = waw.expect("WAW detected");
+        assert_eq!(waw.head.pc, Pc(1));
+        assert_eq!(waw.tail_pc, Pc(2));
+    }
+
+    #[test]
+    fn write_after_reads_detects_all_distinct_wars() {
+        let mut s = ShadowMemory::new(8);
+        s.on_write(7, acc(1, 1));
+        s.on_read(7, acc(10, 2));
+        s.on_read(7, acc(11, 3));
+        s.on_read(7, acc(10, 4)); // same site again: updated, not duplicated
+        let (_, wars) = s.on_write(7, acc(2, 9));
+        assert_eq!(wars.len(), 2);
+        let heads: Vec<_> = wars.iter().map(|w| (w.head.pc, w.head.t)).collect();
+        assert!(heads.contains(&(Pc(10), 4)), "same-site read keeps later time");
+        assert!(heads.contains(&(Pc(11), 3)));
+    }
+
+    #[test]
+    fn reads_cleared_after_write() {
+        let mut s = ShadowMemory::new(8);
+        s.on_read(7, acc(10, 2));
+        let (_, wars1) = s.on_write(7, acc(1, 5));
+        assert_eq!(wars1.len(), 1);
+        let (_, wars2) = s.on_write(7, acc(2, 6));
+        assert!(wars2.is_empty(), "read set cleared by the first write");
+    }
+
+    #[test]
+    fn addresses_are_independent() {
+        let mut s = ShadowMemory::new(8);
+        s.on_write(1, acc(1, 1));
+        assert!(s.on_read(2, acc(2, 2)).is_none());
+        assert!(s.on_read(1, acc(3, 3)).is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn reader_cap_replaces_stalest() {
+        let mut s = ShadowMemory::new(2);
+        s.on_read(1, acc(10, 1));
+        s.on_read(1, acc(11, 2));
+        s.on_read(1, acc(12, 3)); // evicts pc=10 (t=1)
+        assert_eq!(s.dropped_readers, 1);
+        let (_, wars) = s.on_write(1, acc(2, 9));
+        let pcs: Vec<_> = wars.iter().map(|w| w.head.pc).collect();
+        assert!(pcs.contains(&Pc(11)) && pcs.contains(&Pc(12)));
+        assert!(!pcs.contains(&Pc(10)));
+    }
+}

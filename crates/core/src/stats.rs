@@ -1,0 +1,208 @@
+//! Profile statistics: dependence-distance distributions and CSV export.
+//!
+//! The paper's analysis hinges on *where dependence distances fall relative
+//! to construct durations* (Fig. 1's `Tdep - Tdur` argument). The
+//! [`DistanceHistogram`] summarizes a construct's edge distances in
+//! duration-relative buckets, making the Fig. 2 "two clusters" pattern
+//! (short-distance violating edges vs cross-instance slack) quantitative.
+//! CSV exporters feed external plotting for the Fig. 6 scatter data.
+
+use crate::construct::DepKind;
+use crate::report::{ConstructReport, ProfileReport};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Distance distribution of one construct's edges, bucketed by the ratio
+/// `Tdep / Tdur` (duration-relative, so constructs of different sizes
+/// compare directly).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DistanceHistogram {
+    /// `Tdep <= Tdur/4` — deeply violating.
+    pub quarter: usize,
+    /// `Tdur/4 < Tdep <= Tdur` — violating.
+    pub within: usize,
+    /// `Tdur < Tdep <= 4*Tdur` — spawnable with a short join stall.
+    pub near: usize,
+    /// `Tdep > 4*Tdur` — ample slack.
+    pub far: usize,
+}
+
+impl DistanceHistogram {
+    /// Builds the histogram over one construct's edges of `kind`.
+    pub fn of(construct: &ConstructReport, kind: DepKind) -> Self {
+        let tdur = construct.tdur_mean.max(1);
+        let mut h = DistanceHistogram::default();
+        for e in construct.edges_of(kind) {
+            if e.min_tdep * 4 <= tdur {
+                h.quarter += 1;
+            } else if e.min_tdep <= tdur {
+                h.within += 1;
+            } else if e.min_tdep <= tdur * 4 {
+                h.near += 1;
+            } else {
+                h.far += 1;
+            }
+        }
+        h
+    }
+
+    /// Total edges counted.
+    pub fn total(&self) -> usize {
+        self.quarter + self.within + self.near + self.far
+    }
+
+    /// Violating edges (`Tdep <= Tdur`).
+    pub fn violating(&self) -> usize {
+        self.quarter + self.within
+    }
+}
+
+impl fmt::Display for DistanceHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<=T/4: {}  <=T: {}  <=4T: {}  >4T: {}",
+            self.quarter, self.within, self.near, self.far
+        )
+    }
+}
+
+/// Exports the ranked construct table as CSV (one row per construct), for
+/// plotting Fig. 6-style scatter charts externally.
+pub fn constructs_to_csv(report: &ProfileReport) -> String {
+    let mut out = String::from(
+        "rank,label,kind,line,ttotal,inst,tdur_mean,norm_size,\
+         violating_raw,violating_war,violating_waw,norm_violations\n",
+    );
+    for (i, c) in report.ranked().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{:.6},{},{},{},{:.6}",
+            i + 1,
+            csv_escape(&c.label),
+            c.kind,
+            c.line,
+            c.ttotal,
+            c.inst,
+            c.tdur_mean,
+            c.norm_size,
+            c.violating_raw,
+            c.violating_war,
+            c.violating_waw,
+            c.norm_violations,
+        );
+    }
+    out
+}
+
+/// Exports every dependence edge as CSV (one row per construct × edge).
+pub fn edges_to_csv(report: &ProfileReport) -> String {
+    let mut out = String::from(
+        "construct,kind,head_line,tail_line,var,min_tdep,count,violating\n",
+    );
+    for c in report.ranked() {
+        for e in &c.edges {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                csv_escape(&c.label),
+                e.kind,
+                e.head_line,
+                e.tail_line,
+                csv_escape(e.var.as_deref().unwrap_or("")),
+                e.min_tdep,
+                e.count,
+                e.violating,
+            );
+        }
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{AlchemistProfiler, ProfileConfig};
+    use alchemist_vm::{compile_source, run, ExecConfig};
+
+    fn report_for(src: &str) -> ProfileReport {
+        let module = compile_source(src).unwrap();
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        let outcome = run(&module, &ExecConfig::default(), &mut prof).unwrap();
+        let profile = prof.into_profile(outcome.steps);
+        ProfileReport::new(&profile, &module)
+    }
+
+    const SRC: &str = "
+        int near_; int far_; int sink;
+        void work() { near_ = 1; far_ = 2; }
+        int main() {
+            int i;
+            work();
+            sink += near_;                       // short distance
+            for (i = 0; i < 300; i++) sink += i; // long continuation
+            sink += far_;                        // long distance
+            return sink;
+        }";
+
+    #[test]
+    fn histogram_separates_near_and_far() {
+        let report = report_for(SRC);
+        let work = report.find("Method work").unwrap();
+        let h = DistanceHistogram::of(work, DepKind::Raw);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.violating(), 1, "{h}");
+        assert_eq!(h.far, 1, "{h}");
+        assert_eq!(
+            h.violating(),
+            work.violating_raw,
+            "histogram agrees with the report's violating count"
+        );
+    }
+
+    #[test]
+    fn histogram_display_lists_buckets() {
+        let h = DistanceHistogram { quarter: 1, within: 2, near: 3, far: 4 };
+        assert_eq!(h.to_string(), "<=T/4: 1  <=T: 2  <=4T: 3  >4T: 4");
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.violating(), 3);
+    }
+
+    #[test]
+    fn construct_csv_has_header_and_rows() {
+        let report = report_for(SRC);
+        let csv = constructs_to_csv(&report);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("rank,label,kind"));
+        assert_eq!(csv.lines().count(), report.ranked().len() + 1);
+        assert!(csv.contains("Method work"));
+    }
+
+    #[test]
+    fn edge_csv_contains_variables() {
+        let report = report_for(SRC);
+        let csv = edges_to_csv(&report);
+        assert!(csv.contains("near_"), "{csv}");
+        assert!(csv.contains("far_"), "{csv}");
+        assert!(csv.contains("true") && csv.contains("false"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        // Labels like `Loop (main, 14)` contain commas and must be quoted.
+        let report = report_for(SRC);
+        let csv = constructs_to_csv(&report);
+        assert!(csv.contains("\"Loop (main,"), "{csv}");
+    }
+}

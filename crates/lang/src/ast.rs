@@ -1,0 +1,371 @@
+//! Abstract syntax tree produced by the [`Parser`](crate::Parser).
+//!
+//! The AST is purely syntactic: names are plain strings. Name resolution and
+//! semantic checking lower it to the [`hir`](crate::hir) representation.
+
+use crate::pos::Span;
+use std::fmt;
+
+/// A complete translation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// File-scope variable declarations, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+/// A file-scope variable: `int g = 3;` or `int buf[1024];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// `Some(n)` for an array of `n` words, `None` for a scalar.
+    pub array_size: Option<i64>,
+    /// Optional constant initializer (scalars only).
+    pub init: Option<i64>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters, in order.
+    pub params: Vec<Param>,
+    /// `true` if declared `void`, `false` if declared `int`.
+    pub is_void: bool,
+    /// The function body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A formal parameter: `int x` or `int buf[]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// `true` for an array-reference parameter (`int a[]`).
+    pub is_array: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ ... }` statement sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location of the braces.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration: `int x = e;` or `int a[n];`.
+    Local {
+        /// Variable name.
+        name: String,
+        /// `Some(n)` for a local array of `n` words.
+        array_size: Option<i64>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for effect: `f(x);`.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }` — the conditional construct.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_blk: Block,
+        /// Taken when `cond == 0`, if present.
+        else_blk: Option<Block>,
+        /// Location of the `if` keyword / predicate.
+        span: Span,
+    },
+    /// `while (cond) { .. }` — a loop construct.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Location of the `while` keyword / predicate.
+        span: Span,
+    },
+    /// `do { .. } while (cond);` — a loop construct.
+    DoWhile {
+        /// Loop body (always executed at least once).
+        body: Block,
+        /// Loop condition.
+        cond: Expr,
+        /// Location of the `do` keyword.
+        span: Span,
+    },
+    /// `for (init; cond; step) { .. }` — a loop construct.
+    For {
+        /// Optional initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent means "always true").
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+        /// Location of the `for` keyword.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `return;` or `return e;`
+    Return {
+        /// The returned value, if any.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Local { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Break(span)
+            | Stmt::Continue(span)
+            | Stmt::Return { span, .. } => *span,
+            Stmt::Expr(e) => e.span(),
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (traps on divide-by-zero)
+    Div,
+    /// `%` (traps on divide-by-zero)
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<` (shift count masked to 0..63)
+    Shl,
+    /// `>>` (arithmetic; shift count masked to 0..63)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (yields 0 or 1).
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An assignable location: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LValue {
+    /// Variable name.
+    pub name: String,
+    /// `Some(i)` when the target is `name[i]`.
+    pub index: Option<Box<Expr>>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Scalar variable read, or bare array name in argument position.
+    Var(String, Span),
+    /// Array element read: `a[i]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation (including short-circuit `&&`/`||`).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `cond ? a : b` — a conditional construct.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment `lv = e` or compound assignment `lv op= e`.
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// `Some(op)` for compound assignment.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `++lv`, `lv++`, `--lv`, `lv--`.
+    IncDec {
+        /// Target location.
+        target: LValue,
+        /// `true` for `++`.
+        inc: bool,
+        /// `true` for prefix form (value after update).
+        prefix: bool,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, span) | Expr::Var(_, span) => *span,
+            Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::IncDec { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::Pos;
+
+    #[test]
+    fn stmt_span_delegates_to_expr() {
+        let sp = Span::at(Pos::new(5, 2, 20));
+        let s = Stmt::Expr(Expr::Int(1, sp));
+        assert_eq!(s.span(), sp);
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(BinOp::LogOr.to_string(), "||");
+        assert_eq!(UnOp::BitNot.to_string(), "~");
+    }
+}

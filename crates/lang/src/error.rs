@@ -1,0 +1,100 @@
+//! Diagnostics for the mini-C frontend.
+
+use crate::pos::Span;
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the frontend that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and semantic checking.
+    Resolve,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Resolve => write!(f, "resolve"),
+        }
+    }
+}
+
+/// A source-located frontend error.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::parse_program;
+/// let err = parse_program("int main( {").unwrap_err();
+/// assert!(err.to_string().contains("parse error"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    phase: Phase,
+    span: Span,
+    message: String,
+}
+
+impl LangError {
+    /// Creates an error attributed to `span`.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        LangError { phase, span, message: message.into() }
+    }
+
+    /// The frontend phase that raised the error.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Where in the source the error was detected.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The human-readable message, without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::{Pos, Span};
+
+    #[test]
+    fn display_includes_phase_location_and_message() {
+        let e = LangError::new(
+            Phase::Parse,
+            Span::at(Pos::new(4, 9, 40)),
+            "expected `;`",
+        );
+        assert_eq!(e.to_string(), "parse error at 4:9: expected `;`");
+        assert_eq!(e.phase(), Phase::Parse);
+        assert_eq!(e.message(), "expected `;`");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = LangError::new(Phase::Lex, Span::default(), "bad char");
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,444 @@
+//! Resolved intermediate representation.
+//!
+//! The [`Resolver`](crate::Resolver) lowers the syntactic
+//! [`Program`](crate::ast::Program) into this form: every variable reference
+//! is resolved to a global or frame slot, every call to a function id or
+//! intrinsic, and all semantic rules are checked. The bytecode compiler in
+//! `alchemist-vm` consumes this representation directly.
+
+use crate::ast::{BinOp, UnOp};
+use crate::pos::Span;
+use std::fmt;
+
+/// Index of a function within [`HProgram::functions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Index of a global within [`HProgram::globals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Index of a local slot within a function frame (params come first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g#{}", self.0)
+    }
+}
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l#{}", self.0)
+    }
+}
+
+/// Where a resolved variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarSite {
+    /// A file-scope variable.
+    Global(GlobalId),
+    /// A frame slot of the current function.
+    Local(LocalId),
+}
+
+/// The storage class of a resolved variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// One word holding the value itself.
+    Scalar,
+    /// `size` contiguous words owned by this declaration.
+    Array {
+        /// Number of words.
+        size: u32,
+    },
+    /// One word holding the base address of an array owned elsewhere
+    /// (an `int a[]` parameter).
+    ArrayRef,
+}
+
+impl Storage {
+    /// Whether the variable is indexable (`a[i]` is legal).
+    pub fn is_array(self) -> bool {
+        !matches!(self, Storage::Scalar)
+    }
+
+    /// Number of frame/global words the declaration occupies.
+    pub fn words(self) -> u32 {
+        match self {
+            Storage::Scalar | Storage::ArrayRef => 1,
+            Storage::Array { size } => size,
+        }
+    }
+}
+
+/// A resolved variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HVar {
+    /// Where the variable lives.
+    pub site: VarSite,
+    /// How it is stored.
+    pub storage: Storage,
+    /// Source location of the reference.
+    pub span: Span,
+}
+
+/// A resolved global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HGlobal {
+    /// Source name.
+    pub name: String,
+    /// Scalar or array storage (never `ArrayRef` at file scope).
+    pub storage: Storage,
+    /// Initial value for scalars (arrays are zero-initialized).
+    pub init: i64,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A resolved local slot (parameters occupy the first slots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HLocal {
+    /// Source name.
+    pub name: String,
+    /// Scalar, in-frame array, or array-reference parameter.
+    pub storage: Storage,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A resolved function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HFunction {
+    /// Source name.
+    pub name: String,
+    /// Number of parameters (the first `param_count` locals).
+    pub param_count: u32,
+    /// All frame slots: parameters first, then declared locals in order of
+    /// first appearance.
+    pub locals: Vec<HLocal>,
+    /// `true` if declared `void`.
+    pub is_void: bool,
+    /// The resolved body.
+    pub body: HBlock,
+    /// Signature location (used to label the procedure construct).
+    pub span: Span,
+}
+
+impl HFunction {
+    /// Total words needed for one activation frame.
+    pub fn frame_words(&self) -> u32 {
+        self.locals.iter().map(|l| l.storage.words()).sum()
+    }
+}
+
+/// A resolved statement block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HBlock {
+    /// Statements in order.
+    pub stmts: Vec<HStmt>,
+}
+
+/// A resolved statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HStmt {
+    /// Evaluate for effect.
+    Expr(HExpr),
+    /// Initialize a scalar local (from a declaration with initializer).
+    Init {
+        /// The local being initialized.
+        local: LocalId,
+        /// Initializer value.
+        value: HExpr,
+        /// Declaration site.
+        span: Span,
+    },
+    /// Conditional construct.
+    If {
+        /// Condition (predicate instruction site).
+        cond: HExpr,
+        /// Then branch.
+        then_blk: HBlock,
+        /// Else branch, if any.
+        else_blk: Option<HBlock>,
+        /// Location of the `if` predicate.
+        span: Span,
+    },
+    /// `while` loop construct.
+    While {
+        /// Condition.
+        cond: HExpr,
+        /// Body.
+        body: HBlock,
+        /// Location of the loop predicate.
+        span: Span,
+    },
+    /// `do { .. } while` loop construct.
+    DoWhile {
+        /// Body.
+        body: HBlock,
+        /// Condition.
+        cond: HExpr,
+        /// Location of the `do` keyword.
+        span: Span,
+    },
+    /// `for` loop construct (init hoisted by the resolver).
+    For {
+        /// Initialization, if any.
+        init: Option<Box<HStmt>>,
+        /// Condition; `None` means always true.
+        cond: Option<HExpr>,
+        /// Step expression.
+        step: Option<HExpr>,
+        /// Body.
+        body: HBlock,
+        /// Location of the `for` predicate.
+        span: Span,
+    },
+    /// Exit the innermost loop.
+    Break(Span),
+    /// Jump to the innermost loop's next iteration.
+    Continue(Span),
+    /// Return from the function.
+    Return {
+        /// Returned value (implicitly 0 for `int` functions falling off the end).
+        value: Option<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A nested block (scoping already handled; kept for spans).
+    Block(HBlock),
+}
+
+/// An actual argument of a resolved call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HArg {
+    /// A by-value scalar argument.
+    Scalar(HExpr),
+    /// An array passed by reference.
+    Array(HVar),
+}
+
+/// Built-in functions provided by the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `print(x)`: append `x` to the program output; returns `x`.
+    Print,
+    /// `input(i)`: read word `i` of the input buffer (0 past the end).
+    Input,
+    /// `input_len()`: number of words in the input buffer.
+    InputLen,
+    /// `output(i, x)`: append `x` to the output buffer; returns the new length.
+    Output,
+}
+
+impl Intrinsic {
+    /// Resolves an intrinsic by source name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "print" => Intrinsic::Print,
+            "input" => Intrinsic::Input,
+            "input_len" => Intrinsic::InputLen,
+            "output" => Intrinsic::Output,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Print | Intrinsic::Input => 1,
+            Intrinsic::InputLen => 0,
+            Intrinsic::Output => 2,
+        }
+    }
+
+    /// Source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Print => "print",
+            Intrinsic::Input => "input",
+            Intrinsic::InputLen => "input_len",
+            Intrinsic::Output => "output",
+        }
+    }
+}
+
+/// A resolved expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HExpr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Scalar load.
+    Load(HVar),
+    /// Array element load.
+    LoadIndex {
+        /// The array.
+        var: HVar,
+        /// Element index.
+        index: Box<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Call to a user function.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<HArg>,
+        /// `true` when the callee is `void` (result must not be used).
+        is_void: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// Call to a VM intrinsic.
+    CallIntrinsic {
+        /// Which intrinsic.
+        which: Intrinsic,
+        /// Arguments (always scalars).
+        args: Vec<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation; `&&`/`||` short-circuit and act as predicates.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<HExpr>,
+        /// Right operand.
+        rhs: Box<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Conditional expression (a construct, like `if`).
+    Ternary {
+        /// Condition.
+        cond: Box<HExpr>,
+        /// Value when true.
+        then_expr: Box<HExpr>,
+        /// Value when false.
+        else_expr: Box<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment; compound forms load, combine, store.
+    Assign {
+        /// Target variable.
+        var: HVar,
+        /// Element index for array targets.
+        index: Option<Box<HExpr>>,
+        /// `Some(op)` for `op=` forms.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<HExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Increment/decrement.
+    IncDec {
+        /// Target variable.
+        var: HVar,
+        /// Element index for array targets.
+        index: Option<Box<HExpr>>,
+        /// `true` for `++`.
+        inc: bool,
+        /// `true` for prefix form.
+        prefix: bool,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl HExpr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            HExpr::Int(_, span) => *span,
+            HExpr::Load(v) => v.span,
+            HExpr::LoadIndex { span, .. }
+            | HExpr::Call { span, .. }
+            | HExpr::CallIntrinsic { span, .. }
+            | HExpr::Unary { span, .. }
+            | HExpr::Binary { span, .. }
+            | HExpr::Ternary { span, .. }
+            | HExpr::Assign { span, .. }
+            | HExpr::IncDec { span, .. } => *span,
+        }
+    }
+}
+
+/// A fully resolved program, ready for bytecode compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HProgram {
+    /// All globals; `GlobalId` indexes here.
+    pub globals: Vec<HGlobal>,
+    /// All functions; `FuncId` indexes here.
+    pub functions: Vec<HFunction>,
+    /// The entry function (`main`).
+    pub main: FuncId,
+}
+
+impl HProgram {
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &HFunction)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Total words of global storage.
+    pub fn global_words(&self) -> u32 {
+        self.globals.iter().map(|g| g.storage.words()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_words() {
+        assert_eq!(Storage::Scalar.words(), 1);
+        assert_eq!(Storage::ArrayRef.words(), 1);
+        assert_eq!(Storage::Array { size: 8 }.words(), 8);
+        assert!(Storage::Array { size: 8 }.is_array());
+        assert!(Storage::ArrayRef.is_array());
+        assert!(!Storage::Scalar.is_array());
+    }
+
+    #[test]
+    fn intrinsics_resolve_by_name() {
+        assert_eq!(Intrinsic::by_name("print"), Some(Intrinsic::Print));
+        assert_eq!(Intrinsic::by_name("input_len"), Some(Intrinsic::InputLen));
+        assert_eq!(Intrinsic::by_name("nope"), None);
+        assert_eq!(Intrinsic::Print.arity(), 1);
+        assert_eq!(Intrinsic::InputLen.arity(), 0);
+        assert_eq!(Intrinsic::Output.name(), "output");
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(FuncId(3).to_string(), "fn#3");
+        assert_eq!(GlobalId(0).to_string(), "g#0");
+        assert_eq!(LocalId(7).to_string(), "l#7");
+    }
+}

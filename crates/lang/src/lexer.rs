@@ -1,0 +1,396 @@
+//! The mini-C lexer.
+//!
+//! Supports decimal and hexadecimal integer literals, `//` line comments and
+//! `/* ... */` block comments (non-nesting, as in C).
+
+use crate::error::{LangError, Phase, Result};
+use crate::pos::{Pos, Span};
+use crate::token::{Token, TokenKind};
+
+/// Streaming tokenizer over a source string.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::{Lexer, TokenKind};
+/// let toks = Lexer::new("x += 2;").tokenize()?;
+/// assert_eq!(toks.len(), 4); // x, +=, 2, ;  (EOF excluded by tokenize)
+/// assert_eq!(toks[1].kind, TokenKind::PlusEq);
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: Pos,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src: src.as_bytes(), pos: Pos::start() }
+    }
+
+    /// Tokenizes the whole input, excluding the trailing EOF token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] on unknown characters, malformed literals or
+    /// unterminated block comments.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            if tok.kind == TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(tok);
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos.offset as usize).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos.offset as usize + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.offset += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LangError::new(
+                                    Phase::Lex,
+                                    Span::at(start),
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.pos;
+        let mut value: i64 = 0;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while let Some(b) = self.peek() {
+                let d = match b {
+                    b'0'..=b'9' => (b - b'0') as i64,
+                    b'a'..=b'f' => (b - b'a' + 10) as i64,
+                    b'A'..=b'F' => (b - b'A' + 10) as i64,
+                    _ => break,
+                };
+                value = value.checked_mul(16).and_then(|v| v.checked_add(d)).ok_or_else(
+                    || {
+                        LangError::new(
+                            Phase::Lex,
+                            Span::new(start, self.pos),
+                            "integer literal overflows i64",
+                        )
+                    },
+                )?;
+                self.bump();
+            }
+            if self.pos.offset == digits_start.offset {
+                return Err(LangError::new(
+                    Phase::Lex,
+                    Span::new(start, self.pos),
+                    "hex literal requires at least one digit",
+                ));
+            }
+        } else {
+            while let Some(b @ b'0'..=b'9') = self.peek() {
+                let d = (b - b'0') as i64;
+                value = value.checked_mul(10).and_then(|v| v.checked_add(d)).ok_or_else(
+                    || {
+                        LangError::new(
+                            Phase::Lex,
+                            Span::new(start, self.pos),
+                            "integer literal overflows i64",
+                        )
+                    },
+                )?;
+                self.bump();
+            }
+        }
+        Ok(Token::new(TokenKind::Int(value), Span::new(start, self.pos)))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.pos;
+        let begin = self.pos.offset as usize;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos.offset as usize])
+            .expect("identifiers are ASCII");
+        let kind = TokenKind::keyword(text)
+            .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        Token::new(kind, Span::new(start, self.pos))
+    }
+
+    /// Produces the next token, or [`TokenKind::Eof`] at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] on characters outside the language.
+    pub fn next_token(&mut self) -> Result<Token> {
+        use TokenKind::*;
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token::new(Eof, Span::at(start)));
+        };
+        if b.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            return Ok(self.lex_ident());
+        }
+        self.bump();
+        // Longest-match for multi-character operators.
+        let kind = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PlusEq
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    MinusEq
+                }
+                _ => Minus,
+            },
+            b'*' => self.with_eq(StarEq, Star),
+            b'/' => self.with_eq(SlashEq, Slash),
+            b'%' => self.with_eq(PercentEq, Percent),
+            b'^' => self.with_eq(CaretEq, Caret),
+            b'!' => self.with_eq(Ne, Bang),
+            b'=' => self.with_eq(EqEq, Eq),
+            b'&' => match self.peek() {
+                Some(b'&') => {
+                    self.bump();
+                    AndAnd
+                }
+                Some(b'=') => {
+                    self.bump();
+                    AmpEq
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => {
+                    self.bump();
+                    OrOr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PipeEq
+                }
+                _ => Pipe,
+            },
+            b'<' => match self.peek() {
+                Some(b'<') => {
+                    self.bump();
+                    self.with_eq(ShlEq, Shl)
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    self.with_eq(ShrEq, Shr)
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(LangError::new(
+                    Phase::Lex,
+                    Span::new(start, self.pos),
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        };
+        Ok(Token::new(kind, Span::new(start, self.pos)))
+    }
+
+    fn with_eq(&mut self, if_eq: TokenKind, otherwise: TokenKind) -> TokenKind {
+        if self.peek() == Some(b'=') {
+            self.bump();
+            if_eq
+        } else {
+            otherwise
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = y + 12;"),
+            vec![
+                Ident("x".into()),
+                Eq,
+                Ident("y".into()),
+                Plus,
+                Int(12),
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_decimal() {
+        use TokenKind::*;
+        assert_eq!(kinds("0x1F 255 0"), vec![Int(31), Int(255), Int(0)]);
+    }
+
+    #[test]
+    fn rejects_hex_without_digits() {
+        let err = Lexer::new("0x").tokenize().unwrap_err();
+        assert!(err.message().contains("hex literal"));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = Lexer::new("99999999999999999999999").tokenize().unwrap_err();
+        assert!(err.message().contains("overflows"));
+    }
+
+    #[test]
+    fn lexes_all_compound_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("<<= >>= << >> <= >= == != && || += -= *= /= %= &= |= ^= ++ --"),
+            vec![
+                ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AndAnd, OrOr, PlusEq,
+                MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq,
+                PlusPlus, MinusMinus
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // comment\n /* multi \n line */ b"),
+            vec![Ident("a".into()), Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("a /* never ends").tokenize().unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("a\nb\n  c").tokenize().unwrap();
+        assert_eq!(toks[0].span.lo.line, 1);
+        assert_eq!(toks[1].span.lo.line, 2);
+        assert_eq!(toks[2].span.lo.line, 3);
+        assert_eq!(toks[2].span.lo.col, 3);
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        use TokenKind::*;
+        assert_eq!(kinds("while whilex"), vec![KwWhile, Ident("whilex".into())]);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert!(err.message().contains('@'));
+        assert_eq!(err.span().lo.col, 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! # alchemist-lang
+//!
+//! The mini-C frontend of the Alchemist dependence-distance profiling
+//! infrastructure (a reproduction of the CGO 2009 paper).
+//!
+//! The original Alchemist profiles native C programs through Valgrind. This
+//! reproduction substitutes the binary-instrumentation layer with a
+//! self-contained toolchain: this crate parses and resolves a C subset
+//! ("mini-C"), `alchemist-vm` compiles it to bytecode and interprets it while
+//! emitting the same event stream a DBI tool would, and `alchemist-core`
+//! consumes those events to build dependence profiles.
+//!
+//! ## The language
+//!
+//! Mini-C has `int` scalars and fixed-size `int` arrays, global and local
+//! variables, functions (`int` or `void`) with scalar and array (`int a[]`)
+//! parameters, all C arithmetic/logical/bitwise operators, compound
+//! assignment, `++`/`--`, `if`/`else`, `while`, `do`-`while`, `for`,
+//! `break`, `continue`, `return`, the ternary operator and short-circuit
+//! `&&`/`||`. Built-in intrinsics `input(i)`, `input_len()`, `print(x)` and
+//! `output(i, x)` connect a program to the host harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use alchemist_lang::compile_to_hir;
+//!
+//! let hir = compile_to_hir(
+//!     "int acc;
+//!      int step(int x) { return x * x; }
+//!      int main() {
+//!          int i;
+//!          for (i = 0; i < 10; i++) acc += step(i);
+//!          return acc;
+//!      }",
+//! )?;
+//! assert_eq!(hir.functions.len(), 2);
+//! # Ok::<(), alchemist_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod pos;
+pub mod printer;
+pub mod resolver;
+pub mod token;
+
+pub use ast::{BinOp, Program, UnOp};
+pub use error::{LangError, Phase};
+pub use hir::{
+    FuncId, GlobalId, HProgram, Intrinsic, LocalId, Storage, VarSite,
+};
+pub use lexer::Lexer;
+pub use parser::{parse_program, Parser};
+pub use printer::{print_expr, print_program};
+pub use pos::{Pos, Span};
+pub use resolver::{compile_to_hir, resolve};
+pub use token::{Token, TokenKind};

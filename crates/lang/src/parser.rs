@@ -1,0 +1,772 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! Operator precedence follows C. Assignment and ternary are right
+//! associative; all other binary operators are left associative.
+
+use crate::ast::*;
+use crate::error::{LangError, Phase, Result};
+use crate::lexer::Lexer;
+use crate::pos::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a full mini-C program from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::parse_program;
+/// let prog = parse_program("int main() { return 0; }")?;
+/// assert_eq!(prog.functions.len(), 1);
+/// assert_eq!(prog.functions[0].name, "main");
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser::new(tokens).program()
+}
+
+/// Maximum expression/statement nesting depth accepted by the parser
+/// (guards the recursive-descent stack; see `Parser::enter`).
+pub const MAX_NESTING_DEPTH: u32 = 120;
+
+/// Token-stream parser. Most users want [`parse_program`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+/// RAII guard decrementing the parser's nesting depth.
+struct DepthGuard<'p>(&'p mut Parser);
+
+impl Parser {
+    /// Creates a parser over a pre-lexed token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, depth: 0 }
+    }
+
+    fn enter(&mut self) -> Result<DepthGuard<'_>> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!(
+                "nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        Ok(DepthGuard(self))
+    }
+
+    fn peek(&self) -> &TokenKind {
+        self.tokens.get(self.pos).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .or_else(|| self.tokens.last().map(|t| t.span))
+            .unwrap_or_default()
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span> {
+        if self.peek() == kind {
+            let sp = self.span();
+            self.bump();
+            Ok(sp)
+        } else {
+            Err(self.err(format!("expected `{}`, found `{}`", kind, self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        let sp = self.span();
+        match self.bump() {
+            TokenKind::Ident(name) => Ok((name, sp)),
+            other => Err(LangError::new(
+                Phase::Parse,
+                sp,
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(Phase::Parse, self.span(), msg)
+    }
+
+    /// Parses the whole token stream as a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error.
+    pub fn program(&mut self) -> Result<Program> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            let is_void = match self.peek() {
+                TokenKind::KwInt => false,
+                TokenKind::KwVoid => true,
+                other => {
+                    return Err(self.err(format!(
+                        "expected `int` or `void` at top level, found `{other}`"
+                    )));
+                }
+            };
+            let decl_span = self.span();
+            self.bump();
+            let (name, name_span) = self.expect_ident()?;
+            if self.peek() == &TokenKind::LParen {
+                functions.push(self.function(name, is_void, decl_span.merge(name_span))?);
+            } else {
+                if is_void {
+                    return Err(LangError::new(
+                        Phase::Parse,
+                        name_span,
+                        "global variables must have type `int`",
+                    ));
+                }
+                self.global_tail(name, decl_span.merge(name_span), &mut globals)?;
+            }
+        }
+        Ok(Program { globals, functions })
+    }
+
+    /// Parses `[N]? (= const)? (, name ...)* ;` after `int name`.
+    fn global_tail(
+        &mut self,
+        first: String,
+        first_span: Span,
+        out: &mut Vec<GlobalDecl>,
+    ) -> Result<()> {
+        let mut name = first;
+        let mut span = first_span;
+        loop {
+            let array_size = if self.eat(&TokenKind::LBracket) {
+                let size = self.const_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                Some(size)
+            } else {
+                None
+            };
+            let init = if self.eat(&TokenKind::Eq) {
+                if array_size.is_some() {
+                    return Err(self.err("array initializers are not supported"));
+                }
+                Some(self.const_int()?)
+            } else {
+                None
+            };
+            out.push(GlobalDecl { name, array_size, init, span });
+            if self.eat(&TokenKind::Comma) {
+                let (n, sp) = self.expect_ident()?;
+                name = n;
+                span = sp;
+            } else {
+                self.expect(&TokenKind::Semi)?;
+                return Ok(());
+            }
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i64> {
+        let negative = self.eat(&TokenKind::Minus);
+        let sp = self.span();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(if negative { -v } else { v }),
+            other => Err(LangError::new(
+                Phase::Parse,
+                sp,
+                format!("expected integer constant, found `{other}`"),
+            )),
+        }
+    }
+
+    fn function(&mut self, name: String, is_void: bool, span: Span) -> Result<Function> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                if self.eat(&TokenKind::KwVoid) {
+                    // `f(void)` — C-style empty parameter list.
+                    self.expect(&TokenKind::RParen)?;
+                    break;
+                }
+                self.expect(&TokenKind::KwInt)?;
+                let (pname, pspan) = self.expect_ident()?;
+                let is_array = if self.eat(&TokenKind::LBracket) {
+                    self.expect(&TokenKind::RBracket)?;
+                    true
+                } else {
+                    false
+                };
+                params.push(Param { name: pname, is_array, span: pspan });
+                if !self.eat(&TokenKind::Comma) {
+                    self.expect(&TokenKind::RParen)?;
+                    break;
+                }
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, is_void, body, span })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        let lo = self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.err("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts, span: lo.merge(self.prev_span()) })
+    }
+
+    /// Parses a single statement, wrapping non-block bodies of control
+    /// statements into single-statement blocks.
+    fn stmt(&mut self) -> Result<Stmt> {
+        let guard = self.enter()?;
+        guard.0.stmt_inner()
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            TokenKind::KwInt => self.local_decl(),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwDo => self.do_while_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwBreak => {
+                let sp = self.span();
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break(sp))
+            }
+            TokenKind::KwContinue => {
+                let sp = self.span();
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue(sp))
+            }
+            TokenKind::KwReturn => {
+                let sp = self.span();
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span: sp })
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            _ => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn local_decl(&mut self) -> Result<Stmt> {
+        let lo = self.expect(&TokenKind::KwInt)?;
+        let (name, name_span) = self.expect_ident()?;
+        let array_size = if self.eat(&TokenKind::LBracket) {
+            let size = self.const_int()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(size)
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Eq) {
+            if array_size.is_some() {
+                return Err(self.err("array initializers are not supported"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Local { name, array_size, init, span: lo.merge(name_span) })
+    }
+
+    /// Parses a control-statement body: either a block, or a single
+    /// statement promoted to a one-element block.
+    fn body(&mut self) -> Result<Block> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span();
+            Ok(Block { stmts: vec![s], span })
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let sp = self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.body()?;
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            Some(self.body()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_blk, else_blk, span: sp })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        let sp = self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.body()?;
+        Ok(Stmt::While { cond, body, span: sp })
+    }
+
+    fn do_while_stmt(&mut self) -> Result<Stmt> {
+        let sp = self.expect(&TokenKind::KwDo)?;
+        let body = self.body()?;
+        self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::DoWhile { body, cond, span: sp })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        let sp = self.expect(&TokenKind::KwFor)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if self.peek() == &TokenKind::KwInt {
+            Some(Box::new(self.local_decl()?))
+        } else {
+            let e = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&TokenKind::Semi)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.body()?;
+        Ok(Stmt::For { init, cond, step, body, span: sp })
+    }
+
+    /// Parses an expression (assignment level, right associative).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed syntax or when nesting exceeds
+    /// [`MAX_NESTING_DEPTH`].
+    pub fn expr(&mut self) -> Result<Expr> {
+        let guard = self.enter()?;
+        guard.0.expr_inner()
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr> {
+        let lhs = self.ternary()?;
+        let compound = match self.peek() {
+            TokenKind::Eq => None,
+            TokenKind::PlusEq => Some(BinOp::Add),
+            TokenKind::MinusEq => Some(BinOp::Sub),
+            TokenKind::StarEq => Some(BinOp::Mul),
+            TokenKind::SlashEq => Some(BinOp::Div),
+            TokenKind::PercentEq => Some(BinOp::Rem),
+            TokenKind::AmpEq => Some(BinOp::BitAnd),
+            TokenKind::PipeEq => Some(BinOp::BitOr),
+            TokenKind::CaretEq => Some(BinOp::BitXor),
+            TokenKind::ShlEq => Some(BinOp::Shl),
+            TokenKind::ShrEq => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        let op_span = self.span();
+        self.bump();
+        let target = Self::lvalue_of(lhs, op_span)?;
+        let value = Box::new(self.expr()?);
+        let span = target.span.merge(value.span());
+        Ok(Expr::Assign { target, op: compound, value, span })
+    }
+
+    fn lvalue_of(e: Expr, at: Span) -> Result<LValue> {
+        match e {
+            Expr::Var(name, span) => Ok(LValue { name, index: None, span }),
+            Expr::Index { name, index, span } => {
+                Ok(LValue { name, index: Some(index), span })
+            }
+            other => Err(LangError::new(
+                Phase::Parse,
+                at,
+                format!(
+                    "assignment target must be a variable or array element (at {})",
+                    other.span()
+                ),
+            )),
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = Box::new(self.expr()?);
+            self.expect(&TokenKind::Colon)?;
+            let else_expr = Box::new(self.ternary()?);
+            let span = cond.span().merge(else_expr.span());
+            Ok(Expr::Ternary { cond: Box::new(cond), then_expr, else_expr, span })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Binding powers for binary operators, weakest first.
+    fn bin_op(kind: &TokenKind) -> Option<(BinOp, u8)> {
+        Some(match kind {
+            TokenKind::OrOr => (BinOp::LogOr, 1),
+            TokenKind::AndAnd => (BinOp::LogAnd, 2),
+            TokenKind::Pipe => (BinOp::BitOr, 3),
+            TokenKind::Caret => (BinOp::BitXor, 4),
+            TokenKind::Amp => (BinOp::BitAnd, 5),
+            TokenKind::EqEq => (BinOp::Eq, 6),
+            TokenKind::Ne => (BinOp::Ne, 6),
+            TokenKind::Lt => (BinOp::Lt, 7),
+            TokenKind::Le => (BinOp::Le, 7),
+            TokenKind::Gt => (BinOp::Gt, 7),
+            TokenKind::Ge => (BinOp::Ge, 7),
+            TokenKind::Shl => (BinOp::Shl, 8),
+            TokenKind::Shr => (BinOp::Shr, 8),
+            TokenKind::Plus => (BinOp::Add, 9),
+            TokenKind::Minus => (BinOp::Sub, 9),
+            TokenKind::Star => (BinOp::Mul, 10),
+            TokenKind::Slash => (BinOp::Div, 10),
+            TokenKind::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_bp: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = Self::bin_op(self.peek()) {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(bp + 1)?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let sp = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                let inc = self.peek() == &TokenKind::PlusPlus;
+                self.bump();
+                let operand = self.unary()?;
+                let target = Self::lvalue_of(operand, sp)?;
+                let span = sp.merge(target.span);
+                return Ok(Expr::IncDec { target, inc, prefix: true, span });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = Box::new(self.unary()?);
+            let span = sp.merge(expr.span());
+            // Fold `-literal` so constants like -1 stay literals.
+            if let (UnOp::Neg, Expr::Int(v, _)) = (op, expr.as_ref()) {
+                return Ok(Expr::Int(v.wrapping_neg(), span));
+            }
+            return Ok(Expr::Unary { op, expr, span });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                    let inc = self.peek() == &TokenKind::PlusPlus;
+                    let sp = self.span();
+                    self.bump();
+                    let target = Self::lvalue_of(e, sp)?;
+                    let span = target.span.merge(sp);
+                    e = Expr::IncDec { target, inc, prefix: false, span };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let sp = self.span();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v, sp)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => match self.peek() {
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                self.expect(&TokenKind::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    let span = sp.merge(self.prev_span());
+                    Ok(Expr::Call { name, args, span })
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = Box::new(self.expr()?);
+                    let hi = self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index { name, index, span: sp.merge(hi) })
+                }
+                _ => Ok(Expr::Var(name, sp)),
+            },
+            other => Err(LangError::new(
+                Phase::Parse,
+                sp,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.depth -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> Expr {
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        let mut p = Parser::new(tokens);
+        let e = p.expr().unwrap();
+        assert_eq!(p.peek(), &TokenKind::Eof, "trailing tokens");
+        e
+    }
+
+    #[test]
+    fn parses_empty_main() {
+        let prog = parse_program("int main() { }").unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        assert!(prog.functions[0].body.stmts.is_empty());
+        assert!(!prog.functions[0].is_void);
+    }
+
+    #[test]
+    fn parses_globals_with_arrays_and_inits() {
+        let prog =
+            parse_program("int a; int buf[16]; int x = -3, y = 7;\nint main(){}").unwrap();
+        assert_eq!(prog.globals.len(), 4);
+        assert_eq!(prog.globals[1].array_size, Some(16));
+        assert_eq!(prog.globals[2].init, Some(-3));
+        assert_eq!(prog.globals[3].init, Some(7));
+    }
+
+    #[test]
+    fn parses_void_function_and_array_params() {
+        let prog = parse_program("void f(int a[], int n) {} int main(){}").unwrap();
+        let f = &prog.functions[0];
+        assert!(f.is_void);
+        assert!(f.params[0].is_array);
+        assert!(!f.params[1].is_array);
+    }
+
+    #[test]
+    fn parses_f_void_parameter_list() {
+        let prog = parse_program("int g(void) { return 1; } int main(){}").unwrap();
+        assert!(prog.functions[0].params.is_empty());
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected Add at top")
+        };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_shift_between_add_and_cmp() {
+        let e = parse_expr("1 << 2 + 3 < 4");
+        // Parses as ((1 << (2+3)) < 4).
+        let Expr::Binary { op: BinOp::Lt, lhs, .. } = e else {
+            panic!("expected Lt at top")
+        };
+        assert!(matches!(*lhs, Expr::Binary { op: BinOp::Shl, .. }));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = parse_expr("a = b = 1");
+        let Expr::Assign { target, value, .. } = e else { panic!() };
+        assert_eq!(target.name, "a");
+        assert!(matches!(*value, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn compound_assignment_to_array_element() {
+        let e = parse_expr("buf[i + 1] += 2");
+        let Expr::Assign { target, op: Some(BinOp::Add), .. } = e else { panic!() };
+        assert_eq!(target.name, "buf");
+        assert!(target.index.is_some());
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let e = parse_expr("a ? 1 : b ? 2 : 3");
+        let Expr::Ternary { else_expr, .. } = e else { panic!() };
+        assert!(matches!(*else_expr, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn prefix_and_postfix_incdec() {
+        let e = parse_expr("++x");
+        assert!(matches!(e, Expr::IncDec { prefix: true, inc: true, .. }));
+        let e = parse_expr("x--");
+        assert!(matches!(e, Expr::IncDec { prefix: false, inc: false, .. }));
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        assert!(matches!(parse_expr("-42"), Expr::Int(-42, _)));
+    }
+
+    #[test]
+    fn rejects_assignment_to_literal() {
+        let tokens = Lexer::new("3 = x").tokenize().unwrap();
+        let err = Parser::new(tokens).expr().unwrap_err();
+        assert!(err.message().contains("assignment target"));
+    }
+
+    #[test]
+    fn parses_control_statements() {
+        let src = r#"
+            int main() {
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i % 2 == 0) continue;
+                    if (i == 7) break;
+                }
+                while (i > 0) i -= 1;
+                do { i++; } while (i < 3);
+                return i;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.functions[0].body.stmts.len(), 5);
+    }
+
+    #[test]
+    fn single_statement_bodies_become_blocks() {
+        let prog = parse_program("int main() { if (1) return 2; else return 3; }")
+            .unwrap();
+        let Stmt::If { then_blk, else_blk, .. } = &prog.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
+        assert_eq!(then_blk.stmts.len(), 1);
+        assert_eq!(else_blk.as_ref().unwrap().stmts.len(), 1);
+    }
+
+    #[test]
+    fn for_with_declaration_init() {
+        let prog =
+            parse_program("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
+                .unwrap();
+        let Stmt::For { init: Some(init), .. } = &prog.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(**init, Stmt::Local { .. }));
+    }
+
+    #[test]
+    fn for_with_empty_clauses() {
+        let prog = parse_program("int main() { for (;;) break; return 0; }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &prog.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn reports_missing_semicolon() {
+        let err = parse_program("int main() { int x = 1 }").unwrap_err();
+        assert!(err.message().contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let prog = parse_program(
+            "int main() { if (1) if (2) return 1; else return 2; return 0; }",
+        )
+        .unwrap();
+        let Stmt::If { then_blk, else_blk, .. } = &prog.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
+        assert!(else_blk.is_none(), "outer if must not own the else");
+        let Stmt::If { else_blk: inner_else, .. } = &then_blk.stmts[0] else { panic!() };
+        assert!(inner_else.is_some());
+    }
+}

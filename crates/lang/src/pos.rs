@@ -1,0 +1,133 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that profiles can be
+//! attributed back to source locations, mirroring how the paper reports
+//! constructs as e.g. `Loop (main, 3404)`.
+
+use std::fmt;
+
+/// A position in a source file: 1-based line and column plus byte offset.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::Pos;
+/// let p = Pos::new(3, 7, 42);
+/// assert_eq!(p.line, 3);
+/// assert_eq!(format!("{p}"), "3:7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// 0-based byte offset into the source text.
+    pub offset: u32,
+}
+
+impl Pos {
+    /// Creates a position from a line, column and byte offset.
+    pub fn new(line: u32, col: u32, offset: u32) -> Self {
+        Pos { line, col, offset }
+    }
+
+    /// The start of a file: line 1, column 1, offset 0.
+    pub fn start() -> Self {
+        Pos::new(1, 1, 0)
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::start()
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::{Pos, Span};
+/// let s = Span::new(Pos::new(1, 1, 0), Pos::new(1, 5, 4));
+/// assert_eq!(s.lo.line, 1);
+/// assert_eq!(format!("{s}"), "1:1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start of the region (inclusive).
+    pub lo: Pos,
+    /// End of the region (exclusive).
+    pub hi: Pos,
+}
+
+impl Span {
+    /// Creates a span covering `[lo, hi)`.
+    pub fn new(lo: Pos, hi: Pos) -> Self {
+        Span { lo, hi }
+    }
+
+    /// A degenerate span at a single position.
+    pub fn at(pos: Pos) -> Self {
+        Span { lo: pos, hi: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            lo: if self.lo.offset <= other.lo.offset { self.lo } else { other.lo },
+            hi: if self.hi.offset >= other.hi.offset { self.hi } else { other.hi },
+        }
+    }
+
+    /// The source line on which the span starts.
+    pub fn line(&self) -> u32 {
+        self.lo.line
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display_is_line_colon_col() {
+        assert_eq!(Pos::new(10, 2, 99).to_string(), "10:2");
+    }
+
+    #[test]
+    fn default_pos_is_file_start() {
+        assert_eq!(Pos::default(), Pos::start());
+        assert_eq!(Pos::start().offset, 0);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(Pos::new(1, 1, 0), Pos::new(1, 4, 3));
+        let b = Span::new(Pos::new(2, 1, 10), Pos::new(2, 6, 15));
+        let m = a.merge(b);
+        assert_eq!(m.lo, a.lo);
+        assert_eq!(m.hi, b.hi);
+        // Merge is symmetric.
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn span_line_is_start_line() {
+        let s = Span::new(Pos::new(7, 3, 30), Pos::new(9, 1, 50));
+        assert_eq!(s.line(), 7);
+    }
+}

@@ -1,0 +1,703 @@
+//! Name resolution and semantic checking.
+//!
+//! Lowers the syntactic [`ast::Program`] into [`hir::HProgram`]:
+//!
+//! * every variable reference is bound to a global or a frame slot,
+//! * every call is bound to a [`FuncId`] or an [`Intrinsic`],
+//! * scoping, arity, array/scalar usage, `break`/`continue` placement and
+//!   `return` arity are checked,
+//! * `main` is verified to exist with signature `int main()`.
+
+use crate::ast;
+use crate::error::{LangError, Phase, Result};
+use crate::hir::*;
+use crate::pos::Span;
+use std::collections::HashMap;
+
+/// Resolves a parsed program.
+///
+/// # Errors
+///
+/// Returns the first semantic error found.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::{parse_program, resolve};
+/// let hir = resolve(&parse_program("int g; int main() { g = 1; return g; }")?)?;
+/// assert_eq!(hir.globals.len(), 1);
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+pub fn resolve(program: &ast::Program) -> Result<HProgram> {
+    Resolver::new(program)?.run(program)
+}
+
+/// Convenience: parse and resolve in one step.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_to_hir(src: &str) -> Result<HProgram> {
+    let prog = crate::parser::parse_program(src)?;
+    resolve(&prog)
+}
+
+#[derive(Debug)]
+struct FuncSig {
+    id: FuncId,
+    is_void: bool,
+    params: Vec<bool>, // true = array parameter
+}
+
+#[derive(Debug)]
+struct Resolver {
+    globals: Vec<HGlobal>,
+    global_names: HashMap<String, GlobalId>,
+    functions: HashMap<String, FuncSig>,
+}
+
+#[derive(Debug)]
+struct FnCx {
+    locals: Vec<HLocal>,
+    scopes: Vec<HashMap<String, LocalId>>,
+    loop_depth: u32,
+    is_void: bool,
+}
+
+impl FnCx {
+    fn declare(&mut self, name: &str, storage: Storage, span: Span) -> Result<LocalId> {
+        let scope = self.scopes.last_mut().expect("scope stack is never empty");
+        if scope.contains_key(name) {
+            return Err(LangError::new(
+                Phase::Resolve,
+                span,
+                format!("`{name}` is already declared in this scope"),
+            ));
+        }
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(HLocal { name: name.to_owned(), storage, span });
+        scope.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalId> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+}
+
+impl Resolver {
+    fn new(program: &ast::Program) -> Result<Self> {
+        let mut globals = Vec::new();
+        let mut global_names = HashMap::new();
+        for g in &program.globals {
+            if global_names.contains_key(&g.name) {
+                return Err(LangError::new(
+                    Phase::Resolve,
+                    g.span,
+                    format!("global `{}` is declared twice", g.name),
+                ));
+            }
+            let storage = match g.array_size {
+                None => Storage::Scalar,
+                Some(n) if n > 0 && n <= u32::MAX as i64 => {
+                    Storage::Array { size: n as u32 }
+                }
+                Some(n) => {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        g.span,
+                        format!("array size must be positive, got {n}"),
+                    ));
+                }
+            };
+            let id = GlobalId(globals.len() as u32);
+            globals.push(HGlobal {
+                name: g.name.clone(),
+                storage,
+                init: g.init.unwrap_or(0),
+                span: g.span,
+            });
+            global_names.insert(g.name.clone(), id);
+        }
+
+        let mut functions = HashMap::new();
+        for (i, f) in program.functions.iter().enumerate() {
+            if Intrinsic::by_name(&f.name).is_some() {
+                return Err(LangError::new(
+                    Phase::Resolve,
+                    f.span,
+                    format!("`{}` shadows a built-in intrinsic", f.name),
+                ));
+            }
+            if functions.contains_key(&f.name) {
+                return Err(LangError::new(
+                    Phase::Resolve,
+                    f.span,
+                    format!("function `{}` is defined twice", f.name),
+                ));
+            }
+            functions.insert(
+                f.name.clone(),
+                FuncSig {
+                    id: FuncId(i as u32),
+                    is_void: f.is_void,
+                    params: f.params.iter().map(|p| p.is_array).collect(),
+                },
+            );
+        }
+        Ok(Resolver { globals, global_names, functions })
+    }
+
+    fn run(self, program: &ast::Program) -> Result<HProgram> {
+        let mut functions = Vec::with_capacity(program.functions.len());
+        for f in &program.functions {
+            functions.push(self.function(f)?);
+        }
+        let main = match self.functions.get("main") {
+            Some(sig) => {
+                if sig.is_void || !sig.params.is_empty() {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        program.functions[sig.id.0 as usize].span,
+                        "`main` must have signature `int main()`",
+                    ));
+                }
+                sig.id
+            }
+            None => {
+                return Err(LangError::new(
+                    Phase::Resolve,
+                    Span::default(),
+                    "program has no `main` function",
+                ));
+            }
+        };
+        Ok(HProgram { globals: self.globals, functions, main })
+    }
+
+    fn function(&self, f: &ast::Function) -> Result<HFunction> {
+        let mut cx = FnCx {
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+            is_void: f.is_void,
+        };
+        for p in &f.params {
+            let storage = if p.is_array { Storage::ArrayRef } else { Storage::Scalar };
+            cx.declare(&p.name, storage, p.span)?;
+        }
+        let body = self.block(&f.body, &mut cx)?;
+        Ok(HFunction {
+            name: f.name.clone(),
+            param_count: f.params.len() as u32,
+            locals: cx.locals,
+            is_void: f.is_void,
+            body,
+            span: f.span,
+        })
+    }
+
+    fn block(&self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
+        cx.scopes.push(HashMap::new());
+        let result = self.block_inner(b, cx);
+        cx.scopes.pop();
+        result
+    }
+
+    fn block_inner(&self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
+        let mut stmts = Vec::with_capacity(b.stmts.len());
+        for s in &b.stmts {
+            stmts.push(self.stmt(s, cx)?);
+        }
+        Ok(HBlock { stmts })
+    }
+
+    fn stmt(&self, s: &ast::Stmt, cx: &mut FnCx) -> Result<HStmt> {
+        match s {
+            ast::Stmt::Local { name, array_size, init, span } => {
+                let storage = match array_size {
+                    None => Storage::Scalar,
+                    Some(n) if *n > 0 && *n <= u32::MAX as i64 => {
+                        Storage::Array { size: *n as u32 }
+                    }
+                    Some(n) => {
+                        return Err(LangError::new(
+                            Phase::Resolve,
+                            *span,
+                            format!("array size must be positive, got {n}"),
+                        ));
+                    }
+                };
+                // Resolve the initializer before the name is in scope, so
+                // `int x = x;` refers to any outer `x`.
+                let init_expr = match init {
+                    Some(e) => Some(self.value_expr(e, cx)?),
+                    None => None,
+                };
+                let id = cx.declare(name, storage, *span)?;
+                match init_expr {
+                    Some(value) => Ok(HStmt::Init { local: id, value, span: *span }),
+                    None => Ok(HStmt::Block(HBlock::default())),
+                }
+            }
+            ast::Stmt::Expr(e) => Ok(HStmt::Expr(self.expr(e, cx)?)),
+            ast::Stmt::If { cond, then_blk, else_blk, span } => {
+                let cond = self.value_expr(cond, cx)?;
+                let then_blk = self.block(then_blk, cx)?;
+                let else_blk = match else_blk {
+                    Some(b) => Some(self.block(b, cx)?),
+                    None => None,
+                };
+                Ok(HStmt::If { cond, then_blk, else_blk, span: *span })
+            }
+            ast::Stmt::While { cond, body, span } => {
+                let cond = self.value_expr(cond, cx)?;
+                cx.loop_depth += 1;
+                let body = self.block(body, cx);
+                cx.loop_depth -= 1;
+                Ok(HStmt::While { cond, body: body?, span: *span })
+            }
+            ast::Stmt::DoWhile { body, cond, span } => {
+                cx.loop_depth += 1;
+                let body = self.block(body, cx);
+                cx.loop_depth -= 1;
+                let cond = self.value_expr(cond, cx)?;
+                Ok(HStmt::DoWhile { body: body?, cond, span: *span })
+            }
+            ast::Stmt::For { init, cond, step, body, span } => {
+                // The init declaration scopes over cond, step and body.
+                cx.scopes.push(HashMap::new());
+                let result = (|| {
+                    let init = match init {
+                        Some(s) => Some(Box::new(self.stmt(s, cx)?)),
+                        None => None,
+                    };
+                    let cond = match cond {
+                        Some(e) => Some(self.value_expr(e, cx)?),
+                        None => None,
+                    };
+                    let step = match step {
+                        Some(e) => Some(self.expr(e, cx)?),
+                        None => None,
+                    };
+                    cx.loop_depth += 1;
+                    let body = self.block(body, cx);
+                    cx.loop_depth -= 1;
+                    Ok(HStmt::For { init, cond, step, body: body?, span: *span })
+                })();
+                cx.scopes.pop();
+                result
+            }
+            ast::Stmt::Break(span) => {
+                if cx.loop_depth == 0 {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        *span,
+                        "`break` outside of a loop",
+                    ));
+                }
+                Ok(HStmt::Break(*span))
+            }
+            ast::Stmt::Continue(span) => {
+                if cx.loop_depth == 0 {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        *span,
+                        "`continue` outside of a loop",
+                    ));
+                }
+                Ok(HStmt::Continue(*span))
+            }
+            ast::Stmt::Return { value, span } => {
+                let value = match (value, cx.is_void) {
+                    (Some(_), true) => {
+                        return Err(LangError::new(
+                            Phase::Resolve,
+                            *span,
+                            "`void` function cannot return a value",
+                        ));
+                    }
+                    (None, false) => {
+                        return Err(LangError::new(
+                            Phase::Resolve,
+                            *span,
+                            "`int` function must return a value",
+                        ));
+                    }
+                    (Some(e), false) => Some(self.value_expr(e, cx)?),
+                    (None, true) => None,
+                };
+                Ok(HStmt::Return { value, span: *span })
+            }
+            ast::Stmt::Block(b) => Ok(HStmt::Block(self.block(b, cx)?)),
+        }
+    }
+
+    /// Resolves a variable name to its site and storage.
+    fn var(&self, name: &str, span: Span, cx: &FnCx) -> Result<HVar> {
+        if let Some(id) = cx.lookup(name) {
+            let storage = cx.locals[id.0 as usize].storage;
+            return Ok(HVar { site: VarSite::Local(id), storage, span });
+        }
+        if let Some(&id) = self.global_names.get(name) {
+            let storage = self.globals[id.0 as usize].storage;
+            return Ok(HVar { site: VarSite::Global(id), storage, span });
+        }
+        Err(LangError::new(
+            Phase::Resolve,
+            span,
+            format!("undefined variable `{name}`"),
+        ))
+    }
+
+    /// Resolves an expression that must produce a value.
+    fn value_expr(&self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
+        let h = self.expr(e, cx)?;
+        if let HExpr::Call { is_void: true, span, .. } = &h {
+            return Err(LangError::new(
+                Phase::Resolve,
+                *span,
+                "`void` function call used as a value",
+            ));
+        }
+        Ok(h)
+    }
+
+    fn lvalue(
+        &self,
+        target: &ast::LValue,
+        cx: &mut FnCx,
+    ) -> Result<(HVar, Option<Box<HExpr>>)> {
+        let var = self.var(&target.name, target.span, cx)?;
+        match (&target.index, var.storage.is_array()) {
+            (Some(idx), true) => {
+                let idx = self.value_expr(idx, cx)?;
+                Ok((var, Some(Box::new(idx))))
+            }
+            (None, false) => Ok((var, None)),
+            (Some(_), false) => Err(LangError::new(
+                Phase::Resolve,
+                target.span,
+                format!("`{}` is a scalar and cannot be indexed", target.name),
+            )),
+            (None, true) => Err(LangError::new(
+                Phase::Resolve,
+                target.span,
+                format!("cannot assign to array `{}` without an index", target.name),
+            )),
+        }
+    }
+
+    fn expr(&self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
+        match e {
+            ast::Expr::Int(v, span) => Ok(HExpr::Int(*v, *span)),
+            ast::Expr::Var(name, span) => {
+                let var = self.var(name, *span, cx)?;
+                if var.storage.is_array() {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        *span,
+                        format!(
+                            "array `{name}` used as a scalar (arrays may only be \
+                             indexed or passed to array parameters)"
+                        ),
+                    ));
+                }
+                Ok(HExpr::Load(var))
+            }
+            ast::Expr::Index { name, index, span } => {
+                let var = self.var(name, *span, cx)?;
+                if !var.storage.is_array() {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        *span,
+                        format!("`{name}` is a scalar and cannot be indexed"),
+                    ));
+                }
+                let index = Box::new(self.value_expr(index, cx)?);
+                Ok(HExpr::LoadIndex { var, index, span: *span })
+            }
+            ast::Expr::Call { name, args, span } => self.call(name, args, *span, cx),
+            ast::Expr::Unary { op, expr, span } => Ok(HExpr::Unary {
+                op: *op,
+                expr: Box::new(self.value_expr(expr, cx)?),
+                span: *span,
+            }),
+            ast::Expr::Binary { op, lhs, rhs, span } => Ok(HExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.value_expr(lhs, cx)?),
+                rhs: Box::new(self.value_expr(rhs, cx)?),
+                span: *span,
+            }),
+            ast::Expr::Ternary { cond, then_expr, else_expr, span } => {
+                Ok(HExpr::Ternary {
+                    cond: Box::new(self.value_expr(cond, cx)?),
+                    then_expr: Box::new(self.value_expr(then_expr, cx)?),
+                    else_expr: Box::new(self.value_expr(else_expr, cx)?),
+                    span: *span,
+                })
+            }
+            ast::Expr::Assign { target, op, value, span } => {
+                let (var, index) = self.lvalue(target, cx)?;
+                let value = Box::new(self.value_expr(value, cx)?);
+                Ok(HExpr::Assign { var, index, op: *op, value, span: *span })
+            }
+            ast::Expr::IncDec { target, inc, prefix, span } => {
+                let (var, index) = self.lvalue(target, cx)?;
+                Ok(HExpr::IncDec {
+                    var,
+                    index,
+                    inc: *inc,
+                    prefix: *prefix,
+                    span: *span,
+                })
+            }
+        }
+    }
+
+    fn call(
+        &self,
+        name: &str,
+        args: &[ast::Expr],
+        span: Span,
+        cx: &mut FnCx,
+    ) -> Result<HExpr> {
+        if let Some(which) = Intrinsic::by_name(name) {
+            if args.len() != which.arity() {
+                return Err(LangError::new(
+                    Phase::Resolve,
+                    span,
+                    format!(
+                        "intrinsic `{name}` takes {} argument(s), got {}",
+                        which.arity(),
+                        args.len()
+                    ),
+                ));
+            }
+            let args = args
+                .iter()
+                .map(|a| self.value_expr(a, cx))
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(HExpr::CallIntrinsic { which, args, span });
+        }
+        let Some(sig) = self.functions.get(name) else {
+            return Err(LangError::new(
+                Phase::Resolve,
+                span,
+                format!("call to undefined function `{name}`"),
+            ));
+        };
+        if args.len() != sig.params.len() {
+            return Err(LangError::new(
+                Phase::Resolve,
+                span,
+                format!(
+                    "function `{name}` takes {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut h_args = Vec::with_capacity(args.len());
+        for (arg, &param_is_array) in args.iter().zip(&sig.params) {
+            if param_is_array {
+                // Array parameters accept a bare array name.
+                let ast::Expr::Var(arg_name, arg_span) = arg else {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        arg.span(),
+                        format!(
+                            "array parameter of `{name}` requires an array name \
+                             argument"
+                        ),
+                    ));
+                };
+                let var = self.var(arg_name, *arg_span, cx)?;
+                if !var.storage.is_array() {
+                    return Err(LangError::new(
+                        Phase::Resolve,
+                        *arg_span,
+                        format!(
+                            "`{arg_name}` is a scalar but `{name}` expects an array \
+                             here"
+                        ),
+                    ));
+                }
+                h_args.push(HArg::Array(var));
+            } else {
+                h_args.push(HArg::Scalar(self.value_expr(arg, cx)?));
+            }
+        }
+        Ok(HExpr::Call { func: sig.id, args: h_args, is_void: sig.is_void, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> HProgram {
+        compile_to_hir(src).unwrap()
+    }
+
+    fn err(src: &str) -> String {
+        compile_to_hir(src).unwrap_err().message().to_owned()
+    }
+
+    #[test]
+    fn resolves_globals_and_locals() {
+        let h = ok("int g = 5; int main() { int x = g; return x; }");
+        assert_eq!(h.globals[0].init, 5);
+        let main = &h.functions[h.main.0 as usize];
+        assert_eq!(main.locals.len(), 1);
+        assert_eq!(main.locals[0].name, "x");
+    }
+
+    #[test]
+    fn params_take_first_slots() {
+        let h = ok("int f(int a, int b[]) { return a; } int main() { return 0; }");
+        let f = &h.functions[0];
+        assert_eq!(f.param_count, 2);
+        assert_eq!(f.locals[0].storage, Storage::Scalar);
+        assert_eq!(f.locals[1].storage, Storage::ArrayRef);
+    }
+
+    #[test]
+    fn frame_words_counts_arrays() {
+        let h = ok("int main() { int a; int buf[10]; return 0; }");
+        assert_eq!(h.functions[0].frame_words(), 11);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_is_allowed() {
+        let h = ok("int main() { int x = 1; { int x = 2; x = 3; } return x; }");
+        // Two distinct slots named x.
+        assert_eq!(h.functions[0].locals.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_in_same_scope_rejected() {
+        assert!(err("int main() { int x; int x; return 0; }").contains("already declared"));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        assert!(err("int main() { return y; }").contains("undefined variable"));
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        assert!(err("int main() { return f(); }").contains("undefined function"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(
+            err("int f(int a) { return a; } int main() { return f(); }")
+                .contains("takes 1 argument")
+        );
+    }
+
+    #[test]
+    fn array_argument_type_checked() {
+        let msg = err(
+            "int f(int a[]) { return a[0]; } int main() { int x; return f(x); }",
+        );
+        assert!(msg.contains("expects an array"), "{msg}");
+        let msg2 = err(
+            "int f(int a) { return a; } int buf[4]; int main() { return f(buf); }",
+        );
+        assert!(msg2.contains("used as a scalar"), "{msg2}");
+    }
+
+    #[test]
+    fn array_can_be_passed_through() {
+        let h = ok(
+            "int f(int a[]) { return a[0]; } \
+             int g(int b[]) { return f(b); } \
+             int buf[4]; \
+             int main() { return g(buf); }",
+        );
+        assert_eq!(h.functions.len(), 3);
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(err("int main() { break; return 0; }").contains("outside of a loop"));
+        assert!(err("int main() { continue; return 0; }").contains("outside of a loop"));
+    }
+
+    #[test]
+    fn break_inside_if_inside_loop_allowed() {
+        ok("int main() { while (1) { if (1) break; } return 0; }");
+    }
+
+    #[test]
+    fn void_return_rules() {
+        assert!(err("void f() { return 1; } int main() { return 0; }")
+            .contains("cannot return a value"));
+        assert!(err("int f() { return; } int main() { return 0; }")
+            .contains("must return a value"));
+    }
+
+    #[test]
+    fn void_call_as_value_rejected() {
+        let msg =
+            err("void f() { } int main() { int x = f(); return x; }");
+        assert!(msg.contains("used as a value"), "{msg}");
+    }
+
+    #[test]
+    fn void_call_as_statement_allowed() {
+        ok("void f() { } int main() { f(); return 0; }");
+    }
+
+    #[test]
+    fn main_signature_enforced() {
+        assert!(err("int f() { return 0; }").contains("no `main`"));
+        assert!(err("void main() { }").contains("int main()"));
+        assert!(err("int main(int x) { return x; }").contains("int main()"));
+    }
+
+    #[test]
+    fn intrinsic_shadowing_rejected() {
+        assert!(err("int print(int x) { return x; } int main() { return 0; }")
+            .contains("shadows a built-in"));
+    }
+
+    #[test]
+    fn intrinsic_arity_checked() {
+        assert!(err("int main() { return input_len(1); }").contains("takes 0 argument"));
+    }
+
+    #[test]
+    fn indexing_scalar_rejected() {
+        assert!(err("int main() { int x; return x[0]; }").contains("cannot be indexed"));
+    }
+
+    #[test]
+    fn assigning_bare_array_rejected() {
+        assert!(err("int buf[2]; int main() { buf = 1; return 0; }")
+            .contains("without an index"));
+    }
+
+    #[test]
+    fn for_scoped_declaration() {
+        // `i` must not leak out of the for statement.
+        let msg = err("int main() { for (int i = 0; i < 3; i++) {} return i; }");
+        assert!(msg.contains("undefined variable"), "{msg}");
+    }
+
+    #[test]
+    fn negative_array_size_rejected() {
+        assert!(err("int buf[-2]; int main() { return 0; }").contains("positive"));
+        assert!(err("int main() { int b[0]; return 0; }").contains("positive"));
+    }
+
+    #[test]
+    fn initializer_resolves_against_outer_scope() {
+        // `int x = x;` picks up the outer x, not the new one.
+        let h = ok("int main() { int x = 3; { int y = x; y = y; } return 0; }");
+        assert_eq!(h.functions[0].locals.len(), 2);
+    }
+}

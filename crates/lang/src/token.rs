@@ -1,0 +1,251 @@
+//! Tokens of the mini-C language.
+
+use crate::pos::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42` or `0x1f`.
+    Int(i64),
+    /// An identifier, e.g. `flush_block`.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `do`
+    KwDo,
+    /// `for`
+    KwFor,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `return`
+    KwReturn,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+
+    // Operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `=`
+    Eq,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `%=`
+    PercentEq,
+    /// `&=`
+    AmpEq,
+    /// `|=`
+    PipeEq,
+    /// `^=`
+    CaretEq,
+    /// `<<=`
+    ShlEq,
+    /// `>>=`
+    ShrEq,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if it is a reserved word.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "int" => TokenKind::KwInt,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(v) => write!(f, "{v}"),
+            Ident(s) => write!(f, "{s}"),
+            KwInt => write!(f, "int"),
+            KwVoid => write!(f, "void"),
+            KwIf => write!(f, "if"),
+            KwElse => write!(f, "else"),
+            KwWhile => write!(f, "while"),
+            KwDo => write!(f, "do"),
+            KwFor => write!(f, "for"),
+            KwBreak => write!(f, "break"),
+            KwContinue => write!(f, "continue"),
+            KwReturn => write!(f, "return"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Question => write!(f, "?"),
+            Colon => write!(f, ":"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Tilde => write!(f, "~"),
+            Bang => write!(f, "!"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            EqEq => write!(f, "=="),
+            Ne => write!(f, "!="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Eq => write!(f, "="),
+            PlusEq => write!(f, "+="),
+            MinusEq => write!(f, "-="),
+            StarEq => write!(f, "*="),
+            SlashEq => write!(f, "/="),
+            PercentEq => write!(f, "%="),
+            AmpEq => write!(f, "&="),
+            PipeEq => write!(f, "|="),
+            CaretEq => write!(f, "^="),
+            ShlEq => write!(f, "<<="),
+            ShrEq => write!(f, ">>="),
+            PlusPlus => write!(f, "++"),
+            MinusMinus => write!(f, "--"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::ShlEq.to_string(), "<<=");
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(TokenKind::Int(-3).to_string(), "-3");
+    }
+}

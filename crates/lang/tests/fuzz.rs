@@ -1,0 +1,107 @@
+//! Robustness properties of the frontend: no input — valid or garbage —
+//! may panic the lexer, parser or resolver; all failures must be
+//! source-located `LangError`s.
+
+use alchemist_lang::{compile_to_hir, parse_program, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in ".{0,200}") {
+        let _ = Lexer::new(&src).tokenize();
+    }
+
+    #[test]
+    fn lexer_handles_ascii_noise(src in "[ -~]{0,300}") {
+        let _ = Lexer::new(&src).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~]{0,300}") {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn resolver_never_panics(src in "[a-z0-9(){};=+\\-*/<>! \n\\[\\]]{0,300}") {
+        let _ = compile_to_hir(&src);
+    }
+
+    /// Token-shaped noise: join random keywords/operators/identifiers.
+    #[test]
+    fn parser_survives_token_salad(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("int"), Just("void"), Just("if"), Just("else"),
+                Just("while"), Just("for"), Just("do"), Just("break"),
+                Just("continue"), Just("return"), Just("("), Just(")"),
+                Just("{"), Just("}"), Just("["), Just("]"), Just(";"),
+                Just(","), Just("="), Just("=="), Just("+"), Just("-"),
+                Just("*"), Just("/"), Just("%"), Just("<"), Just(">"),
+                Just("&&"), Just("||"), Just("?"), Just(":"), Just("x"),
+                Just("y"), Just("main"), Just("0"), Just("1"), Just("42"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = compile_to_hir(&src);
+    }
+
+    /// Every reported error carries a position within (or just past) the
+    /// source text.
+    #[test]
+    fn error_spans_are_in_bounds(src in "[ -~\n]{0,200}") {
+        if let Err(e) = compile_to_hir(&src) {
+            let lo = e.span().lo;
+            prop_assert!(
+                (lo.offset as usize) <= src.len(),
+                "span offset {} beyond source length {}",
+                lo.offset,
+                src.len()
+            );
+            prop_assert!(lo.line >= 1 && lo.col >= 1);
+        }
+    }
+}
+
+/// Deeply nested expressions must not blow the stack: the parser enforces
+/// a nesting-depth limit and reports it as an ordinary error.
+#[test]
+fn deep_nesting_parses_or_errors_gracefully() {
+    let nest = |depth: usize| {
+        let mut src = String::from("int main() { return ");
+        for _ in 0..depth {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..depth {
+            src.push(')');
+        }
+        src.push_str("; }");
+        src
+    };
+    // Comfortably inside the limit: parses.
+    let prog = parse_program(&nest(60)).expect("shallow nesting parses");
+    assert_eq!(prog.functions.len(), 1);
+    // Far beyond the limit: a located error, not a stack overflow.
+    let err = parse_program(&nest(5000)).unwrap_err();
+    assert!(err.message().contains("maximum depth"), "{err}");
+}
+
+#[test]
+fn deeply_nested_blocks_parse() {
+    let depth = 80;
+    let mut src = String::from("int main() { ");
+    for _ in 0..depth {
+        src.push_str("{ ");
+    }
+    src.push_str("int x = 1; x = x;");
+    for _ in 0..depth {
+        src.push_str(" }");
+    }
+    src.push_str(" return 0; }");
+    let hir = compile_to_hir(&src).expect("nested blocks resolve");
+    assert_eq!(hir.functions.len(), 1);
+}

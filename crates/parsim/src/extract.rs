@@ -1,0 +1,424 @@
+//! Task extraction: re-run the program with marked constructs and record
+//! the schedule-relevant structure.
+//!
+//! The extractor maintains the same execution-indexing stack discipline as
+//! the profiler (procedure barriers, predicate re-execution, post-dominator
+//! pops) but keeps no tree: it only needs to know when instances of the
+//! *marked* constructs begin and end. Dependences are detected with the
+//! same shadow-memory scheme, attributed to tasks, and turned into schedule
+//! constraints:
+//!
+//! * head in task `A`, tail in the main thread → the main thread joins `A`
+//!   at the tail's sequential position (the paper's "join the future at any
+//!   possible conflicting read");
+//! * head in task `A`, tail in task `B` → precedence edge `A → B`;
+//! * head and tail in the same task, or both on the main thread → already
+//!   ordered, no constraint.
+//!
+//! Variables listed in [`ExtractConfig::privatized`] are excluded from
+//! constraint generation: this models the source transformations the paper
+//! applies by hand (thread-local copies, reductions, recomputed values).
+
+use crate::task::{TaskId, TaskInstance, TaskTrace};
+use alchemist_core::shadow::{Access, ShadowMemory};
+use alchemist_core::{ConstructId, ConstructKind};
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{
+    BlockId, ExecConfig, Module, Pc, Time, Trap, TraceSink,
+};
+use std::collections::HashSet;
+
+/// What to extract and which transformations to assume.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractConfig {
+    /// Heads of the constructs to run asynchronously.
+    pub marked: HashSet<Pc>,
+    /// Global variables whose conflicts are removed by privatization /
+    /// reduction transformations (by name).
+    pub privatized: HashSet<String>,
+    /// Honor WAR/WAW conflicts as constraints (set when simulating a naive,
+    /// untransformed parallelization).
+    pub respect_war_waw: bool,
+}
+
+impl ExtractConfig {
+    /// Marks one construct for asynchronous execution.
+    pub fn mark(mut self, head: Pc) -> Self {
+        self.marked.insert(head);
+        self
+    }
+
+    /// Declares a global privatized (its conflicts are transformed away).
+    pub fn privatize(mut self, name: &str) -> Self {
+        self.privatized.insert(name.to_owned());
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    head: Pc,
+    ipdom: Option<BlockId>,
+    is_barrier: bool,
+    /// Task opened when this entry was pushed, if any.
+    opened: Option<TaskId>,
+}
+
+/// The extraction sink. Most users call [`extract_tasks`].
+#[derive(Debug)]
+pub struct TaskExtractor<'m> {
+    module: &'m Module,
+    config: ExtractConfig,
+    stack: Vec<Entry>,
+    current_task: Option<TaskId>,
+    tasks: Vec<TaskInstance>,
+    shadow: ShadowMemory<Option<TaskId>>,
+    main_joins: Vec<(u64, TaskId)>,
+    task_edges: HashSet<(TaskId, TaskId)>,
+    /// Addresses excluded by privatization.
+    excluded: Vec<(u32, u32)>,
+}
+
+impl<'m> TaskExtractor<'m> {
+    /// Creates an extractor for one run of `module`.
+    pub fn new(module: &'m Module, config: ExtractConfig) -> Self {
+        let excluded = module
+            .globals
+            .iter()
+            .filter(|g| config.privatized.contains(&g.name))
+            .map(|g| (g.offset, g.offset + g.words))
+            .collect();
+        TaskExtractor {
+            module,
+            config,
+            stack: Vec::with_capacity(64),
+            current_task: None,
+            tasks: Vec::new(),
+            shadow: ShadowMemory::with_dense_limit(8, module.global_words),
+            main_joins: Vec::new(),
+            task_edges: HashSet::new(),
+            excluded,
+        }
+    }
+
+    /// Finishes extraction.
+    pub fn into_trace(mut self, total_steps: u64) -> TaskTrace {
+        while !self.stack.is_empty() {
+            self.pop_one(total_steps);
+        }
+        let mut main_joins = self.main_joins;
+        main_joins.sort_unstable();
+        main_joins.dedup();
+        let mut task_edges: Vec<_> = self.task_edges.into_iter().collect();
+        task_edges.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+        TaskTrace { tasks: self.tasks, main_joins, task_edges, total_steps }
+    }
+
+    fn push(&mut self, head: Pc, ipdom: Option<BlockId>, is_barrier: bool, t: Time) {
+        let opened = if self.current_task.is_none() && self.config.marked.contains(&head)
+        {
+            let id = TaskId(self.tasks.len() as u32);
+            self.tasks.push(TaskInstance { head, t_enter: t, t_exit: t });
+            self.current_task = Some(id);
+            Some(id)
+        } else {
+            None
+        };
+        self.stack.push(Entry { head, ipdom, is_barrier, opened });
+    }
+
+    fn pop_one(&mut self, t: Time) {
+        let e = self.stack.pop().expect("extractor pop on empty stack");
+        if let Some(id) = e.opened {
+            self.tasks[id.0 as usize].t_exit = t;
+            self.current_task = None;
+        }
+    }
+
+    fn traced(&self, addr: u32) -> bool {
+        addr < self.module.global_words
+            && !self.excluded.iter().any(|&(lo, hi)| lo <= addr && addr < hi)
+    }
+
+    fn constrain(&mut self, head_tag: Option<TaskId>, tail_t: u64) {
+        match (head_tag, self.current_task) {
+            (Some(a), None) => self.main_joins.push((tail_t, a)),
+            (Some(a), Some(b)) if a != b => {
+                self.task_edges.insert((a, b));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TraceSink for TaskExtractor<'_> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32) {
+        let head = self.module.funcs[func.0 as usize].entry;
+        self.push(head, None, true, t);
+    }
+
+    fn on_exit_function(&mut self, t: Time, _func: FuncId) {
+        loop {
+            let barrier =
+                self.stack.last().expect("exit without entry").is_barrier;
+            self.pop_one(t);
+            if barrier {
+                return;
+            }
+        }
+    }
+
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        while let Some(top) = self.stack.last() {
+            if top.is_barrier || top.ipdom != Some(block) {
+                break;
+            }
+            self.pop_one(t);
+        }
+    }
+
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool) {
+        let mut found = None;
+        for (i, e) in self.stack.iter().enumerate().rev() {
+            if e.is_barrier {
+                break;
+            }
+            if e.head == pc {
+                found = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = found {
+            while self.stack.len() > i {
+                self.pop_one(t);
+            }
+        }
+        let ipdom = self.module.analysis.block(block).ipdom;
+        self.push(pc, ipdom, false, t);
+    }
+
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        if !self.traced(addr) {
+            return;
+        }
+        let access = Access { pc, t, node: self.current_task };
+        if let Some(dep) = self.shadow.on_read(addr, access) {
+            self.constrain(dep.head.node, t);
+        }
+    }
+
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        if !self.traced(addr) {
+            return;
+        }
+        let access = Access { pc, t, node: self.current_task };
+        let (waw, wars) = self.shadow.on_write(addr, access);
+        if self.config.respect_war_waw {
+            if let Some(dep) = waw {
+                self.constrain(dep.head.node, t);
+            }
+            for dep in wars {
+                self.constrain(dep.head.node, t);
+            }
+        }
+    }
+}
+
+/// Runs `module` once and extracts its task trace.
+///
+/// # Errors
+///
+/// Returns the [`Trap`] if the program faults.
+pub fn extract_tasks(
+    module: &Module,
+    exec_config: &ExecConfig,
+    config: ExtractConfig,
+) -> Result<TaskTrace, Trap> {
+    let mut extractor = TaskExtractor::new(module, config);
+    let outcome = alchemist_vm::run(module, exec_config, &mut extractor)?;
+    Ok(extractor.into_trace(outcome.steps))
+}
+
+/// Finds the head of a construct by kind and source line (a convenient way
+/// for benchmarks to say "the loop at line 14 of main").
+pub fn construct_at_line(
+    module: &Module,
+    kind: ConstructKind,
+    line: u32,
+) -> Option<Pc> {
+    match kind {
+        ConstructKind::Method => module
+            .funcs
+            .iter()
+            .find(|f| f.span.line() == line)
+            .map(|f| f.entry),
+        _ => (0..module.ops.len() as u32).map(Pc).find(|&pc| {
+            module
+                .analysis
+                .predicate_kind(pc)
+                .map(ConstructId::kind_of_pred)
+                == Some(kind)
+                && module.line_at(pc) == line
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::compile_source;
+
+    /// A loop whose iterations are heavy and independent, calling a worker
+    /// per iteration.
+    const INDEPENDENT: &str = "\
+int out[64];
+void work(int i) {
+    int j;
+    int acc = 0;
+    for (j = 0; j < 200; j++) acc += j * i;
+    out[i] = acc;
+}
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) work(i);
+    return out[7];
+}";
+
+    fn work_head(m: &Module) -> Pc {
+        m.func_by_name("work").unwrap().1.entry
+    }
+
+    #[test]
+    fn marked_function_instances_become_tasks() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        let cfg = ExtractConfig::default().mark(work_head(&m));
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        assert_eq!(trace.tasks.len(), 8);
+        for t in &trace.tasks {
+            assert!(t.duration() > 200, "worker bodies are heavy");
+        }
+        // Disjoint, ordered intervals.
+        for w in trace.tasks.windows(2) {
+            assert!(w[0].t_exit <= w[1].t_enter);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_have_no_task_edges() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        let cfg = ExtractConfig::default().mark(work_head(&m));
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        assert!(trace.task_edges.is_empty(), "{:?}", trace.task_edges);
+    }
+
+    #[test]
+    fn continuation_read_becomes_main_join() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        let cfg = ExtractConfig::default().mark(work_head(&m));
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        // `return out[7]` reads what task 7 wrote.
+        assert!(
+            trace.main_joins.iter().any(|&(_, t)| t == TaskId(7)),
+            "main must join the producer of out[7]: {:?}",
+            trace.main_joins
+        );
+    }
+
+    #[test]
+    fn chained_tasks_get_precedence_edges() {
+        // Each call reads the previous call's result: a serial chain.
+        let src = "\
+int acc;
+void step(int i) { acc = acc + i; }
+int main() {
+    int i;
+    for (i = 0; i < 4; i++) step(i);
+    return acc;
+}";
+        let m = compile_source(src).unwrap();
+        let head = m.func_by_name("step").unwrap().1.entry;
+        let cfg = ExtractConfig::default().mark(head);
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        assert_eq!(trace.tasks.len(), 4);
+        assert!(
+            trace.task_edges.contains(&(TaskId(0), TaskId(1))),
+            "chain edges: {:?}",
+            trace.task_edges
+        );
+    }
+
+    #[test]
+    fn privatization_removes_constraints() {
+        let src = "\
+int counter;
+int out[8];
+void work(int i) { counter++; out[i] = i; }
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) work(i);
+    return counter;
+}";
+        let m = compile_source(src).unwrap();
+        let head = m.func_by_name("work").unwrap().1.entry;
+        let naive = ExtractConfig::default().mark(head);
+        let t1 = extract_tasks(&m, &ExecConfig::default(), naive).unwrap();
+        assert!(!t1.task_edges.is_empty(), "counter chain serializes tasks");
+        let transformed =
+            ExtractConfig::default().mark(head).privatize("counter");
+        let t2 = extract_tasks(&m, &ExecConfig::default(), transformed).unwrap();
+        assert!(
+            t2.task_edges.is_empty(),
+            "privatized counter no longer constrains: {:?}",
+            t2.task_edges
+        );
+    }
+
+    #[test]
+    fn loop_iterations_as_tasks() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        // Mark the for-loop in main (a Loop predicate) instead of `work`.
+        let main_line = 9; // "int main() {" is line 9 (1-based) in INDEPENDENT
+        let _ = main_line;
+        let loop_head = (0..m.ops.len() as u32)
+            .map(Pc)
+            .find(|&pc| {
+                m.analysis.predicate_kind(pc)
+                    == Some(alchemist_vm::PredKind::Loop)
+                    && m.func_at(pc) == Some(m.main)
+            })
+            .expect("main's loop predicate");
+        let cfg = ExtractConfig::default().mark(loop_head);
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        // 8 productive iterations + 1 final test instance.
+        assert_eq!(trace.tasks.len(), 9);
+    }
+
+    #[test]
+    fn construct_at_line_finds_methods() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        let head = construct_at_line(&m, ConstructKind::Method, 2).unwrap();
+        assert_eq!(head, work_head(&m));
+    }
+
+    #[test]
+    fn nested_marks_do_not_nest_tasks() {
+        // Both the loop and the callee are marked; only the outermost
+        // (whichever opens first) becomes the task.
+        let m = compile_source(INDEPENDENT).unwrap();
+        let loop_head = (0..m.ops.len() as u32)
+            .map(Pc)
+            .find(|&pc| {
+                m.analysis.predicate_kind(pc)
+                    == Some(alchemist_vm::PredKind::Loop)
+                    && m.func_at(pc) == Some(m.main)
+            })
+            .unwrap();
+        let cfg = ExtractConfig::default().mark(loop_head).mark(work_head(&m));
+        let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
+        // Tasks are the loop iterations; the nested work() calls fold in.
+        assert_eq!(trace.tasks.len(), 9);
+        for w in trace.tasks.windows(2) {
+            assert!(w[0].t_exit <= w[1].t_enter, "no overlap");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Text rendering of simulated schedules (a Gantt-style timeline) for
+//! examples and reports.
+
+use crate::sim::{SimConfig, SimResult};
+use crate::task::{TaskId, TaskTrace};
+use std::fmt::Write as _;
+
+/// A fully scheduled task, for inspection and rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledTask {
+    /// Which task.
+    pub task: TaskId,
+    /// Worker thread it ran on.
+    pub worker: usize,
+    /// Start time in the parallel timeline.
+    pub start: u64,
+    /// End time in the parallel timeline.
+    pub end: u64,
+}
+
+/// Re-runs the list scheduler, recording per-task placement. The schedule
+/// is identical to [`simulate`](crate::simulate)'s (same deterministic
+/// policy); this variant additionally returns the placements.
+pub fn schedule(trace: &TaskTrace, config: &SimConfig) -> (SimResult, Vec<ScheduledTask>) {
+    // Reuse the simulator, then recompute placements deterministically by
+    // replaying the same policy with bookkeeping.
+    let result = crate::sim::simulate(trace, config);
+    let placements = replay_placements(trace, config);
+    (result, placements)
+}
+
+fn replay_placements(trace: &TaskTrace, config: &SimConfig) -> Vec<ScheduledTask> {
+    // The logic mirrors sim::simulate; kept separate so the hot path stays
+    // allocation-free. Consistency between the two is asserted by tests.
+    let n = trace.tasks.len();
+    let enters: Vec<u64> = trace.tasks.iter().map(|t| t.t_enter).collect();
+    let mut prefix: Vec<u64> = Vec::with_capacity(n + 1);
+    prefix.push(0);
+    for t in &trace.tasks {
+        let last = *prefix.last().expect("non-empty");
+        prefix.push(last + t.duration());
+    }
+    let task_time_before = |x: u64| -> u64 {
+        let i = enters.partition_point(|&e| e < x);
+        let mut total = prefix[i];
+        if i > 0 {
+            let t = &trace.tasks[i - 1];
+            if x < t.t_exit {
+                total = prefix[i - 1] + (x - t.t_enter);
+            }
+        }
+        total
+    };
+    let seq_compute =
+        |a: u64, b: u64| -> u64 { (b - a) - (task_time_before(b) - task_time_before(a)) };
+
+    let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for &(from, to) in &trace.task_edges {
+        preds[to.0 as usize].push(from);
+    }
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum K {
+        Join(TaskId),
+        Spawn(TaskId),
+    }
+    let mut events: Vec<(u64, K)> = Vec::new();
+    for (pos, t) in &trace.main_joins {
+        events.push((*pos, K::Join(*t)));
+    }
+    for (i, t) in trace.tasks.iter().enumerate() {
+        events.push((t.t_enter, K::Spawn(TaskId(i as u32))));
+    }
+    events.sort_by_key(|&(pos, k)| (pos, matches!(k, K::Spawn(_))));
+
+    let mut main = 0u64;
+    let mut cursor = 0u64;
+    let mut workers = vec![0u64; config.threads];
+    let mut finish = vec![0u64; n];
+    let mut out = Vec::with_capacity(n);
+    for (pos, kind) in events {
+        main += seq_compute(cursor, pos);
+        cursor = pos;
+        match kind {
+            K::Spawn(tid) => {
+                main += config.spawn_overhead;
+                let duration =
+                    trace.tasks[tid.0 as usize].duration() + config.task_overhead;
+                let mut ready = main;
+                for &p in &preds[tid.0 as usize] {
+                    ready = ready.max(finish[p.0 as usize]);
+                }
+                let (wi, &avail) = workers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &a)| (a, i))
+                    .expect("threads > 0");
+                let start = ready.max(avail);
+                let end = start + duration;
+                workers[wi] = end;
+                finish[tid.0 as usize] = end;
+                out.push(ScheduledTask { task: tid, worker: wi, start, end });
+            }
+            K::Join(tid) => {
+                main = main.max(finish[tid.0 as usize]);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the schedule as a text timeline, one row per worker, `width`
+/// columns spanning `[0, t_par]`.
+pub fn render_timeline(
+    trace: &TaskTrace,
+    config: &SimConfig,
+    width: usize,
+) -> String {
+    let (result, placements) = schedule(trace, config);
+    let width = width.max(10);
+    let scale = result.t_par.max(1) as f64 / width as f64;
+    let mut rows = vec![vec![b'.'; width]; config.threads];
+    for p in &placements {
+        let a = (p.start as f64 / scale) as usize;
+        let b = ((p.end as f64 / scale) as usize).clamp(a + 1, width);
+        let glyph = b'A' + (p.task.0 % 26) as u8;
+        for c in rows[p.worker][a.min(width - 1)..b].iter_mut() {
+            *c = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "t_seq={} t_par={} speedup={:.2} ({} tasks on {} threads)",
+        result.t_seq,
+        result.t_par,
+        result.speedup,
+        result.tasks,
+        config.threads
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "w{i} |{}|",
+            String::from_utf8(row.clone()).expect("ascii glyphs")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskInstance;
+    use alchemist_vm::Pc;
+
+    fn trace_of(tasks: Vec<(u64, u64)>, total: u64) -> TaskTrace {
+        TaskTrace {
+            tasks: tasks
+                .into_iter()
+                .map(|(a, b)| TaskInstance { head: Pc(0), t_enter: a, t_exit: b })
+                .collect(),
+            main_joins: vec![],
+            task_edges: vec![],
+            total_steps: total,
+        }
+    }
+
+    fn cfg(threads: usize) -> SimConfig {
+        SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+    }
+
+    #[test]
+    fn placements_cover_every_task_once() {
+        let trace = trace_of(vec![(0, 100), (100, 300), (300, 350)], 400);
+        let (result, placements) = schedule(&trace, &cfg(2));
+        assert_eq!(placements.len(), 3);
+        let mut ids: Vec<u32> = placements.iter().map(|p| p.task.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for p in &placements {
+            assert!(p.end <= result.t_par);
+            assert!(p.worker < 2);
+        }
+    }
+
+    #[test]
+    fn placements_agree_with_sim_result() {
+        let trace = trace_of(vec![(0, 500), (500, 900), (900, 1800)], 2000);
+        let (result, placements) = schedule(&trace, &cfg(2));
+        let max_end = placements.iter().map(|p| p.end).max().unwrap();
+        assert!(
+            result.t_par >= max_end,
+            "makespan {} below last task end {max_end}",
+            result.t_par
+        );
+        // Per-worker busy time matches the placements.
+        for w in 0..2 {
+            let busy: u64 = placements
+                .iter()
+                .filter(|p| p.worker == w)
+                .map(|p| p.end - p.start)
+                .sum();
+            assert_eq!(busy, result.thread_busy[w]);
+        }
+    }
+
+    #[test]
+    fn no_worker_runs_two_tasks_at_once() {
+        let tasks: Vec<(u64, u64)> =
+            (0..12).map(|i| (i * 50, i * 50 + 50)).collect();
+        let (_, placements) = schedule(&trace_of(tasks, 600), &cfg(3));
+        for a in &placements {
+            for b in &placements {
+                if a.task != b.task && a.worker == b.worker {
+                    assert!(
+                        a.end <= b.start || b.end <= a.start,
+                        "overlap on worker {}: {a:?} vs {b:?}",
+                        a.worker
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_renders_rows_per_worker() {
+        let trace = trace_of(vec![(0, 400), (400, 800)], 800);
+        let text = render_timeline(&trace, &cfg(2), 40);
+        assert!(text.contains("w0 |"));
+        assert!(text.contains("w1 |"));
+        assert!(text.contains("speedup="));
+        assert!(text.contains('A') && text.contains('B'));
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic parallel-schedule simulation.
+//!
+//! Replays a [`TaskTrace`] under the futures execution model of the paper:
+//! the main thread executes the sequential program; each marked construct
+//! instance is spawned onto a pool of `threads` workers at the point where
+//! the sequential run entered it; the main thread blocks at every
+//! dependence-induced join; a task waits for its producer tasks. The
+//! makespan of this schedule against the sequential instruction count gives
+//! the speedup reported in Table V.
+//!
+//! The model is conservative (task-atomic joins: a consumer waits for the
+//! whole producer, exactly like joining a future) and deterministic, so the
+//! reproduced numbers are stable across runs.
+
+use crate::task::{TaskId, TaskTrace};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Worker threads (the paper's machines use 4).
+    pub threads: usize,
+    /// Main-thread cost of spawning one task, in instructions.
+    pub spawn_overhead: u64,
+    /// Fixed startup cost added to each task, in instructions.
+    pub task_overhead: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { threads: 4, spawn_overhead: 64, task_overhead: 64 }
+    }
+}
+
+impl SimConfig {
+    /// A config with `threads` workers and default overheads.
+    pub fn with_threads(threads: usize) -> Self {
+        SimConfig { threads, ..SimConfig::default() }
+    }
+}
+
+/// The outcome of a simulated parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Sequential time (instructions).
+    pub t_seq: u64,
+    /// Simulated parallel makespan (instructions).
+    pub t_par: u64,
+    /// `t_seq / t_par`.
+    pub speedup: f64,
+    /// Number of tasks spawned.
+    pub tasks: usize,
+    /// Joins the main thread performed.
+    pub main_joins: usize,
+    /// Precedence edges between tasks.
+    pub task_edges: usize,
+    /// Busy time per worker thread.
+    pub thread_busy: Vec<u64>,
+    /// Instructions the main thread executed outside tasks.
+    pub main_compute: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Join(TaskId),
+    Spawn(TaskId),
+}
+
+/// Simulates `trace` on `config.threads` workers.
+///
+/// # Panics
+///
+/// Panics if `config.threads == 0`.
+pub fn simulate(trace: &TaskTrace, config: &SimConfig) -> SimResult {
+    assert!(config.threads > 0, "at least one worker thread required");
+    let n = trace.tasks.len();
+
+    // Prefix sums of task time: task_time_before(x) = instructions spent
+    // inside tasks in sequential interval [0, x).
+    let enters: Vec<u64> = trace.tasks.iter().map(|t| t.t_enter).collect();
+    let mut prefix: Vec<u64> = Vec::with_capacity(n + 1);
+    prefix.push(0);
+    for t in &trace.tasks {
+        let last = *prefix.last().expect("non-empty prefix");
+        prefix.push(last + t.duration());
+    }
+    let task_time_before = |x: u64| -> u64 {
+        // Tasks fully before x plus the partial overlap of the task
+        // containing x (if any).
+        let i = enters.partition_point(|&e| e < x);
+        let mut total = prefix[i];
+        if i > 0 {
+            let t = &trace.tasks[i - 1];
+            if x < t.t_exit {
+                // x lies inside task i-1: count only up to x.
+                total = prefix[i - 1] + (x - t.t_enter);
+            }
+        }
+        total
+    };
+    let seq_compute = |a: u64, b: u64| -> u64 {
+        debug_assert!(a <= b);
+        (b - a) - (task_time_before(b) - task_time_before(a))
+    };
+
+    // Predecessor lists.
+    let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for &(from, to) in &trace.task_edges {
+        preds[to.0 as usize].push(from);
+    }
+
+    // Event list ordered by sequential position; joins before spawns at the
+    // same position.
+    let mut events: Vec<(u64, EventKind)> = Vec::with_capacity(n + trace.main_joins.len());
+    for (pos, t) in &trace.main_joins {
+        events.push((*pos, EventKind::Join(*t)));
+    }
+    for (i, t) in trace.tasks.iter().enumerate() {
+        events.push((t.t_enter, EventKind::Spawn(TaskId(i as u32))));
+    }
+    events.sort_by_key(|&(pos, kind)| (pos, matches!(kind, EventKind::Spawn(_))));
+
+    let mut main: u64 = 0;
+    let mut cursor: u64 = 0;
+    let mut main_compute: u64 = 0;
+    let mut workers: Vec<u64> = vec![0; config.threads];
+    let mut busy: Vec<u64> = vec![0; config.threads];
+    let mut finish: Vec<u64> = vec![0; n];
+
+    for (pos, kind) in events {
+        let compute = seq_compute(cursor, pos);
+        main += compute;
+        main_compute += compute;
+        cursor = pos;
+        match kind {
+            EventKind::Spawn(tid) => {
+                main += config.spawn_overhead;
+                let duration =
+                    trace.tasks[tid.0 as usize].duration() + config.task_overhead;
+                let mut ready = main;
+                for &p in &preds[tid.0 as usize] {
+                    ready = ready.max(finish[p.0 as usize]);
+                }
+                // Earliest-available worker (ties: lowest index).
+                let (wi, &avail) = workers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &a)| (a, i))
+                    .expect("threads > 0");
+                let start = ready.max(avail);
+                let end = start + duration;
+                workers[wi] = end;
+                busy[wi] += duration;
+                finish[tid.0 as usize] = end;
+            }
+            EventKind::Join(tid) => {
+                main = main.max(finish[tid.0 as usize]);
+            }
+        }
+    }
+    let tail = seq_compute(cursor, trace.total_steps);
+    main += tail;
+    main_compute += tail;
+    // The program ends when the main thread has joined every worker.
+    let t_par = finish.iter().fold(main, |acc, &f| acc.max(f)).max(1);
+    let t_seq = trace.total_steps.max(1);
+
+    SimResult {
+        t_seq,
+        t_par,
+        speedup: t_seq as f64 / t_par as f64,
+        tasks: n,
+        main_joins: trace.main_joins.len(),
+        task_edges: trace.task_edges.len(),
+        thread_busy: busy,
+        main_compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskInstance;
+    use alchemist_vm::Pc;
+
+    fn trace_of(tasks: Vec<(u64, u64)>, total: u64) -> TaskTrace {
+        TaskTrace {
+            tasks: tasks
+                .into_iter()
+                .map(|(a, b)| TaskInstance { head: Pc(0), t_enter: a, t_exit: b })
+                .collect(),
+            main_joins: vec![],
+            task_edges: vec![],
+            total_steps: total,
+        }
+    }
+
+    fn no_overhead(threads: usize) -> SimConfig {
+        SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+    }
+
+    #[test]
+    fn no_tasks_means_no_speedup() {
+        let r = simulate(&trace_of(vec![], 1000), &no_overhead(4));
+        assert_eq!(r.t_par, 1000);
+        assert!((r.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(r.main_compute, 1000);
+    }
+
+    #[test]
+    fn independent_equal_tasks_scale_linearly() {
+        // 4 tasks x 1000 instructions, back to back, negligible serial glue.
+        let tasks = vec![(0, 1000), (1000, 2000), (2000, 3000), (3000, 4000)];
+        let r = simulate(&trace_of(tasks, 4000), &no_overhead(4));
+        assert_eq!(r.t_seq, 4000);
+        assert_eq!(r.t_par, 1000, "all four run concurrently");
+        assert!((r.speedup - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_threads_halve_four_tasks() {
+        let tasks = vec![(0, 1000), (1000, 2000), (2000, 3000), (3000, 4000)];
+        let r = simulate(&trace_of(tasks, 4000), &no_overhead(2));
+        assert_eq!(r.t_par, 2000);
+        assert_eq!(r.thread_busy, vec![2000, 2000]);
+    }
+
+    #[test]
+    fn serial_chain_gives_no_speedup() {
+        let tasks = vec![(0, 1000), (1000, 2000), (2000, 3000)];
+        let mut trace = trace_of(tasks, 3000);
+        trace.task_edges =
+            vec![(crate::task::TaskId(0), crate::task::TaskId(1)),
+                 (crate::task::TaskId(1), crate::task::TaskId(2))];
+        let r = simulate(&trace, &no_overhead(4));
+        assert_eq!(r.t_par, 3000, "precedence chain serializes");
+    }
+
+    #[test]
+    fn main_join_blocks_the_main_thread() {
+        // One task [0,1000); main then computes 10 and joins it at seq 1010.
+        let mut trace = trace_of(vec![(0, 1000)], 2000);
+        trace.main_joins = vec![(1010, crate::task::TaskId(0))];
+        let r = simulate(&trace, &no_overhead(4));
+        // main: compute 10 (gap 1000..1010), wait until task end (1000),
+        // main was at 10 -> join raises it to 1000, then remaining
+        // 990 instructions of serial tail: t_par = 1990.
+        assert_eq!(r.t_par, 1990);
+    }
+
+    #[test]
+    fn join_after_task_finishes_costs_nothing() {
+        // Long serial prefix then join: the task finished long ago.
+        let mut trace = trace_of(vec![(0, 100)], 5000);
+        trace.main_joins = vec![(4000, crate::task::TaskId(0))];
+        let r = simulate(&trace, &no_overhead(4));
+        assert_eq!(r.t_par, 4900, "serial 4900 dominates; join is free");
+    }
+
+    #[test]
+    fn amdahl_limit_respected() {
+        // Half the run is serial glue: speedup can't exceed 2.
+        let tasks = vec![(0, 500), (2000, 2500), (3000, 3500), (3600, 4100)];
+        let trace = trace_of(tasks, 4000 + 2000);
+        let r = simulate(&trace, &no_overhead(64));
+        assert!(r.speedup < 2.1, "speedup {} exceeds Amdahl bound", r.speedup);
+    }
+
+    #[test]
+    fn overheads_reduce_speedup() {
+        let tasks = vec![(0, 1000), (1000, 2000), (2000, 3000), (3000, 4000)];
+        let fast = simulate(&trace_of(tasks.clone(), 4000), &no_overhead(4));
+        let slow = simulate(
+            &trace_of(tasks, 4000),
+            &SimConfig { threads: 4, spawn_overhead: 100, task_overhead: 100 },
+        );
+        assert!(slow.speedup < fast.speedup);
+    }
+
+    #[test]
+    fn single_thread_serializes_tasks() {
+        let tasks = vec![(0, 1000), (1000, 2000)];
+        let r = simulate(&trace_of(tasks, 2000), &no_overhead(1));
+        assert_eq!(r.t_par, 2000);
+        assert!((r.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        simulate(&trace_of(vec![], 10), &no_overhead(0));
+    }
+
+    #[test]
+    fn thread_busy_accounts_all_task_work() {
+        let tasks = vec![(0, 700), (700, 1500), (1500, 1600)];
+        let trace = trace_of(tasks, 1600);
+        let r = simulate(&trace, &no_overhead(3));
+        let total_busy: u64 = r.thread_busy.iter().sum();
+        assert_eq!(total_busy, trace.task_work());
+    }
+}

@@ -1,0 +1,92 @@
+//! Task traces extracted from a profiled sequential run.
+
+use alchemist_vm::Pc;
+
+/// Index of a task instance within a [`TaskTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// One dynamic instance of a construct marked for asynchronous execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskInstance {
+    /// The static construct the task came from.
+    pub head: Pc,
+    /// Sequential timestamp at which the instance started (= its spawn
+    /// point in the parallel version).
+    pub t_enter: u64,
+    /// Sequential timestamp at which the instance completed.
+    pub t_exit: u64,
+}
+
+impl TaskInstance {
+    /// The task's work, in instructions.
+    pub fn duration(&self) -> u64 {
+        self.t_exit.saturating_sub(self.t_enter)
+    }
+}
+
+/// The schedule-relevant structure of one sequential run: tasks, the
+/// dependence-induced joins the main thread must perform, and the
+/// precedence edges between tasks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskTrace {
+    /// Task instances, ordered by `t_enter` (their intervals are disjoint).
+    pub tasks: Vec<TaskInstance>,
+    /// `(seq_pos, task)`: before executing the instruction at sequential
+    /// position `seq_pos`, the main thread must wait for `task` to finish.
+    pub main_joins: Vec<(u64, TaskId)>,
+    /// `(from, to)`: task `to` consumes a value produced by task `from` and
+    /// cannot start before `from` finishes.
+    pub task_edges: Vec<(TaskId, TaskId)>,
+    /// Total sequential instructions of the run.
+    pub total_steps: u64,
+}
+
+impl TaskTrace {
+    /// Total instructions spent inside tasks.
+    pub fn task_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.duration()).sum()
+    }
+
+    /// Instructions executed by the main thread outside all tasks.
+    pub fn serial_work(&self) -> u64 {
+        self.total_steps.saturating_sub(self.task_work())
+    }
+
+    /// Fraction of the run spent outside tasks (the serial fraction that
+    /// bounds the achievable speedup, per Amdahl).
+    pub fn serial_fraction(&self) -> f64 {
+        if self.total_steps == 0 {
+            return 1.0;
+        }
+        self.serial_work() as f64 / self.total_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_and_fractions() {
+        let trace = TaskTrace {
+            tasks: vec![
+                TaskInstance { head: Pc(1), t_enter: 10, t_exit: 40 },
+                TaskInstance { head: Pc(1), t_enter: 50, t_exit: 90 },
+            ],
+            main_joins: vec![],
+            task_edges: vec![],
+            total_steps: 100,
+        };
+        assert_eq!(trace.tasks[0].duration(), 30);
+        assert_eq!(trace.task_work(), 70);
+        assert_eq!(trace.serial_work(), 30);
+        assert!((trace.serial_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_fully_serial() {
+        let trace = TaskTrace::default();
+        assert_eq!(trace.serial_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of the schedule simulator: classic makespan bounds and
+//! monotonicity laws that any correct list scheduler satisfies.
+
+use alchemist_parsim::{simulate, SimConfig, TaskId, TaskInstance, TaskTrace};
+use alchemist_vm::Pc;
+use proptest::prelude::*;
+
+/// Builds a valid trace from gap/duration pairs: tasks are laid out
+/// back-to-back with the given serial gaps between them.
+fn trace_from(gaps: Vec<(u64, u64)>, tail: u64, edges: Vec<(u32, u32)>) -> TaskTrace {
+    let mut t = 0u64;
+    let mut tasks = Vec::new();
+    for (gap, dur) in gaps {
+        t += gap;
+        tasks.push(TaskInstance { head: Pc(0), t_enter: t, t_exit: t + dur });
+        t += dur;
+    }
+    let n = tasks.len() as u32;
+    let task_edges = edges
+        .into_iter()
+        .filter_map(|(a, b)| {
+            // Keep only forward edges between existing tasks.
+            let (a, b) = (a % n.max(1), b % n.max(1));
+            (a < b).then_some((TaskId(a), TaskId(b)))
+        })
+        .collect();
+    TaskTrace { tasks, main_joins: vec![], task_edges, total_steps: t + tail }
+}
+
+fn arb_trace() -> impl Strategy<Value = TaskTrace> {
+    (
+        proptest::collection::vec((0u64..200, 1u64..500), 1..20),
+        0u64..300,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+    )
+        .prop_map(|(gaps, tail, edges)| trace_from(gaps, tail, edges))
+}
+
+fn no_overhead(threads: usize) -> SimConfig {
+    SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// T_par >= serial work, T_par >= total work / threads (the two lower
+    /// bounds), and T_par <= T_seq (no-overhead schedules never lose).
+    #[test]
+    fn makespan_bounds(trace in arb_trace(), threads in 1usize..8) {
+        let r = simulate(&trace, &no_overhead(threads));
+        prop_assert!(r.t_par >= trace.serial_work(),
+            "below serial bound: {} < {}", r.t_par, trace.serial_work());
+        let work_bound = trace.task_work().div_ceil(threads as u64);
+        prop_assert!(r.t_par >= work_bound.min(r.t_seq),
+            "below work bound: {} < {}", r.t_par, work_bound);
+        prop_assert!(r.t_par <= r.t_seq,
+            "overhead-free schedule slower than sequential: {} > {}",
+            r.t_par, r.t_seq);
+    }
+
+    /// More threads never hurt.
+    #[test]
+    fn threads_monotone(trace in arb_trace()) {
+        let mut last = u64::MAX;
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let r = simulate(&trace, &no_overhead(threads));
+            prop_assert!(r.t_par <= last,
+                "{threads} threads slower: {} > {last}", r.t_par);
+            last = r.t_par;
+        }
+    }
+
+    /// Adding precedence edges never speeds the schedule up.
+    #[test]
+    fn edges_only_constrain(trace in arb_trace()) {
+        let mut relaxed = trace.clone();
+        relaxed.task_edges.clear();
+        let constrained = simulate(&trace, &no_overhead(4));
+        let free = simulate(&relaxed, &no_overhead(4));
+        prop_assert!(free.t_par <= constrained.t_par);
+    }
+
+    /// A full chain serializes all task work.
+    #[test]
+    fn full_chain_serializes(
+        gaps in proptest::collection::vec((0u64..50, 1u64..200), 2..10)
+    ) {
+        let n = gaps.len() as u32;
+        let chain: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let trace = trace_from(gaps, 0, chain);
+        let r = simulate(&trace, &no_overhead(8));
+        prop_assert!(r.t_par >= trace.task_work(),
+            "chained tasks overlapped: {} < {}", r.t_par, trace.task_work());
+    }
+
+    /// With a single worker all task work serializes on that worker, but
+    /// the main thread may still overlap its serial glue with it (the
+    /// futures model keeps the spawning thread separate), so the makespan
+    /// sits between the task-work bound and the sequential time.
+    #[test]
+    fn single_worker_serializes_tasks(trace in arb_trace()) {
+        let r = simulate(&trace, &no_overhead(1));
+        prop_assert!(r.t_par >= trace.task_work());
+        prop_assert!(r.t_par <= r.t_seq);
+    }
+
+    /// Busy time is conserved: workers execute exactly the task work
+    /// (plus per-task overhead).
+    #[test]
+    fn busy_time_conserved(trace in arb_trace(), threads in 1usize..6) {
+        let cfg = SimConfig { threads, spawn_overhead: 3, task_overhead: 11 };
+        let r = simulate(&trace, &cfg);
+        let busy: u64 = r.thread_busy.iter().sum();
+        let expected = trace.task_work() + 11 * trace.tasks.len() as u64;
+        prop_assert_eq!(busy, expected);
+    }
+}

@@ -1,0 +1,356 @@
+//! Control-flow analysis of compiled bytecode.
+//!
+//! For every function this module builds the basic-block graph, computes
+//! immediate post-dominators (with a virtual exit node collecting all `ret`
+//! instructions) and classifies every conditional branch as a *loop* or
+//! *branch* predicate. These are precisely the static facts the Alchemist
+//! instrumentation rules (Fig. 5 of the paper) consume at run time:
+//!
+//! * rule 4 needs to know which predicates delimit loop iterations, and
+//! * rule 5 pops a construct when control reaches the immediate
+//!   post-dominator of its predicate.
+//!
+//! Predicates whose post-dominator is the virtual exit (or that cannot reach
+//! the exit at all) have [`BlockInfo::ipdom`] `None`; the indexing runtime
+//! closes such constructs when the enclosing function returns.
+
+use crate::op::{BlockId, Op, Pc};
+use alchemist_cfg::{dominators, natural_loops, post_dominators, DiGraph};
+use alchemist_lang::hir::FuncId;
+
+/// Classification of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredKind {
+    /// Delimits loop iterations (its block is a loop header or it takes a
+    /// back edge, as in `do`-`while`).
+    Loop,
+    /// An ordinary branch (`if`, `&&`, ternary, ...).
+    Branch,
+}
+
+/// Static facts about one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The function owning the block.
+    pub func: FuncId,
+    /// First instruction of the block.
+    pub first: Pc,
+    /// One past the last instruction.
+    pub end: Pc,
+    /// Immediate post-dominator block; `None` when it is the function exit
+    /// or the block cannot reach the exit.
+    pub ipdom: Option<BlockId>,
+}
+
+/// Module-wide control-flow facts consumed by the profiler.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleAnalysis {
+    block_start: Vec<Option<BlockId>>,
+    block_of: Vec<u32>,
+    blocks: Vec<BlockInfo>,
+    predicates: Vec<Option<PredKind>>,
+}
+
+impl ModuleAnalysis {
+    /// The block starting at `pc`, if `pc` is a block leader.
+    pub fn block_start(&self, pc: Pc) -> Option<BlockId> {
+        self.block_start.get(pc.0 as usize).copied().flatten()
+    }
+
+    /// The block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn block_of(&self, pc: Pc) -> BlockId {
+        BlockId(self.block_of[pc.0 as usize])
+    }
+
+    /// Facts about `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block(&self, block: BlockId) -> &BlockInfo {
+        &self.blocks[block.0 as usize]
+    }
+
+    /// All blocks, in id order.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Predicate classification of the conditional branch at `pc`, or `None`
+    /// if the instruction is not a conditional branch.
+    pub fn predicate_kind(&self, pc: Pc) -> Option<PredKind> {
+        self.predicates.get(pc.0 as usize).copied().flatten()
+    }
+
+    /// Number of *static constructs* in the module: one per function plus
+    /// one per conditional branch. This matches the paper's Table III
+    /// "Static" column definition.
+    pub fn static_construct_count(&self, func_count: usize) -> usize {
+        func_count + self.predicates.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// Computes control-flow facts for a compiled module.
+///
+/// `funcs` gives each function's `[entry, end)` instruction range.
+pub fn analyze(ops: &[Op], funcs: &[(Pc, Pc)]) -> ModuleAnalysis {
+    let mut analysis = ModuleAnalysis {
+        block_start: vec![None; ops.len()],
+        block_of: vec![u32::MAX; ops.len()],
+        blocks: Vec::new(),
+        predicates: vec![None; ops.len()],
+    };
+    for (fi, &(entry, end)) in funcs.iter().enumerate() {
+        analyze_function(ops, FuncId(fi as u32), entry, end, &mut analysis);
+    }
+    analysis
+}
+
+fn analyze_function(
+    ops: &[Op],
+    func: FuncId,
+    entry: Pc,
+    end: Pc,
+    out: &mut ModuleAnalysis,
+) {
+    let lo = entry.0 as usize;
+    let hi = end.0 as usize;
+    assert!(lo < hi && hi <= ops.len(), "function range out of bounds");
+
+    // 1. Find block leaders.
+    let mut leader = vec![false; hi - lo];
+    leader[0] = true;
+    for pc in lo..hi {
+        let op = &ops[pc];
+        if let Some(t) = op.branch_target() {
+            let t = t as usize;
+            assert!(lo <= t && t < hi, "branch target escapes function");
+            leader[t - lo] = true;
+        }
+        if op.is_terminator() && pc + 1 < hi {
+            leader[pc + 1 - lo] = true;
+        }
+    }
+
+    // 2. Materialize blocks.
+    let base = out.blocks.len() as u32;
+    let mut local_block_of = vec![0u32; hi - lo]; // function-local ids
+    let mut starts: Vec<usize> = Vec::new();
+    for (i, &is_leader) in leader.iter().enumerate() {
+        if is_leader {
+            starts.push(lo + i);
+        }
+        if !starts.is_empty() {
+            local_block_of[i] = (starts.len() - 1) as u32;
+        }
+    }
+    let nblocks = starts.len();
+    for (bi, &s) in starts.iter().enumerate() {
+        let e = starts.get(bi + 1).copied().unwrap_or(hi);
+        let gid = BlockId(base + bi as u32);
+        out.block_start[s] = Some(gid);
+        for pc in s..e {
+            out.block_of[pc] = gid.0;
+        }
+        out.blocks.push(BlockInfo {
+            func,
+            first: Pc(s as u32),
+            end: Pc(e as u32),
+            ipdom: None,
+        });
+    }
+
+    // 3. Build the block graph with a virtual exit node.
+    let exit = nblocks as u32;
+    let mut g = DiGraph::new(nblocks + 1);
+    for bi in 0..nblocks {
+        let e = starts.get(bi + 1).copied().unwrap_or(hi);
+        let last = &ops[e - 1];
+        match last {
+            Op::Br(t) => g.add_edge(bi as u32, local_block_of[*t as usize - lo]),
+            Op::BrTrue(t) | Op::BrFalse(t) => {
+                g.add_edge(bi as u32, local_block_of[*t as usize - lo]);
+                if e < hi {
+                    g.add_edge(bi as u32, local_block_of[e - lo]);
+                }
+            }
+            Op::Ret => g.add_edge(bi as u32, exit),
+            _ => {
+                // Fallthrough into the next block.
+                if e < hi {
+                    g.add_edge(bi as u32, local_block_of[e - lo]);
+                }
+            }
+        }
+    }
+
+    // 4. Post-dominators (virtual exit as root) and dominators/loops.
+    let pdom = post_dominators(&g, exit);
+    let dom = dominators(&g, 0);
+    let loops = natural_loops(&g, &dom);
+
+    for bi in 0..nblocks {
+        let ip = pdom.idom(bi as u32).filter(|&p| p != exit);
+        out.blocks[(base + bi as u32) as usize].ipdom = ip.map(|p| BlockId(base + p));
+    }
+
+    // 5. Classify conditional branches.
+    for bi in 0..nblocks {
+        let e = starts.get(bi + 1).copied().unwrap_or(hi);
+        let last_pc = e - 1;
+        if !ops[last_pc].is_predicate() {
+            continue;
+        }
+        let b = bi as u32;
+        let takes_back_edge = g
+            .succs(b)
+            .iter()
+            .any(|&t| t != exit && dom.dominates(t, b));
+        let kind = if loops.is_header(b) || takes_back_edge {
+            PredKind::Loop
+        } else {
+            PredKind::Branch
+        };
+        out.predicates[last_pc] = Some(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-assembled `while` loop:
+    /// ```text
+    /// 0: const 10        (entry block A)
+    /// 1: lstore 0
+    /// 2: lload 0         (header block H)
+    /// 3: br.f 8
+    /// 4: lload 0         (body block B)
+    /// 5: const -1
+    /// 6: bin +
+    /// 7: ... br 2        (latch, same block as body here)
+    /// 8: const 0         (exit block X)
+    /// 9: ret
+    /// ```
+    fn while_ops() -> Vec<Op> {
+        use alchemist_lang::BinOp;
+        vec![
+            Op::Const(10),
+            Op::StoreLocal(0),
+            Op::LoadLocal(0),
+            Op::BrFalse(8),
+            Op::LoadLocal(0),
+            Op::Const(-1),
+            Op::Bin(BinOp::Add),
+            Op::Br(2),
+            Op::Const(0),
+            Op::Ret,
+        ]
+    }
+
+    #[test]
+    fn blocks_are_split_at_leaders() {
+        let ops = while_ops();
+        let a = analyze(&ops, &[(Pc(0), Pc(10))]);
+        // Blocks: [0..2), [2..4), [4..8), [8..10).
+        assert_eq!(a.blocks().len(), 4);
+        assert!(a.block_start(Pc(0)).is_some());
+        assert!(a.block_start(Pc(2)).is_some());
+        assert!(a.block_start(Pc(4)).is_some());
+        assert!(a.block_start(Pc(8)).is_some());
+        assert!(a.block_start(Pc(5)).is_none());
+        assert_eq!(a.block_of(Pc(6)), a.block_of(Pc(4)));
+    }
+
+    #[test]
+    fn loop_predicate_is_classified() {
+        let ops = while_ops();
+        let a = analyze(&ops, &[(Pc(0), Pc(10))]);
+        assert_eq!(a.predicate_kind(Pc(3)), Some(PredKind::Loop));
+        assert_eq!(a.predicate_kind(Pc(7)), None, "unconditional br");
+        assert_eq!(a.predicate_kind(Pc(0)), None);
+    }
+
+    #[test]
+    fn ipdom_of_loop_header_is_exit_block() {
+        let ops = while_ops();
+        let a = analyze(&ops, &[(Pc(0), Pc(10))]);
+        let header = a.block_of(Pc(2));
+        let exit_block = a.block_of(Pc(8));
+        assert_eq!(a.block(header).ipdom, Some(exit_block));
+        // The body's ipdom is the header.
+        let body = a.block_of(Pc(4));
+        assert_eq!(a.block(body).ipdom, Some(header));
+        // The final block's ipdom is the virtual exit -> None.
+        assert_eq!(a.block(exit_block).ipdom, None);
+    }
+
+    #[test]
+    fn if_predicate_is_branch_kind() {
+        use alchemist_lang::BinOp;
+        // 0: lload 0; 1: br.f 4; 2: const 1; 3: bin +  (then, falls through)
+        // 4: const 0; 5: ret
+        let ops = vec![
+            Op::LoadLocal(0),
+            Op::BrFalse(4),
+            Op::Const(1),
+            Op::Bin(BinOp::Add),
+            Op::Const(0),
+            Op::Ret,
+        ];
+        let a = analyze(&ops, &[(Pc(0), Pc(6))]);
+        assert_eq!(a.predicate_kind(Pc(1)), Some(PredKind::Branch));
+        // ipdom of the branch block is the join block at 4.
+        let cond_block = a.block_of(Pc(1));
+        let join = a.block_of(Pc(4));
+        assert_eq!(a.block(cond_block).ipdom, Some(join));
+    }
+
+    #[test]
+    fn do_while_latch_predicate_is_loop_kind() {
+        use alchemist_lang::BinOp;
+        // 0: const 1 (body H); 1: lload 0; 2: bin + ... 3: br.t 0 (latch Q); 4: const 0; 5: ret
+        let ops = vec![
+            Op::Const(1),
+            Op::LoadLocal(0),
+            Op::Bin(BinOp::Add),
+            Op::BrTrue(0),
+            Op::Const(0),
+            Op::Ret,
+        ];
+        let a = analyze(&ops, &[(Pc(0), Pc(6))]);
+        assert_eq!(a.predicate_kind(Pc(3)), Some(PredKind::Loop));
+    }
+
+    #[test]
+    fn static_construct_count_counts_functions_and_predicates() {
+        let ops = while_ops();
+        let a = analyze(&ops, &[(Pc(0), Pc(10))]);
+        // 1 function + 1 predicate.
+        assert_eq!(a.static_construct_count(1), 2);
+    }
+
+    #[test]
+    fn infinite_loop_blocks_have_no_ipdom() {
+        // 0: const 1; 1: pop; 2: br 0  -- never returns. Add unreachable ret.
+        let ops = vec![Op::Const(1), Op::Pop, Op::Br(0), Op::Const(0), Op::Ret];
+        let a = analyze(&ops, &[(Pc(0), Pc(5))]);
+        let b0 = a.block_of(Pc(0));
+        assert_eq!(a.block(b0).ipdom, None);
+    }
+
+    #[test]
+    fn multiple_functions_get_disjoint_block_ids() {
+        let mut ops = while_ops();
+        let split = ops.len() as u32;
+        ops.extend([Op::Const(0), Op::Ret]);
+        let a = analyze(&ops, &[(Pc(0), Pc(split)), (Pc(split), Pc(split + 2))]);
+        let last = a.block_of(Pc(split));
+        assert_eq!(a.block(last).func, FuncId(1));
+        assert!(last.0 >= 4, "second function blocks numbered after first");
+    }
+}

@@ -1,0 +1,727 @@
+//! Bytecode compiler: HIR → [`Module`].
+//!
+//! Lowering notes relevant to profiling fidelity:
+//!
+//! * Short-circuit `&&`/`||` and the ternary operator are lowered to
+//!   conditional branches, exactly as a C compiler would. They therefore
+//!   appear as predicates — and hence as profiled constructs — just like
+//!   `if` statements. This is what "transparent profiling of all constructs"
+//!   means at the binary level.
+//! * `while`/`for` loops test at the top; `do`-`while` tests at the bottom.
+//!   The loop/branch classification is *not* trusted from syntax; it is
+//!   recomputed from the block graph by [`analyze`](crate::analysis::analyze).
+//! * Every function ends with an explicit `ret` (an implicit `return 0` is
+//!   appended when control can fall off the end).
+
+use crate::analysis::analyze;
+use crate::module::{FuncInfo, GlobalInfo, Module};
+use crate::op::{Op, Pc};
+use alchemist_lang::hir::{
+    HArg, HBlock, HExpr, HFunction, HProgram, HStmt, HVar, Storage, VarSite,
+};
+use alchemist_lang::{BinOp, Span, UnOp};
+
+/// Compiles a resolved program to bytecode.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::compile_to_hir;
+/// use alchemist_vm::compile;
+///
+/// let hir = compile_to_hir("int main() { return 2 + 3; }")?;
+/// let module = compile(&hir);
+/// assert_eq!(module.funcs.len(), 1);
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+pub fn compile(hir: &HProgram) -> Module {
+    let mut globals = Vec::with_capacity(hir.globals.len());
+    let mut offset = 0u32;
+    for g in &hir.globals {
+        let words = g.storage.words();
+        globals.push(GlobalInfo {
+            name: g.name.clone(),
+            offset,
+            words,
+            is_array: g.storage.is_array(),
+            init: g.init,
+            span: g.span,
+        });
+        offset += words;
+    }
+
+    let mut ops = Vec::new();
+    let mut spans = Vec::new();
+    let mut funcs = Vec::with_capacity(hir.functions.len());
+    let mut ranges = Vec::with_capacity(hir.functions.len());
+    for f in &hir.functions {
+        let entry = Pc(ops.len() as u32);
+        FnCompiler::new(&globals, f, &mut ops, &mut spans).run();
+        let end = Pc(ops.len() as u32);
+        funcs.push(FuncInfo {
+            name: f.name.clone(),
+            entry,
+            end,
+            frame_words: f.frame_words(),
+            param_count: f.param_count,
+            is_void: f.is_void,
+            span: f.span,
+        });
+        ranges.push((entry, end));
+    }
+
+    let analysis = analyze(&ops, &ranges);
+    Module {
+        ops,
+        spans,
+        funcs,
+        globals,
+        global_words: offset,
+        main: hir.main,
+        analysis,
+    }
+}
+
+/// A forward-branch patch list bound to a label.
+#[derive(Debug, Default)]
+struct Label {
+    target: Option<u32>,
+    patches: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct LoopCtx {
+    break_label: usize,
+    continue_label: usize,
+}
+
+struct FnCompiler<'a> {
+    globals: &'a [GlobalInfo],
+    func: &'a HFunction,
+    ops: &'a mut Vec<Op>,
+    spans: &'a mut Vec<Span>,
+    /// Frame word offset of each local slot.
+    slot_offset: Vec<u32>,
+    labels: Vec<Label>,
+    loop_stack: Vec<LoopCtx>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(
+        globals: &'a [GlobalInfo],
+        func: &'a HFunction,
+        ops: &'a mut Vec<Op>,
+        spans: &'a mut Vec<Span>,
+    ) -> Self {
+        let mut slot_offset = Vec::with_capacity(func.locals.len());
+        let mut off = 0u32;
+        for l in &func.locals {
+            slot_offset.push(off);
+            off += l.storage.words();
+        }
+        FnCompiler {
+            globals,
+            func,
+            ops,
+            spans,
+            slot_offset,
+            labels: Vec::new(),
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        let body = &self.func.body;
+        self.block(body);
+        // Implicit `return 0` when control can fall off the end.
+        if self.ops.last() != Some(&Op::Ret) {
+            self.emit(Op::Const(0), self.func.span);
+            self.emit(Op::Ret, self.func.span);
+        }
+    }
+
+    fn emit(&mut self, op: Op, span: Span) {
+        self.ops.push(op);
+        self.spans.push(span);
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(Label::default());
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        let target = self.here();
+        let l = &mut self.labels[label];
+        debug_assert!(l.target.is_none(), "label bound twice");
+        l.target = Some(target);
+        for &site in &l.patches {
+            Self::patch_at(self.ops, site, target);
+        }
+    }
+
+    fn patch_at(ops: &mut [Op], site: usize, target: u32) {
+        match &mut ops[site] {
+            Op::Br(t) | Op::BrTrue(t) | Op::BrFalse(t) => *t = target,
+            other => unreachable!("patching non-branch op {other}"),
+        }
+    }
+
+    /// Emits a branch to `label`, patching later if unbound.
+    fn branch(&mut self, make: impl FnOnce(u32) -> Op, label: usize, span: Span) {
+        match self.labels[label].target {
+            Some(t) => self.emit(make(t), span),
+            None => {
+                let site = self.ops.len();
+                self.emit(make(u32::MAX), span);
+                self.labels[label].patches.push(site);
+            }
+        }
+    }
+
+    fn block(&mut self, b: &HBlock) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &HStmt) {
+        match s {
+            HStmt::Expr(e) => self.expr_for_effect(e),
+            HStmt::Init { local, value, span } => {
+                self.expr(value);
+                let off = self.slot_offset[local.0 as usize];
+                self.emit(Op::StoreLocal(off), *span);
+            }
+            HStmt::If { cond, then_blk, else_blk, span } => {
+                match else_blk {
+                    None => {
+                        let end = self.new_label();
+                        self.cond_jump(cond, false, end);
+                        self.block(then_blk);
+                        self.bind(end);
+                    }
+                    Some(else_blk) => {
+                        let els = self.new_label();
+                        let end = self.new_label();
+                        self.cond_jump(cond, false, els);
+                        self.block(then_blk);
+                        self.branch(Op::Br, end, *span);
+                        self.bind(els);
+                        self.block(else_blk);
+                        self.bind(end);
+                    }
+                }
+            }
+            HStmt::While { cond, body, span } => {
+                let head = self.new_label();
+                let exit = self.new_label();
+                self.bind(head);
+                self.cond_jump(cond, false, exit);
+                self.loop_stack
+                    .push(LoopCtx { break_label: exit, continue_label: head });
+                self.block(body);
+                self.loop_stack.pop();
+                self.branch(Op::Br, head, *span);
+                self.bind(exit);
+            }
+            HStmt::DoWhile { body, cond, span } => {
+                let head = self.new_label();
+                let cont = self.new_label();
+                let exit = self.new_label();
+                self.bind(head);
+                self.loop_stack
+                    .push(LoopCtx { break_label: exit, continue_label: cont });
+                self.block(body);
+                self.loop_stack.pop();
+                self.bind(cont);
+                self.cond_jump(cond, true, head);
+                self.bind(exit);
+                let _ = span;
+            }
+            HStmt::For { init, cond, step, body, span } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                let head = self.new_label();
+                let cont = self.new_label();
+                let exit = self.new_label();
+                self.bind(head);
+                if let Some(cond) = cond {
+                    self.cond_jump(cond, false, exit);
+                }
+                self.loop_stack
+                    .push(LoopCtx { break_label: exit, continue_label: cont });
+                self.block(body);
+                self.loop_stack.pop();
+                self.bind(cont);
+                if let Some(step) = step {
+                    self.expr_for_effect(step);
+                }
+                self.branch(Op::Br, head, *span);
+                self.bind(exit);
+            }
+            HStmt::Break(span) => {
+                let label = self
+                    .loop_stack
+                    .last()
+                    .expect("resolver rejects break outside loops")
+                    .break_label;
+                self.branch(Op::Br, label, *span);
+            }
+            HStmt::Continue(span) => {
+                let label = self
+                    .loop_stack
+                    .last()
+                    .expect("resolver rejects continue outside loops")
+                    .continue_label;
+                self.branch(Op::Br, label, *span);
+            }
+            HStmt::Return { value, span } => {
+                match value {
+                    Some(e) => self.expr(e),
+                    None => self.emit(Op::Const(0), *span),
+                }
+                self.emit(Op::Ret, *span);
+            }
+            HStmt::Block(b) => self.block(b),
+        }
+    }
+
+    /// Compiles `e` and discards its value, avoiding a redundant
+    /// `store.k`+`pop` for the common assignment/inc-dec statements.
+    fn expr_for_effect(&mut self, e: &HExpr) {
+        match e {
+            HExpr::Assign { var, index, op, value, span } => {
+                self.assign(var, index.as_deref(), *op, value, *span, false);
+            }
+            HExpr::IncDec { var, index, inc, span, .. } => {
+                // Value unused: prefix/postfix are equivalent.
+                self.inc_dec_no_value(var, index.as_deref(), *inc, *span);
+            }
+            other => {
+                self.expr(other);
+                self.emit(Op::Pop, other.span());
+            }
+        }
+    }
+
+    /// Emits code that jumps to `label` when `truth(e) == jump_if`, falling
+    /// through otherwise. Handles short-circuit operators without
+    /// materializing booleans.
+    fn cond_jump(&mut self, e: &HExpr, jump_if: bool, label: usize) {
+        match e {
+            HExpr::Binary { op: BinOp::LogAnd, lhs, rhs, .. } => {
+                if jump_if {
+                    // Jump when both are true.
+                    let fall = self.new_label();
+                    self.cond_jump(lhs, false, fall);
+                    self.cond_jump(rhs, true, label);
+                    self.bind(fall);
+                } else {
+                    // Jump when either is false.
+                    self.cond_jump(lhs, false, label);
+                    self.cond_jump(rhs, false, label);
+                }
+            }
+            HExpr::Binary { op: BinOp::LogOr, lhs, rhs, .. } => {
+                if jump_if {
+                    self.cond_jump(lhs, true, label);
+                    self.cond_jump(rhs, true, label);
+                } else {
+                    let fall = self.new_label();
+                    self.cond_jump(lhs, true, fall);
+                    self.cond_jump(rhs, false, label);
+                    self.bind(fall);
+                }
+            }
+            HExpr::Unary { op: UnOp::Not, expr, .. } => {
+                self.cond_jump(expr, !jump_if, label);
+            }
+            HExpr::Int(v, span) => {
+                // Constant condition: an unconditional jump or nothing.
+                // (`while(1)` must not produce a predicate.)
+                if (*v != 0) == jump_if {
+                    self.branch(Op::Br, label, *span);
+                }
+            }
+            other => {
+                self.expr(other);
+                let span = other.span();
+                if jump_if {
+                    self.branch(Op::BrTrue, label, span);
+                } else {
+                    self.branch(Op::BrFalse, label, span);
+                }
+            }
+        }
+    }
+
+    fn global_offset(&self, var: &HVar) -> u32 {
+        match var.site {
+            VarSite::Global(g) => self.globals[g.0 as usize].offset,
+            VarSite::Local(_) => unreachable!("local passed to global_offset"),
+        }
+    }
+
+    fn local_offset(&self, var: &HVar) -> u32 {
+        match var.site {
+            VarSite::Local(l) => self.slot_offset[l.0 as usize],
+            VarSite::Global(_) => unreachable!("global passed to local_offset"),
+        }
+    }
+
+    /// Pushes a scalar variable's value.
+    fn load_scalar(&mut self, var: &HVar) {
+        debug_assert_eq!(var.storage, Storage::Scalar);
+        match var.site {
+            VarSite::Global(_) => {
+                let off = self.global_offset(var);
+                self.emit(Op::LoadGlobal(off), var.span);
+            }
+            VarSite::Local(_) => {
+                let off = self.local_offset(var);
+                self.emit(Op::LoadLocal(off), var.span);
+            }
+        }
+    }
+
+    /// Emits the store for a scalar variable (value on stack).
+    fn store_scalar(&mut self, var: &HVar, keep: bool, span: Span) {
+        match (var.site, keep) {
+            (VarSite::Global(_), false) => {
+                let off = self.global_offset(var);
+                self.emit(Op::StoreGlobal(off), span);
+            }
+            (VarSite::Global(_), true) => {
+                let off = self.global_offset(var);
+                self.emit(Op::StoreGlobalKeep(off), span);
+            }
+            (VarSite::Local(_), false) => {
+                let off = self.local_offset(var);
+                self.emit(Op::StoreLocal(off), span);
+            }
+            (VarSite::Local(_), true) => {
+                let off = self.local_offset(var);
+                self.emit(Op::StoreLocalKeep(off), span);
+            }
+        }
+    }
+
+    /// Pushes an array descriptor for `var`.
+    fn push_array_ref(&mut self, var: &HVar) {
+        match (var.site, var.storage) {
+            (VarSite::Global(_), Storage::Array { size }) => {
+                let off = self.global_offset(var);
+                self.emit(Op::GlobalArrRef { off, len: size }, var.span);
+            }
+            (VarSite::Local(_), Storage::Array { size }) => {
+                let slot = self.local_offset(var);
+                self.emit(Op::LocalArrRef { slot, len: size }, var.span);
+            }
+            (VarSite::Local(_), Storage::ArrayRef) => {
+                // The slot holds a descriptor produced by the caller.
+                let slot = self.local_offset(var);
+                self.emit(Op::LoadLocal(slot), var.span);
+            }
+            (site, storage) => {
+                unreachable!("not an array: {site:?} {storage:?}")
+            }
+        }
+    }
+
+    fn assign(
+        &mut self,
+        var: &HVar,
+        index: Option<&HExpr>,
+        op: Option<BinOp>,
+        value: &HExpr,
+        span: Span,
+        keep: bool,
+    ) {
+        match (index, op) {
+            (None, None) => {
+                self.expr(value);
+                self.store_scalar(var, keep, span);
+            }
+            (None, Some(op)) => {
+                self.load_scalar(var);
+                self.expr(value);
+                self.emit(Op::Bin(op), span);
+                self.store_scalar(var, keep, span);
+            }
+            (Some(idx), None) => {
+                // [v ref i] -> estore
+                self.expr(value);
+                self.push_array_ref(var);
+                self.expr(idx);
+                self.emit(if keep { Op::StoreElemKeep } else { Op::StoreElem }, span);
+            }
+            (Some(idx), Some(op)) => {
+                // [ref i] dup2 eload -> [ref i old] <value> bin -> [ref i new]
+                // rot3 -> [new ref i] estore
+                self.push_array_ref(var);
+                self.expr(idx);
+                self.emit(Op::Dup2, span);
+                self.emit(Op::LoadElem, span);
+                self.expr(value);
+                self.emit(Op::Bin(op), span);
+                self.emit(Op::Rot3Down, span);
+                self.emit(if keep { Op::StoreElemKeep } else { Op::StoreElem }, span);
+            }
+        }
+    }
+
+    fn inc_dec_no_value(
+        &mut self,
+        var: &HVar,
+        index: Option<&HExpr>,
+        inc: bool,
+        span: Span,
+    ) {
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        match index {
+            None => {
+                self.load_scalar(var);
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span);
+                self.store_scalar(var, false, span);
+            }
+            Some(idx) => {
+                self.push_array_ref(var);
+                self.expr(idx);
+                self.emit(Op::Dup2, span);
+                self.emit(Op::LoadElem, span);
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span);
+                self.emit(Op::Rot3Down, span);
+                self.emit(Op::StoreElem, span);
+            }
+        }
+    }
+
+    fn inc_dec_value(
+        &mut self,
+        var: &HVar,
+        index: Option<&HExpr>,
+        inc: bool,
+        prefix: bool,
+        span: Span,
+    ) {
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        match (index, prefix) {
+            (None, true) => {
+                self.load_scalar(var);
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span);
+                self.store_scalar(var, true, span);
+            }
+            (None, false) => {
+                self.load_scalar(var);
+                self.emit(Op::Dup, span);
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span);
+                self.store_scalar(var, false, span);
+            }
+            (Some(idx), true) => {
+                self.push_array_ref(var);
+                self.expr(idx);
+                self.emit(Op::Dup2, span);
+                self.emit(Op::LoadElem, span);
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span);
+                self.emit(Op::Rot3Down, span);
+                self.emit(Op::StoreElemKeep, span);
+            }
+            (Some(idx), false) => {
+                // Leaves the OLD value. Performs a second (harmless,
+                // deterministic) read of the element; see the design notes.
+                self.push_array_ref(var);
+                self.expr(idx);
+                self.emit(Op::Dup2, span);
+                self.emit(Op::LoadElem, span); // [ref i old]
+                self.emit(Op::Rot3Down, span); // [old ref i]
+                self.emit(Op::Dup2, span); // [old ref i ref i]
+                self.emit(Op::LoadElem, span); // [old ref i old]
+                self.emit(Op::Const(1), span);
+                self.emit(Op::Bin(op), span); // [old ref i new]
+                self.emit(Op::Rot3Down, span); // [old new ref i]
+                self.emit(Op::StoreElem, span); // [old]
+            }
+        }
+    }
+
+    /// Compiles `e`, leaving exactly one value on the operand stack.
+    fn expr(&mut self, e: &HExpr) {
+        match e {
+            HExpr::Int(v, span) => self.emit(Op::Const(*v), *span),
+            HExpr::Load(var) => self.load_scalar(var),
+            HExpr::LoadIndex { var, index, span } => {
+                self.push_array_ref(var);
+                self.expr(index);
+                self.emit(Op::LoadElem, *span);
+            }
+            HExpr::Call { func, args, span, .. } => {
+                for a in args {
+                    match a {
+                        HArg::Scalar(e) => self.expr(e),
+                        HArg::Array(v) => self.push_array_ref(v),
+                    }
+                }
+                self.emit(Op::Call(*func), *span);
+            }
+            HExpr::CallIntrinsic { which, args, span } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Op::CallIntrinsic(*which), *span);
+            }
+            HExpr::Unary { op, expr, span } => {
+                self.expr(expr);
+                self.emit(Op::Un(*op), *span);
+            }
+            HExpr::Binary { op: BinOp::LogAnd | BinOp::LogOr, .. } => {
+                // Materialize 0/1 through branches.
+                let fail = self.new_label();
+                let end = self.new_label();
+                let span = e.span();
+                self.cond_jump(e, false, fail);
+                self.emit(Op::Const(1), span);
+                self.branch(Op::Br, end, span);
+                self.bind(fail);
+                self.emit(Op::Const(0), span);
+                self.bind(end);
+            }
+            HExpr::Binary { op, lhs, rhs, span } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.emit(Op::Bin(*op), *span);
+            }
+            HExpr::Ternary { cond, then_expr, else_expr, span } => {
+                let els = self.new_label();
+                let end = self.new_label();
+                self.cond_jump(cond, false, els);
+                self.expr(then_expr);
+                self.branch(Op::Br, end, *span);
+                self.bind(els);
+                self.expr(else_expr);
+                self.bind(end);
+            }
+            HExpr::Assign { var, index, op, value, span } => {
+                self.assign(var, index.as_deref(), *op, value, *span, true);
+            }
+            HExpr::IncDec { var, index, inc, prefix, span } => {
+                self.inc_dec_value(var, index.as_deref(), *inc, *prefix, *span);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_lang::compile_to_hir;
+
+    fn module(src: &str) -> Module {
+        compile(&compile_to_hir(src).unwrap())
+    }
+
+    #[test]
+    fn every_op_has_a_span() {
+        let m = module("int main() { return 1 + 2; }");
+        assert_eq!(m.ops.len(), m.spans.len());
+    }
+
+    #[test]
+    fn functions_end_with_ret() {
+        let m = module("void f() { } int main() { f(); return 0; }");
+        for f in &m.funcs {
+            assert_eq!(m.ops[f.end.0 as usize - 1], Op::Ret, "{} missing ret", f.name);
+        }
+    }
+
+    #[test]
+    fn implicit_return_zero_appended() {
+        let m = module("int main() { int x = 1; }");
+        let f = &m.funcs[0];
+        let tail = &m.ops[f.end.0 as usize - 2..f.end.0 as usize];
+        assert_eq!(tail, &[Op::Const(0), Op::Ret]);
+    }
+
+    #[test]
+    fn global_offsets_are_cumulative() {
+        let m = module("int a; int buf[10]; int b; int main() { return 0; }");
+        assert_eq!(m.globals[0].offset, 0);
+        assert_eq!(m.globals[1].offset, 1);
+        assert_eq!(m.globals[2].offset, 11);
+        assert_eq!(m.global_words, 12);
+    }
+
+    #[test]
+    fn while_one_has_no_predicate() {
+        // Constant conditions must not emit conditional branches.
+        let m = module("int main() { while (1) { break; } return 0; }");
+        assert!(
+            m.ops.iter().all(|o| !o.is_predicate()),
+            "while(1) produced a predicate: {}",
+            m.disassemble()
+        );
+    }
+
+    #[test]
+    fn logical_and_lowered_to_branches() {
+        let m = module("int main() { int a = 1; int b = 2; if (a && b) a = 3; return a; }");
+        let predicates = m.ops.iter().filter(|o| o.is_predicate()).count();
+        assert_eq!(predicates, 2, "one predicate per && operand:\n{}", m.disassemble());
+        assert!(
+            !m.ops.iter().any(|o| matches!(o, Op::Bin(BinOp::LogAnd))),
+            "&& must not survive as a binary op"
+        );
+    }
+
+    #[test]
+    fn branch_patches_are_resolved() {
+        let m = module(
+            "int main() { int i; int s = 0; \
+             for (i = 0; i < 4; i++) { if (i == 2) continue; s += i; } \
+             return s; }",
+        );
+        for (i, op) in m.ops.iter().enumerate() {
+            if let Some(t) = op.branch_target() {
+                assert!(
+                    (t as usize) < m.ops.len(),
+                    "unpatched branch at @{i}: {op}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_ref_param_forwarding_uses_slot_load() {
+        let m = module(
+            "int f(int a[]) { return a[0]; } \
+             int g(int b[]) { return f(b); } \
+             int buf[4]; \
+             int main() { return g(buf); }",
+        );
+        let g = m.func_by_name("g").unwrap().1;
+        let g_ops = &m.ops[g.entry.0 as usize..g.end.0 as usize];
+        assert!(
+            g_ops.iter().any(|o| matches!(o, Op::LoadLocal(0))),
+            "forwarding an array ref loads the descriptor slot:\n{}",
+            m.disassemble()
+        );
+        let main = m.func_by_name("main").unwrap().1;
+        let main_ops = &m.ops[main.entry.0 as usize..main.end.0 as usize];
+        assert!(
+            main_ops
+                .iter()
+                .any(|o| matches!(o, Op::GlobalArrRef { off: 0, len: 4 })),
+            "passing a global array pushes a descriptor"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Runtime errors raised by the interpreter.
+
+use crate::op::Pc;
+use alchemist_lang::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Why execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Array access outside `[0, len)`.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// The call stack exhausted the configured stack memory.
+    StackOverflow,
+    /// The configured step budget was exhausted (likely an infinite loop).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            TrapKind::DivideByZero => write!(f, "division by zero"),
+            TrapKind::StackOverflow => write!(f, "stack overflow"),
+            TrapKind::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+        }
+    }
+}
+
+/// A runtime trap with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// The instruction that trapped.
+    pub pc: Pc,
+    /// Source location of that instruction.
+    pub span: Span,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime trap at {} ({}): {}", self.span, self.pc, self.kind)
+    }
+}
+
+impl Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_display_includes_location_and_cause() {
+        let t = Trap {
+            kind: TrapKind::IndexOutOfBounds { index: 9, len: 4 },
+            pc: Pc(17),
+            span: Span::default(),
+        };
+        let s = t.to_string();
+        assert!(s.contains("@17"));
+        assert!(s.contains("index 9 out of bounds for length 4"));
+    }
+
+    #[test]
+    fn step_limit_display() {
+        assert_eq!(
+            TrapKind::StepLimitExceeded { limit: 10 }.to_string(),
+            "step limit of 10 instructions exceeded"
+        );
+        assert_eq!(TrapKind::DivideByZero.to_string(), "division by zero");
+        assert_eq!(TrapKind::StackOverflow.to_string(), "stack overflow");
+    }
+}

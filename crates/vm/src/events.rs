@@ -1,0 +1,211 @@
+//! The trace-event interface between the interpreter and profilers.
+//!
+//! This is the reproduction's stand-in for the Valgrind instrumentation
+//! layer of the original Alchemist: the interpreter calls into a
+//! [`TraceSink`] with exactly the events the paper's instrumentation rules
+//! consume — function entry/exit, predicate executions, basic-block entries
+//! (for the post-dominator rule) and every data-memory access.
+//!
+//! All timestamps are *retired instruction counts*, matching the paper's
+//! "time stamp ... simulated by the number of executed instructions".
+
+use crate::op::{BlockId, Pc};
+use alchemist_lang::hir::FuncId;
+
+/// Instruction-count timestamp.
+pub type Time = u64;
+
+/// Receiver of execution events.
+///
+/// All methods default to no-ops so sinks override only what they need.
+/// Running with the provided [`NullSink`] measures "original" (uninstrumented)
+/// execution for overhead comparisons.
+pub trait TraceSink {
+    /// A function was entered; its frame occupies `[fp, fp + frame_words)`.
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        let _ = (t, func, fp);
+    }
+
+    /// A function is about to return.
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        let _ = (t, func);
+    }
+
+    /// Control entered a basic block.
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        let _ = (t, block);
+    }
+
+    /// A conditional branch executed.
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        let _ = (t, pc, block, taken);
+    }
+
+    /// A data-memory word was read.
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        let _ = (t, addr, pc);
+    }
+
+    /// A data-memory word was written.
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        let _ = (t, addr, pc);
+    }
+}
+
+/// A sink that ignores every event (native-speed baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Counts events by category; useful for tests and overhead accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Function entries observed.
+    pub enters: u64,
+    /// Function exits observed.
+    pub exits: u64,
+    /// Block entries observed.
+    pub blocks: u64,
+    /// Predicate executions observed.
+    pub predicates: u64,
+    /// Reads observed.
+    pub reads: u64,
+    /// Writes observed.
+    pub writes: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn on_enter_function(&mut self, _t: Time, _func: FuncId, _fp: u32) {
+        self.enters += 1;
+    }
+    fn on_exit_function(&mut self, _t: Time, _func: FuncId) {
+        self.exits += 1;
+    }
+    fn on_block_entry(&mut self, _t: Time, _block: BlockId) {
+        self.blocks += 1;
+    }
+    fn on_predicate(&mut self, _t: Time, _pc: Pc, _block: BlockId, _taken: bool) {
+        self.predicates += 1;
+    }
+    fn on_read(&mut self, _t: Time, _addr: u32, _pc: Pc) {
+        self.reads += 1;
+    }
+    fn on_write(&mut self, _t: Time, _addr: u32, _pc: Pc) {
+        self.writes += 1;
+    }
+}
+
+/// One recorded event (see [`RecordingSink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Function entry.
+    Enter {
+        /// Timestamp.
+        t: Time,
+        /// The function entered.
+        func: FuncId,
+        /// Frame base address.
+        fp: u32,
+    },
+    /// Function exit.
+    Exit {
+        /// Timestamp.
+        t: Time,
+        /// The function exiting.
+        func: FuncId,
+    },
+    /// Basic-block entry.
+    Block {
+        /// Timestamp.
+        t: Time,
+        /// The block entered.
+        block: BlockId,
+    },
+    /// Conditional-branch execution.
+    Predicate {
+        /// Timestamp.
+        t: Time,
+        /// The branch instruction.
+        pc: Pc,
+        /// The block containing the branch.
+        block: BlockId,
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// Memory read.
+    Read {
+        /// Timestamp.
+        t: Time,
+        /// Word address.
+        addr: u32,
+        /// The reading instruction.
+        pc: Pc,
+    },
+    /// Memory write.
+    Write {
+        /// Timestamp.
+        t: Time,
+        /// Word address.
+        addr: u32,
+        /// The writing instruction.
+        pc: Pc,
+    },
+}
+
+/// Records the full event stream (tests and the oracle profiler).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    /// The recorded events, in order.
+    pub events: Vec<Event>,
+}
+
+impl TraceSink for RecordingSink {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        self.events.push(Event::Enter { t, func, fp });
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        self.events.push(Event::Exit { t, func });
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        self.events.push(Event::Block { t, block });
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        self.events.push(Event::Predicate { t, pc, block, taken });
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.events.push(Event::Read { t, addr, pc });
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.events.push(Event::Write { t, addr, pc });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::default();
+        s.on_read(0, 1, Pc(0));
+        s.on_read(1, 2, Pc(1));
+        s.on_write(2, 1, Pc(2));
+        s.on_predicate(3, Pc(3), BlockId(0), true);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.predicates, 1);
+        assert_eq!(s.blocks, 0);
+    }
+
+    #[test]
+    fn recording_sink_preserves_order() {
+        let mut s = RecordingSink::default();
+        s.on_enter_function(0, FuncId(0), 16);
+        s.on_write(1, 16, Pc(2));
+        s.on_exit_function(2, FuncId(0));
+        assert_eq!(s.events.len(), 3);
+        assert!(matches!(s.events[0], Event::Enter { fp: 16, .. }));
+        assert!(matches!(s.events[2], Event::Exit { .. }));
+    }
+}

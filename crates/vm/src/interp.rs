@@ -1,0 +1,738 @@
+//! The tracing interpreter.
+//!
+//! Executes a compiled [`Module`] over a flat word memory (globals first,
+//! stack frames above) while reporting events to a [`TraceSink`]. With
+//! [`NullSink`](crate::NullSink) this measures "original" program time; with
+//! the Alchemist sink it produces dependence profiles.
+
+use crate::error::{Trap, TrapKind};
+use crate::events::{Time, TraceSink};
+use crate::module::Module;
+use crate::op::{pack_ref, unpack_ref, Op, Pc};
+use alchemist_lang::hir::Intrinsic;
+use alchemist_lang::{BinOp, UnOp};
+
+/// Execution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Trap after this many instructions (guards infinite loops).
+    pub max_steps: u64,
+    /// Words of stack memory available for frames.
+    pub stack_words: u32,
+    /// Input buffer served by the `input`/`input_len` intrinsics.
+    pub input: Vec<i64>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_steps: 500_000_000, stack_words: 1 << 20, input: Vec::new() }
+    }
+}
+
+impl ExecConfig {
+    /// A config with the given input buffer and default limits.
+    pub fn with_input(input: Vec<i64>) -> Self {
+        ExecConfig { input, ..ExecConfig::default() }
+    }
+}
+
+/// The result of a completed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Instructions executed (the final timestamp).
+    pub steps: u64,
+    /// Values produced by the `print` intrinsic, in order.
+    pub output: Vec<i64>,
+    /// `main`'s return value.
+    pub exit_value: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: u32,
+    fp: u32,
+    ret_pc: u32,
+}
+
+/// Runs `module` to completion.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on out-of-bounds indexing, division by zero, stack
+/// overflow or step-limit exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_lang::compile_to_hir;
+/// use alchemist_vm::{compile, run, ExecConfig, NullSink};
+///
+/// let m = compile(&compile_to_hir("int main() { return 6 * 7; }")?);
+/// let out = run(&m, &ExecConfig::default(), &mut NullSink).unwrap();
+/// assert_eq!(out.exit_value, 42);
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+pub fn run<S: TraceSink>(
+    module: &Module,
+    config: &ExecConfig,
+    sink: &mut S,
+) -> Result<ExecOutcome, Trap> {
+    Interp::new(module, config).run(sink)
+}
+
+/// Interpreter state. Most users call [`run`]; the struct is exposed so the
+/// profiler crates can drive execution with custom configurations.
+#[derive(Debug)]
+pub struct Interp<'m> {
+    module: &'m Module,
+    mem: Vec<i64>,
+    operands: Vec<i64>,
+    frames: Vec<Frame>,
+    stack_top: u32,
+    steps: u64,
+    max_steps: u64,
+    input: Vec<i64>,
+    output: Vec<i64>,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates a fresh interpreter for `module`.
+    pub fn new(module: &'m Module, config: &ExecConfig) -> Self {
+        let mem_words = module.global_words as usize + config.stack_words as usize;
+        let mut mem = vec![0i64; mem_words];
+        for g in &module.globals {
+            if !g.is_array {
+                mem[g.offset as usize] = g.init;
+            }
+        }
+        Interp {
+            module,
+            mem,
+            operands: Vec::with_capacity(64),
+            frames: Vec::with_capacity(64),
+            stack_top: module.global_words,
+            steps: 0,
+            max_steps: config.max_steps,
+            input: config.input.clone(),
+            output: Vec::new(),
+        }
+    }
+
+    fn trap(&self, kind: TrapKind, pc: Pc) -> Trap {
+        Trap { kind, pc, span: self.module.span_at(pc) }
+    }
+
+    fn pop(&mut self) -> i64 {
+        self.operands.pop().expect("operand stack underflow: compiler bug")
+    }
+
+    /// Executes until `main` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on runtime errors; see [`run`].
+    pub fn run<S: TraceSink>(&mut self, sink: &mut S) -> Result<ExecOutcome, Trap> {
+        let main = &self.module.funcs[self.module.main.0 as usize];
+        let entry = main.entry;
+        let fp = self.stack_top;
+        self.stack_top += main.frame_words;
+        self.frames.push(Frame { func: self.module.main.0, fp, ret_pc: u32::MAX });
+        sink.on_enter_function(0, self.module.main, fp);
+
+        let mut pc = entry.0;
+        loop {
+            if self.steps >= self.max_steps {
+                return Err(self.trap(
+                    TrapKind::StepLimitExceeded { limit: self.max_steps },
+                    Pc(pc),
+                ));
+            }
+            if let Some(b) = self.module.analysis.block_start(Pc(pc)) {
+                sink.on_block_entry(self.steps, b);
+            }
+            let t: Time = self.steps;
+            self.steps += 1;
+            let cur = Pc(pc);
+            match self.module.ops[pc as usize] {
+                Op::Const(k) => {
+                    self.operands.push(k);
+                    pc += 1;
+                }
+                Op::Dup => {
+                    let a = *self.operands.last().expect("dup on empty stack");
+                    self.operands.push(a);
+                    pc += 1;
+                }
+                Op::Dup2 => {
+                    let n = self.operands.len();
+                    assert!(n >= 2, "dup2 needs two operands");
+                    let a = self.operands[n - 2];
+                    let b = self.operands[n - 1];
+                    self.operands.push(a);
+                    self.operands.push(b);
+                    pc += 1;
+                }
+                Op::Rot3Down => {
+                    let n = self.operands.len();
+                    assert!(n >= 3, "rot3 needs three operands");
+                    let c = self.operands.remove(n - 1);
+                    self.operands.insert(n - 3, c);
+                    pc += 1;
+                }
+                Op::Pop => {
+                    self.pop();
+                    pc += 1;
+                }
+                Op::LoadLocal(slot) => {
+                    let addr = self.frames.last().expect("no frame").fp + slot;
+                    sink.on_read(t, addr, cur);
+                    self.operands.push(self.mem[addr as usize]);
+                    pc += 1;
+                }
+                Op::StoreLocal(slot) | Op::StoreLocalKeep(slot) => {
+                    let keep = matches!(
+                        self.module.ops[pc as usize],
+                        Op::StoreLocalKeep(_)
+                    );
+                    let addr = self.frames.last().expect("no frame").fp + slot;
+                    let v = self.pop();
+                    sink.on_write(t, addr, cur);
+                    self.mem[addr as usize] = v;
+                    if keep {
+                        self.operands.push(v);
+                    }
+                    pc += 1;
+                }
+                Op::LoadGlobal(off) => {
+                    sink.on_read(t, off, cur);
+                    self.operands.push(self.mem[off as usize]);
+                    pc += 1;
+                }
+                Op::StoreGlobal(off) | Op::StoreGlobalKeep(off) => {
+                    let keep = matches!(
+                        self.module.ops[pc as usize],
+                        Op::StoreGlobalKeep(_)
+                    );
+                    let v = self.pop();
+                    sink.on_write(t, off, cur);
+                    self.mem[off as usize] = v;
+                    if keep {
+                        self.operands.push(v);
+                    }
+                    pc += 1;
+                }
+                Op::GlobalArrRef { off, len } => {
+                    self.operands.push(pack_ref(off, len));
+                    pc += 1;
+                }
+                Op::LocalArrRef { slot, len } => {
+                    let fp = self.frames.last().expect("no frame").fp;
+                    self.operands.push(pack_ref(fp + slot, len));
+                    pc += 1;
+                }
+                Op::LoadElem => {
+                    let idx = self.pop();
+                    let (base, len) = unpack_ref(self.pop());
+                    let addr = self.elem_addr(base, len, idx, cur)?;
+                    sink.on_read(t, addr, cur);
+                    self.operands.push(self.mem[addr as usize]);
+                    pc += 1;
+                }
+                Op::StoreElem | Op::StoreElemKeep => {
+                    let keep =
+                        matches!(self.module.ops[pc as usize], Op::StoreElemKeep);
+                    let idx = self.pop();
+                    let (base, len) = unpack_ref(self.pop());
+                    let v = self.pop();
+                    let addr = self.elem_addr(base, len, idx, cur)?;
+                    sink.on_write(t, addr, cur);
+                    self.mem[addr as usize] = v;
+                    if keep {
+                        self.operands.push(v);
+                    }
+                    pc += 1;
+                }
+                Op::Un(op) => {
+                    let a = self.pop();
+                    self.operands.push(eval_un(op, a));
+                    pc += 1;
+                }
+                Op::Bin(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    let v = eval_bin(op, a, b).map_err(|k| self.trap(k, cur))?;
+                    self.operands.push(v);
+                    pc += 1;
+                }
+                Op::Br(target) => {
+                    pc = target;
+                }
+                Op::BrTrue(target) => {
+                    let c = self.pop();
+                    let taken = c != 0;
+                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken);
+                    pc = if taken { target } else { pc + 1 };
+                }
+                Op::BrFalse(target) => {
+                    let c = self.pop();
+                    let taken = c == 0;
+                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken);
+                    pc = if taken { target } else { pc + 1 };
+                }
+                Op::Call(func) => {
+                    let fi = &self.module.funcs[func.0 as usize];
+                    let fp = self.stack_top;
+                    let frame_end = fp as u64 + fi.frame_words as u64;
+                    if frame_end > self.mem.len() as u64 {
+                        return Err(self.trap(TrapKind::StackOverflow, cur));
+                    }
+                    self.stack_top = frame_end as u32;
+                    // Zero the frame (deterministic locals), then move the
+                    // arguments into the first slots. Argument writes are
+                    // attributed to the call site, as real push instructions
+                    // would be.
+                    self.mem[fp as usize..frame_end as usize].fill(0);
+                    let nargs = fi.param_count as usize;
+                    let args_base = self.operands.len() - nargs;
+                    for (i, v) in self.operands.drain(args_base..).enumerate() {
+                        let addr = fp + i as u32;
+                        sink.on_write(t, addr, cur);
+                        self.mem[addr as usize] = v;
+                    }
+                    self.frames.push(Frame { func: func.0, fp, ret_pc: pc + 1 });
+                    sink.on_enter_function(t, func, fp);
+                    pc = fi.entry.0;
+                }
+                Op::CallIntrinsic(which) => {
+                    self.intrinsic(which);
+                    pc += 1;
+                }
+                Op::Ret => {
+                    let value = self.pop();
+                    let frame = self.frames.pop().expect("ret without frame");
+                    // The function ends once `ret` has retired, so the exit
+                    // timestamp is one past the instruction's own: this way
+                    // a construct's duration covers all its instructions
+                    // (main's Tdur equals the run's step count).
+                    sink.on_exit_function(
+                        self.steps,
+                        alchemist_lang::hir::FuncId(frame.func),
+                    );
+                    self.stack_top = frame.fp;
+                    if self.frames.is_empty() {
+                        return Ok(ExecOutcome {
+                            steps: self.steps,
+                            output: std::mem::take(&mut self.output),
+                            exit_value: value,
+                        });
+                    }
+                    self.operands.push(value);
+                    pc = frame.ret_pc;
+                }
+            }
+        }
+    }
+
+    fn elem_addr(&self, base: u32, len: u32, idx: i64, pc: Pc) -> Result<u32, Trap> {
+        if idx < 0 || idx >= len as i64 {
+            return Err(self.trap(TrapKind::IndexOutOfBounds { index: idx, len }, pc));
+        }
+        Ok(base + idx as u32)
+    }
+
+    fn intrinsic(&mut self, which: Intrinsic) {
+        match which {
+            Intrinsic::Print => {
+                let v = *self.operands.last().expect("print needs an argument");
+                self.output.push(v);
+            }
+            Intrinsic::Input => {
+                let i = self.pop();
+                let v = usize::try_from(i)
+                    .ok()
+                    .and_then(|i| self.input.get(i).copied())
+                    .unwrap_or(0);
+                self.operands.push(v);
+            }
+            Intrinsic::InputLen => {
+                self.operands.push(self.input.len() as i64);
+            }
+            Intrinsic::Output => {
+                // Reserved; currently behaves like print of the second arg.
+                let v = self.pop();
+                let _i = self.pop();
+                self.output.push(v);
+                self.operands.push(v);
+            }
+        }
+    }
+}
+
+fn eval_un(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::BitNot => !a,
+    }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, TrapKind> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(TrapKind::DivideByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(TrapKind::DivideByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::LogAnd | BinOp::LogOr => {
+            unreachable!("short-circuit ops are lowered to branches")
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::events::{CountingSink, NullSink};
+    use alchemist_lang::compile_to_hir;
+
+    fn exec(src: &str) -> ExecOutcome {
+        exec_with(src, ExecConfig::default())
+    }
+
+    fn exec_with(src: &str, config: ExecConfig) -> ExecOutcome {
+        let m = compile(&compile_to_hir(src).unwrap());
+        run(&m, &config, &mut NullSink).unwrap()
+    }
+
+    fn exec_err(src: &str) -> Trap {
+        let m = compile(&compile_to_hir(src).unwrap());
+        run(&m, &ExecConfig::default(), &mut NullSink).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(exec("int main() { return 2 + 3 * 4 - 6 / 2; }").exit_value, 11);
+        assert_eq!(exec("int main() { return (2 + 3) * 4; }").exit_value, 20);
+        assert_eq!(exec("int main() { return 17 % 5; }").exit_value, 2);
+        assert_eq!(exec("int main() { return -7 / 2; }").exit_value, -3);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        assert_eq!(exec("int main() { return (5 & 3) | (8 ^ 12); }").exit_value, 5);
+        assert_eq!(exec("int main() { return 1 << 10; }").exit_value, 1024);
+        assert_eq!(exec("int main() { return -8 >> 1; }").exit_value, -4);
+        assert_eq!(exec("int main() { return ~0; }").exit_value, -1);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(exec("int main() { return (1 < 2) + (2 <= 2) + (3 > 4); }").exit_value, 2);
+        assert_eq!(exec("int main() { return (1 == 1) + (1 != 1); }").exit_value, 1);
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let src = "int g; void bump() { g += 5; } int main() { bump(); bump(); return g; }";
+        assert_eq!(exec(src).exit_value, 10);
+    }
+
+    #[test]
+    fn global_scalar_initializers_apply() {
+        assert_eq!(exec("int a = 41; int main() { return a + 1; }").exit_value, 42);
+    }
+
+    #[test]
+    fn local_arrays_and_loops() {
+        let src = "int main() {
+            int a[10];
+            int i;
+            for (i = 0; i < 10; i++) a[i] = i * i;
+            int s = 0;
+            for (i = 0; i < 10; i++) s += a[i];
+            return s;
+        }";
+        assert_eq!(exec(src).exit_value, 285);
+    }
+
+    #[test]
+    fn array_params_alias_caller_storage() {
+        let src = "int buf[4];
+            void fill(int a[], int n) { int i; for (i = 0; i < n; i++) a[i] = n; }
+            int main() { fill(buf, 4); return buf[0] + buf[3]; }";
+        assert_eq!(exec(src).exit_value, 8);
+    }
+
+    #[test]
+    fn array_ref_forwarding() {
+        let src = "int buf[3];
+            void inner(int a[]) { a[2] = 9; }
+            void outer(int a[]) { inner(a); }
+            int main() { outer(buf); return buf[2]; }";
+        assert_eq!(exec(src).exit_value, 9);
+    }
+
+    #[test]
+    fn recursion_factorial_and_fib() {
+        let fact = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+            int main() { return fact(10); }";
+        assert_eq!(exec(fact).exit_value, 3_628_800);
+        let fib = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { return fib(15); }";
+        assert_eq!(exec(fib).exit_value, 610);
+    }
+
+    #[test]
+    fn while_do_while_equivalence() {
+        let src = "int main() {
+            int i = 0; int s = 0;
+            while (i < 5) { s += i; i++; }
+            int j = 0;
+            do { s += j; j++; } while (j < 5);
+            return s;
+        }";
+        assert_eq!(exec(src).exit_value, 20);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = "int main() {
+            int s = 0; int i;
+            for (i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                s += i;
+            }
+            return s;
+        }";
+        // 1+3+5+7+9 = 25
+        assert_eq!(exec(src).exit_value, 25);
+    }
+
+    #[test]
+    fn short_circuit_skips_side_effects() {
+        let src = "int calls;
+            int truthy() { calls++; return 1; }
+            int main() {
+                int a = 0 && truthy();
+                int b = 1 || truthy();
+                int c = 1 && truthy();
+                return calls * 100 + a * 10 + b + c;
+            }";
+        // truthy called exactly once (for c); a=0, b=1, c=1.
+        assert_eq!(exec(src).exit_value, 102);
+    }
+
+    #[test]
+    fn ternary_expression() {
+        assert_eq!(exec("int main() { int x = 7; return x > 5 ? 1 : 2; }").exit_value, 1);
+        assert_eq!(exec("int main() { int x = 3; return x > 5 ? 1 : 2; }").exit_value, 2);
+    }
+
+    #[test]
+    fn compound_assignment_on_array_elements() {
+        let src = "int a[3]; int main() {
+            a[1] = 10;
+            a[1] += 5;
+            a[1] *= 2;
+            a[1] <<= 1;
+            return a[1];
+        }";
+        assert_eq!(exec(src).exit_value, 60);
+    }
+
+    #[test]
+    fn inc_dec_semantics() {
+        let src = "int main() {
+            int x = 5;
+            int a = x++;  // a=5, x=6
+            int b = ++x;  // b=7, x=7
+            int c = x--;  // c=7, x=6
+            int d = --x;  // d=5, x=5
+            return a * 1000 + b * 100 + c * 10 + d;
+        }";
+        assert_eq!(exec(src).exit_value, 5775);
+    }
+
+    #[test]
+    fn inc_dec_on_array_elements() {
+        let src = "int a[2]; int main() {
+            a[0] = 5;
+            int old = a[0]++;
+            int new_ = ++a[0];
+            return old * 100 + new_ * 10 + a[0];
+        }";
+        assert_eq!(exec(src).exit_value, 577);
+    }
+
+    #[test]
+    fn print_and_input_intrinsics() {
+        let m = compile(
+            &compile_to_hir(
+                "int main() {
+                    int n = input_len();
+                    int i;
+                    for (i = 0; i < n; i++) print(input(i) * 2);
+                    return n;
+                }",
+            )
+            .unwrap(),
+        );
+        let out = run(
+            &m,
+            &ExecConfig::with_input(vec![3, 5, 8]),
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(out.exit_value, 3);
+        assert_eq!(out.output, vec![6, 10, 16]);
+    }
+
+    #[test]
+    fn input_out_of_range_reads_zero() {
+        let out = exec("int main() { return input(99) + input(-1); }");
+        assert_eq!(out.exit_value, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_index_traps() {
+        let t = exec_err("int a[4]; int main() { return a[4]; }");
+        assert_eq!(t.kind, TrapKind::IndexOutOfBounds { index: 4, len: 4 });
+        let t = exec_err("int a[4]; int main() { int i = -1; return a[i]; }");
+        assert_eq!(t.kind, TrapKind::IndexOutOfBounds { index: -1, len: 4 });
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let t = exec_err("int main() { int z = 0; return 3 / z; }");
+        assert_eq!(t.kind, TrapKind::DivideByZero);
+        let t = exec_err("int main() { int z = 0; return 3 % z; }");
+        assert_eq!(t.kind, TrapKind::DivideByZero);
+    }
+
+    #[test]
+    fn step_limit_traps_infinite_loop() {
+        let m = compile(&compile_to_hir("int main() { while (1) { } return 0; }").unwrap());
+        let cfg = ExecConfig { max_steps: 1000, ..ExecConfig::default() };
+        let t = run(&m, &cfg, &mut NullSink).unwrap_err();
+        assert_eq!(t.kind, TrapKind::StepLimitExceeded { limit: 1000 });
+    }
+
+    #[test]
+    fn deep_recursion_overflows_stack() {
+        let m = compile(
+            &compile_to_hir(
+                "int down(int n) { int pad[64]; pad[0] = n; return down(n + 1); }
+                 int main() { return down(0); }",
+            )
+            .unwrap(),
+        );
+        let cfg = ExecConfig { stack_words: 4096, ..ExecConfig::default() };
+        let t = run(&m, &cfg, &mut NullSink).unwrap_err();
+        assert_eq!(t.kind, TrapKind::StackOverflow);
+    }
+
+    #[test]
+    fn steps_count_matches_timestamps() {
+        let out = exec("int main() { return 1; }");
+        // const + ret = 2 instructions.
+        assert_eq!(out.steps, 2);
+    }
+
+    #[test]
+    fn event_counts_are_consistent() {
+        let m = compile(
+            &compile_to_hir(
+                "int g;
+                 int add(int x) { g += x; return g; }
+                 int main() { int i; for (i = 0; i < 3; i++) add(i); return g; }",
+            )
+            .unwrap(),
+        );
+        let mut sink = CountingSink::default();
+        let out = run(&m, &ExecConfig::default(), &mut sink).unwrap();
+        assert_eq!(sink.enters, sink.exits, "balanced function events");
+        assert_eq!(sink.enters, 4, "main + three calls");
+        assert!(sink.predicates >= 4, "loop test ran 4 times");
+        assert!(sink.reads > 0 && sink.writes > 0);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn locals_are_zeroed_per_call() {
+        let src = "int probe() { int x; int y = x; x = 77; return y; }
+            int main() { probe(); return probe(); }";
+        // Second call must see a fresh zero even though the first wrote 77.
+        assert_eq!(exec(src).exit_value, 0);
+    }
+
+    #[test]
+    fn void_function_call_statement() {
+        let src = "int g; void f() { g = 4; } int main() { f(); return g; }";
+        assert_eq!(exec(src).exit_value, 4);
+    }
+
+    #[test]
+    fn nested_loops_product() {
+        let src = "int main() {
+            int s = 0; int i; int j;
+            for (i = 1; i <= 3; i++)
+                for (j = 1; j <= 4; j++)
+                    s += i * j;
+            return s;
+        }";
+        assert_eq!(exec(src).exit_value, 60);
+    }
+
+    #[test]
+    fn gzip_like_shape_runs() {
+        // A miniature of the paper's Fig. 2 structure: a driver loop that
+        // buffers values and periodically calls a flush routine.
+        let src = "
+            int buf[8];
+            int count;
+            int out[64];
+            int outcnt;
+            void flush_block() {
+                int i;
+                for (i = 0; i < count; i++) out[outcnt++] = buf[i] * 3;
+                count = 0;
+            }
+            int main() {
+                int n = input_len();
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (count == 8) flush_block();
+                    buf[count++] = input(i);
+                }
+                flush_block();
+                return outcnt;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let input: Vec<i64> = (0..20).collect();
+        let out = run(&m, &ExecConfig::with_input(input), &mut NullSink).unwrap();
+        assert_eq!(out.exit_value, 20);
+    }
+}

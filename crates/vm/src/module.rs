@@ -1,0 +1,133 @@
+//! Compiled program representation.
+
+use crate::analysis::ModuleAnalysis;
+use crate::op::{Op, Pc};
+use alchemist_lang::hir::FuncId;
+use alchemist_lang::Span;
+use std::fmt;
+
+/// Metadata about one compiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Source name.
+    pub name: String,
+    /// First instruction of the function.
+    pub entry: Pc,
+    /// One past the last instruction of the function.
+    pub end: Pc,
+    /// Words of frame storage (parameters + locals, arrays inline).
+    pub frame_words: u32,
+    /// Number of parameters (stored in the first frame slots).
+    pub param_count: u32,
+    /// `true` if declared `void`.
+    pub is_void: bool,
+    /// Signature source location.
+    pub span: Span,
+}
+
+/// Metadata about one global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Source name.
+    pub name: String,
+    /// Word offset in global storage.
+    pub offset: u32,
+    /// Number of words (1 for scalars).
+    pub words: u32,
+    /// `true` if declared as an array.
+    pub is_array: bool,
+    /// Initial value (scalars only; arrays are zero-filled).
+    pub init: i64,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A fully compiled and analyzed mini-C program.
+///
+/// Produced by [`compile`](crate::compile); executed by
+/// [`Interp`](crate::Interp). Carries everything the Alchemist profiler
+/// needs: source spans per instruction and the control-flow facts
+/// (basic blocks, immediate post-dominators, predicate classification) in
+/// [`Module::analysis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// All instructions, all functions concatenated.
+    pub ops: Vec<Op>,
+    /// Source span of each instruction (parallel to `ops`).
+    pub spans: Vec<Span>,
+    /// Function table; `FuncId` indexes here.
+    pub funcs: Vec<FuncInfo>,
+    /// Global variable table.
+    pub globals: Vec<GlobalInfo>,
+    /// Total words of global storage.
+    pub global_words: u32,
+    /// Entry function.
+    pub main: FuncId,
+    /// Control-flow analysis used by the execution-indexing runtime.
+    pub analysis: ModuleAnalysis,
+}
+
+impl Module {
+    /// The function containing `pc`, if any.
+    pub fn func_at(&self, pc: Pc) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.entry.0 <= pc.0 && pc.0 < f.end.0)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Source span of the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn span_at(&self, pc: Pc) -> Span {
+        self.spans[pc.0 as usize]
+    }
+
+    /// Source line of the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn line_at(&self, pc: Pc) -> u32 {
+        self.span_at(pc).line()
+    }
+
+    /// Looks up a function by source name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &FuncInfo)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Looks up a global by source name.
+    pub fn global_by_name(&self, name: &str) -> Option<&GlobalInfo> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// A human-readable disassembly (for debugging and tests).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        for (fi, f) in self.funcs.iter().enumerate() {
+            writeln!(out, "fn#{fi} {}:", f.name).expect("string write");
+            for pc in f.entry.0..f.end.0 {
+                let block = self
+                    .analysis
+                    .block_start(Pc(pc))
+                    .map(|b| format!("{b}:"))
+                    .unwrap_or_default();
+                writeln!(
+                    out,
+                    "  {block:>6} @{pc:<4} {}",
+                    self.ops[pc as usize]
+                )
+                .expect("string write");
+            }
+        }
+        out
+    }
+}

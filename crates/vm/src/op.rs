@@ -1,0 +1,194 @@
+//! Bytecode instruction set.
+//!
+//! The VM is a stack machine over `i64` words with a flat, word-addressed
+//! data memory (globals first, then stack frames). Arrays are referenced
+//! through packed descriptors (base address + length in one word) so that
+//! `int a[]` parameters can be passed and bounds-checked.
+
+use alchemist_lang::hir::{FuncId, Intrinsic};
+use alchemist_lang::{BinOp, UnOp};
+use std::fmt;
+
+/// A program counter: an index into [`Module::ops`](crate::Module::ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A basic-block id, global across the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Packs an array descriptor (base address, length) into one stack word.
+pub fn pack_ref(base: u32, len: u32) -> i64 {
+    (base as i64) | ((len as i64) << 32)
+}
+
+/// Unpacks an array descriptor produced by [`pack_ref`].
+pub fn unpack_ref(word: i64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+/// One VM instruction.
+///
+/// Stack effects are written `[before] -> [after]` with the stack top on the
+/// right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `[] -> [k]`
+    Const(i64),
+    /// `[a] -> [a a]`
+    Dup,
+    /// `[a b] -> [a b a b]`
+    Dup2,
+    /// `[a b c] -> [c a b]`
+    Rot3Down,
+    /// `[a] -> []`
+    Pop,
+
+    /// `[] -> [mem[fp+slot]]`; emits a read event.
+    LoadLocal(u32),
+    /// `[v] -> []`; writes `mem[fp+slot]`; emits a write event.
+    StoreLocal(u32),
+    /// `[v] -> [v]`; like [`Op::StoreLocal`] but keeps the value.
+    StoreLocalKeep(u32),
+    /// `[] -> [mem[off]]`; emits a read event.
+    LoadGlobal(u32),
+    /// `[v] -> []`; writes `mem[off]`; emits a write event.
+    StoreGlobal(u32),
+    /// `[v] -> [v]`; like [`Op::StoreGlobal`] but keeps the value.
+    StoreGlobalKeep(u32),
+
+    /// `[] -> [ref]`; descriptor for a global array at `off` of `len` words.
+    GlobalArrRef {
+        /// Word offset of the array in global storage.
+        off: u32,
+        /// Array length in words.
+        len: u32,
+    },
+    /// `[] -> [ref]`; descriptor for a frame array at `fp+slot`.
+    LocalArrRef {
+        /// Word offset of the array within the frame.
+        slot: u32,
+        /// Array length in words.
+        len: u32,
+    },
+    /// `[ref i] -> [mem[base+i]]`; bounds-checked; emits a read event.
+    LoadElem,
+    /// `[v ref i] -> []`; bounds-checked; emits a write event.
+    StoreElem,
+    /// `[v ref i] -> [v]`; like [`Op::StoreElem`] but keeps the value.
+    StoreElemKeep,
+
+    /// `[a] -> [op a]`
+    Un(UnOp),
+    /// `[a b] -> [a op b]`; never `&&`/`||` (lowered to branches).
+    Bin(BinOp),
+
+    /// Unconditional jump to an absolute pc.
+    Br(u32),
+    /// `[c] -> []`; jump when `c != 0`. A *predicate* instruction.
+    BrTrue(u32),
+    /// `[c] -> []`; jump when `c == 0`. A *predicate* instruction.
+    BrFalse(u32),
+
+    /// `[arg0 .. argN-1] -> []` in caller; arguments move to the callee frame.
+    Call(FuncId),
+    /// Intrinsic call; pops the intrinsic's arity, pushes one result.
+    CallIntrinsic(Intrinsic),
+    /// `[v] -> []`; pop frame and deliver `v` to the caller's stack.
+    Ret,
+}
+
+impl Op {
+    /// Whether this op ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Op::Br(_) | Op::BrTrue(_) | Op::BrFalse(_) | Op::Ret)
+    }
+
+    /// Whether this op is a conditional branch (a predicate in the paper's
+    /// sense).
+    pub fn is_predicate(&self) -> bool {
+        matches!(self, Op::BrTrue(_) | Op::BrFalse(_))
+    }
+
+    /// Branch target, if the op is any branch.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Op::Br(t) | Op::BrTrue(t) | Op::BrFalse(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Const(k) => write!(f, "const {k}"),
+            Op::Dup => write!(f, "dup"),
+            Op::Dup2 => write!(f, "dup2"),
+            Op::Rot3Down => write!(f, "rot3"),
+            Op::Pop => write!(f, "pop"),
+            Op::LoadLocal(s) => write!(f, "lload {s}"),
+            Op::StoreLocal(s) => write!(f, "lstore {s}"),
+            Op::StoreLocalKeep(s) => write!(f, "lstore.k {s}"),
+            Op::LoadGlobal(o) => write!(f, "gload {o}"),
+            Op::StoreGlobal(o) => write!(f, "gstore {o}"),
+            Op::StoreGlobalKeep(o) => write!(f, "gstore.k {o}"),
+            Op::GlobalArrRef { off, len } => write!(f, "garef {off} len={len}"),
+            Op::LocalArrRef { slot, len } => write!(f, "laref {slot} len={len}"),
+            Op::LoadElem => write!(f, "eload"),
+            Op::StoreElem => write!(f, "estore"),
+            Op::StoreElemKeep => write!(f, "estore.k"),
+            Op::Un(op) => write!(f, "un {op}"),
+            Op::Bin(op) => write!(f, "bin {op}"),
+            Op::Br(t) => write!(f, "br {t}"),
+            Op::BrTrue(t) => write!(f, "br.t {t}"),
+            Op::BrFalse(t) => write!(f, "br.f {t}"),
+            Op::Call(id) => write!(f, "call {id}"),
+            Op::CallIntrinsic(i) => write!(f, "icall {}", i.name()),
+            Op::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_packing_round_trips() {
+        for (base, len) in [(0u32, 0u32), (1, 1), (12345, 678), (u32::MAX, u32::MAX)] {
+            assert_eq!(unpack_ref(pack_ref(base, len)), (base, len));
+        }
+    }
+
+    #[test]
+    fn terminators_and_predicates() {
+        assert!(Op::Br(0).is_terminator());
+        assert!(Op::Ret.is_terminator());
+        assert!(!Op::Call(FuncId(0)).is_terminator());
+        assert!(Op::BrTrue(3).is_predicate());
+        assert!(!Op::Br(3).is_predicate());
+        assert_eq!(Op::BrFalse(7).branch_target(), Some(7));
+        assert_eq!(Op::Ret.branch_target(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Const(-4).to_string(), "const -4");
+        assert_eq!(Op::BrFalse(9).to_string(), "br.f 9");
+        assert_eq!(Pc(3).to_string(), "@3");
+        assert_eq!(BlockId(5).to_string(), "bb5");
+    }
+}

@@ -1,0 +1,183 @@
+//! Source-level tests of the control-flow analysis: for each mini-C
+//! control shape, check the predicate classification and immediate
+//! post-dominator facts the indexing runtime will consume.
+
+use alchemist_vm::{compile_source, Module, Pc, PredKind};
+
+fn predicates_of(m: &Module, func: &str) -> Vec<(Pc, PredKind)> {
+    let (_, fi) = m.func_by_name(func).expect("function exists");
+    (fi.entry.0..fi.end.0)
+        .map(Pc)
+        .filter_map(|pc| m.analysis.predicate_kind(pc).map(|k| (pc, k)))
+        .collect()
+}
+
+#[test]
+fn while_loop_has_one_loop_predicate_closing_at_exit() {
+    let m = compile_source(
+        "int g; int main() { int i = 0; while (i < 5) { g += i; i++; } return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 1);
+    assert_eq!(preds[0].1, PredKind::Loop);
+    // Its block's ipdom is the code after the loop (a real block).
+    let block = m.analysis.block_of(preds[0].0);
+    assert!(m.analysis.block(block).ipdom.is_some());
+}
+
+#[test]
+fn for_loop_predicate_is_loop_kind() {
+    let m = compile_source(
+        "int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(), 1);
+}
+
+#[test]
+fn do_while_bottom_test_is_loop_kind() {
+    let m = compile_source(
+        "int g; int main() { int i = 0; do { g += i; i++; } while (i < 4); return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 1);
+    assert_eq!(preds[0].1, PredKind::Loop, "bottom test takes the back edge");
+}
+
+#[test]
+fn if_inside_loop_is_branch_kind() {
+    let m = compile_source(
+        "int g; int main() { int i; for (i = 0; i < 6; i++) { \
+         if (i & 1) g += i; } return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    let loops = preds.iter().filter(|(_, k)| *k == PredKind::Loop).count();
+    let branches = preds.iter().filter(|(_, k)| *k == PredKind::Branch).count();
+    assert_eq!((loops, branches), (1, 1));
+}
+
+#[test]
+fn break_test_in_while_one_becomes_the_loop_predicate() {
+    // `while (1)` emits no conditional branch of its own, so the first
+    // test in the body — `if (i > 3) break;` — sits in the loop-header
+    // block and is (correctly) classified as the iteration predicate:
+    // each of its executions delimits one iteration, exactly what the
+    // indexing rules need for a head-less loop.
+    let m = compile_source(
+        "int g; int main() { int i = 0; while (1) { \
+         if (i > 3) break; g += i; i++; } return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 1, "while(1) itself has no predicate");
+    assert_eq!(preds[0].1, PredKind::Loop);
+}
+
+#[test]
+fn second_break_test_in_while_one_is_branch_kind() {
+    // A break-test later in the body is not the header: it stays a Branch,
+    // and the indexing runtime bounds the stack through the generalized
+    // re-execution rule instead.
+    let m = compile_source(
+        "int g; int main() { int i = 0; while (1) { \
+         if (i > 3) break; g += i; if (g > 100) break; i++; } return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 2);
+    assert_eq!(preds[0].1, PredKind::Loop, "header test");
+    assert_eq!(preds[1].1, PredKind::Branch, "mid-body test");
+}
+
+#[test]
+fn short_circuit_condition_produces_two_predicates() {
+    let m = compile_source(
+        "int g; int main() { int i = 0; while (i < 9 && g < 5) { g += i; i++; } \
+         return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 2, "one predicate per && operand");
+    // The first (header) test is the loop predicate.
+    assert_eq!(preds[0].1, PredKind::Loop);
+}
+
+#[test]
+fn ternary_is_branch_kind() {
+    let m = compile_source("int main() { int x = 3; return x > 1 ? 10 : 20; }")
+        .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 1);
+    assert_eq!(preds[0].1, PredKind::Branch);
+}
+
+#[test]
+fn nested_loops_classify_independently() {
+    let m = compile_source(
+        "int g; int main() { int i; int j; \
+         for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) g++; return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(), 2);
+}
+
+#[test]
+fn if_join_is_the_ipdom_of_its_predicate() {
+    let m = compile_source(
+        "int g; int main() { if (g > 0) { g = 1; } else { g = 2; } g = 3; return g; }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "main");
+    assert_eq!(preds.len(), 1);
+    let pred_block = m.analysis.block_of(preds[0].0);
+    let join = m.analysis.block(pred_block).ipdom.expect("diamond has a join");
+    // The join block contains the `g = 3` store; both arms flow into it.
+    let info = m.analysis.block(join);
+    assert!(info.first.0 > preds[0].0 .0);
+}
+
+#[test]
+fn early_return_predicates_close_at_function_exit() {
+    let m = compile_source(
+        "int f(int x) { if (x > 0) return 1; return 2; }
+         int main() { return f(3); }",
+    )
+    .unwrap();
+    let preds = predicates_of(&m, "f");
+    assert_eq!(preds.len(), 1);
+    let block = m.analysis.block_of(preds[0].0);
+    assert_eq!(
+        m.analysis.block(block).ipdom,
+        None,
+        "both arms return; only the virtual exit post-dominates"
+    );
+}
+
+#[test]
+fn disassembly_lists_blocks_and_ops() {
+    let m = compile_source(
+        "int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }",
+    )
+    .unwrap();
+    let text = m.disassemble();
+    assert!(text.contains("fn#0 main:"), "{text}");
+    assert!(text.contains("bb"), "block labels shown: {text}");
+    assert!(text.contains("br.f") || text.contains("br.t"), "{text}");
+    assert!(text.contains("ret"), "{text}");
+}
+
+#[test]
+fn block_count_is_reasonable_for_straightline_code() {
+    let m = compile_source("int main() { int a = 1; int b = 2; return a + b; }")
+        .unwrap();
+    // Straight-line code: exactly one block.
+    let f = &m.funcs[0];
+    let blocks: std::collections::HashSet<_> =
+        (f.entry.0..f.end.0).map(|pc| m.analysis.block_of(Pc(pc))).collect();
+    assert_eq!(blocks.len(), 1);
+}

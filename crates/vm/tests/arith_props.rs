@@ -1,0 +1,223 @@
+//! Property tests: the VM's expression evaluation must agree with a direct
+//! AST interpreter (Rust semantics with the documented wrapping/masking
+//! rules) on randomly generated expression trees.
+
+use alchemist_lang::ast::{BinOp, UnOp};
+use alchemist_vm::{compile_source, run, ExecConfig, NullSink};
+use proptest::prelude::*;
+
+/// An expression tree over two variables `x`, `y` whose value we can
+/// compute directly.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i64),
+    X,
+    Y,
+    Un(UnOp, Box<E>),
+    Bin(BinOp, Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_source(&self) -> String {
+        match self {
+            // i64::MIN has no literal form (the same quirk as C): the
+            // lexer sees `-` as negation of an overflowing magnitude.
+            E::Const(v) if *v == i64::MIN => {
+                "(-9223372036854775807 - 1)".to_owned()
+            }
+            E::Const(v) => format!("{v}"),
+            E::X => "x".into(),
+            E::Y => "y".into(),
+            E::Un(op, a) => format!("({op} {})", a.to_source()),
+            E::Bin(op, a, b) => {
+                format!("({} {op} {})", a.to_source(), b.to_source())
+            }
+            E::Ternary(c, t, e) => format!(
+                "({} ? {} : {})",
+                c.to_source(),
+                t.to_source(),
+                e.to_source()
+            ),
+        }
+    }
+
+    /// The language's defined semantics, evaluated directly.
+    fn eval(&self, x: i64, y: i64) -> Option<i64> {
+        Some(match self {
+            E::Const(v) => *v,
+            E::X => x,
+            E::Y => y,
+            E::Un(op, a) => {
+                let a = a.eval(x, y)?;
+                match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => (a == 0) as i64,
+                    UnOp::BitNot => !a,
+                }
+            }
+            // Short-circuit forms first: the right side must not be
+            // evaluated (it may contain a division by zero the VM never
+            // reaches).
+            E::Bin(BinOp::LogAnd, a, b) => {
+                if a.eval(x, y)? == 0 {
+                    0
+                } else {
+                    (b.eval(x, y)? != 0) as i64
+                }
+            }
+            E::Bin(BinOp::LogOr, a, b) => {
+                if a.eval(x, y)? != 0 {
+                    1
+                } else {
+                    (b.eval(x, y)? != 0) as i64
+                }
+            }
+            E::Bin(op, a, b) => {
+                let a = a.eval(x, y)?;
+                let b = b.eval(x, y)?;
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return None;
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return None;
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+                    BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::LogAnd | BinOp::LogOr => {
+                        unreachable!("handled above")
+                    }
+                }
+            }
+            E::Ternary(c, t, e) => {
+                if c.eval(x, y)? != 0 {
+                    t.eval(x, y)?
+                } else {
+                    e.eval(x, y)?
+                }
+            }
+        })
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(E::Const),
+        Just(E::X),
+        Just(E::Y),
+        Just(E::Const(i64::MAX)),
+        Just(E::Const(i64::MIN)),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let un = prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)];
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::LogAnd),
+            Just(BinOp::LogOr),
+        ];
+        prop_oneof![
+            (un, inner.clone()).prop_map(|(op, a)| E::Un(op, Box::new(a))),
+            (bin, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| {
+                E::Ternary(Box::new(c), Box::new(t), Box::new(e))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vm_matches_direct_evaluation(
+        e in arb_expr(),
+        x in -100i64..100,
+        y in any::<i64>(),
+    ) {
+        let src = format!(
+            "int main() {{ int x = input(0); int y = input(1); \
+             print({}); return 0; }}",
+            e.to_source()
+        );
+        let module = compile_source(&src).expect("generated expression compiles");
+        let outcome = run(
+            &module,
+            &ExecConfig::with_input(vec![x, y]),
+            &mut NullSink,
+        );
+        match e.eval(x, y) {
+            Some(expected) => {
+                let out = outcome.expect("defined expressions run");
+                prop_assert_eq!(out.output, vec![expected]);
+            }
+            None => {
+                let trap = outcome.expect_err("division by zero traps");
+                prop_assert_eq!(
+                    trap.kind,
+                    alchemist_vm::TrapKind::DivideByZero
+                );
+            }
+        }
+    }
+
+    /// Shifts are masked to 0..63 like hardware, never UB or panic.
+    #[test]
+    fn extreme_shifts_are_masked(a in any::<i64>(), b in any::<i64>()) {
+        let src = "int main() { print(input(0) << input(1)); \
+                    print(input(0) >> input(1)); return 0; }";
+        let module = compile_source(src).expect("compiles");
+        let out = run(&module, &ExecConfig::with_input(vec![a, b]), &mut NullSink)
+            .expect("shifts never trap");
+        prop_assert_eq!(out.output[0], a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(out.output[1], a.wrapping_shr((b & 63) as u32));
+    }
+
+    /// i64::MIN / -1 must not panic (wrapping division).
+    #[test]
+    fn overflow_division_wraps(a in any::<i64>()) {
+        let src = "int main() { print(input(0) / input(1)); return 0; }";
+        let module = compile_source(src).expect("compiles");
+        let out = run(
+            &module,
+            &ExecConfig::with_input(vec![a, -1]),
+            &mut NullSink,
+        )
+        .expect("runs");
+        prop_assert_eq!(out.output[0], a.wrapping_div(-1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic input generation for the benchmark suite.
+//!
+//! Inputs are produced by a fixed-seed xorshift generator so every run of
+//! every experiment sees identical data (the reproduction's numbers must be
+//! stable). Each workload gets data shaped like its real counterpart's:
+//! compressible literal streams for the compressors, word streams for the
+//! parser, expression streams for the lisp interpreter, sample waves for
+//! the audio encoder.
+
+/// Input size scaling for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Very small inputs for fast unit tests.
+    Tiny,
+    /// Small inputs (quick benches).
+    Small,
+    /// The default experiment size.
+    Default,
+    /// Larger inputs for overhead measurements.
+    Large,
+}
+
+impl Scale {
+    /// Multiplier applied to each workload's base input size.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 2,
+            Scale::Default => 4,
+            Scale::Large => 8,
+        }
+    }
+}
+
+/// A tiny deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        Xorshift { state: seed.max(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// A compressible literal stream: runs of repeated symbols drawn from a
+/// small alphabet (gzip/bzip2-shaped data).
+pub fn literal_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let sym = rng.below(24) as i64;
+        let run = 1 + rng.below(6) as usize;
+        for _ in 0..run.min(n - out.len()) {
+            out.push(sym);
+        }
+    }
+    out
+}
+
+/// A word stream with a Zipf-ish skew (parser-shaped data; zero is the
+/// paper's "empty entry" and is skipped by the dictionary reader).
+pub fn word_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    (0..n)
+        .map(|_| {
+            let r = rng.below(100);
+            let w = if r < 50 {
+                rng.below(40) // frequent words
+            } else if r < 90 {
+                40 + rng.below(400)
+            } else {
+                440 + rng.below(3000)
+            };
+            w as i64 + 1
+        })
+        .collect()
+}
+
+/// An expression stream for the lisp loader: op codes and literals.
+pub fn expr_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    (0..n).map(|_| rng.below(1024) as i64).collect()
+}
+
+/// A sampled waveform (ogg-shaped data): sum of two square-ish waves plus
+/// noise, non-negative.
+pub fn wave_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    (0..n)
+        .map(|i| {
+            let a = if (i / 13) % 2 == 0 { 300 } else { 100 };
+            let b = if (i / 37) % 2 == 0 { 200 } else { 0 };
+            (a + b + rng.below(64) as i64).clamp(0, 1023)
+        })
+        .collect()
+}
+
+/// Uniform bytes (aes/par2-shaped data).
+pub fn byte_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    (0..n).map(|_| rng.below(256) as i64).collect()
+}
+
+/// Triangle qualities for the delaunay workload: mostly "bad" triangles so
+/// the refinement loop has work.
+pub fn quality_stream(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Xorshift::new(seed);
+    (0..n).map(|_| rng.below(55) as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(literal_stream(64, 7), literal_stream(64, 7));
+        assert_eq!(word_stream(64, 7), word_stream(64, 7));
+        assert_eq!(byte_stream(64, 7), byte_stream(64, 7));
+        assert_eq!(wave_stream(64, 7), wave_stream(64, 7));
+        assert_eq!(expr_stream(64, 7), expr_stream(64, 7));
+        assert_eq!(quality_stream(64, 7), quality_stream(64, 7));
+    }
+
+    #[test]
+    fn seeds_change_the_data() {
+        assert_ne!(byte_stream(64, 1), byte_stream(64, 2));
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        for n in [0, 1, 63, 100] {
+            assert_eq!(literal_stream(n, 3).len(), n);
+            assert_eq!(word_stream(n, 3).len(), n);
+        }
+    }
+
+    #[test]
+    fn literal_stream_is_compressible() {
+        let data = literal_stream(1000, 42);
+        let repeats = data.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 200, "expected runs, got {repeats} repeats");
+    }
+
+    #[test]
+    fn word_stream_avoids_zero() {
+        assert!(word_stream(500, 9).iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn quality_stream_below_refinement_threshold() {
+        assert!(quality_stream(200, 5).iter().all(|&q| q < 60));
+    }
+
+    #[test]
+    fn scale_factors_are_monotone() {
+        assert!(Scale::Tiny.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Default.factor());
+        assert!(Scale::Default.factor() < Scale::Large.factor());
+    }
+}

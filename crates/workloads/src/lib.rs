@@ -1,0 +1,469 @@
+//! # alchemist-workloads
+//!
+//! Mini-C reimplementations of the CGO 2009 Alchemist benchmark suite.
+//!
+//! The paper evaluates on real C programs (gzip-1.3.5, bzip2, 197.parser,
+//! 130.li, oggenc, AES-CTR from OpenSSL, par2cmdline, Delaunay mesh
+//! refinement). Those cannot run on this reproduction's VM, so each is
+//! re-implemented as a mini-C program that preserves the properties the
+//! experiments measure:
+//!
+//! * the **construct structure** (which loops/procedures dominate, how they
+//!   nest, how often they run), and
+//! * the **sharing pattern** (which globals flow between a construct and
+//!   its continuation — e.g. gzip's `outcnt`/`bi_buf` trailing bytes,
+//!   aes's `ivec` chain, par2's file-close handle, delaunay's worklist).
+//!
+//! Each [`Workload`] carries a parallelization recipe ([`ParallelSpec`])
+//! transcribing the transformation the paper describes for it, which the
+//! Table IV/V experiments consume.
+
+#![warn(missing_docs)]
+
+pub mod inputs;
+
+pub use inputs::{Scale, Xorshift};
+
+use alchemist_core::{profile_module, DepProfile, ProfileConfig};
+use alchemist_vm::{compile_source, ExecConfig, ExecOutcome, Module, Pc, PredKind};
+
+/// How to locate a construct to parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The procedure with this source name.
+    Function(&'static str),
+    /// The `ordinal`-th loop predicate (by code order) within the named
+    /// function.
+    LoopIn {
+        /// Containing function.
+        func: &'static str,
+        /// 0-based loop index within the function.
+        ordinal: usize,
+    },
+}
+
+/// The parallelization recipe for one workload, transcribed from the
+/// paper's §IV-B description of what was done by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSpec {
+    /// Constructs to spawn as futures.
+    pub targets: &'static [Target],
+    /// Globals whose conflicts the transformation removes (privatization,
+    /// reductions, hoisted operations).
+    pub privatized: &'static [&'static str],
+    /// Speedup reported in the paper's Table V (absent for programs the
+    /// paper analyzed but did not time).
+    pub paper_speedup: Option<f64>,
+    /// The range our simulated speedup is expected to fall in (the *shape*
+    /// check: who scales, who doesn't).
+    pub expected_speedup: (f64, f64),
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Short name (matches the paper's Table III row).
+    pub name: &'static str,
+    /// Mini-C source.
+    pub source: &'static str,
+    /// What the program models.
+    pub description: &'static str,
+    /// Base input size (scaled by [`Scale::factor`]).
+    pub base_input: usize,
+    /// RNG seed for input generation.
+    pub seed: u64,
+    /// Which generator shapes the input.
+    pub input_kind: InputKind,
+    /// Parallelization recipe, if the paper parallelized this program.
+    pub parallel: Option<ParallelSpec>,
+}
+
+/// Which input generator a workload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Compressible literal runs.
+    Literals,
+    /// Dictionary/sentence words.
+    Words,
+    /// Lisp expression stream.
+    Exprs,
+    /// Audio samples.
+    Waves,
+    /// Uniform bytes.
+    Bytes,
+    /// Triangle qualities.
+    Qualities,
+}
+
+impl Workload {
+    /// Compiles the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to compile (a bug in this crate).
+    pub fn module(&self) -> Module {
+        compile_source(self.source)
+            .unwrap_or_else(|e| panic!("workload {} does not compile: {e}", self.name))
+    }
+
+    /// Generates the deterministic input for `scale`.
+    pub fn input(&self, scale: Scale) -> Vec<i64> {
+        let n = self.base_input * scale.factor();
+        match self.input_kind {
+            InputKind::Literals => inputs::literal_stream(n, self.seed),
+            InputKind::Words => inputs::word_stream(n, self.seed),
+            InputKind::Exprs => inputs::expr_stream(n, self.seed),
+            InputKind::Waves => inputs::wave_stream(n, self.seed),
+            InputKind::Bytes => inputs::byte_stream(n, self.seed),
+            InputKind::Qualities => inputs::quality_stream(n, self.seed),
+        }
+    }
+
+    /// Execution config with the scaled input.
+    pub fn exec_config(&self, scale: Scale) -> ExecConfig {
+        ExecConfig::with_input(self.input(scale))
+    }
+
+    /// Runs natively (no profiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload traps (a bug in this crate).
+    pub fn run_native(&self, scale: Scale) -> ExecOutcome {
+        let module = self.module();
+        alchemist_vm::run(&module, &self.exec_config(scale), &mut alchemist_vm::NullSink)
+            .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name))
+    }
+
+    /// Runs under the Alchemist profiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload traps.
+    pub fn profile(&self, scale: Scale) -> (Module, DepProfile, ExecOutcome) {
+        let module = self.module();
+        let (profile, exec, _, _) = profile_module(
+            &module,
+            &self.exec_config(scale),
+            ProfileConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name));
+        (module, profile, exec)
+    }
+
+    /// Source lines of the mini-C program (non-empty lines).
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Resolves `target` in a compiled module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target does not exist (a recipe/source mismatch).
+    pub fn resolve_target(module: &Module, target: Target) -> Pc {
+        match target {
+            Target::Function(name) => {
+                module
+                    .func_by_name(name)
+                    .unwrap_or_else(|| panic!("no function `{name}`"))
+                    .1
+                    .entry
+            }
+            Target::LoopIn { func, ordinal } => {
+                let (_, fi) = module
+                    .func_by_name(func)
+                    .unwrap_or_else(|| panic!("no function `{func}`"));
+                (fi.entry.0..fi.end.0)
+                    .map(Pc)
+                    .filter(|&pc| {
+                        module.analysis.predicate_kind(pc) == Some(PredKind::Loop)
+                    })
+                    .nth(ordinal)
+                    .unwrap_or_else(|| {
+                        panic!("function `{func}` has no loop #{ordinal}")
+                    })
+            }
+        }
+    }
+
+    /// Resolves every target of the parallelization recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no recipe or a target is missing.
+    pub fn resolve_targets(&self, module: &Module) -> Vec<Pc> {
+        self.parallel
+            .as_ref()
+            .expect("workload has no parallelization recipe")
+            .targets
+            .iter()
+            .map(|&t| Self::resolve_target(module, t))
+            .collect()
+    }
+}
+
+/// The full suite, in the paper's Table III order (197.parser, bzip2,
+/// gzip, 130.li, ogg, aes, par2, delaunay).
+pub fn all() -> &'static [Workload] {
+    &SUITE
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    all().iter().find(|w| w.name == name)
+}
+
+static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
+    vec![
+        Workload {
+            name: "197.parser",
+            source: include_str!("../programs/parser197.mc"),
+            description: "dictionary load (serial, I/O bound) + sentence parsing",
+            base_input: 420,
+            seed: 197,
+            input_kind: InputKind::Words,
+            parallel: Some(ParallelSpec {
+                // The sentence loop (paper: loop at line 1302).
+                targets: &[Target::LoopIn { func: "main", ordinal: 0 }],
+                privatized: &["linkages"],
+                paper_speedup: None,
+                expected_speedup: (1.2, 4.0),
+            }),
+        },
+        Workload {
+            name: "bzip2",
+            source: include_str!("../programs/bzip2.mc"),
+            description: "per-file block-sort compressor with shared BZFILE state",
+            base_input: 420,
+            seed: 256,
+            input_kind: InputKind::Literals,
+            parallel: Some(ParallelSpec {
+                // The file loop in main; threads get private BZFILE state
+                // and output buffers (paper section IV-B2).
+                targets: &[Target::Function("compress_stream")],
+                privatized: &[
+                    "bzf_handle",
+                    "bzf_in",
+                    "bzf_bufpos",
+                    "outbuf",
+                    "outcnt",
+                    "block",
+                    "sorted",
+                    "mtf",
+                    "counts",
+                ],
+                paper_speedup: Some(3.46),
+                expected_speedup: (2.4, 4.0),
+            }),
+        },
+        Workload {
+            name: "gzip-1.3.5",
+            source: include_str!("../programs/gzip.mc"),
+            description: "Fig. 2's zip/flush_block structure with bit packing",
+            base_input: 600,
+            seed: 135,
+            input_kind: InputKind::Literals,
+            parallel: Some(ParallelSpec {
+                // flush_block as a future (paper section II); the
+                // continuation's buffering continues while a block encodes.
+                targets: &[Target::Function("flush_block")],
+                privatized: &["flag_buf", "last_flags", "freq", "total_in"],
+                paper_speedup: None,
+                expected_speedup: (0.9, 3.0),
+            }),
+        },
+        Workload {
+            name: "130.li",
+            source: include_str!("../programs/lisp130.mc"),
+            description: "xlisp-like loader + batch evaluation loop",
+            base_input: 200,
+            seed: 130,
+            input_kind: InputKind::Exprs,
+            parallel: Some(ParallelSpec {
+                // The batch loop (paper: C2 in Fig. 6(d)); the loader
+                // cursor is recomputed per thread (fixed-size loads).
+                targets: &[Target::LoopIn { func: "main", ordinal: 0 }],
+                privatized: &["load_cursor", "arena_top", "gc_count", "total"],
+                paper_speedup: None,
+                expected_speedup: (1.2, 4.0),
+            }),
+        },
+        Workload {
+            name: "ogg",
+            source: include_str!("../programs/ogg.mc"),
+            description: "per-file audio encoder with shared error/sample state",
+            base_input: 512,
+            seed: 101,
+            input_kind: InputKind::Waves,
+            parallel: Some(ParallelSpec {
+                targets: &[Target::Function("encode_file")],
+                privatized: &[
+                    "errors",
+                    "samples_read",
+                    "outbuf",
+                    "outcnt",
+                    "frame",
+                    "spectrum",
+                ],
+                paper_speedup: Some(3.95),
+                expected_speedup: (2.8, 4.0),
+            }),
+        },
+        Workload {
+            name: "aes",
+            source: include_str!("../programs/aes.mc"),
+            description: "counter-mode cipher; serial byte staging + ivec chain",
+            base_input: 512,
+            seed: 128,
+            input_kind: InputKind::Bytes,
+            parallel: Some(ParallelSpec {
+                // Keystream+XOR as the future; each thread gets its own
+                // recomputed counter state (paper section IV-B2, aes).
+                targets: &[Target::Function("process_block")],
+                privatized: &["ivec", "ecount", "num", "keystream", "blocks_done"],
+                paper_speedup: Some(1.63),
+                expected_speedup: (1.1, 2.7),
+            }),
+        },
+        Workload {
+            name: "par2",
+            source: include_str!("../programs/par2.mc"),
+            description: "Reed-Solomon parity with serial staging I/O",
+            base_input: 1024,
+            seed: 742,
+            input_kind: InputKind::Bytes,
+            parallel: Some(ParallelSpec {
+                // Both loops the paper parallelized: per-file verification
+                // and per-output-block parity computation.
+                targets: &[
+                    Target::LoopIn { func: "open_source_files", ordinal: 0 },
+                    Target::LoopIn { func: "process_data", ordinal: 0 },
+                ],
+                privatized: &["open_handle", "files_open", "scratch"],
+                paper_speedup: Some(1.78),
+                expected_speedup: (1.2, 2.8),
+            }),
+        },
+        Workload {
+            name: "delaunay",
+            source: include_str!("../programs/delaunay.mc"),
+            description: "worklist mesh refinement; dense cross-iteration deps",
+            base_input: 150,
+            seed: 77,
+            input_kind: InputKind::Qualities,
+            parallel: Some(ParallelSpec {
+                // The refinement loop. No transformation helps: the
+                // worklist cursors chain every iteration (the paper's
+                // negative result) — spawn overhead makes the "parallel"
+                // version a net slowdown.
+                targets: &[Target::LoopIn { func: "main", ordinal: 1 }],
+                privatized: &[],
+                paper_speedup: None,
+                expected_speedup: (0.4, 1.1),
+            }),
+        },
+    ]
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_eight_benchmarks() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "197.parser",
+                "bzip2",
+                "gzip-1.3.5",
+                "130.li",
+                "ogg",
+                "aes",
+                "par2",
+                "delaunay"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_compiles() {
+        for w in all() {
+            let m = w.module();
+            assert!(!m.ops.is_empty(), "{} compiled empty", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_at_tiny_scale() {
+        for w in all() {
+            let out = w.run_native(Scale::Tiny);
+            assert!(out.steps > 0, "{} executed nothing", w.name);
+            assert!(!out.output.is_empty(), "{} printed nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        for w in all() {
+            let a = w.run_native(Scale::Tiny);
+            let b = w.run_native(Scale::Tiny);
+            assert_eq!(a, b, "{} is nondeterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn scaling_increases_work() {
+        for w in all() {
+            let small = w.run_native(Scale::Tiny).steps;
+            let big = w.run_native(Scale::Default).steps;
+            assert!(
+                big > small,
+                "{}: {big} steps at Default vs {small} at Tiny",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_workloads() {
+        assert!(by_name("gzip-1.3.5").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn parallel_targets_resolve() {
+        for w in all() {
+            if w.parallel.is_none() {
+                continue;
+            }
+            let m = w.module();
+            let targets = w.resolve_targets(&m);
+            assert!(!targets.is_empty(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn privatized_variables_exist() {
+        for w in all() {
+            let Some(spec) = &w.parallel else { continue };
+            let m = w.module();
+            for var in spec.privatized {
+                assert!(
+                    m.global_by_name(var).is_some(),
+                    "{}: privatized variable `{var}` is not a global",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loc_counts_nonempty_lines() {
+        for w in all() {
+            assert!(w.loc() > 30, "{} suspiciously small: {}", w.name, w.loc());
+        }
+    }
+}

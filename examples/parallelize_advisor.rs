@@ -1,0 +1,83 @@
+//! The full paper workflow on one benchmark: profile, pick candidates,
+//! apply the suggested privatizations, and simulate the parallel schedule
+//! (the section IV-B2 "parallelization experience").
+//!
+//! Run with: `cargo run --example parallelize_advisor [workload] [threads]`
+
+use alchemist::prelude::*;
+use alchemist::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("bzip2");
+    let threads: usize =
+        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let w = workloads::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    });
+
+    // Step 1: profile the sequential run.
+    let module = w.module();
+    let exec_cfg = w.exec_config(Scale::Default);
+    let (profile, exec, _, _) =
+        profile_module(&module, &exec_cfg, ProfileConfig::default())
+            .expect("workload runs");
+    let report = ProfileReport::new(&profile, &module);
+    println!(
+        "{name}: {} instructions, {} constructs profiled",
+        exec.steps,
+        profile.len()
+    );
+
+    // Step 2: candidates = large constructs with few violating RAW deps.
+    let candidates = suggest_candidates(&report, &module, 0.02, 8);
+    println!("\ncandidates (large, few violating RAW):");
+    for c in candidates.iter().take(6) {
+        println!(
+            "  {:<34} {:>5.1}% violRAW={} privatize=[{}]",
+            c.label,
+            c.norm_size * 100.0,
+            c.violating_raw,
+            c.privatize.join(", ")
+        );
+    }
+
+    // Step 3: apply the paper's transformation recipe for this workload
+    // and simulate the parallel schedule.
+    let Some(spec) = &w.parallel else {
+        println!("\n(no transcription of a paper recipe for this workload)");
+        return;
+    };
+    let mut cfg = ExtractConfig::default();
+    for head in w.resolve_targets(&module) {
+        cfg = cfg.mark(head);
+    }
+    for v in spec.privatized {
+        cfg = cfg.privatize(v);
+    }
+    let trace = extract_tasks(&module, &exec_cfg, cfg).expect("workload runs");
+    println!(
+        "\npaper recipe: {} task(s) spawned, privatized [{}]",
+        trace.tasks.len(),
+        spec.privatized.join(", ")
+    );
+    println!(
+        "serial fraction after transformation: {:.1}%",
+        trace.serial_fraction() * 100.0
+    );
+
+    let sim = simulate(&trace, &SimConfig::with_threads(threads));
+    println!(
+        "\nsimulated on {threads} threads: {:.2}x speedup \
+         (sequential {} -> parallel {} instructions)",
+        sim.speedup, sim.t_seq, sim.t_par
+    );
+    if let Some(paper) = spec.paper_speedup {
+        println!("paper measured {paper:.2}x on a 4-core Opteron (Table V)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Visualizes the simulated parallel schedule of a workload as a text
+//! timeline — each row is a worker thread, each letter block a task.
+//!
+//! Run with: `cargo run --example schedule_timeline [workload] [threads]`
+
+use alchemist::parsim::render_timeline;
+use alchemist::prelude::*;
+use alchemist::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("par2");
+    let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let w = workloads::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    });
+    let Some(spec) = &w.parallel else {
+        eprintln!("{name} has no parallelization recipe");
+        std::process::exit(1);
+    };
+
+    let module = w.module();
+    let mut cfg = ExtractConfig::default();
+    for head in w.resolve_targets(&module) {
+        cfg = cfg.mark(head);
+    }
+    for v in spec.privatized {
+        cfg = cfg.privatize(v);
+    }
+    let trace = extract_tasks(&module, &w.exec_config(Scale::Default), cfg)
+        .expect("workload runs");
+
+    println!(
+        "{name}: {} tasks, serial fraction {:.1}%\n",
+        trace.tasks.len(),
+        trace.serial_fraction() * 100.0
+    );
+    print!(
+        "{}",
+        render_timeline(&trace, &SimConfig::with_threads(threads), 72)
+    );
+    println!("\n('.' = worker idle; the serial prefix/joins show up as idle gaps)");
+}

@@ -1,0 +1,87 @@
+//! Demonstrates the paper's section II guidance: how WAR/WAW profile
+//! entries translate into privatization/hoisting transformations, and what
+//! each transformation buys in the simulated parallel schedule.
+//!
+//! Run with: `cargo run --example war_waw_transforms`
+
+use alchemist::prelude::*;
+use alchemist::vm::ExecConfig;
+
+/// A worker with three distinct conflict patterns against its continuation:
+/// * `last_flags`-style: reset at the end of the call, written at the start
+///   of the next (short-distance WAW/WAR -> privatize / hoist the reset);
+/// * `buffer`-style: the continuation overwrites what the call read
+///   (WAR -> give the call a private copy);
+/// * a genuine RAW result that must stay (joined at the read).
+const PROGRAM: &str = "
+int flags;
+int buffer[64];
+int results[8];
+void work(int round) {
+    int i;
+    int acc = 0;
+    flags = flags + 1;            // start-of-call write to shared state
+    for (i = 0; i < 64; i++) {
+        acc = (acc + buffer[i] * (round + 1)) & 1048575;
+    }
+    results[round] = acc;         // the real result (RAW to the join)
+    flags = 0;                    // end-of-call reset (the WAW hotspot)
+}
+int main() {
+    int r;
+    int i;
+    int total = 0;
+    for (i = 0; i < 64; i++) buffer[i] = i * 3 + 1;
+    for (r = 0; r < 8; r++) {
+        work(r);
+        for (i = 0; i < 64; i++) buffer[i] = (buffer[i] + r) & 255;  // WAR
+        total += results[r];      // joins the future here
+    }
+    return total;
+}
+";
+
+fn main() {
+    let outcome = profile_source(PROGRAM, vec![]).expect("program runs");
+    let report = outcome.report();
+    let work = report.find("Method work").expect("work profiled");
+
+    println!("=== WAR/WAW profile of `work` ===\n");
+    print!("{}", report.render_war_waw(work.head));
+
+    println!("\nviolating WAW: {} | violating WAR: {} | violating RAW: {}",
+        work.violating_waw, work.violating_war, work.violating_raw);
+
+    // Simulate three variants, as a programmer following the paper would.
+    let module = outcome.module;
+    let head = module.func_by_name("work").expect("exists").1.entry;
+    let exec = ExecConfig::default();
+
+    let naive = ExtractConfig { respect_war_waw: true, ..Default::default() }
+        .mark(head);
+    let naive_trace = extract_tasks(&module, &exec, naive).expect("runs");
+    let naive_sim = simulate(&naive_trace, &SimConfig::with_threads(4));
+
+    let flags_only = ExtractConfig { respect_war_waw: true, ..Default::default() }
+        .mark(head)
+        .privatize("flags");
+    let flags_trace = extract_tasks(&module, &exec, flags_only).expect("runs");
+    let flags_sim = simulate(&flags_trace, &SimConfig::with_threads(4));
+
+    let full = ExtractConfig { respect_war_waw: true, ..Default::default() }
+        .mark(head)
+        .privatize("flags")
+        .privatize("buffer");
+    let full_trace = extract_tasks(&module, &exec, full).expect("runs");
+    let full_sim = simulate(&full_trace, &SimConfig::with_threads(4));
+
+    println!("\n=== simulated schedules (4 threads, WAR/WAW honored) ===\n");
+    println!("untransformed:                 {:.2}x", naive_sim.speedup);
+    println!("privatize flags:               {:.2}x", flags_sim.speedup);
+    println!("privatize flags + copy buffer: {:.2}x", full_sim.speedup);
+    println!(
+        "\nThe RAW on results[] remains in all three — the paper's point:\n\
+         RAW distances bound the concurrency, WAR/WAW only cost\n\
+         transformations."
+    );
+}

@@ -1,0 +1,282 @@
+//! The `alchemist` command-line profiler.
+//!
+//! ```text
+//! alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
+//! alchemist run <file.mc> [--input a,b,c]
+//! alchemist advise <file.mc> [--input a,b,c] [--threads K]
+//! alchemist workloads
+//! ```
+
+use alchemist_core::{profile_source, ProfileReport};
+use alchemist_parsim::{
+    extract_tasks, render_timeline, simulate, suggest_candidates, ExtractConfig,
+    SimConfig,
+};
+use alchemist_vm::{ExecConfig, NullSink};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
+                    [--csv-constructs FILE] [--csv-edges FILE]
+  alchemist run <file.mc> [--input a,b,c]
+  alchemist advise <file.mc> [--input a,b,c] [--threads K]
+  alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
+                     [--input a,b,c] [--threads K] [--timeline]
+  alchemist workloads";
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("no command given")?;
+    match cmd.as_str() {
+        "profile" => profile_cmd(&args[1..]),
+        "run" => run_cmd(&args[1..]),
+        "advise" => advise_cmd(&args[1..]),
+        "simulate" => simulate_cmd(&args[1..]),
+        "workloads" => {
+            println!("{:<12} {:>5}  description", "name", "LOC");
+            for w in alchemist_workloads::all() {
+                println!("{:<12} {:>5}  {}", w.name, w.loc(), w.description);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+struct CommonArgs {
+    source: String,
+    input: Vec<i64>,
+    top: usize,
+    war_waw: Option<String>,
+    threads: usize,
+    csv_constructs: Option<String>,
+    csv_edges: Option<String>,
+    mark: Vec<String>,
+    privatize: Vec<String>,
+    timeline: bool,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let mut file = None;
+    let mut input = Vec::new();
+    let mut top = 10;
+    let mut war_waw = None;
+    let mut threads = 4;
+    let mut csv_constructs = None;
+    let mut csv_edges = None;
+    let mut mark = Vec::new();
+    let mut privatize = Vec::new();
+    let mut timeline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => {
+                let v = it.next().ok_or("--input needs a value")?;
+                input = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i64>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--war-waw" => {
+                war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
+            }
+            "--csv-constructs" => {
+                csv_constructs =
+                    Some(it.next().ok_or("--csv-constructs needs a path")?.clone());
+            }
+            "--csv-edges" => {
+                csv_edges = Some(it.next().ok_or("--csv-edges needs a path")?.clone());
+            }
+            "--mark" => {
+                let v = it.next().ok_or("--mark needs function name(s)")?;
+                mark.extend(v.split(',').map(|s| s.trim().to_owned()));
+            }
+            "--privatize" => {
+                let v = it.next().ok_or("--privatize needs variable name(s)")?;
+                privatize.extend(v.split(',').map(|s| s.trim().to_owned()));
+            }
+            "--timeline" => timeline = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            path if file.is_none() && !path.starts_with("--") => {
+                file = Some(path.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = file.ok_or("no source file given")?;
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(CommonArgs {
+        source,
+        input,
+        top,
+        war_waw,
+        threads,
+        csv_constructs,
+        csv_edges,
+        mark,
+        privatize,
+        timeline,
+    })
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let a = parse_common(args)?;
+    let outcome = profile_source(&a.source, a.input).map_err(|e| e.to_string())?;
+    let report = outcome.report();
+    println!(
+        "profiled {} instructions, {} static constructs, exit value {}",
+        outcome.exec.steps,
+        outcome.profile.len(),
+        outcome.exec.exit_value
+    );
+    println!();
+    print!("{}", report.render(a.top));
+    if let Some(label) = a.war_waw {
+        let c = report
+            .find(&label)
+            .ok_or_else(|| format!("no construct matching `{label}`"))?;
+        println!("\nWAR/WAW profile for {}:", c.label);
+        print!("{}", report.render_war_waw(c.head));
+    }
+    if let Some(path) = a.csv_constructs {
+        std::fs::write(&path, alchemist_core::constructs_to_csv(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\nwrote construct table to {path}");
+    }
+    if let Some(path) = a.csv_edges {
+        std::fs::write(&path, alchemist_core::edges_to_csv(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote edge table to {path}");
+    }
+    Ok(())
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let a = parse_common(args)?;
+    let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
+    let out = alchemist_vm::run(&module, &ExecConfig::with_input(a.input), &mut NullSink)
+        .map_err(|e| e.to_string())?;
+    for v in &out.output {
+        println!("{v}");
+    }
+    println!("exit value: {} ({} instructions)", out.exit_value, out.steps);
+    Ok(())
+}
+
+fn advise_cmd(args: &[String]) -> Result<(), String> {
+    let a = parse_common(args)?;
+    let outcome =
+        profile_source(&a.source, a.input.clone()).map_err(|e| e.to_string())?;
+    let report: ProfileReport = outcome.report();
+    let candidates = suggest_candidates(&report, &outcome.module, 0.02, 0);
+    if candidates.is_empty() {
+        println!("no construct qualifies for asynchronous execution");
+        println!("(every sizable construct has violating RAW dependences)");
+        return Ok(());
+    }
+    println!("parallelization candidates (largest first):\n");
+    for c in &candidates {
+        println!(
+            "  {:<30} {:>5.1}% of run, violating RAW: {}",
+            c.label,
+            c.norm_size * 100.0,
+            c.violating_raw
+        );
+        if !c.privatize.is_empty() {
+            println!("      privatize: {}", c.privatize.join(", "));
+        }
+    }
+    // Simulate the top candidate.
+    let best = &candidates[0];
+    let mut cfg = ExtractConfig::default().mark(best.head);
+    for v in &best.privatize {
+        cfg = cfg.privatize(v);
+    }
+    let trace = extract_tasks(
+        &outcome.module,
+        &ExecConfig::with_input(a.input),
+        cfg,
+    )
+    .map_err(|e| e.to_string())?;
+    let sim = simulate(&trace, &SimConfig::with_threads(a.threads));
+    println!(
+        "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
+         ({} tasks, {} joins)",
+        best.label, a.threads, sim.speedup, sim.tasks, sim.main_joins
+    );
+    Ok(())
+}
+
+fn simulate_cmd(args: &[String]) -> Result<(), String> {
+    let a = parse_common(args)?;
+    if a.mark.is_empty() {
+        return Err("simulate requires at least one --mark FUNC".to_owned());
+    }
+    let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
+    let mut cfg = ExtractConfig::default();
+    for name in &a.mark {
+        let head = module
+            .func_by_name(name)
+            .ok_or_else(|| format!("no function `{name}` to mark"))?
+            .1
+            .entry;
+        cfg = cfg.mark(head);
+    }
+    for v in &a.privatize {
+        if module.global_by_name(v).is_none() {
+            return Err(format!("no global `{v}` to privatize"));
+        }
+        cfg = cfg.privatize(v);
+    }
+    let trace = extract_tasks(&module, &ExecConfig::with_input(a.input), cfg)
+        .map_err(|e| e.to_string())?;
+    let sim_cfg = SimConfig::with_threads(a.threads);
+    if a.timeline {
+        print!("{}", render_timeline(&trace, &sim_cfg, 72));
+    } else {
+        let sim = simulate(&trace, &sim_cfg);
+        println!(
+            "marked [{}] privatized [{}]",
+            a.mark.join(", "),
+            a.privatize.join(", ")
+        );
+        println!(
+            "{} tasks, serial fraction {:.1}%",
+            trace.tasks.len(),
+            trace.serial_fraction() * 100.0
+        );
+        println!(
+            "sequential {} -> parallel {} instructions on {} threads: {:.2}x",
+            sim.t_seq, sim.t_par, a.threads, sim.speedup
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Multi-input aggregation at workload level: the paper's "gathering and
+//! analyzing profile runs" workflow applied to the benchmark suite.
+
+use alchemist::core::aggregate::{merge_profiles, profile_many};
+use alchemist::core::stats::DistanceHistogram;
+use alchemist::prelude::*;
+use alchemist::workloads::{self, Scale};
+
+#[test]
+fn gzip_profiles_aggregate_across_inputs() {
+    let w = workloads::by_name("gzip-1.3.5").unwrap();
+    let module = w.module();
+    let inputs = vec![
+        w.input(Scale::Tiny),
+        // A second, differently-seeded input of the same shape.
+        alchemist::workloads::inputs::literal_stream(600, 999),
+    ];
+    let (agg, runs) =
+        profile_many(&module, &inputs, ProfileConfig::default()).unwrap();
+    assert_eq!(runs.len(), 2);
+    assert_eq!(agg.total_steps, runs[0].total_steps + runs[1].total_steps);
+
+    let flush = module.func_by_name("flush_block").unwrap().1.entry;
+    let agg_flush = agg.construct(flush).unwrap();
+    let run_insts: u64 = runs
+        .iter()
+        .map(|r| r.construct(flush).unwrap().inst)
+        .sum();
+    assert_eq!(agg_flush.inst, run_insts);
+    // The aggregate's minimum distance per edge is the min across runs.
+    for (key, stat) in &agg_flush.edges {
+        let best = runs
+            .iter()
+            .filter_map(|r| r.construct(flush))
+            .filter_map(|c| c.edges.get(key))
+            .map(|s| s.min_tdep)
+            .min()
+            .expect("edge came from some run");
+        assert_eq!(stat.min_tdep, best, "{key:?}");
+    }
+}
+
+#[test]
+fn merge_is_associative_enough_for_reports() {
+    // Merging A into B vs B into A must produce identical reports
+    // (commutativity of the union/min semantics).
+    let w = workloads::by_name("aes").unwrap();
+    let module = w.module();
+    let (p1, ..) = profile_module(
+        &module,
+        &ExecConfig::with_input(w.input(Scale::Tiny)),
+        ProfileConfig::default(),
+    )
+    .unwrap();
+    let (p2, ..) = profile_module(
+        &module,
+        &ExecConfig::with_input(alchemist::workloads::inputs::byte_stream(512, 4242)),
+        ProfileConfig::default(),
+    )
+    .unwrap();
+    let mut ab = p1.clone();
+    merge_profiles(&mut ab, &p2);
+    let mut ba = p2.clone();
+    merge_profiles(&mut ba, &p1);
+    let ra = ProfileReport::new(&ab, &module).render(15);
+    let rb = ProfileReport::new(&ba, &module).render(15);
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn distance_histograms_show_the_two_cluster_pattern() {
+    // Fig. 2's structure: flush_block has a cluster of short (violating)
+    // distances and a cluster of long cross-flush distances.
+    let w = workloads::by_name("gzip-1.3.5").unwrap();
+    let (module, profile, _) = w.profile(Scale::Small);
+    let report = ProfileReport::new(&profile, &module);
+    let flush = report.find("Method flush_block").unwrap();
+    let h = DistanceHistogram::of(flush, DepKind::Raw);
+    assert!(h.violating() > 0, "short cluster present: {h}");
+    assert!(h.near + h.far > 0, "long cluster present: {h}");
+    assert_eq!(h.violating(), flush.violating_raw);
+}

@@ -1,0 +1,214 @@
+//! End-to-end tests of the `alchemist` command-line binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alchemist"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("alchemist-test-{name}-{}.mc", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const PROGRAM: &str = "
+int out[64];
+int stats;
+void work(int c) {
+    int i;
+    for (i = 0; i < 16; i++) out[c * 16 + i] = c * i;
+    stats += c;
+}
+int main() {
+    int c;
+    for (c = 0; c < 4; c++) work(c);
+    print(stats);
+    return stats;
+}
+";
+
+#[test]
+fn run_command_executes_and_prints() {
+    let path = write_temp("run", PROGRAM);
+    let out = bin().args(["run"]).arg(&path).output().expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6"), "print output missing: {stdout}");
+    assert!(stdout.contains("exit value: 6"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn profile_command_renders_report() {
+    let path = write_temp("profile", PROGRAM);
+    let out = bin()
+        .args(["profile"])
+        .arg(&path)
+        .args(["--top", "5", "--war-waw", "work"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Method main"), "{stdout}");
+    assert!(stdout.contains("Method work"), "{stdout}");
+    assert!(stdout.contains("Tdur="), "{stdout}");
+    assert!(stdout.contains("WAR/WAW profile for Method work"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn advise_command_suggests_and_simulates() {
+    let path = write_temp("advise", PROGRAM);
+    let out = bin()
+        .args(["advise"])
+        .arg(&path)
+        .args(["--threads", "4"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("parallelization candidates")
+            || stdout.contains("no construct qualifies"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn input_flag_feeds_the_program() {
+    let path = write_temp(
+        "input",
+        "int main() { print(input(0) + input(1)); return input_len(); }",
+    );
+    let out = bin()
+        .args(["run"])
+        .arg(&path)
+        .args(["--input", "40,2"])
+        .output()
+        .expect("spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("42"), "{stdout}");
+    assert!(stdout.contains("exit value: 2"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn workloads_command_lists_suite() {
+    let out = bin().args(["workloads"]).output().expect("spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["gzip-1.3.5", "bzip2", "197.parser", "delaunay"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_source_reports_error_and_nonzero_exit() {
+    let path = write_temp("bad", "int main( { return 0; }");
+    let out = bin().args(["profile"]).arg(&path).output().expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = bin()
+        .args(["run", "/nonexistent/alchemist-test.mc"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = bin().args(["bogus"]).output().expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn simulate_command_reports_speedup() {
+    let path = write_temp("simulate", PROGRAM);
+    let out = bin()
+        .args(["simulate"])
+        .arg(&path)
+        .args(["--mark", "work", "--privatize", "stats", "--threads", "4"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 tasks"), "{stdout}");
+    assert!(stdout.contains("x"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn simulate_timeline_renders_workers() {
+    let path = write_temp("timeline", PROGRAM);
+    let out = bin()
+        .args(["simulate"])
+        .arg(&path)
+        .args(["--mark", "work", "--privatize", "stats", "--timeline"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("w0 |"), "{stdout}");
+    assert!(stdout.contains("speedup="), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn simulate_rejects_unknown_mark_and_privatize() {
+    let path = write_temp("simbad", PROGRAM);
+    let out = bin()
+        .args(["simulate"])
+        .arg(&path)
+        .args(["--mark", "nonexistent"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no function"));
+    let out = bin()
+        .args(["simulate"])
+        .arg(&path)
+        .args(["--mark", "work", "--privatize", "ghost"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no global"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn profile_csv_exports_are_written() {
+    let path = write_temp("csv", PROGRAM);
+    let c_path = std::env::temp_dir().join(format!("alch-c-{}.csv", std::process::id()));
+    let e_path = std::env::temp_dir().join(format!("alch-e-{}.csv", std::process::id()));
+    let out = bin()
+        .args(["profile"])
+        .arg(&path)
+        .arg("--csv-constructs")
+        .arg(&c_path)
+        .arg("--csv-edges")
+        .arg(&e_path)
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let constructs = std::fs::read_to_string(&c_path).expect("constructs csv written");
+    assert!(constructs.starts_with("rank,label,kind"));
+    let edges = std::fs::read_to_string(&e_path).expect("edges csv written");
+    assert!(edges.starts_with("construct,kind,head_line"));
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(c_path);
+    let _ = std::fs::remove_file(e_path);
+}

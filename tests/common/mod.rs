@@ -1,0 +1,216 @@
+//! Shared test support: a deterministic random mini-C program generator.
+//!
+//! Programs are built from a seed so property tests shrink on a single
+//! `u64`. Every generated program terminates: loops always use bounded
+//! counter patterns, and call graphs are acyclic (helpers may only call
+//! helpers with smaller indices).
+
+use alchemist_workloads::Xorshift;
+use std::fmt::Write as _;
+
+/// Tunable size limits for generated programs.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of helper functions (0..=3).
+    pub helpers: usize,
+    /// Maximum statement-nesting depth.
+    pub max_depth: usize,
+    /// Statements per block (1..).
+    pub block_len: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { helpers: 2, max_depth: 3, block_len: 4 }
+    }
+}
+
+/// Generates a random, terminating mini-C program from `seed`.
+pub fn gen_program(seed: u64, config: GenConfig) -> String {
+    let mut g = Gen { rng: Xorshift::new(seed), config, var_counter: 0 };
+    g.program()
+}
+
+struct Gen {
+    rng: Xorshift,
+    config: GenConfig,
+    var_counter: usize,
+}
+
+impl Gen {
+    fn pick(&mut self, n: usize) -> usize {
+        self.rng.below(n as u64) as usize
+    }
+
+    fn program(&mut self) -> String {
+        let mut out = String::new();
+        out.push_str("int g0; int g1; int g2; int g3 = 5;\n");
+        out.push_str("int arr0[8]; int arr1[16];\n");
+        // Fixed helpers available to every generated program: a bounded
+        // recursion and an array-parameter writer (exercises barriers and
+        // array descriptors in the oracle comparison).
+        out.push_str(
+            "int rec(int n) { g1 ^= n; if (n <= 0) return g0; return rec(n - 1) + 1; }\n",
+        );
+        out.push_str(
+            "void fill(int a[], int n) { int i; for (i = 0; i < n; i++) a[i] = g2 + i; }\n",
+        );
+        let helpers = self.config.helpers;
+        for f in 0..helpers {
+            let body = self.block(1, f);
+            let _ = writeln!(out, "int f{f}(int p) {{\n{body}    return p + g{};\n}}", f % 4);
+        }
+        let body = self.block(1, helpers);
+        let _ = writeln!(out, "int main() {{\n{body}    return g0 + g1;\n}}");
+        out
+    }
+
+    /// A block of statements at `depth`; `callable` = number of helpers
+    /// this scope may call.
+    fn block(&mut self, depth: usize, callable: usize) -> String {
+        let mut out = String::new();
+        let n = 1 + self.pick(self.config.block_len);
+        for _ in 0..n {
+            out.push_str(&self.stmt(depth, callable));
+        }
+        out
+    }
+
+    fn indent(depth: usize) -> String {
+        "    ".repeat(depth)
+    }
+
+    fn stmt(&mut self, depth: usize, callable: usize) -> String {
+        let ind = Self::indent(depth);
+        let deep = depth >= self.config.max_depth;
+        let choice = if deep { self.pick(5) } else { self.pick(13) };
+        match choice {
+            // Scalar global update.
+            0 | 1 => {
+                let dst = self.pick(4);
+                let e = self.expr(callable);
+                format!("{ind}g{dst} = {e};\n")
+            }
+            // Compound update.
+            2 => {
+                let dst = self.pick(4);
+                let op = ["+=", "-=", "^=", "|="][self.pick(4)];
+                let e = self.expr(callable);
+                format!("{ind}g{dst} {op} {e};\n")
+            }
+            // Array write (masked index keeps it in bounds).
+            3 => {
+                let (arr, mask) = if self.pick(2) == 0 { (0, 7) } else { (1, 15) };
+                let idx = self.expr(callable);
+                let e = self.expr(callable);
+                format!("{ind}arr{arr}[({idx}) & {mask}] = {e};\n")
+            }
+            // Call for effect (helpers with smaller index only).
+            4 => {
+                if callable == 0 {
+                    let e = self.expr(callable);
+                    format!("{ind}g0 ^= {e};\n")
+                } else {
+                    let f = self.pick(callable);
+                    let e = self.expr(f);
+                    format!("{ind}f{f}({e});\n")
+                }
+            }
+            // if / if-else.
+            5 | 6 => {
+                let c = self.expr(callable);
+                let then = self.block(depth + 1, callable);
+                if self.pick(2) == 0 {
+                    format!("{ind}if (({c}) & 1) {{\n{then}{ind}}}\n")
+                } else {
+                    let els = self.block(depth + 1, callable);
+                    format!(
+                        "{ind}if (({c}) & 1) {{\n{then}{ind}}} else {{\n{els}{ind}}}\n"
+                    )
+                }
+            }
+            // Bounded for loop, possibly with break/continue.
+            7 | 8 => {
+                let v = self.fresh_var();
+                let bound = 2 + self.pick(5);
+                let body = self.block(depth + 1, callable);
+                let extra = match self.pick(4) {
+                    0 => format!(
+                        "{}if ({v} == {}) continue;\n",
+                        Self::indent(depth + 1),
+                        self.pick(bound)
+                    ),
+                    1 => format!(
+                        "{}if (g{} < {v}) break;\n",
+                        Self::indent(depth + 1),
+                        self.pick(4)
+                    ),
+                    _ => String::new(),
+                };
+                format!(
+                    "{ind}for (int {v} = 0; {v} < {bound}; {v}++) {{\n{extra}{body}{ind}}}\n"
+                )
+            }
+            // Bounded while loop.
+            9 => {
+                let v = self.fresh_var();
+                let bound = 2 + self.pick(4);
+                let body = self.block(depth + 1, callable);
+                format!(
+                    "{ind}int {v} = 0;\n{ind}while ({v} < {bound}) {{\n{body}{}{v}++;\n{ind}}}\n",
+                    Self::indent(depth + 1)
+                )
+            }
+            // Bounded do-while loop.
+            10 => {
+                let v = self.fresh_var();
+                let bound = 1 + self.pick(4);
+                let body = self.block(depth + 1, callable);
+                format!(
+                    "{ind}int {v} = 0;\n{ind}do {{\n{body}{}{v}++;\n{ind}}} while ({v} < {bound});\n",
+                    Self::indent(depth + 1)
+                )
+            }
+            // Bounded recursion via the fixed helper.
+            11 => {
+                let dst = self.pick(4);
+                format!("{ind}g{dst} ^= rec({});\n", self.pick(6))
+            }
+            // Array fill through an array-reference parameter.
+            _ => {
+                let (arr, len) = if self.pick(2) == 0 { (0, 8) } else { (1, 16) };
+                let n = 1 + self.pick(len - 1);
+                format!("{ind}fill(arr{arr}, {n});\n")
+            }
+        }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.var_counter += 1;
+        format!("v{}", self.var_counter)
+    }
+
+    fn expr(&mut self, callable: usize) -> String {
+        match self.pick(8) {
+            0 => format!("{}", self.pick(64)),
+            1 | 2 => format!("g{}", self.pick(4)),
+            3 => format!("arr0[{} & 7]", self.pick(16)),
+            4 => format!("arr1[{} & 15]", self.pick(32)),
+            5 => {
+                let op = ["+", "-", "*", "^", "&", "|"][self.pick(6)];
+                let a = format!("g{}", self.pick(4));
+                let b = self.pick(32);
+                format!("({a} {op} {b})")
+            }
+            6 if callable > 0 => {
+                let f = self.pick(callable);
+                format!("f{f}({})", self.pick(16))
+            }
+            _ => {
+                let a = self.pick(4);
+                let b = self.pick(4);
+                format!("(g{a} > g{b} ? g{a} : g{b})")
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Round-trip properties over realistic generated programs: printing a
+//! parsed program and re-compiling it must preserve both the syntax tree
+//! (modulo spans) and — more importantly — the program's observable
+//! behaviour and its dependence profile.
+
+mod common;
+
+use alchemist_core::{profile_module, ProfileConfig};
+use alchemist_lang::{parse_program, print_program};
+use alchemist_vm::{compile_source, ExecConfig, NullSink};
+use common::{gen_program, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_is_idempotent(seed in any::<u64>()) {
+        let src = gen_program(seed, GenConfig::default());
+        let p1 = parse_program(&src).expect("generated source parses");
+        let printed1 = print_program(&p1);
+        let p2 = parse_program(&printed1)
+            .unwrap_or_else(|e| panic!("printed source fails to parse: {e}\n{printed1}"));
+        let printed2 = print_program(&p2);
+        prop_assert_eq!(printed1, printed2, "printing is not a fixed point");
+    }
+
+    #[test]
+    fn printed_program_behaves_identically(seed in any::<u64>()) {
+        let src = gen_program(seed, GenConfig::default());
+        let printed = print_program(&parse_program(&src).expect("parses"));
+
+        let m1 = compile_source(&src).expect("original compiles");
+        let m2 = compile_source(&printed).expect("printed compiles");
+        let cfg = ExecConfig { max_steps: 2_000_000, ..ExecConfig::default() };
+        let r1 = alchemist_vm::run(&m1, &cfg, &mut NullSink);
+        let r2 = alchemist_vm::run(&m2, &cfg, &mut NullSink);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.exit_value, b.exit_value);
+                prop_assert_eq!(a.output, b.output);
+                prop_assert_eq!(a.steps, b.steps, "instruction streams differ");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.kind, b.kind),
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn printed_program_profiles_identically(seed in any::<u64>()) {
+        let src = gen_program(seed, GenConfig { helpers: 1, max_depth: 2, block_len: 3 });
+        let printed = print_program(&parse_program(&src).expect("parses"));
+        let m1 = compile_source(&src).expect("compiles");
+        let m2 = compile_source(&printed).expect("compiles");
+        let cfg = ExecConfig { max_steps: 2_000_000, ..ExecConfig::default() };
+        let p1 = profile_module(&m1, &cfg, ProfileConfig::default());
+        let p2 = profile_module(&m2, &cfg, ProfileConfig::default());
+        if let (Ok((p1, ..)), Ok((p2, ..))) = (p1, p2) {
+            prop_assert_eq!(p1.total_steps, p2.total_steps);
+            prop_assert_eq!(p1.len(), p2.len());
+            // Edge multisets agree construct by construct (pcs may shift
+            // with formatting, so compare counts per kind).
+            let count = |p: &alchemist_core::DepProfile| {
+                let mut v: Vec<(u64, usize)> = p
+                    .constructs()
+                    .map(|c| (c.inst, c.edges.len()))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(count(&p1), count(&p2));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Machine-checked versions of the paper's worked examples:
+//!
+//! * Fig. 4 (a)/(b)/(c) — execution-indexing trees for procedure nesting,
+//!   nested conditionals and loop iterations;
+//! * Fig. 1 — the `Tdep - Tdur` relation that decides spawnability;
+//! * section III-B's "Inadequacy of Context Sensitivity" F/A/B example —
+//!   the same static dependence attributed to different constructs
+//!   depending on the dynamic nesting it crosses.
+
+use alchemist::prelude::*;
+use alchemist_core::profile_module;
+
+fn profile(src: &str) -> (alchemist_vm::Module, alchemist_core::DepProfile) {
+    let module = compile_source(src).expect("example compiles");
+    let (profile, ..) =
+        profile_module(&module, &ExecConfig::default(), ProfileConfig::default())
+            .expect("example runs");
+    (module, profile)
+}
+
+/// Fig. 4(a): `A` calls `B`; the index of a point in `B` is `[A, B]`.
+#[test]
+fn fig4a_procedure_nesting() {
+    let (module, profile) = profile(
+        "int s;
+         void b() { s = 2; }
+         void a() { s = 1; b(); }
+         int main() { a(); return s; }",
+    );
+    let a = profile.construct(module.func_by_name("a").unwrap().1.entry).unwrap();
+    let b = profile.construct(module.func_by_name("b").unwrap().1.entry).unwrap();
+    assert_eq!(a.inst, 1);
+    assert_eq!(b.inst, 1);
+    // B nests inside A: its instances are recorded under A.
+    assert_eq!(b.nested_in[&a.id.head], 1);
+    // And both nest inside main.
+    let main_head = module.funcs[module.main.0 as usize].entry;
+    assert_eq!(a.nested_in[&main_head], 1);
+    assert_eq!(b.nested_in[&main_head], 1);
+}
+
+/// Fig. 4(b): `if (..) { s3; if (..) s4; }` — construct 4 nests in
+/// construct 2, and statement 2 belongs to the procedure, not to itself.
+#[test]
+fn fig4b_nested_conditionals() {
+    let (_module, profile) = profile(
+        "int x;
+         int main() {
+             if (x == 0) {
+                 x = 3;
+                 if (x > 1) x = 4;
+             }
+             return x;
+         }",
+    );
+    let branches: Vec<_> = profile
+        .constructs()
+        .filter(|c| c.id.kind == ConstructKind::Branch)
+        .collect();
+    assert_eq!(branches.len(), 2, "two if constructs profiled");
+    let outer = branches.iter().max_by_key(|c| c.ttotal).unwrap();
+    let inner = branches.iter().min_by_key(|c| c.ttotal).unwrap();
+    assert_eq!(
+        inner.nested_in[&outer.id.head], 1,
+        "inner if is indexed under the outer if"
+    );
+    assert!(outer.ttotal > inner.ttotal);
+}
+
+/// Fig. 4(c): loop iterations are sibling instances; a nested loop's
+/// iterations nest under the current outer iteration. The trace
+/// `2 3 4 5 4 5 4 2` yields two instances of loop 4's iterations inside
+/// the first instance of loop 2.
+#[test]
+fn fig4c_loop_iterations_as_instances() {
+    let (_module, profile) = profile(
+        "int s;
+         int main() {
+             int i;
+             int j;
+             for (i = 0; i < 3; i++) {
+                 s += 1;
+                 for (j = 0; j < 2; j++) {
+                     s += 10;
+                 }
+             }
+             return s;
+         }",
+    );
+    let loops: Vec<_> = profile
+        .constructs()
+        .filter(|c| c.id.kind == ConstructKind::Loop)
+        .collect();
+    assert_eq!(loops.len(), 2);
+    let outer = loops.iter().max_by_key(|c| c.ttotal).unwrap();
+    let inner = loops.iter().min_by_key(|c| c.ttotal).unwrap();
+    // 3 productive iterations + the final test instance.
+    assert_eq!(outer.inst, 4);
+    // 3 * (2 productive + final test) = 9.
+    assert_eq!(inner.inst, 9);
+    // Every inner iteration is indexed under some outer iteration.
+    assert_eq!(inner.nested_in[&outer.id.head], 9);
+}
+
+/// Fig. 1: a construct is spawnable iff every RAW distance exceeds its
+/// duration — the parallel-run distance is `Tdep - Tdur`.
+#[test]
+fn fig1_tdep_vs_tdur_decides_spawnability() {
+    // `far` writes a value read long after it returns (Tdep >> Tdur);
+    // `near` writes a value read immediately (Tdep small).
+    let (module, profile) = profile(
+        "int a; int b; int sink;
+         void far() { a = 7; }
+         void near_() { b = 9; }
+         int main() {
+             int i;
+             far();
+             for (i = 0; i < 200; i++) sink += i;  // long continuation
+             sink += a;                            // far's consumer
+             near_();
+             sink += b;                            // near's consumer
+             return sink;
+         }",
+    );
+    let far = profile.construct(module.func_by_name("far").unwrap().1.entry).unwrap();
+    let near =
+        profile.construct(module.func_by_name("near_").unwrap().1.entry).unwrap();
+    let far_raw = far.edges.values().map(|s| s.min_tdep).min().unwrap();
+    let near_raw = near.edges.values().map(|s| s.min_tdep).min().unwrap();
+    assert!(
+        far_raw > far.tdur_mean(),
+        "far: Tdep {} must exceed Tdur {} -> spawnable",
+        far_raw,
+        far.tdur_mean()
+    );
+    assert!(
+        near_raw <= near.tdur_mean(),
+        "near: Tdep {} within Tdur {} -> violating",
+        near_raw,
+        near.tdur_mean()
+    );
+    assert_eq!(far.violating_count(DepKind::Raw), 0);
+    assert!(near.violating_count(DepKind::Raw) > 0);
+}
+
+/// Section III-B: four dependences between A() and B() at four nesting
+/// distances; calling context is identical, only the execution index
+/// separates them. Each cell's dependence must be attributed to exactly
+/// the constructs whose boundaries it crosses.
+#[test]
+fn context_sensitivity_example() {
+    let (module, profile) = profile(
+        "int cell_same_j;
+         int cell_cross_j;
+         int cell_cross_i;
+         int cell_cross_f;
+         void a(int i, int j) {
+             cell_same_j = i + j;
+             if (j == 0) cell_cross_j = i;
+             if (i == 0 && j == 0) cell_cross_i = 1;
+             cell_cross_f = cell_cross_f + 1;
+         }
+         void b(int i, int j) {
+             int x = cell_same_j;
+             int y = j > 0 ? cell_cross_j : 0;
+             int z = i > 0 ? cell_cross_i : 0;
+             cell_same_j = x + y + z;
+         }
+         void f() {
+             int i;
+             int j;
+             for (i = 0; i < 3; i++)
+                 for (j = 0; j < 3; j++) {
+                     a(i, j);
+                     b(i, j);
+                 }
+         }
+         int main() { f(); f(); return cell_cross_f; }",
+    );
+    let addr_of = |name: &str| module.global_by_name(name).unwrap().offset;
+    let raw_vars = |head: alchemist_vm::Pc| -> Vec<u32> {
+        let c = profile.construct(head).unwrap();
+        let mut addrs: Vec<u32> = c
+            .edges
+            .iter()
+            .filter(|(k, _)| k.kind == DepKind::Raw)
+            .map(|(_, s)| s.sample_addr)
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    };
+
+    // Identify the i and j loops inside f.
+    let f_info = module.func_by_name("f").unwrap().1;
+    let loops: Vec<_> = (f_info.entry.0..f_info.end.0)
+        .map(alchemist_vm::Pc)
+        .filter(|&pc| {
+            module.analysis.predicate_kind(pc) == Some(alchemist_vm::PredKind::Loop)
+        })
+        .collect();
+    assert_eq!(loops.len(), 2);
+    // The i loop's predicate appears first in code order (outer for).
+    let (i_loop, j_loop) = (loops[0], loops[1]);
+
+    // The j loop (iteration construct) carries cross_j, cross_i and
+    // cross_f (everything that crosses a j-iteration boundary) but NOT the
+    // same-iteration cell.
+    let j_vars = raw_vars(j_loop);
+    assert!(!j_vars.contains(&addr_of("cell_same_j")), "intra-iteration dep excluded");
+    assert!(j_vars.contains(&addr_of("cell_cross_j")));
+    // The i loop carries cross_i and cross_f, but not cross_j (it resolves
+    // within one i iteration).
+    let i_vars = raw_vars(i_loop);
+    assert!(i_vars.contains(&addr_of("cell_cross_i")));
+    assert!(!i_vars.contains(&addr_of("cell_cross_j")), "{i_vars:?}");
+    // Method f carries only the cross-call cell.
+    let f_vars = raw_vars(f_info.entry);
+    assert_eq!(f_vars, vec![addr_of("cell_cross_f")]);
+}
+
+/// The profile distinguishes the two call sites' dependences of gzip's
+/// flush_block (paper section II): the trailing-bits edge only occurs for
+/// the final out-of-loop call, so in-loop calls remain spawnable.
+#[test]
+fn gzip_call_site_distinction() {
+    let w = alchemist::workloads::by_name("gzip-1.3.5").unwrap();
+    let (module, profile, _) = w.profile(Scale::Small);
+    let report = ProfileReport::new(&profile, &module);
+    let fb = report.find("Method flush_block").unwrap();
+    assert!(fb.inst >= 2, "both call sites executed");
+    // There are RAW edges that violate (the trailing write against the
+    // checksum) and RAW edges that do not (cross-flush state), as in
+    // Fig. 2's boxed-vs-unboxed split.
+    let violating = fb.edges_of(DepKind::Raw).filter(|e| e.violating).count();
+    let fine = fb.edges_of(DepKind::Raw).filter(|e| !e.violating).count();
+    assert!(violating > 0, "some edge hinders the final call");
+    assert!(fine > 0, "some edges leave the in-loop calls spawnable");
+}

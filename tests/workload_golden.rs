@@ -1,0 +1,53 @@
+//! Golden-value regression tests: the workloads are fully deterministic,
+//! so their Tiny-scale instruction counts, exit values and printed output
+//! are pinned exactly. Any change to a workload program, the input
+//! generators, the compiler or the VM that shifts these values must be
+//! deliberate (and EXPERIMENTS.md re-measured).
+
+use alchemist::workloads::{self, Scale};
+
+#[test]
+fn tiny_scale_outputs_are_pinned() {
+    let golden: &[(&str, u64, i64, Vec<i64>)] = &[
+        ("197.parser", 126107, 196, vec![145, 196]),
+        ("bzip2", 89310, 129, vec![129, 420]),
+        ("gzip-1.3.5", 62679, 381, vec![381, 600]),
+        ("130.li", 27831, 29244, vec![140, 422460]),
+        ("ogg", 868239, 508, vec![508, 512, 1]),
+        ("aes", 109344, 32, vec![512, 32]),
+        ("par2", 367141, 1024, vec![4, 1024]),
+        ("delaunay", 583610, 3752, vec![3752, 3752, 7654]),
+    ];
+    assert_eq!(golden.len(), workloads::all().len(), "all workloads pinned");
+    for (name, steps, exit, output) in golden {
+        let w = workloads::by_name(name).expect("workload exists");
+        let out = w.run_native(Scale::Tiny);
+        assert_eq!(out.steps, *steps, "{name}: instruction count drifted");
+        assert_eq!(out.exit_value, *exit, "{name}: exit value drifted");
+        assert_eq!(&out.output, output, "{name}: printed output drifted");
+    }
+}
+
+#[test]
+fn workload_self_checks_hold() {
+    // Cross-workload sanity that the programs compute what they claim.
+    let gzip = workloads::by_name("gzip-1.3.5").unwrap().run_native(Scale::Tiny);
+    assert_eq!(gzip.output[1], 600, "gzip consumed all 600 input literals");
+    assert!(gzip.output[0] > 0, "gzip produced output bytes");
+
+    let bzip2 = workloads::by_name("bzip2").unwrap().run_native(Scale::Tiny);
+    assert_eq!(bzip2.output[1], 420, "bzip2 consumed its whole input");
+
+    let aes = workloads::by_name("aes").unwrap().run_native(Scale::Tiny);
+    assert_eq!(aes.output[0], 512, "aes emitted one byte per input byte");
+    assert_eq!(aes.output[1], 32, "aes processed 32 blocks of 16 bytes");
+
+    let par2 = workloads::by_name("par2").unwrap().run_native(Scale::Tiny);
+    assert_eq!(par2.output[0], 4, "par2 opened all four files");
+
+    let ogg = workloads::by_name("ogg").unwrap().run_native(Scale::Tiny);
+    assert_eq!(ogg.output[1], 512, "ogg read every sample");
+
+    let del = workloads::by_name("delaunay").unwrap().run_native(Scale::Tiny);
+    assert!(del.output[2] > del.output[0], "refinement grew the mesh");
+}
