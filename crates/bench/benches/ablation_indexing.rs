@@ -72,8 +72,16 @@ fn main() {
                 )
             })
             .collect();
-        println!("{:<22} inst={:<4} crossing RAW: {}", c.label, c.inst,
-            if raws.is_empty() { "none".to_owned() } else { raws.join(", ") });
+        println!(
+            "{:<22} inst={:<4} crossing RAW: {}",
+            c.label,
+            c.inst,
+            if raws.is_empty() {
+                "none".to_owned()
+            } else {
+                raws.join(", ")
+            }
+        );
     }
     println!();
     println!("Expected shape: the j loop carries only the cross-j cell, the");
@@ -88,14 +96,16 @@ fn main() {
         index_mode: IndexMode::CallContextOnly,
         ..ProfileConfig::default()
     };
-    let (ctx_profile, ..) =
-        profile_module(&module, &ExecConfig::default(), ctx_cfg).expect("runs");
+    let (ctx_profile, ..) = profile_module(&module, &ExecConfig::default(), ctx_cfg).expect("runs");
     let ctx_report = ProfileReport::new(&ctx_profile, &module);
     println!();
     println!("--- calling-context-only baseline on the same run ---\n");
     for c in ctx_report.ranked() {
         let raws = c.edges_of(DepKind::Raw).count();
-        println!("{:<22} inst={:<4} crossing RAW edges: {}", c.label, c.inst, raws);
+        println!(
+            "{:<22} inst={:<4} crossing RAW edges: {}",
+            c.label, c.inst, raws
+        );
     }
     let full_constructs = report.ranked().len();
     let ctx_constructs = ctx_report.ranked().len();

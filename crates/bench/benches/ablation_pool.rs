@@ -10,8 +10,7 @@ use alchemist_workloads::Scale;
 
 fn main() {
     for name in ["gzip-1.3.5", "bzip2"] {
-        let rows =
-            pool_ablation(name, Scale::Default, &[8, 64, 1024, 65536, 1_000_000]);
+        let rows = pool_ablation(name, Scale::Default, &[8, 64, 1024, 65536, 1_000_000]);
         print!("{}", render_pool_ablation(name, &rows));
         println!();
     }

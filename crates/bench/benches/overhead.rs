@@ -13,14 +13,10 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
     let cfg = w.exec_config(Scale::Tiny);
     let mut group = c.benchmark_group(name);
     group.bench_function("native", |b| {
-        b.iter(|| {
-            alchemist_vm::run(&module, &cfg, &mut NullSink).expect("runs")
-        })
+        b.iter(|| alchemist_vm::run(&module, &cfg, &mut NullSink).expect("runs"))
     });
     group.bench_function("profiled", |b| {
-        b.iter(|| {
-            profile_module(&module, &cfg, ProfileConfig::default()).expect("runs")
-        })
+        b.iter(|| profile_module(&module, &cfg, ProfileConfig::default()).expect("runs"))
     });
     group.finish();
 }
@@ -45,9 +41,7 @@ fn bench_indexing_kernel(c: &mut Criterion) {
         b.iter(|| alchemist_vm::run(&module, &cfg, &mut NullSink).expect("runs"))
     });
     group.bench_function("profiled", |b| {
-        b.iter(|| {
-            profile_module(&module, &cfg, ProfileConfig::default()).expect("runs")
-        })
+        b.iter(|| profile_module(&module, &cfg, ProfileConfig::default()).expect("runs"))
     });
     group.finish();
 }

@@ -4,9 +4,7 @@
 //! assert the paper's *shape*) and renders a text table comparable to the
 //! paper's artifact. The `cargo bench` targets in `benches/` print these.
 
-use alchemist_core::{
-    profile_module, DepKind, ProfileConfig, ProfileReport,
-};
+use alchemist_core::{profile_module, DepKind, ProfileConfig, ProfileReport};
 use alchemist_parsim::{extract_tasks, simulate, ExtractConfig, SimConfig};
 use alchemist_vm::NullSink;
 use alchemist_workloads::{Scale, Workload};
@@ -61,19 +59,19 @@ fn table3_row(w: &Workload, scale: Scale) -> Table3Row {
     let orig_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let (profile, exec, _, _) =
-        profile_module(&module, &exec_cfg, ProfileConfig::default())
-            .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let (profile, exec, _, _) = profile_module(&module, &exec_cfg, ProfileConfig::default())
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
     let prof_secs = t1.elapsed().as_secs_f64();
-    assert_eq!(native.output, exec.output, "profiling must not change results");
+    assert_eq!(
+        native.output, exec.output,
+        "profiling must not change results"
+    );
 
     let dynamic: u64 = profile.constructs().map(|c| c.inst).sum();
     Table3Row {
         name: w.name,
         loc: w.loc(),
-        static_constructs: module
-            .analysis
-            .static_construct_count(module.funcs.len()),
+        static_constructs: module.analysis.static_construct_count(module.funcs.len()),
         dynamic_constructs: dynamic,
         orig_secs,
         prof_secs,
@@ -158,9 +156,10 @@ pub fn fig6(scale: Scale, top_n: usize) -> Vec<Fig6Data> {
         });
     }
 
-    for (name, label) in
-        [("197.parser", "6(c) 197.parser"), ("130.li", "6(d) 130.lisp")]
-    {
+    for (name, label) in [
+        ("197.parser", "6(c) 197.parser"),
+        ("130.li", "6(d) 130.lisp"),
+    ] {
         let w = alchemist_workloads::by_name(name).expect("workload");
         let (m, p, _) = w.profile(scale);
         let report = ProfileReport::new(&p, &m);
@@ -351,10 +350,12 @@ pub fn pool_ablation(name: &str, scale: Scale, capacities: &[usize]) -> Vec<Pool
     capacities
         .iter()
         .map(|&capacity| {
-            let cfg = ProfileConfig { pool_capacity: capacity, ..Default::default() };
-            let (profile, _, stats, _) =
-                profile_module(&module, &w.exec_config(scale), cfg)
-                    .unwrap_or_else(|e| panic!("{name} trapped: {e}"));
+            let cfg = ProfileConfig {
+                pool_capacity: capacity,
+                ..Default::default()
+            };
+            let (profile, _, stats, _) = profile_module(&module, &w.exec_config(scale), cfg)
+                .unwrap_or_else(|e| panic!("{name} trapped: {e}"));
             PoolAblationRow {
                 capacity,
                 allocated: stats.allocated,
@@ -395,7 +396,11 @@ mod tests {
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(r.static_constructs > 0, "{}", r.name);
-            assert!(r.dynamic_constructs > r.static_constructs as u64, "{}", r.name);
+            assert!(
+                r.dynamic_constructs > r.static_constructs as u64,
+                "{}",
+                r.name
+            );
             assert!(r.steps > 0);
         }
         let text = render_table3(&rows);
@@ -408,7 +413,10 @@ mod tests {
         let text = fig2_fig3(Scale::Tiny);
         assert!(text.contains("Method flush_block"), "{text}");
         assert!(text.contains("RAW: line"), "{text}");
-        assert!(text.contains("WAW: line") || text.contains("WAR: line"), "{text}");
+        assert!(
+            text.contains("WAW: line") || text.contains("WAR: line"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -427,7 +435,12 @@ mod tests {
     fn fig6_delaunay_has_heavy_violations() {
         let data = fig6(Scale::Tiny, 8);
         let del = data.last().unwrap();
-        let max_viol = del.points.iter().map(|p| p.violating_raw).max().unwrap_or(0);
+        let max_viol = del
+            .points
+            .iter()
+            .map(|p| p.violating_raw)
+            .max()
+            .unwrap_or(0);
         assert!(
             max_viol >= 5,
             "delaunay's hot constructs must show many violating RAW deps, got {max_viol}"

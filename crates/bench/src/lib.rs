@@ -9,7 +9,7 @@
 pub mod experiments;
 
 pub use experiments::{
-    fig2_fig3, fig6, pool_ablation, render_fig6, render_pool_ablation,
-    render_table3, render_table4, render_table5, table3, table4, table5,
-    Fig6Data, PoolAblationRow, Table3Row, Table4Row, Table5Row,
+    fig2_fig3, fig6, pool_ablation, render_fig6, render_pool_ablation, render_table3,
+    render_table4, render_table5, table3, table4, table5, Fig6Data, PoolAblationRow, Table3Row,
+    Table4Row, Table5Row,
 };

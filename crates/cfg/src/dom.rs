@@ -232,7 +232,11 @@ mod tests {
         g.add_edge(1, 3);
         g.add_edge(2, 3);
         let pd = post_dominators(&g, 3);
-        assert_eq!(pd.idom(0), Some(3), "fork's immediate post-dominator is join");
+        assert_eq!(
+            pd.idom(0),
+            Some(3),
+            "fork's immediate post-dominator is join"
+        );
         assert_eq!(pd.idom(1), Some(3));
         assert!(pd.dominates(3, 0));
     }

@@ -24,7 +24,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] }
+        DiGraph {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -58,7 +61,10 @@ impl DiGraph {
 
     /// Returns the edge-reversed graph.
     pub fn reversed(&self) -> DiGraph {
-        DiGraph { succs: self.preds.clone(), preds: self.succs.clone() }
+        DiGraph {
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+        }
     }
 
     /// Nodes in reverse postorder of a depth-first search from `root`.

@@ -58,7 +58,10 @@ fn reference_dominators(g: &DiGraph, root: u32) -> Vec<Option<Vec<bool>>> {
 /// A random graph with `n` nodes rooted at 0: a spanning arborescence (so
 /// everything is reachable) plus random extra edges.
 fn arb_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = DiGraph> {
-    (2..max_nodes, proptest::collection::vec((0u32..100, 0u32..100), 0..max_extra))
+    (
+        2..max_nodes,
+        proptest::collection::vec((0u32..100, 0u32..100), 0..max_extra),
+    )
         .prop_map(move |(n, extras)| {
             let mut g = DiGraph::new(n);
             for v in 1..n as u32 {

@@ -109,12 +109,7 @@ mod tests {
         let module = compile_source(INPUT_SENSITIVE).unwrap();
         let benign = vec![1i64, 2, 3, 4];
         let hot = vec![1i64, 200, 3, 200];
-        let (agg, runs) = profile_many(
-            &module,
-            &[benign, hot],
-            ProfileConfig::default(),
-        )
-        .unwrap();
+        let (agg, runs) = profile_many(&module, &[benign, hot], ProfileConfig::default()).unwrap();
         let scan_head = module.func_by_name("scan").unwrap().1.entry;
         // The benign run never writes flag inside scan -> no WAW there.
         let benign_edges = runs[0]
@@ -126,12 +121,8 @@ mod tests {
         // The aggregate contains the hot run's edges.
         assert_eq!(agg.construct(scan_head).unwrap().edges.len(), hot_edges);
         // And flags them as input-dependent.
-        let dependent = input_dependent_edges(
-            &agg,
-            &runs,
-            scan_head,
-            crate::construct::DepKind::Waw,
-        );
+        let dependent =
+            input_dependent_edges(&agg, &runs, scan_head, crate::construct::DepKind::Waw);
         assert!(
             !dependent.is_empty(),
             "the flag WAW appears in one run only"
@@ -145,16 +136,9 @@ mod tests {
              for (i = 0; i < n; i++) g += i; return g; }",
         )
         .unwrap();
-        let (agg, runs) = profile_many(
-            &module,
-            &[vec![0; 4], vec![0; 8]],
-            ProfileConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(
-            agg.total_steps,
-            runs[0].total_steps + runs[1].total_steps
-        );
+        let (agg, runs) =
+            profile_many(&module, &[vec![0; 4], vec![0; 8]], ProfileConfig::default()).unwrap();
+        assert_eq!(agg.total_steps, runs[0].total_steps + runs[1].total_steps);
         let main_head = module.funcs[module.main.0 as usize].entry;
         let agg_main = agg.construct(main_head).unwrap();
         assert_eq!(agg_main.inst, 2, "one instance per run");
@@ -176,9 +160,12 @@ mod tests {
         .unwrap();
         // Short continuation vs long continuation: the RAW distance from
         // w's write to the final read differs; the aggregate keeps the min.
-        let (agg, runs) =
-            profile_many(&module, &[vec![0; 2], vec![0; 60]], ProfileConfig::default())
-                .unwrap();
+        let (agg, runs) = profile_many(
+            &module,
+            &[vec![0; 2], vec![0; 60]],
+            ProfileConfig::default(),
+        )
+        .unwrap();
         let w_head = module.func_by_name("w").unwrap().1.entry;
         let min_each: Vec<u64> = runs
             .iter()

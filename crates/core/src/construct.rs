@@ -119,10 +119,9 @@ mod tests {
 
     #[test]
     fn loop_label_includes_function_and_line() {
-        let m = compile_source(
-            "int main() {\n int i;\n for (i = 0; i < 3; i++) { }\n return 0;\n}",
-        )
-        .unwrap();
+        let m =
+            compile_source("int main() {\n int i;\n for (i = 0; i < 3; i++) { }\n return 0;\n}")
+                .unwrap();
         // Find the loop predicate.
         let pred = (0..m.ops.len() as u32)
             .map(Pc)

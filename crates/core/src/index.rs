@@ -56,7 +56,11 @@ pub struct IndexStack {
 impl IndexStack {
     /// Creates an empty stack.
     pub fn new(track_nesting: bool) -> Self {
-        IndexStack { entries: Vec::with_capacity(64), max_depth: 0, track_nesting }
+        IndexStack {
+            entries: Vec::with_capacity(64),
+            max_depth: 0,
+            track_nesting,
+        }
     }
 
     /// Current nesting depth.
@@ -93,7 +97,13 @@ impl IndexStack {
         let parent = self.entries.last().map(|e| e.node);
         let node = pool.push_instance(head, kind, parent, t);
         profile.on_push(ConstructId::new(head, kind));
-        self.entries.push(StackEntry { node, head, kind, ipdom, is_barrier });
+        self.entries.push(StackEntry {
+            node,
+            head,
+            kind,
+            ipdom,
+            is_barrier,
+        });
         self.max_depth = self.max_depth.max(self.entries.len());
     }
 
@@ -122,15 +132,13 @@ impl IndexStack {
 
     /// Rule 2: the current procedure returns. Pops any predicates it left
     /// open, then the procedure entry itself.
-    pub fn exit_function(
-        &mut self,
-        pool: &mut ConstructPool,
-        profile: &mut DepProfile,
-        t: Time,
-    ) {
+    pub fn exit_function(&mut self, pool: &mut ConstructPool, profile: &mut DepProfile, t: Time) {
         loop {
-            let was_barrier =
-                self.entries.last().expect("function exit without entry").is_barrier;
+            let was_barrier = self
+                .entries
+                .last()
+                .expect("function exit without entry")
+                .is_barrier;
             self.pop_one(pool, profile, t);
             if was_barrier {
                 return;
@@ -187,12 +195,7 @@ impl IndexStack {
     }
 
     /// Closes everything still open (used when a run traps mid-execution).
-    pub fn finalize(
-        &mut self,
-        pool: &mut ConstructPool,
-        profile: &mut DepProfile,
-        t: Time,
-    ) {
+    pub fn finalize(&mut self, pool: &mut ConstructPool, profile: &mut DepProfile, t: Time) {
         while !self.entries.is_empty() {
             self.pop_one(pool, profile, t);
         }
@@ -219,11 +222,13 @@ mod tests {
         }
 
         fn enter(&mut self, pc: u32, t: Time) {
-            self.stack.enter_function(&mut self.pool, &mut self.profile, Pc(pc), t);
+            self.stack
+                .enter_function(&mut self.pool, &mut self.profile, Pc(pc), t);
         }
 
         fn exit(&mut self, t: Time) {
-            self.stack.exit_function(&mut self.pool, &mut self.profile, t);
+            self.stack
+                .exit_function(&mut self.pool, &mut self.profile, t);
         }
 
         fn pred(&mut self, pc: u32, ipdom: Option<u32>, t: Time) {
@@ -238,7 +243,8 @@ mod tests {
         }
 
         fn block(&mut self, b: u32, t: Time) {
-            self.stack.block_entry(&mut self.pool, &mut self.profile, BlockId(b), t);
+            self.stack
+                .block_entry(&mut self.pool, &mut self.profile, BlockId(b), t);
         }
 
         fn heads(&self) -> Vec<u32> {
@@ -308,7 +314,11 @@ mod tests {
             p1.parent, p2.parent,
             "iterations share the enclosing construct as parent"
         );
-        assert_eq!(p1.t_exit, Some(10), "previous iteration closed at re-execution");
+        assert_eq!(
+            p1.t_exit,
+            Some(10),
+            "previous iteration closed at re-execution"
+        );
         // Loop exit via rule 5.
         f.block(50, 20);
         assert_eq!(f.heads(), vec![1]);

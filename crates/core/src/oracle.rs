@@ -57,51 +57,63 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
     let mut nesting: HashMap<Pc, u32> = HashMap::new();
     let mut nested_in: HashMap<(Pc, Pc), u64> = HashMap::new();
 
-    let pop =
-        |tree: &mut Vec<ONode>, stack: &mut Vec<OEntry>, t: Time,
-         durations: &mut HashMap<Pc, (u64, u64, ConstructKind)>,
-         nesting: &mut HashMap<Pc, u32>,
-         nested_in: &mut HashMap<(Pc, Pc), u64>| {
-            let e = stack.pop().expect("oracle pop on empty stack");
-            tree[e.node].t_exit = Some(t);
-            let node = &tree[e.node];
-            let d = durations.entry(e.head).or_insert((0, 0, node.kind));
-            d.1 += 1;
-            let level = nesting.entry(e.head).or_insert(0);
-            *level = level.saturating_sub(1);
-            if *level == 0 {
-                d.0 += t.saturating_sub(node.t_enter);
+    let pop = |tree: &mut Vec<ONode>,
+               stack: &mut Vec<OEntry>,
+               t: Time,
+               durations: &mut HashMap<Pc, (u64, u64, ConstructKind)>,
+               nesting: &mut HashMap<Pc, u32>,
+               nested_in: &mut HashMap<(Pc, Pc), u64>| {
+        let e = stack.pop().expect("oracle pop on empty stack");
+        tree[e.node].t_exit = Some(t);
+        let node = &tree[e.node];
+        let d = durations.entry(e.head).or_insert((0, 0, node.kind));
+        d.1 += 1;
+        let level = nesting.entry(e.head).or_insert(0);
+        *level = level.saturating_sub(1);
+        if *level == 0 {
+            d.0 += t.saturating_sub(node.t_enter);
+        }
+        for a in stack.iter() {
+            if a.head != e.head {
+                *nested_in.entry((e.head, a.head)).or_insert(0) += 1;
             }
-            for a in stack.iter() {
-                if a.head != e.head {
-                    *nested_in.entry((e.head, a.head)).or_insert(0) += 1;
-                }
-            }
-        };
+        }
+    };
 
     let push = |tree: &mut Vec<ONode>,
-                    stack: &mut Vec<OEntry>,
-                    head: Pc,
-                    kind: ConstructKind,
-                    ipdom: Option<alchemist_vm::BlockId>,
-                    is_barrier: bool,
-                    t: Time,
-                    nesting: &mut HashMap<Pc, u32>| {
+                stack: &mut Vec<OEntry>,
+                head: Pc,
+                kind: ConstructKind,
+                ipdom: Option<alchemist_vm::BlockId>,
+                is_barrier: bool,
+                t: Time,
+                nesting: &mut HashMap<Pc, u32>| {
         let parent = stack.last().map(|e| e.node);
-        tree.push(ONode { label: head, kind, t_enter: t, t_exit: None, parent });
+        tree.push(ONode {
+            label: head,
+            kind,
+            t_enter: t,
+            t_exit: None,
+            parent,
+        });
         *nesting.entry(head).or_insert(0) += 1;
-        stack.push(OEntry { node: tree.len() - 1, head, ipdom, is_barrier });
+        stack.push(OEntry {
+            node: tree.len() - 1,
+            head,
+            ipdom,
+            is_barrier,
+        });
     };
 
     let record = |tree: &[ONode],
-                      edges: &mut HashMap<(Pc, EdgeKey), EdgeStat>,
-                      kind: DepKind,
-                      head_pc: Pc,
-                      head_node: usize,
-                      t_head: Time,
-                      tail_pc: Pc,
-                      t_tail: Time,
-                      addr: u32| {
+                  edges: &mut HashMap<(Pc, EdgeKey), EdgeStat>,
+                  kind: DepKind,
+                  head_pc: Pc,
+                  head_node: usize,
+                  t_head: Time,
+                  tail_pc: Pc,
+                  t_tail: Time,
+                  addr: u32| {
         let tdep = t_tail.saturating_sub(t_head);
         let mut cur = Some(head_node);
         while let Some(i) = cur {
@@ -109,10 +121,16 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
             if n.t_exit.is_none() {
                 break; // active: intra-construct from here up
             }
-            let key = EdgeKey { kind, head: head_pc, tail: tail_pc };
-            let stat = edges
-                .entry((n.label, key))
-                .or_insert(EdgeStat { min_tdep: u64::MAX, count: 0, sample_addr: addr });
+            let key = EdgeKey {
+                kind,
+                head: head_pc,
+                tail: tail_pc,
+            };
+            let stat = edges.entry((n.label, key)).or_insert(EdgeStat {
+                min_tdep: u64::MAX,
+                count: 0,
+                sample_addr: addr,
+            });
             stat.count += 1;
             if tdep < stat.min_tdep {
                 stat.min_tdep = tdep;
@@ -129,13 +147,26 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
             Event::Enter { t, func, .. } => {
                 let head = module.funcs[func.0 as usize].entry;
                 push(
-                    &mut tree, &mut stack, head, ConstructKind::Method, None, true,
-                    t, &mut nesting,
+                    &mut tree,
+                    &mut stack,
+                    head,
+                    ConstructKind::Method,
+                    None,
+                    true,
+                    t,
+                    &mut nesting,
                 );
             }
             Event::Exit { t, .. } => loop {
                 let barrier = stack.last().expect("exit without entry").is_barrier;
-                pop(&mut tree, &mut stack, t, &mut durations, &mut nesting, &mut nested_in);
+                pop(
+                    &mut tree,
+                    &mut stack,
+                    t,
+                    &mut durations,
+                    &mut nesting,
+                    &mut nested_in,
+                );
                 if barrier {
                     break;
                 }
@@ -160,12 +191,25 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                 if let Some(i) = found {
                     while stack.len() > i {
                         pop(
-                            &mut tree, &mut stack, t, &mut durations, &mut nesting,
+                            &mut tree,
+                            &mut stack,
+                            t,
+                            &mut durations,
+                            &mut nesting,
                             &mut nested_in,
                         );
                     }
                 }
-                push(&mut tree, &mut stack, pc, kind, ipdom, false, t, &mut nesting);
+                push(
+                    &mut tree,
+                    &mut stack,
+                    pc,
+                    kind,
+                    ipdom,
+                    false,
+                    t,
+                    &mut nesting,
+                );
             }
             Event::Block { t, block } => {
                 while let Some(top) = stack.last() {
@@ -173,7 +217,11 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                         break;
                     }
                     pop(
-                        &mut tree, &mut stack, t, &mut durations, &mut nesting,
+                        &mut tree,
+                        &mut stack,
+                        t,
+                        &mut durations,
+                        &mut nesting,
                         &mut nested_in,
                     );
                 }
@@ -222,14 +270,16 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
     }
 
     // Pour the collected data into a DepProfile.
-    let kind_of: HashMap<Pc, ConstructKind> =
-        durations.iter().map(|(h, d)| (*h, d.2)).collect();
+    let kind_of: HashMap<Pc, ConstructKind> = durations.iter().map(|(h, d)| (*h, d.2)).collect();
     for (head, (ttotal, inst, kind)) in &durations {
         profile.merge_duration(ConstructId::new(*head, *kind), *ttotal, *inst);
     }
     profile.total_steps = total_steps;
     for ((construct, key), stat) in edges {
-        let kind = kind_of.get(&construct).copied().unwrap_or(ConstructKind::Branch);
+        let kind = kind_of
+            .get(&construct)
+            .copied()
+            .unwrap_or(ConstructKind::Branch);
         profile.merge_edge(ConstructId::new(construct, kind), key, stat);
     }
     for ((desc, anc), count) in nested_in {
@@ -262,18 +312,16 @@ mod tests {
 
     #[test]
     fn oracle_detects_cross_call_raw() {
-        let (p, m) = oracle_for(
-            "int g; void f() { g = g + 1; } int main() { f(); f(); return g; }",
-        );
+        let (p, m) =
+            oracle_for("int g; void f() { g = g + 1; } int main() { f(); f(); return g; }");
         let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
         assert!(f.edges.keys().any(|k| k.kind == DepKind::Raw));
     }
 
     #[test]
     fn oracle_counts_loop_iterations() {
-        let (p, _m) = oracle_for(
-            "int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }",
-        );
+        let (p, _m) =
+            oracle_for("int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }");
         let lp = p
             .constructs()
             .find(|c| c.id.kind == ConstructKind::Loop)

@@ -212,8 +212,16 @@ impl DepProfile {
             let e = self.entry(id);
             let stat = e
                 .edges
-                .entry(EdgeKey { kind, head: head_pc, tail: tail_pc })
-                .or_insert(EdgeStat { min_tdep: u64::MAX, count: 0, sample_addr: addr });
+                .entry(EdgeKey {
+                    kind,
+                    head: head_pc,
+                    tail: tail_pc,
+                })
+                .or_insert(EdgeStat {
+                    min_tdep: u64::MAX,
+                    count: 0,
+                    sample_addr: addr,
+                });
             stat.count += 1;
             if tdep < stat.min_tdep {
                 stat.min_tdep = tdep;
@@ -226,7 +234,10 @@ impl DepProfile {
     /// Total violating static edges of `kind` across all constructs
     /// (Fig. 6's normalization denominator).
     pub fn total_violating(&self, kind: DepKind) -> usize {
-        self.constructs.values().map(|c| c.violating_count(kind)).sum()
+        self.constructs
+            .values()
+            .map(|c| c.violating_count(kind))
+            .sum()
     }
 
     /// Adds `ttotal`/`inst` directly to a construct's duration statistics
@@ -256,7 +267,11 @@ impl DepProfile {
     /// Merges a nesting count (descendant instances observed inside an
     /// ancestor construct).
     pub fn merge_nested(&mut self, descendant: ConstructId, ancestor: Pc, count: u64) {
-        *self.entry(descendant).nested_in.entry(ancestor).or_insert(0) += count;
+        *self
+            .entry(descendant)
+            .nested_in
+            .entry(ancestor)
+            .or_insert(0) += count;
     }
 }
 
@@ -317,14 +332,26 @@ mod tests {
         // Tail at t=12; main still active.
         p.record_dependence(&pool, DepKind::Raw, Pc(100), iff, 7, Pc(200), 12, 3);
 
-        let key = EdgeKey { kind: DepKind::Raw, head: Pc(100), tail: Pc(200) };
+        let key = EdgeKey {
+            kind: DepKind::Raw,
+            head: Pc(100),
+            tail: Pc(200),
+        };
         assert_eq!(
             p.construct(Pc(20)).unwrap().edges[&key],
-            EdgeStat { min_tdep: 5, count: 1, sample_addr: 3 }
+            EdgeStat {
+                min_tdep: 5,
+                count: 1,
+                sample_addr: 3
+            }
         );
         assert_eq!(
             p.construct(Pc(10)).unwrap().edges[&key],
-            EdgeStat { min_tdep: 5, count: 1, sample_addr: 3 }
+            EdgeStat {
+                min_tdep: 5,
+                count: 1,
+                sample_addr: 3
+            }
         );
         assert!(
             p.construct(Pc(0)).unwrap().edges.is_empty(),
@@ -343,7 +370,11 @@ mod tests {
         p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 5, Pc(2), 50, 7); // 45
         p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 8, Pc(2), 20, 9); // 12
         p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 2, Pc(2), 90, 7); // 88
-        let key = EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(2) };
+        let key = EdgeKey {
+            kind: DepKind::Raw,
+            head: Pc(1),
+            tail: Pc(2),
+        };
         let stat = p.construct(Pc(10)).unwrap().edges[&key];
         assert_eq!(stat.min_tdep, 12);
         assert_eq!(stat.count, 3);
@@ -373,16 +404,40 @@ mod tests {
         p.on_pop(id, 0, 100, std::iter::empty()); // Tdur = 100
         let c = p.entry(id);
         c.edges.insert(
-            EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(2) },
-            EdgeStat { min_tdep: 50, count: 1, sample_addr: 0 }, // violating (50 <= 100)
+            EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(1),
+                tail: Pc(2),
+            },
+            EdgeStat {
+                min_tdep: 50,
+                count: 1,
+                sample_addr: 0,
+            }, // violating (50 <= 100)
         );
         c.edges.insert(
-            EdgeKey { kind: DepKind::Raw, head: Pc(1), tail: Pc(3) },
-            EdgeStat { min_tdep: 150, count: 1, sample_addr: 0 }, // fine (150 > 100)
+            EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(1),
+                tail: Pc(3),
+            },
+            EdgeStat {
+                min_tdep: 150,
+                count: 1,
+                sample_addr: 0,
+            }, // fine (150 > 100)
         );
         c.edges.insert(
-            EdgeKey { kind: DepKind::War, head: Pc(4), tail: Pc(5) },
-            EdgeStat { min_tdep: 10, count: 1, sample_addr: 0 }, // violating, different kind
+            EdgeKey {
+                kind: DepKind::War,
+                head: Pc(4),
+                tail: Pc(5),
+            },
+            EdgeStat {
+                min_tdep: 10,
+                count: 1,
+                sample_addr: 0,
+            }, // violating, different kind
         );
         let c = p.construct(Pc(3)).unwrap();
         assert_eq!(c.violating_count(DepKind::Raw), 1);

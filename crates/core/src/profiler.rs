@@ -102,10 +102,7 @@ impl<'m> AlchemistProfiler<'m> {
             module,
             stack: IndexStack::new(config.track_nesting),
             pool: ConstructPool::new(config.pool_capacity, config.pool_scan_cap),
-            shadow: ShadowMemory::with_dense_limit(
-                config.reader_cap,
-                module.global_words,
-            ),
+            shadow: ShadowMemory::with_dense_limit(config.reader_cap, module.global_words),
             profile: DepProfile::new(),
             config,
         }
@@ -129,7 +126,8 @@ impl<'m> AlchemistProfiler<'m> {
     /// run's final instruction count (used for normalization in reports).
     pub fn into_profile(mut self, total_steps: u64) -> DepProfile {
         // Close anything left open (only happens after a trap).
-        self.stack.finalize(&mut self.pool, &mut self.profile, total_steps);
+        self.stack
+            .finalize(&mut self.pool, &mut self.profile, total_steps);
         self.profile.total_steps = total_steps;
         self.profile
     }
@@ -138,18 +136,21 @@ impl<'m> AlchemistProfiler<'m> {
 impl TraceSink for AlchemistProfiler<'_> {
     fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32) {
         let head = self.module.funcs[func.0 as usize].entry;
-        self.stack.enter_function(&mut self.pool, &mut self.profile, head, t);
+        self.stack
+            .enter_function(&mut self.pool, &mut self.profile, head, t);
     }
 
     fn on_exit_function(&mut self, t: Time, _func: FuncId) {
-        self.stack.exit_function(&mut self.pool, &mut self.profile, t);
+        self.stack
+            .exit_function(&mut self.pool, &mut self.profile, t);
     }
 
     fn on_block_entry(&mut self, t: Time, block: BlockId) {
         if self.config.index_mode == IndexMode::CallContextOnly {
             return;
         }
-        self.stack.block_entry(&mut self.pool, &mut self.profile, block, t);
+        self.stack
+            .block_entry(&mut self.pool, &mut self.profile, block, t);
     }
 
     fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool) {
@@ -171,7 +172,11 @@ impl TraceSink for AlchemistProfiler<'_> {
         if !self.traced(addr) {
             return;
         }
-        let access = Access { pc, t, node: self.stack.current() };
+        let access = Access {
+            pc,
+            t,
+            node: self.stack.current(),
+        };
         if let Some(dep) = self.shadow.on_read(addr, access) {
             self.profile.record_dependence(
                 &self.pool,
@@ -190,7 +195,11 @@ impl TraceSink for AlchemistProfiler<'_> {
         if !self.traced(addr) {
             return;
         }
-        let access = Access { pc, t, node: self.stack.current() };
+        let access = Access {
+            pc,
+            t,
+            node: self.stack.current(),
+        };
         let (waw, wars) = self.shadow.on_write(addr, access);
         if let Some(dep) = waw {
             self.profile.record_dependence(
@@ -232,11 +241,7 @@ mod tests {
         (prof.into_profile(outcome.steps), module)
     }
 
-    fn profile_src_with(
-        src: &str,
-        config: ProfileConfig,
-        input: Vec<i64>,
-    ) -> (DepProfile, Module) {
+    fn profile_src_with(src: &str, config: ProfileConfig, input: Vec<i64>) -> (DepProfile, Module) {
         let module = compile_source(src).unwrap();
         let mut prof = AlchemistProfiler::new(&module, config);
         let outcome = run(&module, &ExecConfig::with_input(input), &mut prof).unwrap();
@@ -254,9 +259,8 @@ mod tests {
 
     #[test]
     fn loop_iterations_counted_as_instances() {
-        let (p, m) = profile_src(
-            "int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }",
-        );
+        let (p, m) =
+            profile_src("int g; int main() { int i; for (i = 0; i < 5; i++) g++; return g; }");
         let lp = p
             .constructs()
             .find(|c| c.id.kind == ConstructKind::Loop)
@@ -271,9 +275,8 @@ mod tests {
     fn cross_iteration_raw_is_detected_on_loop() {
         // g += i: the write at iteration i is read at iteration i+1 — a
         // cross-boundary RAW for the loop construct.
-        let (p, _m) = profile_src(
-            "int g; int main() { int i; for (i = 0; i < 5; i++) g += 1; return g; }",
-        );
+        let (p, _m) =
+            profile_src("int g; int main() { int i; for (i = 0; i < 5; i++) g += 1; return g; }");
         let lp = p
             .constructs()
             .find(|c| c.id.kind == ConstructKind::Loop)
@@ -319,12 +322,11 @@ mod tests {
             .constructs()
             .find(|c| c.id.kind == ConstructKind::Loop)
             .unwrap();
-        assert_eq!(
-            loop_default.edges.len(),
-            0,
-            "locals not traced by default"
-        );
-        let cfg = ProfileConfig { trace_frame_memory: true, ..Default::default() };
+        assert_eq!(loop_default.edges.len(), 0, "locals not traced by default");
+        let cfg = ProfileConfig {
+            trace_frame_memory: true,
+            ..Default::default()
+        };
         let (p_frames, _) = profile_src_with(src, cfg, vec![]);
         let loop_frames = p_frames
             .constructs()
@@ -389,7 +391,10 @@ mod tests {
              int main() { f(); f(); return g + h; }",
         );
         let f = p.construct(m.func_by_name("f").unwrap().1.entry).unwrap();
-        assert!(f.edges.keys().any(|k| k.kind == DepKind::Waw), "g written twice");
+        assert!(
+            f.edges.keys().any(|k| k.kind == DepKind::Waw),
+            "g written twice"
+        );
         assert!(
             f.edges.keys().any(|k| k.kind == DepKind::War),
             "g read (call 1, h = g) then written (call 2)"
@@ -411,7 +416,10 @@ mod tests {
 
     #[test]
     fn tiny_pool_still_produces_a_profile() {
-        let cfg = ProfileConfig { pool_capacity: 2, ..Default::default() };
+        let cfg = ProfileConfig {
+            pool_capacity: 2,
+            ..Default::default()
+        };
         let (p, _m) = profile_src_with(
             "int g; int main() { int i; for (i = 0; i < 40; i++) g += i; return g; }",
             cfg,
@@ -443,7 +451,9 @@ mod tests {
         );
         // The cross-iteration dependence is still visible on `bump` (it
         // crosses the call boundary), so the method profile survives...
-        let bump = p.construct(m.func_by_name("bump").unwrap().1.entry).unwrap();
+        let bump = p
+            .construct(m.func_by_name("bump").unwrap().1.entry)
+            .unwrap();
         assert!(bump.edges.keys().any(|k| k.kind == DepKind::Raw));
     }
 
@@ -452,8 +462,7 @@ mod tests {
         // The dependence is loop-carried but INLINE (no call): full
         // indexing attributes it to the loop construct; the context-only
         // baseline has no construct to hang it on at all (main is active).
-        let src =
-            "int g; int main() { int i; for (i = 0; i < 6; i++) g += i; return g; }";
+        let src = "int g; int main() { int i; for (i = 0; i < 6; i++) g += i; return g; }";
         let (full, _) = profile_src(src);
         let full_loop_edges: usize = full
             .constructs()

@@ -142,15 +142,12 @@ impl ProfileReport {
                             .globals
                             .iter()
                             .find(|g| {
-                                g.offset <= s.sample_addr
-                                    && s.sample_addr < g.offset + g.words
+                                g.offset <= s.sample_addr && s.sample_addr < g.offset + g.words
                             })
                             .map(|g| g.name.clone()),
                     })
                     .collect();
-                edges.sort_by_key(|e| {
-                    (e.kind, !e.violating, e.min_tdep, e.head_pc, e.tail_pc)
-                });
+                edges.sort_by_key(|e| (e.kind, !e.violating, e.min_tdep, e.head_pc, e.tail_pc));
                 ConstructReport {
                     head: c.id.head,
                     kind: c.id.kind,
@@ -170,9 +167,7 @@ impl ProfileReport {
                 }
             })
             .collect();
-        constructs.sort_by(|a, b| {
-            b.ttotal.cmp(&a.ttotal).then(a.head.cmp(&b.head))
-        });
+        constructs.sort_by(|a, b| b.ttotal.cmp(&a.ttotal).then(a.head.cmp(&b.head)));
         ProfileReport {
             constructs,
             total_steps: profile.total_steps,
@@ -205,10 +200,7 @@ impl ProfileReport {
     /// instance per `head` instance (they get parallelized "for free"),
     /// then re-rank and re-normalize. Returns the reduced report.
     pub fn remove_with_nested(&self, head: Pc) -> ProfileReport {
-        let target_inst = self
-            .by_head(head)
-            .map(|c| c.inst)
-            .unwrap_or(0);
+        let target_inst = self.by_head(head).map(|c| c.inst).unwrap_or(0);
         let keep: Vec<ConstructReport> = self
             .constructs
             .iter()
@@ -408,7 +400,10 @@ mod tests {
         assert!(reduced.find("Method main").is_none());
         // The top-level `for` loop has exactly one instance... no: it has
         // 41 instances (iterations). It must survive.
-        assert!(reduced.ranked().iter().any(|c| c.kind == ConstructKind::Loop));
+        assert!(reduced
+            .ranked()
+            .iter()
+            .any(|c| c.kind == ConstructKind::Loop));
     }
 
     #[test]
@@ -432,11 +427,7 @@ mod tests {
         let r = report_for(GZIP_MINI);
         let main_head = r.find("Method main").unwrap().head;
         let reduced = r.remove_with_nested(main_head);
-        let sum: f64 = reduced
-            .ranked()
-            .iter()
-            .map(|c| c.norm_violations)
-            .sum();
+        let sum: f64 = reduced.ranked().iter().map(|c| c.norm_violations).sum();
         if reduced.total_violating_raw > 0 {
             assert!((sum - 1.0).abs() < 1e-9, "normalized violations sum to 1");
         }

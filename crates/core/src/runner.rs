@@ -101,7 +101,13 @@ pub fn profile_source(src: &str, input: Vec<i64>) -> Result<ProfileOutcome, Prof
     let exec_config = ExecConfig::with_input(input);
     let (profile, exec, pool_stats, max_depth) =
         profile_module(&module, &exec_config, ProfileConfig::default())?;
-    Ok(ProfileOutcome { profile, exec, pool_stats, max_depth, module })
+    Ok(ProfileOutcome {
+        profile,
+        exec,
+        pool_stats,
+        max_depth,
+        module,
+    })
 }
 
 #[cfg(test)]
@@ -132,8 +138,7 @@ mod tests {
 
     #[test]
     fn runtime_traps_are_propagated() {
-        let err =
-            profile_source("int a[2]; int main() { return a[5]; }", vec![]).unwrap_err();
+        let err = profile_source("int a[2]; int main() { return a[5]; }", vec![]).unwrap_err();
         assert!(matches!(err, ProfileError::Runtime(_)));
         assert!(err.to_string().contains("out of bounds"));
     }

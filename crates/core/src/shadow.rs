@@ -54,7 +54,10 @@ struct Cell<T> {
 
 impl<T> Default for Cell<T> {
     fn default() -> Self {
-        Cell { last_write: None, reads: Vec::new() }
+        Cell {
+            last_write: None,
+            reads: Vec::new(),
+        }
     }
 }
 
@@ -160,7 +163,12 @@ impl<T: Copy> ShadowMemory<T> {
         let wars = cell
             .reads
             .drain(..)
-            .map(|head| DetectedDep { head, tail_pc: access.pc, tail_t: access.t, addr })
+            .map(|head| DetectedDep {
+                head,
+                tail_pc: access.pc,
+                tail_t: access.t,
+                addr,
+            })
             .collect();
         cell.last_write = Some(access);
         (waw, wars)
@@ -173,7 +181,14 @@ mod tests {
     use crate::pool::NodeId;
 
     fn acc(pc: u32, t: Time) -> Access {
-        Access { pc: Pc(pc), t, node: NodeRef { id: NodeId(0), gen: 0 } }
+        Access {
+            pc: Pc(pc),
+            t,
+            node: NodeRef {
+                id: NodeId(0),
+                gen: 0,
+            },
+        }
     }
 
     #[test]
@@ -215,7 +230,10 @@ mod tests {
         let (_, wars) = s.on_write(7, acc(2, 9));
         assert_eq!(wars.len(), 2);
         let heads: Vec<_> = wars.iter().map(|w| (w.head.pc, w.head.t)).collect();
-        assert!(heads.contains(&(Pc(10), 4)), "same-site read keeps later time");
+        assert!(
+            heads.contains(&(Pc(10), 4)),
+            "same-site read keeps later time"
+        );
         assert!(heads.contains(&(Pc(11), 3)));
     }
 

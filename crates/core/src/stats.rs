@@ -97,9 +97,7 @@ pub fn constructs_to_csv(report: &ProfileReport) -> String {
 
 /// Exports every dependence edge as CSV (one row per construct × edge).
 pub fn edges_to_csv(report: &ProfileReport) -> String {
-    let mut out = String::from(
-        "construct,kind,head_line,tail_line,var,min_tdep,count,violating\n",
-    );
+    let mut out = String::from("construct,kind,head_line,tail_line,var,min_tdep,count,violating\n");
     for c in report.ranked() {
         for e in &c.edges {
             let _ = writeln!(
@@ -170,7 +168,12 @@ mod tests {
 
     #[test]
     fn histogram_display_lists_buckets() {
-        let h = DistanceHistogram { quarter: 1, within: 2, near: 3, far: 4 };
+        let h = DistanceHistogram {
+            quarter: 1,
+            within: 2,
+            near: 3,
+            far: 4,
+        };
         assert_eq!(h.to_string(), "<=T/4: 1  <=T: 2  <=4T: 3  >4T: 4");
         assert_eq!(h.total(), 10);
         assert_eq!(h.violating(), 3);

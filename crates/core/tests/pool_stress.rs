@@ -24,8 +24,7 @@ enum Action {
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
     proptest::collection::vec(
         prop_oneof![
-            (1u64..50, 0u64..10)
-                .prop_map(|(dur, gap)| Action::Push { dur, gap }),
+            (1u64..50, 0u64..10).prop_map(|(dur, gap)| Action::Push { dur, gap }),
             Just(Action::CompleteOldest),
         ],
         1..120,
@@ -113,7 +112,10 @@ fn pool_capacity_monotonicity_for_hot_constructs() {
     let exec = w.exec_config(alchemist_workloads::Scale::Tiny);
     let mut per_capacity = Vec::new();
     for capacity in [64usize, 4096, 1_000_000] {
-        let cfg = ProfileConfig { pool_capacity: capacity, ..Default::default() };
+        let cfg = ProfileConfig {
+            pool_capacity: capacity,
+            ..Default::default()
+        };
         let (profile, ..) = profile_module(&module, &exec, cfg).unwrap();
         let flush = module.func_by_name("flush_block").unwrap().1.entry;
         let c = profile.construct(flush).unwrap();
@@ -126,8 +128,7 @@ fn pool_capacity_monotonicity_for_hot_constructs() {
     );
     // Tiny pools never report MORE than the reference.
     assert!(
-        per_capacity[0].0 <= per_capacity[2].0
-            && per_capacity[0].1 <= per_capacity[2].1,
+        per_capacity[0].0 <= per_capacity[2].0 && per_capacity[0].1 <= per_capacity[2].1,
         "pressure must only lose information: {per_capacity:?}"
     );
 }
@@ -150,9 +151,11 @@ fn frame_tracing_adds_only_frame_edges() {
         int main() { work(5); work(7); return g; }";
     let module = compile_source(src).unwrap();
     let exec = ExecConfig::default();
-    let (off, ..) =
-        profile_module(&module, &exec, ProfileConfig::default()).unwrap();
-    let cfg_on = ProfileConfig { trace_frame_memory: true, ..Default::default() };
+    let (off, ..) = profile_module(&module, &exec, ProfileConfig::default()).unwrap();
+    let cfg_on = ProfileConfig {
+        trace_frame_memory: true,
+        ..Default::default()
+    };
     let (on, ..) = profile_module(&module, &exec, cfg_on).unwrap();
 
     let globals_top = module.global_words;

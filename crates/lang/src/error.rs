@@ -44,7 +44,11 @@ pub struct LangError {
 impl LangError {
     /// Creates an error attributed to `span`.
     pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
-        LangError { phase, span, message: message.into() }
+        LangError {
+            phase,
+            span,
+            message: message.into(),
+        }
     }
 
     /// The frontend phase that raised the error.
@@ -81,11 +85,7 @@ mod tests {
 
     #[test]
     fn display_includes_phase_location_and_message() {
-        let e = LangError::new(
-            Phase::Parse,
-            Span::at(Pos::new(4, 9, 40)),
-            "expected `;`",
-        );
+        let e = LangError::new(Phase::Parse, Span::at(Pos::new(4, 9, 40)), "expected `;`");
         assert_eq!(e.to_string(), "parse error at 4:9: expected `;`");
         assert_eq!(e.phase(), Phase::Parse);
         assert_eq!(e.message(), "expected `;`");

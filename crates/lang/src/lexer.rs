@@ -27,7 +27,10 @@ pub struct Lexer<'src> {
 impl<'src> Lexer<'src> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'src str) -> Self {
-        Lexer { src: src.as_bytes(), pos: Pos::start() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: Pos::start(),
+        }
     }
 
     /// Tokenizes the whole input, excluding the trailing EOF token.
@@ -124,15 +127,16 @@ impl<'src> Lexer<'src> {
                     b'A'..=b'F' => (b - b'A' + 10) as i64,
                     _ => break,
                 };
-                value = value.checked_mul(16).and_then(|v| v.checked_add(d)).ok_or_else(
-                    || {
+                value = value
+                    .checked_mul(16)
+                    .and_then(|v| v.checked_add(d))
+                    .ok_or_else(|| {
                         LangError::new(
                             Phase::Lex,
                             Span::new(start, self.pos),
                             "integer literal overflows i64",
                         )
-                    },
-                )?;
+                    })?;
                 self.bump();
             }
             if self.pos.offset == digits_start.offset {
@@ -145,19 +149,23 @@ impl<'src> Lexer<'src> {
         } else {
             while let Some(b @ b'0'..=b'9') = self.peek() {
                 let d = (b - b'0') as i64;
-                value = value.checked_mul(10).and_then(|v| v.checked_add(d)).ok_or_else(
-                    || {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(d))
+                    .ok_or_else(|| {
                         LangError::new(
                             Phase::Lex,
                             Span::new(start, self.pos),
                             "integer literal overflows i64",
                         )
-                    },
-                )?;
+                    })?;
                 self.bump();
             }
         }
-        Ok(Token::new(TokenKind::Int(value), Span::new(start, self.pos)))
+        Ok(Token::new(
+            TokenKind::Int(value),
+            Span::new(start, self.pos),
+        ))
     }
 
     fn lex_ident(&mut self) -> Token {
@@ -172,8 +180,7 @@ impl<'src> Lexer<'src> {
         }
         let text = std::str::from_utf8(&self.src[begin..self.pos.offset as usize])
             .expect("identifiers are ASCII");
-        let kind = TokenKind::keyword(text)
-            .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
         Token::new(kind, Span::new(start, self.pos))
     }
 
@@ -307,7 +314,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -340,7 +352,9 @@ mod tests {
 
     #[test]
     fn rejects_overflowing_literal() {
-        let err = Lexer::new("99999999999999999999999").tokenize().unwrap_err();
+        let err = Lexer::new("99999999999999999999999")
+            .tokenize()
+            .unwrap_err();
         assert!(err.message().contains("overflows"));
     }
 
@@ -350,9 +364,8 @@ mod tests {
         assert_eq!(
             kinds("<<= >>= << >> <= >= == != && || += -= *= /= %= &= |= ^= ++ --"),
             vec![
-                ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AndAnd, OrOr, PlusEq,
-                MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq,
-                PlusPlus, MinusMinus
+                ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AndAnd, OrOr, PlusEq, MinusEq, StarEq,
+                SlashEq, PercentEq, AmpEq, PipeEq, CaretEq, PlusPlus, MinusMinus
             ]
         );
     }

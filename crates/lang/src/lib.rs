@@ -52,12 +52,10 @@ pub mod token;
 
 pub use ast::{BinOp, Program, UnOp};
 pub use error::{LangError, Phase};
-pub use hir::{
-    FuncId, GlobalId, HProgram, Intrinsic, LocalId, Storage, VarSite,
-};
+pub use hir::{FuncId, GlobalId, HProgram, Intrinsic, LocalId, Storage, VarSite};
 pub use lexer::Lexer;
 pub use parser::{parse_program, Parser};
-pub use printer::{print_expr, print_program};
 pub use pos::{Pos, Span};
+pub use printer::{print_expr, print_program};
 pub use resolver::{compile_to_hir, resolve};
 pub use token::{Token, TokenKind};

@@ -47,7 +47,11 @@ struct DepthGuard<'p>(&'p mut Parser);
 impl Parser {
     /// Creates a parser over a pre-lexed token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, depth: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn enter(&mut self) -> Result<DepthGuard<'_>> {
@@ -61,7 +65,10 @@ impl Parser {
     }
 
     fn peek(&self) -> &TokenKind {
-        self.tokens.get(self.pos).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
+        self.tokens
+            .get(self.pos)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
     }
 
     fn span(&self) -> Span {
@@ -184,7 +191,12 @@ impl Parser {
             } else {
                 None
             };
-            out.push(GlobalDecl { name, array_size, init, span });
+            out.push(GlobalDecl {
+                name,
+                array_size,
+                init,
+                span,
+            });
             if self.eat(&TokenKind::Comma) {
                 let (n, sp) = self.expect_ident()?;
                 name = n;
@@ -227,7 +239,11 @@ impl Parser {
                 } else {
                     false
                 };
-                params.push(Param { name: pname, is_array, span: pspan });
+                params.push(Param {
+                    name: pname,
+                    is_array,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     self.expect(&TokenKind::RParen)?;
                     break;
@@ -235,7 +251,13 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Function { name, params, is_void, body, span })
+        Ok(Function {
+            name,
+            params,
+            is_void,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Block> {
@@ -247,7 +269,10 @@ impl Parser {
             }
             stmts.push(self.stmt()?);
         }
-        Ok(Block { stmts, span: lo.merge(self.prev_span()) })
+        Ok(Block {
+            stmts,
+            span: lo.merge(self.prev_span()),
+        })
     }
 
     /// Parses a single statement, wrapping non-block bodies of control
@@ -315,7 +340,12 @@ impl Parser {
             None
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(Stmt::Local { name, array_size, init, span: lo.merge(name_span) })
+        Ok(Stmt::Local {
+            name,
+            array_size,
+            init,
+            span: lo.merge(name_span),
+        })
     }
 
     /// Parses a control-statement body: either a block, or a single
@@ -326,7 +356,10 @@ impl Parser {
         } else {
             let s = self.stmt()?;
             let span = s.span();
-            Ok(Block { stmts: vec![s], span })
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
         }
     }
 
@@ -341,7 +374,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_blk, else_blk, span: sp })
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span: sp,
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt> {
@@ -350,7 +388,11 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&TokenKind::RParen)?;
         let body = self.body()?;
-        Ok(Stmt::While { cond, body, span: sp })
+        Ok(Stmt::While {
+            cond,
+            body,
+            span: sp,
+        })
     }
 
     fn do_while_stmt(&mut self) -> Result<Stmt> {
@@ -361,7 +403,11 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&TokenKind::RParen)?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Stmt::DoWhile { body, cond, span: sp })
+        Ok(Stmt::DoWhile {
+            body,
+            cond,
+            span: sp,
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt> {
@@ -389,7 +435,13 @@ impl Parser {
         };
         self.expect(&TokenKind::RParen)?;
         let body = self.body()?;
-        Ok(Stmt::For { init, cond, step, body, span: sp })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span: sp,
+        })
     }
 
     /// Parses an expression (assignment level, right associative).
@@ -424,15 +476,26 @@ impl Parser {
         let target = Self::lvalue_of(lhs, op_span)?;
         let value = Box::new(self.expr()?);
         let span = target.span.merge(value.span());
-        Ok(Expr::Assign { target, op: compound, value, span })
+        Ok(Expr::Assign {
+            target,
+            op: compound,
+            value,
+            span,
+        })
     }
 
     fn lvalue_of(e: Expr, at: Span) -> Result<LValue> {
         match e {
-            Expr::Var(name, span) => Ok(LValue { name, index: None, span }),
-            Expr::Index { name, index, span } => {
-                Ok(LValue { name, index: Some(index), span })
-            }
+            Expr::Var(name, span) => Ok(LValue {
+                name,
+                index: None,
+                span,
+            }),
+            Expr::Index { name, index, span } => Ok(LValue {
+                name,
+                index: Some(index),
+                span,
+            }),
             other => Err(LangError::new(
                 Phase::Parse,
                 at,
@@ -451,7 +514,12 @@ impl Parser {
             self.expect(&TokenKind::Colon)?;
             let else_expr = Box::new(self.ternary()?);
             let span = cond.span().merge(else_expr.span());
-            Ok(Expr::Ternary { cond: Box::new(cond), then_expr, else_expr, span })
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr,
+                else_expr,
+                span,
+            })
         } else {
             Ok(cond)
         }
@@ -491,7 +559,12 @@ impl Parser {
             self.bump();
             let rhs = self.binary(bp + 1)?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -508,7 +581,12 @@ impl Parser {
                 let operand = self.unary()?;
                 let target = Self::lvalue_of(operand, sp)?;
                 let span = sp.merge(target.span);
-                return Ok(Expr::IncDec { target, inc, prefix: true, span });
+                return Ok(Expr::IncDec {
+                    target,
+                    inc,
+                    prefix: true,
+                    span,
+                });
             }
             _ => None,
         };
@@ -535,7 +613,12 @@ impl Parser {
                     self.bump();
                     let target = Self::lvalue_of(e, sp)?;
                     let span = target.span.merge(sp);
-                    e = Expr::IncDec { target, inc, prefix: false, span };
+                    e = Expr::IncDec {
+                        target,
+                        inc,
+                        prefix: false,
+                        span,
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -571,7 +654,11 @@ impl Parser {
                     self.bump();
                     let index = Box::new(self.expr()?);
                     let hi = self.expect(&TokenKind::RBracket)?;
-                    Ok(Expr::Index { name, index, span: sp.merge(hi) })
+                    Ok(Expr::Index {
+                        name,
+                        index,
+                        span: sp.merge(hi),
+                    })
                 }
                 _ => Ok(Expr::Var(name, sp)),
             },
@@ -612,8 +699,7 @@ mod tests {
 
     #[test]
     fn parses_globals_with_arrays_and_inits() {
-        let prog =
-            parse_program("int a; int buf[16]; int x = -3, y = 7;\nint main(){}").unwrap();
+        let prog = parse_program("int a; int buf[16]; int x = -3, y = 7;\nint main(){}").unwrap();
         assert_eq!(prog.globals.len(), 4);
         assert_eq!(prog.globals[1].array_size, Some(16));
         assert_eq!(prog.globals[2].init, Some(-3));
@@ -638,7 +724,12 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3");
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected Add at top")
         };
         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -648,7 +739,10 @@ mod tests {
     fn precedence_shift_between_add_and_cmp() {
         let e = parse_expr("1 << 2 + 3 < 4");
         // Parses as ((1 << (2+3)) < 4).
-        let Expr::Binary { op: BinOp::Lt, lhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Lt, lhs, ..
+        } = e
+        else {
             panic!("expected Lt at top")
         };
         assert!(matches!(*lhs, Expr::Binary { op: BinOp::Shl, .. }));
@@ -657,7 +751,9 @@ mod tests {
     #[test]
     fn assignment_is_right_associative() {
         let e = parse_expr("a = b = 1");
-        let Expr::Assign { target, value, .. } = e else { panic!() };
+        let Expr::Assign { target, value, .. } = e else {
+            panic!()
+        };
         assert_eq!(target.name, "a");
         assert!(matches!(*value, Expr::Assign { .. }));
     }
@@ -665,7 +761,14 @@ mod tests {
     #[test]
     fn compound_assignment_to_array_element() {
         let e = parse_expr("buf[i + 1] += 2");
-        let Expr::Assign { target, op: Some(BinOp::Add), .. } = e else { panic!() };
+        let Expr::Assign {
+            target,
+            op: Some(BinOp::Add),
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(target.name, "buf");
         assert!(target.index.is_some());
     }
@@ -673,16 +776,32 @@ mod tests {
     #[test]
     fn ternary_parses_right_associative() {
         let e = parse_expr("a ? 1 : b ? 2 : 3");
-        let Expr::Ternary { else_expr, .. } = e else { panic!() };
+        let Expr::Ternary { else_expr, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*else_expr, Expr::Ternary { .. }));
     }
 
     #[test]
     fn prefix_and_postfix_incdec() {
         let e = parse_expr("++x");
-        assert!(matches!(e, Expr::IncDec { prefix: true, inc: true, .. }));
+        assert!(matches!(
+            e,
+            Expr::IncDec {
+                prefix: true,
+                inc: true,
+                ..
+            }
+        ));
         let e = parse_expr("x--");
-        assert!(matches!(e, Expr::IncDec { prefix: false, inc: false, .. }));
+        assert!(matches!(
+            e,
+            Expr::IncDec {
+                prefix: false,
+                inc: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -717,9 +836,10 @@ mod tests {
 
     #[test]
     fn single_statement_bodies_become_blocks() {
-        let prog = parse_program("int main() { if (1) return 2; else return 3; }")
-            .unwrap();
-        let Stmt::If { then_blk, else_blk, .. } = &prog.functions[0].body.stmts[0]
+        let prog = parse_program("int main() { if (1) return 2; else return 3; }").unwrap();
+        let Stmt::If {
+            then_blk, else_blk, ..
+        } = &prog.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -730,9 +850,10 @@ mod tests {
     #[test]
     fn for_with_declaration_init() {
         let prog =
-            parse_program("int main() { for (int i = 0; i < 3; i++) {} return 0; }")
-                .unwrap();
-        let Stmt::For { init: Some(init), .. } = &prog.functions[0].body.stmts[0]
+            parse_program("int main() { for (int i = 0; i < 3; i++) {} return 0; }").unwrap();
+        let Stmt::For {
+            init: Some(init), ..
+        } = &prog.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -742,7 +863,9 @@ mod tests {
     #[test]
     fn for_with_empty_clauses() {
         let prog = parse_program("int main() { for (;;) break; return 0; }").unwrap();
-        let Stmt::For { init, cond, step, .. } = &prog.functions[0].body.stmts[0]
+        let Stmt::For {
+            init, cond, step, ..
+        } = &prog.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -757,16 +880,22 @@ mod tests {
 
     #[test]
     fn dangling_else_binds_to_nearest_if() {
-        let prog = parse_program(
-            "int main() { if (1) if (2) return 1; else return 2; return 0; }",
-        )
-        .unwrap();
-        let Stmt::If { then_blk, else_blk, .. } = &prog.functions[0].body.stmts[0]
+        let prog = parse_program("int main() { if (1) if (2) return 1; else return 2; return 0; }")
+            .unwrap();
+        let Stmt::If {
+            then_blk, else_blk, ..
+        } = &prog.functions[0].body.stmts[0]
         else {
             panic!()
         };
         assert!(else_blk.is_none(), "outer if must not own the else");
-        let Stmt::If { else_blk: inner_else, .. } = &then_blk.stmts[0] else { panic!() };
+        let Stmt::If {
+            else_blk: inner_else,
+            ..
+        } = &then_blk.stmts[0]
+        else {
+            panic!()
+        };
         assert!(inner_else.is_some());
     }
 }

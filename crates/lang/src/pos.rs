@@ -82,8 +82,16 @@ impl Span {
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
         Span {
-            lo: if self.lo.offset <= other.lo.offset { self.lo } else { other.lo },
-            hi: if self.hi.offset >= other.hi.offset { self.hi } else { other.hi },
+            lo: if self.lo.offset <= other.lo.offset {
+                self.lo
+            } else {
+                other.lo
+            },
+            hi: if self.hi.offset >= other.hi.offset {
+                self.hi
+            } else {
+                other.hi
+            },
         }
     }
 

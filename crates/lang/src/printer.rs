@@ -58,7 +58,12 @@ fn print_block_inner(b: &Block, depth: usize, out: &mut String) {
 fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
     indent(depth, out);
     match s {
-        Stmt::Local { name, array_size, init, .. } => match (array_size, init) {
+        Stmt::Local {
+            name,
+            array_size,
+            init,
+            ..
+        } => match (array_size, init) {
             (Some(n), _) => {
                 let _ = writeln!(out, "int {name}[{n}];");
             }
@@ -72,7 +77,12 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
         Stmt::Expr(e) => {
             let _ = writeln!(out, "{};", print_expr(e));
         }
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             print_block_inner(then_blk, depth + 1, out);
             indent(depth, out);
@@ -98,10 +108,21 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             let _ = writeln!(out, "}} while ({});", print_expr(cond));
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             out.push_str("for (");
             match init.as_deref() {
-                Some(Stmt::Local { name, init: Some(e), array_size: None, .. }) => {
+                Some(Stmt::Local {
+                    name,
+                    init: Some(e),
+                    array_size: None,
+                    ..
+                }) => {
                     let _ = write!(out, "int {name} = {}", print_expr(e));
                 }
                 Some(Stmt::Expr(e)) => {
@@ -156,13 +177,20 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::Binary { op, lhs, rhs, .. } => {
             format!("({} {op} {})", print_expr(lhs), print_expr(rhs))
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => format!(
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => format!(
             "({} ? {} : {})",
             print_expr(cond),
             print_expr(then_expr),
             print_expr(else_expr)
         ),
-        Expr::Assign { target, op, value, .. } => {
+        Expr::Assign {
+            target, op, value, ..
+        } => {
             let t = match &target.index {
                 Some(i) => format!("{}[{}]", target.name, print_expr(i)),
                 None => target.name.clone(),
@@ -172,7 +200,12 @@ pub fn print_expr(e: &Expr) -> String {
                 None => format!("({t} = {})", print_expr(value)),
             }
         }
-        Expr::IncDec { target, inc, prefix, .. } => {
+        Expr::IncDec {
+            target,
+            inc,
+            prefix,
+            ..
+        } => {
             let t = match &target.index {
                 Some(i) => format!("{}[{}]", target.name, print_expr(i)),
                 None => target.name.clone(),
@@ -209,7 +242,9 @@ mod tests {
 
     #[test]
     fn roundtrips_globals_and_signatures() {
-        roundtrip("int a; int b = -3; int buf[7]; void f(int x, int a[]) { } int main() { return 0; }");
+        roundtrip(
+            "int a; int b = -3; int buf[7]; void f(int x, int a[]) { } int main() { return 0; }",
+        );
     }
 
     #[test]

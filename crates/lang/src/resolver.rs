@@ -75,7 +75,11 @@ impl FnCx {
             ));
         }
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(HLocal { name: name.to_owned(), storage, span });
+        self.locals.push(HLocal {
+            name: name.to_owned(),
+            storage,
+            span,
+        });
         scope.insert(name.to_owned(), id);
         Ok(id)
     }
@@ -99,9 +103,7 @@ impl Resolver {
             }
             let storage = match g.array_size {
                 None => Storage::Scalar,
-                Some(n) if n > 0 && n <= u32::MAX as i64 => {
-                    Storage::Array { size: n as u32 }
-                }
+                Some(n) if n > 0 && n <= u32::MAX as i64 => Storage::Array { size: n as u32 },
                 Some(n) => {
                     return Err(LangError::new(
                         Phase::Resolve,
@@ -145,7 +147,11 @@ impl Resolver {
                 },
             );
         }
-        Ok(Resolver { globals, global_names, functions })
+        Ok(Resolver {
+            globals,
+            global_names,
+            functions,
+        })
     }
 
     fn run(self, program: &ast::Program) -> Result<HProgram> {
@@ -172,7 +178,11 @@ impl Resolver {
                 ));
             }
         };
-        Ok(HProgram { globals: self.globals, functions, main })
+        Ok(HProgram {
+            globals: self.globals,
+            functions,
+            main,
+        })
     }
 
     fn function(&self, f: &ast::Function) -> Result<HFunction> {
@@ -183,7 +193,11 @@ impl Resolver {
             is_void: f.is_void,
         };
         for p in &f.params {
-            let storage = if p.is_array { Storage::ArrayRef } else { Storage::Scalar };
+            let storage = if p.is_array {
+                Storage::ArrayRef
+            } else {
+                Storage::Scalar
+            };
             cx.declare(&p.name, storage, p.span)?;
         }
         let body = self.block(&f.body, &mut cx)?;
@@ -214,7 +228,12 @@ impl Resolver {
 
     fn stmt(&self, s: &ast::Stmt, cx: &mut FnCx) -> Result<HStmt> {
         match s {
-            ast::Stmt::Local { name, array_size, init, span } => {
+            ast::Stmt::Local {
+                name,
+                array_size,
+                init,
+                span,
+            } => {
                 let storage = match array_size {
                     None => Storage::Scalar,
                     Some(n) if *n > 0 && *n <= u32::MAX as i64 => {
@@ -236,35 +255,63 @@ impl Resolver {
                 };
                 let id = cx.declare(name, storage, *span)?;
                 match init_expr {
-                    Some(value) => Ok(HStmt::Init { local: id, value, span: *span }),
+                    Some(value) => Ok(HStmt::Init {
+                        local: id,
+                        value,
+                        span: *span,
+                    }),
                     None => Ok(HStmt::Block(HBlock::default())),
                 }
             }
             ast::Stmt::Expr(e) => Ok(HStmt::Expr(self.expr(e, cx)?)),
-            ast::Stmt::If { cond, then_blk, else_blk, span } => {
+            ast::Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
                 let cond = self.value_expr(cond, cx)?;
                 let then_blk = self.block(then_blk, cx)?;
                 let else_blk = match else_blk {
                     Some(b) => Some(self.block(b, cx)?),
                     None => None,
                 };
-                Ok(HStmt::If { cond, then_blk, else_blk, span: *span })
+                Ok(HStmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    span: *span,
+                })
             }
             ast::Stmt::While { cond, body, span } => {
                 let cond = self.value_expr(cond, cx)?;
                 cx.loop_depth += 1;
                 let body = self.block(body, cx);
                 cx.loop_depth -= 1;
-                Ok(HStmt::While { cond, body: body?, span: *span })
+                Ok(HStmt::While {
+                    cond,
+                    body: body?,
+                    span: *span,
+                })
             }
             ast::Stmt::DoWhile { body, cond, span } => {
                 cx.loop_depth += 1;
                 let body = self.block(body, cx);
                 cx.loop_depth -= 1;
                 let cond = self.value_expr(cond, cx)?;
-                Ok(HStmt::DoWhile { body: body?, cond, span: *span })
+                Ok(HStmt::DoWhile {
+                    body: body?,
+                    cond,
+                    span: *span,
+                })
             }
-            ast::Stmt::For { init, cond, step, body, span } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 // The init declaration scopes over cond, step and body.
                 cx.scopes.push(HashMap::new());
                 let result = (|| {
@@ -283,7 +330,13 @@ impl Resolver {
                     cx.loop_depth += 1;
                     let body = self.block(body, cx);
                     cx.loop_depth -= 1;
-                    Ok(HStmt::For { init, cond, step, body: body?, span: *span })
+                    Ok(HStmt::For {
+                        init,
+                        cond,
+                        step,
+                        body: body?,
+                        span: *span,
+                    })
                 })();
                 cx.scopes.pop();
                 result
@@ -337,11 +390,19 @@ impl Resolver {
     fn var(&self, name: &str, span: Span, cx: &FnCx) -> Result<HVar> {
         if let Some(id) = cx.lookup(name) {
             let storage = cx.locals[id.0 as usize].storage;
-            return Ok(HVar { site: VarSite::Local(id), storage, span });
+            return Ok(HVar {
+                site: VarSite::Local(id),
+                storage,
+                span,
+            });
         }
         if let Some(&id) = self.global_names.get(name) {
             let storage = self.globals[id.0 as usize].storage;
-            return Ok(HVar { site: VarSite::Global(id), storage, span });
+            return Ok(HVar {
+                site: VarSite::Global(id),
+                storage,
+                span,
+            });
         }
         Err(LangError::new(
             Phase::Resolve,
@@ -353,7 +414,12 @@ impl Resolver {
     /// Resolves an expression that must produce a value.
     fn value_expr(&self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
         let h = self.expr(e, cx)?;
-        if let HExpr::Call { is_void: true, span, .. } = &h {
+        if let HExpr::Call {
+            is_void: true,
+            span,
+            ..
+        } = &h
+        {
             return Err(LangError::new(
                 Phase::Resolve,
                 *span,
@@ -363,11 +429,7 @@ impl Resolver {
         Ok(h)
     }
 
-    fn lvalue(
-        &self,
-        target: &ast::LValue,
-        cx: &mut FnCx,
-    ) -> Result<(HVar, Option<Box<HExpr>>)> {
+    fn lvalue(&self, target: &ast::LValue, cx: &mut FnCx) -> Result<(HVar, Option<Box<HExpr>>)> {
         let var = self.var(&target.name, target.span, cx)?;
         match (&target.index, var.storage.is_array()) {
             (Some(idx), true) => {
@@ -415,7 +477,11 @@ impl Resolver {
                     ));
                 }
                 let index = Box::new(self.value_expr(index, cx)?);
-                Ok(HExpr::LoadIndex { var, index, span: *span })
+                Ok(HExpr::LoadIndex {
+                    var,
+                    index,
+                    span: *span,
+                })
             }
             ast::Expr::Call { name, args, span } => self.call(name, args, *span, cx),
             ast::Expr::Unary { op, expr, span } => Ok(HExpr::Unary {
@@ -429,20 +495,39 @@ impl Resolver {
                 rhs: Box::new(self.value_expr(rhs, cx)?),
                 span: *span,
             }),
-            ast::Expr::Ternary { cond, then_expr, else_expr, span } => {
-                Ok(HExpr::Ternary {
-                    cond: Box::new(self.value_expr(cond, cx)?),
-                    then_expr: Box::new(self.value_expr(then_expr, cx)?),
-                    else_expr: Box::new(self.value_expr(else_expr, cx)?),
+            ast::Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                span,
+            } => Ok(HExpr::Ternary {
+                cond: Box::new(self.value_expr(cond, cx)?),
+                then_expr: Box::new(self.value_expr(then_expr, cx)?),
+                else_expr: Box::new(self.value_expr(else_expr, cx)?),
+                span: *span,
+            }),
+            ast::Expr::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => {
+                let (var, index) = self.lvalue(target, cx)?;
+                let value = Box::new(self.value_expr(value, cx)?);
+                Ok(HExpr::Assign {
+                    var,
+                    index,
+                    op: *op,
+                    value,
                     span: *span,
                 })
             }
-            ast::Expr::Assign { target, op, value, span } => {
-                let (var, index) = self.lvalue(target, cx)?;
-                let value = Box::new(self.value_expr(value, cx)?);
-                Ok(HExpr::Assign { var, index, op: *op, value, span: *span })
-            }
-            ast::Expr::IncDec { target, inc, prefix, span } => {
+            ast::Expr::IncDec {
+                target,
+                inc,
+                prefix,
+                span,
+            } => {
                 let (var, index) = self.lvalue(target, cx)?;
                 Ok(HExpr::IncDec {
                     var,
@@ -455,13 +540,7 @@ impl Resolver {
         }
     }
 
-    fn call(
-        &self,
-        name: &str,
-        args: &[ast::Expr],
-        span: Span,
-        cx: &mut FnCx,
-    ) -> Result<HExpr> {
+    fn call(&self, name: &str, args: &[ast::Expr], span: Span, cx: &mut FnCx) -> Result<HExpr> {
         if let Some(which) = Intrinsic::by_name(name) {
             if args.len() != which.arity() {
                 return Err(LangError::new(
@@ -528,7 +607,12 @@ impl Resolver {
                 h_args.push(HArg::Scalar(self.value_expr(arg, cx)?));
             }
         }
-        Ok(HExpr::Call { func: sig.id, args: h_args, is_void: sig.is_void, span })
+        Ok(HExpr::Call {
+            func: sig.id,
+            args: h_args,
+            is_void: sig.is_void,
+            span,
+        })
     }
 }
 
@@ -592,32 +676,24 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        assert!(
-            err("int f(int a) { return a; } int main() { return f(); }")
-                .contains("takes 1 argument")
-        );
+        assert!(err("int f(int a) { return a; } int main() { return f(); }")
+            .contains("takes 1 argument"));
     }
 
     #[test]
     fn array_argument_type_checked() {
-        let msg = err(
-            "int f(int a[]) { return a[0]; } int main() { int x; return f(x); }",
-        );
+        let msg = err("int f(int a[]) { return a[0]; } int main() { int x; return f(x); }");
         assert!(msg.contains("expects an array"), "{msg}");
-        let msg2 = err(
-            "int f(int a) { return a; } int buf[4]; int main() { return f(buf); }",
-        );
+        let msg2 = err("int f(int a) { return a; } int buf[4]; int main() { return f(buf); }");
         assert!(msg2.contains("used as a scalar"), "{msg2}");
     }
 
     #[test]
     fn array_can_be_passed_through() {
-        let h = ok(
-            "int f(int a[]) { return a[0]; } \
+        let h = ok("int f(int a[]) { return a[0]; } \
              int g(int b[]) { return f(b); } \
              int buf[4]; \
-             int main() { return g(buf); }",
-        );
+             int main() { return g(buf); }");
         assert_eq!(h.functions.len(), 3);
     }
 
@@ -636,14 +712,12 @@ mod tests {
     fn void_return_rules() {
         assert!(err("void f() { return 1; } int main() { return 0; }")
             .contains("cannot return a value"));
-        assert!(err("int f() { return; } int main() { return 0; }")
-            .contains("must return a value"));
+        assert!(err("int f() { return; } int main() { return 0; }").contains("must return a value"));
     }
 
     #[test]
     fn void_call_as_value_rejected() {
-        let msg =
-            err("void f() { } int main() { int x = f(); return x; }");
+        let msg = err("void f() { } int main() { int x = f(); return x; }");
         assert!(msg.contains("used as a value"), "{msg}");
     }
 
@@ -661,8 +735,10 @@ mod tests {
 
     #[test]
     fn intrinsic_shadowing_rejected() {
-        assert!(err("int print(int x) { return x; } int main() { return 0; }")
-            .contains("shadows a built-in"));
+        assert!(
+            err("int print(int x) { return x; } int main() { return 0; }")
+                .contains("shadows a built-in")
+        );
     }
 
     #[test]
@@ -677,8 +753,7 @@ mod tests {
 
     #[test]
     fn assigning_bare_array_rejected() {
-        assert!(err("int buf[2]; int main() { buf = 1; return 0; }")
-            .contains("without an index"));
+        assert!(err("int buf[2]; int main() { buf = 1; return 0; }").contains("without an index"));
     }
 
     #[test]

@@ -86,8 +86,7 @@ mod tests {
     fn report(src: &str) -> (ProfileReport, Module) {
         let m = compile_source(src).unwrap();
         let (profile, ..) =
-            profile_module(&m, &ExecConfig::default(), ProfileConfig::default())
-                .unwrap();
+            profile_module(&m, &ExecConfig::default(), ProfileConfig::default()).unwrap();
         let r = ProfileReport::new(&profile, &m);
         (r, m)
     }

@@ -23,9 +23,7 @@ use crate::task::{TaskId, TaskInstance, TaskTrace};
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{
-    BlockId, ExecConfig, Module, Pc, Time, Trap, TraceSink,
-};
+use alchemist_vm::{BlockId, ExecConfig, Module, Pc, Time, TraceSink, Trap};
 use std::collections::HashSet;
 
 /// What to extract and which transformations to assume.
@@ -111,20 +109,33 @@ impl<'m> TaskExtractor<'m> {
         main_joins.dedup();
         let mut task_edges: Vec<_> = self.task_edges.into_iter().collect();
         task_edges.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
-        TaskTrace { tasks: self.tasks, main_joins, task_edges, total_steps }
+        TaskTrace {
+            tasks: self.tasks,
+            main_joins,
+            task_edges,
+            total_steps,
+        }
     }
 
     fn push(&mut self, head: Pc, ipdom: Option<BlockId>, is_barrier: bool, t: Time) {
-        let opened = if self.current_task.is_none() && self.config.marked.contains(&head)
-        {
+        let opened = if self.current_task.is_none() && self.config.marked.contains(&head) {
             let id = TaskId(self.tasks.len() as u32);
-            self.tasks.push(TaskInstance { head, t_enter: t, t_exit: t });
+            self.tasks.push(TaskInstance {
+                head,
+                t_enter: t,
+                t_exit: t,
+            });
             self.current_task = Some(id);
             Some(id)
         } else {
             None
         };
-        self.stack.push(Entry { head, ipdom, is_barrier, opened });
+        self.stack.push(Entry {
+            head,
+            ipdom,
+            is_barrier,
+            opened,
+        });
     }
 
     fn pop_one(&mut self, t: Time) {
@@ -137,7 +148,10 @@ impl<'m> TaskExtractor<'m> {
 
     fn traced(&self, addr: u32) -> bool {
         addr < self.module.global_words
-            && !self.excluded.iter().any(|&(lo, hi)| lo <= addr && addr < hi)
+            && !self
+                .excluded
+                .iter()
+                .any(|&(lo, hi)| lo <= addr && addr < hi)
     }
 
     fn constrain(&mut self, head_tag: Option<TaskId>, tail_t: u64) {
@@ -159,8 +173,7 @@ impl TraceSink for TaskExtractor<'_> {
 
     fn on_exit_function(&mut self, t: Time, _func: FuncId) {
         loop {
-            let barrier =
-                self.stack.last().expect("exit without entry").is_barrier;
+            let barrier = self.stack.last().expect("exit without entry").is_barrier;
             self.pop_one(t);
             if barrier {
                 return;
@@ -201,7 +214,11 @@ impl TraceSink for TaskExtractor<'_> {
         if !self.traced(addr) {
             return;
         }
-        let access = Access { pc, t, node: self.current_task };
+        let access = Access {
+            pc,
+            t,
+            node: self.current_task,
+        };
         if let Some(dep) = self.shadow.on_read(addr, access) {
             self.constrain(dep.head.node, t);
         }
@@ -211,7 +228,11 @@ impl TraceSink for TaskExtractor<'_> {
         if !self.traced(addr) {
             return;
         }
-        let access = Access { pc, t, node: self.current_task };
+        let access = Access {
+            pc,
+            t,
+            node: self.current_task,
+        };
         let (waw, wars) = self.shadow.on_write(addr, access);
         if self.config.respect_war_waw {
             if let Some(dep) = waw {
@@ -241,11 +262,7 @@ pub fn extract_tasks(
 
 /// Finds the head of a construct by kind and source line (a convenient way
 /// for benchmarks to say "the loop at line 14 of main").
-pub fn construct_at_line(
-    module: &Module,
-    kind: ConstructKind,
-    line: u32,
-) -> Option<Pc> {
+pub fn construct_at_line(module: &Module, kind: ConstructKind, line: u32) -> Option<Pc> {
     match kind {
         ConstructKind::Method => module
             .funcs
@@ -363,8 +380,7 @@ int main() {
         let naive = ExtractConfig::default().mark(head);
         let t1 = extract_tasks(&m, &ExecConfig::default(), naive).unwrap();
         assert!(!t1.task_edges.is_empty(), "counter chain serializes tasks");
-        let transformed =
-            ExtractConfig::default().mark(head).privatize("counter");
+        let transformed = ExtractConfig::default().mark(head).privatize("counter");
         let t2 = extract_tasks(&m, &ExecConfig::default(), transformed).unwrap();
         assert!(
             t2.task_edges.is_empty(),
@@ -382,8 +398,7 @@ int main() {
         let loop_head = (0..m.ops.len() as u32)
             .map(Pc)
             .find(|&pc| {
-                m.analysis.predicate_kind(pc)
-                    == Some(alchemist_vm::PredKind::Loop)
+                m.analysis.predicate_kind(pc) == Some(alchemist_vm::PredKind::Loop)
                     && m.func_at(pc) == Some(m.main)
             })
             .expect("main's loop predicate");
@@ -408,8 +423,7 @@ int main() {
         let loop_head = (0..m.ops.len() as u32)
             .map(Pc)
             .find(|&pc| {
-                m.analysis.predicate_kind(pc)
-                    == Some(alchemist_vm::PredKind::Loop)
+                m.analysis.predicate_kind(pc) == Some(alchemist_vm::PredKind::Loop)
                     && m.func_at(pc) == Some(m.main)
             })
             .unwrap();

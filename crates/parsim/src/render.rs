@@ -83,8 +83,7 @@ fn replay_placements(trace: &TaskTrace, config: &SimConfig) -> Vec<ScheduledTask
         match kind {
             K::Spawn(tid) => {
                 main += config.spawn_overhead;
-                let duration =
-                    trace.tasks[tid.0 as usize].duration() + config.task_overhead;
+                let duration = trace.tasks[tid.0 as usize].duration() + config.task_overhead;
                 let mut ready = main;
                 for &p in &preds[tid.0 as usize] {
                     ready = ready.max(finish[p.0 as usize]);
@@ -98,7 +97,12 @@ fn replay_placements(trace: &TaskTrace, config: &SimConfig) -> Vec<ScheduledTask
                 let end = start + duration;
                 workers[wi] = end;
                 finish[tid.0 as usize] = end;
-                out.push(ScheduledTask { task: tid, worker: wi, start, end });
+                out.push(ScheduledTask {
+                    task: tid,
+                    worker: wi,
+                    start,
+                    end,
+                });
             }
             K::Join(tid) => {
                 main = main.max(finish[tid.0 as usize]);
@@ -110,11 +114,7 @@ fn replay_placements(trace: &TaskTrace, config: &SimConfig) -> Vec<ScheduledTask
 
 /// Renders the schedule as a text timeline, one row per worker, `width`
 /// columns spanning `[0, t_par]`.
-pub fn render_timeline(
-    trace: &TaskTrace,
-    config: &SimConfig,
-    width: usize,
-) -> String {
+pub fn render_timeline(trace: &TaskTrace, config: &SimConfig, width: usize) -> String {
     let (result, placements) = schedule(trace, config);
     let width = width.max(10);
     let scale = result.t_par.max(1) as f64 / width as f64;
@@ -131,11 +131,7 @@ pub fn render_timeline(
     let _ = writeln!(
         out,
         "t_seq={} t_par={} speedup={:.2} ({} tasks on {} threads)",
-        result.t_seq,
-        result.t_par,
-        result.speedup,
-        result.tasks,
-        config.threads
+        result.t_seq, result.t_par, result.speedup, result.tasks, config.threads
     );
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -157,7 +153,11 @@ mod tests {
         TaskTrace {
             tasks: tasks
                 .into_iter()
-                .map(|(a, b)| TaskInstance { head: Pc(0), t_enter: a, t_exit: b })
+                .map(|(a, b)| TaskInstance {
+                    head: Pc(0),
+                    t_enter: a,
+                    t_exit: b,
+                })
                 .collect(),
             main_joins: vec![],
             task_edges: vec![],
@@ -166,7 +166,11 @@ mod tests {
     }
 
     fn cfg(threads: usize) -> SimConfig {
-        SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+        SimConfig {
+            threads,
+            spawn_overhead: 0,
+            task_overhead: 0,
+        }
     }
 
     #[test]
@@ -206,8 +210,7 @@ mod tests {
 
     #[test]
     fn no_worker_runs_two_tasks_at_once() {
-        let tasks: Vec<(u64, u64)> =
-            (0..12).map(|i| (i * 50, i * 50 + 50)).collect();
+        let tasks: Vec<(u64, u64)> = (0..12).map(|i| (i * 50, i * 50 + 50)).collect();
         let (_, placements) = schedule(&trace_of(tasks, 600), &cfg(3));
         for a in &placements {
             for b in &placements {

@@ -27,14 +27,21 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { threads: 4, spawn_overhead: 64, task_overhead: 64 }
+        SimConfig {
+            threads: 4,
+            spawn_overhead: 64,
+            task_overhead: 64,
+        }
     }
 }
 
 impl SimConfig {
     /// A config with `threads` workers and default overheads.
     pub fn with_threads(threads: usize) -> Self {
-        SimConfig { threads, ..SimConfig::default() }
+        SimConfig {
+            threads,
+            ..SimConfig::default()
+        }
     }
 }
 
@@ -134,8 +141,7 @@ pub fn simulate(trace: &TaskTrace, config: &SimConfig) -> SimResult {
         match kind {
             EventKind::Spawn(tid) => {
                 main += config.spawn_overhead;
-                let duration =
-                    trace.tasks[tid.0 as usize].duration() + config.task_overhead;
+                let duration = trace.tasks[tid.0 as usize].duration() + config.task_overhead;
                 let mut ready = main;
                 for &p in &preds[tid.0 as usize] {
                     ready = ready.max(finish[p.0 as usize]);
@@ -186,7 +192,11 @@ mod tests {
         TaskTrace {
             tasks: tasks
                 .into_iter()
-                .map(|(a, b)| TaskInstance { head: Pc(0), t_enter: a, t_exit: b })
+                .map(|(a, b)| TaskInstance {
+                    head: Pc(0),
+                    t_enter: a,
+                    t_exit: b,
+                })
                 .collect(),
             main_joins: vec![],
             task_edges: vec![],
@@ -195,7 +205,11 @@ mod tests {
     }
 
     fn no_overhead(threads: usize) -> SimConfig {
-        SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+        SimConfig {
+            threads,
+            spawn_overhead: 0,
+            task_overhead: 0,
+        }
     }
 
     #[test]
@@ -228,9 +242,10 @@ mod tests {
     fn serial_chain_gives_no_speedup() {
         let tasks = vec![(0, 1000), (1000, 2000), (2000, 3000)];
         let mut trace = trace_of(tasks, 3000);
-        trace.task_edges =
-            vec![(crate::task::TaskId(0), crate::task::TaskId(1)),
-                 (crate::task::TaskId(1), crate::task::TaskId(2))];
+        trace.task_edges = vec![
+            (crate::task::TaskId(0), crate::task::TaskId(1)),
+            (crate::task::TaskId(1), crate::task::TaskId(2)),
+        ];
         let r = simulate(&trace, &no_overhead(4));
         assert_eq!(r.t_par, 3000, "precedence chain serializes");
     }
@@ -262,7 +277,11 @@ mod tests {
         let tasks = vec![(0, 500), (2000, 2500), (3000, 3500), (3600, 4100)];
         let trace = trace_of(tasks, 4000 + 2000);
         let r = simulate(&trace, &no_overhead(64));
-        assert!(r.speedup < 2.1, "speedup {} exceeds Amdahl bound", r.speedup);
+        assert!(
+            r.speedup < 2.1,
+            "speedup {} exceeds Amdahl bound",
+            r.speedup
+        );
     }
 
     #[test]
@@ -271,7 +290,11 @@ mod tests {
         let fast = simulate(&trace_of(tasks.clone(), 4000), &no_overhead(4));
         let slow = simulate(
             &trace_of(tasks, 4000),
-            &SimConfig { threads: 4, spawn_overhead: 100, task_overhead: 100 },
+            &SimConfig {
+                threads: 4,
+                spawn_overhead: 100,
+                task_overhead: 100,
+            },
         );
         assert!(slow.speedup < fast.speedup);
     }

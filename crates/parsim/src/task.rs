@@ -71,8 +71,16 @@ mod tests {
     fn durations_and_fractions() {
         let trace = TaskTrace {
             tasks: vec![
-                TaskInstance { head: Pc(1), t_enter: 10, t_exit: 40 },
-                TaskInstance { head: Pc(1), t_enter: 50, t_exit: 90 },
+                TaskInstance {
+                    head: Pc(1),
+                    t_enter: 10,
+                    t_exit: 40,
+                },
+                TaskInstance {
+                    head: Pc(1),
+                    t_enter: 50,
+                    t_exit: 90,
+                },
             ],
             main_joins: vec![],
             task_edges: vec![],

@@ -12,7 +12,11 @@ fn trace_from(gaps: Vec<(u64, u64)>, tail: u64, edges: Vec<(u32, u32)>) -> TaskT
     let mut tasks = Vec::new();
     for (gap, dur) in gaps {
         t += gap;
-        tasks.push(TaskInstance { head: Pc(0), t_enter: t, t_exit: t + dur });
+        tasks.push(TaskInstance {
+            head: Pc(0),
+            t_enter: t,
+            t_exit: t + dur,
+        });
         t += dur;
     }
     let n = tasks.len() as u32;
@@ -24,7 +28,12 @@ fn trace_from(gaps: Vec<(u64, u64)>, tail: u64, edges: Vec<(u32, u32)>) -> TaskT
             (a < b).then_some((TaskId(a), TaskId(b)))
         })
         .collect();
-    TaskTrace { tasks, main_joins: vec![], task_edges, total_steps: t + tail }
+    TaskTrace {
+        tasks,
+        main_joins: vec![],
+        task_edges,
+        total_steps: t + tail,
+    }
 }
 
 fn arb_trace() -> impl Strategy<Value = TaskTrace> {
@@ -37,7 +46,11 @@ fn arb_trace() -> impl Strategy<Value = TaskTrace> {
 }
 
 fn no_overhead(threads: usize) -> SimConfig {
-    SimConfig { threads, spawn_overhead: 0, task_overhead: 0 }
+    SimConfig {
+        threads,
+        spawn_overhead: 0,
+        task_overhead: 0,
+    }
 }
 
 proptest! {

@@ -110,13 +110,7 @@ pub fn analyze(ops: &[Op], funcs: &[(Pc, Pc)]) -> ModuleAnalysis {
     analysis
 }
 
-fn analyze_function(
-    ops: &[Op],
-    func: FuncId,
-    entry: Pc,
-    end: Pc,
-    out: &mut ModuleAnalysis,
-) {
+fn analyze_function(ops: &[Op], func: FuncId, entry: Pc, end: Pc, out: &mut ModuleAnalysis) {
     let lo = entry.0 as usize;
     let hi = end.0 as usize;
     assert!(lo < hi && hi <= ops.len(), "function range out of bounds");
@@ -206,10 +200,7 @@ fn analyze_function(
             continue;
         }
         let b = bi as u32;
-        let takes_back_edge = g
-            .succs(b)
-            .iter()
-            .any(|&t| t != exit && dom.dominates(t, b));
+        let takes_back_edge = g.succs(b).iter().any(|&t| t != exit && dom.dominates(t, b));
         let kind = if loops.is_header(b) || takes_back_edge {
             PredKind::Loop
         } else {

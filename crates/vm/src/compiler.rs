@@ -197,33 +197,38 @@ impl<'a> FnCompiler<'a> {
                 let off = self.slot_offset[local.0 as usize];
                 self.emit(Op::StoreLocal(off), *span);
             }
-            HStmt::If { cond, then_blk, else_blk, span } => {
-                match else_blk {
-                    None => {
-                        let end = self.new_label();
-                        self.cond_jump(cond, false, end);
-                        self.block(then_blk);
-                        self.bind(end);
-                    }
-                    Some(else_blk) => {
-                        let els = self.new_label();
-                        let end = self.new_label();
-                        self.cond_jump(cond, false, els);
-                        self.block(then_blk);
-                        self.branch(Op::Br, end, *span);
-                        self.bind(els);
-                        self.block(else_blk);
-                        self.bind(end);
-                    }
+            HStmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => match else_blk {
+                None => {
+                    let end = self.new_label();
+                    self.cond_jump(cond, false, end);
+                    self.block(then_blk);
+                    self.bind(end);
                 }
-            }
+                Some(else_blk) => {
+                    let els = self.new_label();
+                    let end = self.new_label();
+                    self.cond_jump(cond, false, els);
+                    self.block(then_blk);
+                    self.branch(Op::Br, end, *span);
+                    self.bind(els);
+                    self.block(else_blk);
+                    self.bind(end);
+                }
+            },
             HStmt::While { cond, body, span } => {
                 let head = self.new_label();
                 let exit = self.new_label();
                 self.bind(head);
                 self.cond_jump(cond, false, exit);
-                self.loop_stack
-                    .push(LoopCtx { break_label: exit, continue_label: head });
+                self.loop_stack.push(LoopCtx {
+                    break_label: exit,
+                    continue_label: head,
+                });
                 self.block(body);
                 self.loop_stack.pop();
                 self.branch(Op::Br, head, *span);
@@ -234,8 +239,10 @@ impl<'a> FnCompiler<'a> {
                 let cont = self.new_label();
                 let exit = self.new_label();
                 self.bind(head);
-                self.loop_stack
-                    .push(LoopCtx { break_label: exit, continue_label: cont });
+                self.loop_stack.push(LoopCtx {
+                    break_label: exit,
+                    continue_label: cont,
+                });
                 self.block(body);
                 self.loop_stack.pop();
                 self.bind(cont);
@@ -243,7 +250,13 @@ impl<'a> FnCompiler<'a> {
                 self.bind(exit);
                 let _ = span;
             }
-            HStmt::For { init, cond, step, body, span } => {
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 if let Some(init) = init {
                     self.stmt(init);
                 }
@@ -254,8 +267,10 @@ impl<'a> FnCompiler<'a> {
                 if let Some(cond) = cond {
                     self.cond_jump(cond, false, exit);
                 }
-                self.loop_stack
-                    .push(LoopCtx { break_label: exit, continue_label: cont });
+                self.loop_stack.push(LoopCtx {
+                    break_label: exit,
+                    continue_label: cont,
+                });
                 self.block(body);
                 self.loop_stack.pop();
                 self.bind(cont);
@@ -296,10 +311,22 @@ impl<'a> FnCompiler<'a> {
     /// `store.k`+`pop` for the common assignment/inc-dec statements.
     fn expr_for_effect(&mut self, e: &HExpr) {
         match e {
-            HExpr::Assign { var, index, op, value, span } => {
+            HExpr::Assign {
+                var,
+                index,
+                op,
+                value,
+                span,
+            } => {
                 self.assign(var, index.as_deref(), *op, value, *span, false);
             }
-            HExpr::IncDec { var, index, inc, span, .. } => {
+            HExpr::IncDec {
+                var,
+                index,
+                inc,
+                span,
+                ..
+            } => {
                 // Value unused: prefix/postfix are equivalent.
                 self.inc_dec_no_value(var, index.as_deref(), *inc, *span);
             }
@@ -315,7 +342,12 @@ impl<'a> FnCompiler<'a> {
     /// materializing booleans.
     fn cond_jump(&mut self, e: &HExpr, jump_if: bool, label: usize) {
         match e {
-            HExpr::Binary { op: BinOp::LogAnd, lhs, rhs, .. } => {
+            HExpr::Binary {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
                 if jump_if {
                     // Jump when both are true.
                     let fall = self.new_label();
@@ -328,7 +360,12 @@ impl<'a> FnCompiler<'a> {
                     self.cond_jump(rhs, false, label);
                 }
             }
-            HExpr::Binary { op: BinOp::LogOr, lhs, rhs, .. } => {
+            HExpr::Binary {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
                 if jump_if {
                     self.cond_jump(lhs, true, label);
                     self.cond_jump(rhs, true, label);
@@ -339,7 +376,11 @@ impl<'a> FnCompiler<'a> {
                     self.bind(fall);
                 }
             }
-            HExpr::Unary { op: UnOp::Not, expr, .. } => {
+            HExpr::Unary {
+                op: UnOp::Not,
+                expr,
+                ..
+            } => {
                 self.cond_jump(expr, !jump_if, label);
             }
             HExpr::Int(v, span) => {
@@ -459,7 +500,14 @@ impl<'a> FnCompiler<'a> {
                 self.expr(value);
                 self.push_array_ref(var);
                 self.expr(idx);
-                self.emit(if keep { Op::StoreElemKeep } else { Op::StoreElem }, span);
+                self.emit(
+                    if keep {
+                        Op::StoreElemKeep
+                    } else {
+                        Op::StoreElem
+                    },
+                    span,
+                );
             }
             (Some(idx), Some(op)) => {
                 // [ref i] dup2 eload -> [ref i old] <value> bin -> [ref i new]
@@ -471,18 +519,19 @@ impl<'a> FnCompiler<'a> {
                 self.expr(value);
                 self.emit(Op::Bin(op), span);
                 self.emit(Op::Rot3Down, span);
-                self.emit(if keep { Op::StoreElemKeep } else { Op::StoreElem }, span);
+                self.emit(
+                    if keep {
+                        Op::StoreElemKeep
+                    } else {
+                        Op::StoreElem
+                    },
+                    span,
+                );
             }
         }
     }
 
-    fn inc_dec_no_value(
-        &mut self,
-        var: &HVar,
-        index: Option<&HExpr>,
-        inc: bool,
-        span: Span,
-    ) {
+    fn inc_dec_no_value(&mut self, var: &HVar, index: Option<&HExpr>, inc: bool, span: Span) {
         let op = if inc { BinOp::Add } else { BinOp::Sub };
         match index {
             None => {
@@ -565,7 +614,9 @@ impl<'a> FnCompiler<'a> {
                 self.expr(index);
                 self.emit(Op::LoadElem, *span);
             }
-            HExpr::Call { func, args, span, .. } => {
+            HExpr::Call {
+                func, args, span, ..
+            } => {
                 for a in args {
                     match a {
                         HArg::Scalar(e) => self.expr(e),
@@ -584,7 +635,10 @@ impl<'a> FnCompiler<'a> {
                 self.expr(expr);
                 self.emit(Op::Un(*op), *span);
             }
-            HExpr::Binary { op: BinOp::LogAnd | BinOp::LogOr, .. } => {
+            HExpr::Binary {
+                op: BinOp::LogAnd | BinOp::LogOr,
+                ..
+            } => {
                 // Materialize 0/1 through branches.
                 let fail = self.new_label();
                 let end = self.new_label();
@@ -601,7 +655,12 @@ impl<'a> FnCompiler<'a> {
                 self.expr(rhs);
                 self.emit(Op::Bin(*op), *span);
             }
-            HExpr::Ternary { cond, then_expr, else_expr, span } => {
+            HExpr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                span,
+            } => {
                 let els = self.new_label();
                 let end = self.new_label();
                 self.cond_jump(cond, false, els);
@@ -611,10 +670,22 @@ impl<'a> FnCompiler<'a> {
                 self.expr(else_expr);
                 self.bind(end);
             }
-            HExpr::Assign { var, index, op, value, span } => {
+            HExpr::Assign {
+                var,
+                index,
+                op,
+                value,
+                span,
+            } => {
                 self.assign(var, index.as_deref(), *op, value, *span, true);
             }
-            HExpr::IncDec { var, index, inc, prefix, span } => {
+            HExpr::IncDec {
+                var,
+                index,
+                inc,
+                prefix,
+                span,
+            } => {
                 self.inc_dec_value(var, index.as_deref(), *inc, *prefix, *span);
             }
         }
@@ -640,7 +711,12 @@ mod tests {
     fn functions_end_with_ret() {
         let m = module("void f() { } int main() { f(); return 0; }");
         for f in &m.funcs {
-            assert_eq!(m.ops[f.end.0 as usize - 1], Op::Ret, "{} missing ret", f.name);
+            assert_eq!(
+                m.ops[f.end.0 as usize - 1],
+                Op::Ret,
+                "{} missing ret",
+                f.name
+            );
         }
     }
 
@@ -676,7 +752,12 @@ mod tests {
     fn logical_and_lowered_to_branches() {
         let m = module("int main() { int a = 1; int b = 2; if (a && b) a = 3; return a; }");
         let predicates = m.ops.iter().filter(|o| o.is_predicate()).count();
-        assert_eq!(predicates, 2, "one predicate per && operand:\n{}", m.disassemble());
+        assert_eq!(
+            predicates,
+            2,
+            "one predicate per && operand:\n{}",
+            m.disassemble()
+        );
         assert!(
             !m.ops.iter().any(|o| matches!(o, Op::Bin(BinOp::LogAnd))),
             "&& must not survive as a binary op"
@@ -692,10 +773,7 @@ mod tests {
         );
         for (i, op) in m.ops.iter().enumerate() {
             if let Some(t) = op.branch_target() {
-                assert!(
-                    (t as usize) < m.ops.len(),
-                    "unpatched branch at @{i}: {op}"
-                );
+                assert!((t as usize) < m.ops.len(), "unpatched branch at @{i}: {op}");
             }
         }
     }

@@ -54,7 +54,11 @@ pub struct Trap {
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "runtime trap at {} ({}): {}", self.span, self.pc, self.kind)
+        write!(
+            f,
+            "runtime trap at {} ({}): {}",
+            self.span, self.pc, self.kind
+        )
     }
 }
 

@@ -171,7 +171,12 @@ impl TraceSink for RecordingSink {
         self.events.push(Event::Block { t, block });
     }
     fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        self.events.push(Event::Predicate { t, pc, block, taken });
+        self.events.push(Event::Predicate {
+            t,
+            pc,
+            block,
+            taken,
+        });
     }
     fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
         self.events.push(Event::Read { t, addr, pc });

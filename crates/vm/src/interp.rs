@@ -25,14 +25,21 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_steps: 500_000_000, stack_words: 1 << 20, input: Vec::new() }
+        ExecConfig {
+            max_steps: 500_000_000,
+            stack_words: 1 << 20,
+            input: Vec::new(),
+        }
     }
 }
 
 impl ExecConfig {
     /// A config with the given input buffer and default limits.
     pub fn with_input(input: Vec<i64>) -> Self {
-        ExecConfig { input, ..ExecConfig::default() }
+        ExecConfig {
+            input,
+            ..ExecConfig::default()
+        }
     }
 }
 
@@ -119,11 +126,17 @@ impl<'m> Interp<'m> {
     }
 
     fn trap(&self, kind: TrapKind, pc: Pc) -> Trap {
-        Trap { kind, pc, span: self.module.span_at(pc) }
+        Trap {
+            kind,
+            pc,
+            span: self.module.span_at(pc),
+        }
     }
 
     fn pop(&mut self) -> i64 {
-        self.operands.pop().expect("operand stack underflow: compiler bug")
+        self.operands
+            .pop()
+            .expect("operand stack underflow: compiler bug")
     }
 
     /// Executes until `main` returns.
@@ -136,14 +149,20 @@ impl<'m> Interp<'m> {
         let entry = main.entry;
         let fp = self.stack_top;
         self.stack_top += main.frame_words;
-        self.frames.push(Frame { func: self.module.main.0, fp, ret_pc: u32::MAX });
+        self.frames.push(Frame {
+            func: self.module.main.0,
+            fp,
+            ret_pc: u32::MAX,
+        });
         sink.on_enter_function(0, self.module.main, fp);
 
         let mut pc = entry.0;
         loop {
             if self.steps >= self.max_steps {
                 return Err(self.trap(
-                    TrapKind::StepLimitExceeded { limit: self.max_steps },
+                    TrapKind::StepLimitExceeded {
+                        limit: self.max_steps,
+                    },
                     Pc(pc),
                 ));
             }
@@ -190,10 +209,7 @@ impl<'m> Interp<'m> {
                     pc += 1;
                 }
                 Op::StoreLocal(slot) | Op::StoreLocalKeep(slot) => {
-                    let keep = matches!(
-                        self.module.ops[pc as usize],
-                        Op::StoreLocalKeep(_)
-                    );
+                    let keep = matches!(self.module.ops[pc as usize], Op::StoreLocalKeep(_));
                     let addr = self.frames.last().expect("no frame").fp + slot;
                     let v = self.pop();
                     sink.on_write(t, addr, cur);
@@ -209,10 +225,7 @@ impl<'m> Interp<'m> {
                     pc += 1;
                 }
                 Op::StoreGlobal(off) | Op::StoreGlobalKeep(off) => {
-                    let keep = matches!(
-                        self.module.ops[pc as usize],
-                        Op::StoreGlobalKeep(_)
-                    );
+                    let keep = matches!(self.module.ops[pc as usize], Op::StoreGlobalKeep(_));
                     let v = self.pop();
                     sink.on_write(t, off, cur);
                     self.mem[off as usize] = v;
@@ -239,8 +252,7 @@ impl<'m> Interp<'m> {
                     pc += 1;
                 }
                 Op::StoreElem | Op::StoreElemKeep => {
-                    let keep =
-                        matches!(self.module.ops[pc as usize], Op::StoreElemKeep);
+                    let keep = matches!(self.module.ops[pc as usize], Op::StoreElemKeep);
                     let idx = self.pop();
                     let (base, len) = unpack_ref(self.pop());
                     let v = self.pop();
@@ -299,7 +311,11 @@ impl<'m> Interp<'m> {
                         sink.on_write(t, addr, cur);
                         self.mem[addr as usize] = v;
                     }
-                    self.frames.push(Frame { func: func.0, fp, ret_pc: pc + 1 });
+                    self.frames.push(Frame {
+                        func: func.0,
+                        fp,
+                        ret_pc: pc + 1,
+                    });
                     sink.on_enter_function(t, func, fp);
                     pc = fi.entry.0;
                 }
@@ -314,10 +330,7 @@ impl<'m> Interp<'m> {
                     // timestamp is one past the instruction's own: this way
                     // a construct's duration covers all its instructions
                     // (main's Tdur equals the run's step count).
-                    sink.on_exit_function(
-                        self.steps,
-                        alchemist_lang::hir::FuncId(frame.func),
-                    );
+                    sink.on_exit_function(self.steps, alchemist_lang::hir::FuncId(frame.func));
                     self.stack_top = frame.fp;
                     if self.frames.is_empty() {
                         return Ok(ExecOutcome {
@@ -433,7 +446,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(exec("int main() { return 2 + 3 * 4 - 6 / 2; }").exit_value, 11);
+        assert_eq!(
+            exec("int main() { return 2 + 3 * 4 - 6 / 2; }").exit_value,
+            11
+        );
         assert_eq!(exec("int main() { return (2 + 3) * 4; }").exit_value, 20);
         assert_eq!(exec("int main() { return 17 % 5; }").exit_value, 2);
         assert_eq!(exec("int main() { return -7 / 2; }").exit_value, -3);
@@ -441,7 +457,10 @@ mod tests {
 
     #[test]
     fn bitwise_and_shifts() {
-        assert_eq!(exec("int main() { return (5 & 3) | (8 ^ 12); }").exit_value, 5);
+        assert_eq!(
+            exec("int main() { return (5 & 3) | (8 ^ 12); }").exit_value,
+            5
+        );
         assert_eq!(exec("int main() { return 1 << 10; }").exit_value, 1024);
         assert_eq!(exec("int main() { return -8 >> 1; }").exit_value, -4);
         assert_eq!(exec("int main() { return ~0; }").exit_value, -1);
@@ -449,8 +468,14 @@ mod tests {
 
     #[test]
     fn comparisons_yield_zero_one() {
-        assert_eq!(exec("int main() { return (1 < 2) + (2 <= 2) + (3 > 4); }").exit_value, 2);
-        assert_eq!(exec("int main() { return (1 == 1) + (1 != 1); }").exit_value, 1);
+        assert_eq!(
+            exec("int main() { return (1 < 2) + (2 <= 2) + (3 > 4); }").exit_value,
+            2
+        );
+        assert_eq!(
+            exec("int main() { return (1 == 1) + (1 != 1); }").exit_value,
+            1
+        );
     }
 
     #[test]
@@ -461,7 +486,10 @@ mod tests {
 
     #[test]
     fn global_scalar_initializers_apply() {
-        assert_eq!(exec("int a = 41; int main() { return a + 1; }").exit_value, 42);
+        assert_eq!(
+            exec("int a = 41; int main() { return a + 1; }").exit_value,
+            42
+        );
     }
 
     #[test]
@@ -547,8 +575,14 @@ mod tests {
 
     #[test]
     fn ternary_expression() {
-        assert_eq!(exec("int main() { int x = 7; return x > 5 ? 1 : 2; }").exit_value, 1);
-        assert_eq!(exec("int main() { int x = 3; return x > 5 ? 1 : 2; }").exit_value, 2);
+        assert_eq!(
+            exec("int main() { int x = 7; return x > 5 ? 1 : 2; }").exit_value,
+            1
+        );
+        assert_eq!(
+            exec("int main() { int x = 3; return x > 5 ? 1 : 2; }").exit_value,
+            2
+        );
     }
 
     #[test]
@@ -600,12 +634,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let out = run(
-            &m,
-            &ExecConfig::with_input(vec![3, 5, 8]),
-            &mut NullSink,
-        )
-        .unwrap();
+        let out = run(&m, &ExecConfig::with_input(vec![3, 5, 8]), &mut NullSink).unwrap();
         assert_eq!(out.exit_value, 3);
         assert_eq!(out.output, vec![6, 10, 16]);
     }
@@ -635,7 +664,10 @@ mod tests {
     #[test]
     fn step_limit_traps_infinite_loop() {
         let m = compile(&compile_to_hir("int main() { while (1) { } return 0; }").unwrap());
-        let cfg = ExecConfig { max_steps: 1000, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_steps: 1000,
+            ..ExecConfig::default()
+        };
         let t = run(&m, &cfg, &mut NullSink).unwrap_err();
         assert_eq!(t.kind, TrapKind::StepLimitExceeded { limit: 1000 });
     }
@@ -649,7 +681,10 @@ mod tests {
             )
             .unwrap(),
         );
-        let cfg = ExecConfig { stack_words: 4096, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            stack_words: 4096,
+            ..ExecConfig::default()
+        };
         let t = run(&m, &cfg, &mut NullSink).unwrap_err();
         assert_eq!(t.kind, TrapKind::StackOverflow);
     }

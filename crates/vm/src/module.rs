@@ -120,12 +120,8 @@ impl Module {
                     .block_start(Pc(pc))
                     .map(|b| format!("{b}:"))
                     .unwrap_or_default();
-                writeln!(
-                    out,
-                    "  {block:>6} @{pc:<4} {}",
-                    self.ops[pc as usize]
-                )
-                .expect("string write");
+                writeln!(out, "  {block:>6} @{pc:<4} {}", self.ops[pc as usize])
+                    .expect("string write");
             }
         }
         out

@@ -14,10 +14,9 @@ fn predicates_of(m: &Module, func: &str) -> Vec<(Pc, PredKind)> {
 
 #[test]
 fn while_loop_has_one_loop_predicate_closing_at_exit() {
-    let m = compile_source(
-        "int g; int main() { int i = 0; while (i < 5) { g += i; i++; } return g; }",
-    )
-    .unwrap();
+    let m =
+        compile_source("int g; int main() { int i = 0; while (i < 5) { g += i; i++; } return g; }")
+            .unwrap();
     let preds = predicates_of(&m, "main");
     assert_eq!(preds.len(), 1);
     assert_eq!(preds[0].1, PredKind::Loop);
@@ -28,12 +27,13 @@ fn while_loop_has_one_loop_predicate_closing_at_exit() {
 
 #[test]
 fn for_loop_predicate_is_loop_kind() {
-    let m = compile_source(
-        "int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }",
-    )
-    .unwrap();
+    let m = compile_source("int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }")
+        .unwrap();
     let preds = predicates_of(&m, "main");
-    assert_eq!(preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(), 1);
+    assert_eq!(
+        preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(),
+        1
+    );
 }
 
 #[test]
@@ -44,7 +44,11 @@ fn do_while_bottom_test_is_loop_kind() {
     .unwrap();
     let preds = predicates_of(&m, "main");
     assert_eq!(preds.len(), 1);
-    assert_eq!(preds[0].1, PredKind::Loop, "bottom test takes the back edge");
+    assert_eq!(
+        preds[0].1,
+        PredKind::Loop,
+        "bottom test takes the back edge"
+    );
 }
 
 #[test]
@@ -108,8 +112,7 @@ fn short_circuit_condition_produces_two_predicates() {
 
 #[test]
 fn ternary_is_branch_kind() {
-    let m = compile_source("int main() { int x = 3; return x > 1 ? 10 : 20; }")
-        .unwrap();
+    let m = compile_source("int main() { int x = 3; return x > 1 ? 10 : 20; }").unwrap();
     let preds = predicates_of(&m, "main");
     assert_eq!(preds.len(), 1);
     assert_eq!(preds[0].1, PredKind::Branch);
@@ -123,7 +126,10 @@ fn nested_loops_classify_independently() {
     )
     .unwrap();
     let preds = predicates_of(&m, "main");
-    assert_eq!(preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(), 2);
+    assert_eq!(
+        preds.iter().filter(|(_, k)| *k == PredKind::Loop).count(),
+        2
+    );
 }
 
 #[test]
@@ -135,7 +141,11 @@ fn if_join_is_the_ipdom_of_its_predicate() {
     let preds = predicates_of(&m, "main");
     assert_eq!(preds.len(), 1);
     let pred_block = m.analysis.block_of(preds[0].0);
-    let join = m.analysis.block(pred_block).ipdom.expect("diamond has a join");
+    let join = m
+        .analysis
+        .block(pred_block)
+        .ipdom
+        .expect("diamond has a join");
     // The join block contains the `g = 3` store; both arms flow into it.
     let info = m.analysis.block(join);
     assert!(info.first.0 > preds[0].0 .0);
@@ -160,10 +170,8 @@ fn early_return_predicates_close_at_function_exit() {
 
 #[test]
 fn disassembly_lists_blocks_and_ops() {
-    let m = compile_source(
-        "int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }",
-    )
-    .unwrap();
+    let m = compile_source("int g; int main() { int i; for (i = 0; i < 3; i++) g++; return g; }")
+        .unwrap();
     let text = m.disassemble();
     assert!(text.contains("fn#0 main:"), "{text}");
     assert!(text.contains("bb"), "block labels shown: {text}");
@@ -173,11 +181,11 @@ fn disassembly_lists_blocks_and_ops() {
 
 #[test]
 fn block_count_is_reasonable_for_straightline_code() {
-    let m = compile_source("int main() { int a = 1; int b = 2; return a + b; }")
-        .unwrap();
+    let m = compile_source("int main() { int a = 1; int b = 2; return a + b; }").unwrap();
     // Straight-line code: exactly one block.
     let f = &m.funcs[0];
-    let blocks: std::collections::HashSet<_> =
-        (f.entry.0..f.end.0).map(|pc| m.analysis.block_of(Pc(pc))).collect();
+    let blocks: std::collections::HashSet<_> = (f.entry.0..f.end.0)
+        .map(|pc| m.analysis.block_of(Pc(pc)))
+        .collect();
     assert_eq!(blocks.len(), 1);
 }

@@ -23,9 +23,7 @@ impl E {
         match self {
             // i64::MIN has no literal form (the same quirk as C): the
             // lexer sees `-` as negation of an overflowing magnitude.
-            E::Const(v) if *v == i64::MIN => {
-                "(-9223372036854775807 - 1)".to_owned()
-            }
+            E::Const(v) if *v == i64::MIN => "(-9223372036854775807 - 1)".to_owned(),
             E::Const(v) => format!("{v}"),
             E::X => "x".into(),
             E::Y => "y".into(),
@@ -151,11 +149,13 @@ fn arb_expr() -> impl Strategy<Value = E> {
         ];
         prop_oneof![
             (un, inner.clone()).prop_map(|(op, a)| E::Un(op, Box::new(a))),
-            (bin, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| {
-                E::Ternary(Box::new(c), Box::new(t), Box::new(e))
-            }),
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| E::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| { E::Ternary(Box::new(c), Box::new(t), Box::new(e)) }),
         ]
     })
 }

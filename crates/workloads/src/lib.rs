@@ -131,8 +131,12 @@ impl Workload {
     /// Panics if the workload traps (a bug in this crate).
     pub fn run_native(&self, scale: Scale) -> ExecOutcome {
         let module = self.module();
-        alchemist_vm::run(&module, &self.exec_config(scale), &mut alchemist_vm::NullSink)
-            .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name))
+        alchemist_vm::run(
+            &module,
+            &self.exec_config(scale),
+            &mut alchemist_vm::NullSink,
+        )
+        .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name))
     }
 
     /// Runs under the Alchemist profiler.
@@ -142,12 +146,9 @@ impl Workload {
     /// Panics if the workload traps.
     pub fn profile(&self, scale: Scale) -> (Module, DepProfile, ExecOutcome) {
         let module = self.module();
-        let (profile, exec, _, _) = profile_module(
-            &module,
-            &self.exec_config(scale),
-            ProfileConfig::default(),
-        )
-        .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name));
+        let (profile, exec, _, _) =
+            profile_module(&module, &self.exec_config(scale), ProfileConfig::default())
+                .unwrap_or_else(|e| panic!("workload {} trapped: {e}", self.name));
         (module, profile, exec)
     }
 
@@ -176,13 +177,9 @@ impl Workload {
                     .unwrap_or_else(|| panic!("no function `{func}`"));
                 (fi.entry.0..fi.end.0)
                     .map(Pc)
-                    .filter(|&pc| {
-                        module.analysis.predicate_kind(pc) == Some(PredKind::Loop)
-                    })
+                    .filter(|&pc| module.analysis.predicate_kind(pc) == Some(PredKind::Loop))
                     .nth(ordinal)
-                    .unwrap_or_else(|| {
-                        panic!("function `{func}` has no loop #{ordinal}")
-                    })
+                    .unwrap_or_else(|| panic!("function `{func}` has no loop #{ordinal}"))
             }
         }
     }
@@ -225,7 +222,10 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
             input_kind: InputKind::Words,
             parallel: Some(ParallelSpec {
                 // The sentence loop (paper: loop at line 1302).
-                targets: &[Target::LoopIn { func: "main", ordinal: 0 }],
+                targets: &[Target::LoopIn {
+                    func: "main",
+                    ordinal: 0,
+                }],
                 privatized: &["linkages"],
                 paper_speedup: None,
                 expected_speedup: (1.2, 4.0),
@@ -283,7 +283,10 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
             parallel: Some(ParallelSpec {
                 // The batch loop (paper: C2 in Fig. 6(d)); the loader
                 // cursor is recomputed per thread (fixed-size loads).
-                targets: &[Target::LoopIn { func: "main", ordinal: 0 }],
+                targets: &[Target::LoopIn {
+                    func: "main",
+                    ordinal: 0,
+                }],
                 privatized: &["load_cursor", "arena_top", "gc_count", "total"],
                 paper_speedup: None,
                 expected_speedup: (1.2, 4.0),
@@ -337,8 +340,14 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
                 // Both loops the paper parallelized: per-file verification
                 // and per-output-block parity computation.
                 targets: &[
-                    Target::LoopIn { func: "open_source_files", ordinal: 0 },
-                    Target::LoopIn { func: "process_data", ordinal: 0 },
+                    Target::LoopIn {
+                        func: "open_source_files",
+                        ordinal: 0,
+                    },
+                    Target::LoopIn {
+                        func: "process_data",
+                        ordinal: 0,
+                    },
                 ],
                 privatized: &["open_handle", "files_open", "scratch"],
                 paper_speedup: Some(1.78),
@@ -357,7 +366,10 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
                 // worklist cursors chain every iteration (the paper's
                 // negative result) — spawn overhead makes the "parallel"
                 // version a net slowdown.
-                targets: &[Target::LoopIn { func: "main", ordinal: 1 }],
+                targets: &[Target::LoopIn {
+                    func: "main",
+                    ordinal: 1,
+                }],
                 privatized: &[],
                 paper_speedup: None,
                 expected_speedup: (0.4, 1.1),

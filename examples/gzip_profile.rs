@@ -26,7 +26,9 @@ fn main() {
     println!("=== Fig. 2: ranked profile with RAW dependences ===\n");
     print!("{}", report.render(9));
 
-    let fb = report.find("Method flush_block").expect("flush_block profiled");
+    let fb = report
+        .find("Method flush_block")
+        .expect("flush_block profiled");
     println!("\n=== Fig. 3: WAR/WAW profile of flush_block ===\n");
     print!("{}", report.render_war_waw(fb.head));
 
@@ -35,10 +37,7 @@ fn main() {
         "flush_block ran {} times for {} instructions total (Tdur ~ {}).",
         fb.inst, fb.ttotal, fb.tdur_mean
     );
-    let violating: Vec<_> = fb
-        .edges_of(DepKind::Raw)
-        .filter(|e| e.violating)
-        .collect();
+    let violating: Vec<_> = fb.edges_of(DepKind::Raw).filter(|e| e.violating).collect();
     println!(
         "{} RAW edges cross its boundary; {} violate Tdep > Tdur:",
         fb.edges_of(DepKind::Raw).count(),

@@ -10,8 +10,7 @@ use alchemist::workloads;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("bzip2");
-    let threads: usize =
-        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     let w = workloads::by_name(name).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}`; available:");
@@ -25,8 +24,7 @@ fn main() {
     let module = w.module();
     let exec_cfg = w.exec_config(Scale::Default);
     let (profile, exec, _, _) =
-        profile_module(&module, &exec_cfg, ProfileConfig::default())
-            .expect("workload runs");
+        profile_module(&module, &exec_cfg, ProfileConfig::default()).expect("workload runs");
     let report = ProfileReport::new(&profile, &module);
     println!(
         "{name}: {} instructions, {} constructs profiled",

@@ -29,8 +29,7 @@ fn main() {
     for v in spec.privatized {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks(&module, &w.exec_config(Scale::Default), cfg)
-        .expect("workload runs");
+    let trace = extract_tasks(&module, &w.exec_config(Scale::Default), cfg).expect("workload runs");
 
     println!(
         "{name}: {} tasks, serial fraction {:.1}%\n",

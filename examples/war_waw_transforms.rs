@@ -49,29 +49,40 @@ fn main() {
     println!("=== WAR/WAW profile of `work` ===\n");
     print!("{}", report.render_war_waw(work.head));
 
-    println!("\nviolating WAW: {} | violating WAR: {} | violating RAW: {}",
-        work.violating_waw, work.violating_war, work.violating_raw);
+    println!(
+        "\nviolating WAW: {} | violating WAR: {} | violating RAW: {}",
+        work.violating_waw, work.violating_war, work.violating_raw
+    );
 
     // Simulate three variants, as a programmer following the paper would.
     let module = outcome.module;
     let head = module.func_by_name("work").expect("exists").1.entry;
     let exec = ExecConfig::default();
 
-    let naive = ExtractConfig { respect_war_waw: true, ..Default::default() }
-        .mark(head);
+    let naive = ExtractConfig {
+        respect_war_waw: true,
+        ..Default::default()
+    }
+    .mark(head);
     let naive_trace = extract_tasks(&module, &exec, naive).expect("runs");
     let naive_sim = simulate(&naive_trace, &SimConfig::with_threads(4));
 
-    let flags_only = ExtractConfig { respect_war_waw: true, ..Default::default() }
-        .mark(head)
-        .privatize("flags");
+    let flags_only = ExtractConfig {
+        respect_war_waw: true,
+        ..Default::default()
+    }
+    .mark(head)
+    .privatize("flags");
     let flags_trace = extract_tasks(&module, &exec, flags_only).expect("runs");
     let flags_sim = simulate(&flags_trace, &SimConfig::with_threads(4));
 
-    let full = ExtractConfig { respect_war_waw: true, ..Default::default() }
-        .mark(head)
-        .privatize("flags")
-        .privatize("buffer");
+    let full = ExtractConfig {
+        respect_war_waw: true,
+        ..Default::default()
+    }
+    .mark(head)
+    .privatize("flags")
+    .privatize("buffer");
     let full_trace = extract_tasks(&module, &exec, full).expect("runs");
     let full_sim = simulate(&full_trace, &SimConfig::with_threads(4));
 

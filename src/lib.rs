@@ -53,8 +53,8 @@ pub use alchemist_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use alchemist_core::{
-        profile_module, profile_source, AlchemistProfiler, ConstructKind, DepKind,
-        ProfileConfig, ProfileOutcome, ProfileReport,
+        profile_module, profile_source, AlchemistProfiler, ConstructKind, DepKind, ProfileConfig,
+        ProfileOutcome, ProfileReport,
     };
     pub use alchemist_lang::compile_to_hir;
     pub use alchemist_parsim::{

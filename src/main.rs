@@ -9,8 +9,7 @@
 
 use alchemist_core::{profile_source, ProfileReport};
 use alchemist_parsim::{
-    extract_tasks, render_timeline, simulate, suggest_candidates, ExtractConfig,
-    SimConfig,
+    extract_tasks, render_timeline, simulate, suggest_candidates, ExtractConfig, SimConfig,
 };
 use alchemist_vm::{ExecConfig, NullSink};
 use std::process::ExitCode;
@@ -102,8 +101,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
                 war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
             }
             "--csv-constructs" => {
-                csv_constructs =
-                    Some(it.next().ok_or("--csv-constructs needs a path")?.clone());
+                csv_constructs = Some(it.next().ok_or("--csv-constructs needs a path")?.clone());
             }
             "--csv-edges" => {
                 csv_edges = Some(it.next().ok_or("--csv-edges needs a path")?.clone());
@@ -131,8 +129,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         }
     }
     let path = file.ok_or("no source file given")?;
-    let source = std::fs::read_to_string(&path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(CommonArgs {
         source,
         input,
@@ -187,14 +184,16 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     for v in &out.output {
         println!("{v}");
     }
-    println!("exit value: {} ({} instructions)", out.exit_value, out.steps);
+    println!(
+        "exit value: {} ({} instructions)",
+        out.exit_value, out.steps
+    );
     Ok(())
 }
 
 fn advise_cmd(args: &[String]) -> Result<(), String> {
     let a = parse_common(args)?;
-    let outcome =
-        profile_source(&a.source, a.input.clone()).map_err(|e| e.to_string())?;
+    let outcome = profile_source(&a.source, a.input.clone()).map_err(|e| e.to_string())?;
     let report: ProfileReport = outcome.report();
     let candidates = suggest_candidates(&report, &outcome.module, 0.02, 0);
     if candidates.is_empty() {
@@ -220,12 +219,8 @@ fn advise_cmd(args: &[String]) -> Result<(), String> {
     for v in &best.privatize {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks(
-        &outcome.module,
-        &ExecConfig::with_input(a.input),
-        cfg,
-    )
-    .map_err(|e| e.to_string())?;
+    let trace = extract_tasks(&outcome.module, &ExecConfig::with_input(a.input), cfg)
+        .map_err(|e| e.to_string())?;
     let sim = simulate(&trace, &SimConfig::with_threads(a.threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
@@ -256,8 +251,8 @@ fn simulate_cmd(args: &[String]) -> Result<(), String> {
         }
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks(&module, &ExecConfig::with_input(a.input), cfg)
-        .map_err(|e| e.to_string())?;
+    let trace =
+        extract_tasks(&module, &ExecConfig::with_input(a.input), cfg).map_err(|e| e.to_string())?;
     let sim_cfg = SimConfig::with_threads(a.threads);
     if a.timeline {
         print!("{}", render_timeline(&trace, &sim_cfg, 72));

@@ -15,17 +15,13 @@ fn gzip_profiles_aggregate_across_inputs() {
         // A second, differently-seeded input of the same shape.
         alchemist::workloads::inputs::literal_stream(600, 999),
     ];
-    let (agg, runs) =
-        profile_many(&module, &inputs, ProfileConfig::default()).unwrap();
+    let (agg, runs) = profile_many(&module, &inputs, ProfileConfig::default()).unwrap();
     assert_eq!(runs.len(), 2);
     assert_eq!(agg.total_steps, runs[0].total_steps + runs[1].total_steps);
 
     let flush = module.func_by_name("flush_block").unwrap().1.entry;
     let agg_flush = agg.construct(flush).unwrap();
-    let run_insts: u64 = runs
-        .iter()
-        .map(|r| r.construct(flush).unwrap().inst)
-        .sum();
+    let run_insts: u64 = runs.iter().map(|r| r.construct(flush).unwrap().inst).sum();
     assert_eq!(agg_flush.inst, run_insts);
     // The aggregate's minimum distance per edge is the min across runs.
     for (key, stat) in &agg_flush.edges {

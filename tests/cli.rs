@@ -8,7 +8,8 @@ fn bin() -> Command {
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("alchemist-test-{name}-{}.mc", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("alchemist-test-{name}-{}.mc", std::process::id()));
     let mut f = std::fs::File::create(&path).expect("temp file");
     f.write_all(contents.as_bytes()).expect("write");
     path
@@ -30,11 +31,34 @@ int main() {
 }
 ";
 
+/// Workspace-wiring smoke test: the built `alchemist` binary profiles a
+/// minimal program end-to-end and renders a report naming `Method main`.
+#[test]
+fn profile_smoke_renders_method_main() {
+    let path = write_temp(
+        "smoke",
+        "int g;\nint main() { int i; for (i = 0; i < 8; i++) g += i; return g; }\n",
+    );
+    let out = bin().args(["profile"]).arg(&path).output().expect("spawns");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Method main"), "report missing: {stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
 #[test]
 fn run_command_executes_and_prints() {
     let path = write_temp("run", PROGRAM);
     let out = bin().args(["run"]).arg(&path).output().expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("6"), "print output missing: {stdout}");
     assert!(stdout.contains("exit value: 6"), "{stdout}");
@@ -50,12 +74,19 @@ fn profile_command_renders_report() {
         .args(["--top", "5", "--war-waw", "work"])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Method main"), "{stdout}");
     assert!(stdout.contains("Method work"), "{stdout}");
     assert!(stdout.contains("Tdur="), "{stdout}");
-    assert!(stdout.contains("WAR/WAW profile for Method work"), "{stdout}");
+    assert!(
+        stdout.contains("WAR/WAW profile for Method work"),
+        "{stdout}"
+    );
     let _ = std::fs::remove_file(path);
 }
 
@@ -68,11 +99,14 @@ fn advise_command_suggests_and_simulates() {
         .args(["--threads", "4"])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("parallelization candidates")
-            || stdout.contains("no construct qualifies"),
+        stdout.contains("parallelization candidates") || stdout.contains("no construct qualifies"),
         "{stdout}"
     );
     let _ = std::fs::remove_file(path);
@@ -144,7 +178,11 @@ fn simulate_command_reports_speedup() {
         .args(["--mark", "work", "--privatize", "stats", "--threads", "4"])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("4 tasks"), "{stdout}");
     assert!(stdout.contains("x"), "{stdout}");
@@ -160,7 +198,11 @@ fn simulate_timeline_renders_workers() {
         .args(["--mark", "work", "--privatize", "stats", "--timeline"])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("w0 |"), "{stdout}");
     assert!(stdout.contains("speedup="), "{stdout}");
@@ -203,7 +245,11 @@ fn profile_csv_exports_are_written() {
         .arg(&e_path)
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let constructs = std::fs::read_to_string(&c_path).expect("constructs csv written");
     assert!(constructs.starts_with("rank,label,kind"));
     let edges = std::fs::read_to_string(&e_path).expect("edges csv written");

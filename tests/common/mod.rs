@@ -21,13 +21,21 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { helpers: 2, max_depth: 3, block_len: 4 }
+        GenConfig {
+            helpers: 2,
+            max_depth: 3,
+            block_len: 4,
+        }
     }
 }
 
 /// Generates a random, terminating mini-C program from `seed`.
 pub fn gen_program(seed: u64, config: GenConfig) -> String {
-    let mut g = Gen { rng: Xorshift::new(seed), config, var_counter: 0 };
+    let mut g = Gen {
+        rng: Xorshift::new(seed),
+        config,
+        var_counter: 0,
+    };
     g.program()
 }
 
@@ -49,16 +57,18 @@ impl Gen {
         // Fixed helpers available to every generated program: a bounded
         // recursion and an array-parameter writer (exercises barriers and
         // array descriptors in the oracle comparison).
-        out.push_str(
-            "int rec(int n) { g1 ^= n; if (n <= 0) return g0; return rec(n - 1) + 1; }\n",
-        );
+        out.push_str("int rec(int n) { g1 ^= n; if (n <= 0) return g0; return rec(n - 1) + 1; }\n");
         out.push_str(
             "void fill(int a[], int n) { int i; for (i = 0; i < n; i++) a[i] = g2 + i; }\n",
         );
         let helpers = self.config.helpers;
         for f in 0..helpers {
             let body = self.block(1, f);
-            let _ = writeln!(out, "int f{f}(int p) {{\n{body}    return p + g{};\n}}", f % 4);
+            let _ = writeln!(
+                out,
+                "int f{f}(int p) {{\n{body}    return p + g{};\n}}",
+                f % 4
+            );
         }
         let body = self.block(1, helpers);
         let _ = writeln!(out, "int main() {{\n{body}    return g0 + g1;\n}}");
@@ -124,9 +134,7 @@ impl Gen {
                     format!("{ind}if (({c}) & 1) {{\n{then}{ind}}}\n")
                 } else {
                     let els = self.block(depth + 1, callable);
-                    format!(
-                        "{ind}if (({c}) & 1) {{\n{then}{ind}}} else {{\n{els}{ind}}}\n"
-                    )
+                    format!("{ind}if (({c}) & 1) {{\n{then}{ind}}} else {{\n{els}{ind}}}\n")
                 }
             }
             // Bounded for loop, possibly with break/continue.
@@ -147,9 +155,7 @@ impl Gen {
                     ),
                     _ => String::new(),
                 };
-                format!(
-                    "{ind}for (int {v} = 0; {v} < {bound}; {v}++) {{\n{extra}{body}{ind}}}\n"
-                )
+                format!("{ind}for (int {v} = 0; {v} < {bound}; {v}++) {{\n{extra}{body}{ind}}}\n")
             }
             // Bounded while loop.
             9 => {

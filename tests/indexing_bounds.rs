@@ -70,7 +70,10 @@ fn pool_stays_bounded_on_iteration_heavy_runs() {
     let src = "int g; int main() { int i; \
                for (i = 0; i < 50000; i++) g ^= i; return g; }";
     let module = compile_source(src).unwrap();
-    let cfg = ProfileConfig { pool_capacity: 256, ..Default::default() };
+    let cfg = ProfileConfig {
+        pool_capacity: 256,
+        ..Default::default()
+    };
     let mut prof = AlchemistProfiler::new(&module, cfg);
     run(&module, &ExecConfig::default(), &mut prof).expect("runs");
     let stats = prof.pool_stats();

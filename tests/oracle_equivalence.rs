@@ -17,7 +17,10 @@ use proptest::prelude::*;
 
 fn run_both(src: &str, config: ProfileConfig) -> Option<(Module, DepProfile, DepProfile)> {
     let module = compile_source(src).ok()?;
-    let exec_cfg = ExecConfig { max_steps: 2_000_000, ..ExecConfig::default() };
+    let exec_cfg = ExecConfig {
+        max_steps: 2_000_000,
+        ..ExecConfig::default()
+    };
 
     let mut rec = RecordingSink::default();
     let outcome = alchemist_vm::run(&module, &exec_cfg, &mut rec).ok()?;
@@ -63,12 +66,16 @@ fn assert_profiles_equal(oracle: &DepProfile, online: &DepProfile) {
 fn assert_online_subset(oracle: &DepProfile, online: &DepProfile) {
     // Durations and instances never depend on the pool.
     for oc in oracle.constructs() {
-        let pc = online.construct(oc.id.head).expect("construct set identical");
+        let pc = online
+            .construct(oc.id.head)
+            .expect("construct set identical");
         assert_eq!(oc.inst, pc.inst);
         assert_eq!(oc.ttotal, pc.ttotal);
     }
     for pc in online.constructs() {
-        let oc = oracle.construct(pc.id.head).expect("no invented constructs");
+        let oc = oracle
+            .construct(pc.id.head)
+            .expect("no invented constructs");
         for (key, pstat) in &pc.edges {
             let ostat = oc
                 .edges
@@ -141,12 +148,18 @@ fn generator_yield_is_high() {
             Ok(m) => m,
             Err(e) => panic!("seed {seed}: generated program fails to compile: {e}\n{src}"),
         };
-        let cfg = ExecConfig { max_steps: 2_000_000, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_steps: 2_000_000,
+            ..ExecConfig::default()
+        };
         if alchemist_vm::run(&module, &cfg, &mut alchemist_vm::NullSink).is_ok() {
             ok += 1;
         }
     }
-    assert!(ok == total, "only {ok}/{total} generated programs ran to completion");
+    assert!(
+        ok == total,
+        "only {ok}/{total} generated programs ran to completion"
+    );
 }
 
 /// A fixed regression corpus: shapes that exercised bugs during

@@ -12,9 +12,8 @@ use alchemist_core::profile_module;
 
 fn profile(src: &str) -> (alchemist_vm::Module, alchemist_core::DepProfile) {
     let module = compile_source(src).expect("example compiles");
-    let (profile, ..) =
-        profile_module(&module, &ExecConfig::default(), ProfileConfig::default())
-            .expect("example runs");
+    let (profile, ..) = profile_module(&module, &ExecConfig::default(), ProfileConfig::default())
+        .expect("example runs");
     (module, profile)
 }
 
@@ -27,8 +26,12 @@ fn fig4a_procedure_nesting() {
          void a() { s = 1; b(); }
          int main() { a(); return s; }",
     );
-    let a = profile.construct(module.func_by_name("a").unwrap().1.entry).unwrap();
-    let b = profile.construct(module.func_by_name("b").unwrap().1.entry).unwrap();
+    let a = profile
+        .construct(module.func_by_name("a").unwrap().1.entry)
+        .unwrap();
+    let b = profile
+        .construct(module.func_by_name("b").unwrap().1.entry)
+        .unwrap();
     assert_eq!(a.inst, 1);
     assert_eq!(b.inst, 1);
     // B nests inside A: its instances are recorded under A.
@@ -122,9 +125,12 @@ fn fig1_tdep_vs_tdur_decides_spawnability() {
              return sink;
          }",
     );
-    let far = profile.construct(module.func_by_name("far").unwrap().1.entry).unwrap();
-    let near =
-        profile.construct(module.func_by_name("near_").unwrap().1.entry).unwrap();
+    let far = profile
+        .construct(module.func_by_name("far").unwrap().1.entry)
+        .unwrap();
+    let near = profile
+        .construct(module.func_by_name("near_").unwrap().1.entry)
+        .unwrap();
     let far_raw = far.edges.values().map(|s| s.min_tdep).min().unwrap();
     let near_raw = near.edges.values().map(|s| s.min_tdep).min().unwrap();
     assert!(
@@ -195,9 +201,7 @@ fn context_sensitivity_example() {
     let f_info = module.func_by_name("f").unwrap().1;
     let loops: Vec<_> = (f_info.entry.0..f_info.end.0)
         .map(alchemist_vm::Pc)
-        .filter(|&pc| {
-            module.analysis.predicate_kind(pc) == Some(alchemist_vm::PredKind::Loop)
-        })
+        .filter(|&pc| module.analysis.predicate_kind(pc) == Some(alchemist_vm::PredKind::Loop))
         .collect();
     assert_eq!(loops.len(), 2);
     // The i loop's predicate appears first in code order (outer for).
@@ -207,7 +211,10 @@ fn context_sensitivity_example() {
     // cross_f (everything that crosses a j-iteration boundary) but NOT the
     // same-iteration cell.
     let j_vars = raw_vars(j_loop);
-    assert!(!j_vars.contains(&addr_of("cell_same_j")), "intra-iteration dep excluded");
+    assert!(
+        !j_vars.contains(&addr_of("cell_same_j")),
+        "intra-iteration dep excluded"
+    );
     assert!(j_vars.contains(&addr_of("cell_cross_j")));
     // The i loop carries cross_i and cross_f, but not cross_j (it resolves
     // within one i iteration).

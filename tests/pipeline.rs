@@ -45,8 +45,7 @@ fn full_pipeline_on_a_pipeline_shaped_program() {
     for v in &stage.privatize {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks(&outcome.module, &ExecConfig::default(), cfg)
-        .expect("runs");
+    let trace = extract_tasks(&outcome.module, &ExecConfig::default(), cfg).expect("runs");
     assert_eq!(trace.tasks.len(), 16);
     let sim4 = simulate(&trace, &SimConfig::with_threads(4));
     let sim1 = simulate(&trace, &SimConfig::with_threads(1));
@@ -105,11 +104,7 @@ fn compile_errors_surface_with_location() {
 
 #[test]
 fn runtime_traps_surface_with_location() {
-    let err = profile_source(
-        "int a[3];\nint main() {\n    return a[9];\n}",
-        vec![],
-    )
-    .unwrap_err();
+    let err = profile_source("int a[3];\nint main() {\n    return a[9];\n}", vec![]).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("out of bounds"), "{msg}");
     assert!(msg.contains("3:"), "trap line missing: {msg}");

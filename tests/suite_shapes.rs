@@ -57,7 +57,8 @@ fn gzip_removal_step_promotes_flush_block() {
         .find(|c| c.kind == ConstructKind::Method)
         .expect("a method remains");
     assert_eq!(
-        leader.label, "Method flush_block",
+        leader.label,
+        "Method flush_block",
         "flush_block leads after removal: {:?}",
         reduced.top(5).iter().map(|c| &c.label).collect::<Vec<_>>()
     );
@@ -151,8 +152,7 @@ fn table4_conflicts_name_the_papers_variables() {
     let w = workloads::by_name("ogg").unwrap();
     let head = w.resolve_targets(&m)[0];
     let c = report.by_head(head).unwrap();
-    let vars: Vec<String> =
-        c.edges.iter().filter_map(|e| e.var.clone()).collect();
+    let vars: Vec<String> = c.edges.iter().filter_map(|e| e.var.clone()).collect();
     assert!(
         vars.iter().any(|v| v == "errors" || v == "samples_read"),
         "ogg's errors/samples_read conflicts expected, got {vars:?}"
@@ -174,8 +174,7 @@ fn table5_speedup_order_matches_paper() {
         for v in spec.privatized {
             cfg = cfg.privatize(v);
         }
-        let trace =
-            extract_tasks(&m, &w.exec_config(Scale::Small), cfg).expect("runs");
+        let trace = extract_tasks(&m, &w.exec_config(Scale::Small), cfg).expect("runs");
         simulate(&trace, &SimConfig::with_threads(4)).speedup
     };
     let aes = speedup("aes");
@@ -189,7 +188,10 @@ fn table5_speedup_order_matches_paper() {
          bzip2 {bzip2:.2} ogg {ogg:.2}"
     );
     assert!(ogg > 3.0, "ogg near-linear, got {ogg:.2}");
-    assert!(delaunay <= 1.05, "delaunay must not speed up, got {delaunay:.2}");
+    assert!(
+        delaunay <= 1.05,
+        "delaunay must not speed up, got {delaunay:.2}"
+    );
 }
 
 /// Profiling must not perturb program results (transparency).

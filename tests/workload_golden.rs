@@ -9,14 +9,14 @@ use alchemist::workloads::{self, Scale};
 #[test]
 fn tiny_scale_outputs_are_pinned() {
     let golden: &[(&str, u64, i64, Vec<i64>)] = &[
-        ("197.parser", 126107, 196, vec![145, 196]),
-        ("bzip2", 89310, 129, vec![129, 420]),
-        ("gzip-1.3.5", 62679, 381, vec![381, 600]),
-        ("130.li", 27831, 29244, vec![140, 422460]),
-        ("ogg", 868239, 508, vec![508, 512, 1]),
-        ("aes", 109344, 32, vec![512, 32]),
-        ("par2", 367141, 1024, vec![4, 1024]),
-        ("delaunay", 583610, 3752, vec![3752, 3752, 7654]),
+        ("197.parser", 113210, 235, vec![235, 200]),
+        ("bzip2", 481670, 68, vec![68, 420]),
+        ("gzip-1.3.5", 57548, 122, vec![122, 600]),
+        ("130.li", 24221, 338228, vec![2, 338228]),
+        ("ogg", 869131, 489, vec![489, 512, 8]),
+        ("aes", 137708, 32, vec![512, 32]),
+        ("par2", 417422, 1024, vec![4, 1024]),
+        ("delaunay", 664613, 1166, vec![508, 1016, 1166]),
     ];
     assert_eq!(golden.len(), workloads::all().len(), "all workloads pinned");
     for (name, steps, exit, output) in golden {
@@ -31,7 +31,9 @@ fn tiny_scale_outputs_are_pinned() {
 #[test]
 fn workload_self_checks_hold() {
     // Cross-workload sanity that the programs compute what they claim.
-    let gzip = workloads::by_name("gzip-1.3.5").unwrap().run_native(Scale::Tiny);
+    let gzip = workloads::by_name("gzip-1.3.5")
+        .unwrap()
+        .run_native(Scale::Tiny);
     assert_eq!(gzip.output[1], 600, "gzip consumed all 600 input literals");
     assert!(gzip.output[0] > 0, "gzip produced output bytes");
 
@@ -48,6 +50,8 @@ fn workload_self_checks_hold() {
     let ogg = workloads::by_name("ogg").unwrap().run_native(Scale::Tiny);
     assert_eq!(ogg.output[1], 512, "ogg read every sample");
 
-    let del = workloads::by_name("delaunay").unwrap().run_native(Scale::Tiny);
+    let del = workloads::by_name("delaunay")
+        .unwrap()
+        .run_native(Scale::Tiny);
     assert!(del.output[2] > del.output[0], "refinement grew the mesh");
 }

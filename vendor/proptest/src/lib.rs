@@ -1,0 +1,166 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the real API used by the Alchemist workspace:
+//! deterministic pseudo-random generation (no shrinking), composable
+//! [`strategy::Strategy`] values, and the [`proptest!`] test macro. See
+//! `README.md` for the differences from the genuine crate.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The real crate returns a `TestCaseError`; this shim panics, which fails
+/// the surrounding `#[test]` identically (minus shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format_args!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            panic!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format_args!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+///
+/// Weighted alternatives (`n => strategy`) are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors the real macro's surface:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, v in proptest::collection::vec(any::<u64>(), 0..8)) {
+///         prop_assert!((x as usize) + v.len() < 108);
+///     }
+/// }
+/// ```
+// The doctest necessarily shows `#[test]` inside the macro invocation —
+// that's the real API — so the lint about non-running doctest unit tests
+// does not apply.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let case_seed = rng.state();
+                let run = || {
+                    $(let $parm =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                };
+                if let Err(payload) =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                {
+                    eprintln!(
+                        "proptest case {}/{} failed (rng state {:#x}); \
+                         re-run with PROPTEST_SEED={} to reproduce",
+                        case + 1,
+                        config.cases,
+                        case_seed,
+                        case_seed,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_tests! { @config($config) $($rest)* }
+    };
+}

@@ -1,0 +1,194 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest interprets any `&str` as a full regex and generates
+//! matching strings. This shim supports the subset the workspace's fuzz
+//! tests use: a sequence of atoms — `.` (any printable char), a character
+//! class `[...]` (literals, `a-z` ranges, `\n`/`\\`/`\-`/`\[`/`\]`
+//! escapes), or a literal character — each optionally repeated with
+//! `{n}`, `{lo,hi}`, `*`, `+` or `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character from a printable-heavy pool.
+    AnyChar,
+    /// `[...]` — one of an explicit set of characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \[, \], \., \{ ...
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = match chars.next() {
+            None => panic!("unterminated character class in string strategy"),
+            Some(']') => break,
+            Some('\\') => unescape(chars.next().expect("dangling escape in class")),
+            Some(c) => c,
+        };
+        // A `-` between two class members denotes a range; elsewhere it is
+        // literal (the tests escape their literal hyphens anyway).
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // the '-'
+            match lookahead.peek() {
+                Some(&']') | None => set.push(c), // trailing '-' is literal
+                Some(_) => {
+                    chars.next(); // consume '-'
+                    let end = match chars.next() {
+                        Some('\\') => unescape(chars.next().expect("dangling escape in class")),
+                        Some(e) => e,
+                        None => panic!("unterminated range in character class"),
+                    };
+                    assert!(c <= end, "inverted range {c:?}-{end:?} in class");
+                    for v in c as u32..=end as u32 {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                    continue;
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in string strategy");
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 16)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 16)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Lit(unescape(chars.next().expect("dangling escape"))),
+            other => Atom::Lit(other),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        pieces.push(Piece { atom, lo, hi });
+    }
+    pieces
+}
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    match rng.below(16) {
+        // Mostly printable ASCII: what the parsers under test mostly see.
+        0..=11 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        12 => '\n',
+        13 => '\t',
+        // Occasional multi-byte characters to shake out byte-offset bugs.
+        14 => char::from_u32(0xa1 + rng.below(0xff) as u32).unwrap_or('¿'),
+        _ => {
+            const WIDE: [char; 6] = ['λ', '中', '🦀', 'Ω', 'é', '\u{2028}'];
+            WIDE[rng.below_usize(WIDE.len())]
+        }
+    }
+}
+
+/// The strategy produced from a `&str` pattern.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl StringStrategy {
+    /// Parses `pattern` (panics on syntax outside the supported subset).
+    pub fn new(pattern: &str) -> Self {
+        StringStrategy {
+            pieces: parse_pattern(pattern),
+        }
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.lo + rng.below_usize(piece.hi - piece.lo + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.below_usize(set.len())]),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringStrategy::new(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringStrategy::new(self).generate(rng)
+    }
+}
