@@ -1,0 +1,68 @@
+//! Record/replay microbenchmarks: live (instrumented) profiling vs
+//! recording a trace vs replaying a recorded trace into the profiler, plus
+//! a bytes-per-event report for the trace encoding.
+//!
+//! The point of the trace subsystem is that the interpreter runs once and
+//! every further analysis becomes an offline pass; `replay_profile`
+//! measures exactly that offline cost next to `live_profile`'s pay-per-
+//! analysis re-execution.
+
+use alchemist_core::{profile_module, AlchemistProfiler, ProfileConfig};
+use alchemist_trace::{TraceReader, TraceStats, TraceWriter};
+use alchemist_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn record_bytes(w: &alchemist_workloads::Workload) -> (Vec<u8>, TraceStats) {
+    let module = w.module();
+    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    let outcome =
+        alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer).expect("runs");
+    writer.finish(outcome.steps).expect("finish")
+}
+
+fn bench_workload(c: &mut Criterion, name: &'static str) {
+    let w = alchemist_workloads::by_name(name).expect("workload");
+    let module = w.module();
+    let cfg = w.exec_config(Scale::Tiny);
+    let (bytes, stats) = record_bytes(w);
+    println!(
+        "{name}: trace is {} bytes for {} events ({:.2} bytes/event, {} chunks)",
+        stats.bytes,
+        stats.events,
+        stats.bytes_per_event(),
+        stats.chunks
+    );
+
+    let mut group = c.benchmark_group(name);
+    group.bench_function("live_profile", |b| {
+        b.iter(|| profile_module(&module, &cfg, ProfileConfig::default()).expect("runs"))
+    });
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+            let outcome = alchemist_vm::run(&module, &cfg, &mut writer).expect("runs");
+            writer.finish(outcome.steps).expect("finish")
+        })
+    });
+    group.bench_function("replay_profile", |b| {
+        b.iter(|| {
+            let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+            let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+            let summary = reader.replay_into(&mut prof).expect("replay");
+            prof.into_profile(summary.total_steps)
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_workload(c, "gzip-1.3.5");
+    bench_workload(c, "aes");
+}
+
+criterion_group!(
+    name = suite;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+);
+criterion_main!(suite);

@@ -60,5 +60,5 @@ pub use pool::{ConstructPool, Node, NodeId, NodeRef, PoolStats};
 pub use profile::{ConstructProfile, DepProfile, EdgeKey, EdgeStat};
 pub use profiler::{AlchemistProfiler, IndexMode, ProfileConfig};
 pub use report::{ConstructReport, EdgeReport, Fig6Point, ProfileReport};
-pub use runner::{profile_module, profile_source, ProfileOutcome};
+pub use runner::{profile_events, profile_module, profile_source, ProfileOutcome};
 pub use stats::{constructs_to_csv, edges_to_csv, DistanceHistogram};

@@ -33,7 +33,8 @@ pub enum IndexMode {
     /// Full execution indexing: procedures, loop iterations, conditionals.
     #[default]
     Full,
-    /// Calling-context indexing only (the [2]/[6]/[8]-style baseline).
+    /// Calling-context indexing only (the paper's \[2]/\[6]/\[8]-style
+    /// baseline).
     CallContextOnly,
 }
 

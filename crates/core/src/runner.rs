@@ -4,7 +4,7 @@ use crate::pool::PoolStats;
 use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
 use crate::report::ProfileReport;
-use alchemist_vm::{compile_source, ExecConfig, ExecOutcome, Module, Trap};
+use alchemist_vm::{compile_source, Event, ExecConfig, ExecOutcome, Module, Trap};
 use std::error::Error;
 use std::fmt;
 
@@ -78,6 +78,53 @@ pub fn profile_module(
     let max_depth = prof.max_depth();
     let profile = prof.into_profile(outcome.steps);
     Ok((profile, outcome, pool_stats, max_depth))
+}
+
+/// Profiles a *replayed* event stream instead of a live run.
+///
+/// This is the offline entry point for recorded traces: any source of
+/// [`Event`]s — a `RecordingSink`, a decoded `.alct` trace — drives the
+/// same [`AlchemistProfiler`] the interpreter would, so the resulting
+/// [`DepProfile`] is identical to live instrumentation of the run that
+/// produced the events. `total_steps` is the recorded run's final
+/// retired-instruction count (a trace stores it in its footer).
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_core::{profile_events, profile_source, ProfileConfig};
+/// use alchemist_vm::{compile_source, run, ExecConfig, RecordingSink};
+///
+/// let src = "int g; int main() { int i; for (i = 0; i < 4; i++) g += i; return g; }";
+/// let module = compile_source(src).unwrap();
+/// let mut rec = RecordingSink::default();
+/// let out = run(&module, &ExecConfig::default(), &mut rec).unwrap();
+///
+/// let (offline, _, _) = profile_events(
+///     &module,
+///     rec.events.iter().copied(),
+///     out.steps,
+///     ProfileConfig::default(),
+/// );
+/// let live = profile_source(src, vec![]).unwrap();
+/// assert_eq!(offline, live.profile);
+/// ```
+pub fn profile_events<I>(
+    module: &Module,
+    events: I,
+    total_steps: u64,
+    profile_config: ProfileConfig,
+) -> (DepProfile, PoolStats, usize)
+where
+    I: IntoIterator<Item = Event>,
+{
+    let mut prof = AlchemistProfiler::new(module, profile_config);
+    for ev in events {
+        ev.dispatch(&mut prof);
+    }
+    let pool_stats = prof.pool_stats();
+    let max_depth = prof.max_depth();
+    (prof.into_profile(total_steps), pool_stats, max_depth)
 }
 
 /// Compiles and profiles mini-C source with default settings.

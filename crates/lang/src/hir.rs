@@ -1,6 +1,6 @@
 //! Resolved intermediate representation.
 //!
-//! The [`Resolver`](crate::Resolver) lowers the syntactic
+//! The [`resolve`](crate::resolve) pass lowers the syntactic
 //! [`Program`](crate::ast::Program) into this form: every variable reference
 //! is resolved to a global or frame slot, every call to a function id or
 //! intrinsic, and all semantic rules are checked. The bytecode compiler in

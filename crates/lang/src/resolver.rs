@@ -1,6 +1,7 @@
 //! Name resolution and semantic checking.
 //!
-//! Lowers the syntactic [`ast::Program`] into [`hir::HProgram`]:
+//! Lowers the syntactic [`ast::Program`] into
+//! [`hir::HProgram`](crate::hir::HProgram):
 //!
 //! * every variable reference is bound to a global or a frame slot,
 //! * every call is bound to a [`FuncId`] or an [`Intrinsic`],

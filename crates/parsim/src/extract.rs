@@ -23,7 +23,7 @@ use crate::task::{TaskId, TaskInstance, TaskTrace};
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, ExecConfig, Module, Pc, Time, TraceSink, Trap};
+use alchemist_vm::{BlockId, Event, ExecConfig, Module, Pc, Time, TraceSink, Trap};
 use std::collections::HashSet;
 
 /// What to extract and which transformations to assume.
@@ -260,6 +260,31 @@ pub fn extract_tasks(
     Ok(extractor.into_trace(outcome.steps))
 }
 
+/// Extracts a task trace from a *replayed* event stream instead of
+/// re-running the program.
+///
+/// Any source of [`Event`]s — a `RecordingSink`, a decoded `.alct` trace —
+/// drives the same [`TaskExtractor`] a live run would, so one recorded
+/// execution can be re-analyzed under many different mark/privatize
+/// configurations without paying re-execution. `total_steps` is the
+/// recorded run's final instruction count (a trace stores it in its
+/// footer).
+pub fn extract_tasks_from_events<I>(
+    module: &Module,
+    config: ExtractConfig,
+    events: I,
+    total_steps: u64,
+) -> TaskTrace
+where
+    I: IntoIterator<Item = Event>,
+{
+    let mut extractor = TaskExtractor::new(module, config);
+    for ev in events {
+        ev.dispatch(&mut extractor);
+    }
+    extractor.into_trace(total_steps)
+}
+
 /// Finds the head of a construct by kind and source line (a convenient way
 /// for benchmarks to say "the loop at line 14 of main").
 pub fn construct_at_line(module: &Module, kind: ConstructKind, line: u32) -> Option<Pc> {
@@ -406,6 +431,17 @@ int main() {
         let trace = extract_tasks(&m, &ExecConfig::default(), cfg).unwrap();
         // 8 productive iterations + 1 final test instance.
         assert_eq!(trace.tasks.len(), 9);
+    }
+
+    #[test]
+    fn replayed_events_extract_the_same_trace() {
+        let m = compile_source(INDEPENDENT).unwrap();
+        let cfg = ExtractConfig::default().mark(work_head(&m));
+        let live = extract_tasks(&m, &ExecConfig::default(), cfg.clone()).unwrap();
+        let mut rec = alchemist_vm::RecordingSink::default();
+        let out = alchemist_vm::run(&m, &ExecConfig::default(), &mut rec).unwrap();
+        let offline = extract_tasks_from_events(&m, cfg, rec.events.iter().copied(), out.steps);
+        assert_eq!(live, offline);
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod sim;
 pub mod task;
 
 pub use advisor::{suggest_candidates, Candidate};
-pub use extract::{construct_at_line, extract_tasks, ExtractConfig, TaskExtractor};
+pub use extract::{
+    construct_at_line, extract_tasks, extract_tasks_from_events, ExtractConfig, TaskExtractor,
+};
 pub use render::{render_timeline, schedule, ScheduledTask};
 pub use sim::{simulate, SimConfig, SimResult};
 pub use task::{TaskId, TaskInstance, TaskTrace};

@@ -1,0 +1,96 @@
+//! Typed failures for trace encoding and decoding.
+//!
+//! Every way a trace file can be wrong maps to a distinct variant so
+//! callers (and tests) can distinguish "not a trace at all" from "a trace
+//! that was cut short". Decoding never panics on hostile bytes.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why reading or writing a trace failed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file does not start with the `ALCT` magic.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The embedded source program is not valid UTF-8.
+    CorruptSource(std::str::Utf8Error),
+    /// The stream ended where the format promised more bytes.
+    Truncated(&'static str),
+    /// A structurally invalid value was decoded (context in the message).
+    Malformed(&'static str),
+    /// An event lead byte carried an undefined kind tag.
+    BadEventTag(u8),
+    /// A chunk declared a payload larger than the sanity limit, which on a
+    /// corrupt file would otherwise trigger a giant allocation.
+    ChunkTooLarge(u64),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic(m) => {
+                write!(f, "not an Alchemist trace (bad magic {m:02x?})")
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::CorruptSource(e) => {
+                write!(f, "embedded source is not UTF-8: {e}")
+            }
+            TraceError::Truncated(what) => write!(f, "truncated trace: {what}"),
+            TraceError::Malformed(what) => write!(f, "malformed trace: {what}"),
+            TraceError::BadEventTag(tag) => write!(f, "undefined event tag {tag}"),
+            TraceError::ChunkTooLarge(n) => {
+                write!(f, "chunk payload of {n} bytes exceeds the sanity limit")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::CorruptSource(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_problem() {
+        assert!(TraceError::BadMagic(*b"GZIP")
+            .to_string()
+            .contains("bad magic"));
+        assert!(TraceError::UnsupportedVersion(9)
+            .to_string()
+            .contains("version 9"));
+        assert!(TraceError::Truncated("chunk payload")
+            .to_string()
+            .contains("chunk payload"));
+        assert!(TraceError::BadEventTag(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: TraceError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, TraceError::Io(_)));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,394 @@
+//! The `.alct` wire format: constants, codec state, per-event encoding.
+//!
+//! ## Layout
+//!
+//! ```text
+//! file   := header chunk* footer
+//! header := "ALCT" version:u16le flags:u16le [src_len:varint src:bytes]
+//! chunk  := payload_len:varint event_count:varint t_first:varint
+//!           t_span:varint payload:bytes
+//! footer := a chunk with event_count == 0 whose payload is
+//!           total_steps:varint
+//! ```
+//!
+//! The `flags` word currently defines bit 0 (`FLAG_SOURCE`): the header
+//! carries the mini-C source of the recorded program, which makes the trace
+//! self-contained — replay can recompile the module and drive any analysis
+//! without the original file.
+//!
+//! ## Chunks
+//!
+//! Chunks are self-delimiting (`payload_len` is the exact payload size) and
+//! carry their own event count and absolute time range `[t_first, t_first +
+//! t_span]`, so a reader can skip a chunk without decoding it — time
+//! windowing and chunk-level statistics cost only header decodes. The
+//! delta-codec state resets at every chunk boundary, which is what makes
+//! chunks independently decodable.
+//!
+//! ## Events
+//!
+//! Each event starts with one lead byte: the kind tag in the low 3 bits and
+//! an inline timestamp delta in the high 5 bits (values `0..=30`; `31`
+//! escapes to an extension varint of `dt - 31`). Remaining fields are
+//! zigzag-varint deltas against the previous value of the same field kind
+//! within the chunk (previous address for addresses, previous pc for pcs,
+//! and so on), so the hot sequential patterns — a scan through an array,
+//! events from one code region — encode in one byte per field.
+
+use crate::error::TraceError;
+use crate::varint;
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{BlockId, Event, Pc};
+
+/// File magic: the first four bytes of every trace.
+pub const MAGIC: [u8; 4] = *b"ALCT";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Header flag: the mini-C source is embedded after the flags word.
+pub const FLAG_SOURCE: u16 = 1 << 0;
+
+/// All flag bits this version defines; others must be zero.
+pub const KNOWN_FLAGS: u16 = FLAG_SOURCE;
+
+/// Sanity cap on one chunk's payload (a corrupt length field must not
+/// trigger a multi-gigabyte allocation).
+pub const MAX_CHUNK_BYTES: u64 = 64 << 20;
+
+/// Sanity cap on the embedded source size.
+pub const MAX_SOURCE_BYTES: u64 = 16 << 20;
+
+/// Largest timestamp delta carried inline in the lead byte.
+const DT_INLINE_MAX: u64 = 30;
+/// Lead-byte dt field value that escapes to an extension varint.
+const DT_ESCAPE: u8 = 31;
+
+const TAG_ENTER: u8 = 0;
+const TAG_EXIT: u8 = 1;
+const TAG_BLOCK: u8 = 2;
+const TAG_PRED_NOT_TAKEN: u8 = 3;
+const TAG_PRED_TAKEN: u8 = 4;
+const TAG_READ: u8 = 5;
+const TAG_WRITE: u8 = 6;
+
+/// Per-chunk delta-codec state, identical on both sides of the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct CodecState {
+    prev_t: u64,
+    prev_func: u32,
+    prev_fp: u32,
+    prev_block: u32,
+    prev_pc: u32,
+    prev_addr: u32,
+}
+
+impl CodecState {
+    /// Fresh state for a chunk whose first event occurs at `t_first`.
+    pub fn new(t_first: u64) -> Self {
+        CodecState {
+            prev_t: t_first,
+            prev_func: 0,
+            prev_fp: 0,
+            prev_block: 0,
+            prev_pc: 0,
+            prev_addr: 0,
+        }
+    }
+}
+
+fn delta32(prev: &mut u32, new: u32) -> i64 {
+    let d = i64::from(new) - i64::from(*prev);
+    *prev = new;
+    d
+}
+
+fn apply32(prev: &mut u32, delta: i64, what: &'static str) -> Result<u32, TraceError> {
+    let v = i64::from(*prev)
+        .checked_add(delta)
+        .filter(|v| (0..=i64::from(u32::MAX)).contains(v))
+        .ok_or(TraceError::Malformed(what))?;
+    *prev = v as u32;
+    Ok(v as u32)
+}
+
+/// Appends the encoding of `ev` to `out`, updating `state`.
+///
+/// Timestamps must be non-decreasing within a chunk (the interpreter's
+/// retired-instruction clock guarantees this for live recording).
+pub fn encode_event(state: &mut CodecState, ev: &Event, out: &mut Vec<u8>) {
+    let t = ev.time();
+    debug_assert!(t >= state.prev_t, "timestamps must not run backwards");
+    let dt = t.saturating_sub(state.prev_t);
+    state.prev_t = t;
+
+    let (tag, inline_dt) = {
+        let tag = match ev {
+            Event::Enter { .. } => TAG_ENTER,
+            Event::Exit { .. } => TAG_EXIT,
+            Event::Block { .. } => TAG_BLOCK,
+            Event::Predicate { taken: false, .. } => TAG_PRED_NOT_TAKEN,
+            Event::Predicate { taken: true, .. } => TAG_PRED_TAKEN,
+            Event::Read { .. } => TAG_READ,
+            Event::Write { .. } => TAG_WRITE,
+        };
+        if dt <= DT_INLINE_MAX {
+            (tag, dt as u8)
+        } else {
+            (tag, DT_ESCAPE)
+        }
+    };
+    out.push(tag | (inline_dt << 3));
+    if inline_dt == DT_ESCAPE {
+        varint::write_u64(out, dt - DT_INLINE_MAX - 1);
+    }
+
+    match *ev {
+        Event::Enter { func, fp, .. } => {
+            varint::write_i64(out, delta32(&mut state.prev_func, func.0));
+            varint::write_i64(out, delta32(&mut state.prev_fp, fp));
+        }
+        Event::Exit { func, .. } => {
+            varint::write_i64(out, delta32(&mut state.prev_func, func.0));
+        }
+        Event::Block { block, .. } => {
+            varint::write_i64(out, delta32(&mut state.prev_block, block.0));
+        }
+        Event::Predicate { pc, block, .. } => {
+            varint::write_i64(out, delta32(&mut state.prev_pc, pc.0));
+            varint::write_i64(out, delta32(&mut state.prev_block, block.0));
+        }
+        Event::Read { addr, pc, .. } | Event::Write { addr, pc, .. } => {
+            varint::write_i64(out, delta32(&mut state.prev_addr, addr));
+            varint::write_i64(out, delta32(&mut state.prev_pc, pc.0));
+        }
+    }
+}
+
+/// Decodes one event from `buf[*pos..]`, advancing `*pos` and `state`.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the chunk ends mid-event,
+/// [`TraceError::BadEventTag`] on an undefined kind tag, and
+/// [`TraceError::Malformed`] when a delta walks a field out of range.
+pub fn decode_event(
+    state: &mut CodecState,
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<Event, TraceError> {
+    let Some(&lead) = buf.get(*pos) else {
+        return Err(TraceError::Truncated("event lead byte"));
+    };
+    *pos += 1;
+    let tag = lead & 0x07;
+    let inline_dt = lead >> 3;
+    let dt = if inline_dt == DT_ESCAPE {
+        let ext = varint::read_u64(buf, pos)?;
+        ext.checked_add(DT_INLINE_MAX + 1)
+            .ok_or(TraceError::Malformed("timestamp delta overflows u64"))?
+    } else {
+        u64::from(inline_dt)
+    };
+    let t = state
+        .prev_t
+        .checked_add(dt)
+        .ok_or(TraceError::Malformed("timestamp overflows u64"))?;
+    state.prev_t = t;
+
+    match tag {
+        TAG_ENTER => {
+            let dfunc = varint::read_i64(buf, pos)?;
+            let dfp = varint::read_i64(buf, pos)?;
+            let func = apply32(&mut state.prev_func, dfunc, "function id out of range")?;
+            let fp = apply32(&mut state.prev_fp, dfp, "frame pointer out of range")?;
+            Ok(Event::Enter {
+                t,
+                func: FuncId(func),
+                fp,
+            })
+        }
+        TAG_EXIT => {
+            let dfunc = varint::read_i64(buf, pos)?;
+            let func = apply32(&mut state.prev_func, dfunc, "function id out of range")?;
+            Ok(Event::Exit {
+                t,
+                func: FuncId(func),
+            })
+        }
+        TAG_BLOCK => {
+            let dblock = varint::read_i64(buf, pos)?;
+            let block = apply32(&mut state.prev_block, dblock, "block id out of range")?;
+            Ok(Event::Block {
+                t,
+                block: BlockId(block),
+            })
+        }
+        TAG_PRED_NOT_TAKEN | TAG_PRED_TAKEN => {
+            let dpc = varint::read_i64(buf, pos)?;
+            let dblock = varint::read_i64(buf, pos)?;
+            let pc = apply32(&mut state.prev_pc, dpc, "pc out of range")?;
+            let block = apply32(&mut state.prev_block, dblock, "block id out of range")?;
+            Ok(Event::Predicate {
+                t,
+                pc: Pc(pc),
+                block: BlockId(block),
+                taken: tag == TAG_PRED_TAKEN,
+            })
+        }
+        TAG_READ | TAG_WRITE => {
+            let daddr = varint::read_i64(buf, pos)?;
+            let dpc = varint::read_i64(buf, pos)?;
+            let addr = apply32(&mut state.prev_addr, daddr, "address out of range")?;
+            let pc = apply32(&mut state.prev_pc, dpc, "pc out of range")?;
+            if tag == TAG_READ {
+                Ok(Event::Read {
+                    t,
+                    addr,
+                    pc: Pc(pc),
+                })
+            } else {
+                Ok(Event::Write {
+                    t,
+                    addr,
+                    pc: Pc(pc),
+                })
+            }
+        }
+        other => Err(TraceError::BadEventTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Enter {
+                t: 0,
+                func: FuncId(0),
+                fp: 16,
+            },
+            Event::Block {
+                t: 1,
+                block: BlockId(3),
+            },
+            Event::Predicate {
+                t: 2,
+                pc: Pc(40),
+                block: BlockId(3),
+                taken: true,
+            },
+            Event::Read {
+                t: 3,
+                addr: 100,
+                pc: Pc(41),
+            },
+            Event::Write {
+                t: 4,
+                addr: 101,
+                pc: Pc(42),
+            },
+            Event::Read {
+                t: 1000,
+                addr: 5,
+                pc: Pc(7),
+            },
+            Event::Exit {
+                t: 1001,
+                func: FuncId(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_the_codec() {
+        let events = sample_events();
+        let mut enc = CodecState::new(events[0].time());
+        let mut buf = Vec::new();
+        for e in &events {
+            encode_event(&mut enc, e, &mut buf);
+        }
+        let mut dec = CodecState::new(events[0].time());
+        let mut pos = 0;
+        let decoded: Vec<Event> = (0..events.len())
+            .map(|_| decode_event(&mut dec, &buf, &mut pos).unwrap())
+            .collect();
+        assert_eq!(decoded, events);
+        assert_eq!(pos, buf.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn adjacent_accesses_encode_in_three_bytes() {
+        // dt=1, addr +1, pc 0 from the previous access: the hot pattern.
+        let mut enc = CodecState::new(0);
+        let mut buf = Vec::new();
+        encode_event(
+            &mut enc,
+            &Event::Read {
+                t: 0,
+                addr: 0,
+                pc: Pc(0),
+            },
+            &mut buf,
+        );
+        let before = buf.len();
+        encode_event(
+            &mut enc,
+            &Event::Read {
+                t: 1,
+                addr: 1,
+                pc: Pc(0),
+            },
+            &mut buf,
+        );
+        assert_eq!(buf.len() - before, 3);
+    }
+
+    #[test]
+    fn large_dt_uses_the_escape() {
+        let mut enc = CodecState::new(0);
+        let mut buf = Vec::new();
+        let ev = Event::Block {
+            t: 1 << 40,
+            block: BlockId(0),
+        };
+        encode_event(&mut enc, &ev, &mut buf);
+        let mut dec = CodecState::new(0);
+        let mut pos = 0;
+        assert_eq!(decode_event(&mut dec, &buf, &mut pos).unwrap(), ev);
+    }
+
+    #[test]
+    fn bad_tag_is_a_typed_error() {
+        // Tag 7 is undefined; dt bits zero.
+        let mut dec = CodecState::new(0);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_event(&mut dec, &[0x07], &mut pos),
+            Err(TraceError::BadEventTag(7))
+        ));
+    }
+
+    #[test]
+    fn truncated_event_is_a_typed_error() {
+        let mut enc = CodecState::new(0);
+        let mut buf = Vec::new();
+        encode_event(
+            &mut enc,
+            &Event::Read {
+                t: 0,
+                addr: 1 << 20,
+                pc: Pc(9000),
+            },
+            &mut buf,
+        );
+        let mut dec = CodecState::new(0);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_event(&mut dec, &buf[..buf.len() - 1], &mut pos),
+            Err(TraceError::Truncated(_))
+        ));
+    }
+}

@@ -1,0 +1,448 @@
+//! Replay: a [`TraceReader`] decodes a recorded trace back into the exact
+//! event stream the interpreter produced, either one event at a time
+//! (`Iterator`), all at once into a sink ([`TraceReader::replay_into`]), or
+//! windowed by time with whole-chunk skipping
+//! ([`TraceReader::replay_window`]).
+
+use crate::error::TraceError;
+use crate::format::{self, CodecState};
+use crate::varint;
+use alchemist_vm::{Event, TraceSink};
+use std::io::Read;
+
+/// Chunk-level metadata, decodable without touching the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Events in the chunk.
+    pub events: u64,
+    /// Timestamp of the chunk's first event.
+    pub t_first: u64,
+    /// Timestamp of the chunk's last event.
+    pub t_last: u64,
+    /// Encoded payload size in bytes.
+    pub payload_bytes: u64,
+}
+
+/// What a full replay delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Events dispatched to the sink.
+    pub events: u64,
+    /// The recorded run's total retired-instruction count (from the
+    /// footer); this is what profile finalization needs.
+    pub total_steps: u64,
+}
+
+struct ChunkHeader {
+    payload_len: u64,
+    events: u64,
+    t_first: u64,
+    t_span: u64,
+}
+
+/// Streaming decoder for `.alct` traces.
+///
+/// Iterating yields `Result<Event, TraceError>`; any corruption surfaces
+/// as a typed error, never a panic. Use one access mode per reader —
+/// event iteration, [`TraceReader::replay_into`],
+/// [`TraceReader::replay_window`], or [`TraceReader::read_chunk_infos`] —
+/// since all of them advance the same underlying stream.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    version: u16,
+    source: Option<String>,
+    /// Payload of the chunk being decoded.
+    chunk: Vec<u8>,
+    pos: usize,
+    remaining: u64,
+    state: CodecState,
+    total_steps: Option<u64>,
+    finished: bool,
+    events_read: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating magic, version and header flags.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`] for
+    /// foreign files, [`TraceError::Truncated`] for streams cut inside the
+    /// header, [`TraceError::CorruptSource`] if the embedded program is not
+    /// UTF-8.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut input, &mut magic, "header magic")?;
+        if magic != format::MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut word = [0u8; 2];
+        read_exact_or(&mut input, &mut word, "header version")?;
+        let version = u16::from_le_bytes(word);
+        if version != format::VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        read_exact_or(&mut input, &mut word, "header flags")?;
+        let flags = u16::from_le_bytes(word);
+        if flags & !format::KNOWN_FLAGS != 0 {
+            return Err(TraceError::Malformed("unknown header flag bits"));
+        }
+        let source = if flags & format::FLAG_SOURCE != 0 {
+            let len =
+                varint::read_u64_from(&mut input)?.ok_or(TraceError::Truncated("source length"))?;
+            if len > format::MAX_SOURCE_BYTES {
+                return Err(TraceError::ChunkTooLarge(len));
+            }
+            let mut bytes = vec![0u8; len as usize];
+            read_exact_or(&mut input, &mut bytes, "embedded source")?;
+            Some(String::from_utf8(bytes).map_err(|e| TraceError::CorruptSource(e.utf8_error()))?)
+        } else {
+            None
+        };
+        Ok(TraceReader {
+            input,
+            version,
+            source,
+            chunk: Vec::new(),
+            pos: 0,
+            remaining: 0,
+            state: CodecState::new(0),
+            total_steps: None,
+            finished: false,
+            events_read: 0,
+        })
+    }
+
+    /// The trace format version.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The embedded mini-C source, if the trace carries one.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The recorded run's step count. Available once the footer has been
+    /// reached (after a full replay or iteration to the end).
+    pub fn total_steps(&self) -> Option<u64> {
+        self.total_steps
+    }
+
+    /// Events decoded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    fn read_chunk_header(&mut self) -> Result<Option<ChunkHeader>, TraceError> {
+        let Some(payload_len) = varint::read_u64_from(&mut self.input)? else {
+            return Ok(None);
+        };
+        let need = |v: Result<Option<u64>, TraceError>| {
+            v.and_then(|o| o.ok_or(TraceError::Truncated("chunk header")))
+        };
+        let events = need(varint::read_u64_from(&mut self.input))?;
+        let t_first = need(varint::read_u64_from(&mut self.input))?;
+        let t_span = need(varint::read_u64_from(&mut self.input))?;
+        if payload_len > format::MAX_CHUNK_BYTES {
+            return Err(TraceError::ChunkTooLarge(payload_len));
+        }
+        // Every event is at least one byte, so this bounds hostile counts.
+        if events > payload_len {
+            return Err(TraceError::Malformed("event count exceeds payload size"));
+        }
+        Ok(Some(ChunkHeader {
+            payload_len,
+            events,
+            t_first,
+            t_span,
+        }))
+    }
+
+    fn read_payload(&mut self, payload_len: u64) -> Result<(), TraceError> {
+        self.chunk.resize(payload_len as usize, 0);
+        read_exact_or(&mut self.input, &mut self.chunk, "chunk payload")
+    }
+
+    /// Handles a footer chunk; returns the decoded step count.
+    fn read_footer(&mut self, payload_len: u64) -> Result<u64, TraceError> {
+        self.read_payload(payload_len)?;
+        let mut pos = 0;
+        let steps = varint::read_u64(&self.chunk, &mut pos)?;
+        if pos != self.chunk.len() {
+            return Err(TraceError::Malformed("trailing bytes in footer"));
+        }
+        // The footer must be the last thing in the stream.
+        let mut probe = [0u8; 1];
+        match self.input.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => return Err(TraceError::Malformed("data after footer")),
+            Err(e) => return Err(e.into()),
+        }
+        self.total_steps = Some(steps);
+        self.finished = true;
+        Ok(steps)
+    }
+
+    /// Loads the next event-bearing chunk. Returns `false` at end of trace.
+    fn load_next_chunk(&mut self) -> Result<bool, TraceError> {
+        let Some(head) = self.read_chunk_header()? else {
+            return Err(TraceError::Truncated("missing footer"));
+        };
+        if head.events == 0 {
+            self.read_footer(head.payload_len)?;
+            return Ok(false);
+        }
+        self.read_payload(head.payload_len)?;
+        self.pos = 0;
+        self.remaining = head.events;
+        self.state = CodecState::new(head.t_first);
+        Ok(true)
+    }
+
+    /// Decodes the next event, or `None` at the (well-formed) end.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the stream produces; after an error the reader
+    /// should be discarded.
+    pub fn next_event(&mut self) -> Result<Option<Event>, TraceError> {
+        loop {
+            if self.remaining > 0 {
+                let ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+                self.remaining -= 1;
+                if self.remaining == 0 && self.pos != self.chunk.len() {
+                    return Err(TraceError::Malformed("trailing bytes in chunk"));
+                }
+                self.events_read += 1;
+                return Ok(Some(ev));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            if !self.load_next_chunk()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Replays every event into `sink`, in recorded order.
+    ///
+    /// Feeding an [`AlchemistProfiler`-style] sink here is equivalent to
+    /// running it live on the interpreter: same calls, same timestamps.
+    ///
+    /// [`AlchemistProfiler`-style]: alchemist_vm::TraceSink
+    ///
+    /// # Errors
+    ///
+    /// Any decode error; events already delivered are not rolled back.
+    pub fn replay_into<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+    ) -> Result<ReplaySummary, TraceError> {
+        let mut events = 0;
+        while let Some(ev) = self.next_event()? {
+            ev.dispatch(sink);
+            events += 1;
+        }
+        Ok(ReplaySummary {
+            events,
+            total_steps: self
+                .total_steps
+                .ok_or(TraceError::Truncated("missing footer"))?,
+        })
+    }
+
+    /// Replays only events with `t_lo <= t <= t_hi`, skipping the decode of
+    /// every chunk whose time range lies outside the window. Returns the
+    /// number of events delivered.
+    ///
+    /// # Errors
+    ///
+    /// Any decode error encountered in chunks that must be read.
+    pub fn replay_window<S: TraceSink + ?Sized>(
+        &mut self,
+        t_lo: u64,
+        t_hi: u64,
+        sink: &mut S,
+    ) -> Result<u64, TraceError> {
+        let mut delivered = 0;
+        loop {
+            let Some(head) = self.read_chunk_header()? else {
+                return Err(TraceError::Truncated("missing footer"));
+            };
+            if head.events == 0 {
+                self.read_footer(head.payload_len)?;
+                return Ok(delivered);
+            }
+            let t_last = head.t_first.saturating_add(head.t_span);
+            self.read_payload(head.payload_len)?;
+            if t_last < t_lo || head.t_first > t_hi {
+                continue; // skip: payload consumed but never decoded
+            }
+            self.pos = 0;
+            self.state = CodecState::new(head.t_first);
+            for _ in 0..head.events {
+                let ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+                let t = ev.time();
+                if t_lo <= t && t <= t_hi {
+                    ev.dispatch(sink);
+                    delivered += 1;
+                }
+            }
+            if self.pos != self.chunk.len() {
+                return Err(TraceError::Malformed("trailing bytes in chunk"));
+            }
+        }
+    }
+
+    /// Reads chunk metadata for the whole trace without decoding any
+    /// payload. Consumes the reader's stream.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors only; payload corruption is invisible here.
+    pub fn read_chunk_infos(&mut self) -> Result<Vec<ChunkInfo>, TraceError> {
+        let mut infos = Vec::new();
+        loop {
+            let Some(head) = self.read_chunk_header()? else {
+                return Err(TraceError::Truncated("missing footer"));
+            };
+            if head.events == 0 {
+                self.read_footer(head.payload_len)?;
+                return Ok(infos);
+            }
+            self.read_payload(head.payload_len)?;
+            infos.push(ChunkInfo {
+                events: head.events,
+                t_first: head.t_first,
+                t_last: head.t_first.saturating_add(head.t_span),
+                payload_bytes: head.payload_len,
+            });
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Event, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated(what)
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use alchemist_lang::hir::FuncId;
+    use alchemist_vm::{Pc, RecordingSink};
+
+    fn sample_trace(chunk_capacity: usize) -> (Vec<u8>, RecordingSink) {
+        let mut live = RecordingSink::default();
+        let mut w = TraceWriter::new(Vec::new(), Some("int main() { return 0; }"))
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity);
+        let mut t = 0;
+        for i in 0..25u32 {
+            live.on_enter_function(t, FuncId(i % 3), 8 * i);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i);
+            t += 2;
+            live.on_read(t, i, Pc(i * 5));
+            w.on_read(t, i, Pc(i * 5));
+            t += 1;
+            live.on_write(t, i + 100, Pc(i * 5 + 1));
+            w.on_write(t, i + 100, Pc(i * 5 + 1));
+            t += 40;
+            live.on_exit_function(t, FuncId(i % 3));
+            w.on_exit_function(t, FuncId(i % 3));
+            t += 1;
+        }
+        let (bytes, _) = w.finish(t).unwrap();
+        (bytes, live)
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let (bytes, live) = sample_trace(7);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.source(), Some("int main() { return 0; }"));
+        let mut replayed = RecordingSink::default();
+        let summary = r.replay_into(&mut replayed).unwrap();
+        assert_eq!(replayed, live);
+        assert_eq!(summary.events, live.events.len() as u64);
+        assert_eq!(r.total_steps(), Some(summary.total_steps));
+    }
+
+    #[test]
+    fn iterator_yields_the_same_events() {
+        let (bytes, live) = sample_trace(100_000);
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
+        assert_eq!(events, live.events);
+    }
+
+    #[test]
+    fn windowed_replay_delivers_exactly_the_window() {
+        let (bytes, live) = sample_trace(5);
+        let (lo, hi) = (50, 400);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut windowed = RecordingSink::default();
+        let n = r.replay_window(lo, hi, &mut windowed).unwrap();
+        let expect: Vec<Event> = live
+            .events
+            .iter()
+            .copied()
+            .filter(|e| (lo..=hi).contains(&e.time()))
+            .collect();
+        assert_eq!(windowed.events, expect);
+        assert_eq!(n as usize, expect.len());
+        assert!(!expect.is_empty(), "window test must cover events");
+    }
+
+    #[test]
+    fn chunk_infos_partition_the_event_stream() {
+        let (bytes, live) = sample_trace(8);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let infos = r.read_chunk_infos().unwrap();
+        let total: u64 = infos.iter().map(|c| c.events).sum();
+        assert_eq!(total, live.events.len() as u64);
+        for w in infos.windows(2) {
+            assert!(w[0].t_last <= w[1].t_first, "chunks are time-ordered");
+        }
+    }
+
+    #[test]
+    fn empty_trace_replays_zero_events() {
+        let (bytes, _) = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .finish(9)
+            .unwrap();
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let summary = r.replay_into(&mut alchemist_vm::NullSink).unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.total_steps, 9);
+    }
+
+    #[test]
+    fn data_after_footer_is_rejected() {
+        let (mut bytes, _) = sample_trace(7);
+        bytes.push(0x00);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            r.replay_into(&mut alchemist_vm::NullSink),
+            Err(TraceError::Malformed("data after footer"))
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Fan-out combinators: drive several sinks from one event stream.
+//!
+//! Replay (or a live run) visits each event exactly once; [`Tee`] and
+//! [`MultiSink`] let that single pass feed any number of consumers — e.g.
+//! record a trace *and* profile it in the same execution, or run the
+//! counting and profiling analyses over one replay of a file.
+
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{BlockId, Pc, Time, TraceSink};
+
+/// Forwards every event to two sinks, first `.0` then `.1`.
+///
+/// Nest tees for a fixed fan-out of three or more:
+/// `Tee(a, Tee(b, c))`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        self.0.on_enter_function(t, func, fp);
+        self.1.on_enter_function(t, func, fp);
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        self.0.on_exit_function(t, func);
+        self.1.on_exit_function(t, func);
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        self.0.on_block_entry(t, block);
+        self.1.on_block_entry(t, block);
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        self.0.on_predicate(t, pc, block, taken);
+        self.1.on_predicate(t, pc, block, taken);
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.0.on_read(t, addr, pc);
+        self.1.on_read(t, addr, pc);
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.0.on_write(t, addr, pc);
+        self.1.on_write(t, addr, pc);
+    }
+}
+
+/// Forwards every event to a runtime-chosen list of sinks, in order.
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for MultiSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        MultiSink::default()
+    }
+
+    /// Adds a consumer; events reach consumers in insertion order.
+    pub fn push(&mut self, sink: &'a mut dyn TraceSink) -> &mut Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of attached consumers.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no consumer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for MultiSink<'_> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        for s in &mut self.sinks {
+            s.on_enter_function(t, func, fp);
+        }
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        for s in &mut self.sinks {
+            s.on_exit_function(t, func);
+        }
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        for s in &mut self.sinks {
+            s.on_block_entry(t, block);
+        }
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        for s in &mut self.sinks {
+            s.on_predicate(t, pc, block, taken);
+        }
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        for s in &mut self.sinks {
+            s.on_read(t, addr, pc);
+        }
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        for s in &mut self.sinks {
+            s.on_write(t, addr, pc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::{CountingSink, RecordingSink};
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut tee = Tee(CountingSink::default(), RecordingSink::default());
+        tee.on_read(0, 1, Pc(0));
+        tee.on_write(1, 1, Pc(1));
+        assert_eq!(tee.0.reads, 1);
+        assert_eq!(tee.0.writes, 1);
+        assert_eq!(tee.1.events.len(), 2);
+    }
+
+    #[test]
+    fn multi_sink_fans_out_in_order() {
+        let mut a = CountingSink::default();
+        let mut b = RecordingSink::default();
+        let mut c = CountingSink::default();
+        let mut fan = MultiSink::new();
+        fan.push(&mut a).push(&mut b).push(&mut c);
+        assert_eq!(fan.len(), 3);
+        fan.on_predicate(5, Pc(2), BlockId(1), true);
+        fan.on_block_entry(6, BlockId(2));
+        drop(fan);
+        assert_eq!(a.predicates, 1);
+        assert_eq!(a.blocks, 1);
+        assert_eq!(c.predicates, 1);
+        assert_eq!(b.events.len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! All multi-byte quantities in the trace format are unsigned LEB128:
+//! seven payload bits per byte, least-significant group first, high bit set
+//! on every byte but the last. Signed deltas are first mapped through
+//! zigzag (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`) so small magnitudes
+//! of either sign stay one byte.
+
+use crate::error::TraceError;
+
+/// Longest legal encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the zigzag-LEB128 encoding of `v` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Maps a signed value to its zigzag unsigned form.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decodes a LEB128 `u64` from `buf[*pos..]`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] if the buffer ends mid-varint and
+/// [`TraceError::Malformed`] if the encoding overruns 64 bits.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_BYTES {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(TraceError::Truncated("varint"));
+        };
+        *pos += 1;
+        let group = u64::from(byte & 0x7f);
+        if shift == 63 && group > 1 {
+            return Err(TraceError::Malformed("varint overflows u64"));
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+    Err(TraceError::Malformed("varint longer than 10 bytes"))
+}
+
+/// Decodes a zigzag-LEB128 `i64` from `buf[*pos..]`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_u64`].
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+/// Decodes a LEB128 `u64` directly from a reader (used for chunk headers).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on read failures, [`TraceError::Truncated`] on EOF
+/// mid-varint, [`TraceError::Malformed`] on overlong encodings. A clean EOF
+/// *before the first byte* is reported as `Ok(None)` so callers can detect
+/// end-of-stream.
+pub fn read_u64_from(r: &mut impl std::io::Read) -> Result<Option<u64>, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_BYTES {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                if i == 0 {
+                    return Ok(None);
+                }
+                return Err(TraceError::Truncated("varint"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let group = u64::from(byte[0] & 0x7f);
+        if shift == 63 && group > 1 {
+            return Err(TraceError::Malformed("varint overflows u64"));
+        }
+        v |= group << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+    }
+    Err(TraceError::Malformed("varint longer than 10 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_u64() {
+        for v in [0, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrips_i64() {
+        for v in [0, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_are_one_byte() {
+        for v in [-63i64, -1, 0, 1, 63] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "{v} should be one byte");
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_are_typed_errors() {
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&[0x80, 0x80], &mut pos),
+            Err(TraceError::Truncated(_))
+        ));
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&[0xff; 11], &mut pos),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn reader_eof_before_first_byte_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(read_u64_from(&mut empty).unwrap().is_none());
+        let mut cut: &[u8] = &[0x80];
+        assert!(matches!(
+            read_u64_from(&mut cut),
+            Err(TraceError::Truncated(_))
+        ));
+    }
+}

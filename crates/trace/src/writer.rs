@@ -1,0 +1,282 @@
+//! Recording: a [`TraceWriter`] is a [`TraceSink`] that streams events into
+//! the chunked binary format.
+
+use crate::error::TraceError;
+use crate::format::{self, CodecState};
+use crate::varint;
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{BlockId, Event, Pc, Time, TraceSink};
+use std::io::Write;
+
+/// How many events a chunk holds before it is flushed.
+pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
+
+/// Sizes of a finished recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Events recorded.
+    pub events: u64,
+    /// Chunks written (excluding the footer).
+    pub chunks: u64,
+    /// Total bytes written, header and footer included.
+    pub bytes: u64,
+}
+
+impl TraceStats {
+    /// Average encoded size of one event, header/footer overhead included.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.events as f64
+        }
+    }
+}
+
+/// Streams [`TraceSink`] events into a writer in `.alct` format.
+///
+/// Lend it to the interpreter with `&mut` (sinks are implemented for
+/// mutable references), then call [`TraceWriter::finish`] with the run's
+/// final step count to flush the last chunk and the footer.
+///
+/// `TraceSink` methods cannot return errors, so I/O failures during
+/// recording are deferred: the writer goes quiescent on the first failure
+/// and [`TraceWriter::finish`] reports it.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    /// Encoded payload of the chunk being built.
+    buf: Vec<u8>,
+    state: CodecState,
+    chunk_events: u64,
+    chunk_t_first: Time,
+    chunk_t_last: Time,
+    chunk_capacity: usize,
+    events: u64,
+    chunks: u64,
+    bytes: u64,
+    deferred: Option<TraceError>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header immediately.
+    ///
+    /// Pass the program's mini-C source as `source` to make the trace
+    /// self-contained (replay can recompile the module from the file
+    /// alone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if writing the header fails.
+    pub fn new(mut out: W, source: Option<&str>) -> Result<Self, TraceError> {
+        let mut header = Vec::with_capacity(16 + source.map_or(0, str::len));
+        header.extend_from_slice(&format::MAGIC);
+        header.extend_from_slice(&format::VERSION.to_le_bytes());
+        let flags = if source.is_some() {
+            format::FLAG_SOURCE
+        } else {
+            0
+        };
+        header.extend_from_slice(&flags.to_le_bytes());
+        if let Some(src) = source {
+            varint::write_u64(&mut header, src.len() as u64);
+            header.extend_from_slice(src.as_bytes());
+        }
+        out.write_all(&header)?;
+        Ok(TraceWriter {
+            out,
+            buf: Vec::with_capacity(4 * DEFAULT_CHUNK_EVENTS),
+            state: CodecState::new(0),
+            chunk_events: 0,
+            chunk_t_first: 0,
+            chunk_t_last: 0,
+            chunk_capacity: DEFAULT_CHUNK_EVENTS,
+            events: 0,
+            chunks: 0,
+            bytes: header.len() as u64,
+            deferred: None,
+        })
+    }
+
+    /// Overrides the events-per-chunk flush threshold (minimum 1).
+    pub fn with_chunk_capacity(mut self, events: usize) -> Self {
+        self.chunk_capacity = events.max(1);
+        self
+    }
+
+    /// Events recorded so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    /// Bytes emitted so far (flushed chunks only).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    fn record(&mut self, ev: Event) {
+        if self.deferred.is_some() {
+            return;
+        }
+        let t = ev.time();
+        if self.chunk_events == 0 {
+            self.state = CodecState::new(t);
+            self.chunk_t_first = t;
+        }
+        self.chunk_t_last = t;
+        format::encode_event(&mut self.state, &ev, &mut self.buf);
+        self.chunk_events += 1;
+        self.events += 1;
+        if self.chunk_events as usize >= self.chunk_capacity {
+            if let Err(e) = self.flush_chunk() {
+                self.deferred = Some(e);
+            }
+        }
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.chunk_events == 0 {
+            return Ok(());
+        }
+        let mut head = Vec::with_capacity(24);
+        varint::write_u64(&mut head, self.buf.len() as u64);
+        varint::write_u64(&mut head, self.chunk_events);
+        varint::write_u64(&mut head, self.chunk_t_first);
+        varint::write_u64(&mut head, self.chunk_t_last - self.chunk_t_first);
+        self.out.write_all(&head)?;
+        self.out.write_all(&self.buf)?;
+        self.bytes += (head.len() + self.buf.len()) as u64;
+        self.chunks += 1;
+        self.buf.clear();
+        self.chunk_events = 0;
+        Ok(())
+    }
+
+    /// Flushes the final chunk, writes the footer carrying `total_steps`,
+    /// and returns the inner writer plus size statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error, including any deferred from recording.
+    pub fn finish(mut self, total_steps: u64) -> Result<(W, TraceStats), TraceError> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        self.flush_chunk()?;
+        // Footer: an event_count == 0 chunk whose payload is total_steps.
+        let mut payload = Vec::with_capacity(10);
+        varint::write_u64(&mut payload, total_steps);
+        let mut head = Vec::with_capacity(24);
+        varint::write_u64(&mut head, payload.len() as u64);
+        varint::write_u64(&mut head, 0);
+        varint::write_u64(&mut head, self.chunk_t_last);
+        varint::write_u64(&mut head, 0);
+        self.out.write_all(&head)?;
+        self.out.write_all(&payload)?;
+        self.bytes += (head.len() + payload.len()) as u64;
+        self.out.flush()?;
+        let stats = TraceStats {
+            events: self.events,
+            chunks: self.chunks,
+            bytes: self.bytes,
+        };
+        Ok((self.out, stats))
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        self.record(Event::Enter { t, func, fp });
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        self.record(Event::Exit { t, func });
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        self.record(Event::Block { t, block });
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        self.record(Event::Predicate {
+            t,
+            pc,
+            block,
+            taken,
+        });
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.record(Event::Read { t, addr, pc });
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        self.record(Event::Write { t, addr, pc });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_stable() {
+        let (bytes, stats) = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .finish(0)
+            .unwrap();
+        assert_eq!(&bytes[..4], b"ALCT");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), format::VERSION);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 0, "no flags");
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn source_flag_embeds_the_program() {
+        let src = "int main() { return 0; }";
+        let mut w = TraceWriter::new(Vec::new(), Some(src)).unwrap();
+        w.on_block_entry(1, BlockId(0));
+        let (bytes, stats) = w.finish(5).unwrap();
+        assert_eq!(
+            u16::from_le_bytes([bytes[6], bytes[7]]) & format::FLAG_SOURCE,
+            format::FLAG_SOURCE
+        );
+        let hay = String::from_utf8_lossy(&bytes);
+        assert!(hay.contains(src), "source embedded verbatim");
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.chunks, 1);
+    }
+
+    #[test]
+    fn chunk_capacity_splits_the_stream() {
+        let mut w = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .with_chunk_capacity(4);
+        for i in 0..10 {
+            w.on_read(i, i as u32, Pc(0));
+        }
+        let (_, stats) = w.finish(10).unwrap();
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.chunks, 3, "4 + 4 + 2 events");
+    }
+
+    #[test]
+    fn deferred_io_errors_surface_at_finish() {
+        /// A writer that accepts the header, then fails.
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.0 = self.0.saturating_sub(1);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TraceWriter::new(FailAfter(1), None)
+            .unwrap()
+            .with_chunk_capacity(1);
+        w.on_read(0, 0, Pc(0)); // flush fails here, silently deferred
+        w.on_read(1, 1, Pc(1)); // writer is quiescent
+        assert!(matches!(w.finish(2), Err(TraceError::Io(_))));
+    }
+}

@@ -1,0 +1,131 @@
+//! Record→replay equivalence over the full workload suite: for every
+//! bundled benchmark, a recorded trace replayed into the offline analyses
+//! must reproduce the live-instrumented results exactly, and the encoding
+//! must stay compact.
+
+use alchemist_core::{profile_events, profile_module, ProfileConfig};
+use alchemist_trace::{TraceReader, TraceStats, TraceWriter};
+use alchemist_vm::{Event, Module, RecordingSink};
+use alchemist_workloads::Scale;
+
+/// Records one workload run into an in-memory trace.
+fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, TraceStats, u64) {
+    let module = w.module();
+    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    let outcome = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer)
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let (bytes, stats) = writer.finish(outcome.steps).expect("finish");
+    (module, bytes, stats, outcome.steps)
+}
+
+#[test]
+fn replayed_events_equal_live_events_for_every_workload() {
+    for w in alchemist_workloads::all() {
+        let (module, bytes, stats, _) = record(w);
+        let mut live = RecordingSink::default();
+        alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut live).expect("runs");
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(reader.source(), Some(w.source), "{}", w.name);
+        let mut replayed = RecordingSink::default();
+        let summary = reader.replay_into(&mut replayed).expect("replay");
+        assert_eq!(summary.events, stats.events, "{}", w.name);
+        assert_eq!(
+            replayed.events.len(),
+            live.events.len(),
+            "{}: event count",
+            w.name
+        );
+        assert_eq!(replayed, live, "{}: event streams differ", w.name);
+    }
+}
+
+#[test]
+fn replayed_profile_equals_live_profile_for_every_workload() {
+    for w in alchemist_workloads::all() {
+        let (module, bytes, _, _) = record(w);
+        // Live: instrument the interpreter directly.
+        let (live_profile, exec, _, _) = profile_module(
+            &module,
+            &w.exec_config(Scale::Tiny),
+            ProfileConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+        // Offline: decode the trace and drive the same profiler.
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let events: Vec<Event> = reader.by_ref().map(|e| e.expect("decode")).collect();
+        let total_steps = reader.total_steps().expect("footer");
+        assert_eq!(total_steps, exec.steps, "{}", w.name);
+        let (offline_profile, _, _) = profile_events(
+            &module,
+            events.iter().copied(),
+            total_steps,
+            ProfileConfig::default(),
+        );
+        assert_eq!(
+            offline_profile, live_profile,
+            "{}: offline DepProfile diverges from live run",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn replayed_task_extraction_equals_live_for_parallel_workloads() {
+    use alchemist_parsim::{extract_tasks, extract_tasks_from_events, ExtractConfig};
+    for w in alchemist_workloads::all() {
+        let Some(spec) = &w.parallel else { continue };
+        let (module, bytes, _, _) = record(w);
+        let mut cfg = ExtractConfig::default();
+        for head in w.resolve_targets(&module) {
+            cfg = cfg.mark(head);
+        }
+        for v in spec.privatized {
+            cfg = cfg.privatize(v);
+        }
+        let live = extract_tasks(&module, &w.exec_config(Scale::Tiny), cfg.clone())
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let events: Vec<Event> = reader.by_ref().map(|e| e.expect("decode")).collect();
+        let offline = extract_tasks_from_events(
+            &module,
+            cfg,
+            events.iter().copied(),
+            reader.total_steps().expect("footer"),
+        );
+        assert_eq!(live, offline, "{}: task traces differ", w.name);
+    }
+}
+
+#[test]
+fn gzip_trace_averages_at_most_four_bytes_per_event() {
+    let w = alchemist_workloads::by_name("gzip-1.3.5").expect("workload");
+    let (_, _, stats, _) = record(w);
+    assert!(
+        stats.bytes_per_event() <= 4.0,
+        "gzip trace too fat: {:.3} bytes/event over {} events",
+        stats.bytes_per_event(),
+        stats.events
+    );
+}
+
+#[test]
+fn windowed_replay_matches_filtered_live_events() {
+    let w = alchemist_workloads::by_name("gzip-1.3.5").expect("workload");
+    let (module, bytes, _, total_steps) = record(w);
+    let mut live = RecordingSink::default();
+    alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut live).expect("runs");
+    // A window in the middle third of the run.
+    let (lo, hi) = (total_steps / 3, 2 * total_steps / 3);
+    let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+    let mut windowed = RecordingSink::default();
+    let delivered = reader.replay_window(lo, hi, &mut windowed).expect("window");
+    let expect: Vec<Event> = live
+        .events
+        .iter()
+        .copied()
+        .filter(|e| (lo..=hi).contains(&e.time()))
+        .collect();
+    assert!(!expect.is_empty(), "window covers events");
+    assert_eq!(delivered as usize, expect.len());
+    assert_eq!(windowed.events, expect);
+}

@@ -9,7 +9,7 @@
 //!   means at the binary level.
 //! * `while`/`for` loops test at the top; `do`-`while` tests at the bottom.
 //!   The loop/branch classification is *not* trusted from syntax; it is
-//!   recomputed from the block graph by [`analyze`](crate::analysis::analyze).
+//!   recomputed from the block graph by [`analyze`].
 //! * Every function ends with an explicit `ret` (an implicit `return 0` is
 //!   appended when control can fall off the end).
 

@@ -52,6 +52,47 @@ pub trait TraceSink {
     }
 }
 
+/// Forwarding impl: any `&mut S` is itself a sink.
+///
+/// [`run`](crate::run) already borrows its sink, but APIs that take a sink
+/// *by value* — combinators like a tee, helpers generic over `S:
+/// TraceSink` — would otherwise consume the caller's only binding, forcing
+/// `Option`-dance workarounds to get the sink back for inspection. With
+/// this impl the caller hands such an API `&mut sink` and keeps ownership:
+///
+/// ```
+/// use alchemist_vm::{CountingSink, Pc, TraceSink};
+///
+/// fn feed(mut sink: impl TraceSink) {
+///     sink.on_read(0, 1, Pc(0));
+/// }
+///
+/// let mut counts = CountingSink::default();
+/// feed(&mut counts); // lends instead of moving
+/// feed(&mut counts);
+/// assert_eq!(counts.reads, 2); // still ours to inspect
+/// ```
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        (**self).on_enter_function(t, func, fp);
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        (**self).on_exit_function(t, func);
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        (**self).on_block_entry(t, block);
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        (**self).on_predicate(t, pc, block, taken);
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        (**self).on_read(t, addr, pc);
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        (**self).on_write(t, addr, pc);
+    }
+}
+
 /// A sink that ignores every event (native-speed baseline).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullSink;
@@ -153,6 +194,41 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            Event::Enter { t, .. }
+            | Event::Exit { t, .. }
+            | Event::Block { t, .. }
+            | Event::Predicate { t, .. }
+            | Event::Read { t, .. }
+            | Event::Write { t, .. } => t,
+        }
+    }
+
+    /// Delivers the event to `sink` by calling the matching trait method.
+    ///
+    /// This is the replay primitive: any stream of [`Event`]s (a
+    /// [`RecordingSink`], a decoded trace file) can drive any sink exactly
+    /// as a live interpreter run would.
+    pub fn dispatch<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        match *self {
+            Event::Enter { t, func, fp } => sink.on_enter_function(t, func, fp),
+            Event::Exit { t, func } => sink.on_exit_function(t, func),
+            Event::Block { t, block } => sink.on_block_entry(t, block),
+            Event::Predicate {
+                t,
+                pc,
+                block,
+                taken,
+            } => sink.on_predicate(t, pc, block, taken),
+            Event::Read { t, addr, pc } => sink.on_read(t, addr, pc),
+            Event::Write { t, addr, pc } => sink.on_write(t, addr, pc),
+        }
+    }
+}
+
 /// Records the full event stream (tests and the oracle profiler).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecordingSink {
@@ -201,6 +277,38 @@ mod tests {
         assert_eq!(s.writes, 1);
         assert_eq!(s.predicates, 1);
         assert_eq!(s.blocks, 0);
+    }
+
+    #[test]
+    fn dispatch_replays_into_any_sink() {
+        let mut rec = RecordingSink::default();
+        rec.on_enter_function(0, FuncId(1), 8);
+        rec.on_predicate(1, Pc(4), BlockId(2), false);
+        rec.on_read(2, 9, Pc(5));
+        rec.on_write(3, 9, Pc(6));
+        rec.on_block_entry(4, BlockId(3));
+        rec.on_exit_function(5, FuncId(1));
+
+        let mut replayed = RecordingSink::default();
+        for e in &rec.events {
+            assert_eq!(
+                e.time(),
+                rec.events.iter().position(|x| x == e).unwrap() as u64
+            );
+            e.dispatch(&mut replayed);
+        }
+        assert_eq!(rec, replayed);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn feed<S: TraceSink>(mut s: S) {
+            s.on_read(0, 1, Pc(0));
+        }
+        let mut counts = CountingSink::default();
+        feed(&mut counts);
+        feed(&mut counts);
+        assert_eq!(counts.reads, 2);
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! | crate | role |
 //! |---|---|
 //! | [`lang`] | mini-C lexer, parser, resolver |
-//! | [`cfg`] | dominators, post-dominators, natural loops |
+//! | [`cfg`](mod@cfg) | dominators, post-dominators, natural loops |
 //! | [`vm`] | bytecode compiler + tracing interpreter |
-//! | [`core`] | execution indexing + dependence profiling (the paper) |
+//! | [`core`](mod@core) | execution indexing + dependence profiling (the paper) |
 //! | [`parsim`] | profile-guided parallel-schedule simulation (Table V) |
+//! | [`trace`] | binary record/replay traces with offline analyses |
 //! | [`workloads`] | the paper's eight benchmarks, re-implemented |
 //!
 //! ## Quick start
@@ -47,19 +48,22 @@ pub use alchemist_cfg as cfg;
 pub use alchemist_core as core;
 pub use alchemist_lang as lang;
 pub use alchemist_parsim as parsim;
+pub use alchemist_trace as trace;
 pub use alchemist_vm as vm;
 pub use alchemist_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use alchemist_core::{
-        profile_module, profile_source, AlchemistProfiler, ConstructKind, DepKind, ProfileConfig,
-        ProfileOutcome, ProfileReport,
+        profile_events, profile_module, profile_source, AlchemistProfiler, ConstructKind, DepKind,
+        ProfileConfig, ProfileOutcome, ProfileReport,
     };
     pub use alchemist_lang::compile_to_hir;
     pub use alchemist_parsim::{
-        extract_tasks, simulate, suggest_candidates, ExtractConfig, SimConfig,
+        extract_tasks, extract_tasks_from_events, simulate, suggest_candidates, ExtractConfig,
+        SimConfig,
     };
+    pub use alchemist_trace::{TraceReader, TraceWriter};
     pub use alchemist_vm::{compile_source, run, ExecConfig, NullSink};
     pub use alchemist_workloads::{Scale, Workload};
 }

@@ -4,24 +4,33 @@
 //! alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
 //! alchemist run <file.mc> [--input a,b,c]
 //! alchemist advise <file.mc> [--input a,b,c] [--threads K]
-//! alchemist workloads
+//! alchemist record <file.mc> [--input a,b,c] [-o trace.alct]
+//! alchemist replay <trace.alct> [--analysis profile|advise|stats]
+//! alchemist workloads [--json]
 //! ```
 
-use alchemist_core::{profile_source, ProfileReport};
-use alchemist_parsim::{
-    extract_tasks, render_timeline, simulate, suggest_candidates, ExtractConfig, SimConfig,
+use alchemist_core::{
+    profile_events, profile_source, AlchemistProfiler, ProfileConfig, ProfileReport,
 };
-use alchemist_vm::{ExecConfig, NullSink};
+use alchemist_parsim::{
+    extract_tasks, extract_tasks_from_events, render_timeline, simulate, suggest_candidates,
+    ExtractConfig, SimConfig,
+};
+use alchemist_trace::{MultiSink, TraceReader, TraceWriter};
+use alchemist_vm::{CountingSink, Event, ExecConfig, NullSink, Pc, Time, TraceSink};
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_cli(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
+        Err(e) => {
+            eprintln!("error: {}", e.msg);
+            if e.show_usage {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -34,9 +43,54 @@ const USAGE: &str = "usage:
   alchemist advise <file.mc> [--input a,b,c] [--threads K]
   alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
                      [--input a,b,c] [--threads K] [--timeline]
-  alchemist workloads";
+  alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
+                   [--chunk-events N]
+  alchemist replay <trace.alct> [--analysis profile|advise|stats]
+                   [--top N] [--threads K] [--war-waw LABEL]
+  alchemist workloads [--json]";
 
-fn run_cli(args: &[String]) -> Result<(), String> {
+/// A CLI failure: a message, plus whether the generic usage block helps.
+///
+/// Unknown flags set `show_usage = false` — the error itself names the
+/// offending flag and the flags the command accepts, which is more useful
+/// than re-printing the whole usage text.
+struct CliError {
+    msg: String,
+    show_usage: bool,
+}
+
+impl CliError {
+    fn bare(msg: impl Into<String>) -> Self {
+        CliError {
+            msg: msg.into(),
+            show_usage: false,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError {
+            msg,
+            show_usage: true,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::from(msg.to_owned())
+    }
+}
+
+fn unknown_flag(cmd: &str, flag: &str, known: &[&str]) -> CliError {
+    CliError::bare(format!(
+        "unknown flag `{flag}` for `alchemist {cmd}` (expected one of: {})",
+        known.join(", ")
+    ))
+}
+
+fn run_cli(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or("no command given")?;
     match cmd.as_str() {
@@ -44,14 +98,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "run" => run_cmd(&args[1..]),
         "advise" => advise_cmd(&args[1..]),
         "simulate" => simulate_cmd(&args[1..]),
-        "workloads" => {
-            println!("{:<12} {:>5}  description", "name", "LOC");
-            for w in alchemist_workloads::all() {
-                println!("{:<12} {:>5}  {}", w.name, w.loc(), w.description);
-            }
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`")),
+        "record" => record_cmd(&args[1..]),
+        "replay" => replay_cmd(&args[1..]),
+        "workloads" => workloads_cmd(&args[1..]),
+        other => Err(format!("unknown command `{other}`").into()),
     }
 }
 
@@ -68,7 +118,18 @@ struct CommonArgs {
     timeline: bool,
 }
 
-fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+fn parse_input_list(v: &str) -> Result<Vec<i64>, CliError> {
+    v.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<i64>().map_err(|e| e.to_string().into()))
+        .collect()
+}
+
+/// Parses the flags shared by the source-driven commands. `allowed` is the
+/// subset of flags this particular command accepts, so unknown-flag errors
+/// list exactly what applies (and `run --mark`-style mismatches are
+/// rejected instead of silently ignored).
+fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonArgs, CliError> {
     let mut file = None;
     let mut input = Vec::new();
     let mut top = 10;
@@ -81,14 +142,12 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
     let mut timeline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if a.starts_with('-') && !allowed.contains(&a.as_str()) {
+            return Err(unknown_flag(cmd, a, allowed));
+        }
         match a.as_str() {
             "--input" => {
-                let v = it.next().ok_or("--input needs a value")?;
-                input = v
-                    .split(',')
-                    .filter(|s| !s.is_empty())
-                    .map(|s| s.trim().parse::<i64>().map_err(|e| e.to_string()))
-                    .collect::<Result<_, _>>()?;
+                input = parse_input_list(it.next().ok_or("--input needs a value")?)?;
             }
             "--top" => {
                 top = it
@@ -122,10 +181,8 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
-            path if file.is_none() && !path.starts_with("--") => {
-                file = Some(path.to_owned());
-            }
-            other => return Err(format!("unexpected argument `{other}`")),
+            path if file.is_none() => file = Some(path.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
         }
     }
     let path = file.ok_or("no source file given")?;
@@ -144,8 +201,34 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
     })
 }
 
-fn profile_cmd(args: &[String]) -> Result<(), String> {
-    let a = parse_common(args)?;
+fn render_profile_report(
+    report: &ProfileReport,
+    top: usize,
+    war_waw: Option<&str>,
+) -> Result<(), CliError> {
+    print!("{}", report.render(top));
+    if let Some(label) = war_waw {
+        let c = report
+            .find(label)
+            .ok_or_else(|| format!("no construct matching `{label}`"))?;
+        println!("\nWAR/WAW profile for {}:", c.label);
+        print!("{}", report.render_war_waw(c.head));
+    }
+    Ok(())
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), CliError> {
+    let a = parse_common(
+        "profile",
+        args,
+        &[
+            "--input",
+            "--top",
+            "--war-waw",
+            "--csv-constructs",
+            "--csv-edges",
+        ],
+    )?;
     let outcome = profile_source(&a.source, a.input).map_err(|e| e.to_string())?;
     let report = outcome.report();
     println!(
@@ -155,14 +238,7 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
         outcome.exec.exit_value
     );
     println!();
-    print!("{}", report.render(a.top));
-    if let Some(label) = a.war_waw {
-        let c = report
-            .find(&label)
-            .ok_or_else(|| format!("no construct matching `{label}`"))?;
-        println!("\nWAR/WAW profile for {}:", c.label);
-        print!("{}", report.render_war_waw(c.head));
-    }
+    render_profile_report(&report, a.top, a.war_waw.as_deref())?;
     if let Some(path) = a.csv_constructs {
         std::fs::write(&path, alchemist_core::constructs_to_csv(&report))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -176,8 +252,8 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_cmd(args: &[String]) -> Result<(), String> {
-    let a = parse_common(args)?;
+fn run_cmd(args: &[String]) -> Result<(), CliError> {
+    let a = parse_common("run", args, &["--input"])?;
     let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
     let out = alchemist_vm::run(&module, &ExecConfig::with_input(a.input), &mut NullSink)
         .map_err(|e| e.to_string())?;
@@ -191,8 +267,8 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn advise_cmd(args: &[String]) -> Result<(), String> {
-    let a = parse_common(args)?;
+fn advise_cmd(args: &[String]) -> Result<(), CliError> {
+    let a = parse_common("advise", args, &["--input", "--threads"])?;
     let outcome = profile_source(&a.source, a.input.clone()).map_err(|e| e.to_string())?;
     let report: ProfileReport = outcome.report();
     let candidates = suggest_candidates(&report, &outcome.module, 0.02, 0);
@@ -230,10 +306,20 @@ fn advise_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate_cmd(args: &[String]) -> Result<(), String> {
-    let a = parse_common(args)?;
+fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
+    let a = parse_common(
+        "simulate",
+        args,
+        &[
+            "--input",
+            "--mark",
+            "--privatize",
+            "--threads",
+            "--timeline",
+        ],
+    )?;
     if a.mark.is_empty() {
-        return Err("simulate requires at least one --mark FUNC".to_owned());
+        return Err("simulate requires at least one --mark FUNC".into());
     }
     let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
     let mut cfg = ExtractConfig::default();
@@ -247,7 +333,7 @@ fn simulate_cmd(args: &[String]) -> Result<(), String> {
     }
     for v in &a.privatize {
         if module.global_by_name(v).is_none() {
-            return Err(format!("no global `{v}` to privatize"));
+            return Err(format!("no global `{v}` to privatize").into());
         }
         cfg = cfg.privatize(v);
     }
@@ -272,6 +358,351 @@ fn simulate_cmd(args: &[String]) -> Result<(), String> {
             "sequential {} -> parallel {} instructions on {} threads: {:.2}x",
             sim.t_seq, sim.t_par, a.threads, sim.speedup
         );
+    }
+    Ok(())
+}
+
+fn record_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &["--input", "-o", "--out", "--chunk-events"];
+    let mut file = None;
+    let mut out = None;
+    let mut input = Vec::new();
+    let mut chunk_events = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => {
+                input = parse_input_list(it.next().ok_or("--input needs a value")?)?;
+            }
+            "-o" | "--out" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--chunk-events" => {
+                chunk_events = Some(
+                    it.next()
+                        .ok_or("--chunk-events needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--chunk-events: {e}"))?,
+                );
+            }
+            flag if flag.starts_with('-') => return Err(unknown_flag("record", flag, FLAGS)),
+            path if file.is_none() => file = Some(path.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let path = file.ok_or("record needs a source file")?;
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let module = alchemist_vm::compile_source(&source).map_err(|e| e.to_string())?;
+    let out_path = out.unwrap_or_else(|| {
+        let mut p = std::path::PathBuf::from(&path);
+        p.set_extension("alct");
+        p.display().to_string()
+    });
+    let f =
+        std::fs::File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let record = || -> Result<_, CliError> {
+        let mut writer = TraceWriter::new(BufWriter::new(f), Some(&source))
+            .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
+        if let Some(n) = chunk_events {
+            writer = writer.with_chunk_capacity(n);
+        }
+        let outcome = alchemist_vm::run(&module, &ExecConfig::with_input(input), &mut writer)
+            .map_err(|e| e.to_string())?;
+        let (_, stats) = writer
+            .finish(outcome.steps)
+            .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
+        Ok((outcome, stats))
+    };
+    let (outcome, stats) = record().inspect_err(|_| {
+        // A trap or write failure leaves a footer-less file behind; do not
+        // hand the user a corrupt artifact produced by our own tool.
+        let _ = std::fs::remove_file(&out_path);
+    })?;
+    println!(
+        "recorded {} events in {} chunks to {out_path}",
+        stats.events, stats.chunks
+    );
+    println!(
+        "{} bytes ({:.2} bytes/event), {} instructions, exit value {}",
+        stats.bytes,
+        stats.bytes_per_event(),
+        outcome.steps,
+        outcome.exit_value
+    );
+    Ok(())
+}
+
+fn replay_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &["--analysis", "--top", "--threads", "--war-waw"];
+    let mut file = None;
+    let mut analysis = "profile".to_owned();
+    let mut top = 10;
+    let mut threads = 4;
+    let mut war_waw = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--analysis" => {
+                analysis = it.next().ok_or("--analysis needs a value")?.clone();
+            }
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--war-waw" => {
+                war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
+            }
+            flag if flag.starts_with('-') => return Err(unknown_flag("replay", flag, FLAGS)),
+            path if file.is_none() => file = Some(path.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let path = file.ok_or("replay needs a trace file")?;
+    match analysis.as_str() {
+        "profile" => replay_profile(&path, top, war_waw.as_deref()),
+        "advise" => replay_advise(&path, threads),
+        "stats" => replay_stats(&path),
+        other => Err(CliError::bare(format!(
+            "unknown analysis `{other}` (expected profile, advise or stats)"
+        ))),
+    }
+}
+
+fn open_trace(path: &str) -> Result<TraceReader<BufReader<std::fs::File>>, CliError> {
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TraceReader::new(BufReader::new(f))
+        .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))
+}
+
+/// Recompiles the module a self-contained trace describes.
+fn trace_module(
+    reader: &TraceReader<BufReader<std::fs::File>>,
+) -> Result<alchemist_vm::Module, CliError> {
+    let source = reader
+        .source()
+        .ok_or_else(|| CliError::bare("trace has no embedded source; cannot rebuild the module"))?;
+    alchemist_vm::compile_source(source)
+        .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))
+}
+
+fn replay_profile(path: &str, top: usize, war_waw: Option<&str>) -> Result<(), CliError> {
+    let mut reader = open_trace(path)?;
+    let module = trace_module(&reader)?;
+    let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+    let summary = reader
+        .replay_into(&mut prof)
+        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+    let profile = prof.into_profile(summary.total_steps);
+    let report = ProfileReport::new(&profile, &module);
+    println!(
+        "replayed {} events ({} recorded instructions), {} static constructs",
+        summary.events,
+        summary.total_steps,
+        profile.len()
+    );
+    println!();
+    render_profile_report(&report, top, war_waw)
+}
+
+fn replay_advise(path: &str, threads: usize) -> Result<(), CliError> {
+    let mut reader = open_trace(path)?;
+    let module = trace_module(&reader)?;
+    let mut events: Vec<Event> = Vec::new();
+    for ev in &mut reader {
+        events.push(ev.map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?);
+    }
+    let total_steps = reader
+        .total_steps()
+        .expect("a fully iterated trace has a footer");
+    let (profile, _, _) = profile_events(
+        &module,
+        events.iter().copied(),
+        total_steps,
+        ProfileConfig::default(),
+    );
+    let report = ProfileReport::new(&profile, &module);
+    let candidates = suggest_candidates(&report, &module, 0.02, 0);
+    if candidates.is_empty() {
+        println!("no construct qualifies for asynchronous execution");
+        println!("(every sizable construct has violating RAW dependences)");
+        return Ok(());
+    }
+    println!("parallelization candidates (largest first):\n");
+    for c in &candidates {
+        println!(
+            "  {:<30} {:>5.1}% of run, violating RAW: {}",
+            c.label,
+            c.norm_size * 100.0,
+            c.violating_raw
+        );
+        if !c.privatize.is_empty() {
+            println!("      privatize: {}", c.privatize.join(", "));
+        }
+    }
+    // Simulate the top candidate from the same recorded events: no
+    // re-execution anywhere in this pipeline.
+    let best = &candidates[0];
+    let mut cfg = ExtractConfig::default().mark(best.head);
+    for v in &best.privatize {
+        cfg = cfg.privatize(v);
+    }
+    let trace = extract_tasks_from_events(&module, cfg, events.iter().copied(), total_steps);
+    let sim = simulate(&trace, &SimConfig::with_threads(threads));
+    println!(
+        "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
+         ({} tasks, {} joins)",
+        best.label, threads, sim.speedup, sim.tasks, sim.main_joins
+    );
+    Ok(())
+}
+
+/// Tracks the span of data addresses the replay touches.
+#[derive(Default)]
+struct AddrSpan {
+    seen: bool,
+    lo: u32,
+    hi: u32,
+}
+
+impl AddrSpan {
+    fn touch(&mut self, addr: u32) {
+        if self.seen {
+            self.lo = self.lo.min(addr);
+            self.hi = self.hi.max(addr);
+        } else {
+            (self.seen, self.lo, self.hi) = (true, addr, addr);
+        }
+    }
+}
+
+impl TraceSink for AddrSpan {
+    fn on_read(&mut self, _t: Time, addr: u32, _pc: Pc) {
+        self.touch(addr);
+    }
+    fn on_write(&mut self, _t: Time, addr: u32, _pc: Pc) {
+        self.touch(addr);
+    }
+}
+
+fn replay_stats(path: &str) -> Result<(), CliError> {
+    // Pass 1: chunk metadata only — no payload decoding.
+    let mut reader = open_trace(path)?;
+    let source_lines = reader.source().map(|s| s.lines().count());
+    let infos = reader
+        .read_chunk_infos()
+        .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
+    let total_steps = reader.total_steps().expect("scan reached the footer");
+    // Pass 2: one decode fanned out to both stat sinks via MultiSink.
+    let mut counts = CountingSink::default();
+    let mut addrs = AddrSpan::default();
+    let mut fan = MultiSink::new();
+    fan.push(&mut counts).push(&mut addrs);
+    let summary = open_trace(path)?
+        .replay_into(&mut fan)
+        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+    drop(fan);
+
+    let file_bytes = std::fs::metadata(path)
+        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .len();
+    let payload: u64 = infos.iter().map(|c| c.payload_bytes).sum();
+    println!("trace {path}: format v1");
+    match source_lines {
+        Some(n) => println!("embedded source: yes ({n} lines)"),
+        None => println!("embedded source: no"),
+    }
+    println!(
+        "chunks: {} ({} payload bytes), file {} bytes",
+        infos.len(),
+        payload,
+        file_bytes
+    );
+    println!(
+        "events: {} total — enters {}, exits {}, blocks {}, predicates {}, reads {}, writes {}",
+        summary.events,
+        counts.enters,
+        counts.exits,
+        counts.blocks,
+        counts.predicates,
+        counts.reads,
+        counts.writes
+    );
+    println!(
+        "encoded size: {:.2} bytes/event over {} recorded instructions",
+        if summary.events == 0 {
+            0.0
+        } else {
+            file_bytes as f64 / summary.events as f64
+        },
+        total_steps
+    );
+    if let (Some(first), Some(last)) = (infos.first(), infos.last()) {
+        println!("time range: [{}, {}]", first.t_first, last.t_last);
+    }
+    if addrs.seen {
+        println!("data addresses touched: [{}, {}]", addrs.lo, addrs.hi);
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &["--json"];
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => return Err(unknown_flag("workloads", flag, FLAGS)),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    if json {
+        println!("[");
+        let suite = alchemist_workloads::all();
+        for (i, w) in suite.iter().enumerate() {
+            let speedup = w
+                .parallel
+                .as_ref()
+                .and_then(|p| p.paper_speedup)
+                .map_or("null".to_owned(), |s| format!("{s}"));
+            println!(
+                "  {{\"name\": \"{}\", \"loc\": {}, \"description\": \"{}\", \
+                 \"paper_speedup\": {}}}{}",
+                json_escape(w.name),
+                w.loc(),
+                json_escape(w.description),
+                speedup,
+                if i + 1 < suite.len() { "," } else { "" }
+            );
+        }
+        println!("]");
+    } else {
+        println!("{:<12} {:>5}  description", "name", "LOC");
+        for w in alchemist_workloads::all() {
+            println!("{:<12} {:>5}  {}", w.name, w.loc(), w.description);
+        }
     }
     Ok(())
 }

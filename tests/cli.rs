@@ -141,6 +141,165 @@ fn workloads_command_lists_suite() {
 }
 
 #[test]
+fn workloads_json_flag_emits_machine_readable_suite() {
+    let out = bin()
+        .args(["workloads", "--json"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    assert!(stdout.contains("\"name\": \"gzip-1.3.5\""), "{stdout}");
+    assert!(stdout.contains("\"paper_speedup\": 3.46"), "{stdout}");
+    assert!(stdout.contains("\"paper_speedup\": null"), "{stdout}");
+    assert!(stdout.contains("\"loc\": "), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_named_without_generic_usage() {
+    let out = bin()
+        .args(["workloads", "--frobnicate"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--frobnicate"), "{stderr}");
+    assert!(stderr.contains("workloads"), "{stderr}");
+    assert!(
+        !stderr.contains("usage:"),
+        "unknown-flag errors must not dump the usage block: {stderr}"
+    );
+
+    let path = write_temp("unknownflag", PROGRAM);
+    let out = bin()
+        .args(["profile"])
+        .arg(&path)
+        .args(["--nope"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--nope"), "{stderr}");
+    assert!(stderr.contains("--war-waw"), "lists valid flags: {stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+fn temp_trace_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("alchemist-test-{name}-{}.alct", std::process::id()))
+}
+
+#[test]
+fn record_then_replay_profile_matches_live_profile() {
+    let src_path = write_temp("recordrt", PROGRAM);
+    let trace_path = temp_trace_path("recordrt");
+
+    let rec = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let rec_out = String::from_utf8_lossy(&rec.stdout);
+    assert!(rec_out.contains("recorded"), "{rec_out}");
+    assert!(rec_out.contains("bytes/event"), "{rec_out}");
+
+    let live = bin()
+        .args(["profile"])
+        .arg(&src_path)
+        .output()
+        .expect("spawns");
+    let replayed = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "profile"])
+        .output()
+        .expect("spawns");
+    assert!(
+        replayed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replayed.stderr)
+    );
+    let live_out = String::from_utf8_lossy(&live.stdout);
+    let replay_out = String::from_utf8_lossy(&replayed.stdout);
+    // The ranked construct report (everything after the run header) must be
+    // byte-identical between the live and the replayed analysis.
+    let tail = |s: &str| s.split_once("\n\n").map(|x| x.1.to_owned()).unwrap();
+    assert_eq!(tail(&live_out), tail(&replay_out), "reports diverge");
+
+    let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn replay_stats_and_advise_run_offline() {
+    let src_path = write_temp("replaystats", PROGRAM);
+    let trace_path = temp_trace_path("replaystats");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("--out")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(rec.status.success());
+    // The source file is gone: replay must work from the trace alone.
+    let _ = std::fs::remove_file(&src_path);
+
+    let stats = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "stats"])
+        .output()
+        .expect("spawns");
+    assert!(
+        stats.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let stats_out = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats_out.contains("embedded source: yes"), "{stats_out}");
+    assert!(stats_out.contains("bytes/event"), "{stats_out}");
+    assert!(stats_out.contains("reads"), "{stats_out}");
+
+    let advise = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "advise", "--threads", "4"])
+        .output()
+        .expect("spawns");
+    assert!(
+        advise.status.success(),
+        "{}",
+        String::from_utf8_lossy(&advise.stderr)
+    );
+    let advise_out = String::from_utf8_lossy(&advise.stdout);
+    assert!(
+        advise_out.contains("parallelization candidates")
+            || advise_out.contains("no construct qualifies"),
+        "{advise_out}"
+    );
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn replay_rejects_foreign_files_with_typed_error() {
+    let path = write_temp("notatrace", PROGRAM);
+    let out = bin().args(["replay"]).arg(&path).output().expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad magic"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn bad_source_reports_error_and_nonzero_exit() {
     let path = write_temp("bad", "int main( { return 0; }");
     let out = bin().args(["profile"]).arg(&path).output().expect("spawns");
