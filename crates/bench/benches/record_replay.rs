@@ -1,14 +1,23 @@
 //! Record/replay microbenchmarks: live (instrumented) profiling vs
-//! recording a trace vs replaying a recorded trace into the profiler, plus
-//! a bytes-per-event report for the trace encoding.
+//! recording a trace vs replaying a recorded trace into the profiler —
+//! sequentially and through the address-sharded parallel pipeline — plus a
+//! bytes-per-event report for the trace encoding and per-shard event
+//! counts for the parallel split.
 //!
 //! The point of the trace subsystem is that the interpreter runs once and
 //! every further analysis becomes an offline pass; `replay_profile`
 //! measures exactly that offline cost next to `live_profile`'s pay-per-
-//! analysis re-execution.
+//! analysis re-execution, and `replay_profile_par{2,4}` measure the
+//! sharded pipeline (chunk-parallel decode + one shadow shard per worker,
+//! merged to the identical profile). Control events are broadcast to every
+//! shard, so sharding only wins on memory-dominated traces — the per-shard
+//! counts printed above the timings show both the balance of the address
+//! split and the broadcast fraction that bounds the speedup.
 
-use alchemist_core::{profile_module, AlchemistProfiler, ProfileConfig};
-use alchemist_trace::{TraceReader, TraceStats, TraceWriter};
+use alchemist_core::{
+    profile_events_par, profile_module, shard_event_counts, AlchemistProfiler, ProfileConfig,
+};
+use alchemist_trace::{decode_events_par, TraceReader, TraceStats, TraceWriter};
 use alchemist_workloads::Scale;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -32,6 +41,16 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
         stats.bytes_per_event(),
         stats.chunks
     );
+    let (events, summary) =
+        decode_events_par(TraceReader::new(bytes.as_slice()).expect("header"), 4).expect("decode");
+    for jobs in [2usize, 4] {
+        let counts = shard_event_counts(&events, jobs);
+        let shares: Vec<String> = counts.iter().map(|n| n.to_string()).collect();
+        println!(
+            "{name}: memory events per shard at --jobs {jobs}: {}",
+            shares.join(", ")
+        );
+    }
 
     let mut group = c.benchmark_group(name);
     group.bench_function("live_profile", |b| {
@@ -44,12 +63,45 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
             writer.finish(outcome.steps).expect("finish")
         })
     });
+    // Sequential replay: stream the decode straight into one profiler.
     group.bench_function("replay_profile", |b| {
         b.iter(|| {
             let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
             let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
             let summary = reader.replay_into(&mut prof).expect("replay");
             prof.into_profile(summary.total_steps)
+        })
+    });
+    // Parallel replay, full pipeline: chunk-parallel decode plus N address
+    // shards (what `replay --jobs N` runs).
+    for jobs in [2usize, 4] {
+        group.bench_function(&format!("replay_profile_par{jobs}"), |b| {
+            b.iter(|| {
+                let reader = TraceReader::new(bytes.as_slice()).expect("header");
+                let (events, summary) = decode_events_par(reader, jobs).expect("decode");
+                let (profile, _, _) = profile_events_par(
+                    &module,
+                    &events,
+                    summary.total_steps,
+                    ProfileConfig::default(),
+                    jobs,
+                );
+                profile
+            })
+        });
+    }
+    // Analysis-only parallel replay over pre-decoded events (isolates the
+    // sharded-shadow speedup from the decode).
+    group.bench_function("analysis_par4_predecoded", |b| {
+        b.iter(|| {
+            let (profile, _, _) = profile_events_par(
+                &module,
+                &events,
+                summary.total_steps,
+                ProfileConfig::default(),
+                4,
+            );
+            profile
         })
     });
     group.finish();

@@ -25,6 +25,7 @@ use alchemist_vm::{ExecConfig, Module};
 /// Merges `other` into `base` with the union/min semantics above.
 pub fn merge_profiles(base: &mut DepProfile, other: &DepProfile) {
     base.total_steps += other.total_steps;
+    base.dropped_readers += other.dropped_readers;
     for c in other.constructs() {
         base.merge_duration(c.id, c.ttotal, c.inst);
         for (key, stat) in &c.edges {

@@ -21,6 +21,7 @@
 //!   (Table II),
 //! * [`profiler`] — the event sink gluing the above to the VM,
 //! * [`report`] — ranked-candidate reports (Fig. 2/3/6, Tables III/IV),
+//! * [`shard`] — address-sharded parallel replay of recorded event streams,
 //! * [`oracle`] — a brute-force reference profiler used to validate the
 //!   online algorithm in tests.
 //!
@@ -51,6 +52,7 @@ pub mod profiler;
 pub mod report;
 pub mod runner;
 pub mod shadow;
+pub mod shard;
 pub mod stats;
 
 pub use aggregate::{input_dependent_edges, merge_profiles, profile_many};
@@ -61,4 +63,8 @@ pub use profile::{ConstructProfile, DepProfile, EdgeKey, EdgeStat};
 pub use profiler::{AlchemistProfiler, IndexMode, ProfileConfig};
 pub use report::{ConstructReport, EdgeReport, Fig6Point, ProfileReport};
 pub use runner::{profile_events, profile_module, profile_source, ProfileOutcome};
+pub use shard::{
+    merge_shard_profiles, profile_events_par, run_sharded, shard_event_counts, shard_of,
+    ShardFilter,
+};
 pub use stats::{constructs_to_csv, edges_to_csv, DistanceHistogram};

@@ -132,7 +132,9 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                 sample_addr: addr,
             });
             stat.count += 1;
-            if tdep < stat.min_tdep {
+            // Same order-independent tie rule as the online profiler:
+            // equal minimum distances keep the lowest address.
+            if tdep < stat.min_tdep || (tdep == stat.min_tdep && addr < stat.sample_addr) {
                 stat.min_tdep = tdep;
                 stat.sample_addr = addr;
             }

@@ -109,6 +109,11 @@ pub struct DepProfile {
     constructs: HashMap<Pc, ConstructProfile>,
     /// Total instructions executed by the profiled run.
     pub total_steps: u64,
+    /// Reads the shadow memory dropped because a per-address read set hit
+    /// its cap ([`crate::ProfileConfig::reader_cap`]). Non-zero means the
+    /// WAR edge set may be incomplete; reports surface this so a capped run
+    /// is never mistaken for a clean one.
+    pub dropped_readers: u64,
 }
 
 impl DepProfile {
@@ -223,7 +228,10 @@ impl DepProfile {
                     sample_addr: addr,
                 });
             stat.count += 1;
-            if tdep < stat.min_tdep {
+            // Ties on the minimum distance keep the lowest address, so the
+            // result is independent of observation order — sequential replay
+            // and an address-sharded parallel merge agree exactly.
+            if tdep < stat.min_tdep || (tdep == stat.min_tdep && addr < stat.sample_addr) {
                 stat.min_tdep = tdep;
                 stat.sample_addr = addr;
             }
@@ -258,7 +266,12 @@ impl DepProfile {
             sample_addr: stat.sample_addr,
         });
         s.count += stat.count;
-        if stat.min_tdep < s.min_tdep {
+        // Same tie rule as `record_dependence`: equal distances keep the
+        // lowest address, making the merge commutative and shard-order
+        // independent.
+        if stat.min_tdep < s.min_tdep
+            || (stat.min_tdep == s.min_tdep && stat.sample_addr < s.sample_addr)
+        {
             s.min_tdep = stat.min_tdep;
             s.sample_addr = stat.sample_addr;
         }

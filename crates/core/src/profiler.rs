@@ -130,6 +130,7 @@ impl<'m> AlchemistProfiler<'m> {
         self.stack
             .finalize(&mut self.pool, &mut self.profile, total_steps);
         self.profile.total_steps = total_steps;
+        self.profile.dropped_readers = self.shadow.dropped_readers;
         self.profile
     }
 }
@@ -428,6 +429,25 @@ mod tests {
         );
         assert!(p.total_steps > 0);
         assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn capped_read_sets_surface_in_the_profile() {
+        // Three distinct read sites of `g` between writes; a cap of 1
+        // forces evictions, and the profile must say so.
+        let src = "int g; int a; int b; int c;
+             int main() { g = 1; a = g; b = g; c = g; g = 2; return g; }";
+        let cfg = ProfileConfig {
+            reader_cap: 1,
+            ..Default::default()
+        };
+        let (p, _m) = profile_src_with(src, cfg, vec![]);
+        assert!(
+            p.dropped_readers > 0,
+            "cap of 1 with 3 read sites must drop reads"
+        );
+        let (p_uncapped, _m) = profile_src(src);
+        assert_eq!(p_uncapped.dropped_readers, 0, "default cap is not hit");
     }
 
     #[test]

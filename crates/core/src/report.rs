@@ -114,6 +114,9 @@ pub struct ProfileReport {
     pub total_steps: u64,
     /// Total distinct violating static RAW edges across constructs.
     pub total_violating_raw: usize,
+    /// Reads the profiler's shadow memory dropped at the per-address reader
+    /// cap; non-zero means the WAR edge set may be incomplete.
+    pub dropped_readers: u64,
 }
 
 impl ProfileReport {
@@ -172,6 +175,7 @@ impl ProfileReport {
             constructs,
             total_steps: profile.total_steps,
             total_violating_raw: profile.total_violating(DepKind::Raw),
+            dropped_readers: profile.dropped_readers,
         }
     }
 
@@ -220,6 +224,7 @@ impl ProfileReport {
             constructs: keep,
             total_steps: self.total_steps,
             total_violating_raw,
+            dropped_readers: self.dropped_readers,
         };
         let denom = total_violating_raw.max(1) as f64;
         for c in &mut report.constructs {
@@ -268,6 +273,14 @@ impl ProfileReport {
                     if e.violating { "  [VIOLATING]" } else { "" }
                 );
             }
+        }
+        if self.dropped_readers > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} read(s) dropped at the per-address reader cap; \
+                 WAR edges may be undercounted",
+                self.dropped_readers
+            );
         }
         out
     }
@@ -382,6 +395,31 @@ mod tests {
         assert!(text.contains("Method main"), "{text}");
         assert!(text.contains("Tdur="));
         assert!(text.contains("RAW: line"));
+    }
+
+    #[test]
+    fn render_notes_capped_read_sets() {
+        let src = "int g; int a; int b; int c;
+             int main() { g = 1; a = g; b = g; c = g; g = 2; return g; }";
+        let module = compile_source(src).unwrap();
+        let cfg = ProfileConfig {
+            reader_cap: 1,
+            ..Default::default()
+        };
+        let mut prof = AlchemistProfiler::new(&module, cfg);
+        let outcome = run(&module, &ExecConfig::default(), &mut prof).unwrap();
+        let capped = ProfileReport::new(&prof.into_profile(outcome.steps), &module);
+        assert!(capped.dropped_readers > 0);
+        assert!(
+            capped
+                .render(10)
+                .contains("dropped at the per-address reader cap"),
+            "{}",
+            capped.render(10)
+        );
+        let clean = report_for(src);
+        assert_eq!(clean.dropped_readers, 0);
+        assert!(!clean.render(10).contains("dropped"));
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct ShadowMemory<T = NodeRef> {
     dense: Vec<Option<Cell<T>>>,
     sparse: HashMap<u32, Cell<T>>,
     reader_cap: usize,
+    /// Addresses with shadow state (dense cells in use + sparse entries),
+    /// maintained incrementally so [`ShadowMemory::len`] is O(1).
+    occupied: usize,
     /// Count of reads dropped because a cell's read set was full.
     pub dropped_readers: u64,
 }
@@ -94,13 +97,14 @@ impl<T: Copy> ShadowMemory<T> {
             dense,
             sparse: HashMap::new(),
             reader_cap: reader_cap.max(1),
+            occupied: 0,
             dropped_readers: 0,
         }
     }
 
     /// Number of addresses with shadow state.
     pub fn len(&self) -> usize {
-        self.dense.iter().filter(|c| c.is_some()).count() + self.sparse.len()
+        self.occupied
     }
 
     /// Whether no address has been accessed yet.
@@ -110,9 +114,19 @@ impl<T: Copy> ShadowMemory<T> {
 
     fn cell(&mut self, addr: u32) -> &mut Cell<T> {
         if (addr as usize) < self.dense.len() {
-            self.dense[addr as usize].get_or_insert_with(Cell::default)
+            let slot = &mut self.dense[addr as usize];
+            if slot.is_none() {
+                self.occupied += 1;
+            }
+            slot.get_or_insert_with(Cell::default)
         } else {
-            self.sparse.entry(addr).or_default()
+            match self.sparse.entry(addr) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.occupied += 1;
+                    v.insert(Cell::default())
+                }
+            }
         }
     }
 
@@ -128,9 +142,11 @@ impl<T: Copy> ShadowMemory<T> {
         } else if cell.reads.len() < reader_cap {
             cell.reads.push(access);
         } else {
-            // Replace the stalest entry.
+            // Replace the stalest entry; ties on the timestamp break by
+            // lowest pc so sequential and sharded replay evict identically
+            // (Vec order is an accident of insertion history).
             dropped = true;
-            if let Some(oldest) = cell.reads.iter_mut().min_by_key(|r| r.t) {
+            if let Some(oldest) = cell.reads.iter_mut().min_by_key(|r| (r.t, r.pc)) {
                 *oldest = access;
             }
         }
@@ -254,6 +270,41 @@ mod tests {
         assert!(s.on_read(2, acc(2, 2)).is_none());
         assert!(s.on_read(1, acc(3, 3)).is_some());
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn len_matches_a_full_rescan() {
+        // The occupancy counter must agree with the O(n) scan it replaced,
+        // across dense hits, sparse hits and repeated touches.
+        let mut s: ShadowMemory = ShadowMemory::with_dense_limit(4, 16);
+        for (addr, pc) in [(0u32, 1u32), (3, 2), (3, 3), (100, 4), (100, 5), (7, 6)] {
+            if pc % 2 == 0 {
+                s.on_read(addr, acc(pc, pc as Time));
+            } else {
+                s.on_write(addr, acc(pc, pc as Time));
+            }
+            let scan = s.dense.iter().filter(|c| c.is_some()).count() + s.sparse.len();
+            assert_eq!(s.len(), scan, "after touching {addr}");
+        }
+        assert_eq!(s.len(), 4); // 0, 3, 7 dense; 100 sparse
+    }
+
+    #[test]
+    fn eviction_ties_break_by_lowest_pc() {
+        // Two reads at the same timestamp: the one with the lower pc is the
+        // deterministic victim, regardless of insertion order.
+        for (first, second) in [(10u32, 11u32), (11, 10)] {
+            let mut s = ShadowMemory::new(2);
+            s.on_read(1, acc(first, 5));
+            s.on_read(1, acc(second, 5));
+            s.on_read(1, acc(12, 6)); // evicts pc=10 (t=5 tie, lowest pc)
+            let (_, wars) = s.on_write(1, acc(2, 9));
+            let pcs: Vec<_> = wars.iter().map(|w| w.head.pc).collect();
+            assert!(
+                pcs.contains(&Pc(11)) && pcs.contains(&Pc(12)) && !pcs.contains(&Pc(10)),
+                "insertion order {first},{second}: survivors {pcs:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Address-sharded parallel replay.
+//!
+//! The offline analyses ([`profile_events`], task
+//! extraction) are pure functions of a recorded event stream, which makes
+//! them parallelizable without touching the capture side. The scheme is the
+//! classic shadow-memory sharding used by parallel memory profilers:
+//!
+//! * memory events are partitioned by `addr % jobs` — every address's full
+//!   access history lands on exactly one shard, so per-address shadow state
+//!   (last write, read set, cap evictions) evolves *identically* to the
+//!   sequential run;
+//! * control events (enter/exit/block/predicate) are broadcast to all
+//!   shards, so every shard maintains an identical execution-index tree and
+//!   construct pool — dependence attribution needs the tree, and the tree
+//!   is cheap next to shadow lookups;
+//! * per-shard [`DepProfile`]s are merged deterministically: duration,
+//!   instance and nesting statistics are control-derived and therefore
+//!   identical in every shard (shard 0's copy is kept); dependence edges are
+//!   disjoint per dynamic occurrence and union with min/sum semantics via
+//!   [`DepProfile::merge_edge`], whose lowest-address tie rule makes the
+//!   merge commutative.
+//!
+//! The result is **equal** (`==`) to the sequential and live profiles: the
+//! determinism guarantee the `replay --jobs N` CLI path and the CI parity
+//! gate assert for every bundled workload.
+
+use crate::pool::PoolStats;
+use crate::profile::DepProfile;
+use crate::profiler::{AlchemistProfiler, ProfileConfig};
+use crate::runner::profile_events;
+use alchemist_lang::hir::FuncId;
+use alchemist_vm::{BlockId, Event, Module, Pc, Time, TraceSink};
+
+/// The shard owning `addr` when the address space is split `jobs` ways.
+#[inline]
+pub fn shard_of(addr: u32, jobs: u32) -> u32 {
+    addr % jobs.max(1)
+}
+
+/// A [`TraceSink`] adapter that forwards every control event to `inner` but
+/// only the memory events whose address belongs to one shard.
+///
+/// Wrapping any sequential analysis sink in a `ShardFilter` per worker is
+/// all it takes to shard it: the inner sink observes the exact sub-stream
+/// the sequential run would deliver for its addresses, in the same order
+/// and with the same timestamps.
+#[derive(Debug)]
+pub struct ShardFilter<S> {
+    shard: u32,
+    jobs: u32,
+    inner: S,
+}
+
+impl<S> ShardFilter<S> {
+    /// Wraps `inner` as shard `shard` of `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= jobs` (the filter would drop every memory event).
+    pub fn new(shard: u32, jobs: u32, inner: S) -> Self {
+        assert!(shard < jobs, "shard {shard} out of range for {jobs} jobs");
+        ShardFilter { shard, jobs, inner }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    #[inline]
+    fn owns(&self, addr: u32) -> bool {
+        shard_of(addr, self.jobs) == self.shard
+    }
+}
+
+impl<S: TraceSink> TraceSink for ShardFilter<S> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+        self.inner.on_enter_function(t, func, fp);
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+        self.inner.on_exit_function(t, func);
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+        self.inner.on_block_entry(t, block);
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+        self.inner.on_predicate(t, pc, block, taken);
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        if self.owns(addr) {
+            self.inner.on_read(t, addr, pc);
+        }
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        if self.owns(addr) {
+            self.inner.on_write(t, addr, pc);
+        }
+    }
+}
+
+/// Runs one sink per address shard over `events` on scoped worker threads
+/// and returns the finished sinks in shard order.
+///
+/// This is the shared fan-out primitive behind [`profile_events_par`] and
+/// `alchemist_parsim::extract_tasks_from_events_par`: `make_sink(k)`
+/// builds the sequential analysis sink for shard `k`, each worker wraps it
+/// in a [`ShardFilter`] and dispatches the whole stream, and the caller
+/// merges the returned sinks however its analysis requires.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded<S, F>(events: &[Event], jobs: usize, make_sink: F) -> Vec<S>
+where
+    S: TraceSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
+    let jobs = jobs.clamp(1, u32::MAX as usize);
+    std::thread::scope(|s| {
+        let make_sink = &make_sink;
+        let handles: Vec<_> = (0..jobs)
+            .map(|k| {
+                s.spawn(move || {
+                    let mut filter = ShardFilter::new(k as u32, jobs as u32, make_sink(k as u32));
+                    for ev in events {
+                        ev.dispatch(&mut filter);
+                    }
+                    filter.into_inner()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Memory events per shard for a `jobs`-way split (control events are
+/// broadcast and not counted). Used by benches and `replay --jobs` to show
+/// how balanced the address partition is.
+pub fn shard_event_counts(events: &[Event], jobs: usize) -> Vec<u64> {
+    let jobs = jobs.max(1);
+    let mut counts = vec![0u64; jobs];
+    for ev in events {
+        if let Event::Read { addr, .. } | Event::Write { addr, .. } = *ev {
+            counts[shard_of(addr, jobs as u32) as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Merges per-shard profiles into the sequential-equivalent whole.
+///
+/// Shard 0 contributes everything (its control-derived statistics are
+/// identical to every other shard's); the remaining shards contribute only
+/// their dependence edges and dropped-reader counts.
+pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
+    let mut iter = shards.into_iter();
+    let mut base = iter.next().unwrap_or_default();
+    for shard in iter {
+        base.dropped_readers += shard.dropped_readers;
+        for c in shard.constructs() {
+            for (key, stat) in &c.edges {
+                base.merge_edge(c.id, *key, *stat);
+            }
+        }
+    }
+    base
+}
+
+/// Parallel variant of [`profile_events`]: replays a
+/// recorded event stream through `jobs` address shards on scoped worker
+/// threads and merges the per-shard profiles.
+///
+/// Produces a [`DepProfile`] **equal** to the sequential replay (and hence
+/// to live instrumentation of the run that recorded `events`), plus the
+/// pool statistics and maximum depth — which are control-derived and
+/// identical in every shard. `jobs <= 1` falls back to the sequential path.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_core::{profile_events, profile_events_par, ProfileConfig};
+/// use alchemist_vm::{compile_source, run, ExecConfig, RecordingSink};
+///
+/// let src = "int g; int main() { int i; for (i = 0; i < 9; i++) g += i; return g; }";
+/// let module = compile_source(src).unwrap();
+/// let mut rec = RecordingSink::default();
+/// let out = run(&module, &ExecConfig::default(), &mut rec).unwrap();
+///
+/// let (seq, _, _) = profile_events(
+///     &module, rec.events.iter().copied(), out.steps, ProfileConfig::default());
+/// let (par, _, _) = profile_events_par(
+///     &module, &rec.events, out.steps, ProfileConfig::default(), 4);
+/// assert_eq!(par, seq);
+/// ```
+pub fn profile_events_par(
+    module: &Module,
+    events: &[Event],
+    total_steps: u64,
+    config: ProfileConfig,
+    jobs: usize,
+) -> (DepProfile, PoolStats, usize) {
+    if jobs <= 1 {
+        return profile_events(module, events.iter().copied(), total_steps, config);
+    }
+    let profilers = run_sharded(events, jobs, |_| {
+        AlchemistProfiler::new(module, config.clone())
+    });
+    let mut shards: Vec<(DepProfile, PoolStats, usize)> = profilers
+        .into_iter()
+        .map(|prof| {
+            let pool_stats = prof.pool_stats();
+            let max_depth = prof.max_depth();
+            (prof.into_profile(total_steps), pool_stats, max_depth)
+        })
+        .collect();
+    let (pool_stats, max_depth) = (shards[0].1, shards[0].2);
+    debug_assert!(
+        shards
+            .iter()
+            .all(|(_, ps, d)| (*ps, *d) == (pool_stats, max_depth)),
+        "control-derived statistics must be identical across shards"
+    );
+    let profiles = shards.drain(..).map(|(p, _, _)| p).collect();
+    (merge_shard_profiles(profiles), pool_stats, max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alchemist_vm::{compile_source, run, CountingSink, ExecConfig, RecordingSink};
+
+    const CHURN: &str = "int a[16]; int sum;
+        void mix(int k) {
+            int i;
+            for (i = 0; i < 16; i++) a[i] = a[(i + k) % 16] + i;
+        }
+        int main() {
+            int r;
+            for (r = 0; r < 6; r++) { mix(r); sum += a[r]; }
+            return sum;
+        }";
+
+    fn record(src: &str) -> (alchemist_vm::Module, Vec<Event>, u64) {
+        let module = compile_source(src).unwrap();
+        let mut rec = RecordingSink::default();
+        let out = run(&module, &ExecConfig::default(), &mut rec).unwrap();
+        (module, rec.events, out.steps)
+    }
+
+    #[test]
+    fn shard_filter_partitions_memory_and_broadcasts_control() {
+        let (_m, events, _) = record(CHURN);
+        let jobs = 3;
+        let mut totals = CountingSink::default();
+        for ev in &events {
+            ev.dispatch(&mut totals);
+        }
+        let mut mem_seen = 0;
+        for k in 0..jobs {
+            let mut f = ShardFilter::new(k, jobs, CountingSink::default());
+            for ev in &events {
+                ev.dispatch(&mut f);
+            }
+            let c = f.into_inner();
+            assert_eq!(c.enters, totals.enters, "control broadcast");
+            assert_eq!(c.predicates, totals.predicates, "control broadcast");
+            mem_seen += c.reads + c.writes;
+        }
+        assert_eq!(
+            mem_seen,
+            totals.reads + totals.writes,
+            "memory events partition exactly"
+        );
+    }
+
+    #[test]
+    fn shard_counts_cover_all_memory_events() {
+        let (_m, events, _) = record(CHURN);
+        let mut totals = CountingSink::default();
+        for ev in &events {
+            ev.dispatch(&mut totals);
+        }
+        for jobs in [1usize, 2, 5] {
+            let counts = shard_event_counts(&events, jobs);
+            assert_eq!(counts.len(), jobs);
+            assert_eq!(counts.iter().sum::<u64>(), totals.reads + totals.writes);
+        }
+    }
+
+    #[test]
+    fn parallel_profile_equals_sequential_for_any_job_count() {
+        let (module, events, steps) = record(CHURN);
+        let (seq, seq_pool, seq_depth) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        for jobs in [1usize, 2, 3, 4, 7, 16] {
+            let (par, pool, depth) =
+                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs);
+            assert_eq!(par, seq, "jobs={jobs}");
+            assert_eq!(pool, seq_pool, "jobs={jobs}");
+            assert_eq!(depth, seq_depth, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_profile_matches_under_tiny_reader_cap() {
+        // Cap evictions are per-address state; sharding must not change
+        // which reads are dropped or how many.
+        let (module, events, steps) = record(CHURN);
+        let cfg = ProfileConfig {
+            reader_cap: 1,
+            ..Default::default()
+        };
+        let (seq, _, _) = profile_events(&module, events.iter().copied(), steps, cfg.clone());
+        let (par, _, _) = profile_events_par(&module, &events, steps, cfg, 4);
+        assert_eq!(par.dropped_readers, seq.dropped_readers);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn more_jobs_than_addresses_is_fine() {
+        let (module, events, steps) = record("int g; int main() { g = 1; return g; }");
+        let (seq, _, _) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        let (par, _, _) = profile_events_par(&module, &events, steps, ProfileConfig::default(), 64);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_filter_rejects_out_of_range_shard() {
+        let _ = ShardFilter::new(4, 4, CountingSink::default());
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::task::{TaskId, TaskInstance, TaskTrace};
 use alchemist_core::shadow::{Access, ShadowMemory};
+use alchemist_core::shard::run_sharded;
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
 use alchemist_vm::{BlockId, Event, ExecConfig, Module, Pc, Time, TraceSink, Trap};
@@ -285,6 +286,47 @@ where
     extractor.into_trace(total_steps)
 }
 
+/// Address-sharded parallel variant of [`extract_tasks_from_events`].
+///
+/// Same scheme as [`alchemist_core::profile_events_par`]: every worker runs
+/// a full [`TaskExtractor`] behind a [`ShardFilter`](alchemist_core::ShardFilter)
+/// (via [`run_sharded`]), so it sees all control events (task open/close is
+/// control-derived and identical in every shard) but only the memory
+/// events of its address shard. The merge
+/// keeps shard 0's task list, unions the schedule constraints — each
+/// dynamic dependence is detected by exactly one shard — and re-applies
+/// the sequential path's sort/dedup, so the result is **equal** to
+/// [`extract_tasks_from_events`] on the same stream.
+pub fn extract_tasks_from_events_par(
+    module: &Module,
+    config: ExtractConfig,
+    events: &[Event],
+    total_steps: u64,
+    jobs: usize,
+) -> TaskTrace {
+    if jobs <= 1 {
+        return extract_tasks_from_events(module, config, events.iter().copied(), total_steps);
+    }
+    let extractors = run_sharded(events, jobs, |_| TaskExtractor::new(module, config.clone()));
+    let mut iter = extractors
+        .into_iter()
+        .map(|e| e.into_trace(total_steps))
+        .collect::<Vec<_>>()
+        .into_iter();
+    let mut base = iter.next().expect("at least one shard");
+    let mut edge_set: HashSet<(TaskId, TaskId)> = base.task_edges.iter().copied().collect();
+    for shard in iter {
+        debug_assert_eq!(base.tasks, shard.tasks, "task lists are control-derived");
+        base.main_joins.extend(shard.main_joins);
+        edge_set.extend(shard.task_edges);
+    }
+    base.main_joins.sort_unstable();
+    base.main_joins.dedup();
+    base.task_edges = edge_set.into_iter().collect();
+    base.task_edges.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+    base
+}
+
 /// Finds the head of a construct by kind and source line (a convenient way
 /// for benchmarks to say "the loop at line 14 of main").
 pub fn construct_at_line(module: &Module, kind: ConstructKind, line: u32) -> Option<Pc> {
@@ -442,6 +484,40 @@ int main() {
         let out = alchemist_vm::run(&m, &ExecConfig::default(), &mut rec).unwrap();
         let offline = extract_tasks_from_events(&m, cfg, rec.events.iter().copied(), out.steps);
         assert_eq!(live, offline);
+    }
+
+    #[test]
+    fn sharded_extraction_equals_sequential() {
+        // A workload with all three constraint sources: main joins (the
+        // final out[7] read), task edges (the counter chain) and WAR/WAW
+        // when respected.
+        let src = "\
+int counter;
+int out[8];
+void work(int i) { counter++; out[i] = i + counter; }
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) work(i);
+    return out[7];
+}";
+        let m = compile_source(src).unwrap();
+        let head = m.func_by_name("work").unwrap().1.entry;
+        let mut rec = alchemist_vm::RecordingSink::default();
+        let out = alchemist_vm::run(&m, &ExecConfig::default(), &mut rec).unwrap();
+        for respect in [false, true] {
+            let cfg = ExtractConfig {
+                respect_war_waw: respect,
+                ..ExtractConfig::default().mark(head)
+            };
+            let seq =
+                extract_tasks_from_events(&m, cfg.clone(), rec.events.iter().copied(), out.steps);
+            assert!(!seq.task_edges.is_empty(), "counter chain constrains");
+            for jobs in [1usize, 2, 3, 4, 8] {
+                let par =
+                    extract_tasks_from_events_par(&m, cfg.clone(), &rec.events, out.steps, jobs);
+                assert_eq!(par, seq, "jobs={jobs} respect_war_waw={respect}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! The format is chunked (self-delimiting blocks carrying their own event
 //! counts and time ranges, see [`format`](mod@format)), so replay can skip or window
 //! by time without decoding what it does not need, and delta/varint
-//! encoded, averaging a few bytes per event. Traces can embed the mini-C
+//! encoded, averaging a few bytes per event. Chunks decode independently
+//! of each other, so a trace can also be decoded chunk-parallel across
+//! worker threads ([`decode_events_par`]). Traces can embed the mini-C
 //! source of the recorded program, making the artifact self-contained.
 //!
 //! ## Record, then replay
@@ -56,12 +58,14 @@
 
 pub mod error;
 pub mod format;
+pub mod par;
 pub mod reader;
 pub mod tee;
 pub mod varint;
 pub mod writer;
 
 pub use error::TraceError;
-pub use reader::{ChunkInfo, ReplaySummary, TraceReader};
+pub use par::{decode_chunk, decode_events_par};
+pub use reader::{ChunkInfo, RawChunk, ReplaySummary, TraceReader};
 pub use tee::{MultiSink, Tee};
 pub use writer::{TraceStats, TraceWriter, DEFAULT_CHUNK_EVENTS};

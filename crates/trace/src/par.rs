@@ -1,0 +1,228 @@
+//! Chunk-parallel trace decoding.
+//!
+//! `.alct` chunks are self-contained — each carries its own event count and
+//! reseeds the delta codec at its `t_first` — so after the cheap sequential
+//! scan that slices the stream into [`RawChunk`]s, every payload decodes
+//! independently. [`decode_events_par`] fans the chunks out to scoped
+//! worker threads (work-stealing over an atomic cursor, so a few oversized
+//! chunks cannot serialize the pool) and reassembles the event vector in
+//! trace order.
+//!
+//! Error semantics match the sequential reader as closely as a batch API
+//! can: if several chunks are corrupt, the error reported is the one the
+//! sequential decoder would have hit first (lowest chunk index), and no
+//! events are returned.
+
+use crate::error::TraceError;
+use crate::format::{self, CodecState};
+use crate::reader::{RawChunk, ReplaySummary, TraceReader};
+use alchemist_vm::Event;
+use std::io::Read;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Decodes one raw chunk into its events.
+///
+/// # Errors
+///
+/// Any payload-level [`TraceError`] ([`TraceError::Truncated`] mid-event,
+/// [`TraceError::BadEventTag`], delta overflow, trailing bytes).
+pub fn decode_chunk(chunk: &RawChunk) -> Result<Vec<Event>, TraceError> {
+    let mut state = CodecState::new(chunk.t_first);
+    let mut pos = 0;
+    let mut events = Vec::with_capacity(chunk.events as usize);
+    for _ in 0..chunk.events {
+        events.push(format::decode_event(&mut state, &chunk.payload, &mut pos)?);
+    }
+    if pos != chunk.payload.len() {
+        return Err(TraceError::Malformed("trailing bytes in chunk"));
+    }
+    Ok(events)
+}
+
+/// Decodes a whole trace into an event vector using `jobs` worker threads.
+///
+/// Equivalent to collecting the reader's event iterator — same events, same
+/// order, same `total_steps` — but the payload decoding runs chunk-parallel.
+/// `jobs <= 1` (or a single-chunk trace) decodes inline.
+///
+/// # Errors
+///
+/// Structural errors from the chunk scan, or the first (in trace order)
+/// payload decode error.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_trace::{decode_events_par, TraceReader, TraceWriter};
+/// use alchemist_vm::{compile_source, run, ExecConfig, RecordingSink};
+///
+/// let src = "int g; int main() { int i; for (i = 0; i < 64; i++) g += i; return g; }";
+/// let module = compile_source(src)?;
+/// let mut writer = TraceWriter::new(Vec::new(), None).unwrap().with_chunk_capacity(32);
+/// let out = run(&module, &ExecConfig::default(), &mut writer).unwrap();
+/// let (bytes, _) = writer.finish(out.steps).unwrap();
+///
+/// let mut live = RecordingSink::default();
+/// run(&module, &ExecConfig::default(), &mut live).unwrap();
+///
+/// let reader = TraceReader::new(bytes.as_slice()).unwrap();
+/// let (events, summary) = decode_events_par(reader, 4).unwrap();
+/// assert_eq!(events, live.events);
+/// assert_eq!(summary.total_steps, out.steps);
+/// # Ok::<(), alchemist_lang::LangError>(())
+/// ```
+pub fn decode_events_par<R: Read>(
+    mut reader: TraceReader<R>,
+    jobs: usize,
+) -> Result<(Vec<Event>, ReplaySummary), TraceError> {
+    let (chunks, total_steps) = reader.read_raw_chunks()?;
+    let jobs = jobs.max(1).min(chunks.len().max(1));
+    let decoded: Vec<Result<Vec<Event>, TraceError>> = if jobs <= 1 {
+        chunks.iter().map(decode_chunk).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (cursor, chunks) = (&cursor, &chunks);
+        let mut slots: Vec<(usize, Result<Vec<Event>, TraceError>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(i) else {
+                                return done;
+                            };
+                            done.push((i, decode_chunk(chunk)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("decode worker panicked"))
+                .collect()
+        });
+        slots.sort_unstable_by_key(|(i, _)| *i);
+        slots.into_iter().map(|(_, r)| r).collect()
+    };
+    let mut events = Vec::with_capacity(chunks.iter().map(|c| c.events as usize).sum());
+    for chunk in decoded {
+        events.extend(chunk?);
+    }
+    let summary = ReplaySummary {
+        events: events.len() as u64,
+        total_steps,
+    };
+    Ok((events, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use alchemist_lang::hir::FuncId;
+    use alchemist_vm::{Pc, RecordingSink, TraceSink};
+
+    fn sample_trace(chunk_capacity: usize, rounds: u32) -> (Vec<u8>, RecordingSink) {
+        let mut live = RecordingSink::default();
+        let mut w = TraceWriter::new(Vec::new(), Some("int main() { return 0; }"))
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity);
+        let mut t = 0;
+        for i in 0..rounds {
+            live.on_enter_function(t, FuncId(i % 3), 8 * i);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i);
+            t += 2;
+            live.on_read(t, i, Pc(i * 5));
+            w.on_read(t, i, Pc(i * 5));
+            t += 1;
+            live.on_write(t, i + 100, Pc(i * 5 + 1));
+            w.on_write(t, i + 100, Pc(i * 5 + 1));
+            t += 40;
+            live.on_exit_function(t, FuncId(i % 3));
+            w.on_exit_function(t, FuncId(i % 3));
+            t += 1;
+        }
+        let (bytes, _) = w.finish(t).unwrap();
+        (bytes, live)
+    }
+
+    #[test]
+    fn parallel_decode_equals_sequential_iteration() {
+        let (bytes, live) = sample_trace(7, 40);
+        for jobs in [1usize, 2, 4, 9] {
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let (events, summary) = decode_events_par(reader, jobs).unwrap();
+            assert_eq!(events, live.events, "jobs={jobs}");
+            assert_eq!(summary.events, live.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_decode_of_empty_trace() {
+        let (bytes, _) = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .finish(5)
+            .unwrap();
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let (events, summary) = decode_events_par(reader, 8).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(summary.total_steps, 5);
+    }
+
+    #[test]
+    fn more_jobs_than_chunks_is_fine() {
+        let (bytes, live) = sample_trace(1000, 5);
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let (events, _) = decode_events_par(reader, 32).unwrap();
+        assert_eq!(events, live.events);
+    }
+
+    #[test]
+    fn corruption_behaves_like_the_sequential_reader() {
+        // Flip every byte position in turn: wherever the sequential decoder
+        // errors, the parallel decoder must error too (and where the flip
+        // happens to be benign, both must deliver the same events).
+        let (bytes, _) = sample_trace(7, 12);
+        for pos in (8..bytes.len()).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            let seq: Result<Vec<Event>, TraceError> = match TraceReader::new(corrupt.as_slice()) {
+                Ok(r) => r.collect(),
+                Err(e) => Err(e),
+            };
+            let par = match TraceReader::new(corrupt.as_slice()) {
+                Ok(r) => decode_events_par(r, 4),
+                Err(e) => Err(e),
+            };
+            match seq {
+                Ok(events) => {
+                    let (par_events, _) = par.unwrap_or_else(|e| {
+                        panic!("flip at {pos}: sequential ok, parallel errored: {e}")
+                    });
+                    assert_eq!(par_events, events, "flip at {pos}");
+                }
+                Err(_) => assert!(par.is_err(), "flip at {pos}: parallel swallowed the error"),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_chunks_partition_the_events() {
+        let (bytes, live) = sample_trace(8, 25);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let (chunks, total_steps) = r.read_raw_chunks().unwrap();
+        assert!(chunks.len() > 1);
+        assert_eq!(
+            chunks.iter().map(|c| c.events).sum::<u64>(),
+            live.events.len() as u64
+        );
+        assert!(total_steps > 0);
+        let rejoined: Vec<Event> = chunks
+            .iter()
+            .map(|c| decode_chunk(c).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(rejoined, live.events);
+    }
+}

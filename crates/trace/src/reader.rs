@@ -23,6 +23,22 @@ pub struct ChunkInfo {
     pub payload_bytes: u64,
 }
 
+/// One event-bearing chunk with its payload still encoded: the unit of
+/// work for parallel decode ([`decode_events_par`](crate::decode_events_par)).
+///
+/// The delta codec resets at every chunk boundary ([`CodecState::new`]
+/// seeded with `t_first`), so a `RawChunk` decodes independently of every
+/// other chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawChunk {
+    /// Events in the chunk.
+    pub events: u64,
+    /// Timestamp of the chunk's first event (seeds the codec state).
+    pub t_first: u64,
+    /// The still-encoded payload.
+    pub payload: Vec<u8>,
+}
+
 /// What a full replay delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplaySummary {
@@ -45,8 +61,9 @@ struct ChunkHeader {
 /// Iterating yields `Result<Event, TraceError>`; any corruption surfaces
 /// as a typed error, never a panic. Use one access mode per reader —
 /// event iteration, [`TraceReader::replay_into`],
-/// [`TraceReader::replay_window`], or [`TraceReader::read_chunk_infos`] —
-/// since all of them advance the same underlying stream.
+/// [`TraceReader::replay_window`], [`TraceReader::read_chunk_infos`], or
+/// [`TraceReader::read_raw_chunks`] — since all of them advance the same
+/// underlying stream.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: R,
@@ -297,6 +314,37 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
+    /// Reads every event-bearing chunk *without decoding the payloads*,
+    /// returning them alongside the footer's step count. Consumes the
+    /// reader's stream.
+    ///
+    /// This is the fan-out point for parallel replay: the sequential part
+    /// (I/O plus header parsing) is a fraction of the decode cost, and the
+    /// returned chunks decode independently on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors only; payload corruption surfaces later, when a
+    /// chunk is decoded.
+    pub fn read_raw_chunks(&mut self) -> Result<(Vec<RawChunk>, u64), TraceError> {
+        let mut chunks = Vec::new();
+        loop {
+            let Some(head) = self.read_chunk_header()? else {
+                return Err(TraceError::Truncated("missing footer"));
+            };
+            if head.events == 0 {
+                let total_steps = self.read_footer(head.payload_len)?;
+                return Ok((chunks, total_steps));
+            }
+            self.read_payload(head.payload_len)?;
+            chunks.push(RawChunk {
+                events: head.events,
+                t_first: head.t_first,
+                payload: std::mem::take(&mut self.chunk),
+            });
+        }
+    }
+
     /// Reads chunk metadata for the whole trace without decoding any
     /// payload. Consumes the reader's stream.
     ///
@@ -409,6 +457,76 @@ mod tests {
         assert_eq!(windowed.events, expect);
         assert_eq!(n as usize, expect.len());
         assert!(!expect.is_empty(), "window test must cover events");
+    }
+
+    /// Replays `[lo, hi]` and checks it against filtering the live stream.
+    fn check_window(bytes: &[u8], live: &RecordingSink, lo: u64, hi: u64) -> usize {
+        let mut r = TraceReader::new(bytes).unwrap();
+        let mut windowed = RecordingSink::default();
+        let n = r.replay_window(lo, hi, &mut windowed).unwrap();
+        let expect: Vec<Event> = live
+            .events
+            .iter()
+            .copied()
+            .filter(|e| (lo..=hi).contains(&e.time()))
+            .collect();
+        assert_eq!(windowed.events, expect, "window [{lo}, {hi}]");
+        assert_eq!(n as usize, expect.len(), "window [{lo}, {hi}]");
+        expect.len()
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive_at_exact_chunk_boundaries() {
+        // Small chunks so boundary timestamps are mid-trace, not trivial.
+        let (bytes, live) = sample_trace(5);
+        let infos = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_chunk_infos()
+            .unwrap();
+        assert!(infos.len() >= 3, "need interior chunks to stress");
+        for info in &infos {
+            // Window starting exactly at a chunk's first event: that event
+            // is delivered (lower bound inclusive), nothing earlier is.
+            let n = check_window(&bytes, &live, info.t_first, u64::MAX);
+            assert!(n > 0);
+            // Window ending exactly at a chunk's last event: inclusive.
+            let n = check_window(&bytes, &live, 0, info.t_last);
+            assert!(n > 0);
+            // Degenerate single-instant windows on both boundaries.
+            check_window(&bytes, &live, info.t_first, info.t_first);
+            check_window(&bytes, &live, info.t_last, info.t_last);
+            // One past the chunk's end excludes its last event but keeps
+            // everything before it.
+            if info.t_last > 0 {
+                check_window(&bytes, &live, 0, info.t_last - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_windows_deliver_nothing() {
+        let (bytes, live) = sample_trace(5);
+        let t_end = live.events.last().unwrap().time();
+        // Inverted bounds.
+        assert_eq!(check_window(&bytes, &live, 10, 9), 0);
+        // Entirely after the trace.
+        assert_eq!(check_window(&bytes, &live, t_end + 1, t_end + 100), 0);
+        // Between two events (timestamps 0,2,3 then a +40 gap per round).
+        assert_eq!(check_window(&bytes, &live, 5, 40), 0);
+    }
+
+    #[test]
+    fn whole_trace_window_equals_full_replay() {
+        let (bytes, live) = sample_trace(5);
+        let n = check_window(&bytes, &live, 0, u64::MAX);
+        assert_eq!(n, live.events.len());
+        let t_first = live.events.first().unwrap().time();
+        let t_end = live.events.last().unwrap().time();
+        // The tight [first, last] window is also the whole trace.
+        assert_eq!(
+            check_window(&bytes, &live, t_first, t_end),
+            live.events.len()
+        );
     }
 
     #[test]

@@ -5,18 +5,20 @@
 //! alchemist run <file.mc> [--input a,b,c]
 //! alchemist advise <file.mc> [--input a,b,c] [--threads K]
 //! alchemist record <file.mc> [--input a,b,c] [-o trace.alct]
-//! alchemist replay <trace.alct> [--analysis profile|advise|stats]
+//! alchemist replay <trace.alct> [--analysis profile|advise|stats] [--jobs N]
 //! alchemist workloads [--json]
 //! ```
 
+use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
-    profile_events, profile_source, AlchemistProfiler, ProfileConfig, ProfileReport,
+    profile_events_par, profile_source, shard_event_counts, AlchemistProfiler, ProfileConfig,
+    ProfileReport,
 };
 use alchemist_parsim::{
-    extract_tasks, extract_tasks_from_events, render_timeline, simulate, suggest_candidates,
+    extract_tasks, extract_tasks_from_events_par, render_timeline, simulate, suggest_candidates,
     ExtractConfig, SimConfig,
 };
-use alchemist_trace::{MultiSink, TraceReader, TraceWriter};
+use alchemist_trace::{decode_events_par, MultiSink, TraceReader, TraceWriter};
 use alchemist_vm::{CountingSink, Event, ExecConfig, NullSink, Pc, Time, TraceSink};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -46,7 +48,7 @@ const USAGE: &str = "usage:
   alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
                    [--chunk-events N]
   alchemist replay <trace.alct> [--analysis profile|advise|stats]
-                   [--top N] [--threads K] [--war-waw LABEL]
+                   [--top N] [--threads K] [--jobs N] [--war-waw LABEL]
   alchemist workloads [--json]";
 
 /// A CLI failure: a message, plus whether the generic usage block helps.
@@ -433,11 +435,12 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn replay_cmd(args: &[String]) -> Result<(), CliError> {
-    const FLAGS: &[&str] = &["--analysis", "--top", "--threads", "--war-waw"];
+    const FLAGS: &[&str] = &["--analysis", "--top", "--threads", "--jobs", "--war-waw"];
     let mut file = None;
     let mut analysis = "profile".to_owned();
     let mut top = 10;
     let mut threads = 4;
+    let mut jobs = 1usize;
     let mut war_waw = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -459,6 +462,16 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err(CliError::bare("--jobs must be at least 1"));
+                }
+            }
             "--war-waw" => {
                 war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
             }
@@ -469,9 +482,9 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     }
     let path = file.ok_or("replay needs a trace file")?;
     match analysis.as_str() {
-        "profile" => replay_profile(&path, top, war_waw.as_deref()),
-        "advise" => replay_advise(&path, threads),
-        "stats" => replay_stats(&path),
+        "profile" => replay_profile(&path, top, war_waw.as_deref(), jobs),
+        "advise" => replay_advise(&path, threads, jobs),
+        "stats" => replay_stats(&path, jobs),
         other => Err(CliError::bare(format!(
             "unknown analysis `{other}` (expected profile, advise or stats)"
         ))),
@@ -495,40 +508,68 @@ fn trace_module(
         .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))
 }
 
-fn replay_profile(path: &str, top: usize, war_waw: Option<&str>) -> Result<(), CliError> {
-    let mut reader = open_trace(path)?;
+/// Decodes the whole trace into memory (chunk-parallel when `jobs > 1`).
+fn decode_trace(
+    path: &str,
+    jobs: usize,
+) -> Result<(alchemist_vm::Module, Vec<Event>, u64), CliError> {
+    let reader = open_trace(path)?;
     let module = trace_module(&reader)?;
-    let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
-    let summary = reader
-        .replay_into(&mut prof)
+    let (events, summary) = decode_events_par(reader, jobs)
         .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-    let profile = prof.into_profile(summary.total_steps);
+    Ok((module, events, summary.total_steps))
+}
+
+fn replay_profile(
+    path: &str,
+    top: usize,
+    war_waw: Option<&str>,
+    jobs: usize,
+) -> Result<(), CliError> {
+    let (summary_events, total_steps, profile, module);
+    if jobs <= 1 {
+        // Streaming path: one pass, no event buffer.
+        let mut reader = open_trace(path)?;
+        module = trace_module(&reader)?;
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        let summary = reader
+            .replay_into(&mut prof)
+            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+        profile = prof.into_profile(summary.total_steps);
+        (summary_events, total_steps) = (summary.events, summary.total_steps);
+    } else {
+        // Sharded path: chunk-parallel decode, then one profiler per
+        // address shard. The merged profile is equal to the streaming one.
+        let (m, events, steps) = decode_trace(path, jobs)?;
+        let (p, _, _) = profile_events_par(&m, &events, steps, ProfileConfig::default(), jobs);
+        (summary_events, total_steps) = (events.len() as u64, steps);
+        let counts = shard_event_counts(&events, jobs);
+        let shards: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+        eprintln!(
+            "sharded replay across {jobs} workers (memory events per shard: {})",
+            shards.join(", ")
+        );
+        (profile, module) = (p, m);
+    }
     let report = ProfileReport::new(&profile, &module);
     println!(
         "replayed {} events ({} recorded instructions), {} static constructs",
-        summary.events,
-        summary.total_steps,
+        summary_events,
+        total_steps,
         profile.len()
     );
     println!();
     render_profile_report(&report, top, war_waw)
 }
 
-fn replay_advise(path: &str, threads: usize) -> Result<(), CliError> {
-    let mut reader = open_trace(path)?;
-    let module = trace_module(&reader)?;
-    let mut events: Vec<Event> = Vec::new();
-    for ev in &mut reader {
-        events.push(ev.map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?);
-    }
-    let total_steps = reader
-        .total_steps()
-        .expect("a fully iterated trace has a footer");
-    let (profile, _, _) = profile_events(
+fn replay_advise(path: &str, threads: usize, jobs: usize) -> Result<(), CliError> {
+    let (module, events, total_steps) = decode_trace(path, jobs)?;
+    let (profile, _, _) = profile_events_par(
         &module,
-        events.iter().copied(),
+        &events,
         total_steps,
         ProfileConfig::default(),
+        jobs,
     );
     let report = ProfileReport::new(&profile, &module);
     let candidates = suggest_candidates(&report, &module, 0.02, 0);
@@ -556,7 +597,7 @@ fn replay_advise(path: &str, threads: usize) -> Result<(), CliError> {
     for v in &best.privatize {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks_from_events(&module, cfg, events.iter().copied(), total_steps);
+    let trace = extract_tasks_from_events_par(&module, cfg, &events, total_steps, jobs);
     let sim = simulate(&trace, &SimConfig::with_threads(threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
@@ -594,22 +635,75 @@ impl TraceSink for AddrSpan {
     }
 }
 
-fn replay_stats(path: &str) -> Result<(), CliError> {
+/// Replays global-memory accesses through a shadow memory with the
+/// profiler's default reader cap, counting the reads a profiling run of
+/// this trace would drop (capped read sets silently lose WAR edges; the
+/// stats analysis makes that visible before anyone trusts a profile).
+struct CapDrops {
+    shadow: ShadowMemory<()>,
+    global_words: u32,
+}
+
+impl CapDrops {
+    fn new(module: &alchemist_vm::Module) -> Self {
+        CapDrops {
+            shadow: ShadowMemory::with_dense_limit(
+                ProfileConfig::default().reader_cap,
+                module.global_words,
+            ),
+            global_words: module.global_words,
+        }
+    }
+}
+
+impl TraceSink for CapDrops {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+        if addr < self.global_words {
+            let _ = self.shadow.on_read(addr, Access { pc, t, node: () });
+        }
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+        if addr < self.global_words {
+            let _ = self.shadow.on_write(addr, Access { pc, t, node: () });
+        }
+    }
+}
+
+fn replay_stats(path: &str, jobs: usize) -> Result<(), CliError> {
     // Pass 1: chunk metadata only — no payload decoding.
     let mut reader = open_trace(path)?;
     let source_lines = reader.source().map(|s| s.lines().count());
+    // Self-contained traces also get the reader-cap audit (it needs the
+    // module's global segment size); source-less traces skip it.
+    let module = reader.source().map(|_| trace_module(&reader)).transpose()?;
     let infos = reader
         .read_chunk_infos()
         .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
     let total_steps = reader.total_steps().expect("scan reached the footer");
-    // Pass 2: one decode fanned out to both stat sinks via MultiSink.
+    // Pass 2: one decode fanned out to all stat sinks via MultiSink. With
+    // --jobs > 1 the decode itself runs chunk-parallel; the sinks are
+    // order-sensitive (shadow state, address spans), so dispatch stays
+    // sequential either way.
     let mut counts = CountingSink::default();
     let mut addrs = AddrSpan::default();
+    let mut drops = module.as_ref().map(CapDrops::new);
     let mut fan = MultiSink::new();
     fan.push(&mut counts).push(&mut addrs);
-    let summary = open_trace(path)?
-        .replay_into(&mut fan)
-        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+    if let Some(d) = drops.as_mut() {
+        fan.push(d);
+    }
+    let summary = if jobs <= 1 {
+        open_trace(path)?
+            .replay_into(&mut fan)
+            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?
+    } else {
+        let (events, summary) = decode_events_par(open_trace(path)?, jobs)
+            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+        for ev in &events {
+            ev.dispatch(&mut fan);
+        }
+        summary
+    };
     drop(fan);
 
     let file_bytes = std::fs::metadata(path)
@@ -651,6 +745,18 @@ fn replay_stats(path: &str) -> Result<(), CliError> {
     }
     if addrs.seen {
         println!("data addresses touched: [{}, {}]", addrs.lo, addrs.hi);
+    }
+    if let Some(d) = &drops {
+        println!(
+            "reads dropped at reader cap {}: {}{}",
+            ProfileConfig::default().reader_cap,
+            d.shadow.dropped_readers,
+            if d.shadow.dropped_readers > 0 {
+                " (profiling this trace undercounts WAR edges)"
+            } else {
+                ""
+            }
+        );
     }
     Ok(())
 }

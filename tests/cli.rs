@@ -239,6 +239,82 @@ fn record_then_replay_profile_matches_live_profile() {
 }
 
 #[test]
+fn parallel_replay_report_is_identical_to_sequential() {
+    let src_path = write_temp("recordpar", PROGRAM);
+    let trace_path = temp_trace_path("recordpar");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let seq = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "profile"])
+        .output()
+        .expect("spawns");
+    let par = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "profile", "--jobs", "4"])
+        .output()
+        .expect("spawns");
+    assert!(
+        par.status.success(),
+        "{}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+    // Determinism guarantee: sharded replay's stdout is byte-identical.
+    assert_eq!(seq.stdout, par.stdout, "sharded report diverges");
+    // The shard summary goes to stderr, out of the report's way.
+    assert!(
+        String::from_utf8_lossy(&par.stderr).contains("memory events per shard"),
+        "{}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+
+    // The stats analysis honors --jobs too (chunk-parallel decode), with
+    // identical output.
+    let stats_seq = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "stats"])
+        .output()
+        .expect("spawns");
+    let stats_par = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "stats", "--jobs", "2"])
+        .output()
+        .expect("spawns");
+    assert!(stats_par.status.success());
+    assert_eq!(stats_seq.stdout, stats_par.stdout, "stats diverge");
+
+    let zero = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--jobs", "0"])
+        .output()
+        .expect("spawns");
+    assert!(!zero.status.success());
+    assert!(
+        String::from_utf8_lossy(&zero.stderr).contains("--jobs must be at least 1"),
+        "{}",
+        String::from_utf8_lossy(&zero.stderr)
+    );
+
+    let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
 fn replay_stats_and_advise_run_offline() {
     let src_path = write_temp("replaystats", PROGRAM);
     let trace_path = temp_trace_path("replaystats");

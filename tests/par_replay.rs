@@ -1,0 +1,111 @@
+//! Sharded parallel replay parity: for every bundled workload, replaying a
+//! recorded trace through N address shards on worker threads must produce a
+//! `DepProfile` **equal** (`==`) to both the sequential replay and live
+//! instrumentation — and likewise for sharded task extraction. This is the
+//! determinism guarantee behind `replay --jobs N`, enforced in CI in
+//! release mode.
+
+use alchemist_core::{
+    profile_events, profile_events_par, profile_module, shard_event_counts, ProfileConfig,
+};
+use alchemist_parsim::{extract_tasks, extract_tasks_from_events_par, ExtractConfig};
+use alchemist_trace::{decode_events_par, TraceReader, TraceWriter};
+use alchemist_vm::{Event, Module};
+use alchemist_workloads::Scale;
+
+/// Records one workload run into an in-memory trace.
+fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64) {
+    let module = w.module();
+    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    let outcome = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer)
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let (bytes, _) = writer.finish(outcome.steps).expect("finish");
+    (module, bytes, outcome.steps)
+}
+
+#[test]
+fn parallel_replay_profile_equals_sequential_and_live_for_every_workload() {
+    for w in alchemist_workloads::all() {
+        let (module, bytes, steps) = record(w);
+        // Live: instrument the interpreter directly.
+        let (live, ..) = profile_module(
+            &module,
+            &w.exec_config(Scale::Tiny),
+            ProfileConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+        // Chunk-parallel decode must reproduce the recorded stream.
+        let seq_events: Vec<Event> = TraceReader::new(bytes.as_slice())
+            .expect("header")
+            .map(|e| e.expect("decode"))
+            .collect();
+        let (events, summary) =
+            decode_events_par(TraceReader::new(bytes.as_slice()).expect("header"), 4)
+                .expect("parallel decode");
+        assert_eq!(events, seq_events, "{}: parallel decode diverges", w.name);
+        assert_eq!(summary.total_steps, steps, "{}", w.name);
+        // Sequential replay equals live.
+        let (seq, ..) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        assert_eq!(
+            seq, live,
+            "{}: sequential replay diverges from live",
+            w.name
+        );
+        // Sharded replay equals both, for several worker counts.
+        for jobs in [2usize, 4, 7] {
+            let (par, ..) =
+                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs);
+            assert_eq!(
+                par, live,
+                "{}: parallel replay (jobs={jobs}) diverges from live",
+                w.name
+            );
+        }
+        // The shard split covers every memory event exactly once.
+        let counts = shard_event_counts(&events, 4);
+        let mem: u64 = events
+            .iter()
+            .filter(|e| matches!(e, Event::Read { .. } | Event::Write { .. }))
+            .count() as u64;
+        assert_eq!(counts.iter().sum::<u64>(), mem, "{}", w.name);
+    }
+}
+
+#[test]
+fn parallel_task_extraction_equals_live_for_parallel_workloads() {
+    for w in alchemist_workloads::all() {
+        let Some(spec) = &w.parallel else { continue };
+        let (module, bytes, _) = record(w);
+        let mut cfg = ExtractConfig::default();
+        for head in w.resolve_targets(&module) {
+            cfg = cfg.mark(head);
+        }
+        for v in spec.privatized {
+            cfg = cfg.privatize(v);
+        }
+        let live = extract_tasks(&module, &w.exec_config(Scale::Tiny), cfg.clone())
+            .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+        let (events, summary) =
+            decode_events_par(TraceReader::new(bytes.as_slice()).expect("header"), 4)
+                .expect("parallel decode");
+        for jobs in [2usize, 4] {
+            let par = extract_tasks_from_events_par(
+                &module,
+                cfg.clone(),
+                &events,
+                summary.total_steps,
+                jobs,
+            );
+            assert_eq!(
+                par, live,
+                "{}: sharded extraction (jobs={jobs}) diverges",
+                w.name
+            );
+        }
+    }
+}
