@@ -62,9 +62,9 @@ pub use pool::{ConstructPool, Node, NodeId, NodeRef, PoolStats};
 pub use profile::{ConstructProfile, DepProfile, EdgeKey, EdgeStat};
 pub use profiler::{AlchemistProfiler, IndexMode, ProfileConfig};
 pub use report::{ConstructReport, EdgeReport, Fig6Point, ProfileReport};
-pub use runner::{profile_events, profile_module, profile_source, ProfileOutcome};
+pub use runner::{profile_batches, profile_events, profile_module, profile_source, ProfileOutcome};
 pub use shard::{
-    merge_shard_profiles, profile_events_par, run_sharded, shard_event_counts, shard_of,
-    ShardFilter,
+    merge_shard_profiles, partition_batch, profile_batches_par, profile_events_par, run_sharded,
+    run_sharded_batched, shard_batch_counts, shard_event_counts, shard_of, ShardFilter,
 };
 pub use stats::{constructs_to_csv, edges_to_csv, DistanceHistogram};

@@ -20,7 +20,7 @@ use crate::pool::{ConstructPool, PoolStats};
 use crate::profile::DepProfile;
 use crate::shadow::{Access, ShadowMemory};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Module, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, EventBatch, Module, Pc, Time, TraceSink};
 
 /// How much dynamic context the index tree captures.
 ///
@@ -227,6 +227,14 @@ impl TraceSink for AlchemistProfiler<'_> {
                 dep.addr,
             );
         }
+    }
+
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // Bulk path, pinned explicitly: `dispatch_into` monomorphizes for
+        // the profiler, so the whole batch is consumed straight from the
+        // columns with one virtual call per batch even when the profiler
+        // sits behind `dyn TraceSink` (a `MultiSink` fan-out).
+        batch.dispatch_into(self);
     }
 }
 

@@ -4,7 +4,9 @@ use crate::pool::PoolStats;
 use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
 use crate::report::ProfileReport;
-use alchemist_vm::{compile_source, Event, ExecConfig, ExecOutcome, Module, Trap};
+use alchemist_vm::{
+    compile_source, Event, EventBatch, ExecConfig, ExecOutcome, Module, TraceSink, Trap,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -121,6 +123,29 @@ where
     let mut prof = AlchemistProfiler::new(module, profile_config);
     for ev in events {
         ev.dispatch(&mut prof);
+    }
+    let pool_stats = prof.pool_stats();
+    let max_depth = prof.max_depth();
+    (prof.into_profile(total_steps), pool_stats, max_depth)
+}
+
+/// Batched twin of [`profile_events`]: drives the profiler with one bulk
+/// [`TraceSink::on_batch`] call per [`EventBatch`] instead of one callback
+/// per event.
+///
+/// The batches jointly carry a recorded run's event stream in order (e.g.
+/// from `alchemist_trace::decode_batches_par`); the resulting
+/// [`DepProfile`] equals both the per-event replay and live
+/// instrumentation of that run.
+pub fn profile_batches(
+    module: &Module,
+    batches: &[EventBatch],
+    total_steps: u64,
+    profile_config: ProfileConfig,
+) -> (DepProfile, PoolStats, usize) {
+    let mut prof = AlchemistProfiler::new(module, profile_config);
+    for batch in batches {
+        prof.on_batch(batch);
     }
     let pool_stats = prof.pool_stats();
     let max_depth = prof.max_depth();

@@ -27,9 +27,9 @@
 use crate::pool::PoolStats;
 use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
-use crate::runner::profile_events;
+use crate::runner::{profile_batches, profile_events};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, Module, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Time, TraceSink};
 
 /// The shard owning `addr` when the address space is split `jobs` ways.
 #[inline]
@@ -49,6 +49,8 @@ pub struct ShardFilter<S> {
     shard: u32,
     jobs: u32,
     inner: S,
+    /// Reused sub-batch for the `on_batch` bulk path.
+    scratch: EventBatch,
 }
 
 impl<S> ShardFilter<S> {
@@ -59,7 +61,12 @@ impl<S> ShardFilter<S> {
     /// Panics if `shard >= jobs` (the filter would drop every memory event).
     pub fn new(shard: u32, jobs: u32, inner: S) -> Self {
         assert!(shard < jobs, "shard {shard} out of range for {jobs} jobs");
-        ShardFilter { shard, jobs, inner }
+        ShardFilter {
+            shard,
+            jobs,
+            inner,
+            scratch: EventBatch::new(),
+        }
     }
 
     /// Unwraps the inner sink.
@@ -96,6 +103,48 @@ impl<S: TraceSink> TraceSink for ShardFilter<S> {
             self.inner.on_write(t, addr, pc);
         }
     }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // Single pass: copy the shard's sub-stream (all control rows plus
+        // owned memory rows) into the reusable scratch batch, then hand the
+        // inner sink one bulk call.
+        self.scratch.clear();
+        for i in 0..batch.len() {
+            if !batch.tag(i).is_memory() || self.owns(batch.addr(i)) {
+                self.scratch.push_index(batch, i);
+            }
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        self.inner.on_batch(&scratch);
+        self.scratch = scratch; // keep the capacity for the next batch
+    }
+}
+
+/// Splits one batch into `jobs` per-shard sub-batches in a single pass:
+/// control rows are appended to every sub-batch, memory rows only to the
+/// shard owning their address ([`shard_of`]). Concatenating sub-batch `k`
+/// across a batch stream therefore reproduces exactly the event sub-stream
+/// a [`ShardFilter`] for shard `k` would deliver.
+pub fn partition_batch(batch: &EventBatch, jobs: u32) -> Vec<EventBatch> {
+    let jobs = jobs.max(1);
+    // Size sub-batches from one cheap tag scan — every sub-batch carries
+    // all control rows plus its share of the memory rows. Capacity at
+    // `batch.len()` each would pin ~jobs× the stream's memory.
+    let memory = batch.tags().iter().filter(|t| t.is_memory()).count();
+    let control = batch.len() - memory;
+    let capacity = control + memory / jobs as usize + 1;
+    let mut subs: Vec<EventBatch> = (0..jobs)
+        .map(|_| EventBatch::with_capacity(capacity))
+        .collect();
+    for i in 0..batch.len() {
+        if batch.tag(i).is_memory() {
+            subs[shard_of(batch.addr(i), jobs) as usize].push_index(batch, i);
+        } else {
+            for sub in &mut subs {
+                sub.push_index(batch, i);
+            }
+        }
+    }
+    subs
 }
 
 /// Runs one sink per address shard over `events` on scoped worker threads
@@ -136,6 +185,62 @@ where
     })
 }
 
+/// Batched twin of [`run_sharded`]: runs one sink per address shard over a
+/// stream of [`EventBatch`]es.
+///
+/// Unlike the per-event path — where every worker scans the *whole* stream
+/// behind a [`ShardFilter`] (O(jobs × N) filtering) — this splits each
+/// batch into per-shard sub-batches **once**, in a single pass
+/// ([`partition_batch`]), then lets every worker consume only its own
+/// sub-batches via bulk [`TraceSink::on_batch`] calls. Each worker's sink
+/// observes exactly the sub-stream the filter would deliver, so analyses
+/// merge identically.
+///
+/// Sub-batches stream to the workers through bounded channels, so only
+/// O(jobs) of them are in flight at once — peak memory stays near the
+/// input stream's, instead of retaining a full per-shard copy.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded_batched<S, F>(batches: &[EventBatch], jobs: usize, make_sink: F) -> Vec<S>
+where
+    S: TraceSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
+    let jobs = jobs.clamp(1, u32::MAX as usize);
+    std::thread::scope(|s| {
+        let make_sink = &make_sink;
+        let (senders, handles): (Vec<_>, Vec<_>) = (0..jobs)
+            .map(|k| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<EventBatch>(4);
+                let handle = s.spawn(move || {
+                    let mut sink = make_sink(k as u32);
+                    while let Ok(sub) = rx.recv() {
+                        sink.on_batch(&sub);
+                    }
+                    sink
+                });
+                (tx, handle)
+            })
+            .unzip();
+        // One partitioning pass over the stream, instead of one filtered
+        // scan per worker; workers consume concurrently as batches split.
+        for batch in batches {
+            for (k, sub) in partition_batch(batch, jobs as u32).into_iter().enumerate() {
+                if !sub.is_empty() {
+                    senders[k].send(sub).expect("shard worker hung up");
+                }
+            }
+        }
+        drop(senders); // close the channels so workers finish
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Memory events per shard for a `jobs`-way split (control events are
 /// broadcast and not counted). Used by benches and `replay --jobs` to show
 /// how balanced the address partition is.
@@ -145,6 +250,21 @@ pub fn shard_event_counts(events: &[Event], jobs: usize) -> Vec<u64> {
     for ev in events {
         if let Event::Read { addr, .. } | Event::Write { addr, .. } = *ev {
             counts[shard_of(addr, jobs as u32) as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// [`shard_event_counts`] over a batch stream: one pass over the tag and
+/// address columns, no row reconstruction.
+pub fn shard_batch_counts(batches: &[EventBatch], jobs: usize) -> Vec<u64> {
+    let jobs = jobs.max(1);
+    let mut counts = vec![0u64; jobs];
+    for batch in batches {
+        for i in 0..batch.len() {
+            if batch.tag(i).is_memory() {
+                counts[shard_of(batch.addr(i), jobs as u32) as usize] += 1;
+            }
         }
     }
     counts
@@ -208,6 +328,14 @@ pub fn profile_events_par(
     let profilers = run_sharded(events, jobs, |_| {
         AlchemistProfiler::new(module, config.clone())
     });
+    finish_shard_profilers(profilers, total_steps)
+}
+
+/// Extracts per-shard profiles from finished profilers and merges them.
+fn finish_shard_profilers(
+    profilers: Vec<AlchemistProfiler<'_>>,
+    total_steps: u64,
+) -> (DepProfile, PoolStats, usize) {
     let mut shards: Vec<(DepProfile, PoolStats, usize)> = profilers
         .into_iter()
         .map(|prof| {
@@ -225,6 +353,49 @@ pub fn profile_events_par(
     );
     let profiles = shards.drain(..).map(|(p, _, _)| p).collect();
     (merge_shard_profiles(profiles), pool_stats, max_depth)
+}
+
+/// Batched twin of [`profile_events_par`]: profiles a stream of
+/// [`EventBatch`]es through `jobs` address shards via
+/// [`run_sharded_batched`] (single-pass partitioning, bulk dispatch) and
+/// merges the per-shard profiles.
+///
+/// Produces a [`DepProfile`] **equal** to the sequential batched replay,
+/// the per-event replay and live instrumentation of the recorded run.
+/// `jobs <= 1` falls back to the sequential batched path.
+///
+/// # Examples
+///
+/// ```
+/// use alchemist_core::{profile_batches_par, profile_events, ProfileConfig};
+/// use alchemist_vm::{compile_source, run, EventBatch, ExecConfig, RecordingSink};
+///
+/// let src = "int g; int main() { int i; for (i = 0; i < 9; i++) g += i; return g; }";
+/// let module = compile_source(src).unwrap();
+/// let mut rec = RecordingSink::default();
+/// let out = run(&module, &ExecConfig::default(), &mut rec).unwrap();
+///
+/// let (seq, _, _) = profile_events(
+///     &module, rec.events.iter().copied(), out.steps, ProfileConfig::default());
+/// let batches: Vec<EventBatch> = rec.events.chunks(16).map(EventBatch::from_events).collect();
+/// let (par, _, _) = profile_batches_par(
+///     &module, &batches, out.steps, ProfileConfig::default(), 4);
+/// assert_eq!(par, seq);
+/// ```
+pub fn profile_batches_par(
+    module: &Module,
+    batches: &[EventBatch],
+    total_steps: u64,
+    config: ProfileConfig,
+    jobs: usize,
+) -> (DepProfile, PoolStats, usize) {
+    if jobs <= 1 {
+        return profile_batches(module, batches, total_steps, config);
+    }
+    let profilers = run_sharded_batched(batches, jobs, |_| {
+        AlchemistProfiler::new(module, config.clone())
+    });
+    finish_shard_profilers(profilers, total_steps)
 }
 
 #[cfg(test)]
@@ -340,5 +511,88 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_filter_rejects_out_of_range_shard() {
         let _ = ShardFilter::new(4, 4, CountingSink::default());
+    }
+
+    /// Batches the recorded stream into blocks of `size` events.
+    fn to_batches(events: &[Event], size: usize) -> Vec<EventBatch> {
+        events.chunks(size).map(EventBatch::from_events).collect()
+    }
+
+    #[test]
+    fn partition_batch_matches_the_shard_filter_substream() {
+        let (_m, events, _) = record(CHURN);
+        let batch = EventBatch::from_events(&events);
+        for jobs in [1u32, 2, 3, 5] {
+            let subs = partition_batch(&batch, jobs);
+            assert_eq!(subs.len(), jobs as usize);
+            for (k, sub) in subs.iter().enumerate() {
+                // The filter's per-event sub-stream is the ground truth.
+                let mut f =
+                    ShardFilter::new(k as u32, jobs, alchemist_vm::RecordingSink::default());
+                for ev in &events {
+                    ev.dispatch(&mut f);
+                }
+                let expect = f.into_inner().events;
+                let got: Vec<Event> = sub.iter().collect();
+                assert_eq!(got, expect, "jobs={jobs} shard={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_filter_on_batch_equals_per_event_filtering() {
+        let (_m, events, _) = record(CHURN);
+        for jobs in [2u32, 3] {
+            for k in 0..jobs {
+                let mut per_event =
+                    ShardFilter::new(k, jobs, alchemist_vm::RecordingSink::default());
+                for ev in &events {
+                    ev.dispatch(&mut per_event);
+                }
+                let mut batched = ShardFilter::new(k, jobs, alchemist_vm::RecordingSink::default());
+                for batch in to_batches(&events, 17) {
+                    batched.on_batch(&batch);
+                }
+                assert_eq!(
+                    batched.into_inner().events,
+                    per_event.into_inner().events,
+                    "jobs={jobs} shard={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_profile_equals_sequential_for_any_job_count() {
+        let (module, events, steps) = record(CHURN);
+        let (seq, seq_pool, seq_depth) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        for batch_size in [16usize, 4096] {
+            let batches = to_batches(&events, batch_size);
+            for jobs in [1usize, 2, 3, 7] {
+                let (par, pool, depth) =
+                    profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs);
+                assert_eq!(par, seq, "batch_size={batch_size} jobs={jobs}");
+                assert_eq!(pool, seq_pool, "batch_size={batch_size} jobs={jobs}");
+                assert_eq!(depth, seq_depth, "batch_size={batch_size} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_batch_counts_agree_with_event_counts() {
+        let (_m, events, _) = record(CHURN);
+        let batches = to_batches(&events, 9);
+        for jobs in [1usize, 2, 5] {
+            assert_eq!(
+                shard_batch_counts(&batches, jobs),
+                shard_event_counts(&events, jobs),
+                "jobs={jobs}"
+            );
+        }
     }
 }

@@ -21,10 +21,10 @@
 
 use crate::task::{TaskId, TaskInstance, TaskTrace};
 use alchemist_core::shadow::{Access, ShadowMemory};
-use alchemist_core::shard::run_sharded;
+use alchemist_core::shard::{run_sharded, run_sharded_batched};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, ExecConfig, Module, Pc, Time, TraceSink, Trap};
+use alchemist_vm::{BlockId, Event, EventBatch, ExecConfig, Module, Pc, Time, TraceSink, Trap};
 use std::collections::HashSet;
 
 /// What to extract and which transformations to assume.
@@ -244,6 +244,13 @@ impl TraceSink for TaskExtractor<'_> {
             }
         }
     }
+
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // Bulk path, pinned explicitly (mirrors
+        // `AlchemistProfiler::on_batch`): one virtual call per batch, rows
+        // consumed column-direct by the monomorphized `dispatch_into`.
+        batch.dispatch_into(self);
+    }
 }
 
 /// Runs `module` once and extracts its task trace.
@@ -308,6 +315,40 @@ pub fn extract_tasks_from_events_par(
         return extract_tasks_from_events(module, config, events.iter().copied(), total_steps);
     }
     let extractors = run_sharded(events, jobs, |_| TaskExtractor::new(module, config.clone()));
+    merge_shard_traces(extractors, total_steps)
+}
+
+/// Batched twin of [`extract_tasks_from_events_par`]: extracts a task
+/// trace from a stream of [`EventBatch`]es through `jobs` address shards
+/// via [`run_sharded_batched`] (single-pass partitioning, bulk dispatch).
+///
+/// The result is **equal** to [`extract_tasks_from_events`] over the
+/// concatenated batch rows. `jobs <= 1` runs one extractor sequentially,
+/// one `on_batch` call per batch.
+pub fn extract_tasks_from_batches_par(
+    module: &Module,
+    config: ExtractConfig,
+    batches: &[EventBatch],
+    total_steps: u64,
+    jobs: usize,
+) -> TaskTrace {
+    if jobs <= 1 {
+        let mut extractor = TaskExtractor::new(module, config);
+        for batch in batches {
+            extractor.on_batch(batch);
+        }
+        return extractor.into_trace(total_steps);
+    }
+    let extractors = run_sharded_batched(batches, jobs, |_| {
+        TaskExtractor::new(module, config.clone())
+    });
+    merge_shard_traces(extractors, total_steps)
+}
+
+/// Merges per-shard extractor results: shard 0's control-derived task list
+/// plus the union of every shard's schedule constraints, re-sorted and
+/// deduplicated exactly as the sequential path does.
+fn merge_shard_traces(extractors: Vec<TaskExtractor<'_>>, total_steps: u64) -> TaskTrace {
     let mut iter = extractors
         .into_iter()
         .map(|e| e.into_trace(total_steps))
@@ -517,6 +558,30 @@ int main() {
                     extract_tasks_from_events_par(&m, cfg.clone(), &rec.events, out.steps, jobs);
                 assert_eq!(par, seq, "jobs={jobs} respect_war_waw={respect}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_extraction_equals_sequential() {
+        let src = "\
+int counter;
+int out[8];
+void work(int i) { counter++; out[i] = i + counter; }
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) work(i);
+    return out[7];
+}";
+        let m = compile_source(src).unwrap();
+        let head = m.func_by_name("work").unwrap().1.entry;
+        let mut rec = alchemist_vm::RecordingSink::default();
+        let out = alchemist_vm::run(&m, &ExecConfig::default(), &mut rec).unwrap();
+        let cfg = ExtractConfig::default().mark(head);
+        let seq = extract_tasks_from_events(&m, cfg.clone(), rec.events.iter().copied(), out.steps);
+        let batches: Vec<EventBatch> = rec.events.chunks(23).map(EventBatch::from_events).collect();
+        for jobs in [1usize, 2, 4, 8] {
+            let par = extract_tasks_from_batches_par(&m, cfg.clone(), &batches, out.steps, jobs);
+            assert_eq!(par, seq, "jobs={jobs}");
         }
     }
 

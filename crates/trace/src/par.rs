@@ -16,7 +16,7 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::reader::{RawChunk, ReplaySummary, TraceReader};
-use alchemist_vm::Event;
+use alchemist_vm::{Event, EventBatch};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -37,6 +37,67 @@ pub fn decode_chunk(chunk: &RawChunk) -> Result<Vec<Event>, TraceError> {
         return Err(TraceError::Malformed("trailing bytes in chunk"));
     }
     Ok(events)
+}
+
+/// Decodes one raw chunk straight into `batch` (cleared first), without
+/// materializing a `Vec<Event>`.
+///
+/// # Errors
+///
+/// Same payload-level errors as [`decode_chunk`]; rows decoded before the
+/// error remain in `batch` and should be discarded by the caller.
+pub fn decode_chunk_into(chunk: &RawChunk, batch: &mut EventBatch) -> Result<(), TraceError> {
+    batch.clear();
+    let mut state = CodecState::new(chunk.t_first);
+    let mut pos = 0;
+    for _ in 0..chunk.events {
+        batch.push_event(&format::decode_event(&mut state, &chunk.payload, &mut pos)?);
+    }
+    if pos != chunk.payload.len() {
+        return Err(TraceError::Malformed("trailing bytes in chunk"));
+    }
+    Ok(())
+}
+
+/// Runs `decode` over every chunk on `jobs` worker threads (work-stealing
+/// over an atomic cursor) and returns the per-chunk results in trace
+/// order. `jobs <= 1` decodes inline.
+fn decode_chunks_ordered<T, F>(
+    chunks: &[RawChunk],
+    jobs: usize,
+    decode: F,
+) -> Vec<Result<T, TraceError>>
+where
+    T: Send,
+    F: Fn(&RawChunk) -> Result<T, TraceError> + Sync,
+{
+    if jobs <= 1 {
+        return chunks.iter().map(decode).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (cursor, decode) = (&cursor, &decode);
+    let mut slots: Vec<(usize, Result<T, TraceError>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else {
+                            return done;
+                        };
+                        done.push((i, decode(chunk)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("decode worker panicked"))
+            .collect()
+    });
+    slots.sort_unstable_by_key(|(i, _)| *i);
+    slots.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Decodes a whole trace into an event vector using `jobs` worker threads.
@@ -77,34 +138,7 @@ pub fn decode_events_par<R: Read>(
 ) -> Result<(Vec<Event>, ReplaySummary), TraceError> {
     let (chunks, total_steps) = reader.read_raw_chunks()?;
     let jobs = jobs.max(1).min(chunks.len().max(1));
-    let decoded: Vec<Result<Vec<Event>, TraceError>> = if jobs <= 1 {
-        chunks.iter().map(decode_chunk).collect()
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (cursor, chunks) = (&cursor, &chunks);
-        let mut slots: Vec<(usize, Result<Vec<Event>, TraceError>)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|_| {
-                    s.spawn(move || {
-                        let mut done = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(chunk) = chunks.get(i) else {
-                                return done;
-                            };
-                            done.push((i, decode_chunk(chunk)));
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("decode worker panicked"))
-                .collect()
-        });
-        slots.sort_unstable_by_key(|(i, _)| *i);
-        slots.into_iter().map(|(_, r)| r).collect()
-    };
+    let decoded = decode_chunks_ordered(&chunks, jobs, decode_chunk);
     let mut events = Vec::with_capacity(chunks.iter().map(|c| c.events as usize).sum());
     for chunk in decoded {
         events.extend(chunk?);
@@ -114,6 +148,46 @@ pub fn decode_events_par<R: Read>(
         total_steps,
     };
     Ok((events, summary))
+}
+
+/// Decodes a whole trace chunk-parallel into one [`EventBatch`] per chunk.
+///
+/// This is the bulk-pipeline twin of [`decode_events_par`]: the same
+/// events in the same order, but kept in struct-of-arrays batches that
+/// downstream batch-aware consumers
+/// (`alchemist_core::profile_batches_par`, shard partitioning, fan-outs)
+/// process without ever materializing a `Vec<Event>`. Concatenating the
+/// batches' rows yields exactly the sequential reader's event stream.
+///
+/// # Errors
+///
+/// Structural errors from the chunk scan, or the first (in trace order)
+/// payload decode error — matching [`decode_events_par`].
+pub fn decode_batches_par<R: Read>(
+    mut reader: TraceReader<R>,
+    jobs: usize,
+) -> Result<(Vec<EventBatch>, ReplaySummary), TraceError> {
+    let (chunks, total_steps) = reader.read_raw_chunks()?;
+    let jobs = jobs.max(1).min(chunks.len().max(1));
+    let decoded = decode_chunks_ordered(&chunks, jobs, |chunk| {
+        let mut batch = EventBatch::with_capacity(chunk.events as usize);
+        decode_chunk_into(chunk, &mut batch)?;
+        Ok(batch)
+    });
+    let mut batches = Vec::with_capacity(chunks.len());
+    let mut events = 0u64;
+    for batch in decoded {
+        let batch = batch?;
+        events += batch.len() as u64;
+        batches.push(batch);
+    }
+    Ok((
+        batches,
+        ReplaySummary {
+            events,
+            total_steps,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -155,6 +229,50 @@ mod tests {
             let (events, summary) = decode_events_par(reader, jobs).unwrap();
             assert_eq!(events, live.events, "jobs={jobs}");
             assert_eq!(summary.events, live.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_decode_equals_event_decode() {
+        let (bytes, live) = sample_trace(7, 40);
+        for jobs in [1usize, 2, 4, 9] {
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let (batches, summary) = decode_batches_par(reader, jobs).unwrap();
+            let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+            assert_eq!(flat, live.events, "jobs={jobs}");
+            assert_eq!(summary.events, live.events.len() as u64);
+            // One batch per event-bearing chunk, each matching its chunk.
+            let infos = TraceReader::new(bytes.as_slice())
+                .unwrap()
+                .read_chunk_infos()
+                .unwrap();
+            assert_eq!(batches.len(), infos.len(), "jobs={jobs}");
+            for (b, info) in batches.iter().zip(&infos) {
+                assert_eq!(b.len() as u64, info.events, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_decode_reports_corruption_like_event_decode() {
+        let (bytes, _) = sample_trace(7, 12);
+        for pos in (8..bytes.len()).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            let ev = match TraceReader::new(corrupt.as_slice()) {
+                Ok(r) => decode_events_par(r, 4).map(|(e, _)| e),
+                Err(e) => Err(e),
+            };
+            let ba = match TraceReader::new(corrupt.as_slice()) {
+                Ok(r) => decode_batches_par(r, 4)
+                    .map(|(b, _)| b.iter().flat_map(|b| b.iter()).collect::<Vec<_>>()),
+                Err(e) => Err(e),
+            };
+            match (ev, ba) {
+                (Ok(e), Ok(b)) => assert_eq!(e, b, "flip at {pos}"),
+                (Err(_), Err(_)) => {}
+                (e, b) => panic!("flip at {pos}: decoders disagree: {e:?} vs {b:?}"),
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::varint;
-use alchemist_vm::{Event, TraceSink};
+use alchemist_vm::{Event, EventBatch, TraceSink};
 use std::io::Read;
 
 /// Chunk-level metadata, decodable without touching the payload.
@@ -271,6 +271,57 @@ impl<R: Read> TraceReader<R> {
         })
     }
 
+    /// Decodes up to `max` events (minimum 1) directly into `batch`,
+    /// clearing it first and crossing chunk boundaries as needed — no
+    /// intermediate `Vec<Event>` is materialized. Returns `false` once the
+    /// trace is exhausted and the batch stayed empty.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] the stream produces; rows already decoded into
+    /// `batch` are not rolled back.
+    pub fn read_batch(&mut self, batch: &mut EventBatch, max: usize) -> Result<bool, TraceError> {
+        batch.clear();
+        let max = max.max(1);
+        while batch.len() < max {
+            match self.next_event()? {
+                Some(ev) => batch.push_event(&ev),
+                None => break,
+            }
+        }
+        Ok(!batch.is_empty())
+    }
+
+    /// Replays the whole trace into `sink` in blocks of `batch_size`
+    /// events, one [`TraceSink::on_batch`] call per block.
+    ///
+    /// Delivers exactly the stream [`TraceReader::replay_into`] would —
+    /// batch-unaware sinks observe identical per-event callbacks via the
+    /// trait default — while batch-aware sinks pay one virtual call per
+    /// block. One `EventBatch` is reused for every block.
+    ///
+    /// # Errors
+    ///
+    /// Any decode error; blocks already delivered are not rolled back.
+    pub fn replay_batched_into<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        batch_size: usize,
+    ) -> Result<ReplaySummary, TraceError> {
+        let mut batch = EventBatch::with_capacity(batch_size.max(1));
+        let mut events = 0;
+        while self.read_batch(&mut batch, batch_size)? {
+            events += batch.len() as u64;
+            sink.on_batch(&batch);
+        }
+        Ok(ReplaySummary {
+            events,
+            total_steps: self
+                .total_steps
+                .ok_or(TraceError::Truncated("missing footer"))?,
+        })
+    }
+
     /// Replays only events with `t_lo <= t <= t_hi`, skipping the decode of
     /// every chunk whose time range lies outside the window. Returns the
     /// number of events delivered.
@@ -439,6 +490,39 @@ mod tests {
         let r = TraceReader::new(bytes.as_slice()).unwrap();
         let events: Vec<Event> = r.map(|e| e.unwrap()).collect();
         assert_eq!(events, live.events);
+    }
+
+    #[test]
+    fn batched_replay_reproduces_the_recording() {
+        let (bytes, live) = sample_trace(7);
+        // Batch sizes below, at and above the chunk size, plus a prime.
+        for batch_size in [1usize, 3, 7, 11, 4096] {
+            let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+            let mut replayed = RecordingSink::default();
+            let summary = r
+                .replay_batched_into(&mut replayed, batch_size)
+                .unwrap_or_else(|e| panic!("batch_size={batch_size}: {e}"));
+            assert_eq!(replayed, live, "batch_size={batch_size}");
+            assert_eq!(summary.events, live.events.len() as u64);
+            assert_eq!(r.total_steps(), Some(summary.total_steps));
+        }
+    }
+
+    #[test]
+    fn read_batch_crosses_chunk_boundaries() {
+        let (bytes, live) = sample_trace(5); // chunks of 5 events
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut batch = alchemist_vm::EventBatch::new();
+        let mut got = Vec::new();
+        // 8 > 5: every full batch spans a chunk boundary.
+        while r.read_batch(&mut batch, 8).unwrap() {
+            assert!(batch.len() <= 8);
+            got.extend(batch.iter());
+        }
+        assert_eq!(got, live.events);
+        // Exhausted reader keeps answering false with an empty batch.
+        assert!(!r.read_batch(&mut batch, 8).unwrap());
+        assert!(batch.is_empty());
     }
 
     #[test]

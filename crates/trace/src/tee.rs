@@ -6,7 +6,7 @@
 //! counting and profiling analyses over one replay of a file.
 
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, EventBatch, Pc, Time, TraceSink};
 
 /// Forwards every event to two sinks, first `.0` then `.1`.
 ///
@@ -39,6 +39,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         self.0.on_write(t, addr, pc);
         self.1.on_write(t, addr, pc);
+    }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // Forward whole batches so batch-aware consumers keep their bulk
+        // path through a tee (the default would degrade them to per-event).
+        self.0.on_batch(batch);
+        self.1.on_batch(batch);
     }
 }
 
@@ -110,6 +116,13 @@ impl TraceSink for MultiSink<'_> {
             s.on_write(t, addr, pc);
         }
     }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // One dynamic dispatch per batch per consumer instead of one per
+        // event per consumer — the fan-out's whole cost model.
+        for s in &mut self.sinks {
+            s.on_batch(batch);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +138,29 @@ mod tests {
         assert_eq!(tee.0.reads, 1);
         assert_eq!(tee.0.writes, 1);
         assert_eq!(tee.1.events.len(), 2);
+    }
+
+    #[test]
+    fn tee_and_multi_sink_forward_whole_batches() {
+        let mut batch = EventBatch::new();
+        batch.push_read(0, 1, Pc(0));
+        batch.push_write(1, 2, Pc(1));
+        batch.push_block(2, BlockId(3));
+
+        let mut tee = Tee(CountingSink::default(), RecordingSink::default());
+        tee.on_batch(&batch);
+        assert_eq!(tee.0.reads + tee.0.writes + tee.0.blocks, 3);
+        assert_eq!(tee.1.events.len(), 3);
+
+        let mut a = CountingSink::default();
+        let mut b = RecordingSink::default();
+        let mut fan = MultiSink::new();
+        fan.push(&mut a).push(&mut b);
+        fan.on_batch(&batch);
+        drop(fan);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.writes, 1);
+        assert_eq!(b.events.len(), 3);
     }
 
     #[test]

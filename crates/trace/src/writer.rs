@@ -5,11 +5,15 @@ use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::varint;
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, Event, EventBatch, Pc, Time, TraceSink};
 use std::io::Write;
 
 /// How many events a chunk holds before it is flushed.
 pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
+
+// One default batch fills exactly one default chunk — replay's default
+// dispatch granularity and the docs rely on the coupling, so pin it.
+const _: () = assert!(DEFAULT_CHUNK_EVENTS == alchemist_vm::DEFAULT_BATCH_EVENTS);
 
 /// Sizes of a finished recording.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +212,18 @@ impl<W: Write> TraceSink for TraceWriter<W> {
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         self.record(Event::Write { t, addr, pc });
     }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // One virtual call encodes the whole batch. The encode loop is the
+        // same as the per-event path (including the every-`chunk_capacity`
+        // flushes), so the byte stream — chunk boundaries and all — is
+        // identical to recording event by event.
+        if self.deferred.is_some() {
+            return;
+        }
+        for ev in batch.iter() {
+            self.record(ev);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +270,45 @@ mod tests {
         let (_, stats) = w.finish(10).unwrap();
         assert_eq!(stats.events, 10);
         assert_eq!(stats.chunks, 3, "4 + 4 + 2 events");
+    }
+
+    #[test]
+    fn batched_recording_is_byte_identical() {
+        let events: Vec<Event> = (0..50u32)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Event::Read {
+                        t: u64::from(i),
+                        addr: i,
+                        pc: Pc(i / 2),
+                    }
+                } else {
+                    Event::Write {
+                        t: u64::from(i),
+                        addr: i % 7,
+                        pc: Pc(i),
+                    }
+                }
+            })
+            .collect();
+        let mut per_event = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .with_chunk_capacity(8);
+        for e in &events {
+            e.dispatch(&mut per_event);
+        }
+        let (expect, _) = per_event.finish(50).unwrap();
+        for batch_size in [1usize, 4, 8, 13, 64] {
+            let mut w = TraceWriter::new(Vec::new(), None)
+                .unwrap()
+                .with_chunk_capacity(8);
+            for sl in events.chunks(batch_size) {
+                w.on_batch(&EventBatch::from_events(sl));
+            }
+            let (bytes, stats) = w.finish(50).unwrap();
+            assert_eq!(bytes, expect, "batch_size={batch_size}");
+            assert_eq!(stats.events, 50);
+        }
     }
 
     #[test]

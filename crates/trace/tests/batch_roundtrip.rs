@@ -1,0 +1,141 @@
+//! Property tests for batched trace round-trips: for arbitrary event
+//! sequences, encoding through `TraceWriter::on_batch` must produce the
+//! byte-identical `.alct` stream the per-event path produces, and decoding
+//! through the batched readers (`read_batch`, `decode_batches_par`) must
+//! reproduce the per-event round-trip exactly — including when batch and
+//! chunk boundaries disagree, so batches straddle chunk edges both ways.
+
+use alchemist_lang::hir::FuncId;
+use alchemist_trace::{decode_batches_par, TraceReader, TraceWriter};
+use alchemist_vm::{BlockId, Event, EventBatch, Pc, TraceSink};
+use proptest::prelude::*;
+
+/// One raw generated row: (timestamp delta, kind selector, field a, field b).
+type RawEvent = (u64, u8, u32, u32);
+
+/// Materializes raw rows into a valid event stream (non-decreasing
+/// timestamps, every kind reachable) and its final step count.
+fn build_events(raw: &[RawEvent]) -> (Vec<Event>, u64) {
+    let mut t = 0u64;
+    let mut events = Vec::with_capacity(raw.len());
+    for &(dt, kind, a, b) in raw {
+        t += dt;
+        events.push(match kind % 7 {
+            0 => Event::Enter {
+                t,
+                func: FuncId(a % 64),
+                fp: b,
+            },
+            1 => Event::Exit {
+                t,
+                func: FuncId(a % 64),
+            },
+            2 => Event::Block {
+                t,
+                block: BlockId(a % 512),
+            },
+            3 => Event::Predicate {
+                t,
+                pc: Pc(a),
+                block: BlockId(b % 512),
+                taken: false,
+            },
+            4 => Event::Predicate {
+                t,
+                pc: Pc(a),
+                block: BlockId(b % 512),
+                taken: true,
+            },
+            5 => Event::Read {
+                t,
+                addr: a,
+                pc: Pc(b),
+            },
+            _ => Event::Write {
+                t,
+                addr: a,
+                pc: Pc(b),
+            },
+        });
+    }
+    (events, t + 1)
+}
+
+fn encode_per_event(events: &[Event], total_steps: u64, chunk_cap: usize) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), None)
+        .unwrap()
+        .with_chunk_capacity(chunk_cap);
+    for e in events {
+        e.dispatch(&mut w);
+    }
+    w.finish(total_steps).unwrap().0
+}
+
+proptest! {
+    /// Writing via `on_batch` — at any batch granularity — produces the
+    /// byte-identical trace, and both batched read paths decode it back to
+    /// the original events, across chunk boundaries.
+    #[test]
+    fn batched_roundtrip_equals_per_event_roundtrip(
+        raw in proptest::collection::vec(
+            (0u64..40, 0u8..7, 0u32..100_000, 0u32..100_000), 0..250),
+        chunk_cap in 1usize..33,
+        write_batch in 1usize..50,
+        read_batch in 1usize..50,
+    ) {
+        let (events, total_steps) = build_events(&raw);
+        let per_event_bytes = encode_per_event(&events, total_steps, chunk_cap);
+
+        // Batched encode: same bytes, chunk boundaries included.
+        let mut w = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .with_chunk_capacity(chunk_cap);
+        for sl in events.chunks(write_batch) {
+            w.on_batch(&EventBatch::from_events(sl));
+        }
+        let (batched_bytes, stats) = w.finish(total_steps).unwrap();
+        prop_assert_eq!(&batched_bytes, &per_event_bytes);
+        prop_assert_eq!(stats.events, events.len() as u64);
+
+        // Per-event decode is the reference.
+        let decoded: Vec<Event> = TraceReader::new(per_event_bytes.as_slice())
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        prop_assert_eq!(&decoded, &events);
+
+        // Batched streaming decode at a granularity unrelated to the chunk
+        // size, so batches regularly straddle chunk edges.
+        let mut r = TraceReader::new(per_event_bytes.as_slice()).unwrap();
+        let mut batch = EventBatch::new();
+        let mut streamed = Vec::with_capacity(events.len());
+        while r.read_batch(&mut batch, read_batch).unwrap() {
+            prop_assert!(batch.len() <= read_batch);
+            streamed.extend(batch.iter());
+        }
+        prop_assert_eq!(&streamed, &events);
+        prop_assert_eq!(r.total_steps(), Some(total_steps));
+
+        // Chunk-parallel batch decode.
+        let (batches, summary) =
+            decode_batches_par(TraceReader::new(per_event_bytes.as_slice()).unwrap(), 4).unwrap();
+        let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+        prop_assert_eq!(&flat, &events);
+        prop_assert_eq!(summary.events, events.len() as u64);
+        prop_assert_eq!(summary.total_steps, total_steps);
+    }
+
+    /// An EventBatch is a lossless carrier: pushing any event sequence in
+    /// and iterating it back is the identity.
+    #[test]
+    fn event_batch_is_lossless(
+        raw in proptest::collection::vec(
+            (0u64..1000, 0u8..7, 0u32..u32::MAX, 0u32..u32::MAX), 0..200),
+    ) {
+        let (events, _) = build_events(&raw);
+        let batch = EventBatch::from_events(&events);
+        prop_assert_eq!(batch.len(), events.len());
+        let back: Vec<Event> = batch.iter().collect();
+        prop_assert_eq!(back, events);
+    }
+}

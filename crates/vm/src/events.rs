@@ -9,6 +9,7 @@
 //! All timestamps are *retired instruction counts*, matching the paper's
 //! "time stamp ... simulated by the number of executed instructions".
 
+use crate::batch::{EventBatch, EventTag};
 use crate::op::{BlockId, Pc};
 use alchemist_lang::hir::FuncId;
 
@@ -49,6 +50,20 @@ pub trait TraceSink {
     /// A data-memory word was written.
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         let _ = (t, addr, pc);
+    }
+
+    /// A block of events arrived at once (the bulk path of the pipeline).
+    ///
+    /// The default delivers every row through the matching per-event
+    /// callback above, so sinks that predate batching — including
+    /// third-party ones — behave identically without changes. Sinks on hot
+    /// paths override this to process whole batches per virtual call (the
+    /// trace codec, the profiler, fan-outs, shard filters).
+    ///
+    /// Implementations must preserve the row order and must not assume a
+    /// batch is non-empty or full.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        batch.dispatch_into(self);
     }
 }
 
@@ -91,13 +106,18 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         (**self).on_write(t, addr, pc);
     }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        (**self).on_batch(batch);
+    }
 }
 
 /// A sink that ignores every event (native-speed baseline).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {}
+impl TraceSink for NullSink {
+    fn on_batch(&mut self, _batch: &EventBatch) {}
+}
 
 /// Counts events by category; useful for tests and overhead accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,6 +154,19 @@ impl TraceSink for CountingSink {
     }
     fn on_write(&mut self, _t: Time, _addr: u32, _pc: Pc) {
         self.writes += 1;
+    }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        // One pass over the tag column; no row reconstruction.
+        for tag in batch.tags() {
+            match tag {
+                EventTag::Enter => self.enters += 1,
+                EventTag::Exit => self.exits += 1,
+                EventTag::Block => self.blocks += 1,
+                EventTag::PredNotTaken | EventTag::PredTaken => self.predicates += 1,
+                EventTag::Read => self.reads += 1,
+                EventTag::Write => self.writes += 1,
+            }
+        }
     }
 }
 
@@ -260,6 +293,10 @@ impl TraceSink for RecordingSink {
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         self.events.push(Event::Write { t, addr, pc });
     }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        self.events.reserve(batch.len());
+        self.events.extend(batch.iter());
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +346,30 @@ mod tests {
         feed(&mut counts);
         feed(&mut counts);
         assert_eq!(counts.reads, 2);
+    }
+
+    #[test]
+    fn counting_sink_batch_override_matches_per_event() {
+        let mut rec = RecordingSink::default();
+        rec.on_enter_function(0, FuncId(0), 8);
+        rec.on_predicate(1, Pc(4), BlockId(2), true);
+        rec.on_read(2, 9, Pc(5));
+        rec.on_write(3, 9, Pc(6));
+        rec.on_block_entry(4, BlockId(3));
+        rec.on_exit_function(5, FuncId(0));
+        let batch = EventBatch::from_events(&rec.events);
+
+        let mut per_event = CountingSink::default();
+        for e in &rec.events {
+            e.dispatch(&mut per_event);
+        }
+        let mut batched = CountingSink::default();
+        batched.on_batch(&batch);
+        assert_eq!(batched, per_event);
+
+        let mut rebatched = RecordingSink::default();
+        rebatched.on_batch(&batch);
+        assert_eq!(rebatched, rec);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! [`NullSink`](crate::NullSink) this measures "original" program time; with
 //! the Alchemist sink it produces dependence profiles.
 
+use crate::batch::BatchingSink;
 use crate::error::{Trap, TrapKind};
 use crate::events::{Time, TraceSink};
 use crate::module::Module;
@@ -21,6 +22,12 @@ pub struct ExecConfig {
     pub stack_words: u32,
     /// Input buffer served by the `input`/`input_len` intrinsics.
     pub input: Vec<i64>,
+    /// Deliver events to the sink in [`EventBatch`](crate::EventBatch)es of
+    /// this size (one [`TraceSink::on_batch`] call per block) instead of
+    /// one callback per event. `0` or `1` keeps the classic per-event
+    /// dispatch. The event stream a sink observes is identical either way;
+    /// only the call granularity changes.
+    pub batch_events: usize,
 }
 
 impl Default for ExecConfig {
@@ -29,6 +36,7 @@ impl Default for ExecConfig {
             max_steps: 500_000_000,
             stack_words: 1 << 20,
             input: Vec::new(),
+            batch_events: 0,
         }
     }
 }
@@ -84,7 +92,17 @@ pub fn run<S: TraceSink>(
     config: &ExecConfig,
     sink: &mut S,
 ) -> Result<ExecOutcome, Trap> {
-    Interp::new(module, config).run(sink)
+    if config.batch_events > 1 {
+        // Accumulate into an EventBatch and flush on_batch every
+        // `batch_events` events — and once more at the end of the run,
+        // trap or not, so the sink always sees the complete stream.
+        let mut batcher = BatchingSink::new(sink, config.batch_events);
+        let outcome = Interp::new(module, config).run(&mut batcher);
+        batcher.flush();
+        outcome
+    } else {
+        Interp::new(module, config).run(sink)
+    }
 }
 
 /// Interpreter state. Most users call [`run`]; the struct is exposed so the
@@ -713,6 +731,46 @@ mod tests {
         assert!(sink.predicates >= 4, "loop test ran 4 times");
         assert!(sink.reads > 0 && sink.writes > 0);
         assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn batched_run_emits_the_identical_event_stream() {
+        use crate::events::RecordingSink;
+        let m = compile(
+            &compile_to_hir(
+                "int g;
+                 int add(int x) { g += x; return g; }
+                 int main() { int i; for (i = 0; i < 5; i++) add(i); return g; }",
+            )
+            .unwrap(),
+        );
+        let mut per_event = RecordingSink::default();
+        let out = run(&m, &ExecConfig::default(), &mut per_event).unwrap();
+        for batch_events in [2usize, 3, 64, 4096] {
+            let cfg = ExecConfig {
+                batch_events,
+                ..ExecConfig::default()
+            };
+            let mut batched = RecordingSink::default();
+            let out_b = run(&m, &cfg, &mut batched).unwrap();
+            assert_eq!(out_b, out, "batch_events={batch_events}");
+            assert_eq!(batched, per_event, "batch_events={batch_events}");
+        }
+    }
+
+    #[test]
+    fn batched_run_flushes_partial_batch_on_trap() {
+        use crate::events::CountingSink;
+        let m = compile(&compile_to_hir("int a[4]; int main() { return a[9]; }").unwrap());
+        let mut per_event = CountingSink::default();
+        run(&m, &ExecConfig::default(), &mut per_event).unwrap_err();
+        let cfg = ExecConfig {
+            batch_events: 1 << 20, // never fills: only the final flush delivers
+            ..ExecConfig::default()
+        };
+        let mut batched = CountingSink::default();
+        run(&m, &cfg, &mut batched).unwrap_err();
+        assert_eq!(batched, per_event, "events before the trap must arrive");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod compiler;
 pub mod error;
 pub mod events;
@@ -48,6 +49,7 @@ pub mod module;
 pub mod op;
 
 pub use analysis::{BlockInfo, ModuleAnalysis, PredKind};
+pub use batch::{BatchingSink, EventBatch, EventTag, DEFAULT_BATCH_EVENTS};
 pub use compiler::compile;
 pub use error::{Trap, TrapKind};
 pub use events::{CountingSink, Event, NullSink, RecordingSink, Time, TraceSink};

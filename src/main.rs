@@ -11,15 +11,17 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
-    profile_events_par, profile_source, shard_event_counts, AlchemistProfiler, ProfileConfig,
-    ProfileReport,
+    profile_batches_par, profile_source, shard_batch_counts, AlchemistProfiler, DepProfile,
+    ProfileConfig, ProfileReport,
 };
 use alchemist_parsim::{
-    extract_tasks, extract_tasks_from_events_par, render_timeline, simulate, suggest_candidates,
+    extract_tasks, extract_tasks_from_batches_par, render_timeline, simulate, suggest_candidates,
     ExtractConfig, SimConfig,
 };
-use alchemist_trace::{decode_events_par, MultiSink, TraceReader, TraceWriter};
-use alchemist_vm::{CountingSink, Event, ExecConfig, NullSink, Pc, Time, TraceSink};
+use alchemist_trace::{decode_batches_par, ChunkInfo, MultiSink, TraceReader, TraceWriter};
+use alchemist_vm::{
+    CountingSink, EventBatch, ExecConfig, NullSink, Pc, Time, TraceSink, DEFAULT_BATCH_EVENTS,
+};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
@@ -41,14 +43,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
                     [--csv-constructs FILE] [--csv-edges FILE]
-  alchemist run <file.mc> [--input a,b,c]
+  alchemist run <file.mc> [--input a,b,c] [--batch-size N]
   alchemist advise <file.mc> [--input a,b,c] [--threads K]
   alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
                      [--input a,b,c] [--threads K] [--timeline]
   alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
-                   [--chunk-events N]
-  alchemist replay <trace.alct> [--analysis profile|advise|stats]
-                   [--top N] [--threads K] [--jobs N] [--war-waw LABEL]
+                   [--chunk-events N] [--batch-size N]
+  alchemist replay <trace.alct> [--analysis profile,advise,stats]
+                   [--top N] [--threads K] [--jobs N] [--batch-size N]
+                   [--war-waw LABEL]
   alchemist workloads [--json]";
 
 /// A CLI failure: a message, plus whether the generic usage block helps.
@@ -92,6 +95,20 @@ fn unknown_flag(cmd: &str, flag: &str, known: &[&str]) -> CliError {
     ))
 }
 
+/// Parses a flag value that must be a positive count; zero gets a
+/// named-flag error (`--jobs must be >= 1`) instead of whatever the
+/// zero-value path would otherwise do.
+fn parse_ge1(flag: &str, value: Option<&String>) -> Result<usize, CliError> {
+    let v = value.ok_or_else(|| CliError::from(format!("{flag} needs a value")))?;
+    let n: usize = v
+        .parse()
+        .map_err(|e| CliError::from(format!("{flag}: {e}")))?;
+    if n == 0 {
+        return Err(CliError::bare(format!("{flag} must be >= 1")));
+    }
+    Ok(n)
+}
+
 fn run_cli(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or("no command given")?;
@@ -118,6 +135,8 @@ struct CommonArgs {
     mark: Vec<String>,
     privatize: Vec<String>,
     timeline: bool,
+    /// `Some` only when `--batch-size` was given explicitly.
+    batch_size: Option<usize>,
 }
 
 fn parse_input_list(v: &str) -> Result<Vec<i64>, CliError> {
@@ -142,6 +161,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
     let mut mark = Vec::new();
     let mut privatize = Vec::new();
     let mut timeline = false;
+    let mut batch_size = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a.starts_with('-') && !allowed.contains(&a.as_str()) {
@@ -176,6 +196,9 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
                 privatize.extend(v.split(',').map(|s| s.trim().to_owned()));
             }
             "--timeline" => timeline = true,
+            "--batch-size" => {
+                batch_size = Some(parse_ge1("--batch-size", it.next())?);
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -200,6 +223,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
         mark,
         privatize,
         timeline,
+        batch_size,
     })
 }
 
@@ -255,10 +279,15 @@ fn profile_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn run_cmd(args: &[String]) -> Result<(), CliError> {
-    let a = parse_common("run", args, &["--input"])?;
+    let a = parse_common("run", args, &["--input", "--batch-size"])?;
     let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
-    let out = alchemist_vm::run(&module, &ExecConfig::with_input(a.input), &mut NullSink)
-        .map_err(|e| e.to_string())?;
+    // `run` observes nothing (NullSink), so batching is opt-in here: the
+    // default stays the zero-overhead per-event baseline.
+    let exec_config = ExecConfig {
+        batch_events: a.batch_size.unwrap_or(0),
+        ..ExecConfig::with_input(a.input)
+    };
+    let out = alchemist_vm::run(&module, &exec_config, &mut NullSink).map_err(|e| e.to_string())?;
     for v in &out.output {
         println!("{v}");
     }
@@ -365,11 +394,12 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn record_cmd(args: &[String]) -> Result<(), CliError> {
-    const FLAGS: &[&str] = &["--input", "-o", "--out", "--chunk-events"];
+    const FLAGS: &[&str] = &["--input", "-o", "--out", "--chunk-events", "--batch-size"];
     let mut file = None;
     let mut out = None;
     let mut input = Vec::new();
     let mut chunk_events = None;
+    let mut batch_size = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -386,6 +416,9 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
                         .parse::<usize>()
                         .map_err(|e| format!("--chunk-events: {e}"))?,
                 );
+            }
+            "--batch-size" => {
+                batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
             flag if flag.starts_with('-') => return Err(unknown_flag("record", flag, FLAGS)),
             path if file.is_none() => file = Some(path.to_owned()),
@@ -408,8 +441,16 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         if let Some(n) = chunk_events {
             writer = writer.with_chunk_capacity(n);
         }
-        let outcome = alchemist_vm::run(&module, &ExecConfig::with_input(input), &mut writer)
-            .map_err(|e| e.to_string())?;
+        // With --batch-size the interpreter hands the writer EventBatches
+        // of that many events; the encoded bytes are identical to the
+        // default per-event recording (the writer is statically
+        // dispatched, so batching is opt-in rather than a default win).
+        let exec_config = ExecConfig {
+            batch_events: batch_size.unwrap_or(0),
+            ..ExecConfig::with_input(input)
+        };
+        let outcome =
+            alchemist_vm::run(&module, &exec_config, &mut writer).map_err(|e| e.to_string())?;
         let (_, stats) = writer
             .finish(outcome.steps)
             .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
@@ -435,12 +476,20 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn replay_cmd(args: &[String]) -> Result<(), CliError> {
-    const FLAGS: &[&str] = &["--analysis", "--top", "--threads", "--jobs", "--war-waw"];
+    const FLAGS: &[&str] = &[
+        "--analysis",
+        "--top",
+        "--threads",
+        "--jobs",
+        "--batch-size",
+        "--war-waw",
+    ];
     let mut file = None;
     let mut analysis = "profile".to_owned();
     let mut top = 10;
     let mut threads = 4;
     let mut jobs = 1usize;
+    let mut batch_size = None;
     let mut war_waw = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -463,14 +512,10 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--jobs" => {
-                jobs = it
-                    .next()
-                    .ok_or("--jobs needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?;
-                if jobs == 0 {
-                    return Err(CliError::bare("--jobs must be at least 1"));
-                }
+                jobs = parse_ge1("--jobs", it.next())?;
+            }
+            "--batch-size" => {
+                batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
             "--war-waw" => {
                 war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
@@ -481,14 +526,33 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         }
     }
     let path = file.ok_or("replay needs a trace file")?;
-    match analysis.as_str() {
-        "profile" => replay_profile(&path, top, war_waw.as_deref(), jobs),
-        "advise" => replay_advise(&path, threads, jobs),
-        "stats" => replay_stats(&path, jobs),
-        other => Err(CliError::bare(format!(
-            "unknown analysis `{other}` (expected profile, advise or stats)"
-        ))),
+    // `--analysis` accepts a comma-separated list; one decode pass serves
+    // every requested analysis.
+    let mut analyses: Vec<String> = Vec::new();
+    for a in analysis.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !matches!(a, "profile" | "advise" | "stats") {
+            return Err(CliError::bare(format!(
+                "unknown analysis `{a}` (expected profile, advise or stats)"
+            )));
+        }
+        if !analyses.iter().any(|seen| seen == a) {
+            analyses.push(a.to_owned());
+        }
     }
+    if analyses.is_empty() {
+        return Err(CliError::bare(
+            "--analysis needs at least one of profile, advise, stats",
+        ));
+    }
+    run_replay(
+        &path,
+        &analyses,
+        top,
+        threads,
+        jobs,
+        batch_size,
+        war_waw.as_deref(),
+    )
 }
 
 fn open_trace(path: &str) -> Result<TraceReader<BufReader<std::fs::File>>, CliError> {
@@ -508,75 +572,193 @@ fn trace_module(
         .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))
 }
 
-/// Decodes the whole trace into memory (chunk-parallel when `jobs > 1`).
-fn decode_trace(
+/// Runs the requested analyses over one trace with **one decode pass**.
+///
+/// The decoded batch stream fans out through a [`MultiSink`]: with
+/// `jobs <= 1` and no advise request the batches stream straight from the
+/// reader into every sink; otherwise the batches are materialized once
+/// (chunk-parallel when `jobs > 1`) and shared by the sharded profiler,
+/// the stats sinks and task extraction.
+fn run_replay(
     path: &str,
-    jobs: usize,
-) -> Result<(alchemist_vm::Module, Vec<Event>, u64), CliError> {
-    let reader = open_trace(path)?;
-    let module = trace_module(&reader)?;
-    let (events, summary) = decode_events_par(reader, jobs)
-        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-    Ok((module, events, summary.total_steps))
-}
-
-fn replay_profile(
-    path: &str,
+    analyses: &[String],
     top: usize,
-    war_waw: Option<&str>,
+    threads: usize,
     jobs: usize,
+    batch_size: Option<usize>,
+    war_waw: Option<&str>,
 ) -> Result<(), CliError> {
-    let (summary_events, total_steps, profile, module);
-    if jobs <= 1 {
-        // Streaming path: one pass, no event buffer.
+    let want = |name: &str| analyses.iter().any(|a| a == name);
+    let need_advise = want("advise");
+    let need_profile = want("profile") || need_advise;
+    let need_stats = want("stats");
+
+    // Header-only scan for stats: chunk metadata, no payload decoding.
+    let stats_scan = if need_stats {
         let mut reader = open_trace(path)?;
-        module = trace_module(&reader)?;
-        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
-        let summary = reader
-            .replay_into(&mut prof)
-            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-        profile = prof.into_profile(summary.total_steps);
-        (summary_events, total_steps) = (summary.events, summary.total_steps);
+        let source_lines = reader.source().map(|s| s.lines().count());
+        let infos = reader
+            .read_chunk_infos()
+            .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
+        Some((infos, source_lines))
     } else {
-        // Sharded path: chunk-parallel decode, then one profiler per
-        // address shard. The merged profile is equal to the streaming one.
-        let (m, events, steps) = decode_trace(path, jobs)?;
-        let (p, _, _) = profile_events_par(&m, &events, steps, ProfileConfig::default(), jobs);
-        (summary_events, total_steps) = (events.len() as u64, steps);
-        let counts = shard_event_counts(&events, jobs);
-        let shards: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
-        eprintln!(
-            "sharded replay across {jobs} workers (memory events per shard: {})",
-            shards.join(", ")
-        );
-        (profile, module) = (p, m);
+        None
+    };
+
+    let mut reader = open_trace(path)?;
+    // profile/advise need the module; stats uses it only when the trace is
+    // self-contained (for the reader-cap audit).
+    let module = if need_profile {
+        Some(trace_module(&reader)?)
+    } else {
+        reader.source().map(|_| trace_module(&reader)).transpose()?
+    };
+
+    let mut counts = CountingSink::default();
+    let mut addrs = AddrSpan::default();
+    let mut drops = if need_stats {
+        module.as_ref().map(CapDrops::new)
+    } else {
+        None
+    };
+
+    let mut profile: Option<DepProfile> = None;
+    let mut batches_kept: Option<Vec<EventBatch>> = None;
+    let summary;
+    if jobs > 1 || need_advise {
+        // Materialize the batch stream once; every analysis reuses it. The
+        // batches follow the trace's chunk boundaries here, so an explicit
+        // --batch-size cannot take effect — say so rather than silently
+        // ignoring the flag.
+        if batch_size.is_some() {
+            eprintln!(
+                "note: --batch-size is ignored with --jobs > 1 or --analysis advise \
+                 (batches follow the trace's chunk boundaries)"
+            );
+        }
+        let (batches, s) = decode_batches_par(reader, jobs)
+            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+        summary = s;
+        if need_stats {
+            let mut fan = MultiSink::new();
+            fan.push(&mut counts).push(&mut addrs);
+            if let Some(d) = drops.as_mut() {
+                fan.push(d);
+            }
+            for batch in &batches {
+                fan.on_batch(batch);
+            }
+        }
+        if need_profile {
+            let m = module.as_ref().expect("profile requires a module");
+            let (p, _, _) = profile_batches_par(
+                m,
+                &batches,
+                summary.total_steps,
+                ProfileConfig::default(),
+                jobs,
+            );
+            if jobs > 1 {
+                let shards: Vec<String> = shard_batch_counts(&batches, jobs)
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect();
+                eprintln!(
+                    "sharded replay across {jobs} workers (memory events per shard: {})",
+                    shards.join(", ")
+                );
+            }
+            profile = Some(p);
+        }
+        if need_advise {
+            batches_kept = Some(batches);
+        }
+    } else {
+        // Streaming path: one batched pass, no event buffer; the MultiSink
+        // fans each batch out to every requested sink.
+        let mut prof = if need_profile {
+            let m = module.as_ref().expect("profile requires a module");
+            Some(AlchemistProfiler::new(m, ProfileConfig::default()))
+        } else {
+            None
+        };
+        let mut fan = MultiSink::new();
+        if let Some(p) = prof.as_mut() {
+            fan.push(p);
+        }
+        if need_stats {
+            fan.push(&mut counts).push(&mut addrs);
+            if let Some(d) = drops.as_mut() {
+                fan.push(d);
+            }
+        }
+        summary = reader
+            .replay_batched_into(&mut fan, batch_size.unwrap_or(DEFAULT_BATCH_EVENTS))
+            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+        drop(fan);
+        if let Some(p) = prof {
+            profile = Some(p.into_profile(summary.total_steps));
+        }
     }
-    let report = ProfileReport::new(&profile, &module);
-    println!(
-        "replayed {} events ({} recorded instructions), {} static constructs",
-        summary_events,
-        total_steps,
-        profile.len()
-    );
-    println!();
-    render_profile_report(&report, top, war_waw)
+
+    for (i, analysis) in analyses.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match analysis.as_str() {
+            "profile" => {
+                let p = profile.as_ref().expect("profiled above");
+                let m = module.as_ref().expect("profile requires a module");
+                println!(
+                    "replayed {} events ({} recorded instructions), {} static constructs",
+                    summary.events,
+                    summary.total_steps,
+                    p.len()
+                );
+                println!();
+                render_profile_report(&ProfileReport::new(p, m), top, war_waw)?;
+            }
+            "advise" => {
+                let p = profile.as_ref().expect("profiled above");
+                let m = module.as_ref().expect("advise requires a module");
+                let batches = batches_kept.as_ref().expect("advise keeps the batches");
+                render_advise(m, p, batches, summary.total_steps, threads, jobs);
+            }
+            "stats" => {
+                let (infos, source_lines) = stats_scan.as_ref().expect("scanned above");
+                render_stats(
+                    path,
+                    infos,
+                    *source_lines,
+                    summary.events,
+                    summary.total_steps,
+                    &counts,
+                    &addrs,
+                    drops.as_ref(),
+                )?;
+            }
+            _ => unreachable!("validated in replay_cmd"),
+        }
+    }
+    Ok(())
 }
 
-fn replay_advise(path: &str, threads: usize, jobs: usize) -> Result<(), CliError> {
-    let (module, events, total_steps) = decode_trace(path, jobs)?;
-    let (profile, _, _) = profile_events_par(
-        &module,
-        &events,
-        total_steps,
-        ProfileConfig::default(),
-        jobs,
-    );
-    let report = ProfileReport::new(&profile, &module);
-    let candidates = suggest_candidates(&report, &module, 0.02, 0);
+/// Prints parallelization candidates and simulates the best one from the
+/// already-decoded batch stream: no re-execution, no re-decode.
+fn render_advise(
+    module: &alchemist_vm::Module,
+    profile: &DepProfile,
+    batches: &[EventBatch],
+    total_steps: u64,
+    threads: usize,
+    jobs: usize,
+) {
+    let report = ProfileReport::new(profile, module);
+    let candidates = suggest_candidates(&report, module, 0.02, 0);
     if candidates.is_empty() {
         println!("no construct qualifies for asynchronous execution");
         println!("(every sizable construct has violating RAW dependences)");
-        return Ok(());
+        return;
     }
     println!("parallelization candidates (largest first):\n");
     for c in &candidates {
@@ -590,21 +772,20 @@ fn replay_advise(path: &str, threads: usize, jobs: usize) -> Result<(), CliError
             println!("      privatize: {}", c.privatize.join(", "));
         }
     }
-    // Simulate the top candidate from the same recorded events: no
+    // Simulate the top candidate from the same recorded batches: no
     // re-execution anywhere in this pipeline.
     let best = &candidates[0];
     let mut cfg = ExtractConfig::default().mark(best.head);
     for v in &best.privatize {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks_from_events_par(&module, cfg, &events, total_steps, jobs);
+    let trace = extract_tasks_from_batches_par(module, cfg, batches, total_steps, jobs);
     let sim = simulate(&trace, &SimConfig::with_threads(threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
          ({} tasks, {} joins)",
         best.label, threads, sim.speedup, sim.tasks, sim.main_joins
     );
-    Ok(())
 }
 
 /// Tracks the span of data addresses the replay touches.
@@ -669,43 +850,19 @@ impl TraceSink for CapDrops {
     }
 }
 
-fn replay_stats(path: &str, jobs: usize) -> Result<(), CliError> {
-    // Pass 1: chunk metadata only — no payload decoding.
-    let mut reader = open_trace(path)?;
-    let source_lines = reader.source().map(|s| s.lines().count());
-    // Self-contained traces also get the reader-cap audit (it needs the
-    // module's global segment size); source-less traces skip it.
-    let module = reader.source().map(|_| trace_module(&reader)).transpose()?;
-    let infos = reader
-        .read_chunk_infos()
-        .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
-    let total_steps = reader.total_steps().expect("scan reached the footer");
-    // Pass 2: one decode fanned out to all stat sinks via MultiSink. With
-    // --jobs > 1 the decode itself runs chunk-parallel; the sinks are
-    // order-sensitive (shadow state, address spans), so dispatch stays
-    // sequential either way.
-    let mut counts = CountingSink::default();
-    let mut addrs = AddrSpan::default();
-    let mut drops = module.as_ref().map(CapDrops::new);
-    let mut fan = MultiSink::new();
-    fan.push(&mut counts).push(&mut addrs);
-    if let Some(d) = drops.as_mut() {
-        fan.push(d);
-    }
-    let summary = if jobs <= 1 {
-        open_trace(path)?
-            .replay_into(&mut fan)
-            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?
-    } else {
-        let (events, summary) = decode_events_par(open_trace(path)?, jobs)
-            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-        for ev in &events {
-            ev.dispatch(&mut fan);
-        }
-        summary
-    };
-    drop(fan);
-
+/// Prints the stats section from sinks already fed by the shared decode
+/// pass plus the header-only chunk scan.
+#[allow(clippy::too_many_arguments)]
+fn render_stats(
+    path: &str,
+    infos: &[ChunkInfo],
+    source_lines: Option<usize>,
+    events: u64,
+    total_steps: u64,
+    counts: &CountingSink,
+    addrs: &AddrSpan,
+    drops: Option<&CapDrops>,
+) -> Result<(), CliError> {
     let file_bytes = std::fs::metadata(path)
         .map_err(|e| format!("cannot stat {path}: {e}"))?
         .len();
@@ -723,7 +880,7 @@ fn replay_stats(path: &str, jobs: usize) -> Result<(), CliError> {
     );
     println!(
         "events: {} total — enters {}, exits {}, blocks {}, predicates {}, reads {}, writes {}",
-        summary.events,
+        events,
         counts.enters,
         counts.exits,
         counts.blocks,
@@ -733,10 +890,10 @@ fn replay_stats(path: &str, jobs: usize) -> Result<(), CliError> {
     );
     println!(
         "encoded size: {:.2} bytes/event over {} recorded instructions",
-        if summary.events == 0 {
+        if events == 0 {
             0.0
         } else {
-            file_bytes as f64 / summary.events as f64
+            file_bytes as f64 / events as f64
         },
         total_steps
     );
@@ -746,7 +903,7 @@ fn replay_stats(path: &str, jobs: usize) -> Result<(), CliError> {
     if addrs.seen {
         println!("data addresses touched: [{}, {}]", addrs.lo, addrs.hi);
     }
-    if let Some(d) = &drops {
+    if let Some(d) = drops {
         println!(
             "reads dropped at reader cap {}: {}{}",
             ProfileConfig::default().reader_cap,

@@ -305,11 +305,134 @@ fn parallel_replay_report_is_identical_to_sequential() {
         .expect("spawns");
     assert!(!zero.status.success());
     assert!(
-        String::from_utf8_lossy(&zero.stderr).contains("--jobs must be at least 1"),
+        String::from_utf8_lossy(&zero.stderr).contains("--jobs must be >= 1"),
         "{}",
         String::from_utf8_lossy(&zero.stderr)
     );
 
+    let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn batch_size_is_validated_and_changes_nothing_observable() {
+    let src_path = write_temp("batchsize", PROGRAM);
+    let trace_path = temp_trace_path("batchsize");
+    // --batch-size 0 is rejected with a named-flag error on every command
+    // that takes it.
+    for cmd in [&["run"][..], &["record"], &["replay"]] {
+        let out = bin()
+            .args(cmd)
+            .arg(&src_path)
+            .args(["--batch-size", "0"])
+            .output()
+            .expect("spawns");
+        assert!(!out.status.success(), "{cmd:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--batch-size must be >= 1"),
+            "{cmd:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Recording with a tiny batch size produces a byte-identical trace.
+    let rec_default = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(rec_default.status.success());
+    let default_bytes = std::fs::read(&trace_path).expect("trace written");
+    let rec_tiny = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .args(["--batch-size", "3"])
+        .output()
+        .expect("spawns");
+    assert!(rec_tiny.status.success());
+    let tiny_bytes = std::fs::read(&trace_path).expect("trace written");
+    assert_eq!(default_bytes, tiny_bytes, ".alct must be byte-identical");
+    // Replaying with an odd batch size renders the identical report.
+    let a = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    let b = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--batch-size", "7"])
+        .output()
+        .expect("spawns");
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "replay report diverges");
+    let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn replay_analysis_accepts_a_comma_separated_list() {
+    let src_path = write_temp("analysislist", PROGRAM);
+    let trace_path = temp_trace_path("analysislist");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(rec.status.success());
+
+    let combined = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "profile,advise,stats"])
+        .output()
+        .expect("spawns");
+    assert!(
+        combined.status.success(),
+        "{}",
+        String::from_utf8_lossy(&combined.stderr)
+    );
+    let out = String::from_utf8_lossy(&combined.stdout);
+    assert!(out.contains("Method main"), "profile section: {out}");
+    assert!(
+        out.contains("parallelization candidates") || out.contains("no construct qualifies"),
+        "advise section: {out}"
+    );
+    assert!(out.contains("embedded source: yes"), "stats section: {out}");
+    // Each single-analysis run's output appears verbatim in the combined
+    // run, in the requested order.
+    for (i, analysis) in ["profile", "advise", "stats"].iter().enumerate() {
+        let single = bin()
+            .args(["replay"])
+            .arg(&trace_path)
+            .args(["--analysis", analysis])
+            .output()
+            .expect("spawns");
+        let single_out = String::from_utf8_lossy(&single.stdout).into_owned();
+        let at = out.find(single_out.as_str());
+        assert!(at.is_some(), "{analysis} section missing from combined run");
+        if i == 0 {
+            assert_eq!(at, Some(0), "profile leads the combined output");
+        }
+    }
+
+    let bad = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .args(["--analysis", "profile,bogus"])
+        .output()
+        .expect("spawns");
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("unknown analysis `bogus`"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
     let _ = std::fs::remove_file(src_path);
     let _ = std::fs::remove_file(trace_path);
 }
