@@ -1,0 +1,166 @@
+//! Machine-readable perf harness: measures ns/event for the profiling hot
+//! paths over every bundled workload and writes the results as JSON.
+//!
+//! This is the driver behind `BENCH_5.json` (the repo's perf trajectory):
+//!
+//! ```text
+//! cargo bench -p alchemist-bench --bench perf_json -- --out BENCH_5.json
+//! ```
+//!
+//! Paths measured per workload (all at `Scale::Tiny`):
+//!
+//! * `live_profile` — run the interpreter with the online profiler attached
+//!   (the paper's Table III configuration);
+//! * `replay_profile_batched` — sequential batched replay of a recorded
+//!   trace into the profiler;
+//! * `replay_profile_batched_par4` — the full `replay --jobs 4` pipeline
+//!   (chunk-parallel decode + address-sharded batched profiling).
+//!
+//! Every sample is a full pass over the workload's event stream; the
+//! reported figure is the **best** of `--iters N` passes (default 5)
+//! divided by the stream's event count. `ALCHEMIST_BENCH_QUICK=1` drops to
+//! one pass per path (the CI smoke mode).
+//!
+//! The output is a JSON array of `{workload, path, events, ns_per_event}`
+//! objects — stable keys, one object per (workload, path) pair — so perf
+//! trajectories can be diffed across commits without scraping bench logs.
+
+use alchemist_core::{profile_batches_par, AlchemistProfiler, ProfileConfig};
+use alchemist_trace::{decode_batches_par, TraceReader, TraceWriter};
+use alchemist_vm::DEFAULT_BATCH_EVENTS;
+use alchemist_workloads::Scale;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var_os("ALCHEMIST_BENCH_QUICK").is_some()
+}
+
+struct Row {
+    workload: &'static str,
+    path: &'static str,
+    events: u64,
+    ns_per_event: f64,
+}
+
+/// Times `f` (one full pass per call) `iters` times; returns best-of ns.
+fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn measure_workload(w: &alchemist_workloads::Workload, iters: usize, rows: &mut Vec<Row>) {
+    let module = w.module();
+    let cfg = w.exec_config(Scale::Tiny);
+
+    // Record once; every replay path reuses these bytes.
+    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    let outcome = alchemist_vm::run(&module, &cfg, &mut writer).expect("workload runs");
+    let (bytes, stats) = writer.finish(outcome.steps).expect("finish");
+    let events = stats.events;
+
+    let live_ns = best_of(iters, || {
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        alchemist_vm::run(&module, &cfg, &mut prof).expect("workload runs");
+        let _ = std::hint::black_box(prof.into_profile(outcome.steps));
+    });
+    rows.push(Row {
+        workload: w.name,
+        path: "live_profile",
+        events,
+        ns_per_event: live_ns / events as f64,
+    });
+
+    let seq_ns = best_of(iters, || {
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        let summary = reader
+            .replay_batched_into(&mut prof, DEFAULT_BATCH_EVENTS)
+            .expect("replay");
+        let _ = std::hint::black_box(prof.into_profile(summary.total_steps));
+    });
+    rows.push(Row {
+        workload: w.name,
+        path: "replay_profile_batched",
+        events,
+        ns_per_event: seq_ns / events as f64,
+    });
+
+    let par_ns = best_of(iters, || {
+        let reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let (batches, summary) = decode_batches_par(reader, 4).expect("decode");
+        let (profile, _, _) = profile_batches_par(
+            &module,
+            &batches,
+            summary.total_steps,
+            ProfileConfig::default(),
+            4,
+        );
+        let _ = std::hint::black_box(profile);
+    });
+    rows.push(Row {
+        workload: w.name,
+        path: "replay_profile_batched_par4",
+        events,
+        ns_per_event: par_ns / events as f64,
+    });
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"path\": \"{}\", \"events\": {}, \
+             \"ns_per_event\": {:.2}}}{}\n",
+            r.workload,
+            r.path,
+            r.events,
+            r.ns_per_event,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = std::env::var("ALCHEMIST_BENCH_JSON").ok();
+    let mut iters = if quick_mode() { 1 } else { 5 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(it.next().expect("--out needs a path").clone()),
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters: not a number");
+            }
+            // `cargo bench` forwards harness flags like `--bench`; ignore.
+            _ => {}
+        }
+    }
+
+    let mut rows = Vec::new();
+    for w in alchemist_workloads::all() {
+        eprintln!("measuring {} ({} passes per path)...", w.name, iters);
+        measure_workload(w, iters, &mut rows);
+    }
+    let json = render_json(&rows);
+    match out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(json.as_bytes()).expect("write json");
+            eprintln!("wrote {} rows to {path}", rows.len());
+        }
+        None => print!("{json}"),
+    }
+}

@@ -26,6 +26,10 @@ use alchemist_vm::{ExecConfig, Module};
 pub fn merge_profiles(base: &mut DepProfile, other: &DepProfile) {
     base.total_steps += other.total_steps;
     base.dropped_readers += other.dropped_readers;
+    // Layout telemetry sums like dropped_readers, so the spill audit in
+    // reports stays live for aggregated profiles too.
+    base.shadow_stats.pages_allocated += other.shadow_stats.pages_allocated;
+    base.shadow_stats.read_set_spills += other.shadow_stats.read_set_spills;
     for c in other.constructs() {
         base.merge_duration(c.id, c.ttotal, c.inst);
         for (key, stat) in &c.edges {

@@ -44,6 +44,7 @@
 
 pub mod aggregate;
 pub mod construct;
+pub mod fxhash;
 pub mod index;
 pub mod oracle;
 pub mod pool;
@@ -57,12 +58,14 @@ pub mod stats;
 
 pub use aggregate::{input_dependent_edges, merge_profiles, profile_many};
 pub use construct::{ConstructId, ConstructKind, DepKind};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{IndexStack, StackEntry};
 pub use pool::{ConstructPool, Node, NodeId, NodeRef, PoolStats};
 pub use profile::{ConstructProfile, DepProfile, EdgeKey, EdgeStat};
 pub use profiler::{AlchemistProfiler, IndexMode, ProfileConfig};
 pub use report::{ConstructReport, EdgeReport, Fig6Point, ProfileReport};
 pub use runner::{profile_batches, profile_events, profile_module, profile_source, ProfileOutcome};
+pub use shadow::{ShadowStats, INLINE_READERS, PAGE_WORDS};
 pub use shard::{
     merge_shard_profiles, partition_batch, profile_batches_par, profile_events_par, run_sharded,
     run_sharded_batched, shard_batch_counts, shard_event_counts, shard_of, ShardFilter,

@@ -252,9 +252,13 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                 if let Some((wpc, wt, wnode)) = cell.last_write {
                     record(&tree, &mut edges, DepKind::Waw, wpc, wnode, wt, pc, t, addr);
                 }
-                for (rpc, rt, rnode) in cell.reads.drain(..).collect::<Vec<_>>() {
+                // Same callback-style flow as `ShadowMemory::on_write`:
+                // the reads are consumed in place, then cleared — no
+                // intermediate collection.
+                for &(rpc, rt, rnode) in &cell.reads {
                     record(&tree, &mut edges, DepKind::War, rpc, rnode, rt, pc, t, addr);
                 }
+                cell.reads.clear();
                 cell.last_write = Some((pc, t, node));
             }
         }

@@ -18,9 +18,10 @@
 //! its ancestors the dependence is intra-construct — or at a retired node.
 
 use crate::construct::{ConstructId, DepKind};
+use crate::fxhash::FxHashMap;
 use crate::pool::{ConstructPool, NodeRef};
+use crate::shadow::ShadowStats;
 use alchemist_vm::{Pc, Time};
-use std::collections::HashMap;
 
 /// Statistics for one static dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,14 +56,17 @@ pub struct ConstructProfile {
     pub ttotal: u64,
     /// Completed instance count.
     pub inst: u64,
-    /// Dependence edges crossing this construct's boundary.
-    pub edges: HashMap<EdgeKey, EdgeStat>,
+    /// Dependence edges crossing this construct's boundary. Fx-hashed:
+    /// this map is hit once per recorded dependence per enclosing
+    /// construct, and its keys come from the profiled program's code
+    /// layout, so the hot path skips SipHash.
+    pub edges: FxHashMap<EdgeKey, EdgeStat>,
     /// Live nesting depth (recursion counter; transient during profiling).
     nesting: u32,
     /// Instances nested within other static constructs:
     /// `nested_in[ancestor_head] = count`. Used for the paper's Fig. 6(b)
     /// "remove constructs with a single nested instance" step.
-    pub nested_in: HashMap<Pc, u64>,
+    pub nested_in: FxHashMap<Pc, u64>,
 }
 
 impl ConstructProfile {
@@ -71,9 +75,9 @@ impl ConstructProfile {
             id,
             ttotal: 0,
             inst: 0,
-            edges: HashMap::new(),
+            edges: FxHashMap::default(),
             nesting: 0,
-            nested_in: HashMap::new(),
+            nested_in: FxHashMap::default(),
         }
     }
 
@@ -104,9 +108,9 @@ impl ConstructProfile {
 }
 
 /// The whole-program dependence profile.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct DepProfile {
-    constructs: HashMap<Pc, ConstructProfile>,
+    constructs: FxHashMap<Pc, ConstructProfile>,
     /// Total instructions executed by the profiled run.
     pub total_steps: u64,
     /// Reads the shadow memory dropped because a per-address read set hit
@@ -114,6 +118,21 @@ pub struct DepProfile {
     /// WAR edge set may be incomplete; reports surface this so a capped run
     /// is never mistaken for a clean one.
     pub dropped_readers: u64,
+    /// Shadow-memory layout telemetry (pages faulted, read-set spills)
+    /// from the run that produced this profile. **Excluded from
+    /// equality**: the detected dependences are layout-independent, but
+    /// these counters are not (a sharded replay faults pages per shard),
+    /// and parity means "same profile", not "same allocations".
+    pub shadow_stats: ShadowStats,
+}
+
+impl PartialEq for DepProfile {
+    fn eq(&self, other: &Self) -> bool {
+        // `shadow_stats` deliberately not compared — see its field docs.
+        self.constructs == other.constructs
+            && self.total_steps == other.total_steps
+            && self.dropped_readers == other.dropped_readers
+    }
 }
 
 impl DepProfile {

@@ -113,6 +113,32 @@ impl<'m> AlchemistProfiler<'m> {
         self.config.trace_frame_memory || addr < self.module.global_words
     }
 
+    /// Records one already-bounds-checked memory access: updates the
+    /// shadow and streams every completed dependence into the profile.
+    /// Shared by the per-event callbacks and the batched fast path, so
+    /// the two cannot drift.
+    #[inline]
+    fn memory_access(&mut self, is_read: bool, t: Time, addr: u32, pc: Pc) {
+        let access = Access {
+            pc,
+            t,
+            node: self.stack.current(),
+        };
+        if is_read {
+            if let Some(dep) = self.shadow.on_read(addr, access) {
+                record_detected(&self.pool, &mut self.profile, DepKind::Raw, &dep, pc, t);
+            }
+        } else {
+            // Split borrows: the shadow streams each detected dependence
+            // straight into the profile through the callback — no Vec, no
+            // per-event allocation.
+            let (shadow, profile, pool) = (&mut self.shadow, &mut self.profile, &self.pool);
+            shadow.on_write(addr, access, &mut |kind, dep| {
+                record_detected(pool, profile, kind, &dep, pc, t);
+            });
+        }
+    }
+
     /// Pool behaviour counters (for the pool ablation).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
@@ -131,6 +157,7 @@ impl<'m> AlchemistProfiler<'m> {
             .finalize(&mut self.pool, &mut self.profile, total_steps);
         self.profile.total_steps = total_steps;
         self.profile.dropped_readers = self.shadow.dropped_readers;
+        self.profile.shadow_stats = self.shadow.stats();
         self.profile
     }
 }
@@ -171,71 +198,97 @@ impl TraceSink for AlchemistProfiler<'_> {
     }
 
     fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        if !self.traced(addr) {
-            return;
-        }
-        let access = Access {
-            pc,
-            t,
-            node: self.stack.current(),
-        };
-        if let Some(dep) = self.shadow.on_read(addr, access) {
-            self.profile.record_dependence(
-                &self.pool,
-                DepKind::Raw,
-                dep.head.pc,
-                dep.head.node,
-                dep.head.t,
-                pc,
-                t,
-                dep.addr,
-            );
+        if self.traced(addr) {
+            self.memory_access(true, t, addr, pc);
         }
     }
 
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        if !self.traced(addr) {
-            return;
-        }
-        let access = Access {
-            pc,
-            t,
-            node: self.stack.current(),
-        };
-        let (waw, wars) = self.shadow.on_write(addr, access);
-        if let Some(dep) = waw {
-            self.profile.record_dependence(
-                &self.pool,
-                DepKind::Waw,
-                dep.head.pc,
-                dep.head.node,
-                dep.head.t,
-                pc,
-                t,
-                dep.addr,
-            );
-        }
-        for dep in wars {
-            self.profile.record_dependence(
-                &self.pool,
-                DepKind::War,
-                dep.head.pc,
-                dep.head.node,
-                dep.head.t,
-                pc,
-                t,
-                dep.addr,
-            );
+        if self.traced(addr) {
+            self.memory_access(false, t, addr, pc);
         }
     }
 
     fn on_batch(&mut self, batch: &EventBatch) {
-        // Bulk path, pinned explicitly: `dispatch_into` monomorphizes for
-        // the profiler, so the whole batch is consumed straight from the
-        // columns with one virtual call per batch even when the profiler
-        // sits behind `dyn TraceSink` (a `MultiSink` fan-out).
-        batch.dispatch_into(self);
+        // Bulk path, pinned explicitly: one virtual call per batch even
+        // when the profiler sits behind `dyn TraceSink` (a `MultiSink`
+        // fan-out), with the rows consumed column-direct.
+        //
+        // Memory rows — the bulk of any trace — take a monomorphic fast
+        // path: the `traced()` bound check is hoisted out of the loop
+        // (`trace_frame_memory` and `global_words` cannot change
+        // mid-batch), and consecutive memory rows are consumed in a tight
+        // run that touches only the shadow, pool and profile. Control rows
+        // fall through to the per-event handlers, which need the full
+        // indexing machinery anyway.
+        let trace_all = self.config.trace_frame_memory;
+        let limit = self.module.global_words;
+        let n = batch.len();
+        let mut i = 0;
+        while i < n {
+            let tag = batch.tag(i);
+            if tag.is_memory() {
+                // Run of memory rows.
+                let mut j = i;
+                while j < n && batch.tag(j).is_memory() {
+                    let addr = batch.addr(j);
+                    if trace_all || addr < limit {
+                        self.memory_access(
+                            batch.tag(j) == alchemist_vm::EventTag::Read,
+                            batch.time(j),
+                            addr,
+                            Pc(batch.pc(j)),
+                        );
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                match batch.get(i) {
+                    alchemist_vm::Event::Enter { t, func, fp } => {
+                        self.on_enter_function(t, func, fp);
+                    }
+                    alchemist_vm::Event::Exit { t, func } => self.on_exit_function(t, func),
+                    alchemist_vm::Event::Block { t, block } => self.on_block_entry(t, block),
+                    alchemist_vm::Event::Predicate {
+                        t,
+                        pc,
+                        block,
+                        taken,
+                    } => self.on_predicate(t, pc, block, taken),
+                    // Exhaustive on purpose: a new Event variant must fail
+                    // to compile here, not fall into a stale catch-all.
+                    alchemist_vm::Event::Read { .. } | alchemist_vm::Event::Write { .. } => {
+                        unreachable!("memory rows handled by the run above")
+                    }
+                }
+                i += 1;
+            }
+        }
     }
+}
+
+/// Forwards one detected dependence into the profile — the single site
+/// threading a `DetectedDep` into `record_dependence`'s argument list.
+#[inline]
+fn record_detected(
+    pool: &ConstructPool,
+    profile: &mut DepProfile,
+    kind: DepKind,
+    dep: &crate::shadow::DetectedDep,
+    tail_pc: Pc,
+    tail_t: Time,
+) {
+    profile.record_dependence(
+        pool,
+        kind,
+        dep.head.pc,
+        dep.head.node,
+        dep.head.t,
+        tail_pc,
+        tail_t,
+        dep.addr,
+    );
 }
 
 #[cfg(test)]

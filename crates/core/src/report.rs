@@ -12,9 +12,10 @@
 //!   how Fig. 6(b) is derived from Fig. 6(a).
 
 use crate::construct::{ConstructKind, DepKind};
+use crate::fxhash::FxHashMap;
 use crate::profile::DepProfile;
+use crate::shadow::{ShadowStats, INLINE_READERS};
 use alchemist_vm::{Module, Pc};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// One dependence edge, resolved to source lines.
@@ -75,7 +76,7 @@ pub struct ConstructReport {
     /// `violating_raw` normalized to the run's total violating RAW edges.
     pub norm_violations: f64,
     /// Instances nested within other constructs (ancestor head -> count).
-    pub nested_in: HashMap<Pc, u64>,
+    pub nested_in: FxHashMap<Pc, u64>,
 }
 
 impl ConstructReport {
@@ -117,6 +118,10 @@ pub struct ProfileReport {
     /// Reads the profiler's shadow memory dropped at the per-address reader
     /// cap; non-zero means the WAR edge set may be incomplete.
     pub dropped_readers: u64,
+    /// Shadow-memory layout telemetry from the profiled run: pages faulted
+    /// in and read-set spills past the inline capacity (the PR-3 cap audit
+    /// extended to the paged, allocation-free layout).
+    pub shadow_stats: ShadowStats,
 }
 
 impl ProfileReport {
@@ -176,6 +181,7 @@ impl ProfileReport {
             total_steps: profile.total_steps,
             total_violating_raw: profile.total_violating(DepKind::Raw),
             dropped_readers: profile.dropped_readers,
+            shadow_stats: profile.shadow_stats,
         }
     }
 
@@ -225,6 +231,7 @@ impl ProfileReport {
             total_steps: self.total_steps,
             total_violating_raw,
             dropped_readers: self.dropped_readers,
+            shadow_stats: self.shadow_stats,
         };
         let denom = total_violating_raw.max(1) as f64;
         for c in &mut report.constructs {
@@ -280,6 +287,15 @@ impl ProfileReport {
                 "note: {} read(s) dropped at the per-address reader cap; \
                  WAR edges may be undercounted",
                 self.dropped_readers
+            );
+        }
+        if self.shadow_stats.read_set_spills > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} read-set spill(s) past the inline capacity of \
+                 {INLINE_READERS}; results are exact but those cells left \
+                 the allocation-free inline path",
+                self.shadow_stats.read_set_spills
             );
         }
         out

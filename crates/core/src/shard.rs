@@ -23,6 +23,17 @@
 //! The result is **equal** (`==`) to the sequential and live profiles: the
 //! determinism guarantee the `replay --jobs N` CLI path and the CI parity
 //! gate assert for every bundled workload.
+//!
+//! Memory note: `addr % jobs` interleaves *addresses*, so with the paged
+//! shadow layout every worker tends to fault its own copy of each touched
+//! page (only `1/jobs` of a page's cells live per worker) — sharded
+//! replay's shadow footprint is roughly `jobs ×` the sequential run's.
+//! That is the deliberate trade for load balance: partitioning by page
+//! (`(addr >> PAGE_SHIFT) % jobs`) would dedup the pages but put a small
+//! program's entire global segment (often a single page) on one shard,
+//! serializing the replay. Bounded by `jobs × touched pages`, the
+//! duplication is cheap at the job counts the CLI targets; revisit the
+//! granularity if job counts grow past tens.
 
 use crate::pool::PoolStats;
 use crate::profile::DepProfile;
@@ -274,12 +285,17 @@ pub fn shard_batch_counts(batches: &[EventBatch], jobs: usize) -> Vec<u64> {
 ///
 /// Shard 0 contributes everything (its control-derived statistics are
 /// identical to every other shard's); the remaining shards contribute only
-/// their dependence edges and dropped-reader counts.
+/// their dependence edges, dropped-reader counts and shadow-layout
+/// telemetry (summed: each worker faults its own pages, so the merged
+/// counters describe the fleet's total allocations, not the sequential
+/// run's — which is why they are excluded from profile equality).
 pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
     let mut iter = shards.into_iter();
     let mut base = iter.next().unwrap_or_default();
     for shard in iter {
         base.dropped_readers += shard.dropped_readers;
+        base.shadow_stats.pages_allocated += shard.shadow_stats.pages_allocated;
+        base.shadow_stats.read_set_spills += shard.shadow_stats.read_set_spills;
         for c in shard.constructs() {
             for (key, stat) in &c.edges {
                 base.merge_edge(c.id, *key, *stat);

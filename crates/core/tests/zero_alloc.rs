@@ -1,0 +1,137 @@
+//! Pins the zero-allocation steady state of the dependence-detection hot
+//! path with a counting global allocator: once pages are faulted and the
+//! profile's edge maps are warm, `ShadowMemory::on_read`,
+//! `ShadowMemory::on_write` and `DepProfile::record_dependence` must not
+//! touch the heap at all — the property the paged layout, the inline read
+//! sets and the callback write API exist to provide.
+//!
+//! The whole check lives in **one** `#[test]` so no sibling test thread
+//! can allocate through the shared global allocator mid-measurement.
+
+use alchemist_core::shadow::{Access, ShadowMemory};
+use alchemist_core::{ConstructKind, ConstructPool, DepKind, DepProfile, INLINE_READERS};
+use alchemist_vm::{Pc, Time};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with every allocation (and reallocation) counted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn acc(pc: u32, t: Time) -> Access<u32> {
+    Access {
+        pc: Pc(pc),
+        t,
+        node: 0,
+    }
+}
+
+#[test]
+fn steady_state_hot_path_performs_no_heap_allocation() {
+    // --- Shadow memory: reads and writes over a warmed page. -------------
+    let mut shadow: ShadowMemory<u32> = ShadowMemory::new(INLINE_READERS);
+    // Warm-up: fault the page and push every cell through a full
+    // read-set/eviction/clear cycle, staying within the inline capacity.
+    let mut emitted = 0u64;
+    for i in 0..4 * 64u64 {
+        let addr = (i % 64) as u32;
+        if i % 4 == 3 {
+            shadow.on_write(addr, acc(1, i), &mut |_, _| emitted += 1);
+        } else {
+            shadow.on_read(addr, acc(10 + (i % 3) as u32, i));
+        }
+    }
+
+    let before = allocs();
+    for i in 0..100_000u64 {
+        let addr = (i % 64) as u32;
+        let t = 1_000 + i;
+        if i % 4 == 3 {
+            shadow.on_write(addr, acc((i % 7) as u32, t), &mut |_, _| emitted += 1);
+        } else {
+            shadow.on_read(addr, acc(10 + (i % INLINE_READERS as u64) as u32, t));
+        }
+    }
+    let shadow_allocs = allocs() - before;
+    assert_eq!(
+        shadow_allocs, 0,
+        "steady-state on_read/on_write allocated {shadow_allocs} times \
+         over 100k events (emitted {emitted} deps)"
+    );
+    assert!(emitted > 0, "the measured loop really detected dependences");
+    assert_eq!(shadow.stats().read_set_spills, 0);
+
+    // --- record_dependence: warm edge maps, repeated updates. ------------
+    let mut pool = ConstructPool::new(1024, 64);
+    let method = pool.push_instance(Pc(0), ConstructKind::Method, None, 0);
+    let lp = pool.push_instance(Pc(10), ConstructKind::Loop, Some(method), 1);
+    pool.complete_instance(lp, 50);
+    pool.complete_instance(method, 60);
+
+    let mut profile = DepProfile::new();
+    // Warm-up: create every static edge the loop below will touch.
+    for e in 0..16u32 {
+        for kind in [DepKind::Raw, DepKind::War, DepKind::Waw] {
+            profile.record_dependence(&pool, kind, Pc(100 + e), lp, 5, Pc(500 + e), 45, e);
+        }
+    }
+
+    let before = allocs();
+    for i in 0..100_000u64 {
+        let e = (i % 16) as u32;
+        let kind = match i % 3 {
+            0 => DepKind::Raw,
+            1 => DepKind::War,
+            _ => DepKind::Waw,
+        };
+        profile.record_dependence(
+            &pool,
+            kind,
+            Pc(100 + e),
+            lp,
+            5 + (i % 40),
+            Pc(500 + e),
+            45,
+            e,
+        );
+    }
+    let record_allocs = allocs() - before;
+    assert_eq!(
+        record_allocs, 0,
+        "steady-state record_dependence allocated {record_allocs} times over 100k updates"
+    );
+
+    // --- Sanity: the counter itself works (a fresh page must count). -----
+    let before = allocs();
+    shadow.on_read(7 * alchemist_core::PAGE_WORDS as u32, acc(1, 1)); // new page
+    assert!(
+        allocs() > before,
+        "faulting an untouched page must allocate (counter is live)"
+    );
+}

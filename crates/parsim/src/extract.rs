@@ -156,13 +156,33 @@ impl<'m> TaskExtractor<'m> {
     }
 
     fn constrain(&mut self, head_tag: Option<TaskId>, tail_t: u64) {
-        match (head_tag, self.current_task) {
-            (Some(a), None) => self.main_joins.push((tail_t, a)),
-            (Some(a), Some(b)) if a != b => {
-                self.task_edges.insert((a, b));
-            }
-            _ => {}
+        constrain_into(
+            &mut self.main_joins,
+            &mut self.task_edges,
+            self.current_task,
+            head_tag,
+            tail_t,
+        );
+    }
+}
+
+/// The schedule-constraint rule, as a free function so the read path
+/// (`constrain`) and the write path's split-borrow callback share one
+/// implementation: head in a task, tail on the main thread → join; head
+/// and tail in different tasks → precedence edge; otherwise ordered.
+fn constrain_into(
+    main_joins: &mut Vec<(u64, TaskId)>,
+    task_edges: &mut HashSet<(TaskId, TaskId)>,
+    current: Option<TaskId>,
+    head_tag: Option<TaskId>,
+    tail_t: u64,
+) {
+    match (head_tag, current) {
+        (Some(a), None) => main_joins.push((tail_t, a)),
+        (Some(a), Some(b)) if a != b => {
+            task_edges.insert((a, b));
         }
+        _ => {}
     }
 }
 
@@ -234,15 +254,20 @@ impl TraceSink for TaskExtractor<'_> {
             t,
             node: self.current_task,
         };
-        let (waw, wars) = self.shadow.on_write(addr, access);
-        if self.config.respect_war_waw {
-            if let Some(dep) = waw {
-                self.constrain(dep.head.node, t);
+        // The write must update shadow state (clear the read set, install
+        // the new last-write) whether or not WAR/WAW constraints are
+        // honored; only the constraint emission is conditional. The
+        // callback streams detected dependences into the constraint sets
+        // over split borrows — no Vec — through the same `constrain_into`
+        // rule the read path uses.
+        let respect = self.config.respect_war_waw;
+        let current = self.current_task;
+        let (main_joins, task_edges) = (&mut self.main_joins, &mut self.task_edges);
+        self.shadow.on_write(addr, access, &mut |_kind, dep| {
+            if respect {
+                constrain_into(main_joins, task_edges, current, dep.head.node, t);
             }
-            for dep in wars {
-                self.constrain(dep.head.node, t);
-            }
-        }
+        });
     }
 
     fn on_batch(&mut self, batch: &EventBatch) {

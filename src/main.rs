@@ -845,7 +845,10 @@ impl TraceSink for CapDrops {
     }
     fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
         if addr < self.global_words {
-            let _ = self.shadow.on_write(addr, Access { pc, t, node: () });
+            // The audit only wants the shadow's counters; the detected
+            // dependences themselves are discarded.
+            self.shadow
+                .on_write(addr, Access { pc, t, node: () }, &mut |_, _| {});
         }
     }
 }
@@ -912,6 +915,20 @@ fn render_stats(
                 " (profiling this trace undercounts WAR edges)"
             } else {
                 ""
+            }
+        );
+        let st = d.shadow.stats();
+        println!(
+            "shadow layout: {} page(s) of {} cells faulted in, {} read-set \
+             spill(s) past the inline capacity of {}{}",
+            st.pages_allocated,
+            alchemist_core::PAGE_WORDS,
+            st.read_set_spills,
+            alchemist_core::INLINE_READERS,
+            if st.read_set_spills > 0 {
+                " (some read sets left the allocation-free inline path)"
+            } else {
+                " (profiling this trace is allocation-free in steady state)"
             }
         );
     }
