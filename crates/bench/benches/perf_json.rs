@@ -58,8 +58,14 @@ fn measure_workload(w: &alchemist_workloads::Workload, iters: usize, rows: &mut 
     let module = w.module();
     let cfg = w.exec_config(Scale::Tiny);
 
-    // Record once; every replay path reuses these bytes.
-    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    // Record once; every replay path reuses these bytes. Threaded
+    // workloads need the v2 tid column; single-threaded ones stay on v1.
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header");
     let outcome = alchemist_vm::run(&module, &cfg, &mut writer).expect("workload runs");
     let (bytes, stats) = writer.finish(outcome.steps).expect("finish");
     let events = stats.events;

@@ -53,7 +53,12 @@ fn record_bytes(w: &alchemist_workloads::Workload, batch_events: usize) -> (Vec<
         batch_events,
         ..w.exec_config(Scale::Tiny)
     };
-    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header");
     let outcome = alchemist_vm::run(&module, &cfg, &mut writer).expect("runs");
     writer.finish(outcome.steps).expect("finish")
 }

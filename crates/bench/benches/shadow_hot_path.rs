@@ -26,7 +26,7 @@ use alchemist_core::shadow::{Access, DetectedDep, ShadowMemory};
 use alchemist_core::{
     ConstructKind, ConstructPool, DepKind, DepProfile, INLINE_READERS, PAGE_WORDS,
 };
-use alchemist_vm::{Pc, Time};
+use alchemist_vm::{Pc, Tid, Time};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn quick_mode() -> bool {
@@ -38,6 +38,7 @@ fn acc(pc: u32, t: Time) -> Access<u32> {
         pc: Pc(pc),
         t,
         node: 0,
+        tid: Tid::MAIN,
     }
 }
 
@@ -172,6 +173,8 @@ fn bench_record_dependence(c: &mut Criterion) {
                         Pc(500 + e),
                         45,
                         e % 8,
+                        Tid::MAIN,
+                        Tid::MAIN,
                     );
                 }
                 black_box(profile.len())

@@ -43,7 +43,7 @@ impl Table3Row {
 /// Table III: per benchmark, static/dynamic construct counts and native vs
 /// profiled running time.
 pub fn table3(scale: Scale) -> Vec<Table3Row> {
-    alchemist_workloads::all()
+    alchemist_workloads::paper_suite()
         .iter()
         .map(|w| table3_row(w, scale))
         .collect()

@@ -30,6 +30,9 @@ pub fn merge_profiles(base: &mut DepProfile, other: &DepProfile) {
     // reports stays live for aggregated profiles too.
     base.shadow_stats.pages_allocated += other.shadow_stats.pages_allocated;
     base.shadow_stats.read_set_spills += other.shadow_stats.read_set_spills;
+    // Thread-classification counters sum like the edge counts they refine.
+    base.intra_thread_deps += other.intra_thread_deps;
+    base.cross_thread_deps += other.cross_thread_deps;
     for c in other.constructs() {
         base.merge_duration(c.id, c.ttotal, c.inst);
         for (key, stat) in &c.edges {

@@ -15,7 +15,7 @@
 
 use crate::construct::{ConstructId, ConstructKind, DepKind};
 use crate::profile::{DepProfile, EdgeKey, EdgeStat};
-use alchemist_vm::{Event, Module, Pc, Time};
+use alchemist_vm::{Event, Module, Pc, Tid, Time};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -37,8 +37,8 @@ struct OEntry {
 
 #[derive(Debug, Default)]
 struct OCell {
-    last_write: Option<(Pc, Time, usize)>,
-    reads: Vec<(Pc, Time, usize)>,
+    last_write: Option<(Pc, Time, usize, Tid)>,
+    reads: Vec<(Pc, Time, usize, Tid)>,
 }
 
 /// Replays `events` (from a [`RecordingSink`](alchemist_vm::RecordingSink))
@@ -47,7 +47,9 @@ struct OCell {
 /// `total_steps` is the executed instruction count of the run.
 pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> DepProfile {
     let mut tree: Vec<ONode> = Vec::new();
-    let mut stack: Vec<OEntry> = Vec::new();
+    // One index stack per thread (dense tids), grown on first event;
+    // single-threaded runs only ever use stacks[0].
+    let mut stacks: Vec<Vec<OEntry>> = vec![Vec::new()];
     let mut shadow: HashMap<u32, OCell> = HashMap::new();
     let mut profile = DepProfile::new();
     // (kind, head pc, tail pc, construct) -> (min_tdep, count), built
@@ -105,15 +107,26 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
         });
     };
 
-    let record = |tree: &[ONode],
-                  edges: &mut HashMap<(Pc, EdgeKey), EdgeStat>,
-                  kind: DepKind,
-                  head_pc: Pc,
-                  head_node: usize,
-                  t_head: Time,
-                  tail_pc: Pc,
-                  t_tail: Time,
-                  addr: u32| {
+    let mut intra_deps = 0u64;
+    let mut cross_deps = 0u64;
+    let mut record = |tree: &[ONode],
+                      edges: &mut HashMap<(Pc, EdgeKey), EdgeStat>,
+                      kind: DepKind,
+                      head_pc: Pc,
+                      head_node: usize,
+                      t_head: Time,
+                      tail_pc: Pc,
+                      t_tail: Time,
+                      addr: u32,
+                      src_tid: Tid,
+                      dst_tid: Tid| {
+        let cross = src_tid != dst_tid;
+        if cross {
+            cross_deps += 1;
+        } else {
+            intra_deps += 1;
+        }
+        let tids = (src_tid.0, dst_tid.0);
         let tdep = t_tail.saturating_sub(t_head);
         let mut cur = Some(head_node);
         while let Some(i) = cur {
@@ -129,14 +142,19 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
             let stat = edges.entry((n.label, key)).or_insert(EdgeStat {
                 min_tdep: u64::MAX,
                 count: 0,
+                cross_count: 0,
                 sample_addr: addr,
+                sample_tids: tids,
             });
             stat.count += 1;
+            stat.cross_count += cross as u64;
             // Same order-independent tie rule as the online profiler:
-            // equal minimum distances keep the lowest address.
-            if tdep < stat.min_tdep || (tdep == stat.min_tdep && addr < stat.sample_addr) {
+            // equal minimum distances keep the lowest address, then the
+            // lowest thread pair.
+            if (tdep, addr, tids) < (stat.min_tdep, stat.sample_addr, stat.sample_tids) {
                 stat.min_tdep = tdep;
                 stat.sample_addr = addr;
+                stat.sample_tids = tids;
             }
             cur = n.parent;
         }
@@ -144,13 +162,21 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
 
     let traced = |addr: u32| addr < module.global_words;
 
+    fn stack_for(stacks: &mut Vec<Vec<OEntry>>, tid: Tid) -> &mut Vec<OEntry> {
+        let idx = tid.0 as usize;
+        if idx >= stacks.len() {
+            stacks.resize_with(idx + 1, Vec::new);
+        }
+        &mut stacks[idx]
+    }
+
     for ev in events {
         match *ev {
-            Event::Enter { t, func, .. } => {
+            Event::Enter { t, func, tid, .. } => {
                 let head = module.funcs[func.0 as usize].entry;
                 push(
                     &mut tree,
-                    &mut stack,
+                    stack_for(&mut stacks, tid),
                     head,
                     ConstructKind::Method,
                     None,
@@ -159,27 +185,33 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                     &mut nesting,
                 );
             }
-            Event::Exit { t, .. } => loop {
-                let barrier = stack.last().expect("exit without entry").is_barrier;
-                pop(
-                    &mut tree,
-                    &mut stack,
-                    t,
-                    &mut durations,
-                    &mut nesting,
-                    &mut nested_in,
-                );
-                if barrier {
-                    break;
+            Event::Exit { t, tid, .. } => {
+                let stack = stack_for(&mut stacks, tid);
+                loop {
+                    let barrier = stack.last().expect("exit without entry").is_barrier;
+                    pop(
+                        &mut tree,
+                        stack,
+                        t,
+                        &mut durations,
+                        &mut nesting,
+                        &mut nested_in,
+                    );
+                    if barrier {
+                        break;
+                    }
                 }
-            },
-            Event::Predicate { t, pc, block, .. } => {
+            }
+            Event::Predicate {
+                t, pc, block, tid, ..
+            } => {
                 let kind = module
                     .analysis
                     .predicate_kind(pc)
                     .map(ConstructId::kind_of_pred)
                     .expect("predicate event from non-predicate pc");
                 let ipdom = module.analysis.block(block).ipdom;
+                let stack = stack_for(&mut stacks, tid);
                 let mut found = None;
                 for (i, e) in stack.iter().enumerate().rev() {
                     if e.is_barrier {
@@ -194,7 +226,7 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                     while stack.len() > i {
                         pop(
                             &mut tree,
-                            &mut stack,
+                            stack,
                             t,
                             &mut durations,
                             &mut nesting,
@@ -202,25 +234,17 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                         );
                     }
                 }
-                push(
-                    &mut tree,
-                    &mut stack,
-                    pc,
-                    kind,
-                    ipdom,
-                    false,
-                    t,
-                    &mut nesting,
-                );
+                push(&mut tree, stack, pc, kind, ipdom, false, t, &mut nesting);
             }
-            Event::Block { t, block } => {
+            Event::Block { t, block, tid } => {
+                let stack = stack_for(&mut stacks, tid);
                 while let Some(top) = stack.last() {
                     if top.is_barrier || top.ipdom != Some(block) {
                         break;
                     }
                     pop(
                         &mut tree,
-                        &mut stack,
+                        stack,
                         t,
                         &mut durations,
                         &mut nesting,
@@ -228,51 +252,95 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
                     );
                 }
             }
-            Event::Read { t, addr, pc } => {
+            Event::Read { t, addr, pc, tid } => {
                 if !traced(addr) {
                     continue;
                 }
-                let node = stack.last().expect("read outside any function").node;
+                let node = stack_for(&mut stacks, tid)
+                    .last()
+                    .expect("read outside any function")
+                    .node;
                 let cell = shadow.entry(addr).or_default();
-                if let Some((wpc, wt, wnode)) = cell.last_write {
-                    record(&tree, &mut edges, DepKind::Raw, wpc, wnode, wt, pc, t, addr);
+                if let Some((wpc, wt, wnode, wtid)) = cell.last_write {
+                    record(
+                        &tree,
+                        &mut edges,
+                        DepKind::Raw,
+                        wpc,
+                        wnode,
+                        wt,
+                        pc,
+                        t,
+                        addr,
+                        wtid,
+                        tid,
+                    );
                 }
                 if let Some(r) = cell.reads.iter_mut().find(|r| r.0 == pc) {
-                    *r = (pc, t, node);
+                    *r = (pc, t, node, tid);
                 } else {
-                    cell.reads.push((pc, t, node));
+                    cell.reads.push((pc, t, node, tid));
                 }
             }
-            Event::Write { t, addr, pc } => {
+            Event::Write { t, addr, pc, tid } => {
                 if !traced(addr) {
                     continue;
                 }
-                let node = stack.last().expect("write outside any function").node;
+                let node = stack_for(&mut stacks, tid)
+                    .last()
+                    .expect("write outside any function")
+                    .node;
                 let cell = shadow.entry(addr).or_default();
-                if let Some((wpc, wt, wnode)) = cell.last_write {
-                    record(&tree, &mut edges, DepKind::Waw, wpc, wnode, wt, pc, t, addr);
+                if let Some((wpc, wt, wnode, wtid)) = cell.last_write {
+                    record(
+                        &tree,
+                        &mut edges,
+                        DepKind::Waw,
+                        wpc,
+                        wnode,
+                        wt,
+                        pc,
+                        t,
+                        addr,
+                        wtid,
+                        tid,
+                    );
                 }
                 // Same callback-style flow as `ShadowMemory::on_write`:
                 // the reads are consumed in place, then cleared — no
                 // intermediate collection.
-                for &(rpc, rt, rnode) in &cell.reads {
-                    record(&tree, &mut edges, DepKind::War, rpc, rnode, rt, pc, t, addr);
+                for &(rpc, rt, rnode, rtid) in &cell.reads {
+                    record(
+                        &tree,
+                        &mut edges,
+                        DepKind::War,
+                        rpc,
+                        rnode,
+                        rt,
+                        pc,
+                        t,
+                        addr,
+                        rtid,
+                        tid,
+                    );
                 }
                 cell.reads.clear();
-                cell.last_write = Some((pc, t, node));
+                cell.last_write = Some((pc, t, node, tid));
             }
         }
     }
-    // Close any still-open constructs (trap case).
-    while !stack.is_empty() {
-        pop(
-            &mut tree,
-            &mut stack,
-            total_steps,
-            &mut durations,
-            &mut nesting,
-            &mut nested_in,
-        );
+    // Close any still-open constructs (trap case), in tid order.
+    for stack in &mut stacks {
+        while !stack.is_empty() {
+            pop(
+                &mut tree,
+                stack,
+                total_steps,
+                &mut durations,
+                &mut nesting,
+                &mut nested_in,
+            );
+        }
     }
 
     // Pour the collected data into a DepProfile.
@@ -281,6 +349,8 @@ pub fn oracle_profile(module: &Module, events: &[Event], total_steps: u64) -> De
         profile.merge_duration(ConstructId::new(*head, *kind), *ttotal, *inst);
     }
     profile.total_steps = total_steps;
+    profile.intra_thread_deps = intra_deps;
+    profile.cross_thread_deps = cross_deps;
     for ((construct, key), stat) in edges {
         let kind = kind_of
             .get(&construct)

@@ -21,7 +21,7 @@ use crate::construct::{ConstructId, DepKind};
 use crate::fxhash::FxHashMap;
 use crate::pool::{ConstructPool, NodeRef};
 use crate::shadow::ShadowStats;
-use alchemist_vm::{Pc, Time};
+use alchemist_vm::{Pc, Tid, Time};
 
 /// Statistics for one static dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +30,19 @@ pub struct EdgeStat {
     pub min_tdep: u64,
     /// How many times the edge was exercised against this construct.
     pub count: u64,
+    /// Exercises whose head and tail ran on *different* threads. A nonzero
+    /// value means the edge is already cut by the program's own thread
+    /// decomposition (see the parallel simulator, which excludes such edges
+    /// from the serialization cost).
+    pub cross_count: u64,
     /// A conflicting address observed for the edge (resolves to the
     /// variable name in reports).
     pub sample_addr: u32,
+    /// `(head thread, tail thread)` observed at the minimum-distance
+    /// exercise. Ties on `(min_tdep, sample_addr)` keep the
+    /// lexicographically smallest pair, so the sample is independent of
+    /// observation order (sequential replay and sharded merges agree).
+    pub sample_tids: (u32, u32),
 }
 
 /// Key of a static dependence edge within a construct's profile.
@@ -124,6 +134,14 @@ pub struct DepProfile {
     /// these counters are not (a sharded replay faults pages per shard),
     /// and parity means "same profile", not "same allocations".
     pub shadow_stats: ShadowStats,
+    /// Detected dependences whose head and tail ran on the same thread.
+    /// Classified once per detected dependence, *before* the bottom-up
+    /// construct walk, so the count is attribution-independent (a
+    /// dependence internal to every open construct still counts here).
+    pub intra_thread_deps: u64,
+    /// Detected dependences whose head and tail ran on different threads —
+    /// sharing the program's own thread decomposition already exposes.
+    pub cross_thread_deps: u64,
 }
 
 impl PartialEq for DepProfile {
@@ -132,6 +150,8 @@ impl PartialEq for DepProfile {
         self.constructs == other.constructs
             && self.total_steps == other.total_steps
             && self.dropped_readers == other.dropped_readers
+            && self.intra_thread_deps == other.intra_thread_deps
+            && self.cross_thread_deps == other.cross_thread_deps
     }
 }
 
@@ -207,6 +227,11 @@ impl DepProfile {
     /// tightening the edge in each one's profile; stops at the first active
     /// instance (intra-construct from there up) or at a node whose slot was
     /// retired and reused (its window guarantee makes the edge irrelevant).
+    ///
+    /// `src_tid`/`dst_tid` are the threads of the head and tail accesses;
+    /// they classify the dependence as intra- or cross-thread (global
+    /// counters, incremented once per call) and feed each touched edge's
+    /// [`EdgeStat::cross_count`] and [`EdgeStat::sample_tids`].
     #[allow(clippy::too_many_arguments)]
     pub fn record_dependence(
         &mut self,
@@ -218,7 +243,16 @@ impl DepProfile {
         tail_pc: Pc,
         t_tail: Time,
         addr: u32,
+        src_tid: Tid,
+        dst_tid: Tid,
     ) {
+        let cross = src_tid != dst_tid;
+        if cross {
+            self.cross_thread_deps += 1;
+        } else {
+            self.intra_thread_deps += 1;
+        }
+        let tids = (src_tid.0, dst_tid.0);
         let tdep = t_tail.saturating_sub(t_head);
         let mut cur = Some(head_node);
         while let Some(r) = cur {
@@ -244,15 +278,20 @@ impl DepProfile {
                 .or_insert(EdgeStat {
                     min_tdep: u64::MAX,
                     count: 0,
+                    cross_count: 0,
                     sample_addr: addr,
+                    sample_tids: tids,
                 });
             stat.count += 1;
-            // Ties on the minimum distance keep the lowest address, so the
-            // result is independent of observation order — sequential replay
-            // and an address-sharded parallel merge agree exactly.
-            if tdep < stat.min_tdep || (tdep == stat.min_tdep && addr < stat.sample_addr) {
+            stat.cross_count += cross as u64;
+            // Ties on the minimum distance keep the lowest address (then
+            // the lowest thread pair), so the result is independent of
+            // observation order — sequential replay and an address-sharded
+            // parallel merge agree exactly.
+            if (tdep, addr, tids) < (stat.min_tdep, stat.sample_addr, stat.sample_tids) {
                 stat.min_tdep = tdep;
                 stat.sample_addr = addr;
+                stat.sample_tids = tids;
             }
             cur = node.parent;
         }
@@ -282,17 +321,21 @@ impl DepProfile {
         let s = e.edges.entry(key).or_insert(EdgeStat {
             min_tdep: u64::MAX,
             count: 0,
+            cross_count: 0,
             sample_addr: stat.sample_addr,
+            sample_tids: stat.sample_tids,
         });
         s.count += stat.count;
+        s.cross_count += stat.cross_count;
         // Same tie rule as `record_dependence`: equal distances keep the
-        // lowest address, making the merge commutative and shard-order
-        // independent.
-        if stat.min_tdep < s.min_tdep
-            || (stat.min_tdep == s.min_tdep && stat.sample_addr < s.sample_addr)
+        // lowest address, then the lowest thread pair, making the merge
+        // commutative and shard-order independent.
+        if (stat.min_tdep, stat.sample_addr, stat.sample_tids)
+            < (s.min_tdep, s.sample_addr, s.sample_tids)
         {
             s.min_tdep = stat.min_tdep;
             s.sample_addr = stat.sample_addr;
+            s.sample_tids = stat.sample_tids;
         }
     }
 
@@ -362,7 +405,18 @@ mod tests {
         pool.complete_instance(it, 9);
         p.on_pop(cid(10, ConstructKind::Loop), 5, 9, std::iter::empty());
         // Tail at t=12; main still active.
-        p.record_dependence(&pool, DepKind::Raw, Pc(100), iff, 7, Pc(200), 12, 3);
+        p.record_dependence(
+            &pool,
+            DepKind::Raw,
+            Pc(100),
+            iff,
+            7,
+            Pc(200),
+            12,
+            3,
+            Tid::MAIN,
+            Tid::MAIN,
+        );
 
         let key = EdgeKey {
             kind: DepKind::Raw,
@@ -374,7 +428,9 @@ mod tests {
             EdgeStat {
                 min_tdep: 5,
                 count: 1,
-                sample_addr: 3
+                cross_count: 0,
+                sample_addr: 3,
+                sample_tids: (0, 0),
             }
         );
         assert_eq!(
@@ -382,7 +438,9 @@ mod tests {
             EdgeStat {
                 min_tdep: 5,
                 count: 1,
-                sample_addr: 3
+                cross_count: 0,
+                sample_addr: 3,
+                sample_tids: (0, 0),
             }
         );
         assert!(
@@ -399,9 +457,10 @@ mod tests {
         p.on_push(cid(10, ConstructKind::Loop));
         pool.complete_instance(n, 10);
         p.on_pop(cid(10, ConstructKind::Loop), 0, 10, std::iter::empty());
-        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 5, Pc(2), 50, 7); // 45
-        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 8, Pc(2), 20, 9); // 12
-        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 2, Pc(2), 90, 7); // 88
+        let m = Tid::MAIN;
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 5, Pc(2), 50, 7, m, m); // 45
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 8, Pc(2), 20, 9, m, m); // 12
+        p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 2, Pc(2), 90, 7, m, m); // 88
         let key = EdgeKey {
             kind: DepKind::Raw,
             head: Pc(1),
@@ -424,7 +483,18 @@ mod tests {
         // Force reuse of a's slot at t=30 (completed 20 ago > duration 10).
         let _b = pool.push_instance(Pc(99), ConstructKind::Loop, None, 30);
         // A dependence whose head ref is the stale `a` must be dropped.
-        p.record_dependence(&pool, DepKind::Raw, Pc(1), a, 5, Pc(2), 31, 0);
+        p.record_dependence(
+            &pool,
+            DepKind::Raw,
+            Pc(1),
+            a,
+            5,
+            Pc(2),
+            31,
+            0,
+            Tid::MAIN,
+            Tid::MAIN,
+        );
         assert!(p.construct(Pc(10)).unwrap().edges.is_empty());
     }
 
@@ -444,7 +514,9 @@ mod tests {
             EdgeStat {
                 min_tdep: 50,
                 count: 1,
+                cross_count: 0,
                 sample_addr: 0,
+                sample_tids: (0, 0),
             }, // violating (50 <= 100)
         );
         c.edges.insert(
@@ -456,7 +528,9 @@ mod tests {
             EdgeStat {
                 min_tdep: 150,
                 count: 1,
+                cross_count: 0,
                 sample_addr: 0,
+                sample_tids: (0, 0),
             }, // fine (150 > 100)
         );
         c.edges.insert(
@@ -468,7 +542,9 @@ mod tests {
             EdgeStat {
                 min_tdep: 10,
                 count: 1,
+                cross_count: 0,
                 sample_addr: 0,
+                sample_tids: (0, 0),
             }, // violating, different kind
         );
         let c = p.construct(Pc(3)).unwrap();
@@ -477,6 +553,126 @@ mod tests {
         assert_eq!(c.violating_count(DepKind::Waw), 0);
         assert_eq!(c.edge_count(DepKind::Raw), 2);
         assert_eq!(p.total_violating(DepKind::Raw), 1);
+    }
+
+    #[test]
+    fn cross_thread_dependences_are_classified() {
+        let mut pool = ConstructPool::new(16, 4);
+        let mut p = DepProfile::new();
+        let n = pool.push_instance(Pc(10), ConstructKind::Loop, None, 0);
+        p.on_push(cid(10, ConstructKind::Loop));
+        pool.complete_instance(n, 10);
+        p.on_pop(cid(10, ConstructKind::Loop), 0, 10, std::iter::empty());
+        // One intra-thread exercise, two cross-thread ones.
+        p.record_dependence(
+            &pool,
+            DepKind::Raw,
+            Pc(1),
+            n,
+            5,
+            Pc(2),
+            50,
+            7,
+            Tid(1),
+            Tid(1),
+        );
+        p.record_dependence(
+            &pool,
+            DepKind::Raw,
+            Pc(1),
+            n,
+            8,
+            Pc(2),
+            20,
+            7,
+            Tid(0),
+            Tid(2),
+        );
+        p.record_dependence(
+            &pool,
+            DepKind::Raw,
+            Pc(1),
+            n,
+            2,
+            Pc(2),
+            90,
+            7,
+            Tid(2),
+            Tid(0),
+        );
+        assert_eq!(p.intra_thread_deps, 1);
+        assert_eq!(p.cross_thread_deps, 2);
+        let key = EdgeKey {
+            kind: DepKind::Raw,
+            head: Pc(1),
+            tail: Pc(2),
+        };
+        let stat = p.construct(Pc(10)).unwrap().edges[&key];
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.cross_count, 2);
+        assert_eq!(stat.min_tdep, 12);
+        assert_eq!(stat.sample_tids, (0, 2), "tids follow the minimum");
+    }
+
+    #[test]
+    fn sample_tids_tie_break_is_order_independent() {
+        // Two exercises with identical (tdep, addr) but different thread
+        // pairs: the lexicographically smallest pair wins either way round.
+        let exercises = [(Tid(3), Tid(1)), (Tid(1), Tid(4))];
+        for order in [[0usize, 1], [1, 0]] {
+            let mut pool = ConstructPool::new(16, 4);
+            let mut p = DepProfile::new();
+            let n = pool.push_instance(Pc(10), ConstructKind::Loop, None, 0);
+            p.on_push(cid(10, ConstructKind::Loop));
+            pool.complete_instance(n, 10);
+            p.on_pop(cid(10, ConstructKind::Loop), 0, 10, std::iter::empty());
+            for &i in &order {
+                let (s, d) = exercises[i];
+                p.record_dependence(&pool, DepKind::Raw, Pc(1), n, 5, Pc(2), 25, 7, s, d);
+            }
+            let key = EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(1),
+                tail: Pc(2),
+            };
+            let stat = p.construct(Pc(10)).unwrap().edges[&key];
+            assert_eq!(stat.sample_tids, (1, 4), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn merge_edge_sums_cross_counts_commutatively() {
+        let id = cid(10, ConstructKind::Loop);
+        let key = EdgeKey {
+            kind: DepKind::War,
+            head: Pc(1),
+            tail: Pc(2),
+        };
+        let a = EdgeStat {
+            min_tdep: 9,
+            count: 4,
+            cross_count: 1,
+            sample_addr: 3,
+            sample_tids: (0, 1),
+        };
+        let b = EdgeStat {
+            min_tdep: 9,
+            count: 2,
+            cross_count: 2,
+            sample_addr: 3,
+            sample_tids: (0, 0),
+        };
+        let mut fwd = DepProfile::new();
+        fwd.merge_edge(id, key, a);
+        fwd.merge_edge(id, key, b);
+        let mut rev = DepProfile::new();
+        rev.merge_edge(id, key, b);
+        rev.merge_edge(id, key, a);
+        let f = fwd.construct(Pc(10)).unwrap().edges[&key];
+        assert_eq!(f, rev.construct(Pc(10)).unwrap().edges[&key]);
+        assert_eq!(f.count, 6);
+        assert_eq!(f.cross_count, 3);
+        assert_eq!(f.sample_tids, (0, 0), "smallest pair wins the tie");
     }
 
     #[test]

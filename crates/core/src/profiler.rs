@@ -20,7 +20,7 @@ use crate::pool::{ConstructPool, PoolStats};
 use crate::profile::DepProfile;
 use crate::shadow::{Access, ShadowMemory};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, EventBatch, Module, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, EventBatch, Module, Pc, Tid, Time, TraceSink};
 
 /// How much dynamic context the index tree captures.
 ///
@@ -90,7 +90,13 @@ impl Default for ProfileConfig {
 pub struct AlchemistProfiler<'m> {
     module: &'m Module,
     config: ProfileConfig,
-    stack: IndexStack,
+    /// One index stack per thread, indexed by dense tid and grown lazily on
+    /// a thread's first event. Every stack shares the pool, shadow and
+    /// profile, so dependences *between* threads land in the same maps as
+    /// intra-thread ones; single-threaded runs only ever touch
+    /// `stacks[0]`, keeping their profiles bit-identical to the
+    /// pre-threading profiler.
+    stacks: Vec<IndexStack>,
     pool: ConstructPool,
     shadow: ShadowMemory,
     profile: DepProfile,
@@ -101,7 +107,7 @@ impl<'m> AlchemistProfiler<'m> {
     pub fn new(module: &'m Module, config: ProfileConfig) -> Self {
         AlchemistProfiler {
             module,
-            stack: IndexStack::new(config.track_nesting),
+            stacks: vec![IndexStack::new(config.track_nesting)],
             pool: ConstructPool::new(config.pool_capacity, config.pool_scan_cap),
             shadow: ShadowMemory::with_dense_limit(config.reader_cap, module.global_words),
             profile: DepProfile::new(),
@@ -113,20 +119,43 @@ impl<'m> AlchemistProfiler<'m> {
         self.config.trace_frame_memory || addr < self.module.global_words
     }
 
+    /// Index of `tid`'s stack, growing the vector on a thread's first
+    /// event. The scheduler hands out dense tids, so direct indexing is
+    /// both exact and cheap.
+    #[inline]
+    fn stack_index(&mut self, tid: Tid) -> usize {
+        let idx = tid.0 as usize;
+        if idx >= self.stacks.len() {
+            let track = self.config.track_nesting;
+            self.stacks.resize_with(idx + 1, || IndexStack::new(track));
+        }
+        idx
+    }
+
     /// Records one already-bounds-checked memory access: updates the
     /// shadow and streams every completed dependence into the profile.
     /// Shared by the per-event callbacks and the batched fast path, so
     /// the two cannot drift.
     #[inline]
-    fn memory_access(&mut self, is_read: bool, t: Time, addr: u32, pc: Pc) {
+    fn memory_access(&mut self, is_read: bool, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        let idx = self.stack_index(tid);
         let access = Access {
             pc,
             t,
-            node: self.stack.current(),
+            tid,
+            node: self.stacks[idx].current(),
         };
         if is_read {
             if let Some(dep) = self.shadow.on_read(addr, access) {
-                record_detected(&self.pool, &mut self.profile, DepKind::Raw, &dep, pc, t);
+                record_detected(
+                    &self.pool,
+                    &mut self.profile,
+                    DepKind::Raw,
+                    &dep,
+                    pc,
+                    t,
+                    tid,
+                );
             }
         } else {
             // Split borrows: the shadow streams each detected dependence
@@ -134,7 +163,7 @@ impl<'m> AlchemistProfiler<'m> {
             // per-event allocation.
             let (shadow, profile, pool) = (&mut self.shadow, &mut self.profile, &self.pool);
             shadow.on_write(addr, access, &mut |kind, dep| {
-                record_detected(pool, profile, kind, &dep, pc, t);
+                record_detected(pool, profile, kind, &dep, pc, t, tid);
             });
         }
     }
@@ -144,17 +173,19 @@ impl<'m> AlchemistProfiler<'m> {
         self.pool.stats()
     }
 
-    /// Deepest construct nesting observed (the paper's `L`).
+    /// Deepest construct nesting observed on any thread (the paper's `L`).
     pub fn max_depth(&self) -> usize {
-        self.stack.max_depth
+        self.stacks.iter().map(|s| s.max_depth).max().unwrap_or(0)
     }
 
     /// Finishes the run and extracts the profile. `total_steps` is the
     /// run's final instruction count (used for normalization in reports).
     pub fn into_profile(mut self, total_steps: u64) -> DepProfile {
-        // Close anything left open (only happens after a trap).
-        self.stack
-            .finalize(&mut self.pool, &mut self.profile, total_steps);
+        // Close anything left open (a trap, or a thread never joined), in
+        // tid order so the result is deterministic.
+        for stack in &mut self.stacks {
+            stack.finalize(&mut self.pool, &mut self.profile, total_steps);
+        }
         self.profile.total_steps = total_steps;
         self.profile.dropped_readers = self.shadow.dropped_readers;
         self.profile.shadow_stats = self.shadow.stats();
@@ -163,26 +194,26 @@ impl<'m> AlchemistProfiler<'m> {
 }
 
 impl TraceSink for AlchemistProfiler<'_> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32) {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32, tid: Tid) {
         let head = self.module.funcs[func.0 as usize].entry;
-        self.stack
-            .enter_function(&mut self.pool, &mut self.profile, head, t);
+        let idx = self.stack_index(tid);
+        self.stacks[idx].enter_function(&mut self.pool, &mut self.profile, head, t);
     }
 
-    fn on_exit_function(&mut self, t: Time, _func: FuncId) {
-        self.stack
-            .exit_function(&mut self.pool, &mut self.profile, t);
+    fn on_exit_function(&mut self, t: Time, _func: FuncId, tid: Tid) {
+        let idx = self.stack_index(tid);
+        self.stacks[idx].exit_function(&mut self.pool, &mut self.profile, t);
     }
 
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
         if self.config.index_mode == IndexMode::CallContextOnly {
             return;
         }
-        self.stack
-            .block_entry(&mut self.pool, &mut self.profile, block, t);
+        let idx = self.stack_index(tid);
+        self.stacks[idx].block_entry(&mut self.pool, &mut self.profile, block, t);
     }
 
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool) {
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool, tid: Tid) {
         if self.config.index_mode == IndexMode::CallContextOnly {
             return;
         }
@@ -193,19 +224,19 @@ impl TraceSink for AlchemistProfiler<'_> {
             .map(ConstructId::kind_of_pred)
             .expect("predicate event from a non-predicate instruction");
         let ipdom = self.module.analysis.block(block).ipdom;
-        self.stack
-            .predicate(&mut self.pool, &mut self.profile, pc, kind, ipdom, t);
+        let idx = self.stack_index(tid);
+        self.stacks[idx].predicate(&mut self.pool, &mut self.profile, pc, kind, ipdom, t);
     }
 
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if self.traced(addr) {
-            self.memory_access(true, t, addr, pc);
+            self.memory_access(true, t, addr, pc, tid);
         }
     }
 
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if self.traced(addr) {
-            self.memory_access(false, t, addr, pc);
+            self.memory_access(false, t, addr, pc, tid);
         }
     }
 
@@ -238,6 +269,7 @@ impl TraceSink for AlchemistProfiler<'_> {
                             batch.time(j),
                             addr,
                             Pc(batch.pc(j)),
+                            batch.tid(j),
                         );
                     }
                     j += 1;
@@ -245,17 +277,22 @@ impl TraceSink for AlchemistProfiler<'_> {
                 i = j;
             } else {
                 match batch.get(i) {
-                    alchemist_vm::Event::Enter { t, func, fp } => {
-                        self.on_enter_function(t, func, fp);
+                    alchemist_vm::Event::Enter { t, func, fp, tid } => {
+                        self.on_enter_function(t, func, fp, tid);
                     }
-                    alchemist_vm::Event::Exit { t, func } => self.on_exit_function(t, func),
-                    alchemist_vm::Event::Block { t, block } => self.on_block_entry(t, block),
+                    alchemist_vm::Event::Exit { t, func, tid } => {
+                        self.on_exit_function(t, func, tid);
+                    }
+                    alchemist_vm::Event::Block { t, block, tid } => {
+                        self.on_block_entry(t, block, tid);
+                    }
                     alchemist_vm::Event::Predicate {
                         t,
                         pc,
                         block,
                         taken,
-                    } => self.on_predicate(t, pc, block, taken),
+                        tid,
+                    } => self.on_predicate(t, pc, block, taken, tid),
                     // Exhaustive on purpose: a new Event variant must fail
                     // to compile here, not fall into a stale catch-all.
                     alchemist_vm::Event::Read { .. } | alchemist_vm::Event::Write { .. } => {
@@ -278,6 +315,7 @@ fn record_detected(
     dep: &crate::shadow::DetectedDep,
     tail_pc: Pc,
     tail_t: Time,
+    tail_tid: Tid,
 ) {
     profile.record_dependence(
         pool,
@@ -288,6 +326,8 @@ fn record_detected(
         tail_pc,
         tail_t,
         dep.addr,
+        dep.head.tid,
+        tail_tid,
     );
 }
 

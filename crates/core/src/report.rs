@@ -43,6 +43,10 @@ pub struct EdgeReport {
     /// it is a global (the paper reports conflicts per variable, e.g.
     /// "conflicts on `ivec`").
     pub var: Option<String>,
+    /// Exercises whose head and tail ran on different program threads.
+    /// Such exercises are already parallel in the source; an edge with
+    /// `cross_count == count` never serializes anything.
+    pub cross_count: u64,
 }
 
 /// One construct's resolved profile.
@@ -122,6 +126,11 @@ pub struct ProfileReport {
     /// in and read-set spills past the inline capacity (the PR-3 cap audit
     /// extended to the paged, allocation-free layout).
     pub shadow_stats: ShadowStats,
+    /// Dependences whose head and tail ran on the same program thread.
+    pub intra_thread_deps: u64,
+    /// Dependences whose head and tail ran on different program threads
+    /// (zero for single-threaded programs).
+    pub cross_thread_deps: u64,
 }
 
 impl ProfileReport {
@@ -153,6 +162,7 @@ impl ProfileReport {
                                 g.offset <= s.sample_addr && s.sample_addr < g.offset + g.words
                             })
                             .map(|g| g.name.clone()),
+                        cross_count: s.cross_count,
                     })
                     .collect();
                 edges.sort_by_key(|e| (e.kind, !e.violating, e.min_tdep, e.head_pc, e.tail_pc));
@@ -182,6 +192,8 @@ impl ProfileReport {
             total_violating_raw: profile.total_violating(DepKind::Raw),
             dropped_readers: profile.dropped_readers,
             shadow_stats: profile.shadow_stats,
+            intra_thread_deps: profile.intra_thread_deps,
+            cross_thread_deps: profile.cross_thread_deps,
         }
     }
 
@@ -232,6 +244,8 @@ impl ProfileReport {
             total_violating_raw,
             dropped_readers: self.dropped_readers,
             shadow_stats: self.shadow_stats,
+            intra_thread_deps: self.intra_thread_deps,
+            cross_thread_deps: self.cross_thread_deps,
         };
         let denom = total_violating_raw.max(1) as f64;
         for c in &mut report.constructs {
@@ -272,12 +286,17 @@ impl ProfileReport {
                 let var = e.var.as_deref().unwrap_or("?");
                 let _ = writeln!(
                     out,
-                    "      RAW: line {:>4} -> line {:<4} ({var}) Tdep={:<10} x{:<6}{}",
+                    "      RAW: line {:>4} -> line {:<4} ({var}) Tdep={:<10} x{:<6}{}{}",
                     e.head_line,
                     e.tail_line,
                     e.min_tdep,
                     e.count,
-                    if e.violating { "  [VIOLATING]" } else { "" }
+                    if e.violating { "  [VIOLATING]" } else { "" },
+                    if e.cross_count > 0 {
+                        format!("  [cross-thread x{}]", e.cross_count)
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }
@@ -287,6 +306,16 @@ impl ProfileReport {
                 "note: {} read(s) dropped at the per-address reader cap; \
                  WAR edges may be undercounted",
                 self.dropped_readers
+            );
+        }
+        if self.cross_thread_deps > 0 {
+            let _ = writeln!(
+                out,
+                "cross-thread: {} of {} dependences crossed program threads \
+                 (already parallel in the source; they never serialize the \
+                 what-if schedule)",
+                self.cross_thread_deps,
+                self.cross_thread_deps + self.intra_thread_deps
             );
         }
         if self.shadow_stats.read_set_spills > 0 {
@@ -314,13 +343,18 @@ impl ProfileReport {
                 let var = e.var.as_deref().unwrap_or("?");
                 let _ = writeln!(
                     out,
-                    "      {}: line {:>4} -> line {:<4} ({var}) Tdep={:<10} x{:<6}{}",
+                    "      {}: line {:>4} -> line {:<4} ({var}) Tdep={:<10} x{:<6}{}{}",
                     kind,
                     e.head_line,
                     e.tail_line,
                     e.min_tdep,
                     e.count,
-                    if e.violating { "  [VIOLATING]" } else { "" }
+                    if e.violating { "  [VIOLATING]" } else { "" },
+                    if e.cross_count > 0 {
+                        format!("  [cross-thread x{}]", e.cross_count)
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }

@@ -58,7 +58,7 @@
 
 use crate::construct::DepKind;
 use crate::pool::NodeRef;
-use alchemist_vm::{Pc, Time};
+use alchemist_vm::{Pc, Tid, Time};
 use std::mem::MaybeUninit;
 
 /// Log2 of [`PAGE_WORDS`]: address bits consumed by the in-page offset.
@@ -83,6 +83,10 @@ pub struct Access<T = NodeRef> {
     pub pc: Pc,
     /// When it happened.
     pub t: Time,
+    /// Thread that performed the access ([`Tid::MAIN`] for single-threaded
+    /// runs). Dependence heads carry it so a later access can classify the
+    /// edge as intra- or cross-thread.
+    pub tid: Tid,
     /// Attribution tag: the construct instance (or task) executing at the
     /// time of the access.
     pub node: T,
@@ -447,6 +451,7 @@ mod tests {
         Access {
             pc: Pc(pc),
             t,
+            tid: Tid::MAIN,
             node: NodeRef {
                 id: NodeId(0),
                 gen: 0,

@@ -40,7 +40,7 @@ use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
 use crate::runner::{profile_batches, profile_events};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Tid, Time, TraceSink};
 
 /// The shard owning `addr` when the address space is split `jobs` ways.
 #[inline]
@@ -92,26 +92,26 @@ impl<S> ShardFilter<S> {
 }
 
 impl<S: TraceSink> TraceSink for ShardFilter<S> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.inner.on_enter_function(t, func, fp);
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.inner.on_enter_function(t, func, fp, tid);
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        self.inner.on_exit_function(t, func);
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.inner.on_exit_function(t, func, tid);
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        self.inner.on_block_entry(t, block);
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.inner.on_block_entry(t, block, tid);
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        self.inner.on_predicate(t, pc, block, taken);
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        self.inner.on_predicate(t, pc, block, taken, tid);
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if self.owns(addr) {
-            self.inner.on_read(t, addr, pc);
+            self.inner.on_read(t, addr, pc, tid);
         }
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if self.owns(addr) {
-            self.inner.on_write(t, addr, pc);
+            self.inner.on_write(t, addr, pc, tid);
         }
     }
     fn on_batch(&mut self, batch: &EventBatch) {
@@ -296,6 +296,11 @@ pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
         base.dropped_readers += shard.dropped_readers;
         base.shadow_stats.pages_allocated += shard.shadow_stats.pages_allocated;
         base.shadow_stats.read_set_spills += shard.shadow_stats.read_set_spills;
+        // Dependence detections partition by address exactly like the
+        // memory events that produce them, so the thread-classification
+        // counters sum to the sequential run's.
+        base.intra_thread_deps += shard.intra_thread_deps;
+        base.cross_thread_deps += shard.cross_thread_deps;
         for c in shard.constructs() {
             for (key, stat) in &c.edges {
                 base.merge_edge(c.id, *key, *stat);

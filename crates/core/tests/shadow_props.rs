@@ -19,7 +19,7 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{DepKind, INLINE_READERS, PAGE_WORDS};
-use alchemist_vm::{Pc, Time};
+use alchemist_vm::{Pc, Tid, Time};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -144,6 +144,7 @@ fn check_stream(raw: &[RawAccess], reader_cap: usize, dense_limit: u32) {
         let access = Access {
             pc: Pc(u32::from(pc) % 40),
             t,
+            tid: Tid::MAIN,
             node: i as Tag,
         };
         let mut expect = Vec::new();

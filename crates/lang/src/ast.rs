@@ -121,6 +121,15 @@ pub enum Stmt {
         /// Location of the `for` keyword.
         span: Span,
     },
+    /// `spawn { .. }` — run the body on a new thread.
+    Spawn {
+        /// The spawned body.
+        body: Block,
+        /// Location of the `spawn` keyword.
+        span: Span,
+    },
+    /// `join;` — wait for every thread this thread spawned.
+    Join(Span),
     /// `break;`
     Break(Span),
     /// `continue;`
@@ -145,6 +154,8 @@ impl Stmt {
             | Stmt::While { span, .. }
             | Stmt::DoWhile { span, .. }
             | Stmt::For { span, .. }
+            | Stmt::Spawn { span, .. }
+            | Stmt::Join(span)
             | Stmt::Break(span)
             | Stmt::Continue(span)
             | Stmt::Return { span, .. } => *span,

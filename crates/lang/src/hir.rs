@@ -202,6 +202,16 @@ pub enum HStmt {
         /// Location of the `for` predicate.
         span: Span,
     },
+    /// Start `func` (a synthesized, void, parameterless thread body) on a
+    /// new thread.
+    Spawn {
+        /// The synthesized thread-body function.
+        func: FuncId,
+        /// Location of the `spawn` keyword.
+        span: Span,
+    },
+    /// Wait until every thread spawned by the current thread has finished.
+    Join(Span),
     /// Exit the innermost loop.
     Break(Span),
     /// Jump to the innermost loop's next iteration.

@@ -312,6 +312,18 @@ impl Parser {
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span: sp })
             }
+            TokenKind::KwSpawn => {
+                let sp = self.span();
+                self.bump();
+                let body = self.block()?;
+                Ok(Stmt::Spawn { body, span: sp })
+            }
+            TokenKind::KwJoin => {
+                let sp = self.span();
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Join(sp))
+            }
             TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
             _ => {
                 let e = self.expr()?;

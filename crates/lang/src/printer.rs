@@ -144,6 +144,13 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
+        Stmt::Spawn { body, .. } => {
+            out.push_str("spawn {\n");
+            print_block_inner(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::Join(_) => out.push_str("join;\n"),
         Stmt::Break(_) => out.push_str("break;\n"),
         Stmt::Continue(_) => out.push_str("continue;\n"),
         Stmt::Return { value, .. } => match value {

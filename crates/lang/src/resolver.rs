@@ -55,6 +55,10 @@ struct Resolver {
     globals: Vec<HGlobal>,
     global_names: HashMap<String, GlobalId>,
     functions: HashMap<String, FuncSig>,
+    /// Synthesized `$spawnN` thread-body functions, appended after the
+    /// source functions. Their ids start at `source_count`.
+    synth: Vec<HFunction>,
+    source_count: usize,
 }
 
 #[derive(Debug)]
@@ -152,14 +156,18 @@ impl Resolver {
             globals,
             global_names,
             functions,
+            synth: Vec::new(),
+            source_count: program.functions.len(),
         })
     }
 
-    fn run(self, program: &ast::Program) -> Result<HProgram> {
+    fn run(mut self, program: &ast::Program) -> Result<HProgram> {
         let mut functions = Vec::with_capacity(program.functions.len());
         for f in &program.functions {
-            functions.push(self.function(f)?);
+            let hf = self.function(f)?;
+            functions.push(hf);
         }
+        functions.append(&mut self.synth);
         let main = match self.functions.get("main") {
             Some(sig) => {
                 if sig.is_void || !sig.params.is_empty() {
@@ -186,7 +194,7 @@ impl Resolver {
         })
     }
 
-    fn function(&self, f: &ast::Function) -> Result<HFunction> {
+    fn function(&mut self, f: &ast::Function) -> Result<HFunction> {
         let mut cx = FnCx {
             locals: Vec::new(),
             scopes: vec![HashMap::new()],
@@ -212,14 +220,14 @@ impl Resolver {
         })
     }
 
-    fn block(&self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
+    fn block(&mut self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
         cx.scopes.push(HashMap::new());
         let result = self.block_inner(b, cx);
         cx.scopes.pop();
         result
     }
 
-    fn block_inner(&self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
+    fn block_inner(&mut self, b: &ast::Block, cx: &mut FnCx) -> Result<HBlock> {
         let mut stmts = Vec::with_capacity(b.stmts.len());
         for s in &b.stmts {
             stmts.push(self.stmt(s, cx)?);
@@ -227,7 +235,7 @@ impl Resolver {
         Ok(HBlock { stmts })
     }
 
-    fn stmt(&self, s: &ast::Stmt, cx: &mut FnCx) -> Result<HStmt> {
+    fn stmt(&mut self, s: &ast::Stmt, cx: &mut FnCx) -> Result<HStmt> {
         match s {
             ast::Stmt::Local {
                 name,
@@ -342,6 +350,30 @@ impl Resolver {
                 cx.scopes.pop();
                 result
             }
+            ast::Stmt::Spawn { body, span } => {
+                // The body becomes a synthesized void, parameterless
+                // function resolved in a fresh frame: it sees globals and
+                // its own locals, never the spawning function's frame.
+                let mut scx = FnCx {
+                    locals: Vec::new(),
+                    scopes: vec![HashMap::new()],
+                    loop_depth: 0,
+                    is_void: true,
+                };
+                let hbody = self.block(body, &mut scx)?;
+                let name = format!("$spawn{}", self.synth.len());
+                self.synth.push(HFunction {
+                    name,
+                    param_count: 0,
+                    locals: scx.locals,
+                    is_void: true,
+                    body: hbody,
+                    span: *span,
+                });
+                let func = FuncId((self.source_count + self.synth.len() - 1) as u32);
+                Ok(HStmt::Spawn { func, span: *span })
+            }
+            ast::Stmt::Join(span) => Ok(HStmt::Join(*span)),
             ast::Stmt::Break(span) => {
                 if cx.loop_depth == 0 {
                     return Err(LangError::new(
@@ -413,7 +445,7 @@ impl Resolver {
     }
 
     /// Resolves an expression that must produce a value.
-    fn value_expr(&self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
+    fn value_expr(&mut self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
         let h = self.expr(e, cx)?;
         if let HExpr::Call {
             is_void: true,
@@ -430,7 +462,11 @@ impl Resolver {
         Ok(h)
     }
 
-    fn lvalue(&self, target: &ast::LValue, cx: &mut FnCx) -> Result<(HVar, Option<Box<HExpr>>)> {
+    fn lvalue(
+        &mut self,
+        target: &ast::LValue,
+        cx: &mut FnCx,
+    ) -> Result<(HVar, Option<Box<HExpr>>)> {
         let var = self.var(&target.name, target.span, cx)?;
         match (&target.index, var.storage.is_array()) {
             (Some(idx), true) => {
@@ -451,7 +487,7 @@ impl Resolver {
         }
     }
 
-    fn expr(&self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
+    fn expr(&mut self, e: &ast::Expr, cx: &mut FnCx) -> Result<HExpr> {
         match e {
             ast::Expr::Int(v, span) => Ok(HExpr::Int(*v, *span)),
             ast::Expr::Var(name, span) => {
@@ -541,7 +577,7 @@ impl Resolver {
         }
     }
 
-    fn call(&self, name: &str, args: &[ast::Expr], span: Span, cx: &mut FnCx) -> Result<HExpr> {
+    fn call(&mut self, name: &str, args: &[ast::Expr], span: Span, cx: &mut FnCx) -> Result<HExpr> {
         if let Some(which) = Intrinsic::by_name(name) {
             if args.len() != which.arity() {
                 return Err(LangError::new(
@@ -567,19 +603,20 @@ impl Resolver {
                 format!("call to undefined function `{name}`"),
             ));
         };
-        if args.len() != sig.params.len() {
+        let (func_id, is_void, params) = (sig.id, sig.is_void, sig.params.clone());
+        if args.len() != params.len() {
             return Err(LangError::new(
                 Phase::Resolve,
                 span,
                 format!(
                     "function `{name}` takes {} argument(s), got {}",
-                    sig.params.len(),
+                    params.len(),
                     args.len()
                 ),
             ));
         }
         let mut h_args = Vec::with_capacity(args.len());
-        for (arg, &param_is_array) in args.iter().zip(&sig.params) {
+        for (arg, &param_is_array) in args.iter().zip(&params) {
             if param_is_array {
                 // Array parameters accept a bare array name.
                 let ast::Expr::Var(arg_name, arg_span) = arg else {
@@ -609,9 +646,9 @@ impl Resolver {
             }
         }
         Ok(HExpr::Call {
-            func: sig.id,
+            func: func_id,
             args: h_args,
-            is_void: sig.is_void,
+            is_void,
             span,
         })
     }

@@ -32,6 +32,10 @@ pub enum TokenKind {
     KwContinue,
     /// `return`
     KwReturn,
+    /// `spawn`
+    KwSpawn,
+    /// `join`
+    KwJoin,
 
     // Punctuation.
     /// `(`
@@ -141,6 +145,8 @@ impl TokenKind {
             "break" => TokenKind::KwBreak,
             "continue" => TokenKind::KwContinue,
             "return" => TokenKind::KwReturn,
+            "spawn" => TokenKind::KwSpawn,
+            "join" => TokenKind::KwJoin,
             _ => return None,
         })
     }
@@ -162,6 +168,8 @@ impl fmt::Display for TokenKind {
             KwBreak => write!(f, "break"),
             KwContinue => write!(f, "continue"),
             KwReturn => write!(f, "return"),
+            KwSpawn => write!(f, "spawn"),
+            KwJoin => write!(f, "join"),
             LParen => write!(f, "("),
             RParen => write!(f, ")"),
             LBrace => write!(f, "{{"),

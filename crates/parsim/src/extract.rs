@@ -13,7 +13,12 @@
 //!   possible conflicting read");
 //! * head in task `A`, tail in task `B` → precedence edge `A → B`;
 //! * head and tail in the same task, or both on the main thread → already
-//!   ordered, no constraint.
+//!   ordered, no constraint;
+//! * head and tail on different *program* threads (`spawn`ed mini-C
+//!   threads) → no constraint either: the source program already runs the
+//!   two sides concurrently, so the what-if schedule must not serialize
+//!   them. These dependences are tallied in
+//!   [`TaskTrace::cross_thread_sharing`] instead.
 //!
 //! Variables listed in [`ExtractConfig::privatized`] are excluded from
 //! constraint generation: this models the source transformations the paper
@@ -24,7 +29,9 @@ use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::shard::{run_sharded, run_sharded_batched};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, EventBatch, ExecConfig, Module, Pc, Time, TraceSink, Trap};
+use alchemist_vm::{
+    BlockId, Event, EventBatch, ExecConfig, Module, Pc, Tid, Time, TraceSink, Trap,
+};
 use std::collections::HashSet;
 
 /// What to extract and which transformations to assume.
@@ -63,17 +70,32 @@ struct Entry {
     opened: Option<TaskId>,
 }
 
+/// Per-thread extraction state: the indexing stack and the task (if any)
+/// the thread is currently inside.
+#[derive(Debug, Default)]
+struct Lane {
+    stack: Vec<Entry>,
+    current_task: Option<TaskId>,
+}
+
 /// The extraction sink. Most users call [`extract_tasks`].
 #[derive(Debug)]
 pub struct TaskExtractor<'m> {
     module: &'m Module,
     config: ExtractConfig,
-    stack: Vec<Entry>,
-    current_task: Option<TaskId>,
+    /// One lane per thread (dense tids), grown on a thread's first event;
+    /// single-threaded runs only ever use `lanes[0]`.
+    lanes: Vec<Lane>,
     tasks: Vec<TaskInstance>,
     shadow: ShadowMemory<Option<TaskId>>,
     main_joins: Vec<(u64, TaskId)>,
     task_edges: HashSet<(TaskId, TaskId)>,
+    /// Dependences whose head and tail ran on different program threads.
+    /// They never become schedule constraints — the program's own spawn
+    /// already decoupled the two sides — but they are *sharing*, which the
+    /// simulator reports so the cost of the communication is not silently
+    /// dropped.
+    cross_sharing: u64,
     /// Addresses excluded by privatization.
     excluded: Vec<(u32, u32)>,
 }
@@ -90,20 +112,22 @@ impl<'m> TaskExtractor<'m> {
         TaskExtractor {
             module,
             config,
-            stack: Vec::with_capacity(64),
-            current_task: None,
+            lanes: vec![Lane::default()],
             tasks: Vec::new(),
             shadow: ShadowMemory::with_dense_limit(8, module.global_words),
             main_joins: Vec::new(),
             task_edges: HashSet::new(),
+            cross_sharing: 0,
             excluded,
         }
     }
 
     /// Finishes extraction.
     pub fn into_trace(mut self, total_steps: u64) -> TaskTrace {
-        while !self.stack.is_empty() {
-            self.pop_one(total_steps);
+        for li in 0..self.lanes.len() {
+            while !self.lanes[li].stack.is_empty() {
+                self.pop_one(li, total_steps);
+            }
         }
         let mut main_joins = self.main_joins;
         main_joins.sort_unstable();
@@ -114,24 +138,35 @@ impl<'m> TaskExtractor<'m> {
             tasks: self.tasks,
             main_joins,
             task_edges,
+            cross_thread_sharing: self.cross_sharing,
             total_steps,
         }
     }
 
-    fn push(&mut self, head: Pc, ipdom: Option<BlockId>, is_barrier: bool, t: Time) {
-        let opened = if self.current_task.is_none() && self.config.marked.contains(&head) {
-            let id = TaskId(self.tasks.len() as u32);
-            self.tasks.push(TaskInstance {
-                head,
-                t_enter: t,
-                t_exit: t,
-            });
-            self.current_task = Some(id);
-            Some(id)
-        } else {
-            None
-        };
-        self.stack.push(Entry {
+    /// Index of `tid`'s lane, growing the vector on a thread's first event.
+    fn lane_index(&mut self, tid: Tid) -> usize {
+        let idx = tid.0 as usize;
+        if idx >= self.lanes.len() {
+            self.lanes.resize_with(idx + 1, Lane::default);
+        }
+        idx
+    }
+
+    fn push(&mut self, lane: usize, head: Pc, ipdom: Option<BlockId>, is_barrier: bool, t: Time) {
+        let opened =
+            if self.lanes[lane].current_task.is_none() && self.config.marked.contains(&head) {
+                let id = TaskId(self.tasks.len() as u32);
+                self.tasks.push(TaskInstance {
+                    head,
+                    t_enter: t,
+                    t_exit: t,
+                });
+                self.lanes[lane].current_task = Some(id);
+                Some(id)
+            } else {
+                None
+            };
+        self.lanes[lane].stack.push(Entry {
             head,
             ipdom,
             is_barrier,
@@ -139,11 +174,14 @@ impl<'m> TaskExtractor<'m> {
         });
     }
 
-    fn pop_one(&mut self, t: Time) {
-        let e = self.stack.pop().expect("extractor pop on empty stack");
+    fn pop_one(&mut self, lane: usize, t: Time) {
+        let e = self.lanes[lane]
+            .stack
+            .pop()
+            .expect("extractor pop on empty stack");
         if let Some(id) = e.opened {
             self.tasks[id.0 as usize].t_exit = t;
-            self.current_task = None;
+            self.lanes[lane].current_task = None;
         }
     }
 
@@ -155,11 +193,11 @@ impl<'m> TaskExtractor<'m> {
                 .any(|&(lo, hi)| lo <= addr && addr < hi)
     }
 
-    fn constrain(&mut self, head_tag: Option<TaskId>, tail_t: u64) {
+    fn constrain(&mut self, lane: usize, head_tag: Option<TaskId>, tail_t: u64) {
         constrain_into(
             &mut self.main_joins,
             &mut self.task_edges,
-            self.current_task,
+            self.lanes[lane].current_task,
             head_tag,
             tail_t,
         );
@@ -187,33 +225,41 @@ fn constrain_into(
 }
 
 impl TraceSink for TaskExtractor<'_> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32) {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, _fp: u32, tid: Tid) {
         let head = self.module.funcs[func.0 as usize].entry;
-        self.push(head, None, true, t);
+        let lane = self.lane_index(tid);
+        self.push(lane, head, None, true, t);
     }
 
-    fn on_exit_function(&mut self, t: Time, _func: FuncId) {
+    fn on_exit_function(&mut self, t: Time, _func: FuncId, tid: Tid) {
+        let lane = self.lane_index(tid);
         loop {
-            let barrier = self.stack.last().expect("exit without entry").is_barrier;
-            self.pop_one(t);
+            let barrier = self.lanes[lane]
+                .stack
+                .last()
+                .expect("exit without entry")
+                .is_barrier;
+            self.pop_one(lane, t);
             if barrier {
                 return;
             }
         }
     }
 
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        while let Some(top) = self.stack.last() {
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        let lane = self.lane_index(tid);
+        while let Some(top) = self.lanes[lane].stack.last() {
             if top.is_barrier || top.ipdom != Some(block) {
                 break;
             }
-            self.pop_one(t);
+            self.pop_one(lane, t);
         }
     }
 
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool) {
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, _taken: bool, tid: Tid) {
+        let lane = self.lane_index(tid);
         let mut found = None;
-        for (i, e) in self.stack.iter().enumerate().rev() {
+        for (i, e) in self.lanes[lane].stack.iter().enumerate().rev() {
             if e.is_barrier {
                 break;
             }
@@ -223,48 +269,62 @@ impl TraceSink for TaskExtractor<'_> {
             }
         }
         if let Some(i) = found {
-            while self.stack.len() > i {
-                self.pop_one(t);
+            while self.lanes[lane].stack.len() > i {
+                self.pop_one(lane, t);
             }
         }
         let ipdom = self.module.analysis.block(block).ipdom;
-        self.push(pc, ipdom, false, t);
+        self.push(lane, pc, ipdom, false, t);
     }
 
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if !self.traced(addr) {
             return;
         }
+        let lane = self.lane_index(tid);
         let access = Access {
             pc,
             t,
-            node: self.current_task,
+            tid,
+            node: self.lanes[lane].current_task,
         };
         if let Some(dep) = self.shadow.on_read(addr, access) {
-            self.constrain(dep.head.node, t);
+            if dep.head.tid != tid {
+                // Already-parallel: the program's own threads carry this
+                // flow; it costs communication, not schedule order.
+                self.cross_sharing += 1;
+            } else {
+                self.constrain(lane, dep.head.node, t);
+            }
         }
     }
 
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if !self.traced(addr) {
             return;
         }
+        let lane = self.lane_index(tid);
         let access = Access {
             pc,
             t,
-            node: self.current_task,
+            tid,
+            node: self.lanes[lane].current_task,
         };
         // The write must update shadow state (clear the read set, install
         // the new last-write) whether or not WAR/WAW constraints are
         // honored; only the constraint emission is conditional. The
         // callback streams detected dependences into the constraint sets
         // over split borrows — no Vec — through the same `constrain_into`
-        // rule the read path uses.
+        // rule the read path uses. Cross-thread heads never constrain
+        // (they are already-parallel) but always count as sharing.
         let respect = self.config.respect_war_waw;
-        let current = self.current_task;
+        let current = self.lanes[lane].current_task;
         let (main_joins, task_edges) = (&mut self.main_joins, &mut self.task_edges);
+        let cross_sharing = &mut self.cross_sharing;
         self.shadow.on_write(addr, access, &mut |_kind, dep| {
-            if respect {
+            if dep.head.tid != tid {
+                *cross_sharing += 1;
+            } else if respect {
                 constrain_into(main_joins, task_edges, current, dep.head.node, t);
             }
         });
@@ -385,6 +445,9 @@ fn merge_shard_traces(extractors: Vec<TaskExtractor<'_>>, total_steps: u64) -> T
         debug_assert_eq!(base.tasks, shard.tasks, "task lists are control-derived");
         base.main_joins.extend(shard.main_joins);
         edge_set.extend(shard.task_edges);
+        // Each dynamic dependence is detected by exactly one address
+        // shard, so sharing counts sum to the sequential run's.
+        base.cross_thread_sharing += shard.cross_thread_sharing;
     }
     base.main_joins.sort_unstable();
     base.main_joins.dedup();

@@ -161,6 +161,7 @@ mod tests {
                 .collect(),
             main_joins: vec![],
             task_edges: vec![],
+            cross_thread_sharing: 0,
             total_steps: total,
         }
     }

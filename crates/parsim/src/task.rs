@@ -38,6 +38,12 @@ pub struct TaskTrace {
     /// `(from, to)`: task `to` consumes a value produced by task `from` and
     /// cannot start before `from` finishes.
     pub task_edges: Vec<(TaskId, TaskId)>,
+    /// Dependences whose endpoints ran on different *program* threads
+    /// (`spawn`ed mini-C threads). Already parallel in the source, so they
+    /// generate no schedule constraints — but each one is an inter-thread
+    /// communication the simulated speedup does not have to pay for, and
+    /// worth surfacing (e.g. false sharing shows up here).
+    pub cross_thread_sharing: u64,
     /// Total sequential instructions of the run.
     pub total_steps: u64,
 }
@@ -84,6 +90,7 @@ mod tests {
             ],
             main_joins: vec![],
             task_edges: vec![],
+            cross_thread_sharing: 0,
             total_steps: 100,
         };
         assert_eq!(trace.tasks[0].duration(), 30);

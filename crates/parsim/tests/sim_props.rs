@@ -32,6 +32,7 @@ fn trace_from(gaps: Vec<(u64, u64)>, tail: u64, edges: Vec<(u32, u32)>) -> TaskT
         tasks,
         main_joins: vec![],
         task_edges,
+        cross_thread_sharing: 0,
         total_steps: t + tail,
     }
 }

@@ -15,8 +15,20 @@ pub enum TraceError {
     Io(io::Error),
     /// The file does not start with the `ALCT` magic.
     BadMagic([u8; 4]),
-    /// The file's format version is newer than this reader understands.
-    UnsupportedVersion(u16),
+    /// The file's format version is outside the range this reader
+    /// understands. Carries enough context to tell the user exactly where
+    /// the reader gave up: `chunk_index` is 0 when the header itself was
+    /// rejected, or the index of the chunk being decoded otherwise.
+    UnsupportedVersion {
+        /// Version declared by the file.
+        found: u16,
+        /// Oldest version this reader accepts.
+        min_supported: u16,
+        /// Newest version this reader accepts.
+        max_supported: u16,
+        /// Chunk index at which the version was rejected (0 = header).
+        chunk_index: u64,
+    },
     /// The embedded source program is not valid UTF-8.
     CorruptSource(std::str::Utf8Error),
     /// The stream ended where the format promised more bytes.
@@ -37,8 +49,17 @@ impl fmt::Display for TraceError {
             TraceError::BadMagic(m) => {
                 write!(f, "not an Alchemist trace (bad magic {m:02x?})")
             }
-            TraceError::UnsupportedVersion(v) => {
-                write!(f, "unsupported trace format version {v}")
+            TraceError::UnsupportedVersion {
+                found,
+                min_supported,
+                max_supported,
+                chunk_index,
+            } => {
+                write!(
+                    f,
+                    "unsupported trace format version {found} \
+                     (supported {min_supported}..={max_supported}) at chunk {chunk_index}"
+                )
             }
             TraceError::CorruptSource(e) => {
                 write!(f, "embedded source is not UTF-8: {e}")
@@ -78,9 +99,16 @@ mod tests {
         assert!(TraceError::BadMagic(*b"GZIP")
             .to_string()
             .contains("bad magic"));
-        assert!(TraceError::UnsupportedVersion(9)
-            .to_string()
-            .contains("version 9"));
+        let v = TraceError::UnsupportedVersion {
+            found: 9,
+            min_supported: 1,
+            max_supported: 2,
+            chunk_index: 0,
+        }
+        .to_string();
+        assert!(v.contains("version 9"));
+        assert!(v.contains("1..=2"));
+        assert!(v.contains("chunk 0"));
         assert!(TraceError::Truncated("chunk payload")
             .to_string()
             .contains("chunk payload"));

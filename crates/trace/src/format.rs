@@ -38,13 +38,26 @@
 use crate::error::TraceError;
 use crate::varint;
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, Pc};
+use alchemist_vm::{BlockId, Event, Pc, Tid};
 
 /// File magic: the first four bytes of every trace.
 pub const MAGIC: [u8; 4] = *b"ALCT";
 
-/// Current format version.
+/// Format version 1: the classic single-threaded layout. Still the default
+/// for recording — every v1 producer keeps emitting byte-identical files.
 pub const VERSION: u16 = 1;
+
+/// Format version 2: identical to v1 except that each event-bearing chunk's
+/// payload starts with a *thread-id column* — `event_count` zigzag-varint
+/// deltas against the previous tid (starting from 0 at every chunk
+/// boundary) — followed by the unchanged v1 event stream.
+pub const VERSION_V2: u16 = 2;
+
+/// Oldest version this reader decodes.
+pub const MIN_VERSION: u16 = VERSION;
+
+/// Newest version this reader decodes.
+pub const MAX_VERSION: u16 = VERSION_V2;
 
 /// Header flag: the mini-C source is embedded after the flags word.
 pub const FLAG_SOURCE: u16 = 1 << 0;
@@ -167,6 +180,10 @@ pub fn encode_event(state: &mut CodecState, ev: &Event, out: &mut Vec<u8>) {
 
 /// Decodes one event from `buf[*pos..]`, advancing `*pos` and `state`.
 ///
+/// The event codec is tid-agnostic: decoded events come out on
+/// [`Tid::MAIN`], and v2 readers restamp them from the chunk's thread-id
+/// column ([`decode_tid_column`]).
+///
 /// # Errors
 ///
 /// [`TraceError::Truncated`] when the chunk ends mid-event,
@@ -206,6 +223,7 @@ pub fn decode_event(
                 t,
                 func: FuncId(func),
                 fp,
+                tid: Tid::MAIN,
             })
         }
         TAG_EXIT => {
@@ -214,6 +232,7 @@ pub fn decode_event(
             Ok(Event::Exit {
                 t,
                 func: FuncId(func),
+                tid: Tid::MAIN,
             })
         }
         TAG_BLOCK => {
@@ -222,6 +241,7 @@ pub fn decode_event(
             Ok(Event::Block {
                 t,
                 block: BlockId(block),
+                tid: Tid::MAIN,
             })
         }
         TAG_PRED_NOT_TAKEN | TAG_PRED_TAKEN => {
@@ -234,6 +254,7 @@ pub fn decode_event(
                 pc: Pc(pc),
                 block: BlockId(block),
                 taken: tag == TAG_PRED_TAKEN,
+                tid: Tid::MAIN,
             })
         }
         TAG_READ | TAG_WRITE => {
@@ -246,17 +267,59 @@ pub fn decode_event(
                     t,
                     addr,
                     pc: Pc(pc),
+                    tid: Tid::MAIN,
                 })
             } else {
                 Ok(Event::Write {
                     t,
                     addr,
                     pc: Pc(pc),
+                    tid: Tid::MAIN,
                 })
             }
         }
         other => Err(TraceError::BadEventTag(other)),
     }
+}
+
+/// Appends a v2 thread-id column to `out`: one zigzag-varint delta per
+/// entry against the previous tid, starting from 0 (the codec resets at
+/// every chunk boundary, like [`CodecState`]). Runs of same-thread events —
+/// the common case under quantum scheduling — encode as one zero byte each.
+pub fn encode_tid_column(tids: &[u32], out: &mut Vec<u8>) {
+    let mut prev: u32 = 0;
+    for &tid in tids {
+        varint::write_i64(out, i64::from(tid) - i64::from(prev));
+        prev = tid;
+    }
+}
+
+/// Decodes a v2 thread-id column of `count` entries from `buf[*pos..]`
+/// into `out` (cleared first), advancing `*pos`.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] when the chunk ends mid-column and
+/// [`TraceError::Malformed`] when a delta walks the tid out of `u32` range.
+pub fn decode_tid_column(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), TraceError> {
+    out.clear();
+    out.reserve(count);
+    let mut prev: u32 = 0;
+    for _ in 0..count {
+        let d = varint::read_i64(buf, pos)?;
+        let v = i64::from(prev)
+            .checked_add(d)
+            .filter(|v| (0..=i64::from(u32::MAX)).contains(v))
+            .ok_or(TraceError::Malformed("thread id out of range"))?;
+        prev = v as u32;
+        out.push(prev);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -269,35 +332,42 @@ mod tests {
                 t: 0,
                 func: FuncId(0),
                 fp: 16,
+                tid: Tid::MAIN,
             },
             Event::Block {
                 t: 1,
                 block: BlockId(3),
+                tid: Tid::MAIN,
             },
             Event::Predicate {
                 t: 2,
                 pc: Pc(40),
                 block: BlockId(3),
                 taken: true,
+                tid: Tid::MAIN,
             },
             Event::Read {
                 t: 3,
                 addr: 100,
                 pc: Pc(41),
+                tid: Tid::MAIN,
             },
             Event::Write {
                 t: 4,
                 addr: 101,
                 pc: Pc(42),
+                tid: Tid::MAIN,
             },
             Event::Read {
                 t: 1000,
                 addr: 5,
                 pc: Pc(7),
+                tid: Tid::MAIN,
             },
             Event::Exit {
                 t: 1001,
                 func: FuncId(0),
+                tid: Tid::MAIN,
             },
         ]
     }
@@ -330,6 +400,7 @@ mod tests {
                 t: 0,
                 addr: 0,
                 pc: Pc(0),
+                tid: Tid::MAIN,
             },
             &mut buf,
         );
@@ -340,6 +411,7 @@ mod tests {
                 t: 1,
                 addr: 1,
                 pc: Pc(0),
+                tid: Tid::MAIN,
             },
             &mut buf,
         );
@@ -353,11 +425,58 @@ mod tests {
         let ev = Event::Block {
             t: 1 << 40,
             block: BlockId(0),
+            tid: Tid::MAIN,
         };
         encode_event(&mut enc, &ev, &mut buf);
         let mut dec = CodecState::new(0);
         let mut pos = 0;
         assert_eq!(decode_event(&mut dec, &buf, &mut pos).unwrap(), ev);
+    }
+
+    #[test]
+    fn tid_column_roundtrips_mixed_threads() {
+        let tids = [0u32, 0, 1, 1, 2, 0, 7, 7, 3, u32::MAX];
+        let mut buf = Vec::new();
+        encode_tid_column(&tids, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_tid_column(&buf, &mut pos, tids.len(), &mut out).unwrap();
+        assert_eq!(out, tids);
+        assert_eq!(pos, buf.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn all_main_tid_column_is_one_byte_per_event() {
+        let tids = [0u32; 16];
+        let mut buf = Vec::new();
+        encode_tid_column(&tids, &mut buf);
+        assert_eq!(buf.len(), 16);
+    }
+
+    #[test]
+    fn truncated_tid_column_is_a_typed_error() {
+        let tids = [5u32, 6, 7];
+        let mut buf = Vec::new();
+        encode_tid_column(&tids, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_tid_column(&buf[..buf.len() - 1], &mut pos, tids.len(), &mut out),
+            Err(TraceError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn negative_tid_delta_underflow_is_a_typed_error() {
+        // A lone delta of -1 would take the running tid below zero.
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, -1);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_tid_column(&buf, &mut pos, 1, &mut out),
+            Err(TraceError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -381,6 +500,7 @@ mod tests {
                 t: 0,
                 addr: 1 << 20,
                 pc: Pc(9000),
+                tid: Tid::MAIN,
             },
             &mut buf,
         );

@@ -16,7 +16,7 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::reader::{RawChunk, ReplaySummary, TraceReader};
-use alchemist_vm::{Event, EventBatch};
+use alchemist_vm::{Event, EventBatch, Tid};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -29,14 +29,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub fn decode_chunk(chunk: &RawChunk) -> Result<Vec<Event>, TraceError> {
     let mut state = CodecState::new(chunk.t_first);
     let mut pos = 0;
+    let tids = decode_chunk_tids(chunk, &mut pos)?;
     let mut events = Vec::with_capacity(chunk.events as usize);
-    for _ in 0..chunk.events {
-        events.push(format::decode_event(&mut state, &chunk.payload, &mut pos)?);
+    for i in 0..chunk.events {
+        let mut ev = format::decode_event(&mut state, &chunk.payload, &mut pos)?;
+        if let Some(tids) = &tids {
+            ev = ev.with_tid(Tid(tids[i as usize]));
+        }
+        events.push(ev);
     }
     if pos != chunk.payload.len() {
         return Err(TraceError::Malformed("trailing bytes in chunk"));
     }
     Ok(events)
+}
+
+/// Consumes the v2 thread-id column at the head of `chunk.payload`, if the
+/// chunk's format version carries one.
+fn decode_chunk_tids(chunk: &RawChunk, pos: &mut usize) -> Result<Option<Vec<u32>>, TraceError> {
+    if chunk.version < format::VERSION_V2 {
+        return Ok(None);
+    }
+    let mut tids = Vec::new();
+    format::decode_tid_column(&chunk.payload, pos, chunk.events as usize, &mut tids)?;
+    Ok(Some(tids))
 }
 
 /// Decodes one raw chunk straight into `batch` (cleared first), without
@@ -50,8 +66,13 @@ pub fn decode_chunk_into(chunk: &RawChunk, batch: &mut EventBatch) -> Result<(),
     batch.clear();
     let mut state = CodecState::new(chunk.t_first);
     let mut pos = 0;
-    for _ in 0..chunk.events {
-        batch.push_event(&format::decode_event(&mut state, &chunk.payload, &mut pos)?);
+    let tids = decode_chunk_tids(chunk, &mut pos)?;
+    for i in 0..chunk.events {
+        let mut ev = format::decode_event(&mut state, &chunk.payload, &mut pos)?;
+        if let Some(tids) = &tids {
+            ev = ev.with_tid(Tid(tids[i as usize]));
+        }
+        batch.push_event(&ev);
     }
     if pos != chunk.payload.len() {
         return Err(TraceError::Malformed("trailing bytes in chunk"));
@@ -198,23 +219,36 @@ mod tests {
     use alchemist_vm::{Pc, RecordingSink, TraceSink};
 
     fn sample_trace(chunk_capacity: usize, rounds: u32) -> (Vec<u8>, RecordingSink) {
+        sample_trace_with(
+            TraceWriter::new(Vec::new(), Some("int main() { return 0; }")).unwrap(),
+            chunk_capacity,
+            rounds,
+            |_| Tid::MAIN,
+        )
+    }
+
+    fn sample_trace_with(
+        w: TraceWriter<Vec<u8>>,
+        chunk_capacity: usize,
+        rounds: u32,
+        tid_of: impl Fn(u32) -> Tid,
+    ) -> (Vec<u8>, RecordingSink) {
         let mut live = RecordingSink::default();
-        let mut w = TraceWriter::new(Vec::new(), Some("int main() { return 0; }"))
-            .unwrap()
-            .with_chunk_capacity(chunk_capacity);
+        let mut w = w.with_chunk_capacity(chunk_capacity);
         let mut t = 0;
         for i in 0..rounds {
-            live.on_enter_function(t, FuncId(i % 3), 8 * i);
-            w.on_enter_function(t, FuncId(i % 3), 8 * i);
+            let tid = tid_of(i);
+            live.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
             t += 2;
-            live.on_read(t, i, Pc(i * 5));
-            w.on_read(t, i, Pc(i * 5));
+            live.on_read(t, i, Pc(i * 5), tid);
+            w.on_read(t, i, Pc(i * 5), tid);
             t += 1;
-            live.on_write(t, i + 100, Pc(i * 5 + 1));
-            w.on_write(t, i + 100, Pc(i * 5 + 1));
+            live.on_write(t, i + 100, Pc(i * 5 + 1), tid);
+            w.on_write(t, i + 100, Pc(i * 5 + 1), tid);
             t += 40;
-            live.on_exit_function(t, FuncId(i % 3));
-            w.on_exit_function(t, FuncId(i % 3));
+            live.on_exit_function(t, FuncId(i % 3), tid);
+            w.on_exit_function(t, FuncId(i % 3), tid);
             t += 1;
         }
         let (bytes, _) = w.finish(t).unwrap();
@@ -322,6 +356,24 @@ mod tests {
                 }
                 Err(_) => assert!(par.is_err(), "flip at {pos}: parallel swallowed the error"),
             }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_preserves_v2_thread_ids() {
+        let (bytes, live) =
+            sample_trace_with(TraceWriter::new_v2(Vec::new(), None).unwrap(), 7, 40, |i| {
+                Tid(i % 5)
+            });
+        assert!(live.events.iter().any(|e| e.tid() != Tid::MAIN));
+        for jobs in [1usize, 2, 4] {
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let (events, _) = decode_events_par(reader, jobs).unwrap();
+            assert_eq!(events, live.events, "jobs={jobs}");
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let (batches, _) = decode_batches_par(reader, jobs).unwrap();
+            let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+            assert_eq!(flat, live.events, "jobs={jobs}");
         }
     }
 

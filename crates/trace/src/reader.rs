@@ -7,7 +7,7 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::varint;
-use alchemist_vm::{Event, EventBatch, TraceSink};
+use alchemist_vm::{Event, EventBatch, Tid, TraceSink};
 use std::io::Read;
 
 /// Chunk-level metadata, decodable without touching the payload.
@@ -35,6 +35,9 @@ pub struct RawChunk {
     pub events: u64,
     /// Timestamp of the chunk's first event (seeds the codec state).
     pub t_first: u64,
+    /// Trace format version the payload was encoded under. v2 payloads
+    /// open with a thread-id column before the event stream.
+    pub version: u16,
     /// The still-encoded payload.
     pub payload: Vec<u8>,
 }
@@ -73,6 +76,10 @@ pub struct TraceReader<R: Read> {
     chunk: Vec<u8>,
     pos: usize,
     remaining: u64,
+    /// Thread id per event of the chunk being decoded (v2 only).
+    chunk_tids: Vec<u32>,
+    /// Next index into `chunk_tids`.
+    tid_idx: usize,
     state: CodecState,
     total_steps: Option<u64>,
     finished: bool,
@@ -97,8 +104,13 @@ impl<R: Read> TraceReader<R> {
         let mut word = [0u8; 2];
         read_exact_or(&mut input, &mut word, "header version")?;
         let version = u16::from_le_bytes(word);
-        if version != format::VERSION {
-            return Err(TraceError::UnsupportedVersion(version));
+        if !(format::MIN_VERSION..=format::MAX_VERSION).contains(&version) {
+            return Err(TraceError::UnsupportedVersion {
+                found: version,
+                min_supported: format::MIN_VERSION,
+                max_supported: format::MAX_VERSION,
+                chunk_index: 0,
+            });
         }
         read_exact_or(&mut input, &mut word, "header flags")?;
         let flags = u16::from_le_bytes(word);
@@ -124,6 +136,8 @@ impl<R: Read> TraceReader<R> {
             chunk: Vec::new(),
             pos: 0,
             remaining: 0,
+            chunk_tids: Vec::new(),
+            tid_idx: 0,
             state: CodecState::new(0),
             total_steps: None,
             finished: false,
@@ -213,6 +227,11 @@ impl<R: Read> TraceReader<R> {
         }
         self.read_payload(head.payload_len)?;
         self.pos = 0;
+        if self.version >= format::VERSION_V2 {
+            let n = head.events as usize;
+            format::decode_tid_column(&self.chunk, &mut self.pos, n, &mut self.chunk_tids)?;
+        }
+        self.tid_idx = 0;
         self.remaining = head.events;
         self.state = CodecState::new(head.t_first);
         Ok(true)
@@ -227,7 +246,11 @@ impl<R: Read> TraceReader<R> {
     pub fn next_event(&mut self) -> Result<Option<Event>, TraceError> {
         loop {
             if self.remaining > 0 {
-                let ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+                let mut ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+                if self.version >= format::VERSION_V2 {
+                    ev = ev.with_tid(Tid(self.chunk_tids[self.tid_idx]));
+                    self.tid_idx += 1;
+                }
                 self.remaining -= 1;
                 if self.remaining == 0 && self.pos != self.chunk.len() {
                     return Err(TraceError::Malformed("trailing bytes in chunk"));
@@ -350,9 +373,16 @@ impl<R: Read> TraceReader<R> {
                 continue; // skip: payload consumed but never decoded
             }
             self.pos = 0;
+            if self.version >= format::VERSION_V2 {
+                let n = head.events as usize;
+                format::decode_tid_column(&self.chunk, &mut self.pos, n, &mut self.chunk_tids)?;
+            }
             self.state = CodecState::new(head.t_first);
-            for _ in 0..head.events {
-                let ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+            for i in 0..head.events {
+                let mut ev = format::decode_event(&mut self.state, &self.chunk, &mut self.pos)?;
+                if self.version >= format::VERSION_V2 {
+                    ev = ev.with_tid(Tid(self.chunk_tids[i as usize]));
+                }
                 let t = ev.time();
                 if t_lo <= t && t <= t_hi {
                     ev.dispatch(sink);
@@ -391,6 +421,7 @@ impl<R: Read> TraceReader<R> {
             chunks.push(RawChunk {
                 events: head.events,
                 t_first: head.t_first,
+                version: self.version,
                 payload: std::mem::take(&mut self.chunk),
             });
         }
@@ -455,17 +486,17 @@ mod tests {
             .with_chunk_capacity(chunk_capacity);
         let mut t = 0;
         for i in 0..25u32 {
-            live.on_enter_function(t, FuncId(i % 3), 8 * i);
-            w.on_enter_function(t, FuncId(i % 3), 8 * i);
+            live.on_enter_function(t, FuncId(i % 3), 8 * i, Tid::MAIN);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i, Tid::MAIN);
             t += 2;
-            live.on_read(t, i, Pc(i * 5));
-            w.on_read(t, i, Pc(i * 5));
+            live.on_read(t, i, Pc(i * 5), Tid::MAIN);
+            w.on_read(t, i, Pc(i * 5), Tid::MAIN);
             t += 1;
-            live.on_write(t, i + 100, Pc(i * 5 + 1));
-            w.on_write(t, i + 100, Pc(i * 5 + 1));
+            live.on_write(t, i + 100, Pc(i * 5 + 1), Tid::MAIN);
+            w.on_write(t, i + 100, Pc(i * 5 + 1), Tid::MAIN);
             t += 40;
-            live.on_exit_function(t, FuncId(i % 3));
-            w.on_exit_function(t, FuncId(i % 3));
+            live.on_exit_function(t, FuncId(i % 3), Tid::MAIN);
+            w.on_exit_function(t, FuncId(i % 3), Tid::MAIN);
             t += 1;
         }
         let (bytes, _) = w.finish(t).unwrap();
@@ -635,6 +666,109 @@ mod tests {
         let summary = r.replay_into(&mut alchemist_vm::NullSink).unwrap();
         assert_eq!(summary.events, 0);
         assert_eq!(summary.total_steps, 9);
+    }
+
+    /// A v2 trace whose events rotate across three threads, with chunk
+    /// boundaries falling mid-thread-run.
+    fn sample_v2_trace(chunk_capacity: usize) -> (Vec<u8>, RecordingSink) {
+        let mut live = RecordingSink::default();
+        let mut w = TraceWriter::new_v2(Vec::new(), Some("spawn demo"))
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity);
+        let mut t = 0;
+        for i in 0..25u32 {
+            let tid = Tid(i % 3);
+            live.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
+            t += 2;
+            live.on_read(t, i, Pc(i * 5), tid);
+            w.on_read(t, i, Pc(i * 5), tid);
+            t += 1;
+            live.on_write(t, i + 100, Pc(i * 5 + 1), tid);
+            w.on_write(t, i + 100, Pc(i * 5 + 1), tid);
+            t += 40;
+            live.on_exit_function(t, FuncId(i % 3), tid);
+            w.on_exit_function(t, FuncId(i % 3), tid);
+            t += 1;
+        }
+        let (bytes, _) = w.finish(t).unwrap();
+        (bytes, live)
+    }
+
+    #[test]
+    fn v2_replay_preserves_thread_ids() {
+        for chunk_capacity in [1usize, 7, 100_000] {
+            let (bytes, live) = sample_v2_trace(chunk_capacity);
+            let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(r.version(), format::VERSION_V2);
+            let mut replayed = RecordingSink::default();
+            let summary = r.replay_into(&mut replayed).unwrap();
+            assert_eq!(replayed, live, "chunk_capacity={chunk_capacity}");
+            assert_eq!(summary.events, live.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn v2_windowed_replay_preserves_thread_ids() {
+        let (bytes, live) = sample_v2_trace(5);
+        let (lo, hi) = (50, 400);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut windowed = RecordingSink::default();
+        r.replay_window(lo, hi, &mut windowed).unwrap();
+        let expect: Vec<Event> = live
+            .events
+            .iter()
+            .copied()
+            .filter(|e| (lo..=hi).contains(&e.time()))
+            .collect();
+        assert_eq!(windowed.events, expect);
+        assert!(expect.iter().any(|e| e.tid() != Tid::MAIN));
+    }
+
+    #[test]
+    fn v1_traces_decode_with_implicit_main_tid() {
+        let (bytes, live) = sample_trace(7);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.version(), format::VERSION);
+        let mut replayed = RecordingSink::default();
+        r.replay_into(&mut replayed).unwrap();
+        assert!(replayed.events.iter().all(|e| e.tid() == Tid::MAIN));
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn future_version_error_reports_the_supported_range() {
+        // Hand-build a v3 header: magic + version 3 + empty flags.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&format::MAGIC);
+        bytes.extend_from_slice(&3u16.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        let err = TraceReader::new(bytes.as_slice()).unwrap_err();
+        match err {
+            TraceError::UnsupportedVersion {
+                found,
+                min_supported,
+                max_supported,
+                chunk_index,
+            } => {
+                assert_eq!(found, 3);
+                assert_eq!(min_supported, format::MIN_VERSION);
+                assert_eq!(max_supported, format::MAX_VERSION);
+                assert_eq!(chunk_index, 0, "rejected at the header");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_chunks_carry_the_format_version() {
+        let (bytes, _) = sample_v2_trace(7);
+        let (chunks, _) = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_raw_chunks()
+            .unwrap();
+        assert!(!chunks.is_empty());
+        assert!(chunks.iter().all(|c| c.version == format::VERSION_V2));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! counting and profiling analyses over one replay of a file.
 
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, EventBatch, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, EventBatch, Pc, Tid, Time, TraceSink};
 
 /// Forwards every event to two sinks, first `.0` then `.1`.
 ///
@@ -16,29 +16,29 @@ use alchemist_vm::{BlockId, EventBatch, Pc, Time, TraceSink};
 pub struct Tee<A, B>(pub A, pub B);
 
 impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.0.on_enter_function(t, func, fp);
-        self.1.on_enter_function(t, func, fp);
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.0.on_enter_function(t, func, fp, tid);
+        self.1.on_enter_function(t, func, fp, tid);
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        self.0.on_exit_function(t, func);
-        self.1.on_exit_function(t, func);
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.0.on_exit_function(t, func, tid);
+        self.1.on_exit_function(t, func, tid);
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        self.0.on_block_entry(t, block);
-        self.1.on_block_entry(t, block);
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.0.on_block_entry(t, block, tid);
+        self.1.on_block_entry(t, block, tid);
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        self.0.on_predicate(t, pc, block, taken);
-        self.1.on_predicate(t, pc, block, taken);
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        self.0.on_predicate(t, pc, block, taken, tid);
+        self.1.on_predicate(t, pc, block, taken, tid);
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.0.on_read(t, addr, pc);
-        self.1.on_read(t, addr, pc);
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.0.on_read(t, addr, pc, tid);
+        self.1.on_read(t, addr, pc, tid);
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.0.on_write(t, addr, pc);
-        self.1.on_write(t, addr, pc);
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.0.on_write(t, addr, pc, tid);
+        self.1.on_write(t, addr, pc, tid);
     }
     fn on_batch(&mut self, batch: &EventBatch) {
         // Forward whole batches so batch-aware consumers keep their bulk
@@ -86,34 +86,34 @@ impl<'a> MultiSink<'a> {
 }
 
 impl TraceSink for MultiSink<'_> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_enter_function(t, func, fp);
+            s.on_enter_function(t, func, fp, tid);
         }
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_exit_function(t, func);
+            s.on_exit_function(t, func, tid);
         }
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_block_entry(t, block);
+            s.on_block_entry(t, block, tid);
         }
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_predicate(t, pc, block, taken);
+            s.on_predicate(t, pc, block, taken, tid);
         }
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_read(t, addr, pc);
+            s.on_read(t, addr, pc, tid);
         }
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         for s in &mut self.sinks {
-            s.on_write(t, addr, pc);
+            s.on_write(t, addr, pc, tid);
         }
     }
     fn on_batch(&mut self, batch: &EventBatch) {
@@ -133,8 +133,8 @@ mod tests {
     #[test]
     fn tee_feeds_both_sinks() {
         let mut tee = Tee(CountingSink::default(), RecordingSink::default());
-        tee.on_read(0, 1, Pc(0));
-        tee.on_write(1, 1, Pc(1));
+        tee.on_read(0, 1, Pc(0), Tid::MAIN);
+        tee.on_write(1, 1, Pc(1), Tid::MAIN);
         assert_eq!(tee.0.reads, 1);
         assert_eq!(tee.0.writes, 1);
         assert_eq!(tee.1.events.len(), 2);
@@ -143,9 +143,9 @@ mod tests {
     #[test]
     fn tee_and_multi_sink_forward_whole_batches() {
         let mut batch = EventBatch::new();
-        batch.push_read(0, 1, Pc(0));
-        batch.push_write(1, 2, Pc(1));
-        batch.push_block(2, BlockId(3));
+        batch.push_read(0, 1, Pc(0), Tid::MAIN);
+        batch.push_write(1, 2, Pc(1), Tid::MAIN);
+        batch.push_block(2, BlockId(3), Tid::MAIN);
 
         let mut tee = Tee(CountingSink::default(), RecordingSink::default());
         tee.on_batch(&batch);
@@ -171,8 +171,8 @@ mod tests {
         let mut fan = MultiSink::new();
         fan.push(&mut a).push(&mut b).push(&mut c);
         assert_eq!(fan.len(), 3);
-        fan.on_predicate(5, Pc(2), BlockId(1), true);
-        fan.on_block_entry(6, BlockId(2));
+        fan.on_predicate(5, Pc(2), BlockId(1), true, Tid::MAIN);
+        fan.on_block_entry(6, BlockId(2), Tid::MAIN);
         drop(fan);
         assert_eq!(a.predicates, 1);
         assert_eq!(a.blocks, 1);

@@ -5,7 +5,7 @@ use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::varint;
 use alchemist_lang::hir::FuncId;
-use alchemist_vm::{BlockId, Event, EventBatch, Pc, Time, TraceSink};
+use alchemist_vm::{BlockId, Event, EventBatch, Pc, Tid, Time, TraceSink};
 use std::io::Write;
 
 /// How many events a chunk holds before it is flushed.
@@ -49,8 +49,12 @@ impl TraceStats {
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     out: W,
+    /// Format version being written (1 or 2).
+    version: u16,
     /// Encoded payload of the chunk being built.
     buf: Vec<u8>,
+    /// Thread id of each event in the chunk being built (v2 only).
+    chunk_tids: Vec<u32>,
     state: CodecState,
     chunk_events: u64,
     chunk_t_first: Time,
@@ -72,10 +76,31 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Returns [`TraceError::Io`] if writing the header fails.
-    pub fn new(mut out: W, source: Option<&str>) -> Result<Self, TraceError> {
+    pub fn new(out: W, source: Option<&str>) -> Result<Self, TraceError> {
+        Self::new_with_version(out, source, format::VERSION)
+    }
+
+    /// Creates a v2 writer: each chunk carries a per-event thread-id
+    /// column, so events from `spawn`ed threads keep their [`Tid`].
+    ///
+    /// Single-threaded recordings should use [`TraceWriter::new`] — v1
+    /// output is byte-for-byte what older tooling expects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if writing the header fails.
+    pub fn new_v2(out: W, source: Option<&str>) -> Result<Self, TraceError> {
+        Self::new_with_version(out, source, format::VERSION_V2)
+    }
+
+    fn new_with_version(
+        mut out: W,
+        source: Option<&str>,
+        version: u16,
+    ) -> Result<Self, TraceError> {
         let mut header = Vec::with_capacity(16 + source.map_or(0, str::len));
         header.extend_from_slice(&format::MAGIC);
-        header.extend_from_slice(&format::VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         let flags = if source.is_some() {
             format::FLAG_SOURCE
         } else {
@@ -89,7 +114,9 @@ impl<W: Write> TraceWriter<W> {
         out.write_all(&header)?;
         Ok(TraceWriter {
             out,
+            version,
             buf: Vec::with_capacity(4 * DEFAULT_CHUNK_EVENTS),
+            chunk_tids: Vec::new(),
             state: CodecState::new(0),
             chunk_events: 0,
             chunk_t_first: 0,
@@ -100,6 +127,11 @@ impl<W: Write> TraceWriter<W> {
             bytes: header.len() as u64,
             deferred: None,
         })
+    }
+
+    /// Format version this writer emits (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Overrides the events-per-chunk flush threshold (minimum 1).
@@ -122,6 +154,18 @@ impl<W: Write> TraceWriter<W> {
         if self.deferred.is_some() {
             return;
         }
+        match self.version {
+            format::VERSION_V2 => self.chunk_tids.push(ev.tid().0),
+            _ if ev.tid() != Tid::MAIN => {
+                // v1 has no thread-id column; silently dropping tids would
+                // corrupt the recording, so fail the run at finish().
+                self.deferred = Some(TraceError::Malformed(
+                    "non-main thread event recorded under trace format v1",
+                ));
+                return;
+            }
+            _ => {}
+        }
         let t = ev.time();
         if self.chunk_events == 0 {
             self.state = CodecState::new(t);
@@ -142,16 +186,24 @@ impl<W: Write> TraceWriter<W> {
         if self.chunk_events == 0 {
             return Ok(());
         }
+        // v2 payload = thread-id column, then the v1 event stream. Both are
+        // self-delimiting varint sequences, so no inner length prefix.
+        let mut tid_col = Vec::new();
+        if self.version >= format::VERSION_V2 {
+            format::encode_tid_column(&self.chunk_tids, &mut tid_col);
+        }
         let mut head = Vec::with_capacity(24);
-        varint::write_u64(&mut head, self.buf.len() as u64);
+        varint::write_u64(&mut head, (tid_col.len() + self.buf.len()) as u64);
         varint::write_u64(&mut head, self.chunk_events);
         varint::write_u64(&mut head, self.chunk_t_first);
         varint::write_u64(&mut head, self.chunk_t_last - self.chunk_t_first);
         self.out.write_all(&head)?;
+        self.out.write_all(&tid_col)?;
         self.out.write_all(&self.buf)?;
-        self.bytes += (head.len() + self.buf.len()) as u64;
+        self.bytes += (head.len() + tid_col.len() + self.buf.len()) as u64;
         self.chunks += 1;
         self.buf.clear();
+        self.chunk_tids.clear();
         self.chunk_events = 0;
         Ok(())
     }
@@ -189,28 +241,29 @@ impl<W: Write> TraceWriter<W> {
 }
 
 impl<W: Write> TraceSink for TraceWriter<W> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.record(Event::Enter { t, func, fp });
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.record(Event::Enter { t, func, fp, tid });
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        self.record(Event::Exit { t, func });
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.record(Event::Exit { t, func, tid });
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        self.record(Event::Block { t, block });
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.record(Event::Block { t, block, tid });
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
         self.record(Event::Predicate {
             t,
             pc,
             block,
             taken,
+            tid,
         });
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.record(Event::Read { t, addr, pc });
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.record(Event::Read { t, addr, pc, tid });
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.record(Event::Write { t, addr, pc });
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.record(Event::Write { t, addr, pc, tid });
     }
     fn on_batch(&mut self, batch: &EventBatch) {
         // One virtual call encodes the whole batch. The encode loop is the
@@ -247,7 +300,7 @@ mod tests {
     fn source_flag_embeds_the_program() {
         let src = "int main() { return 0; }";
         let mut w = TraceWriter::new(Vec::new(), Some(src)).unwrap();
-        w.on_block_entry(1, BlockId(0));
+        w.on_block_entry(1, BlockId(0), Tid::MAIN);
         let (bytes, stats) = w.finish(5).unwrap();
         assert_eq!(
             u16::from_le_bytes([bytes[6], bytes[7]]) & format::FLAG_SOURCE,
@@ -265,7 +318,7 @@ mod tests {
             .unwrap()
             .with_chunk_capacity(4);
         for i in 0..10 {
-            w.on_read(i, i as u32, Pc(0));
+            w.on_read(i, i as u32, Pc(0), Tid::MAIN);
         }
         let (_, stats) = w.finish(10).unwrap();
         assert_eq!(stats.events, 10);
@@ -281,12 +334,14 @@ mod tests {
                         t: u64::from(i),
                         addr: i,
                         pc: Pc(i / 2),
+                        tid: Tid::MAIN,
                     }
                 } else {
                     Event::Write {
                         t: u64::from(i),
                         addr: i % 7,
                         pc: Pc(i),
+                        tid: Tid::MAIN,
                     }
                 }
             })
@@ -312,6 +367,39 @@ mod tests {
     }
 
     #[test]
+    fn v2_header_declares_version_two() {
+        let mut w = TraceWriter::new_v2(Vec::new(), None).unwrap();
+        assert_eq!(w.version(), format::VERSION_V2);
+        w.on_read(0, 4, Pc(1), Tid(3));
+        let (bytes, stats) = w.finish(1).unwrap();
+        assert_eq!(&bytes[..4], b"ALCT");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), format::VERSION_V2);
+        assert_eq!(stats.events, 1);
+    }
+
+    #[test]
+    fn v1_writer_rejects_non_main_tids_at_finish() {
+        let mut w = TraceWriter::new(Vec::new(), None).unwrap();
+        w.on_read(0, 4, Pc(1), Tid::MAIN);
+        w.on_read(1, 5, Pc(2), Tid(1)); // no tid column in v1: deferred error
+        assert!(matches!(w.finish(2), Err(TraceError::Malformed(_))));
+    }
+
+    #[test]
+    fn v2_single_threaded_payload_costs_one_byte_per_event() {
+        // The tid column for an all-main chunk is one zero byte per event.
+        let record = |mut w: TraceWriter<Vec<u8>>| {
+            for i in 0..10u64 {
+                w.on_read(i, i as u32, Pc(0), Tid::MAIN);
+            }
+            w.finish(10).unwrap().1
+        };
+        let v1 = record(TraceWriter::new(Vec::new(), None).unwrap());
+        let v2 = record(TraceWriter::new_v2(Vec::new(), None).unwrap());
+        assert_eq!(v2.bytes, v1.bytes + 10);
+    }
+
+    #[test]
     fn deferred_io_errors_surface_at_finish() {
         /// A writer that accepts the header, then fails.
         struct FailAfter(usize);
@@ -330,8 +418,8 @@ mod tests {
         let mut w = TraceWriter::new(FailAfter(1), None)
             .unwrap()
             .with_chunk_capacity(1);
-        w.on_read(0, 0, Pc(0)); // flush fails here, silently deferred
-        w.on_read(1, 1, Pc(1)); // writer is quiescent
+        w.on_read(0, 0, Pc(0), Tid::MAIN); // flush fails here, silently deferred
+        w.on_read(1, 1, Pc(1), Tid::MAIN); // writer is quiescent
         assert!(matches!(w.finish(2), Err(TraceError::Io(_))));
     }
 }

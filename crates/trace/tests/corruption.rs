@@ -41,8 +41,43 @@ fn future_version_is_rejected() {
     bytes[5] = 0x7f;
     assert!(matches!(
         drain(&bytes),
-        Err(TraceError::UnsupportedVersion(0x7fff))
+        Err(TraceError::UnsupportedVersion {
+            found: 0x7fff,
+            min_supported: 1,
+            max_supported: 2,
+            chunk_index: 0,
+        })
     ));
+}
+
+#[test]
+fn hand_built_v3_header_reports_supported_range() {
+    // A from-scratch header claiming format version 3 — one past the
+    // newest this reader knows. The error must carry the found version,
+    // the full supported range and the chunk index (0 = rejected at the
+    // header, before any chunk decodes).
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ALCT");
+    bytes.extend_from_slice(&3u16.to_le_bytes());
+    bytes.extend_from_slice(&0u16.to_le_bytes());
+    let err = drain(&bytes).expect_err("v3 must be rejected");
+    match &err {
+        TraceError::UnsupportedVersion {
+            found,
+            min_supported,
+            max_supported,
+            chunk_index,
+        } => {
+            assert_eq!(*found, 3);
+            assert_eq!(*min_supported, 1);
+            assert_eq!(*max_supported, 2);
+            assert_eq!(*chunk_index, 0);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("version 3"), "{msg}");
+    assert!(msg.contains("1..=2"), "{msg}");
 }
 
 #[test]

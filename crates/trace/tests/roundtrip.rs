@@ -11,7 +11,14 @@ use alchemist_workloads::Scale;
 /// Records one workload run into an in-memory trace.
 fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, TraceStats, u64) {
     let module = w.module();
-    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    // Threaded workloads need the v2 tid column; the paper's eight stay
+    // on v1 so their byte-level format is untouched.
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header");
     let outcome = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer)
         .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
     let (bytes, stats) = writer.finish(outcome.steps).expect("finish");

@@ -17,7 +17,7 @@
 //! when [`ExecConfig::batch_events`](crate::ExecConfig) is set, so every
 //! existing sink works unchanged while batch-aware sinks get the bulk path.
 
-use crate::events::{Event, Time, TraceSink};
+use crate::events::{Event, Tid, Time, TraceSink};
 use crate::op::{BlockId, Pc};
 use alchemist_lang::hir::FuncId;
 
@@ -64,13 +64,16 @@ impl EventTag {
 /// # Examples
 ///
 /// ```
-/// use alchemist_vm::{Event, EventBatch, Pc, RecordingSink, TraceSink};
+/// use alchemist_vm::{Event, EventBatch, Pc, RecordingSink, Tid, TraceSink};
 ///
 /// let mut batch = EventBatch::new();
-/// batch.push_read(3, 100, Pc(7));
-/// batch.push_write(4, 101, Pc(8));
+/// batch.push_read(3, 100, Pc(7), Tid::MAIN);
+/// batch.push_write(4, 101, Pc(8), Tid(1));
 /// assert_eq!(batch.len(), 2);
-/// assert_eq!(batch.get(0), Event::Read { t: 3, addr: 100, pc: Pc(7) });
+/// assert_eq!(
+///     batch.get(0),
+///     Event::Read { t: 3, addr: 100, pc: Pc(7), tid: Tid::MAIN }
+/// );
 ///
 /// // Delivering a batch to any sink is equivalent to the per-event calls.
 /// let mut rec = RecordingSink::default();
@@ -84,6 +87,7 @@ pub struct EventBatch {
     addrs: Vec<u32>,
     pcs: Vec<u32>,
     auxs: Vec<u32>,
+    tids: Vec<u32>,
 }
 
 impl EventBatch {
@@ -100,6 +104,7 @@ impl EventBatch {
             addrs: Vec::with_capacity(capacity),
             pcs: Vec::with_capacity(capacity),
             auxs: Vec::with_capacity(capacity),
+            tids: Vec::with_capacity(capacity),
         }
     }
 
@@ -129,73 +134,76 @@ impl EventBatch {
         self.addrs.clear();
         self.pcs.clear();
         self.auxs.clear();
+        self.tids.clear();
     }
 
     #[inline]
-    fn push_row(&mut self, tag: EventTag, t: Time, addr: u32, pc: u32, aux: u32) {
+    fn push_row(&mut self, tag: EventTag, t: Time, addr: u32, pc: u32, aux: u32, tid: Tid) {
         self.tags.push(tag);
         self.times.push(t);
         self.addrs.push(addr);
         self.pcs.push(pc);
         self.auxs.push(aux);
+        self.tids.push(tid.0);
     }
 
     /// Appends a function-entry row.
     #[inline]
-    pub fn push_enter(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.push_row(EventTag::Enter, t, fp, 0, func.0);
+    pub fn push_enter(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.push_row(EventTag::Enter, t, fp, 0, func.0, tid);
     }
 
     /// Appends a function-exit row.
     #[inline]
-    pub fn push_exit(&mut self, t: Time, func: FuncId) {
-        self.push_row(EventTag::Exit, t, 0, 0, func.0);
+    pub fn push_exit(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.push_row(EventTag::Exit, t, 0, 0, func.0, tid);
     }
 
     /// Appends a block-entry row.
     #[inline]
-    pub fn push_block(&mut self, t: Time, block: BlockId) {
-        self.push_row(EventTag::Block, t, 0, 0, block.0);
+    pub fn push_block(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.push_row(EventTag::Block, t, 0, 0, block.0, tid);
     }
 
     /// Appends a predicate row.
     #[inline]
-    pub fn push_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+    pub fn push_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
         let tag = if taken {
             EventTag::PredTaken
         } else {
             EventTag::PredNotTaken
         };
-        self.push_row(tag, t, 0, pc.0, block.0);
+        self.push_row(tag, t, 0, pc.0, block.0, tid);
     }
 
     /// Appends a memory-read row.
     #[inline]
-    pub fn push_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.push_row(EventTag::Read, t, addr, pc.0, 0);
+    pub fn push_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.push_row(EventTag::Read, t, addr, pc.0, 0, tid);
     }
 
     /// Appends a memory-write row.
     #[inline]
-    pub fn push_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.push_row(EventTag::Write, t, addr, pc.0, 0);
+    pub fn push_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.push_row(EventTag::Write, t, addr, pc.0, 0, tid);
     }
 
     /// Appends one event as a row.
     #[inline]
     pub fn push_event(&mut self, ev: &Event) {
         match *ev {
-            Event::Enter { t, func, fp } => self.push_enter(t, func, fp),
-            Event::Exit { t, func } => self.push_exit(t, func),
-            Event::Block { t, block } => self.push_block(t, block),
+            Event::Enter { t, func, fp, tid } => self.push_enter(t, func, fp, tid),
+            Event::Exit { t, func, tid } => self.push_exit(t, func, tid),
+            Event::Block { t, block, tid } => self.push_block(t, block, tid),
             Event::Predicate {
                 t,
                 pc,
                 block,
                 taken,
-            } => self.push_predicate(t, pc, block, taken),
-            Event::Read { t, addr, pc } => self.push_read(t, addr, pc),
-            Event::Write { t, addr, pc } => self.push_write(t, addr, pc),
+                tid,
+            } => self.push_predicate(t, pc, block, taken, tid),
+            Event::Read { t, addr, pc, tid } => self.push_read(t, addr, pc, tid),
+            Event::Write { t, addr, pc, tid } => self.push_write(t, addr, pc, tid),
         }
     }
 
@@ -209,6 +217,7 @@ impl EventBatch {
             src.addrs[i],
             src.pcs[i],
             src.auxs[i],
+            Tid(src.tids[i]),
         );
     }
 
@@ -242,6 +251,12 @@ impl EventBatch {
         self.auxs[i]
     }
 
+    /// Row `i`'s thread id.
+    #[inline]
+    pub fn tid(&self, i: usize) -> Tid {
+        Tid(self.tids[i])
+    }
+
     /// The tag column.
     pub fn tags(&self) -> &[EventTag] {
         &self.tags
@@ -252,6 +267,11 @@ impl EventBatch {
         &self.times
     }
 
+    /// The thread-id column (raw `u32`s).
+    pub fn tids(&self) -> &[u32] {
+        &self.tids
+    }
+
     /// Reconstructs row `i` as an [`Event`].
     ///
     /// # Panics
@@ -259,35 +279,42 @@ impl EventBatch {
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: usize) -> Event {
         let t = self.times[i];
+        let tid = Tid(self.tids[i]);
         match self.tags[i] {
             EventTag::Enter => Event::Enter {
                 t,
                 func: FuncId(self.auxs[i]),
                 fp: self.addrs[i],
+                tid,
             },
             EventTag::Exit => Event::Exit {
                 t,
                 func: FuncId(self.auxs[i]),
+                tid,
             },
             EventTag::Block => Event::Block {
                 t,
                 block: BlockId(self.auxs[i]),
+                tid,
             },
             EventTag::PredNotTaken | EventTag::PredTaken => Event::Predicate {
                 t,
                 pc: Pc(self.pcs[i]),
                 block: BlockId(self.auxs[i]),
                 taken: self.tags[i] == EventTag::PredTaken,
+                tid,
             },
             EventTag::Read => Event::Read {
                 t,
                 addr: self.addrs[i],
                 pc: Pc(self.pcs[i]),
+                tid,
             },
             EventTag::Write => Event::Write {
                 t,
                 addr: self.addrs[i],
                 pc: Pc(self.pcs[i]),
+                tid,
             },
         }
     }
@@ -304,18 +331,21 @@ impl EventBatch {
     pub fn dispatch_into<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         for i in 0..self.len() {
             let t = self.times[i];
+            let tid = Tid(self.tids[i]);
             match self.tags[i] {
-                EventTag::Enter => sink.on_enter_function(t, FuncId(self.auxs[i]), self.addrs[i]),
-                EventTag::Exit => sink.on_exit_function(t, FuncId(self.auxs[i])),
-                EventTag::Block => sink.on_block_entry(t, BlockId(self.auxs[i])),
+                EventTag::Enter => {
+                    sink.on_enter_function(t, FuncId(self.auxs[i]), self.addrs[i], tid);
+                }
+                EventTag::Exit => sink.on_exit_function(t, FuncId(self.auxs[i]), tid),
+                EventTag::Block => sink.on_block_entry(t, BlockId(self.auxs[i]), tid),
                 EventTag::PredNotTaken => {
-                    sink.on_predicate(t, Pc(self.pcs[i]), BlockId(self.auxs[i]), false);
+                    sink.on_predicate(t, Pc(self.pcs[i]), BlockId(self.auxs[i]), false, tid);
                 }
                 EventTag::PredTaken => {
-                    sink.on_predicate(t, Pc(self.pcs[i]), BlockId(self.auxs[i]), true);
+                    sink.on_predicate(t, Pc(self.pcs[i]), BlockId(self.auxs[i]), true, tid);
                 }
-                EventTag::Read => sink.on_read(t, self.addrs[i], Pc(self.pcs[i])),
-                EventTag::Write => sink.on_write(t, self.addrs[i], Pc(self.pcs[i])),
+                EventTag::Read => sink.on_read(t, self.addrs[i], Pc(self.pcs[i]), tid),
+                EventTag::Write => sink.on_write(t, self.addrs[i], Pc(self.pcs[i]), tid),
             }
         }
     }
@@ -334,12 +364,12 @@ impl EventBatch {
 /// # Examples
 ///
 /// ```
-/// use alchemist_vm::{BatchingSink, CountingSink, Pc, TraceSink};
+/// use alchemist_vm::{BatchingSink, CountingSink, Pc, Tid, TraceSink};
 ///
 /// let mut counts = CountingSink::default();
 /// let mut batcher = BatchingSink::new(&mut counts, 8);
 /// for i in 0..20 {
-///     batcher.on_read(i, i as u32, Pc(0));
+///     batcher.on_read(i, i as u32, Pc(0), Tid::MAIN);
 /// }
 /// batcher.flush(); // deliver the final partial batch
 /// drop(batcher);
@@ -391,28 +421,28 @@ impl<S: TraceSink> BatchingSink<S> {
 }
 
 impl<S: TraceSink> TraceSink for BatchingSink<S> {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.batch.push_enter(t, func, fp);
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.batch.push_enter(t, func, fp, tid);
         self.maybe_flush();
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        self.batch.push_exit(t, func);
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.batch.push_exit(t, func, tid);
         self.maybe_flush();
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        self.batch.push_block(t, block);
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.batch.push_block(t, block, tid);
         self.maybe_flush();
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        self.batch.push_predicate(t, pc, block, taken);
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        self.batch.push_predicate(t, pc, block, taken, tid);
         self.maybe_flush();
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.batch.push_read(t, addr, pc);
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.batch.push_read(t, addr, pc, tid);
         self.maybe_flush();
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.batch.push_write(t, addr, pc);
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.batch.push_write(t, addr, pc, tid);
         self.maybe_flush();
     }
     fn on_batch(&mut self, batch: &EventBatch) {
@@ -433,36 +463,43 @@ mod tests {
                 t: 0,
                 func: FuncId(1),
                 fp: 64,
+                tid: Tid::MAIN,
             },
             Event::Block {
                 t: 1,
                 block: BlockId(2),
+                tid: Tid(1),
             },
             Event::Predicate {
                 t: 2,
                 pc: Pc(10),
                 block: BlockId(2),
                 taken: true,
+                tid: Tid(1),
             },
             Event::Read {
                 t: 3,
                 addr: 7,
                 pc: Pc(11),
+                tid: Tid(2),
             },
             Event::Write {
                 t: 4,
                 addr: 7,
                 pc: Pc(12),
+                tid: Tid::MAIN,
             },
             Event::Predicate {
                 t: 5,
                 pc: Pc(10),
                 block: BlockId(2),
                 taken: false,
+                tid: Tid(1),
             },
             Event::Exit {
                 t: 6,
                 func: FuncId(1),
+                tid: Tid::MAIN,
             },
         ]
     }
@@ -559,8 +596,8 @@ mod tests {
     fn into_inner_flushes_the_tail() {
         let mut counts = CountingSink::default();
         let mut batcher = BatchingSink::new(&mut counts, 64);
-        batcher.on_read(0, 1, Pc(0));
-        batcher.on_write(1, 1, Pc(1));
+        batcher.on_read(0, 1, Pc(0), Tid::MAIN);
+        batcher.on_write(1, 1, Pc(1), Tid::MAIN);
         let _ = batcher.into_inner();
         assert_eq!(counts.reads, 1);
         assert_eq!(counts.writes, 1);
@@ -570,7 +607,7 @@ mod tests {
     fn zero_capacity_is_clamped_to_one() {
         let mut counts = CountingSink::default();
         let mut batcher = BatchingSink::new(&mut counts, 0);
-        batcher.on_read(0, 1, Pc(0));
+        batcher.on_read(0, 1, Pc(0), Tid::MAIN);
         assert_eq!(batcher.pending(), 0, "capacity 1 flushes every event");
         drop(batcher);
         assert_eq!(counts.reads, 1);

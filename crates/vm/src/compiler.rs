@@ -303,6 +303,8 @@ impl<'a> FnCompiler<'a> {
                 }
                 self.emit(Op::Ret, *span);
             }
+            HStmt::Spawn { func, span } => self.emit(Op::Spawn(*func), *span),
+            HStmt::Join(span) => self.emit(Op::Join, *span),
             HStmt::Block(b) => self.block(b),
         }
     }

@@ -8,13 +8,36 @@
 //!
 //! All timestamps are *retired instruction counts*, matching the paper's
 //! "time stamp ... simulated by the number of executed instructions".
+//! Since the scheduler interleaves threads on one shared clock, timestamps
+//! stay globally non-decreasing across the whole stream.
+//!
+//! Every event carries the [`Tid`] of the thread that produced it. The
+//! main thread is always [`Tid::MAIN`]; single-threaded programs therefore
+//! produce streams whose tid column is uniformly zero.
 
 use crate::batch::{EventBatch, EventTag};
 use crate::op::{BlockId, Pc};
 use alchemist_lang::hir::FuncId;
+use std::fmt;
 
 /// Instruction-count timestamp.
 pub type Time = u64;
+
+/// A thread id. The main thread is [`Tid::MAIN`] (0); spawned threads get
+/// sequential ids in spawn order, never reused within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The main thread's id.
+    pub const MAIN: Tid = Tid(0);
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
 
 /// Receiver of execution events.
 ///
@@ -23,33 +46,33 @@ pub type Time = u64;
 /// execution for overhead comparisons.
 pub trait TraceSink {
     /// A function was entered; its frame occupies `[fp, fp + frame_words)`.
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        let _ = (t, func, fp);
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        let _ = (t, func, fp, tid);
     }
 
     /// A function is about to return.
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        let _ = (t, func);
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        let _ = (t, func, tid);
     }
 
     /// Control entered a basic block.
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        let _ = (t, block);
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        let _ = (t, block, tid);
     }
 
     /// A conditional branch executed.
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        let _ = (t, pc, block, taken);
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        let _ = (t, pc, block, taken, tid);
     }
 
     /// A data-memory word was read.
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        let _ = (t, addr, pc);
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        let _ = (t, addr, pc, tid);
     }
 
     /// A data-memory word was written.
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        let _ = (t, addr, pc);
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        let _ = (t, addr, pc, tid);
     }
 
     /// A block of events arrived at once (the bulk path of the pipeline).
@@ -76,10 +99,10 @@ pub trait TraceSink {
 /// this impl the caller hands such an API `&mut sink` and keeps ownership:
 ///
 /// ```
-/// use alchemist_vm::{CountingSink, Pc, TraceSink};
+/// use alchemist_vm::{CountingSink, Pc, Tid, TraceSink};
 ///
 /// fn feed(mut sink: impl TraceSink) {
-///     sink.on_read(0, 1, Pc(0));
+///     sink.on_read(0, 1, Pc(0), Tid::MAIN);
 /// }
 ///
 /// let mut counts = CountingSink::default();
@@ -88,23 +111,23 @@ pub trait TraceSink {
 /// assert_eq!(counts.reads, 2); // still ours to inspect
 /// ```
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        (**self).on_enter_function(t, func, fp);
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        (**self).on_enter_function(t, func, fp, tid);
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        (**self).on_exit_function(t, func);
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        (**self).on_exit_function(t, func, tid);
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        (**self).on_block_entry(t, block);
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        (**self).on_block_entry(t, block, tid);
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
-        (**self).on_predicate(t, pc, block, taken);
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        (**self).on_predicate(t, pc, block, taken, tid);
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        (**self).on_read(t, addr, pc);
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        (**self).on_read(t, addr, pc, tid);
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        (**self).on_write(t, addr, pc);
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        (**self).on_write(t, addr, pc, tid);
     }
     fn on_batch(&mut self, batch: &EventBatch) {
         (**self).on_batch(batch);
@@ -137,22 +160,22 @@ pub struct CountingSink {
 }
 
 impl TraceSink for CountingSink {
-    fn on_enter_function(&mut self, _t: Time, _func: FuncId, _fp: u32) {
+    fn on_enter_function(&mut self, _t: Time, _func: FuncId, _fp: u32, _tid: Tid) {
         self.enters += 1;
     }
-    fn on_exit_function(&mut self, _t: Time, _func: FuncId) {
+    fn on_exit_function(&mut self, _t: Time, _func: FuncId, _tid: Tid) {
         self.exits += 1;
     }
-    fn on_block_entry(&mut self, _t: Time, _block: BlockId) {
+    fn on_block_entry(&mut self, _t: Time, _block: BlockId, _tid: Tid) {
         self.blocks += 1;
     }
-    fn on_predicate(&mut self, _t: Time, _pc: Pc, _block: BlockId, _taken: bool) {
+    fn on_predicate(&mut self, _t: Time, _pc: Pc, _block: BlockId, _taken: bool, _tid: Tid) {
         self.predicates += 1;
     }
-    fn on_read(&mut self, _t: Time, _addr: u32, _pc: Pc) {
+    fn on_read(&mut self, _t: Time, _addr: u32, _pc: Pc, _tid: Tid) {
         self.reads += 1;
     }
-    fn on_write(&mut self, _t: Time, _addr: u32, _pc: Pc) {
+    fn on_write(&mut self, _t: Time, _addr: u32, _pc: Pc, _tid: Tid) {
         self.writes += 1;
     }
     fn on_batch(&mut self, batch: &EventBatch) {
@@ -181,6 +204,8 @@ pub enum Event {
         func: FuncId,
         /// Frame base address.
         fp: u32,
+        /// Executing thread.
+        tid: Tid,
     },
     /// Function exit.
     Exit {
@@ -188,6 +213,8 @@ pub enum Event {
         t: Time,
         /// The function exiting.
         func: FuncId,
+        /// Executing thread.
+        tid: Tid,
     },
     /// Basic-block entry.
     Block {
@@ -195,6 +222,8 @@ pub enum Event {
         t: Time,
         /// The block entered.
         block: BlockId,
+        /// Executing thread.
+        tid: Tid,
     },
     /// Conditional-branch execution.
     Predicate {
@@ -206,6 +235,8 @@ pub enum Event {
         block: BlockId,
         /// Whether the branch was taken.
         taken: bool,
+        /// Executing thread.
+        tid: Tid,
     },
     /// Memory read.
     Read {
@@ -215,6 +246,8 @@ pub enum Event {
         addr: u32,
         /// The reading instruction.
         pc: Pc,
+        /// Executing thread.
+        tid: Tid,
     },
     /// Memory write.
     Write {
@@ -224,6 +257,8 @@ pub enum Event {
         addr: u32,
         /// The writing instruction.
         pc: Pc,
+        /// Executing thread.
+        tid: Tid,
     },
 }
 
@@ -240,6 +275,32 @@ impl Event {
         }
     }
 
+    /// The thread that produced the event.
+    pub fn tid(&self) -> Tid {
+        match *self {
+            Event::Enter { tid, .. }
+            | Event::Exit { tid, .. }
+            | Event::Block { tid, .. }
+            | Event::Predicate { tid, .. }
+            | Event::Read { tid, .. }
+            | Event::Write { tid, .. } => tid,
+        }
+    }
+
+    /// The same event restamped onto `tid`. Trace readers use this to apply
+    /// a separately-stored thread-id column to a decoded event.
+    pub fn with_tid(mut self, new_tid: Tid) -> Event {
+        match &mut self {
+            Event::Enter { tid, .. }
+            | Event::Exit { tid, .. }
+            | Event::Block { tid, .. }
+            | Event::Predicate { tid, .. }
+            | Event::Read { tid, .. }
+            | Event::Write { tid, .. } => *tid = new_tid,
+        }
+        self
+    }
+
     /// Delivers the event to `sink` by calling the matching trait method.
     ///
     /// This is the replay primitive: any stream of [`Event`]s (a
@@ -247,17 +308,18 @@ impl Event {
     /// as a live interpreter run would.
     pub fn dispatch<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         match *self {
-            Event::Enter { t, func, fp } => sink.on_enter_function(t, func, fp),
-            Event::Exit { t, func } => sink.on_exit_function(t, func),
-            Event::Block { t, block } => sink.on_block_entry(t, block),
+            Event::Enter { t, func, fp, tid } => sink.on_enter_function(t, func, fp, tid),
+            Event::Exit { t, func, tid } => sink.on_exit_function(t, func, tid),
+            Event::Block { t, block, tid } => sink.on_block_entry(t, block, tid),
             Event::Predicate {
                 t,
                 pc,
                 block,
                 taken,
-            } => sink.on_predicate(t, pc, block, taken),
-            Event::Read { t, addr, pc } => sink.on_read(t, addr, pc),
-            Event::Write { t, addr, pc } => sink.on_write(t, addr, pc),
+                tid,
+            } => sink.on_predicate(t, pc, block, taken, tid),
+            Event::Read { t, addr, pc, tid } => sink.on_read(t, addr, pc, tid),
+            Event::Write { t, addr, pc, tid } => sink.on_write(t, addr, pc, tid),
         }
     }
 }
@@ -270,28 +332,29 @@ pub struct RecordingSink {
 }
 
 impl TraceSink for RecordingSink {
-    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32) {
-        self.events.push(Event::Enter { t, func, fp });
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.events.push(Event::Enter { t, func, fp, tid });
     }
-    fn on_exit_function(&mut self, t: Time, func: FuncId) {
-        self.events.push(Event::Exit { t, func });
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.events.push(Event::Exit { t, func, tid });
     }
-    fn on_block_entry(&mut self, t: Time, block: BlockId) {
-        self.events.push(Event::Block { t, block });
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.events.push(Event::Block { t, block, tid });
     }
-    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool) {
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
         self.events.push(Event::Predicate {
             t,
             pc,
             block,
             taken,
+            tid,
         });
     }
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.events.push(Event::Read { t, addr, pc });
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.events.push(Event::Read { t, addr, pc, tid });
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
-        self.events.push(Event::Write { t, addr, pc });
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.events.push(Event::Write { t, addr, pc, tid });
     }
     fn on_batch(&mut self, batch: &EventBatch) {
         self.events.reserve(batch.len());
@@ -306,10 +369,10 @@ mod tests {
     #[test]
     fn counting_sink_tallies() {
         let mut s = CountingSink::default();
-        s.on_read(0, 1, Pc(0));
-        s.on_read(1, 2, Pc(1));
-        s.on_write(2, 1, Pc(2));
-        s.on_predicate(3, Pc(3), BlockId(0), true);
+        s.on_read(0, 1, Pc(0), Tid::MAIN);
+        s.on_read(1, 2, Pc(1), Tid(1));
+        s.on_write(2, 1, Pc(2), Tid::MAIN);
+        s.on_predicate(3, Pc(3), BlockId(0), true, Tid::MAIN);
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 1);
         assert_eq!(s.predicates, 1);
@@ -319,12 +382,12 @@ mod tests {
     #[test]
     fn dispatch_replays_into_any_sink() {
         let mut rec = RecordingSink::default();
-        rec.on_enter_function(0, FuncId(1), 8);
-        rec.on_predicate(1, Pc(4), BlockId(2), false);
-        rec.on_read(2, 9, Pc(5));
-        rec.on_write(3, 9, Pc(6));
-        rec.on_block_entry(4, BlockId(3));
-        rec.on_exit_function(5, FuncId(1));
+        rec.on_enter_function(0, FuncId(1), 8, Tid::MAIN);
+        rec.on_predicate(1, Pc(4), BlockId(2), false, Tid(2));
+        rec.on_read(2, 9, Pc(5), Tid::MAIN);
+        rec.on_write(3, 9, Pc(6), Tid(1));
+        rec.on_block_entry(4, BlockId(3), Tid(1));
+        rec.on_exit_function(5, FuncId(1), Tid::MAIN);
 
         let mut replayed = RecordingSink::default();
         for e in &rec.events {
@@ -340,7 +403,7 @@ mod tests {
     #[test]
     fn mut_ref_is_a_sink() {
         fn feed<S: TraceSink>(mut s: S) {
-            s.on_read(0, 1, Pc(0));
+            s.on_read(0, 1, Pc(0), Tid::MAIN);
         }
         let mut counts = CountingSink::default();
         feed(&mut counts);
@@ -351,12 +414,12 @@ mod tests {
     #[test]
     fn counting_sink_batch_override_matches_per_event() {
         let mut rec = RecordingSink::default();
-        rec.on_enter_function(0, FuncId(0), 8);
-        rec.on_predicate(1, Pc(4), BlockId(2), true);
-        rec.on_read(2, 9, Pc(5));
-        rec.on_write(3, 9, Pc(6));
-        rec.on_block_entry(4, BlockId(3));
-        rec.on_exit_function(5, FuncId(0));
+        rec.on_enter_function(0, FuncId(0), 8, Tid::MAIN);
+        rec.on_predicate(1, Pc(4), BlockId(2), true, Tid(3));
+        rec.on_read(2, 9, Pc(5), Tid(3));
+        rec.on_write(3, 9, Pc(6), Tid::MAIN);
+        rec.on_block_entry(4, BlockId(3), Tid::MAIN);
+        rec.on_exit_function(5, FuncId(0), Tid::MAIN);
         let batch = EventBatch::from_events(&rec.events);
 
         let mut per_event = CountingSink::default();
@@ -369,17 +432,24 @@ mod tests {
 
         let mut rebatched = RecordingSink::default();
         rebatched.on_batch(&batch);
-        assert_eq!(rebatched, rec);
+        assert_eq!(rebatched.events, rec.events);
     }
 
     #[test]
-    fn recording_sink_preserves_order() {
+    fn recording_sink_preserves_order_and_tids() {
         let mut s = RecordingSink::default();
-        s.on_enter_function(0, FuncId(0), 16);
-        s.on_write(1, 16, Pc(2));
-        s.on_exit_function(2, FuncId(0));
+        s.on_enter_function(0, FuncId(0), 16, Tid::MAIN);
+        s.on_write(1, 16, Pc(2), Tid(7));
+        s.on_exit_function(2, FuncId(0), Tid::MAIN);
         assert_eq!(s.events.len(), 3);
         assert!(matches!(s.events[0], Event::Enter { fp: 16, .. }));
+        assert_eq!(s.events[1].tid(), Tid(7));
         assert!(matches!(s.events[2], Event::Exit { .. }));
+    }
+
+    #[test]
+    fn tid_display_and_default() {
+        assert_eq!(Tid(3).to_string(), "t3");
+        assert_eq!(Tid::default(), Tid::MAIN);
     }
 }

@@ -4,10 +4,24 @@
 //! stack frames above) while reporting events to a [`TraceSink`]. With
 //! [`NullSink`](crate::NullSink) this measures "original" program time; with
 //! the Alchemist sink it produces dependence profiles.
+//!
+//! # Threads
+//!
+//! `spawn { ... }` creates a new logical thread running the synthesized
+//! body function; `join;` blocks until all of the current thread's live
+//! direct children finish. Threads are scheduled by a *deterministic*
+//! round-robin scheduler: each thread runs [`ExecConfig::quantum`]
+//! instructions before yielding, and the rotation order is fixed (or
+//! perturbed reproducibly by [`ExecConfig::sched_seed`]). All threads share
+//! one retirement clock, so timestamps stay globally non-decreasing and a
+//! run is replayable bit-for-bit from its trace. Every event is stamped
+//! with the thread id ([`Tid`]) that produced it; single-threaded programs
+//! emit exactly the stream they always did, with every event on
+//! [`Tid::MAIN`].
 
 use crate::batch::BatchingSink;
 use crate::error::{Trap, TrapKind};
-use crate::events::{Time, TraceSink};
+use crate::events::{Tid, Time, TraceSink};
 use crate::module::Module;
 use crate::op::{pack_ref, unpack_ref, Op, Pc};
 use alchemist_lang::hir::Intrinsic;
@@ -18,7 +32,7 @@ use alchemist_lang::{BinOp, UnOp};
 pub struct ExecConfig {
     /// Trap after this many instructions (guards infinite loops).
     pub max_steps: u64,
-    /// Words of stack memory available for frames.
+    /// Words of stack memory available for the main thread's frames.
     pub stack_words: u32,
     /// Input buffer served by the `input`/`input_len` intrinsics.
     pub input: Vec<i64>,
@@ -28,6 +42,15 @@ pub struct ExecConfig {
     /// dispatch. The event stream a sink observes is identical either way;
     /// only the call granularity changes.
     pub batch_events: usize,
+    /// Instructions a thread retires before the scheduler rotates to the
+    /// next runnable thread. Irrelevant while only one thread is live.
+    pub quantum: u64,
+    /// Scheduler seed. `0` is strict round-robin; any other value rotates
+    /// the pick deterministically, so different seeds explore different
+    /// (but individually reproducible) interleavings.
+    pub sched_seed: u64,
+    /// Words of stack memory carved out for each spawned thread.
+    pub thread_stack_words: u32,
 }
 
 impl Default for ExecConfig {
@@ -37,6 +60,9 @@ impl Default for ExecConfig {
             stack_words: 1 << 20,
             input: Vec::new(),
             batch_events: 0,
+            quantum: 64,
+            sched_seed: 0,
+            thread_stack_words: 1 << 16,
         }
     }
 }
@@ -54,9 +80,9 @@ impl ExecConfig {
 /// The result of a completed execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOutcome {
-    /// Instructions executed (the final timestamp).
+    /// Instructions executed across all threads (the final timestamp).
     pub steps: u64,
-    /// Values produced by the `print` intrinsic, in order.
+    /// Values produced by the `print` intrinsic, in retirement order.
     pub output: Vec<i64>,
     /// `main`'s return value.
     pub exit_value: i64,
@@ -69,12 +95,42 @@ struct Frame {
     ret_pc: u32,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadStatus {
+    Runnable,
+    /// Parked on `join` until `live_children` drops to zero.
+    Joining,
+    Finished,
+}
+
+/// Per-thread bookkeeping. While a thread runs, its execution state lives
+/// in the [`Interp`] "register file"; it is exchanged back here on every
+/// context switch.
+#[derive(Debug)]
+struct Thread {
+    tid: Tid,
+    pc: u32,
+    operands: Vec<i64>,
+    frames: Vec<Frame>,
+    stack_top: u32,
+    stack_limit: u32,
+    status: ThreadStatus,
+    /// Index of the spawning thread (main points at itself).
+    parent: usize,
+    /// Direct children that have not finished yet.
+    live_children: u32,
+}
+
 /// Runs `module` to completion.
+///
+/// The run ends once every thread has finished; the exit value is `main`'s
+/// return value.
 ///
 /// # Errors
 ///
 /// Returns a [`Trap`] on out-of-bounds indexing, division by zero, stack
-/// overflow or step-limit exhaustion.
+/// overflow or step-limit exhaustion — in *any* thread; the first trap
+/// aborts the whole run.
 ///
 /// # Examples
 ///
@@ -111,13 +167,25 @@ pub fn run<S: TraceSink>(
 pub struct Interp<'m> {
     module: &'m Module,
     mem: Vec<i64>,
+    /// All threads in spawn order. The running thread's entry is stale; its
+    /// live state is in the register-file fields below.
+    threads: Vec<Thread>,
+    cur_thread: usize,
+    // Register file of the running thread.
+    tid: Tid,
     operands: Vec<i64>,
     frames: Vec<Frame>,
     stack_top: u32,
+    stack_limit: u32,
+    next_tid: u32,
     steps: u64,
     max_steps: u64,
+    quantum: u64,
+    sched_state: u64,
+    thread_stack_words: u32,
     input: Vec<i64>,
     output: Vec<i64>,
+    main_exit: i64,
 }
 
 impl<'m> Interp<'m> {
@@ -130,16 +198,36 @@ impl<'m> Interp<'m> {
                 mem[g.offset as usize] = g.init;
             }
         }
+        let stack_limit = mem_words as u32;
         Interp {
             module,
             mem,
+            threads: vec![Thread {
+                tid: Tid::MAIN,
+                pc: 0,
+                operands: Vec::new(),
+                frames: Vec::new(),
+                stack_top: module.global_words,
+                stack_limit,
+                status: ThreadStatus::Runnable,
+                parent: 0,
+                live_children: 0,
+            }],
+            cur_thread: 0,
+            tid: Tid::MAIN,
             operands: Vec::with_capacity(64),
             frames: Vec::with_capacity(64),
             stack_top: module.global_words,
+            stack_limit,
+            next_tid: 1,
             steps: 0,
             max_steps: config.max_steps,
+            quantum: config.quantum.max(1),
+            sched_state: config.sched_seed,
+            thread_stack_words: config.thread_stack_words.max(16),
             input: config.input.clone(),
             output: Vec::new(),
+            main_exit: 0,
         }
     }
 
@@ -157,7 +245,46 @@ impl<'m> Interp<'m> {
             .expect("operand stack underflow: compiler bug")
     }
 
-    /// Executes until `main` returns.
+    /// Picks the next runnable thread other than the current one:
+    /// round-robin from `cur_thread`, rotated by the seeded scheduler when
+    /// a seed was set.
+    fn next_runnable(&mut self) -> Option<usize> {
+        let n = self.threads.len();
+        let start = if self.sched_state != 0 {
+            // xorshift64: a different but reproducible rotation per pick.
+            let mut x = self.sched_state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.sched_state = x;
+            (x % n as u64) as usize
+        } else {
+            0
+        };
+        (1..=n)
+            .map(|k| (self.cur_thread + start + k) % n)
+            .find(|&i| i != self.cur_thread && self.threads[i].status == ThreadStatus::Runnable)
+    }
+
+    /// Parks the running thread's state at `pc` and resumes `next`,
+    /// returning the pc to continue from.
+    fn context_switch(&mut self, pc: u32, next: usize) -> u32 {
+        let t = &mut self.threads[self.cur_thread];
+        t.pc = pc;
+        t.operands = std::mem::take(&mut self.operands);
+        t.frames = std::mem::take(&mut self.frames);
+        t.stack_top = self.stack_top;
+        self.cur_thread = next;
+        let t = &mut self.threads[next];
+        self.operands = std::mem::take(&mut t.operands);
+        self.frames = std::mem::take(&mut t.frames);
+        self.stack_top = t.stack_top;
+        self.stack_limit = t.stack_limit;
+        self.tid = t.tid;
+        t.pc
+    }
+
+    /// Executes until every thread has finished.
     ///
     /// # Errors
     ///
@@ -172,10 +299,18 @@ impl<'m> Interp<'m> {
             fp,
             ret_pc: u32::MAX,
         });
-        sink.on_enter_function(0, self.module.main, fp);
+        sink.on_enter_function(0, self.module.main, fp, Tid::MAIN);
 
         let mut pc = entry.0;
+        let mut quantum_left = self.quantum;
         loop {
+            if quantum_left == 0 {
+                quantum_left = self.quantum;
+                if let Some(next) = self.next_runnable() {
+                    pc = self.context_switch(pc, next);
+                }
+            }
+            quantum_left -= 1;
             if self.steps >= self.max_steps {
                 return Err(self.trap(
                     TrapKind::StepLimitExceeded {
@@ -185,7 +320,7 @@ impl<'m> Interp<'m> {
                 ));
             }
             if let Some(b) = self.module.analysis.block_start(Pc(pc)) {
-                sink.on_block_entry(self.steps, b);
+                sink.on_block_entry(self.steps, b, self.tid);
             }
             let t: Time = self.steps;
             self.steps += 1;
@@ -222,7 +357,7 @@ impl<'m> Interp<'m> {
                 }
                 Op::LoadLocal(slot) => {
                     let addr = self.frames.last().expect("no frame").fp + slot;
-                    sink.on_read(t, addr, cur);
+                    sink.on_read(t, addr, cur, self.tid);
                     self.operands.push(self.mem[addr as usize]);
                     pc += 1;
                 }
@@ -230,7 +365,7 @@ impl<'m> Interp<'m> {
                     let keep = matches!(self.module.ops[pc as usize], Op::StoreLocalKeep(_));
                     let addr = self.frames.last().expect("no frame").fp + slot;
                     let v = self.pop();
-                    sink.on_write(t, addr, cur);
+                    sink.on_write(t, addr, cur, self.tid);
                     self.mem[addr as usize] = v;
                     if keep {
                         self.operands.push(v);
@@ -238,14 +373,14 @@ impl<'m> Interp<'m> {
                     pc += 1;
                 }
                 Op::LoadGlobal(off) => {
-                    sink.on_read(t, off, cur);
+                    sink.on_read(t, off, cur, self.tid);
                     self.operands.push(self.mem[off as usize]);
                     pc += 1;
                 }
                 Op::StoreGlobal(off) | Op::StoreGlobalKeep(off) => {
                     let keep = matches!(self.module.ops[pc as usize], Op::StoreGlobalKeep(_));
                     let v = self.pop();
-                    sink.on_write(t, off, cur);
+                    sink.on_write(t, off, cur, self.tid);
                     self.mem[off as usize] = v;
                     if keep {
                         self.operands.push(v);
@@ -265,7 +400,7 @@ impl<'m> Interp<'m> {
                     let idx = self.pop();
                     let (base, len) = unpack_ref(self.pop());
                     let addr = self.elem_addr(base, len, idx, cur)?;
-                    sink.on_read(t, addr, cur);
+                    sink.on_read(t, addr, cur, self.tid);
                     self.operands.push(self.mem[addr as usize]);
                     pc += 1;
                 }
@@ -275,7 +410,7 @@ impl<'m> Interp<'m> {
                     let (base, len) = unpack_ref(self.pop());
                     let v = self.pop();
                     let addr = self.elem_addr(base, len, idx, cur)?;
-                    sink.on_write(t, addr, cur);
+                    sink.on_write(t, addr, cur, self.tid);
                     self.mem[addr as usize] = v;
                     if keep {
                         self.operands.push(v);
@@ -300,20 +435,20 @@ impl<'m> Interp<'m> {
                 Op::BrTrue(target) => {
                     let c = self.pop();
                     let taken = c != 0;
-                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken);
+                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken, self.tid);
                     pc = if taken { target } else { pc + 1 };
                 }
                 Op::BrFalse(target) => {
                     let c = self.pop();
                     let taken = c == 0;
-                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken);
+                    sink.on_predicate(t, cur, self.module.analysis.block_of(cur), taken, self.tid);
                     pc = if taken { target } else { pc + 1 };
                 }
                 Op::Call(func) => {
                     let fi = &self.module.funcs[func.0 as usize];
                     let fp = self.stack_top;
                     let frame_end = fp as u64 + fi.frame_words as u64;
-                    if frame_end > self.mem.len() as u64 {
+                    if frame_end > self.stack_limit as u64 {
                         return Err(self.trap(TrapKind::StackOverflow, cur));
                     }
                     self.stack_top = frame_end as u32;
@@ -326,7 +461,7 @@ impl<'m> Interp<'m> {
                     let args_base = self.operands.len() - nargs;
                     for (i, v) in self.operands.drain(args_base..).enumerate() {
                         let addr = fp + i as u32;
-                        sink.on_write(t, addr, cur);
+                        sink.on_write(t, addr, cur, self.tid);
                         self.mem[addr as usize] = v;
                     }
                     self.frames.push(Frame {
@@ -334,12 +469,60 @@ impl<'m> Interp<'m> {
                         fp,
                         ret_pc: pc + 1,
                     });
-                    sink.on_enter_function(t, func, fp);
+                    sink.on_enter_function(t, func, fp, self.tid);
                     pc = fi.entry.0;
                 }
                 Op::CallIntrinsic(which) => {
                     self.intrinsic(which);
                     pc += 1;
+                }
+                Op::Spawn(func) => {
+                    let fi = &self.module.funcs[func.0 as usize];
+                    // Carve a fresh, zeroed stack region above everything
+                    // allocated so far. Regions are never reused, so a
+                    // thread's addresses depend only on spawn order.
+                    let base = self.mem.len();
+                    let words = self.thread_stack_words.max(fi.frame_words) as usize;
+                    let end = base + words;
+                    if end > u32::MAX as usize {
+                        return Err(self.trap(TrapKind::StackOverflow, cur));
+                    }
+                    self.mem.resize(end, 0);
+                    let fp = base as u32;
+                    let child_tid = Tid(self.next_tid);
+                    self.next_tid += 1;
+                    self.threads.push(Thread {
+                        tid: child_tid,
+                        pc: fi.entry.0,
+                        operands: Vec::new(),
+                        frames: vec![Frame {
+                            func: func.0,
+                            fp,
+                            ret_pc: u32::MAX,
+                        }],
+                        stack_top: fp + fi.frame_words,
+                        stack_limit: end as u32,
+                        status: ThreadStatus::Runnable,
+                        parent: self.cur_thread,
+                        live_children: 0,
+                    });
+                    self.threads[self.cur_thread].live_children += 1;
+                    // The child's root construct opens at spawn time, on
+                    // the child's own tid.
+                    sink.on_enter_function(t, func, fp, child_tid);
+                    pc += 1;
+                }
+                Op::Join => {
+                    if self.threads[self.cur_thread].live_children > 0 {
+                        self.threads[self.cur_thread].status = ThreadStatus::Joining;
+                        let next = self.next_runnable().expect(
+                            "scheduler: thread joining live children but nothing is runnable",
+                        );
+                        pc = self.context_switch(pc + 1, next);
+                        quantum_left = self.quantum;
+                    } else {
+                        pc += 1;
+                    }
                 }
                 Op::Ret => {
                     let value = self.pop();
@@ -348,17 +531,42 @@ impl<'m> Interp<'m> {
                     // timestamp is one past the instruction's own: this way
                     // a construct's duration covers all its instructions
                     // (main's Tdur equals the run's step count).
-                    sink.on_exit_function(self.steps, alchemist_lang::hir::FuncId(frame.func));
+                    sink.on_exit_function(
+                        self.steps,
+                        alchemist_lang::hir::FuncId(frame.func),
+                        self.tid,
+                    );
                     self.stack_top = frame.fp;
                     if self.frames.is_empty() {
-                        return Ok(ExecOutcome {
-                            steps: self.steps,
-                            output: std::mem::take(&mut self.output),
-                            exit_value: value,
-                        });
+                        if self.cur_thread == 0 {
+                            self.main_exit = value;
+                        }
+                        self.threads[self.cur_thread].status = ThreadStatus::Finished;
+                        let parent = self.threads[self.cur_thread].parent;
+                        if parent != self.cur_thread {
+                            let p = &mut self.threads[parent];
+                            p.live_children -= 1;
+                            if p.live_children == 0 && p.status == ThreadStatus::Joining {
+                                p.status = ThreadStatus::Runnable;
+                            }
+                        }
+                        match self.next_runnable() {
+                            Some(next) => {
+                                pc = self.context_switch(pc, next);
+                                quantum_left = self.quantum;
+                            }
+                            None => {
+                                return Ok(ExecOutcome {
+                                    steps: self.steps,
+                                    output: std::mem::take(&mut self.output),
+                                    exit_value: self.main_exit,
+                                });
+                            }
+                        }
+                    } else {
+                        self.operands.push(value);
+                        pc = frame.ret_pc;
                     }
-                    self.operands.push(value);
-                    pc = frame.ret_pc;
                 }
             }
         }
@@ -827,5 +1035,205 @@ mod tests {
         let input: Vec<i64> = (0..20).collect();
         let out = run(&m, &ExecConfig::with_input(input), &mut NullSink).unwrap();
         assert_eq!(out.exit_value, 20);
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn spawn_then_join_sees_child_writes() {
+        let src = "int a; int b;
+            int main() {
+                spawn { a = 5; }
+                spawn { b = 7; }
+                join;
+                return a + b;
+            }";
+        assert_eq!(exec(src).exit_value, 12);
+    }
+
+    #[test]
+    fn join_without_children_is_a_noop() {
+        assert_eq!(exec("int main() { join; return 3; }").exit_value, 3);
+    }
+
+    #[test]
+    fn spawned_threads_have_private_locals() {
+        // Each spawned body gets its own zeroed stack region; the local
+        // loop counter in each body is independent.
+        let src = "int total;
+            int main() {
+                spawn { int i; for (i = 0; i < 10; i++) total += 1; }
+                spawn { int i; for (i = 0; i < 10; i++) total += 1; }
+                join;
+                return total;
+            }";
+        // `total += 1` is a read-modify-write, but a whole increment retires
+        // within one default quantum (64), so no updates are lost here.
+        assert_eq!(exec(src).exit_value, 20);
+    }
+
+    #[test]
+    fn interleaving_is_deterministic() {
+        use crate::events::RecordingSink;
+        let src = "int x; int y;
+            int main() {
+                int i;
+                spawn { int j; for (j = 0; j < 50; j++) x += 1; }
+                spawn { int j; for (j = 0; j < 50; j++) y += 1; }
+                for (i = 0; i < 30; i++) { }
+                join;
+                return x + y;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let cfg = ExecConfig {
+            quantum: 5,
+            ..ExecConfig::default()
+        };
+        let mut a = RecordingSink::default();
+        let out_a = run(&m, &cfg, &mut a).unwrap();
+        let mut b = RecordingSink::default();
+        let out_b = run(&m, &cfg, &mut b).unwrap();
+        assert_eq!(out_a, out_b, "two runs of the same config must agree");
+        assert_eq!(a, b, "event streams must be identical");
+        assert_eq!(out_a.exit_value, 100);
+    }
+
+    #[test]
+    fn sched_seed_changes_interleaving_not_results() {
+        use crate::events::RecordingSink;
+        let src = "int x; int y;
+            int main() {
+                spawn { int j; for (j = 0; j < 40; j++) x += 1; }
+                spawn { int j; for (j = 0; j < 40; j++) y += 1; }
+                join;
+                return x * 1000 + y;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut streams = Vec::new();
+        for seed in [0u64, 1, 42] {
+            let cfg = ExecConfig {
+                quantum: 7,
+                sched_seed: seed,
+                ..ExecConfig::default()
+            };
+            let mut s = RecordingSink::default();
+            let out = run(&m, &cfg, &mut s).unwrap();
+            assert_eq!(out.exit_value, 40_040, "seed {seed}");
+            streams.push(s);
+        }
+        // Seeded runs shuffle the schedule; at least one pair must differ.
+        assert!(
+            streams[0] != streams[1] || streams[0] != streams[2],
+            "seeds should produce distinct interleavings"
+        );
+    }
+
+    #[test]
+    fn events_are_stamped_with_spawning_order_tids() {
+        use crate::events::RecordingSink;
+        let src = "int a;
+            int main() {
+                spawn { a += 1; }
+                spawn { a += 2; }
+                join;
+                return a;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut s = RecordingSink::default();
+        let out = run(&m, &ExecConfig::default(), &mut s).unwrap();
+        assert_eq!(out.exit_value, 3);
+        let mut tids: Vec<u32> = s.events.iter().map(|e| e.tid().0).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1, 2], "main + two children, spawn order");
+    }
+
+    #[test]
+    fn timestamps_stay_globally_nondecreasing_across_threads() {
+        use crate::events::RecordingSink;
+        let src = "int x;
+            int main() {
+                spawn { int j; for (j = 0; j < 25; j++) x += 1; }
+                spawn { int j; for (j = 0; j < 25; j++) x += 1; }
+                join;
+                return x;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let cfg = ExecConfig {
+            quantum: 3,
+            ..ExecConfig::default()
+        };
+        let mut s = RecordingSink::default();
+        run(&m, &cfg, &mut s).unwrap();
+        let times: Vec<u64> = s.events.iter().map(|e| e.time()).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "shared clock must be non-decreasing in emission order"
+        );
+    }
+
+    #[test]
+    fn trap_in_child_aborts_the_run() {
+        let src = "int main() {
+                spawn { int z; print(1 / z); }
+                join;
+                return 0;
+            }";
+        let t = exec_err(src);
+        assert_eq!(t.kind, TrapKind::DivideByZero);
+    }
+
+    #[test]
+    fn nested_spawn_joins_grandchildren_transitively() {
+        let src = "int a; int b;
+            int main() {
+                spawn {
+                    spawn { a = 1; }
+                    join;
+                    b = a + 1;
+                }
+                join;
+                return b;
+            }";
+        assert_eq!(exec(src).exit_value, 2);
+    }
+
+    #[test]
+    fn run_finishes_unjoined_children_before_exiting() {
+        // main returns without joining; the run still drains the child and
+        // its output, and the exit value is main's.
+        let src = "int main() {
+                spawn { int j; for (j = 0; j < 200; j++) { } print(9); }
+                return 1;
+            }";
+        let out = exec(src);
+        assert_eq!(out.exit_value, 1);
+        assert_eq!(out.output, vec![9]);
+    }
+
+    #[test]
+    fn single_threaded_outcome_unchanged_by_thread_fields() {
+        // Thread support must not perturb classic runs: steps and events
+        // are identical whatever quantum/seed are set to.
+        use crate::events::RecordingSink;
+        let src = "int g;
+            int add(int x) { g += x; return g; }
+            int main() { int i; for (i = 0; i < 5; i++) add(i); return g; }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut base = RecordingSink::default();
+        let out = run(&m, &ExecConfig::default(), &mut base).unwrap();
+        for (q, seed) in [(1u64, 0u64), (2, 9), (1000, 77)] {
+            let cfg = ExecConfig {
+                quantum: q,
+                sched_seed: seed,
+                ..ExecConfig::default()
+            };
+            let mut s = RecordingSink::default();
+            let out_b = run(&m, &cfg, &mut s).unwrap();
+            assert_eq!(out_b, out, "quantum={q} seed={seed}");
+            assert_eq!(s, base, "quantum={q} seed={seed}");
+        }
     }
 }

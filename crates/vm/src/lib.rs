@@ -52,7 +52,7 @@ pub use analysis::{BlockInfo, ModuleAnalysis, PredKind};
 pub use batch::{BatchingSink, EventBatch, EventTag, DEFAULT_BATCH_EVENTS};
 pub use compiler::compile;
 pub use error::{Trap, TrapKind};
-pub use events::{CountingSink, Event, NullSink, RecordingSink, Time, TraceSink};
+pub use events::{CountingSink, Event, NullSink, RecordingSink, Tid, Time, TraceSink};
 pub use interp::{run, ExecConfig, ExecOutcome, Interp};
 pub use module::{FuncInfo, GlobalInfo, Module};
 pub use op::{pack_ref, unpack_ref, BlockId, Op, Pc};

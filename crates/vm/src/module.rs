@@ -94,6 +94,13 @@ impl Module {
         self.span_at(pc).line()
     }
 
+    /// Whether the program contains `spawn` (it may run more than one
+    /// thread). Drives trace format selection: single-threaded modules keep
+    /// writing v1 traces byte-for-byte.
+    pub fn uses_threads(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, Op::Spawn(_)))
+    }
+
     /// Looks up a function by source name.
     pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &FuncInfo)> {
         self.funcs

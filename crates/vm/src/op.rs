@@ -108,6 +108,11 @@ pub enum Op {
     CallIntrinsic(Intrinsic),
     /// `[v] -> []`; pop frame and deliver `v` to the caller's stack.
     Ret,
+
+    /// `[] -> []`; start a new thread running the synthesized function.
+    Spawn(FuncId),
+    /// `[] -> []`; block until all live direct children have finished.
+    Join,
 }
 
 impl Op {
@@ -158,6 +163,8 @@ impl fmt::Display for Op {
             Op::Call(id) => write!(f, "call {id}"),
             Op::CallIntrinsic(i) => write!(f, "icall {}", i.name()),
             Op::Ret => write!(f, "ret"),
+            Op::Spawn(id) => write!(f, "spawn {id}"),
+            Op::Join => write!(f, "join"),
         }
     }
 }

@@ -66,6 +66,8 @@ pub struct Workload {
     pub name: &'static str,
     /// Mini-C source.
     pub source: &'static str,
+    /// Repo-relative path of the program file `source` was included from.
+    pub source_path: &'static str,
     /// What the program models.
     pub description: &'static str,
     /// Base input size (scaled by [`Scale::factor`]).
@@ -200,10 +202,24 @@ impl Workload {
     }
 }
 
-/// The full suite, in the paper's Table III order (197.parser, bzip2,
-/// gzip, 130.li, ogg, aes, par2, delaunay).
+/// The full suite: the paper's eight benchmarks in Table III order
+/// (197.parser, bzip2, gzip, 130.li, ogg, aes, par2, delaunay), followed
+/// by three explicitly threaded workloads (producer_consumer, pipeline,
+/// false_sharing) that exercise `spawn`/`join` and cross-thread
+/// dependence classification.
 pub fn all() -> &'static [Workload] {
     &SUITE
+}
+
+/// The paper's eight benchmarks (the prefix of [`all`] without the
+/// threaded additions) — the set the Table III–V experiments run over.
+pub fn paper_suite() -> &'static [Workload] {
+    &all()[..8]
+}
+
+/// The explicitly threaded workloads (the `spawn`/`join` programs).
+pub fn threaded_suite() -> &'static [Workload] {
+    &all()[8..]
 }
 
 /// Looks a workload up by name.
@@ -216,6 +232,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "197.parser",
             source: include_str!("../programs/parser197.mc"),
+            source_path: "crates/workloads/programs/parser197.mc",
             description: "dictionary load (serial, I/O bound) + sentence parsing",
             base_input: 420,
             seed: 197,
@@ -234,6 +251,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "bzip2",
             source: include_str!("../programs/bzip2.mc"),
+            source_path: "crates/workloads/programs/bzip2.mc",
             description: "per-file block-sort compressor with shared BZFILE state",
             base_input: 420,
             seed: 256,
@@ -260,6 +278,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "gzip-1.3.5",
             source: include_str!("../programs/gzip.mc"),
+            source_path: "crates/workloads/programs/gzip.mc",
             description: "Fig. 2's zip/flush_block structure with bit packing",
             base_input: 600,
             seed: 135,
@@ -276,6 +295,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "130.li",
             source: include_str!("../programs/lisp130.mc"),
+            source_path: "crates/workloads/programs/lisp130.mc",
             description: "xlisp-like loader + batch evaluation loop",
             base_input: 200,
             seed: 130,
@@ -295,6 +315,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "ogg",
             source: include_str!("../programs/ogg.mc"),
+            source_path: "crates/workloads/programs/ogg.mc",
             description: "per-file audio encoder with shared error/sample state",
             base_input: 512,
             seed: 101,
@@ -316,6 +337,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "aes",
             source: include_str!("../programs/aes.mc"),
+            source_path: "crates/workloads/programs/aes.mc",
             description: "counter-mode cipher; serial byte staging + ivec chain",
             base_input: 512,
             seed: 128,
@@ -332,6 +354,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "par2",
             source: include_str!("../programs/par2.mc"),
+            source_path: "crates/workloads/programs/par2.mc",
             description: "Reed-Solomon parity with serial staging I/O",
             base_input: 1024,
             seed: 742,
@@ -357,6 +380,7 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
         Workload {
             name: "delaunay",
             source: include_str!("../programs/delaunay.mc"),
+            source_path: "crates/workloads/programs/delaunay.mc",
             description: "worklist mesh refinement; dense cross-iteration deps",
             base_input: 150,
             seed: 77,
@@ -375,6 +399,38 @@ static SUITE: std::sync::LazyLock<Vec<Workload>> = std::sync::LazyLock::new(|| {
                 expected_speedup: (0.4, 1.1),
             }),
         },
+        Workload {
+            name: "producer_consumer",
+            source: include_str!("../programs/producer_consumer.mc"),
+            source_path: "crates/workloads/programs/producer_consumer.mc",
+            description: "spawned producer fills a buffer the main thread consumes",
+            base_input: 400,
+            seed: 311,
+            input_kind: InputKind::Bytes,
+            // Already explicitly threaded in the source; the paper's
+            // what-if parallelization question does not apply.
+            parallel: None,
+        },
+        Workload {
+            name: "pipeline",
+            source: include_str!("../programs/pipeline.mc"),
+            source_path: "crates/workloads/programs/pipeline.mc",
+            description: "three-stage decode/filter/reduce pipeline, one thread per stage",
+            base_input: 384,
+            seed: 433,
+            input_kind: InputKind::Bytes,
+            parallel: None,
+        },
+        Workload {
+            name: "false_sharing",
+            source: include_str!("../programs/false_sharing.mc"),
+            source_path: "crates/workloads/programs/false_sharing.mc",
+            description: "two workers with disjoint slots contending on one shared word",
+            base_input: 360,
+            seed: 547,
+            input_kind: InputKind::Bytes,
+            parallel: None,
+        },
     ]
 });
 
@@ -384,7 +440,7 @@ mod tests {
 
     #[test]
     fn suite_has_the_papers_eight_benchmarks() {
-        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        let names: Vec<_> = paper_suite().iter().map(|w| w.name).collect();
         assert_eq!(
             names,
             vec![
@@ -398,6 +454,25 @@ mod tests {
                 "delaunay"
             ]
         );
+    }
+
+    #[test]
+    fn threaded_suite_spawns_and_the_paper_suite_does_not() {
+        let names: Vec<_> = threaded_suite().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["producer_consumer", "pipeline", "false_sharing"]
+        );
+        for w in threaded_suite() {
+            assert!(w.module().uses_threads(), "{} must spawn", w.name);
+        }
+        for w in paper_suite() {
+            assert!(
+                !w.module().uses_threads(),
+                "{} must stay single-threaded",
+                w.name
+            );
+        }
     }
 
     #[test]

@@ -20,8 +20,9 @@ use alchemist_parsim::{
 };
 use alchemist_trace::{decode_batches_par, ChunkInfo, MultiSink, TraceReader, TraceWriter};
 use alchemist_vm::{
-    CountingSink, EventBatch, ExecConfig, NullSink, Pc, Time, TraceSink, DEFAULT_BATCH_EVENTS,
+    CountingSink, EventBatch, ExecConfig, NullSink, Pc, Tid, Time, TraceSink, DEFAULT_BATCH_EVENTS,
 };
+use alchemist_workloads::Scale;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
@@ -334,6 +335,13 @@ fn advise_cmd(args: &[String]) -> Result<(), CliError> {
          ({} tasks, {} joins)",
         best.label, a.threads, sim.speedup, sim.tasks, sim.main_joins
     );
+    if trace.cross_thread_sharing > 0 {
+        println!(
+            "cross-thread: {} dependences already run on separate program \
+             threads (excluded from serialization cost)",
+            trace.cross_thread_sharing
+        );
+    }
     Ok(())
 }
 
@@ -436,8 +444,14 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let f =
         std::fs::File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     let record = || -> Result<_, CliError> {
-        let mut writer = TraceWriter::new(BufWriter::new(f), Some(&source))
-            .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
+        // Threaded programs need the v2 tid column; single-threaded
+        // programs keep emitting byte-identical v1 traces.
+        let mut writer = if module.uses_threads() {
+            TraceWriter::new_v2(BufWriter::new(f), Some(&source))
+        } else {
+            TraceWriter::new(BufWriter::new(f), Some(&source))
+        }
+        .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
         if let Some(n) = chunk_events {
             writer = writer.with_chunk_capacity(n);
         }
@@ -596,11 +610,12 @@ fn run_replay(
     // Header-only scan for stats: chunk metadata, no payload decoding.
     let stats_scan = if need_stats {
         let mut reader = open_trace(path)?;
+        let version = reader.version();
         let source_lines = reader.source().map(|s| s.lines().count());
         let infos = reader
             .read_chunk_infos()
             .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
-        Some((infos, source_lines))
+        Some((version, infos, source_lines))
     } else {
         None
     };
@@ -725,9 +740,10 @@ fn run_replay(
                 render_advise(m, p, batches, summary.total_steps, threads, jobs);
             }
             "stats" => {
-                let (infos, source_lines) = stats_scan.as_ref().expect("scanned above");
+                let (version, infos, source_lines) = stats_scan.as_ref().expect("scanned above");
                 render_stats(
                     path,
+                    *version,
                     infos,
                     *source_lines,
                     summary.events,
@@ -786,6 +802,13 @@ fn render_advise(
          ({} tasks, {} joins)",
         best.label, threads, sim.speedup, sim.tasks, sim.main_joins
     );
+    if trace.cross_thread_sharing > 0 {
+        println!(
+            "cross-thread: {} dependences already run on separate program \
+             threads (excluded from serialization cost)",
+            trace.cross_thread_sharing
+        );
+    }
 }
 
 /// Tracks the span of data addresses the replay touches.
@@ -808,10 +831,10 @@ impl AddrSpan {
 }
 
 impl TraceSink for AddrSpan {
-    fn on_read(&mut self, _t: Time, addr: u32, _pc: Pc) {
+    fn on_read(&mut self, _t: Time, addr: u32, _pc: Pc, _tid: Tid) {
         self.touch(addr);
     }
-    fn on_write(&mut self, _t: Time, addr: u32, _pc: Pc) {
+    fn on_write(&mut self, _t: Time, addr: u32, _pc: Pc, _tid: Tid) {
         self.touch(addr);
     }
 }
@@ -838,17 +861,33 @@ impl CapDrops {
 }
 
 impl TraceSink for CapDrops {
-    fn on_read(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if addr < self.global_words {
-            let _ = self.shadow.on_read(addr, Access { pc, t, node: () });
+            let _ = self.shadow.on_read(
+                addr,
+                Access {
+                    pc,
+                    t,
+                    tid,
+                    node: (),
+                },
+            );
         }
     }
-    fn on_write(&mut self, t: Time, addr: u32, pc: Pc) {
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
         if addr < self.global_words {
             // The audit only wants the shadow's counters; the detected
             // dependences themselves are discarded.
-            self.shadow
-                .on_write(addr, Access { pc, t, node: () }, &mut |_, _| {});
+            self.shadow.on_write(
+                addr,
+                Access {
+                    pc,
+                    t,
+                    tid,
+                    node: (),
+                },
+                &mut |_, _| {},
+            );
         }
     }
 }
@@ -858,6 +897,7 @@ impl TraceSink for CapDrops {
 #[allow(clippy::too_many_arguments)]
 fn render_stats(
     path: &str,
+    version: u16,
     infos: &[ChunkInfo],
     source_lines: Option<usize>,
     events: u64,
@@ -870,7 +910,7 @@ fn render_stats(
         .map_err(|e| format!("cannot stat {path}: {e}"))?
         .len();
     let payload: u64 = infos.iter().map(|c| c.payload_bytes).sum();
-    println!("trace {path}: format v1");
+    println!("trace {path}: format v{version}");
     match source_lines {
         Some(n) => println!("embedded source: yes ({n} lines)"),
         None => println!("embedded source: no"),
@@ -967,12 +1007,29 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 .as_ref()
                 .and_then(|p| p.paper_speedup)
                 .map_or("null".to_owned(), |s| format!("{s}"));
+            // One Tiny-scale run per workload yields the exact event count
+            // a recording of it would contain (the suite is deterministic,
+            // so these are stable facts, not estimates).
+            let module = w.module();
+            let mut counts = CountingSink::default();
+            let out = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut counts)
+                .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?;
+            let events = counts.enters
+                + counts.exits
+                + counts.blocks
+                + counts.predicates
+                + counts.reads
+                + counts.writes;
             println!(
-                "  {{\"name\": \"{}\", \"loc\": {}, \"description\": \"{}\", \
-                 \"paper_speedup\": {}}}{}",
+                "  {{\"name\": \"{}\", \"loc\": {}, \"description\": \"{}\", \"source\": \"{}\", \
+                 \"threaded\": {}, \"events\": {}, \"steps\": {}, \"paper_speedup\": {}}}{}",
                 json_escape(w.name),
                 w.loc(),
                 json_escape(w.description),
+                json_escape(w.source_path),
+                module.uses_threads(),
+                events,
+                out.steps,
                 speedup,
                 if i + 1 < suite.len() { "," } else { "" }
             );

@@ -25,7 +25,14 @@ fn record_with(w: &alchemist_workloads::Workload, batch_events: usize) -> (Modul
         batch_events,
         ..w.exec_config(Scale::Tiny)
     };
-    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    // Threaded workloads carry non-main tids, which only the v2 format
+    // encodes; single-threaded ones stay on v1 (pinned byte-identical).
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header");
     let outcome = alchemist_vm::run(&module, &cfg, &mut writer)
         .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
     let (bytes, _) = writer.finish(outcome.steps).expect("finish");

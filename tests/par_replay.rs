@@ -16,7 +16,14 @@ use alchemist_workloads::Scale;
 /// Records one workload run into an in-memory trace.
 fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64) {
     let module = w.module();
-    let mut writer = TraceWriter::new(Vec::new(), Some(w.source)).expect("header");
+    // Threaded workloads need the v2 tid column; the paper's eight stay
+    // on v1 so their byte-level format is untouched.
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header");
     let outcome = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer)
         .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
     let (bytes, _) = writer.finish(outcome.steps).expect("finish");
@@ -35,10 +42,15 @@ fn parallel_replay_profile_equals_sequential_and_live_for_every_workload() {
         )
         .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
         // Chunk-parallel decode must reproduce the recorded stream.
-        let seq_events: Vec<Event> = TraceReader::new(bytes.as_slice())
-            .expect("header")
-            .map(|e| e.expect("decode"))
-            .collect();
+        let reader = TraceReader::new(bytes.as_slice()).expect("header");
+        let expected_version = if module.uses_threads() { 2 } else { 1 };
+        assert_eq!(
+            reader.version(),
+            expected_version,
+            "{}: wrong .alct format version",
+            w.name
+        );
+        let seq_events: Vec<Event> = reader.map(|e| e.expect("decode")).collect();
         let (events, summary) =
             decode_events_par(TraceReader::new(bytes.as_slice()).expect("header"), 4)
                 .expect("parallel decode");

@@ -17,6 +17,14 @@ fn tiny_scale_outputs_are_pinned() {
         ("aes", 137708, 32, vec![512, 32]),
         ("par2", 417422, 1024, vec![4, 1024]),
         ("delaunay", 664613, 1166, vec![508, 1016, 1166]),
+        ("producer_consumer", 34042, 729340, vec![400, 400, 729340]),
+        ("pipeline", 33843, 73144, vec![61105, 49315, 73144]),
+        (
+            "false_sharing",
+            10873,
+            172226,
+            vec![21533, 21457, 342, 172226],
+        ),
     ];
     assert_eq!(golden.len(), workloads::all().len(), "all workloads pinned");
     for (name, steps, exit, output) in golden {
@@ -54,4 +62,52 @@ fn workload_self_checks_hold() {
         .unwrap()
         .run_native(Scale::Tiny);
     assert!(del.output[2] > del.output[0], "refinement grew the mesh");
+
+    let pc = workloads::by_name("producer_consumer")
+        .unwrap()
+        .run_native(Scale::Tiny);
+    assert_eq!(pc.output[0], pc.output[1], "every produced item consumed");
+    assert_eq!(pc.output[0], 400, "producer handled the whole input");
+
+    let fs = workloads::by_name("false_sharing")
+        .unwrap()
+        .run_native(Scale::Tiny);
+    assert_eq!(
+        fs.output[2], 342,
+        "the contended stamp reflects the deterministic interleaving \
+         (lost updates are possible but must be reproducible)"
+    );
+}
+
+#[test]
+fn threaded_workloads_profile_cross_thread_dependences() {
+    // The thread-aware profiler must classify a healthy share of each
+    // threaded workload's dependences as cross-thread, and the eight
+    // single-threaded programs must show none.
+    let expected: &[(&str, u64, u64)] = &[
+        ("producer_consumer", 6795, 402),
+        ("pipeline", 4219, 772),
+        ("false_sharing", 1818, 340),
+    ];
+    for (name, intra, cross) in expected {
+        let w = workloads::by_name(name).expect("workload exists");
+        let (_, profile, _) = w.profile(Scale::Tiny);
+        assert_eq!(
+            profile.intra_thread_deps, *intra,
+            "{name}: intra-thread count drifted"
+        );
+        assert_eq!(
+            profile.cross_thread_deps, *cross,
+            "{name}: cross-thread count drifted"
+        );
+        assert!(*cross > 0, "{name} must share across threads");
+    }
+    for w in workloads::paper_suite() {
+        let (_, profile, _) = w.profile(Scale::Tiny);
+        assert_eq!(
+            profile.cross_thread_deps, 0,
+            "{}: single-threaded programs have no cross-thread deps",
+            w.name
+        );
+    }
 }
