@@ -11,6 +11,9 @@
 //!
 //! * `live_profile` — run the interpreter with the online profiler attached
 //!   (the paper's Table III configuration);
+//! * `live_profile_metrics` — the same path with an `obs::Metrics` handle
+//!   attached to the interpreter (the `--metrics` configuration); the
+//!   harness asserts the aggregate overhead stays under 5% ns/event;
 //! * `replay_profile_batched` — sequential batched replay of a recorded
 //!   trace into the profiler;
 //! * `replay_profile_batched_par4` — the full `replay --jobs 4` pipeline
@@ -26,6 +29,7 @@
 //! trajectories can be diffed across commits without scraping bench logs.
 
 use alchemist_core::{profile_batches_par, AlchemistProfiler, ProfileConfig};
+use alchemist_obs::{Counter, Metrics};
 use alchemist_trace::{decode_batches_par, TraceReader, TraceWriter};
 use alchemist_vm::DEFAULT_BATCH_EVENTS;
 use alchemist_workloads::Scale;
@@ -54,7 +58,16 @@ fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     best
 }
 
-fn measure_workload(w: &alchemist_workloads::Workload, iters: usize, rows: &mut Vec<Row>) {
+/// Accumulated best-of wall times for the metrics-overhead gate:
+/// `(live_profile_ns, live_profile_metrics_ns)`, summed over workloads.
+type OverheadTotals = (f64, f64);
+
+fn measure_workload(
+    w: &alchemist_workloads::Workload,
+    iters: usize,
+    rows: &mut Vec<Row>,
+    totals: &mut OverheadTotals,
+) {
     let module = w.module();
     let cfg = w.exec_config(Scale::Tiny);
 
@@ -70,7 +83,11 @@ fn measure_workload(w: &alchemist_workloads::Workload, iters: usize, rows: &mut 
     let (bytes, stats) = writer.finish(outcome.steps).expect("finish");
     let events = stats.events;
 
-    let live_ns = best_of(iters, || {
+    // The live/metrics pair feeds the overhead assertion, so even quick
+    // mode takes best-of-3: the minimum converges on the true pass time
+    // and keeps a one-shot scheduling hiccup from tripping the gate.
+    let oiters = iters.max(3);
+    let live_ns = best_of(oiters, || {
         let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
         alchemist_vm::run(&module, &cfg, &mut prof).expect("workload runs");
         let _ = std::hint::black_box(prof.into_profile(outcome.steps));
@@ -81,6 +98,27 @@ fn measure_workload(w: &alchemist_workloads::Workload, iters: usize, rows: &mut 
         events,
         ns_per_event: live_ns / events as f64,
     });
+
+    let metrics_ns = best_of(oiters, || {
+        let metrics = Metrics::new();
+        let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+        alchemist_vm::run_with_metrics(&module, &cfg, &mut prof, Some(&metrics))
+            .expect("workload runs");
+        let _ = std::hint::black_box(prof.into_profile(outcome.steps));
+        assert_eq!(
+            metrics.get(Counter::VmEvents),
+            events,
+            "meter sees every event"
+        );
+    });
+    rows.push(Row {
+        workload: w.name,
+        path: "live_profile_metrics",
+        events,
+        ns_per_event: metrics_ns / events as f64,
+    });
+    totals.0 += live_ns;
+    totals.1 += metrics_ns;
 
     let seq_ns = best_of(iters, || {
         let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
@@ -155,10 +193,29 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut totals: OverheadTotals = (0.0, 0.0);
     for w in alchemist_workloads::all() {
         eprintln!("measuring {} ({} passes per path)...", w.name, iters);
-        measure_workload(w, iters, &mut rows);
+        measure_workload(w, iters, &mut rows, &mut totals);
     }
+
+    // Metrics must be observationally free: aggregated over every workload
+    // (so per-workload timer noise averages out), attaching a Metrics
+    // handle to the live profiling path may cost at most 5% ns/event. The
+    // small absolute slack absorbs clock granularity on sub-ms passes.
+    let (base_ns, metered_ns) = totals;
+    let overhead = (metered_ns - base_ns) / base_ns * 100.0;
+    eprintln!(
+        "metrics-on overhead: {overhead:+.2}% ({:.3} ms -> {:.3} ms aggregate best-of)",
+        base_ns / 1e6,
+        metered_ns / 1e6
+    );
+    assert!(
+        metered_ns <= base_ns * 1.05 + 50_000.0,
+        "metrics-on live profiling exceeded the 5% overhead budget: \
+         {base_ns:.0} ns -> {metered_ns:.0} ns ({overhead:+.2}%)"
+    );
+
     let json = render_json(&rows);
     match out_path {
         Some(path) => {

@@ -67,7 +67,8 @@ pub use report::{ConstructReport, EdgeReport, Fig6Point, ProfileReport};
 pub use runner::{profile_batches, profile_events, profile_module, profile_source, ProfileOutcome};
 pub use shadow::{ShadowStats, INLINE_READERS, PAGE_WORDS};
 pub use shard::{
-    merge_shard_profiles, partition_batch, profile_batches_par, profile_events_par, run_sharded,
-    run_sharded_batched, shard_batch_counts, shard_event_counts, shard_of, ShardFilter,
+    merge_shard_profiles, partition_batch, profile_batches_par, profile_batches_par_with,
+    profile_events_par, run_sharded, run_sharded_batched, run_sharded_batched_with,
+    shard_batch_counts, shard_event_counts, shard_of, ShardFilter,
 };
 pub use stats::{constructs_to_csv, edges_to_csv, DistanceHistogram};

@@ -40,7 +40,9 @@ use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
 use crate::runner::{profile_batches, profile_events};
 use alchemist_lang::hir::FuncId;
+use alchemist_obs::{span_opt, Counter, Metrics, ShardMetrics, Stage};
 use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Tid, Time, TraceSink};
+use std::time::Instant;
 
 /// The shard owning `addr` when the address space is split `jobs` ways.
 #[inline]
@@ -219,6 +221,30 @@ where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
 {
+    run_sharded_batched_with(batches, jobs, None, make_sink)
+}
+
+/// [`run_sharded_batched`] with self-instrumentation: when `metrics` is
+/// `Some`, the partition/send loop runs under a `shard_partition` stage
+/// span, the sender's per-shard channel-send wait and the workers'
+/// recv-wait / busy time / delivered row counts are folded into per-shard
+/// [`ShardMetrics`] at join, and the batch/sub-batch counters are bumped.
+/// All timing is one clock pair per *sub-batch* (thousands of events), and
+/// with `None` this *is* [`run_sharded_batched`] — no clock reads at all.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded_batched_with<S, F>(
+    batches: &[EventBatch],
+    jobs: usize,
+    metrics: Option<&Metrics>,
+    make_sink: F,
+) -> Vec<S>
+where
+    S: TraceSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
     let jobs = jobs.clamp(1, u32::MAX as usize);
     std::thread::scope(|s| {
         let make_sink = &make_sink;
@@ -227,9 +253,27 @@ where
                 let (tx, rx) = std::sync::mpsc::sync_channel::<EventBatch>(4);
                 let handle = s.spawn(move || {
                     let mut sink = make_sink(k as u32);
-                    while let Ok(sub) = rx.recv() {
+                    let Some(m) = metrics else {
+                        while let Ok(sub) = rx.recv() {
+                            sink.on_batch(&sub);
+                        }
+                        return sink;
+                    };
+                    let mut sm = ShardMetrics {
+                        shard: k,
+                        ..ShardMetrics::default()
+                    };
+                    loop {
+                        let t0 = Instant::now();
+                        let Ok(sub) = rx.recv() else { break };
+                        sm.recv_wait_ns += t0.elapsed().as_nanos() as u64;
+                        sm.events += sub.len() as u64;
+                        sm.mem_events += sub.tags().iter().filter(|t| t.is_memory()).count() as u64;
+                        let t1 = Instant::now();
                         sink.on_batch(&sub);
+                        sm.busy_ns += t1.elapsed().as_nanos() as u64;
                     }
+                    m.record_shard(sm);
                     sink
                 });
                 (tx, handle)
@@ -237,10 +281,33 @@ where
             .unzip();
         // One partitioning pass over the stream, instead of one filtered
         // scan per worker; workers consume concurrently as batches split.
-        for batch in batches {
-            for (k, sub) in partition_batch(batch, jobs as u32).into_iter().enumerate() {
-                if !sub.is_empty() {
-                    senders[k].send(sub).expect("shard worker hung up");
+        {
+            let _partition_span = span_opt(metrics, Stage::ShardPartition);
+            let mut send_wait: Vec<u64> = vec![0; if metrics.is_some() { jobs } else { 0 }];
+            let mut sent = 0u64;
+            for batch in batches {
+                for (k, sub) in partition_batch(batch, jobs as u32).into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        sent += 1;
+                        if metrics.is_some() {
+                            let t0 = Instant::now();
+                            senders[k].send(sub).expect("shard worker hung up");
+                            send_wait[k] += t0.elapsed().as_nanos() as u64;
+                        } else {
+                            senders[k].send(sub).expect("shard worker hung up");
+                        }
+                    }
+                }
+            }
+            if let Some(m) = metrics {
+                m.add(Counter::ShardBatchesPartitioned, batches.len() as u64);
+                m.add(Counter::ShardSubBatchesSent, sent);
+                for (k, ns) in send_wait.into_iter().enumerate() {
+                    m.record_shard(ShardMetrics {
+                        shard: k,
+                        send_wait_ns: ns,
+                        ..ShardMetrics::default()
+                    });
                 }
             }
         }
@@ -349,13 +416,17 @@ pub fn profile_events_par(
     let profilers = run_sharded(events, jobs, |_| {
         AlchemistProfiler::new(module, config.clone())
     });
-    finish_shard_profilers(profilers, total_steps)
+    finish_shard_profilers(profilers, total_steps, None)
 }
 
 /// Extracts per-shard profiles from finished profilers and merges them.
+/// When `metrics` is `Some`, each shard's shadow-layout telemetry (pages
+/// faulted, read-set spills) is recorded per shard and the merge runs under
+/// a `merge` stage span.
 fn finish_shard_profilers(
     profilers: Vec<AlchemistProfiler<'_>>,
     total_steps: u64,
+    metrics: Option<&Metrics>,
 ) -> (DepProfile, PoolStats, usize) {
     let mut shards: Vec<(DepProfile, PoolStats, usize)> = profilers
         .into_iter()
@@ -372,7 +443,18 @@ fn finish_shard_profilers(
             .all(|(_, ps, d)| (*ps, *d) == (pool_stats, max_depth)),
         "control-derived statistics must be identical across shards"
     );
+    if let Some(m) = metrics {
+        for (k, (profile, _, _)) in shards.iter().enumerate() {
+            m.record_shard(ShardMetrics {
+                shard: k,
+                pages_allocated: profile.shadow_stats.pages_allocated,
+                read_set_spills: profile.shadow_stats.read_set_spills,
+                ..ShardMetrics::default()
+            });
+        }
+    }
     let profiles = shards.drain(..).map(|(p, _, _)| p).collect();
+    let _merge_span = span_opt(metrics, Stage::Merge);
     (merge_shard_profiles(profiles), pool_stats, max_depth)
 }
 
@@ -410,13 +492,43 @@ pub fn profile_batches_par(
     config: ProfileConfig,
     jobs: usize,
 ) -> (DepProfile, PoolStats, usize) {
-    if jobs <= 1 {
-        return profile_batches(module, batches, total_steps, config);
+    profile_batches_par_with(module, batches, total_steps, config, jobs, None)
+}
+
+/// [`profile_batches_par`] with self-instrumentation: when `metrics` is
+/// `Some`, the sharded fan-out records per-shard channel waits, busy time,
+/// delivered row counts and shadow telemetry (via
+/// [`run_sharded_batched_with`]), the merge runs under a `merge` stage
+/// span, and the `profile.events` / `profile.deps` counters are bumped
+/// with the stream's event count and the merged dependence-detection
+/// total. The produced profile is **equal** to the uninstrumented one.
+pub fn profile_batches_par_with(
+    module: &Module,
+    batches: &[EventBatch],
+    total_steps: u64,
+    config: ProfileConfig,
+    jobs: usize,
+    metrics: Option<&Metrics>,
+) -> (DepProfile, PoolStats, usize) {
+    let result = if jobs <= 1 {
+        profile_batches(module, batches, total_steps, config)
+    } else {
+        let profilers = run_sharded_batched_with(batches, jobs, metrics, |_| {
+            AlchemistProfiler::new(module, config.clone())
+        });
+        finish_shard_profilers(profilers, total_steps, metrics)
+    };
+    if let Some(m) = metrics {
+        m.add(
+            Counter::ProfileEvents,
+            batches.iter().map(|b| b.len() as u64).sum(),
+        );
+        m.add(
+            Counter::ProfileDeps,
+            result.0.intra_thread_deps + result.0.cross_thread_deps,
+        );
     }
-    let profilers = run_sharded_batched(batches, jobs, |_| {
-        AlchemistProfiler::new(module, config.clone())
-    });
-    finish_shard_profilers(profilers, total_steps)
+    result
 }
 
 #[cfg(test)]
@@ -602,6 +714,55 @@ mod tests {
                 assert_eq!(depth, seq_depth, "batch_size={batch_size} jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn instrumented_sharded_profile_equals_uninstrumented() {
+        let (module, events, steps) = record(CHURN);
+        let batches = to_batches(&events, 16);
+        let jobs = 3usize;
+        let (plain, _, _) =
+            profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs);
+        let m = Metrics::new();
+        let (instr, _, _) = profile_batches_par_with(
+            &module,
+            &batches,
+            steps,
+            ProfileConfig::default(),
+            jobs,
+            Some(&m),
+        );
+        assert_eq!(instr, plain);
+
+        // Counters describe the stream and the merged profile.
+        let total_events: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        assert_eq!(m.get(Counter::ProfileEvents), total_events);
+        assert_eq!(
+            m.get(Counter::ProfileDeps),
+            plain.intra_thread_deps + plain.cross_thread_deps
+        );
+        assert_eq!(
+            m.get(Counter::ShardBatchesPartitioned),
+            batches.len() as u64
+        );
+        assert!(m.get(Counter::ShardSubBatchesSent) >= batches.len() as u64);
+
+        // Per-shard rows: one per shard, mem rows partition exactly, and
+        // every shard carries its shadow telemetry.
+        let shards = m.shards();
+        assert_eq!(shards.len(), jobs);
+        let expect_counts = shard_batch_counts(&batches, jobs);
+        for (k, sm) in shards.iter().enumerate() {
+            assert_eq!(sm.shard, k);
+            assert_eq!(sm.mem_events, expect_counts[k], "shard {k}");
+            assert!(sm.events >= sm.mem_events);
+        }
+        let pages: u64 = shards.iter().map(|s| s.pages_allocated).sum();
+        assert_eq!(pages, plain.shadow_stats.pages_allocated);
+
+        // Stage spans fired exactly once each.
+        assert_eq!(m.stage(Stage::ShardPartition).1, 1);
+        assert_eq!(m.stage(Stage::Merge).1, 1);
     }
 
     #[test]

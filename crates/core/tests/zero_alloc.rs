@@ -10,6 +10,7 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{ConstructKind, ConstructPool, DepKind, DepProfile, INLINE_READERS};
+use alchemist_obs::{Counter, Hist, Metrics, ShardMetrics, Stage};
 use alchemist_vm::{Pc, Tid, Time};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -158,6 +159,39 @@ fn steady_state_hot_path_performs_no_heap_allocation() {
         record_allocs, 0,
         "steady-state record_dependence allocated {record_allocs} times over 100k updates"
     );
+
+    // --- Metrics: every hot-path recording operation is allocation-free. -
+    // Counters, stage spans and histograms are fixed atomic arrays; only
+    // the per-shard and per-thread merges may allocate, and those run once
+    // at join time — so pre-warm them, then hammer the hot operations.
+    let metrics = Metrics::new();
+    metrics.record_shard(ShardMetrics {
+        shard: 0,
+        ..ShardMetrics::default()
+    });
+    metrics.record_thread_quanta(0, 1);
+    let metrics_allocs = min_allocs_over_attempts(|| {
+        for i in 0..100_000u64 {
+            metrics.incr(Counter::ProfileEvents);
+            metrics.add(Counter::ProfileDeps, i % 3);
+            metrics.observe_ns(Hist::DecodeChunkNs, i * 37);
+            metrics.record_span(Stage::Decode, i % 1000);
+            if i % 1000 == 999 {
+                // Warm shard/tid rows merge in place.
+                metrics.record_shard(ShardMetrics {
+                    shard: 0,
+                    events: i,
+                    ..ShardMetrics::default()
+                });
+                metrics.record_thread_quanta(0, 1);
+            }
+        }
+    });
+    assert_eq!(
+        metrics_allocs, 0,
+        "steady-state metrics recording allocated {metrics_allocs} times over 100k operations"
+    );
+    assert!(metrics.get(Counter::ProfileEvents) >= 100_000);
 
     // --- Sanity: the counter itself works (a fresh page must count). -----
     let before = allocs();

@@ -29,6 +29,7 @@ use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::shard::{run_sharded, run_sharded_batched};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
+use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 use alchemist_vm::{
     BlockId, Event, EventBatch, ExecConfig, Module, Pc, Tid, Time, TraceSink, Trap,
 };
@@ -417,17 +418,40 @@ pub fn extract_tasks_from_batches_par(
     total_steps: u64,
     jobs: usize,
 ) -> TaskTrace {
-    if jobs <= 1 {
+    extract_tasks_from_batches_par_with(module, config, batches, total_steps, jobs, None)
+}
+
+/// [`extract_tasks_from_batches_par`] with self-instrumentation: when
+/// `metrics` is `Some`, the whole extraction runs under an `extract` stage
+/// span and the `parsim.tasks_extracted` counter is bumped with the trace's
+/// task count. The internal shard fan-out is *not* instrumented — per-shard
+/// metrics rows stay reserved for the dependence-profiling shards, so a
+/// combined `replay` invocation reports one coherent shard table.
+pub fn extract_tasks_from_batches_par_with(
+    module: &Module,
+    config: ExtractConfig,
+    batches: &[EventBatch],
+    total_steps: u64,
+    jobs: usize,
+    metrics: Option<&Metrics>,
+) -> TaskTrace {
+    let _extract_span = span_opt(metrics, Stage::Extract);
+    let trace = if jobs <= 1 {
         let mut extractor = TaskExtractor::new(module, config);
         for batch in batches {
             extractor.on_batch(batch);
         }
-        return extractor.into_trace(total_steps);
+        extractor.into_trace(total_steps)
+    } else {
+        let extractors = run_sharded_batched(batches, jobs, |_| {
+            TaskExtractor::new(module, config.clone())
+        });
+        merge_shard_traces(extractors, total_steps)
+    };
+    if let Some(m) = metrics {
+        m.add(Counter::ParsimTasksExtracted, trace.tasks.len() as u64);
     }
-    let extractors = run_sharded_batched(batches, jobs, |_| {
-        TaskExtractor::new(module, config.clone())
-    });
-    merge_shard_traces(extractors, total_steps)
+    trace
 }
 
 /// Merges per-shard extractor results: shard 0's control-derived task list

@@ -65,7 +65,9 @@ pub mod varint;
 pub mod writer;
 
 pub use error::TraceError;
-pub use par::{decode_batches_par, decode_chunk, decode_chunk_into, decode_events_par};
+pub use par::{
+    decode_batches_par, decode_batches_par_with, decode_chunk, decode_chunk_into, decode_events_par,
+};
 pub use reader::{ChunkInfo, RawChunk, ReplaySummary, TraceReader};
 pub use tee::{MultiSink, Tee};
 pub use writer::{TraceStats, TraceWriter, DEFAULT_CHUNK_EVENTS};

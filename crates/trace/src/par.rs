@@ -16,9 +16,11 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::reader::{RawChunk, ReplaySummary, TraceReader};
+use alchemist_obs::{span_opt, Counter, Hist, Metrics, Stage};
 use alchemist_vm::{Event, EventBatch, Tid};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Decodes one raw chunk into its events.
 ///
@@ -185,14 +187,39 @@ pub fn decode_events_par<R: Read>(
 /// Structural errors from the chunk scan, or the first (in trace order)
 /// payload decode error — matching [`decode_events_par`].
 pub fn decode_batches_par<R: Read>(
-    mut reader: TraceReader<R>,
+    reader: TraceReader<R>,
     jobs: usize,
 ) -> Result<(Vec<EventBatch>, ReplaySummary), TraceError> {
+    decode_batches_par_with(reader, jobs, None)
+}
+
+/// [`decode_batches_par`] with self-instrumentation: when `metrics` is
+/// `Some`, the whole fan-out runs under a `decode` stage span, every worker
+/// records its chunk's decode latency into [`Hist::DecodeChunkNs`] plus the
+/// chunk/byte counters, and the total decoded event count is folded in at
+/// the end. With `None` this *is* [`decode_batches_par`] — not even a clock
+/// read on any path.
+///
+/// # Errors
+///
+/// Same as [`decode_batches_par`].
+pub fn decode_batches_par_with<R: Read>(
+    mut reader: TraceReader<R>,
+    jobs: usize,
+    metrics: Option<&Metrics>,
+) -> Result<(Vec<EventBatch>, ReplaySummary), TraceError> {
+    let _decode_span = span_opt(metrics, Stage::Decode);
     let (chunks, total_steps) = reader.read_raw_chunks()?;
     let jobs = jobs.max(1).min(chunks.len().max(1));
     let decoded = decode_chunks_ordered(&chunks, jobs, |chunk| {
+        let t0 = metrics.map(|_| Instant::now());
         let mut batch = EventBatch::with_capacity(chunk.events as usize);
         decode_chunk_into(chunk, &mut batch)?;
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.observe_ns(Hist::DecodeChunkNs, t0.elapsed().as_nanos() as u64);
+            m.incr(Counter::TraceChunksDecoded);
+            m.add(Counter::TraceBytesDecoded, chunk.payload.len() as u64);
+        }
         Ok(batch)
     });
     let mut batches = Vec::with_capacity(chunks.len());
@@ -201,6 +228,9 @@ pub fn decode_batches_par<R: Read>(
         let batch = batch?;
         events += batch.len() as u64;
         batches.push(batch);
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::TraceEventsDecoded, events);
     }
     Ok((
         batches,
@@ -285,6 +315,30 @@ mod tests {
                 assert_eq!(b.len() as u64, info.events, "jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn metrics_instrumented_decode_matches_uninstrumented() {
+        let (bytes, live) = sample_trace(7, 40);
+        let m = Metrics::new();
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let (batches, summary) = decode_batches_par_with(reader, 4, Some(&m)).unwrap();
+        let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+        assert_eq!(flat, live.events);
+        assert_eq!(summary.events, live.events.len() as u64);
+
+        let infos = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_chunk_infos()
+            .unwrap();
+        assert_eq!(m.get(Counter::TraceChunksDecoded), infos.len() as u64);
+        assert_eq!(m.get(Counter::TraceEventsDecoded), live.events.len() as u64);
+        assert!(m.get(Counter::TraceBytesDecoded) > 0);
+        let (count, _total) = m.hist_totals(Hist::DecodeChunkNs);
+        assert_eq!(count, infos.len() as u64);
+        let (wall, calls) = m.stage(Stage::Decode);
+        assert_eq!(calls, 1);
+        assert!(wall > 0);
     }
 
     #[test]

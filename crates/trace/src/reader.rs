@@ -7,8 +7,10 @@
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
 use crate::varint;
+use alchemist_obs::{Counter, Metrics};
 use alchemist_vm::{Event, EventBatch, Tid, TraceSink};
 use std::io::Read;
+use std::sync::Arc;
 
 /// Chunk-level metadata, decodable without touching the payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +86,7 @@ pub struct TraceReader<R: Read> {
     total_steps: Option<u64>,
     finished: bool,
     events_read: u64,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -142,7 +145,18 @@ impl<R: Read> TraceReader<R> {
             total_steps: None,
             finished: false,
             events_read: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches a metrics sink: streaming decode counts each loaded chunk
+    /// and its payload bytes, and folds the total decoded event count in at
+    /// the footer. Costs a couple of atomic adds per chunk, nothing per
+    /// event. (Chunk-parallel decode records through
+    /// [`decode_batches_par_with`](crate::decode_batches_par_with) instead.)
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The trace format version.
@@ -213,6 +227,9 @@ impl<R: Read> TraceReader<R> {
         }
         self.total_steps = Some(steps);
         self.finished = true;
+        if let Some(m) = &self.metrics {
+            m.add(Counter::TraceEventsDecoded, self.events_read);
+        }
         Ok(steps)
     }
 
@@ -226,6 +243,10 @@ impl<R: Read> TraceReader<R> {
             return Ok(false);
         }
         self.read_payload(head.payload_len)?;
+        if let Some(m) = &self.metrics {
+            m.incr(Counter::TraceChunksDecoded);
+            m.add(Counter::TraceBytesDecoded, head.payload_len);
+        }
         self.pos = 0;
         if self.version >= format::VERSION_V2 {
             let n = head.events as usize;
@@ -513,6 +534,37 @@ mod tests {
         assert_eq!(replayed, live);
         assert_eq!(summary.events, live.events.len() as u64);
         assert_eq!(r.total_steps(), Some(summary.total_steps));
+    }
+
+    #[test]
+    fn writer_and_streaming_reader_metrics_are_symmetric() {
+        use alchemist_obs::{Counter, Metrics};
+        let m = Arc::new(Metrics::new());
+        let mut w = TraceWriter::new(Vec::new(), None)
+            .unwrap()
+            .with_chunk_capacity(7)
+            .with_metrics(Arc::clone(&m));
+        let mut t = 0;
+        for i in 0..25u32 {
+            w.on_read(t, i, Pc(i), Tid::MAIN);
+            t += 1;
+        }
+        let (bytes, stats) = w.finish(t).unwrap();
+        assert_eq!(m.get(Counter::TraceChunksWritten), stats.chunks);
+        assert_eq!(m.get(Counter::TraceEventsWritten), 25);
+        assert_eq!(m.get(Counter::TraceBytesWritten), stats.bytes);
+
+        let mut r = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .with_metrics(Arc::clone(&m));
+        let mut sink = RecordingSink::default();
+        r.replay_into(&mut sink).unwrap();
+        assert_eq!(
+            m.get(Counter::TraceChunksDecoded),
+            m.get(Counter::TraceChunksWritten)
+        );
+        assert_eq!(m.get(Counter::TraceEventsDecoded), 25);
+        assert!(m.get(Counter::TraceBytesDecoded) > 0);
     }
 
     #[test]

@@ -19,13 +19,14 @@
 //! emit exactly the stream they always did, with every event on
 //! [`Tid::MAIN`].
 
-use crate::batch::BatchingSink;
+use crate::batch::{BatchingSink, EventBatch};
 use crate::error::{Trap, TrapKind};
 use crate::events::{Tid, Time, TraceSink};
 use crate::module::Module;
-use crate::op::{pack_ref, unpack_ref, Op, Pc};
-use alchemist_lang::hir::Intrinsic;
+use crate::op::{pack_ref, unpack_ref, BlockId, Op, Pc};
+use alchemist_lang::hir::{FuncId, Intrinsic};
 use alchemist_lang::{BinOp, UnOp};
+use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 
 /// Execution parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +37,7 @@ pub struct ExecConfig {
     pub stack_words: u32,
     /// Input buffer served by the `input`/`input_len` intrinsics.
     pub input: Vec<i64>,
-    /// Deliver events to the sink in [`EventBatch`](crate::EventBatch)es of
+    /// Deliver events to the sink in [`EventBatch`]es of
     /// this size (one [`TraceSink::on_batch`] call per block) instead of
     /// one callback per event. `0` or `1` keeps the classic per-event
     /// dispatch. The event stream a sink observes is identical either way;
@@ -119,6 +120,8 @@ struct Thread {
     parent: usize,
     /// Direct children that have not finished yet.
     live_children: u32,
+    /// Scheduler slices granted to this thread (metrics only).
+    quanta: u64,
 }
 
 /// Runs `module` to completion.
@@ -161,6 +164,82 @@ pub fn run<S: TraceSink>(
     }
 }
 
+/// Like [`run`], but records VM self-metrics — events delivered, batches
+/// flushed, instructions retired, context switches, spawned threads, and
+/// per-tid scheduler quanta, all under a `exec` stage span — into `metrics`
+/// when it is `Some`. With `None` this *is* [`run`]: no clock reads, no
+/// counter updates, identical code path.
+pub fn run_with_metrics<S: TraceSink>(
+    module: &Module,
+    config: &ExecConfig,
+    sink: &mut S,
+    metrics: Option<&Metrics>,
+) -> Result<ExecOutcome, Trap> {
+    let Some(m) = metrics else {
+        return run(module, config, sink);
+    };
+    let _exec_span = span_opt(Some(m), Stage::Exec);
+    let mut interp = Interp::new(module, config);
+    let mut meter = MeterSink {
+        inner: sink,
+        events: 0,
+        batches: 0,
+    };
+    let result = if config.batch_events > 1 {
+        let mut batcher = BatchingSink::new(&mut meter, config.batch_events);
+        let r = interp.run(&mut batcher);
+        batcher.flush();
+        r
+    } else {
+        interp.run(&mut meter)
+    };
+    m.add(Counter::VmEvents, meter.events);
+    m.add(Counter::VmBatchesFlushed, meter.batches);
+    interp.record_metrics(m);
+    result
+}
+
+/// Counts events/batches flowing through to the wrapped sink. Used only on
+/// the metered path; the counters are plain `u64`s folded into [`Metrics`]
+/// once at the end of the run.
+struct MeterSink<'a, S> {
+    inner: &'a mut S,
+    events: u64,
+    batches: u64,
+}
+
+impl<S: TraceSink> TraceSink for MeterSink<'_, S> {
+    fn on_enter_function(&mut self, t: Time, func: FuncId, fp: u32, tid: Tid) {
+        self.events += 1;
+        self.inner.on_enter_function(t, func, fp, tid);
+    }
+    fn on_exit_function(&mut self, t: Time, func: FuncId, tid: Tid) {
+        self.events += 1;
+        self.inner.on_exit_function(t, func, tid);
+    }
+    fn on_block_entry(&mut self, t: Time, block: BlockId, tid: Tid) {
+        self.events += 1;
+        self.inner.on_block_entry(t, block, tid);
+    }
+    fn on_predicate(&mut self, t: Time, pc: Pc, block: BlockId, taken: bool, tid: Tid) {
+        self.events += 1;
+        self.inner.on_predicate(t, pc, block, taken, tid);
+    }
+    fn on_read(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.events += 1;
+        self.inner.on_read(t, addr, pc, tid);
+    }
+    fn on_write(&mut self, t: Time, addr: u32, pc: Pc, tid: Tid) {
+        self.events += 1;
+        self.inner.on_write(t, addr, pc, tid);
+    }
+    fn on_batch(&mut self, batch: &EventBatch) {
+        self.events += batch.len() as u64;
+        self.batches += 1;
+        self.inner.on_batch(batch);
+    }
+}
+
 /// Interpreter state. Most users call [`run`]; the struct is exposed so the
 /// profiler crates can drive execution with custom configurations.
 #[derive(Debug)]
@@ -186,6 +265,8 @@ pub struct Interp<'m> {
     input: Vec<i64>,
     output: Vec<i64>,
     main_exit: i64,
+    /// Context switches performed (metrics only).
+    ctx_switches: u64,
 }
 
 impl<'m> Interp<'m> {
@@ -212,6 +293,7 @@ impl<'m> Interp<'m> {
                 status: ThreadStatus::Runnable,
                 parent: 0,
                 live_children: 0,
+                quanta: 0,
             }],
             cur_thread: 0,
             tid: Tid::MAIN,
@@ -228,6 +310,7 @@ impl<'m> Interp<'m> {
             input: config.input.clone(),
             output: Vec::new(),
             main_exit: 0,
+            ctx_switches: 0,
         }
     }
 
@@ -269,6 +352,7 @@ impl<'m> Interp<'m> {
     /// Parks the running thread's state at `pc` and resumes `next`,
     /// returning the pc to continue from.
     fn context_switch(&mut self, pc: u32, next: usize) -> u32 {
+        self.ctx_switches += 1;
         let t = &mut self.threads[self.cur_thread];
         t.pc = pc;
         t.operands = std::mem::take(&mut self.operands);
@@ -300,6 +384,7 @@ impl<'m> Interp<'m> {
             ret_pc: u32::MAX,
         });
         sink.on_enter_function(0, self.module.main, fp, Tid::MAIN);
+        self.threads[0].quanta += 1;
 
         let mut pc = entry.0;
         let mut quantum_left = self.quantum;
@@ -309,6 +394,7 @@ impl<'m> Interp<'m> {
                 if let Some(next) = self.next_runnable() {
                     pc = self.context_switch(pc, next);
                 }
+                self.threads[self.cur_thread].quanta += 1;
             }
             quantum_left -= 1;
             if self.steps >= self.max_steps {
@@ -505,6 +591,7 @@ impl<'m> Interp<'m> {
                         status: ThreadStatus::Runnable,
                         parent: self.cur_thread,
                         live_children: 0,
+                        quanta: 0,
                     });
                     self.threads[self.cur_thread].live_children += 1;
                     // The child's root construct opens at spawn time, on
@@ -520,6 +607,7 @@ impl<'m> Interp<'m> {
                         );
                         pc = self.context_switch(pc + 1, next);
                         quantum_left = self.quantum;
+                        self.threads[self.cur_thread].quanta += 1;
                     } else {
                         pc += 1;
                     }
@@ -554,6 +642,7 @@ impl<'m> Interp<'m> {
                             Some(next) => {
                                 pc = self.context_switch(pc, next);
                                 quantum_left = self.quantum;
+                                self.threads[self.cur_thread].quanta += 1;
                             }
                             None => {
                                 return Ok(ExecOutcome {
@@ -569,6 +658,18 @@ impl<'m> Interp<'m> {
                     }
                 }
             }
+        }
+    }
+
+    /// Folds interpreter-side counters (instructions, context switches,
+    /// spawned threads, per-tid quanta) into `m`. Valid after a run, whether
+    /// it finished or trapped.
+    fn record_metrics(&self, m: &Metrics) {
+        m.add(Counter::VmInstructions, self.steps);
+        m.add(Counter::VmContextSwitches, self.ctx_switches);
+        m.add(Counter::VmThreadsSpawned, (self.next_tid - 1) as u64);
+        for t in &self.threads {
+            m.record_thread_quanta(t.tid.0, t.quanta);
         }
     }
 
@@ -1211,6 +1312,97 @@ mod tests {
         let out = exec(src);
         assert_eq!(out.exit_value, 1);
         assert_eq!(out.output, vec![9]);
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn run_with_metrics_counts_events_and_instructions() {
+        use crate::events::RecordingSink;
+        let src = "int g;
+            int add(int x) { g += x; return g; }
+            int main() { int i; for (i = 0; i < 5; i++) add(i); return g; }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut base = RecordingSink::default();
+        let out = run(&m, &ExecConfig::default(), &mut base).unwrap();
+
+        let metrics = Metrics::new();
+        let mut sink = RecordingSink::default();
+        let out_m =
+            run_with_metrics(&m, &ExecConfig::default(), &mut sink, Some(&metrics)).unwrap();
+        assert_eq!(out_m, out, "metering must not perturb execution");
+        assert_eq!(sink, base, "metering must not perturb the event stream");
+        assert_eq!(metrics.get(Counter::VmEvents), base.events.len() as u64);
+        assert_eq!(metrics.get(Counter::VmInstructions), out.steps);
+        assert_eq!(metrics.get(Counter::VmBatchesFlushed), 0, "unbatched run");
+        assert_eq!(metrics.get(Counter::VmThreadsSpawned), 0);
+        assert_eq!(metrics.stage(Stage::Exec).1, 1, "one exec span");
+        // Single-threaded: all quanta on tid 0.
+        let sched = metrics.sched();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].0, 0);
+        assert!(sched[0].1 >= 1);
+    }
+
+    #[test]
+    fn run_with_metrics_batched_counts_batches() {
+        use crate::events::RecordingSink;
+        let src = "int main() { int a[32]; int i; for (i = 0; i < 32; i++) a[i] = i; return 0; }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut base = RecordingSink::default();
+        run(&m, &ExecConfig::default(), &mut base).unwrap();
+
+        let metrics = Metrics::new();
+        let cfg = ExecConfig {
+            batch_events: 16,
+            ..ExecConfig::default()
+        };
+        let mut sink = RecordingSink::default();
+        run_with_metrics(&m, &cfg, &mut sink, Some(&metrics)).unwrap();
+        assert_eq!(sink, base);
+        let events = metrics.get(Counter::VmEvents);
+        assert_eq!(events, base.events.len() as u64);
+        let batches = metrics.get(Counter::VmBatchesFlushed);
+        assert_eq!(batches, events.div_ceil(16));
+    }
+
+    #[test]
+    fn run_with_metrics_none_is_plain_run() {
+        use crate::events::RecordingSink;
+        let src = "int main() { return 6 * 7; }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let mut a = RecordingSink::default();
+        let out_a = run(&m, &ExecConfig::default(), &mut a).unwrap();
+        let mut b = RecordingSink::default();
+        let out_b = run_with_metrics(&m, &ExecConfig::default(), &mut b, None).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_with_metrics_tracks_threads_and_switches() {
+        let src = "int x; int y;
+            int main() {
+                spawn { int j; for (j = 0; j < 50; j++) x += 1; }
+                spawn { int j; for (j = 0; j < 50; j++) y += 1; }
+                join;
+                return x + y;
+            }";
+        let m = compile(&compile_to_hir(src).unwrap());
+        let metrics = Metrics::new();
+        let cfg = ExecConfig {
+            quantum: 8,
+            ..ExecConfig::default()
+        };
+        let out = run_with_metrics(&m, &cfg, &mut NullSink, Some(&metrics)).unwrap();
+        assert_eq!(out.exit_value, 100);
+        assert_eq!(metrics.get(Counter::VmThreadsSpawned), 2);
+        assert!(metrics.get(Counter::VmContextSwitches) > 0);
+        let sched = metrics.sched();
+        assert_eq!(sched.len(), 3, "main + two children report quanta");
+        assert!(sched.iter().all(|&(_, q)| q >= 1));
     }
 
     #[test]

@@ -11,20 +11,23 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
-    profile_batches_par, profile_source, shard_batch_counts, AlchemistProfiler, DepProfile,
+    profile_batches_par_with, profile_source, shard_batch_counts, AlchemistProfiler, DepProfile,
     ProfileConfig, ProfileReport,
 };
+use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 use alchemist_parsim::{
-    extract_tasks, extract_tasks_from_batches_par, render_timeline, simulate, suggest_candidates,
-    ExtractConfig, SimConfig,
+    extract_tasks, extract_tasks_from_batches_par_with, render_timeline, simulate,
+    suggest_candidates, ExtractConfig, SimConfig,
 };
-use alchemist_trace::{decode_batches_par, ChunkInfo, MultiSink, TraceReader, TraceWriter};
+use alchemist_trace::{decode_batches_par_with, ChunkInfo, MultiSink, TraceReader, TraceWriter};
 use alchemist_vm::{
-    CountingSink, EventBatch, ExecConfig, NullSink, Pc, Tid, Time, TraceSink, DEFAULT_BATCH_EVENTS,
+    run_with_metrics, CountingSink, EventBatch, ExecConfig, NullSink, Pc, Tid, Time, TraceSink,
+    DEFAULT_BATCH_EVENTS,
 };
 use alchemist_workloads::Scale;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,14 +48,16 @@ const USAGE: &str = "usage:
   alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
                     [--csv-constructs FILE] [--csv-edges FILE]
   alchemist run <file.mc> [--input a,b,c] [--batch-size N]
+                [--metrics text|json] [--metrics-out FILE]
   alchemist advise <file.mc> [--input a,b,c] [--threads K]
   alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
                      [--input a,b,c] [--threads K] [--timeline]
   alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
                    [--chunk-events N] [--batch-size N]
+                   [--metrics text|json] [--metrics-out FILE]
   alchemist replay <trace.alct> [--analysis profile,advise,stats]
                    [--top N] [--threads K] [--jobs N] [--batch-size N]
-                   [--war-waw LABEL]
+                   [--war-waw LABEL] [--metrics text|json] [--metrics-out FILE]
   alchemist workloads [--json]";
 
 /// A CLI failure: a message, plus whether the generic usage block helps.
@@ -138,6 +143,58 @@ struct CommonArgs {
     timeline: bool,
     /// `Some` only when `--batch-size` was given explicitly.
     batch_size: Option<usize>,
+    metrics: MetricsOpt,
+}
+
+/// Validated `--metrics` / `--metrics-out` pair: `format` is `None` when
+/// instrumentation reporting was not requested.
+#[derive(Default)]
+struct MetricsOpt {
+    format: Option<String>,
+    out: Option<String>,
+}
+
+impl MetricsOpt {
+    fn validate(format: Option<String>, out: Option<String>) -> Result<MetricsOpt, CliError> {
+        if let Some(f) = &format {
+            if f != "text" && f != "json" {
+                return Err(CliError::bare(format!(
+                    "--metrics: unknown format `{f}` (expected text or json)"
+                )));
+            }
+        }
+        if out.is_some() && format.is_none() {
+            return Err(CliError::bare("--metrics-out requires --metrics text|json"));
+        }
+        Ok(MetricsOpt { format, out })
+    }
+
+    fn enabled(&self) -> bool {
+        self.format.is_some()
+    }
+
+    /// Renders and delivers the report: stdout by default, `--metrics-out`
+    /// file when given. A no-op when `--metrics` was not passed.
+    fn emit(&self, metrics: &Metrics, command: &str) -> Result<(), CliError> {
+        let Some(format) = &self.format else {
+            return Ok(());
+        };
+        let report = metrics.report(command);
+        let rendered = if format == "json" {
+            report.to_json()
+        } else {
+            report.render_text()
+        };
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, &rendered)
+                    .map_err(|e| CliError::bare(format!("cannot write {path}: {e}")))?;
+                eprintln!("wrote metrics to {path}");
+            }
+            None => print!("{rendered}"),
+        }
+        Ok(())
+    }
 }
 
 fn parse_input_list(v: &str) -> Result<Vec<i64>, CliError> {
@@ -163,12 +220,20 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
     let mut privatize = Vec::new();
     let mut timeline = false;
     let mut batch_size = None;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a.starts_with('-') && !allowed.contains(&a.as_str()) {
             return Err(unknown_flag(cmd, a, allowed));
         }
         match a.as_str() {
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
             "--input" => {
                 input = parse_input_list(it.next().ok_or("--input needs a value")?)?;
             }
@@ -225,6 +290,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
         privatize,
         timeline,
         batch_size,
+        metrics: MetricsOpt::validate(metrics_format, metrics_out)?,
     })
 }
 
@@ -280,15 +346,27 @@ fn profile_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn run_cmd(args: &[String]) -> Result<(), CliError> {
-    let a = parse_common("run", args, &["--input", "--batch-size"])?;
-    let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
-    // `run` observes nothing (NullSink), so batching is opt-in here: the
-    // default stays the zero-overhead per-event baseline.
-    let exec_config = ExecConfig {
-        batch_events: a.batch_size.unwrap_or(0),
-        ..ExecConfig::with_input(a.input)
+    let a = parse_common(
+        "run",
+        args,
+        &["--input", "--batch-size", "--metrics", "--metrics-out"],
+    )?;
+    let metrics = a.metrics.enabled().then(Metrics::new);
+    let m = metrics.as_ref();
+    let out = {
+        let _total_span = span_opt(m, Stage::Total);
+        let module = {
+            let _parse_span = span_opt(m, Stage::Parse);
+            alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?
+        };
+        // `run` observes nothing (NullSink), so batching is opt-in here: the
+        // default stays the zero-overhead per-event baseline.
+        let exec_config = ExecConfig {
+            batch_events: a.batch_size.unwrap_or(0),
+            ..ExecConfig::with_input(a.input)
+        };
+        run_with_metrics(&module, &exec_config, &mut NullSink, m).map_err(|e| e.to_string())?
     };
-    let out = alchemist_vm::run(&module, &exec_config, &mut NullSink).map_err(|e| e.to_string())?;
     for v in &out.output {
         println!("{v}");
     }
@@ -296,6 +374,9 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
         "exit value: {} ({} instructions)",
         out.exit_value, out.steps
     );
+    if let Some(metrics) = &metrics {
+        a.metrics.emit(metrics, "run")?;
+    }
     Ok(())
 }
 
@@ -402,12 +483,22 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 fn record_cmd(args: &[String]) -> Result<(), CliError> {
-    const FLAGS: &[&str] = &["--input", "-o", "--out", "--chunk-events", "--batch-size"];
+    const FLAGS: &[&str] = &[
+        "--input",
+        "-o",
+        "--out",
+        "--chunk-events",
+        "--batch-size",
+        "--metrics",
+        "--metrics-out",
+    ];
     let mut file = None;
     let mut out = None;
     let mut input = Vec::new();
     let mut chunk_events = None;
     let mut batch_size = None;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -428,14 +519,26 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             "--batch-size" => {
                 batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
             flag if flag.starts_with('-') => return Err(unknown_flag("record", flag, FLAGS)),
             path if file.is_none() => file = Some(path.to_owned()),
             other => return Err(format!("unexpected argument `{other}`").into()),
         }
     }
+    let mopt = MetricsOpt::validate(metrics_format, metrics_out)?;
+    let metrics = mopt.enabled().then(|| Arc::new(Metrics::new()));
+    let total_span = span_opt(metrics.as_deref(), Stage::Total);
     let path = file.ok_or("record needs a source file")?;
     let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let module = alchemist_vm::compile_source(&source).map_err(|e| e.to_string())?;
+    let module = {
+        let _parse_span = span_opt(metrics.as_deref(), Stage::Parse);
+        alchemist_vm::compile_source(&source).map_err(|e| e.to_string())?
+    };
     let out_path = out.unwrap_or_else(|| {
         let mut p = std::path::PathBuf::from(&path);
         p.set_extension("alct");
@@ -455,6 +558,9 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         if let Some(n) = chunk_events {
             writer = writer.with_chunk_capacity(n);
         }
+        if let Some(m) = &metrics {
+            writer = writer.with_metrics(Arc::clone(m));
+        }
         // With --batch-size the interpreter hands the writer EventBatches
         // of that many events; the encoded bytes are identical to the
         // default per-event recording (the writer is statically
@@ -463,8 +569,8 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             batch_events: batch_size.unwrap_or(0),
             ..ExecConfig::with_input(input)
         };
-        let outcome =
-            alchemist_vm::run(&module, &exec_config, &mut writer).map_err(|e| e.to_string())?;
+        let outcome = run_with_metrics(&module, &exec_config, &mut writer, metrics.as_deref())
+            .map_err(|e| e.to_string())?;
         let (_, stats) = writer
             .finish(outcome.steps)
             .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
@@ -475,6 +581,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         // hand the user a corrupt artifact produced by our own tool.
         let _ = std::fs::remove_file(&out_path);
     })?;
+    drop(total_span);
     println!(
         "recorded {} events in {} chunks to {out_path}",
         stats.events, stats.chunks
@@ -486,6 +593,9 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         outcome.steps,
         outcome.exit_value
     );
+    if let Some(m) = &metrics {
+        mopt.emit(m, "record")?;
+    }
     Ok(())
 }
 
@@ -497,6 +607,8 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         "--jobs",
         "--batch-size",
         "--war-waw",
+        "--metrics",
+        "--metrics-out",
     ];
     let mut file = None;
     let mut analysis = "profile".to_owned();
@@ -505,11 +617,19 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     let mut jobs = 1usize;
     let mut batch_size = None;
     let mut war_waw = None;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--analysis" => {
                 analysis = it.next().ok_or("--analysis needs a value")?.clone();
+            }
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
             }
             "--top" => {
                 top = it
@@ -566,6 +686,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         jobs,
         batch_size,
         war_waw.as_deref(),
+        &MetricsOpt::validate(metrics_format, metrics_out)?,
     )
 }
 
@@ -593,6 +714,7 @@ fn trace_module(
 /// reader into every sink; otherwise the batches are materialized once
 /// (chunk-parallel when `jobs > 1`) and shared by the sharded profiler,
 /// the stats sinks and task extraction.
+#[allow(clippy::too_many_arguments)]
 fn run_replay(
     path: &str,
     analyses: &[String],
@@ -601,11 +723,18 @@ fn run_replay(
     jobs: usize,
     batch_size: Option<usize>,
     war_waw: Option<&str>,
+    mopt: &MetricsOpt,
 ) -> Result<(), CliError> {
     let want = |name: &str| analyses.iter().any(|a| a == name);
     let need_advise = want("advise");
     let need_profile = want("profile") || need_advise;
     let need_stats = want("stats");
+
+    // Replay always carries a Metrics: the stats analysis reads throughput
+    // out of it, and --metrics reports it. The per-chunk granularity keeps
+    // the always-on cost far below measurement noise.
+    let metrics = Arc::new(Metrics::new());
+    let m = Some(&*metrics);
 
     // Header-only scan for stats: chunk metadata, no payload decoding.
     let stats_scan = if need_stats {
@@ -620,101 +749,129 @@ fn run_replay(
         None
     };
 
-    let mut reader = open_trace(path)?;
-    // profile/advise need the module; stats uses it only when the trace is
-    // self-contained (for the reader-cap audit).
-    let module = if need_profile {
-        Some(trace_module(&reader)?)
-    } else {
-        reader.source().map(|_| trace_module(&reader)).transpose()?
-    };
-
-    let mut counts = CountingSink::default();
-    let mut addrs = AddrSpan::default();
-    let mut drops = if need_stats {
-        module.as_ref().map(CapDrops::new)
-    } else {
-        None
-    };
-
     let mut profile: Option<DepProfile> = None;
     let mut batches_kept: Option<Vec<EventBatch>> = None;
+    let mut shard_counts: Option<Vec<u64>> = None;
+    let mut counts = CountingSink::default();
+    let mut addrs = AddrSpan::default();
+    let mut drops = None;
+    let module;
     let summary;
-    if jobs > 1 || need_advise {
-        // Materialize the batch stream once; every analysis reuses it. The
-        // batches follow the trace's chunk boundaries here, so an explicit
-        // --batch-size cannot take effect — say so rather than silently
-        // ignoring the flag.
-        if batch_size.is_some() {
-            eprintln!(
-                "note: --batch-size is ignored with --jobs > 1 or --analysis advise \
-                 (batches follow the trace's chunk boundaries)"
-            );
-        }
-        let (batches, s) = decode_batches_par(reader, jobs)
-            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-        summary = s;
+    {
+        let _total_span = span_opt(m, Stage::Total);
+        let reader = open_trace(path)?;
+        // profile/advise need the module; stats uses it only when the trace
+        // is self-contained (for the reader-cap audit).
+        module = {
+            let _parse_span = span_opt(m, Stage::Parse);
+            if need_profile {
+                Some(trace_module(&reader)?)
+            } else {
+                reader.source().map(|_| trace_module(&reader)).transpose()?
+            }
+        };
         if need_stats {
-            let mut fan = MultiSink::new();
-            fan.push(&mut counts).push(&mut addrs);
-            if let Some(d) = drops.as_mut() {
-                fan.push(d);
-            }
-            for batch in &batches {
-                fan.on_batch(batch);
-            }
+            drops = module.as_ref().map(CapDrops::new);
         }
-        if need_profile {
-            let m = module.as_ref().expect("profile requires a module");
-            let (p, _, _) = profile_batches_par(
-                m,
-                &batches,
-                summary.total_steps,
-                ProfileConfig::default(),
-                jobs,
-            );
-            if jobs > 1 {
-                let shards: Vec<String> = shard_batch_counts(&batches, jobs)
-                    .iter()
-                    .map(|c| c.to_string())
-                    .collect();
+
+        if jobs > 1 || need_advise {
+            // Materialize the batch stream once; every analysis reuses it.
+            // The batches follow the trace's chunk boundaries here, so an
+            // explicit --batch-size cannot take effect — say so rather than
+            // silently ignoring the flag.
+            if batch_size.is_some() {
                 eprintln!(
-                    "sharded replay across {jobs} workers (memory events per shard: {})",
-                    shards.join(", ")
+                    "note: --batch-size is ignored with --jobs > 1 or --analysis advise \
+                     (batches follow the trace's chunk boundaries)"
                 );
             }
-            profile = Some(p);
-        }
-        if need_advise {
-            batches_kept = Some(batches);
-        }
-    } else {
-        // Streaming path: one batched pass, no event buffer; the MultiSink
-        // fans each batch out to every requested sink.
-        let mut prof = if need_profile {
-            let m = module.as_ref().expect("profile requires a module");
-            Some(AlchemistProfiler::new(m, ProfileConfig::default()))
+            let (batches, s) = decode_batches_par_with(reader, jobs, m)
+                .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+            summary = s;
+            if need_stats {
+                let mut fan = MultiSink::new();
+                fan.push(&mut counts).push(&mut addrs);
+                if let Some(d) = drops.as_mut() {
+                    fan.push(d);
+                }
+                for batch in &batches {
+                    fan.on_batch(batch);
+                }
+            }
+            if need_profile {
+                let md = module.as_ref().expect("profile requires a module");
+                let (p, _, _) = {
+                    let _profile_span = span_opt(m, Stage::Profile);
+                    profile_batches_par_with(
+                        md,
+                        &batches,
+                        summary.total_steps,
+                        ProfileConfig::default(),
+                        jobs,
+                        m,
+                    )
+                };
+                if jobs > 1 {
+                    let per_shard = shard_batch_counts(&batches, jobs);
+                    let rendered: Vec<String> = per_shard.iter().map(|c| c.to_string()).collect();
+                    eprintln!(
+                        "sharded replay across {jobs} workers (memory events per shard: {})",
+                        rendered.join(", ")
+                    );
+                    shard_counts = Some(per_shard);
+                }
+                profile = Some(p);
+            }
+            if need_advise {
+                batches_kept = Some(batches);
+            }
         } else {
-            None
-        };
-        let mut fan = MultiSink::new();
-        if let Some(p) = prof.as_mut() {
-            fan.push(p);
-        }
-        if need_stats {
-            fan.push(&mut counts).push(&mut addrs);
-            if let Some(d) = drops.as_mut() {
-                fan.push(d);
+            // Streaming path: one batched pass, no event buffer; the
+            // MultiSink fans each batch out to every requested sink. The
+            // pass fuses decode with analysis, so it runs under the
+            // `profile` stage when profiling (and plain `decode` when only
+            // stats were asked for); the reader still counts chunks, bytes
+            // and events either way.
+            let mut reader = reader.with_metrics(Arc::clone(&metrics));
+            let mut prof = if need_profile {
+                let md = module.as_ref().expect("profile requires a module");
+                Some(AlchemistProfiler::new(md, ProfileConfig::default()))
+            } else {
+                None
+            };
+            let mut fan = MultiSink::new();
+            if let Some(p) = prof.as_mut() {
+                fan.push(p);
+            }
+            if need_stats {
+                fan.push(&mut counts).push(&mut addrs);
+                if let Some(d) = drops.as_mut() {
+                    fan.push(d);
+                }
+            }
+            summary = {
+                let _pass_span = if need_profile {
+                    span_opt(m, Stage::Profile)
+                } else {
+                    span_opt(m, Stage::Decode)
+                };
+                reader
+                    .replay_batched_into(&mut fan, batch_size.unwrap_or(DEFAULT_BATCH_EVENTS))
+                    .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?
+            };
+            drop(fan);
+            if let Some(p) = prof {
+                let p = p.into_profile(summary.total_steps);
+                metrics.add(Counter::ProfileEvents, summary.events);
+                metrics.add(
+                    Counter::ProfileDeps,
+                    p.intra_thread_deps + p.cross_thread_deps,
+                );
+                profile = Some(p);
             }
         }
-        summary = reader
-            .replay_batched_into(&mut fan, batch_size.unwrap_or(DEFAULT_BATCH_EVENTS))
-            .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
-        drop(fan);
-        if let Some(p) = prof {
-            profile = Some(p.into_profile(summary.total_steps));
-        }
     }
+    let (replay_wall_ns, _) = metrics.stage(Stage::Total);
 
     for (i, analysis) in analyses.iter().enumerate() {
         if i > 0 {
@@ -723,7 +880,7 @@ fn run_replay(
         match analysis.as_str() {
             "profile" => {
                 let p = profile.as_ref().expect("profiled above");
-                let m = module.as_ref().expect("profile requires a module");
+                let md = module.as_ref().expect("profile requires a module");
                 println!(
                     "replayed {} events ({} recorded instructions), {} static constructs",
                     summary.events,
@@ -731,13 +888,17 @@ fn run_replay(
                     p.len()
                 );
                 println!();
-                render_profile_report(&ProfileReport::new(p, m), top, war_waw)?;
+                let mut report = ProfileReport::new(p, md);
+                if let Some(c) = &shard_counts {
+                    report = report.with_shard_events(c.clone());
+                }
+                render_profile_report(&report, top, war_waw)?;
             }
             "advise" => {
                 let p = profile.as_ref().expect("profiled above");
-                let m = module.as_ref().expect("advise requires a module");
+                let md = module.as_ref().expect("advise requires a module");
                 let batches = batches_kept.as_ref().expect("advise keeps the batches");
-                render_advise(m, p, batches, summary.total_steps, threads, jobs);
+                render_advise(md, p, batches, summary.total_steps, threads, jobs, m);
             }
             "stats" => {
                 let (version, infos, source_lines) = stats_scan.as_ref().expect("scanned above");
@@ -751,16 +912,19 @@ fn run_replay(
                     &counts,
                     &addrs,
                     drops.as_ref(),
+                    replay_wall_ns,
                 )?;
             }
             _ => unreachable!("validated in replay_cmd"),
         }
     }
+    mopt.emit(&metrics, "replay")?;
     Ok(())
 }
 
 /// Prints parallelization candidates and simulates the best one from the
 /// already-decoded batch stream: no re-execution, no re-decode.
+#[allow(clippy::too_many_arguments)]
 fn render_advise(
     module: &alchemist_vm::Module,
     profile: &DepProfile,
@@ -768,6 +932,7 @@ fn render_advise(
     total_steps: u64,
     threads: usize,
     jobs: usize,
+    metrics: Option<&Metrics>,
 ) {
     let report = ProfileReport::new(profile, module);
     let candidates = suggest_candidates(&report, module, 0.02, 0);
@@ -795,7 +960,8 @@ fn render_advise(
     for v in &best.privatize {
         cfg = cfg.privatize(v);
     }
-    let trace = extract_tasks_from_batches_par(module, cfg, batches, total_steps, jobs);
+    let trace =
+        extract_tasks_from_batches_par_with(module, cfg, batches, total_steps, jobs, metrics);
     let sim = simulate(&trace, &SimConfig::with_threads(threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
@@ -905,6 +1071,7 @@ fn render_stats(
     counts: &CountingSink,
     addrs: &AddrSpan,
     drops: Option<&CapDrops>,
+    wall_ns: u64,
 ) -> Result<(), CliError> {
     let file_bytes = std::fs::metadata(path)
         .map_err(|e| format!("cannot stat {path}: {e}"))?
@@ -940,6 +1107,19 @@ fn render_stats(
         },
         total_steps
     );
+    // Wall-clock throughput is inherently run-dependent, so — like the
+    // per-shard summary — it goes to stderr, keeping stdout byte-identical
+    // across job counts and repeat runs (the determinism guarantee the CLI
+    // parity tests diff for).
+    if wall_ns > 0 && events > 0 {
+        let secs = wall_ns as f64 / 1e9;
+        eprintln!(
+            "throughput: {:.0} events/sec ({:.1} ns/event) over {:.3} s wall time",
+            events as f64 / secs,
+            wall_ns as f64 / events as f64,
+            secs
+        );
+    }
     if let (Some(first), Some(last)) = (infos.first(), infos.last()) {
         println!("time range: [{}, {}]", first.t_first, last.t_last);
     }
@@ -1008,11 +1188,26 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 .and_then(|p| p.paper_speedup)
                 .map_or("null".to_owned(), |s| format!("{s}"));
             // One Tiny-scale run per workload yields the exact event count
-            // a recording of it would contain (the suite is deterministic,
-            // so these are stable facts, not estimates).
+            // a recording of it would contain and — via an in-memory trace
+            // writer riding the same run — the exact encoded byte size (the
+            // suite is deterministic, so these are stable facts, not
+            // estimates).
             let module = w.module();
             let mut counts = CountingSink::default();
-            let out = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut counts)
+            let mut writer = if module.uses_threads() {
+                TraceWriter::new_v2(Vec::new(), None)
+            } else {
+                TraceWriter::new(Vec::new(), None)
+            }
+            .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?;
+            let out = {
+                let mut fan = MultiSink::new();
+                fan.push(&mut counts).push(&mut writer);
+                alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut fan)
+                    .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?
+            };
+            let (_, tstats) = writer
+                .finish(out.steps)
                 .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?;
             let events = counts.enters
                 + counts.exits
@@ -1022,7 +1217,8 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 + counts.writes;
             println!(
                 "  {{\"name\": \"{}\", \"loc\": {}, \"description\": \"{}\", \"source\": \"{}\", \
-                 \"threaded\": {}, \"events\": {}, \"steps\": {}, \"paper_speedup\": {}}}{}",
+                 \"threaded\": {}, \"events\": {}, \"steps\": {}, \"trace_bytes\": {}, \
+                 \"paper_speedup\": {}}}{}",
                 json_escape(w.name),
                 w.loc(),
                 json_escape(w.description),
@@ -1030,6 +1226,7 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 module.uses_threads(),
                 events,
                 out.steps,
+                tstats.bytes,
                 speedup,
                 if i + 1 < suite.len() { "," } else { "" }
             );

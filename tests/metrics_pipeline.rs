@@ -1,0 +1,170 @@
+//! Metrics parity across execution modes: the observability layer must
+//! *describe* the pipeline without perturbing it, so for every bundled
+//! workload the counter totals have to line up between live instrumentation,
+//! sequential (streaming) replay and sharded `--jobs 4` replay — the same
+//! three-way determinism guarantee `tests/par_replay.rs` pins for the
+//! profiles themselves, lifted to the metrics. Also pins that a fully
+//! populated report survives the JSON round trip bit-for-bit.
+
+use alchemist_core::{profile_batches_par_with, ProfileConfig};
+use alchemist_obs::{Counter, Metrics, MetricsReport, Stage, SCHEMA_VERSION};
+use alchemist_trace::{decode_batches_par_with, TraceReader, TraceWriter};
+use alchemist_vm::{run_with_metrics, Module, DEFAULT_BATCH_EVENTS};
+use alchemist_workloads::Scale;
+use std::sync::Arc;
+
+/// Records one workload run into an in-memory trace with live metrics
+/// attached to both the interpreter and the writer.
+fn record_live(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64, Arc<Metrics>) {
+    let module = w.module();
+    let live = Arc::new(Metrics::new());
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(Vec::new(), Some(w.source))
+    } else {
+        TraceWriter::new(Vec::new(), Some(w.source))
+    }
+    .expect("header")
+    .with_metrics(Arc::clone(&live));
+    let outcome = run_with_metrics(
+        &module,
+        &w.exec_config(Scale::Tiny),
+        &mut writer,
+        Some(&live),
+    )
+    .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+    let (bytes, _) = writer.finish(outcome.steps).expect("finish");
+    (module, bytes, outcome.steps, live)
+}
+
+#[test]
+fn counter_totals_agree_across_live_seq_and_par_replay() {
+    for w in alchemist_workloads::all() {
+        let (module, bytes, steps, live) = record_live(w);
+
+        // Sequential streaming replay: reader-side decode counters, with
+        // the profile produced by the ordinary jobs=1 batched path.
+        let seq = Arc::new(Metrics::new());
+        let mut reader = TraceReader::new(bytes.as_slice())
+            .expect("header")
+            .with_metrics(Arc::clone(&seq));
+        let mut rec = alchemist_vm::RecordingSink::default();
+        reader
+            .replay_batched_into(&mut rec, DEFAULT_BATCH_EVENTS)
+            .expect("seq replay");
+        let seq_batches = vec![alchemist_vm::EventBatch::from_events(&rec.events)];
+        let (seq_profile, _, _) = profile_batches_par_with(
+            &module,
+            &seq_batches,
+            steps,
+            ProfileConfig::default(),
+            1,
+            Some(&seq),
+        );
+
+        // Sharded replay: chunk-parallel decode, 4 address shards.
+        let par = Arc::new(Metrics::new());
+        let (batches, summary) = decode_batches_par_with(
+            TraceReader::new(bytes.as_slice()).expect("header"),
+            4,
+            Some(&par),
+        )
+        .expect("par decode");
+        let (par_profile, _, _) = profile_batches_par_with(
+            &module,
+            &batches,
+            summary.total_steps,
+            ProfileConfig::default(),
+            4,
+            Some(&par),
+        );
+        assert_eq!(par_profile, seq_profile, "{}: profiles diverge", w.name);
+
+        // Events: what the VM emitted is what the writer encoded is what
+        // both replay modes decoded and profiled.
+        let events = live.get(Counter::VmEvents);
+        assert!(events > 0, "{}", w.name);
+        for (label, got) in [
+            (
+                "trace.events_written",
+                live.get(Counter::TraceEventsWritten),
+            ),
+            (
+                "seq trace.events_decoded",
+                seq.get(Counter::TraceEventsDecoded),
+            ),
+            ("seq profile.events", seq.get(Counter::ProfileEvents)),
+            (
+                "par trace.events_decoded",
+                par.get(Counter::TraceEventsDecoded),
+            ),
+            ("par profile.events", par.get(Counter::ProfileEvents)),
+        ] {
+            assert_eq!(got, events, "{}: {label}", w.name);
+        }
+
+        // Chunks: every chunk written is decoded exactly once per replay.
+        let chunks = live.get(Counter::TraceChunksWritten);
+        assert!(chunks > 0, "{}", w.name);
+        assert_eq!(seq.get(Counter::TraceChunksDecoded), chunks, "{}", w.name);
+        assert_eq!(par.get(Counter::TraceChunksDecoded), chunks, "{}", w.name);
+
+        // Dependences: the merged shard profile detects exactly the
+        // sequential run's dependences, and the counter reflects it.
+        let deps = seq_profile.intra_thread_deps + seq_profile.cross_thread_deps;
+        assert_eq!(seq.get(Counter::ProfileDeps), deps, "{}", w.name);
+        assert_eq!(par.get(Counter::ProfileDeps), deps, "{}", w.name);
+
+        // Shard rows: 4 rows whose memory events partition the stream's.
+        let shards = par.shards();
+        assert_eq!(shards.len(), 4, "{}", w.name);
+        let mem_total: u64 = shards.iter().map(|s| s.mem_events).sum();
+        let seq_mem: u64 = seq_batches[0]
+            .tags()
+            .iter()
+            .filter(|t| t.is_memory())
+            .count() as u64;
+        assert_eq!(mem_total, seq_mem, "{}: memory rows partition", w.name);
+
+        // Threaded workloads surface scheduler rows; the rest stay on the
+        // main thread only.
+        let sched = live.sched();
+        if module.uses_threads() {
+            assert!(sched.len() > 1, "{}: expected multiple tids", w.name);
+        } else {
+            assert_eq!(sched.len(), 1, "{}", w.name);
+            assert_eq!(sched[0].0, 0, "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn populated_report_round_trips_through_json() {
+    // Build a report off a real sharded replay so every section is
+    // populated, then require a lossless (and byte-identical) round trip.
+    let w = &alchemist_workloads::all()[0];
+    let (module, bytes, steps, _) = record_live(w);
+    let m = Metrics::new();
+    let (batches, _) = decode_batches_par_with(
+        TraceReader::new(bytes.as_slice()).expect("header"),
+        4,
+        Some(&m),
+    )
+    .expect("decode");
+    profile_batches_par_with(
+        &module,
+        &batches,
+        steps,
+        ProfileConfig::default(),
+        4,
+        Some(&m),
+    );
+    let report = m.report("replay");
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert!(report.shards.len() == 4);
+    assert!(m.stage(Stage::Decode).0 > 0);
+
+    let json = report.to_json();
+    let back = MetricsReport::from_json(&json).expect("parse");
+    assert_eq!(back, report);
+    assert_eq!(back.to_json(), json, "re-serialization is byte-identical");
+}
