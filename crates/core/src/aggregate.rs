@@ -17,31 +17,19 @@
 //!   only a candidate if it is clean on **every** input).
 
 use crate::construct::DepKind;
+use crate::partial::PartialProfile;
 use crate::profile::DepProfile;
 use crate::profiler::ProfileConfig;
 use crate::runner::{profile_module, ProfileError};
 use alchemist_vm::{ExecConfig, Module};
 
 /// Merges `other` into `base` with the union/min semantics above.
+///
+/// This is the [`PartialProfile`] merge
+/// applied directly to sealed profiles; see that module for the
+/// order-independence guarantee.
 pub fn merge_profiles(base: &mut DepProfile, other: &DepProfile) {
-    base.total_steps += other.total_steps;
-    base.dropped_readers += other.dropped_readers;
-    // Layout telemetry sums like dropped_readers, so the spill audit in
-    // reports stays live for aggregated profiles too.
-    base.shadow_stats.pages_allocated += other.shadow_stats.pages_allocated;
-    base.shadow_stats.read_set_spills += other.shadow_stats.read_set_spills;
-    // Thread-classification counters sum like the edge counts they refine.
-    base.intra_thread_deps += other.intra_thread_deps;
-    base.cross_thread_deps += other.cross_thread_deps;
-    for c in other.constructs() {
-        base.merge_duration(c.id, c.ttotal, c.inst);
-        for (key, stat) in &c.edges {
-            base.merge_edge(c.id, *key, *stat);
-        }
-        for (ancestor, count) in &c.nested_in {
-            base.merge_nested(c.id, *ancestor, *count);
-        }
-    }
+    crate::partial::merge_into(base, other);
 }
 
 /// Profiles `module` once per input buffer and returns the aggregated
@@ -55,15 +43,15 @@ pub fn profile_many(
     inputs: &[Vec<i64>],
     config: ProfileConfig,
 ) -> Result<(DepProfile, Vec<DepProfile>), ProfileError> {
-    let mut aggregated = DepProfile::new();
+    let mut aggregated = PartialProfile::new();
     let mut runs = Vec::with_capacity(inputs.len());
     for input in inputs {
         let exec_cfg = ExecConfig::with_input(input.clone());
         let (profile, ..) = profile_module(module, &exec_cfg, config.clone())?;
-        merge_profiles(&mut aggregated, &profile);
+        aggregated.merge(&PartialProfile::from(profile.clone()));
         runs.push(profile);
     }
-    Ok((aggregated, runs))
+    Ok((aggregated.seal(), runs))
 }
 
 /// Edges of `kind` on `head` that appear in the aggregate but not in every

@@ -19,6 +19,8 @@
 //! * [`shadow`] — online dependence detection over shadow memory,
 //! * [`profile`] — the per-construct profile and the bottom-up update walk
 //!   (Table II),
+//! * [`partial`] — mergeable partial profiles (the order-independent
+//!   multi-run merge algebra behind `.alcp` artifacts),
 //! * [`profiler`] — the event sink gluing the above to the VM,
 //! * [`report`] — ranked-candidate reports (Fig. 2/3/6, Tables III/IV),
 //! * [`shard`] — address-sharded parallel replay of recorded event streams,
@@ -47,6 +49,7 @@ pub mod construct;
 pub mod fxhash;
 pub mod index;
 pub mod oracle;
+pub mod partial;
 pub mod pool;
 pub mod profile;
 pub mod profiler;
@@ -60,6 +63,7 @@ pub use aggregate::{input_dependent_edges, merge_profiles, profile_many};
 pub use construct::{ConstructId, ConstructKind, DepKind};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{IndexStack, StackEntry};
+pub use partial::PartialProfile;
 pub use pool::{ConstructPool, Node, NodeId, NodeRef, PoolStats};
 pub use profile::{ConstructProfile, DepProfile, EdgeKey, EdgeStat};
 pub use profiler::{AlchemistProfiler, IndexMode, ProfileConfig};

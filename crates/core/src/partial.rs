@@ -1,0 +1,200 @@
+//! Mergeable partial profiles.
+//!
+//! A [`DepProfile`] as produced by one run (or one replay, or one shard)
+//! is an *endpoint*: it answers queries but says nothing about how to
+//! combine runs. This module splits that role in two. A [`PartialProfile`]
+//! is the mergeable accumulation state — per-run, per-chunk or per-shard —
+//! and sealing it yields the plain [`DepProfile`] every report and
+//! analysis consumes. The split makes multi-run aggregation (the paper's
+//! "gathering and analyzing profile runs", plural) a first-class algebra
+//! instead of an ad-hoc loop, and it is what lets `.alcp` artifacts from
+//! separate processes be combined offline.
+//!
+//! ## Order independence
+//!
+//! `merge` is **commutative** and **associative**, and the empty partial
+//! is its **identity**: merging any number of partials yields the same
+//! sealed profile in whatever order and grouping the merges happen. The
+//! guarantee falls out of the per-field semantics:
+//!
+//! * counters (`total_steps`, `dropped_readers`, thread classifications,
+//!   shadow telemetry, `count`/`cross_count`, `ttotal`/`inst`, nesting
+//!   counts) **sum** — addition is commutative/associative with identity 0;
+//! * per-edge minima take the **minimum** of the whole
+//!   `(min_tdep, sample_addr, sample_tids)` triple under its lexicographic
+//!   total order — `min` over a total order is commutative/associative,
+//!   and an absent edge is its identity;
+//! * construct and edge maps **union**, applying the rules above per key.
+//!
+//! The same tie-break rule is used online by
+//! [`DepProfile::record_dependence`], so a sealed merge of per-run
+//! partials is bit-for-bit the profile of the aggregated run (pinned for
+//! every workload by `tests/profile_artifact.rs`, and property-tested for
+//! arbitrary splits by `crates/core/tests/partial_props.rs`).
+
+use crate::profile::DepProfile;
+
+/// A mergeable, not-yet-sealed dependence profile.
+///
+/// Build one from each run ([`PartialProfile::from`] a [`DepProfile`]),
+/// [`merge`](PartialProfile::merge) them in any order, then
+/// [`seal`](PartialProfile::seal) the result.
+///
+/// ```
+/// use alchemist_core::{profile_source, PartialProfile};
+///
+/// let src = "int g; int main() { int i; int n = input_len();
+///            for (i = 0; i < n; i++) g += i; return g; }";
+/// let a = profile_source(src, vec![0; 4]).unwrap().profile;
+/// let b = profile_source(src, vec![0; 8]).unwrap().profile;
+///
+/// let mut fwd = PartialProfile::from(a.clone());
+/// fwd.merge(&PartialProfile::from(b.clone()));
+/// let mut rev = PartialProfile::from(b);
+/// rev.merge(&PartialProfile::from(a));
+/// assert_eq!(fwd.seal(), rev.seal());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialProfile {
+    inner: DepProfile,
+}
+
+impl PartialProfile {
+    /// The empty partial — the identity of [`merge`](PartialProfile::merge).
+    pub fn new() -> Self {
+        PartialProfile::default()
+    }
+
+    /// Merges another partial into this one (union/min/sum semantics; see
+    /// the module docs for the order-independence guarantee).
+    pub fn merge(&mut self, other: &PartialProfile) {
+        merge_into(&mut self.inner, &other.inner);
+    }
+
+    /// Read-only view of the accumulated state.
+    pub fn as_profile(&self) -> &DepProfile {
+        &self.inner
+    }
+
+    /// Whether nothing has been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty() && self.inner.total_steps == 0
+    }
+
+    /// Seals the accumulation into a queryable [`DepProfile`].
+    pub fn seal(self) -> DepProfile {
+        self.inner
+    }
+}
+
+impl From<DepProfile> for PartialProfile {
+    /// Reopens a finished profile as one mergeable partial.
+    fn from(profile: DepProfile) -> Self {
+        PartialProfile { inner: profile }
+    }
+}
+
+/// The merge primitive shared by [`PartialProfile::merge`] and
+/// [`crate::aggregate::merge_profiles`]: folds `other` into `base` with
+/// union/min/sum semantics.
+pub(crate) fn merge_into(base: &mut DepProfile, other: &DepProfile) {
+    base.total_steps += other.total_steps;
+    base.dropped_readers += other.dropped_readers;
+    // Layout telemetry sums like dropped_readers, so the spill audit in
+    // reports stays live for aggregated profiles too.
+    base.shadow_stats.pages_allocated += other.shadow_stats.pages_allocated;
+    base.shadow_stats.read_set_spills += other.shadow_stats.read_set_spills;
+    // Thread-classification counters sum like the edge counts they refine.
+    base.intra_thread_deps += other.intra_thread_deps;
+    base.cross_thread_deps += other.cross_thread_deps;
+    for c in other.constructs() {
+        base.merge_duration(c.id, c.ttotal, c.inst);
+        for (key, stat) in &c.edges {
+            base.merge_edge(c.id, *key, *stat);
+        }
+        for (ancestor, count) in &c.nested_in {
+            base.merge_nested(c.id, *ancestor, *count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{ConstructId, ConstructKind, DepKind};
+    use crate::profile::{EdgeKey, EdgeStat};
+    use alchemist_vm::Pc;
+
+    fn sample() -> PartialProfile {
+        let mut p = DepProfile::new();
+        p.total_steps = 100;
+        p.merge_duration(ConstructId::new(Pc(3), ConstructKind::Loop), 40, 4);
+        p.merge_edge(
+            ConstructId::new(Pc(3), ConstructKind::Loop),
+            EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(10),
+                tail: Pc(20),
+            },
+            EdgeStat {
+                min_tdep: 7,
+                count: 2,
+                cross_count: 0,
+                sample_addr: 5,
+                sample_tids: (0, 0),
+            },
+        );
+        PartialProfile::from(p)
+    }
+
+    #[test]
+    fn empty_partial_is_identity() {
+        let a = sample();
+        let mut left = PartialProfile::new();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&PartialProfile::new());
+        assert_eq!(left.seal(), right.seal());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = sample();
+        let mut b = DepProfile::new();
+        b.total_steps = 7;
+        b.merge_edge(
+            ConstructId::new(Pc(3), ConstructKind::Loop),
+            EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(10),
+                tail: Pc(20),
+            },
+            EdgeStat {
+                min_tdep: 7,
+                count: 1,
+                cross_count: 1,
+                sample_addr: 2,
+                sample_tids: (1, 0),
+            },
+        );
+        let b = PartialProfile::from(b);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let ab = ab.seal();
+        assert_eq!(ab, ba.seal());
+        // The distance tie resolved to the lower sample address either way.
+        let c = ab.construct(Pc(3)).unwrap();
+        assert_eq!(c.edges.values().next().unwrap().sample_addr, 2);
+    }
+
+    #[test]
+    fn seal_exposes_the_accumulated_profile() {
+        let p = sample();
+        assert!(!p.is_empty());
+        assert_eq!(p.as_profile().total_steps, 100);
+        let sealed = p.seal();
+        assert_eq!(sealed.construct(Pc(3)).unwrap().inst, 4);
+    }
+}

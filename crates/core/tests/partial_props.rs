@@ -1,0 +1,151 @@
+//! Property tests for the [`PartialProfile`] merge algebra.
+//!
+//! The `.alcp` artifact story rests on one guarantee: merging partial
+//! profiles is **order-independent** — commutative, associative, and with
+//! the empty partial as identity — so a pile of per-run artifacts folds to
+//! the same sealed profile no matter how the merges are ordered or
+//! grouped. These tests pin that algebra over *arbitrary* synthetic
+//! profiles (random construct sets, colliding edge keys with conflicting
+//! sample metadata, nesting counts, every summed counter including the
+//! shadow-layout telemetry that `PartialEq` deliberately ignores).
+//! `tests/profile_artifact.rs` complements this with profiles produced by
+//! real executions split at arbitrary run boundaries.
+
+use alchemist_core::{
+    ConstructId, ConstructKind, DepKind, DepProfile, EdgeKey, EdgeStat, PartialProfile,
+};
+use alchemist_vm::Pc;
+use proptest::prelude::*;
+
+/// `(kind tag, head, tail, min_tdep, count, cross_count, addr, tid0, tid1)`
+type EdgeTuple = (u8, u32, u32, u64, u64, u64, u32, u32, u32);
+/// `(head, ttotal, inst, edges, nested-in counts)`
+type ConstructTuple = (u32, u64, u64, Vec<EdgeTuple>, Vec<(u32, u64)>);
+
+/// A construct's kind is a function of its head pc in real profiles (one
+/// static site, one kind); deriving it here keeps the generated profiles
+/// structurally consistent.
+fn kind_of(head: u32) -> ConstructKind {
+    match head % 3 {
+        0 => ConstructKind::Method,
+        1 => ConstructKind::Loop,
+        _ => ConstructKind::Branch,
+    }
+}
+
+fn dep_kind(tag: u8) -> DepKind {
+    match tag % 3 {
+        0 => DepKind::Raw,
+        1 => DepKind::War,
+        _ => DepKind::Waw,
+    }
+}
+
+fn build(constructs: Vec<ConstructTuple>, counters: [u64; 6]) -> PartialProfile {
+    let mut p = DepProfile::new();
+    let [steps, dropped, intra, cross, pages, spills] = counters;
+    p.total_steps = steps;
+    p.dropped_readers = dropped;
+    p.intra_thread_deps = intra;
+    p.cross_thread_deps = cross;
+    p.shadow_stats.pages_allocated = pages;
+    p.shadow_stats.read_set_spills = spills;
+    for (head, ttotal, inst, edges, nested) in constructs {
+        let id = ConstructId::new(Pc(head), kind_of(head));
+        p.merge_duration(id, ttotal, inst);
+        for (k, eh, et, tdep, count, cross_count, addr, t0, t1) in edges {
+            p.merge_edge(
+                id,
+                EdgeKey {
+                    kind: dep_kind(k),
+                    head: Pc(eh),
+                    tail: Pc(et),
+                },
+                EdgeStat {
+                    min_tdep: tdep,
+                    count,
+                    cross_count,
+                    sample_addr: addr,
+                    sample_tids: (t0, t1),
+                },
+            );
+        }
+        for (anc, n) in nested {
+            p.merge_nested(id, Pc(anc), n);
+        }
+    }
+    PartialProfile::from(p)
+}
+
+/// Small pc/kind domains force edge-key collisions across generated
+/// profiles, so the min-over-lexicographic-triple tie-breaking is
+/// exercised constantly rather than by luck. (The vendored proptest shim
+/// caps tuples at arity six, hence the nested pair flattened by map.)
+fn arb_partial() -> impl Strategy<Value = PartialProfile> {
+    let edge = (
+        (0u8..3, 0u32..6, 0u32..6, 1u64..60),
+        (1u64..6, 0u64..3, 0u32..12, 0u32..2, 0u32..2),
+    )
+        .prop_map(
+            |((k, eh, et, tdep), (count, cross, addr, t0, t1))| -> EdgeTuple {
+                (k, eh, et, tdep, count, cross, addr, t0, t1)
+            },
+        );
+    let construct = (
+        0u32..8,
+        1u64..100,
+        1u64..4,
+        proptest::collection::vec(edge, 0..5),
+        proptest::collection::vec((0u32..8, 1u64..5), 0..3),
+    );
+    let counters = (0u64..16, 0u64..16, 0u64..16, 0u64..16, 0u64..16, 0u64..16)
+        .prop_map(|(a, b, c, d, e, f)| [a, b, c, d, e, f]);
+    (proptest::collection::vec(construct, 0..5), counters)
+        .prop_map(|(cs, counters)| build(cs, counters))
+}
+
+/// Equality that also covers the shadow-layout telemetry, which the
+/// derived `PartialEq` on [`DepProfile`] deliberately excludes.
+fn assert_fully_equal(a: DepProfile, b: DepProfile) {
+    prop_assert_eq!(&a.shadow_stats, &b.shadow_stats);
+    prop_assert_eq!(a, b);
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_partial(), b in arb_partial()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_fully_equal(ab.seal(), ba.seal());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_partial(),
+        b in arb_partial(),
+        c in arb_partial(),
+    ) {
+        // (a · b) · c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a · (b · c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_fully_equal(left.seal(), right.seal());
+    }
+
+    #[test]
+    fn empty_partial_is_the_identity(a in arb_partial()) {
+        let mut left = PartialProfile::new();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&PartialProfile::new());
+        assert_fully_equal(left.seal(), a.clone().seal());
+        assert_fully_equal(right.seal(), a.seal());
+    }
+}

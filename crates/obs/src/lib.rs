@@ -60,6 +60,12 @@ pub enum Counter {
     ProfileEvents,
     /// Distinct dependence edges detected (intra- + cross-thread).
     ProfileDeps,
+    /// `.alcp` profile artifacts encoded and written.
+    ProfileSaves,
+    /// `.alcp` profile artifacts decoded and loaded.
+    ProfileLoads,
+    /// Partial-profile merges performed (one per absorbed profile).
+    ProfileMerges,
     /// Whole batches partitioned for sharded replay.
     ShardBatchesPartitioned,
     /// Non-empty per-shard sub-batches sent over shard channels.
@@ -69,7 +75,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in declaration (= report) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -86,6 +92,9 @@ impl Counter {
         Counter::TraceEventsDecoded,
         Counter::ProfileEvents,
         Counter::ProfileDeps,
+        Counter::ProfileSaves,
+        Counter::ProfileLoads,
+        Counter::ProfileMerges,
         Counter::ShardBatchesPartitioned,
         Counter::ShardSubBatchesSent,
         Counter::ParsimTasksExtracted,
@@ -107,6 +116,9 @@ impl Counter {
             Counter::TraceEventsDecoded => "trace.events_decoded",
             Counter::ProfileEvents => "profile.events",
             Counter::ProfileDeps => "profile.deps",
+            Counter::ProfileSaves => "profile.saves",
+            Counter::ProfileLoads => "profile.loads",
+            Counter::ProfileMerges => "profile.merges",
             Counter::ShardBatchesPartitioned => "shard.batches_partitioned",
             Counter::ShardSubBatchesSent => "shard.sub_batches_sent",
             Counter::ParsimTasksExtracted => "parsim.tasks_extracted",

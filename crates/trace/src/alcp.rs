@@ -1,0 +1,781 @@
+//! `.alcp` — persistent dependence-profile artifacts.
+//!
+//! A [`DepProfile`] normally dies with the process that computed it; every
+//! further question pays a re-run or a re-replay of the trace. This module
+//! makes the profile itself a durable artifact, the same way
+//! [`writer`](crate::writer)/[`reader`](crate::reader) make the event
+//! stream one: a [`ProfileArtifact`] bundles a sealed profile with the
+//! mini-C source it came from (so offline queries can rebuild the module
+//! for symbolization) and, optionally, the [`TaskTrace`] summary of the
+//! best parallelization candidate (so `advise` can simulate offline,
+//! without the event stream).
+//!
+//! ## Wire format (version 1)
+//!
+//! Same toolbox as `.alct` (LEB128 varints, zigzag deltas, sanity caps,
+//! typed errors for every structural defect), but a single self-contained
+//! block rather than a chunk stream — profiles are small:
+//!
+//! ```text
+//! magic  "ALCP"
+//! u16le  version (= 1)
+//! u16le  flags (bit 0: embedded source, bit 1: embedded task summary)
+//! [flag] source: varint byte length + UTF-8 bytes
+//! profile:
+//!   varints total_steps, dropped_readers, intra_thread_deps,
+//!           cross_thread_deps, shadow.pages_allocated,
+//!           shadow.read_set_spills, construct count
+//!   constructs ascending by head pc:
+//!     head (delta vs previous construct), kind byte, ttotal, inst
+//!     edges ascending by (kind, head, tail):
+//!       kind byte, head (zigzag delta), tail (zigzag delta vs head),
+//!       min_tdep, count, cross_count, sample_addr, sample tids
+//!     nesting counts ascending by ancestor pc
+//! [flag] task summary: tasks (head/t_enter/duration deltas), main joins,
+//!        task edges, cross_thread_sharing, total_steps
+//! ```
+//!
+//! The encoder emits constructs, edges and nesting entries in **sorted
+//! order** and the decoder rejects any other order, so the encoding is
+//! canonical: `save -> load -> save` reproduces the file byte for byte,
+//! and two artifacts with equal contents are equal as byte strings — which
+//! is what lets CI `cmp` a merged artifact against a directly aggregated
+//! one. Corrupt or unsupported input decodes to a typed [`AlcpError`],
+//! never a panic.
+
+use crate::error::TraceError;
+use crate::format::MAX_SOURCE_BYTES;
+use crate::varint::{read_u64, write_i64, write_u64};
+use alchemist_core::{
+    ConstructId, ConstructKind, DepKind, DepProfile, EdgeKey, EdgeStat, PartialProfile,
+};
+use alchemist_obs::{Counter, Metrics};
+use alchemist_parsim::{TaskId, TaskInstance, TaskTrace};
+use alchemist_vm::Pc;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// First four bytes of every profile artifact.
+pub const ALCP_MAGIC: [u8; 4] = *b"ALCP";
+
+/// Schema version this module reads and writes.
+pub const ALCP_VERSION: u16 = 1;
+
+/// Oldest schema version this reader accepts.
+pub const ALCP_MIN_VERSION: u16 = 1;
+
+/// Flag bit: the artifact embeds the profiled program's mini-C source.
+pub const FLAG_SOURCE: u16 = 1;
+
+/// Flag bit: the artifact embeds a [`TaskTrace`] summary for offline
+/// `advise` simulation.
+pub const FLAG_TASKS: u16 = 1 << 1;
+
+const KNOWN_FLAGS: u16 = FLAG_SOURCE | FLAG_TASKS;
+
+/// Why reading, writing or merging a profile artifact failed.
+#[derive(Debug)]
+pub enum AlcpError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `ALCP` magic.
+    BadMagic([u8; 4]),
+    /// The artifact's schema version is outside the supported range.
+    UnsupportedVersion {
+        /// Version declared by the file.
+        found: u16,
+        /// Oldest version this reader accepts.
+        min_supported: u16,
+        /// Newest version this reader accepts.
+        max_supported: u16,
+    },
+    /// The header carries flag bits this reader does not define.
+    UnknownFlags(u16),
+    /// The embedded source program is not valid UTF-8.
+    CorruptSource(std::str::Utf8Error),
+    /// A construct or dependence kind byte carried an undefined tag.
+    BadKindTag(u8),
+    /// The buffer ended where the format promised more bytes.
+    Truncated(&'static str),
+    /// A structurally invalid value was decoded (context in the message).
+    Malformed(&'static str),
+    /// Two artifacts being merged embed different program sources; their
+    /// profiles are keyed by different code layouts and must not be mixed.
+    SourceMismatch,
+}
+
+impl fmt::Display for AlcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlcpError::Io(e) => write!(f, "profile artifact I/O error: {e}"),
+            AlcpError::BadMagic(m) => {
+                write!(f, "not an Alchemist profile artifact (bad magic {m:02x?})")
+            }
+            AlcpError::UnsupportedVersion {
+                found,
+                min_supported,
+                max_supported,
+            } => write!(
+                f,
+                "unsupported profile artifact version {found} \
+                 (supported {min_supported}..={max_supported})"
+            ),
+            AlcpError::UnknownFlags(bits) => {
+                write!(f, "profile artifact carries unknown flag bits {bits:#06x}")
+            }
+            AlcpError::CorruptSource(e) => {
+                write!(f, "embedded source is not UTF-8: {e}")
+            }
+            AlcpError::BadKindTag(tag) => write!(f, "undefined kind tag {tag}"),
+            AlcpError::Truncated(what) => write!(f, "truncated profile artifact: {what}"),
+            AlcpError::Malformed(what) => write!(f, "malformed profile artifact: {what}"),
+            AlcpError::SourceMismatch => {
+                write!(f, "cannot merge profile artifacts: embedded sources differ")
+            }
+        }
+    }
+}
+
+impl Error for AlcpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AlcpError::Io(e) => Some(e),
+            AlcpError::CorruptSource(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AlcpError {
+    fn from(e: std::io::Error) -> Self {
+        AlcpError::Io(e)
+    }
+}
+
+impl From<TraceError> for AlcpError {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(e) => AlcpError::Io(e),
+            TraceError::Truncated(what) => AlcpError::Truncated(what),
+            TraceError::Malformed(what) => AlcpError::Malformed(what),
+            // The varint helpers only produce the variants above.
+            _ => AlcpError::Malformed("unexpected trace-layer error"),
+        }
+    }
+}
+
+/// A persistent, mergeable profile artifact (`.alcp` file contents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArtifact {
+    /// The sealed dependence profile.
+    pub profile: DepProfile,
+    /// The profiled program's mini-C source, when embedded: offline
+    /// queries recompile it to resolve pcs to names and lines.
+    pub source: Option<String>,
+    /// Task summary of the best parallelization candidate at save time,
+    /// when embedded: lets `advise` simulate offline. Dropped by
+    /// [`merge`](ProfileArtifact::merge) — a schedule of one run does not
+    /// describe the union of several.
+    pub tasks: Option<TaskTrace>,
+}
+
+impl ProfileArtifact {
+    /// Wraps a sealed profile with no embedded source or task summary.
+    pub fn new(profile: DepProfile) -> Self {
+        ProfileArtifact {
+            profile,
+            source: None,
+            tasks: None,
+        }
+    }
+
+    /// Embeds the profiled program's source.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Embeds a task summary for offline `advise`.
+    pub fn with_tasks(mut self, tasks: TaskTrace) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+
+    /// Merges another artifact into this one.
+    ///
+    /// The profiles merge through [`PartialProfile`] (order-independent:
+    /// commutative, associative, empty identity), sources must agree when
+    /// both are present (an artifact without one adopts the other's), and
+    /// any embedded task summary is dropped. Increments the
+    /// `profile.merges` counter when `metrics` is given.
+    ///
+    /// # Errors
+    ///
+    /// [`AlcpError::SourceMismatch`] when both artifacts embed a source
+    /// and the sources differ; `self` is left unchanged in that case.
+    pub fn merge(
+        &mut self,
+        other: ProfileArtifact,
+        metrics: Option<&Metrics>,
+    ) -> Result<(), AlcpError> {
+        match (&self.source, other.source) {
+            (Some(a), Some(b)) if *a != b => return Err(AlcpError::SourceMismatch),
+            (None, Some(b)) => self.source = Some(b),
+            _ => {}
+        }
+        self.tasks = None;
+        let mut partial = PartialProfile::from(std::mem::take(&mut self.profile));
+        partial.merge(&PartialProfile::from(other.profile));
+        self.profile = partial.seal();
+        if let Some(m) = metrics {
+            m.incr(Counter::ProfileMerges);
+        }
+        Ok(())
+    }
+
+    /// Encodes the artifact into its canonical byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&ALCP_MAGIC);
+        out.extend_from_slice(&ALCP_VERSION.to_le_bytes());
+        let mut flags = 0u16;
+        if self.source.is_some() {
+            flags |= FLAG_SOURCE;
+        }
+        if self.tasks.is_some() {
+            flags |= FLAG_TASKS;
+        }
+        out.extend_from_slice(&flags.to_le_bytes());
+        if let Some(src) = &self.source {
+            write_u64(&mut out, src.len() as u64);
+            out.extend_from_slice(src.as_bytes());
+        }
+        encode_profile(&mut out, &self.profile);
+        if let Some(tasks) = &self.tasks {
+            encode_tasks(&mut out, tasks);
+        }
+        out
+    }
+
+    /// Decodes an artifact from bytes.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`AlcpError`] for every structural defect: foreign magic,
+    /// unsupported version, unknown flags, truncation, out-of-order or
+    /// otherwise malformed sections, undefined kind tags, non-UTF-8
+    /// source. Trailing bytes after the last section are rejected too, so
+    /// a valid artifact has exactly one byte representation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AlcpError> {
+        let mut pos = 0usize;
+        let magic: [u8; 4] = bytes
+            .get(..4)
+            .ok_or(AlcpError::Truncated("magic"))?
+            .try_into()
+            .expect("4-byte slice");
+        if magic != ALCP_MAGIC {
+            return Err(AlcpError::BadMagic(magic));
+        }
+        pos += 4;
+        let version = read_u16le(bytes, &mut pos).ok_or(AlcpError::Truncated("version"))?;
+        if !(ALCP_MIN_VERSION..=ALCP_VERSION).contains(&version) {
+            return Err(AlcpError::UnsupportedVersion {
+                found: version,
+                min_supported: ALCP_MIN_VERSION,
+                max_supported: ALCP_VERSION,
+            });
+        }
+        let flags = read_u16le(bytes, &mut pos).ok_or(AlcpError::Truncated("flags"))?;
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(AlcpError::UnknownFlags(flags & !KNOWN_FLAGS));
+        }
+        let source = if flags & FLAG_SOURCE != 0 {
+            let len = read_u64(bytes, &mut pos)?;
+            if len > MAX_SOURCE_BYTES {
+                return Err(AlcpError::Malformed("embedded source exceeds sanity limit"));
+            }
+            let end = pos
+                .checked_add(len as usize)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(AlcpError::Truncated("embedded source"))?;
+            let src = std::str::from_utf8(&bytes[pos..end])
+                .map_err(AlcpError::CorruptSource)?
+                .to_owned();
+            pos = end;
+            Some(src)
+        } else {
+            None
+        };
+        let profile = decode_profile(bytes, &mut pos)?;
+        let tasks = if flags & FLAG_TASKS != 0 {
+            Some(decode_tasks(bytes, &mut pos)?)
+        } else {
+            None
+        };
+        if pos != bytes.len() {
+            return Err(AlcpError::Malformed("trailing bytes after last section"));
+        }
+        Ok(ProfileArtifact {
+            profile,
+            source,
+            tasks,
+        })
+    }
+
+    /// Encodes and writes the artifact, returning the byte count.
+    /// Increments `profile.saves` when `metrics` is given.
+    ///
+    /// # Errors
+    ///
+    /// [`AlcpError::Io`] when the writer fails.
+    pub fn save_to(&self, mut w: impl Write, metrics: Option<&Metrics>) -> Result<u64, AlcpError> {
+        let bytes = self.to_bytes();
+        w.write_all(&bytes)?;
+        w.flush()?;
+        if let Some(m) = metrics {
+            m.incr(Counter::ProfileSaves);
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads a complete artifact from a reader. Increments `profile.loads`
+    /// when `metrics` is given.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProfileArtifact::from_bytes`], plus
+    /// [`AlcpError::Io`] on read failures.
+    pub fn load_from(mut r: impl Read, metrics: Option<&Metrics>) -> Result<Self, AlcpError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let artifact = ProfileArtifact::from_bytes(&bytes)?;
+        if let Some(m) = metrics {
+            m.incr(Counter::ProfileLoads);
+        }
+        Ok(artifact)
+    }
+}
+
+fn read_u16le(bytes: &[u8], pos: &mut usize) -> Option<u16> {
+    let v = bytes.get(*pos..*pos + 2)?;
+    *pos += 2;
+    Some(u16::from_le_bytes([v[0], v[1]]))
+}
+
+fn construct_kind_tag(kind: ConstructKind) -> u8 {
+    match kind {
+        ConstructKind::Method => 0,
+        ConstructKind::Loop => 1,
+        ConstructKind::Branch => 2,
+    }
+}
+
+fn construct_kind_from(tag: u8) -> Result<ConstructKind, AlcpError> {
+    match tag {
+        0 => Ok(ConstructKind::Method),
+        1 => Ok(ConstructKind::Loop),
+        2 => Ok(ConstructKind::Branch),
+        t => Err(AlcpError::BadKindTag(t)),
+    }
+}
+
+fn dep_kind_tag(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Raw => 0,
+        DepKind::War => 1,
+        DepKind::Waw => 2,
+    }
+}
+
+fn dep_kind_from(tag: u8) -> Result<DepKind, AlcpError> {
+    match tag {
+        0 => Ok(DepKind::Raw),
+        1 => Ok(DepKind::War),
+        2 => Ok(DepKind::Waw),
+        t => Err(AlcpError::BadKindTag(t)),
+    }
+}
+
+fn read_byte(bytes: &[u8], pos: &mut usize, what: &'static str) -> Result<u8, AlcpError> {
+    let b = *bytes.get(*pos).ok_or(AlcpError::Truncated(what))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Guards a decoded element count against the bytes actually remaining
+/// (every element costs at least one byte), so a corrupt count can never
+/// trigger a giant allocation or a long busy loop.
+fn check_count(n: u64, bytes: &[u8], pos: usize, what: &'static str) -> Result<usize, AlcpError> {
+    if n > (bytes.len() - pos) as u64 {
+        return Err(AlcpError::Truncated(what));
+    }
+    Ok(n as usize)
+}
+
+fn encode_profile(out: &mut Vec<u8>, profile: &DepProfile) {
+    write_u64(out, profile.total_steps);
+    write_u64(out, profile.dropped_readers);
+    write_u64(out, profile.intra_thread_deps);
+    write_u64(out, profile.cross_thread_deps);
+    write_u64(out, profile.shadow_stats.pages_allocated);
+    write_u64(out, profile.shadow_stats.read_set_spills);
+    let mut constructs: Vec<_> = profile.constructs().collect();
+    constructs.sort_by_key(|c| c.id.head);
+    write_u64(out, constructs.len() as u64);
+    let mut prev_head = 0u64;
+    for (i, c) in constructs.iter().enumerate() {
+        let head = u64::from(c.id.head.0);
+        // First head is absolute; later ones are gaps (strictly positive,
+        // which is what makes the ascending order checkable on decode).
+        write_u64(out, if i == 0 { head } else { head - prev_head });
+        prev_head = head;
+        out.push(construct_kind_tag(c.id.kind));
+        write_u64(out, c.ttotal);
+        write_u64(out, c.inst);
+        let mut edges: Vec<_> = c.edges.iter().collect();
+        edges.sort_by_key(|(k, _)| **k);
+        write_u64(out, edges.len() as u64);
+        let mut prev_edge_head = c.id.head.0;
+        for (key, stat) in edges {
+            out.push(dep_kind_tag(key.kind));
+            write_i64(out, i64::from(key.head.0) - i64::from(prev_edge_head));
+            write_i64(out, i64::from(key.tail.0) - i64::from(key.head.0));
+            prev_edge_head = key.head.0;
+            write_u64(out, stat.min_tdep);
+            write_u64(out, stat.count);
+            write_u64(out, stat.cross_count);
+            write_u64(out, u64::from(stat.sample_addr));
+            write_u64(out, u64::from(stat.sample_tids.0));
+            write_u64(out, u64::from(stat.sample_tids.1));
+        }
+        let mut nested: Vec<_> = c.nested_in.iter().map(|(a, n)| (*a, *n)).collect();
+        nested.sort_by_key(|(a, _)| *a);
+        write_u64(out, nested.len() as u64);
+        let mut prev_anc = 0u64;
+        for (j, (ancestor, count)) in nested.iter().enumerate() {
+            let anc = u64::from(ancestor.0);
+            write_u64(out, if j == 0 { anc } else { anc - prev_anc });
+            prev_anc = anc;
+            write_u64(out, *count);
+        }
+    }
+}
+
+fn read_pc(v: u64, what: &'static str) -> Result<Pc, AlcpError> {
+    u32::try_from(v)
+        .map(Pc)
+        .map_err(|_| AlcpError::Malformed(what))
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, AlcpError> {
+    u32::try_from(read_u64(bytes, pos)?).map_err(|_| AlcpError::Malformed(what))
+}
+
+fn decode_profile(bytes: &[u8], pos: &mut usize) -> Result<DepProfile, AlcpError> {
+    let mut profile = DepProfile::new();
+    profile.total_steps = read_u64(bytes, pos)?;
+    profile.dropped_readers = read_u64(bytes, pos)?;
+    profile.intra_thread_deps = read_u64(bytes, pos)?;
+    profile.cross_thread_deps = read_u64(bytes, pos)?;
+    profile.shadow_stats.pages_allocated = read_u64(bytes, pos)?;
+    profile.shadow_stats.read_set_spills = read_u64(bytes, pos)?;
+    let n_constructs = check_count(read_u64(bytes, pos)?, bytes, *pos, "construct table")?;
+    let mut prev_head = 0u64;
+    for i in 0..n_constructs {
+        let delta = read_u64(bytes, pos)?;
+        if i > 0 && delta == 0 {
+            return Err(AlcpError::Malformed(
+                "construct heads not strictly ascending",
+            ));
+        }
+        let head = if i == 0 { delta } else { prev_head + delta };
+        prev_head = head;
+        let head = read_pc(head, "construct head exceeds pc range")?;
+        let kind = construct_kind_from(read_byte(bytes, pos, "construct kind")?)?;
+        let id = ConstructId::new(head, kind);
+        let ttotal = read_u64(bytes, pos)?;
+        let inst = read_u64(bytes, pos)?;
+        profile.merge_duration(id, ttotal, inst);
+        let n_edges = check_count(read_u64(bytes, pos)?, bytes, *pos, "edge table")?;
+        let mut prev_edge_head = head.0;
+        let mut prev_key: Option<EdgeKey> = None;
+        for _ in 0..n_edges {
+            let kind = dep_kind_from(read_byte(bytes, pos, "edge kind")?)?;
+            let eh = i64::from(prev_edge_head) + crate::varint::read_i64(bytes, pos)?;
+            let eh = u32::try_from(eh).map_err(|_| AlcpError::Malformed("edge head pc"))?;
+            let et = i64::from(eh) + crate::varint::read_i64(bytes, pos)?;
+            let et = u32::try_from(et).map_err(|_| AlcpError::Malformed("edge tail pc"))?;
+            prev_edge_head = eh;
+            let key = EdgeKey {
+                kind,
+                head: Pc(eh),
+                tail: Pc(et),
+            };
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err(AlcpError::Malformed("edges not strictly ascending"));
+            }
+            prev_key = Some(key);
+            let stat = EdgeStat {
+                min_tdep: read_u64(bytes, pos)?,
+                count: read_u64(bytes, pos)?,
+                cross_count: read_u64(bytes, pos)?,
+                sample_addr: read_u32(bytes, pos, "sample address")?,
+                sample_tids: (
+                    read_u32(bytes, pos, "sample thread id")?,
+                    read_u32(bytes, pos, "sample thread id")?,
+                ),
+            };
+            profile.merge_edge(id, key, stat);
+        }
+        let n_nested = check_count(read_u64(bytes, pos)?, bytes, *pos, "nesting table")?;
+        let mut prev_anc = 0u64;
+        for j in 0..n_nested {
+            let delta = read_u64(bytes, pos)?;
+            if j > 0 && delta == 0 {
+                return Err(AlcpError::Malformed(
+                    "nesting ancestors not strictly ascending",
+                ));
+            }
+            let anc = if j == 0 { delta } else { prev_anc + delta };
+            prev_anc = anc;
+            let anc = read_pc(anc, "nesting ancestor exceeds pc range")?;
+            let count = read_u64(bytes, pos)?;
+            profile.merge_nested(id, anc, count);
+        }
+    }
+    Ok(profile)
+}
+
+fn encode_tasks(out: &mut Vec<u8>, tasks: &TaskTrace) {
+    write_u64(out, tasks.tasks.len() as u64);
+    let mut prev_head = 0u32;
+    let mut prev_enter = 0u64;
+    for t in &tasks.tasks {
+        write_i64(out, i64::from(t.head.0) - i64::from(prev_head));
+        prev_head = t.head.0;
+        // Tasks are ordered by t_enter, so the enter delta is unsigned.
+        write_u64(out, t.t_enter - prev_enter);
+        prev_enter = t.t_enter;
+        write_u64(out, t.t_exit.saturating_sub(t.t_enter));
+    }
+    write_u64(out, tasks.main_joins.len() as u64);
+    let mut prev_pos = 0i64;
+    for (seq_pos, task) in &tasks.main_joins {
+        write_i64(out, *seq_pos as i64 - prev_pos);
+        prev_pos = *seq_pos as i64;
+        write_u64(out, u64::from(task.0));
+    }
+    write_u64(out, tasks.task_edges.len() as u64);
+    for (from, to) in &tasks.task_edges {
+        write_u64(out, u64::from(from.0));
+        write_u64(out, u64::from(to.0));
+    }
+    write_u64(out, tasks.cross_thread_sharing);
+    write_u64(out, tasks.total_steps);
+}
+
+fn decode_tasks(bytes: &[u8], pos: &mut usize) -> Result<TaskTrace, AlcpError> {
+    let mut trace = TaskTrace::default();
+    let n_tasks = check_count(read_u64(bytes, pos)?, bytes, *pos, "task table")?;
+    trace.tasks.reserve_exact(n_tasks);
+    let mut prev_head = 0i64;
+    let mut prev_enter = 0u64;
+    for _ in 0..n_tasks {
+        let head = prev_head + crate::varint::read_i64(bytes, pos)?;
+        let head = u32::try_from(head).map_err(|_| AlcpError::Malformed("task head pc"))?;
+        prev_head = i64::from(head);
+        let t_enter = prev_enter
+            .checked_add(read_u64(bytes, pos)?)
+            .ok_or(AlcpError::Malformed("task enter time overflows"))?;
+        prev_enter = t_enter;
+        let t_exit = t_enter
+            .checked_add(read_u64(bytes, pos)?)
+            .ok_or(AlcpError::Malformed("task exit time overflows"))?;
+        trace.tasks.push(TaskInstance {
+            head: Pc(head),
+            t_enter,
+            t_exit,
+        });
+    }
+    let n_joins = check_count(read_u64(bytes, pos)?, bytes, *pos, "join table")?;
+    trace.main_joins.reserve_exact(n_joins);
+    let mut prev_pos = 0i64;
+    for _ in 0..n_joins {
+        let seq = prev_pos + crate::varint::read_i64(bytes, pos)?;
+        let seq = u64::try_from(seq).map_err(|_| AlcpError::Malformed("join position"))?;
+        prev_pos = seq as i64;
+        let task = read_u32(bytes, pos, "join task id")?;
+        trace.main_joins.push((seq, TaskId(task)));
+    }
+    let n_edges = check_count(read_u64(bytes, pos)?, bytes, *pos, "task edge table")?;
+    trace.task_edges.reserve_exact(n_edges);
+    for _ in 0..n_edges {
+        let from = read_u32(bytes, pos, "task edge endpoint")?;
+        let to = read_u32(bytes, pos, "task edge endpoint")?;
+        trace.task_edges.push((TaskId(from), TaskId(to)));
+    }
+    trace.cross_thread_sharing = read_u64(bytes, pos)?;
+    trace.total_steps = read_u64(bytes, pos)?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> DepProfile {
+        let mut p = DepProfile::new();
+        p.total_steps = 1234;
+        p.dropped_readers = 1;
+        p.intra_thread_deps = 5;
+        p.cross_thread_deps = 2;
+        p.shadow_stats.pages_allocated = 3;
+        p.shadow_stats.read_set_spills = 1;
+        let main = ConstructId::new(Pc(0), ConstructKind::Method);
+        let lp = ConstructId::new(Pc(17), ConstructKind::Loop);
+        p.merge_duration(main, 1234, 1);
+        p.merge_duration(lp, 900, 30);
+        p.merge_edge(
+            lp,
+            EdgeKey {
+                kind: DepKind::Raw,
+                head: Pc(21),
+                tail: Pc(9),
+            },
+            EdgeStat {
+                min_tdep: 4,
+                count: 29,
+                cross_count: 2,
+                sample_addr: 7,
+                sample_tids: (0, 1),
+            },
+        );
+        p.merge_edge(
+            lp,
+            EdgeKey {
+                kind: DepKind::War,
+                head: Pc(9),
+                tail: Pc(21),
+            },
+            EdgeStat {
+                min_tdep: 11,
+                count: 3,
+                cross_count: 0,
+                sample_addr: 7,
+                sample_tids: (0, 0),
+            },
+        );
+        p.merge_nested(lp, Pc(0), 30);
+        p
+    }
+
+    fn sample_tasks() -> TaskTrace {
+        TaskTrace {
+            tasks: vec![
+                TaskInstance {
+                    head: Pc(17),
+                    t_enter: 10,
+                    t_exit: 40,
+                },
+                TaskInstance {
+                    head: Pc(17),
+                    t_enter: 45,
+                    t_exit: 80,
+                },
+            ],
+            main_joins: vec![(60, TaskId(0))],
+            task_edges: vec![(TaskId(0), TaskId(1))],
+            cross_thread_sharing: 4,
+            total_steps: 1234,
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identical() {
+        let artifact = ProfileArtifact::new(sample_profile())
+            .with_source("int main() { return 0; }")
+            .with_tasks(sample_tasks());
+        let bytes = artifact.to_bytes();
+        let decoded = ProfileArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, artifact);
+        // Shadow stats are excluded from DepProfile equality; pin them
+        // separately to prove the round trip is lossless.
+        assert_eq!(decoded.profile.shadow_stats, artifact.profile.shadow_stats);
+        assert_eq!(decoded.to_bytes(), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn save_load_and_counters() {
+        let m = Metrics::new();
+        let artifact = ProfileArtifact::new(sample_profile());
+        let mut buf = Vec::new();
+        let n = artifact.save_to(&mut buf, Some(&m)).unwrap();
+        assert_eq!(n as usize, buf.len());
+        let back = ProfileArtifact::load_from(buf.as_slice(), Some(&m)).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(m.get(Counter::ProfileSaves), 1);
+        assert_eq!(m.get(Counter::ProfileLoads), 1);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_drops_tasks() {
+        let m = Metrics::new();
+        let a = ProfileArtifact::new(sample_profile())
+            .with_source("src")
+            .with_tasks(sample_tasks());
+        let mut b = ProfileArtifact::new(sample_profile()).with_source("src");
+        b.profile.total_steps = 99;
+        let mut ab = a.clone();
+        ab.merge(b.clone(), Some(&m)).unwrap();
+        let mut ba = b.clone();
+        ba.merge(a.clone(), Some(&m)).unwrap();
+        assert_eq!(ab.to_bytes(), ba.to_bytes(), "merge is commutative");
+        assert!(ab.tasks.is_none(), "merged artifacts drop task summaries");
+        assert_eq!(m.get(Counter::ProfileMerges), 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_sources() {
+        let mut a = ProfileArtifact::new(sample_profile()).with_source("int a;");
+        let before = a.clone();
+        let b = ProfileArtifact::new(sample_profile()).with_source("int b;");
+        assert!(matches!(a.merge(b, None), Err(AlcpError::SourceMismatch)));
+        assert_eq!(a, before, "failed merge leaves the base unchanged");
+    }
+
+    #[test]
+    fn corrupt_inputs_are_typed_errors() {
+        let artifact = ProfileArtifact::new(sample_profile()).with_source("int main;");
+        let bytes = artifact.to_bytes();
+        assert!(matches!(
+            ProfileArtifact::from_bytes(b"ALCT"),
+            Err(AlcpError::BadMagic(_))
+        ));
+        let mut future = bytes.clone();
+        future[4] = 9;
+        assert!(matches!(
+            ProfileArtifact::from_bytes(&future),
+            Err(AlcpError::UnsupportedVersion { found: 9, .. })
+        ));
+        let mut flagged = bytes.clone();
+        flagged[6] |= 0x80;
+        assert!(matches!(
+            ProfileArtifact::from_bytes(&flagged),
+            Err(AlcpError::UnknownFlags(_))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            ProfileArtifact::from_bytes(&trailing),
+            Err(AlcpError::Malformed(_))
+        ));
+        // Every truncation point decodes to a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                ProfileArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+}

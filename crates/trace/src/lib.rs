@@ -52,10 +52,19 @@
 //! future version, mid-chunk EOF, undefined event tag) decodes to a typed
 //! [`TraceError`].
 //!
+//! Beyond the event stream, the crate also persists the *result* of
+//! profiling: the [`alcp`] module defines `.alcp` profile artifacts — a
+//! sealed [`DepProfile`](alchemist_core::DepProfile) plus optional
+//! embedded source and task summary — with the same varint/delta toolbox
+//! and the same typed-error discipline ([`AlcpError`]). Artifacts from
+//! separate runs merge offline through the order-independent
+//! [`PartialProfile`](alchemist_core::PartialProfile) algebra.
+//!
 //! [`TraceSink`]: alchemist_vm::TraceSink
 
 #![warn(missing_docs)]
 
+pub mod alcp;
 pub mod error;
 pub mod format;
 pub mod par;
@@ -64,6 +73,7 @@ pub mod tee;
 pub mod varint;
 pub mod writer;
 
+pub use alcp::{AlcpError, ProfileArtifact, ALCP_MAGIC, ALCP_VERSION};
 pub use error::TraceError;
 pub use par::{
     decode_batches_par, decode_batches_par_with, decode_chunk, decode_chunk_into, decode_events_par,

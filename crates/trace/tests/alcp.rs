@@ -1,0 +1,258 @@
+//! `.alcp` profile-artifact integration tests: lossless byte-identical
+//! round trips for every bundled workload's real profile, canonical
+//! re-encoding for arbitrary generated artifacts, and typed errors — never
+//! panics — for corrupt input, including every possible truncation point
+//! of a real artifact.
+
+use alchemist_core::{
+    profile_module, ConstructId, ConstructKind, DepKind, DepProfile, EdgeKey, EdgeStat,
+    ProfileConfig,
+};
+use alchemist_parsim::{TaskId, TaskInstance, TaskTrace};
+use alchemist_trace::{alcp, AlcpError, ProfileArtifact};
+use alchemist_vm::Pc;
+use alchemist_workloads::Scale;
+use proptest::prelude::*;
+
+/// Real profiles from the bundled suite round-trip losslessly, and the
+/// re-encode of the decode reproduces the file byte for byte (the
+/// canonical-encoding guarantee CI's `cmp`-based smoke relies on).
+#[test]
+fn every_workload_profile_round_trips_byte_identical() {
+    for w in alchemist_workloads::all() {
+        let module = w.module();
+        let (profile, ..) = profile_module(
+            &module,
+            &w.exec_config(Scale::Tiny),
+            ProfileConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+        let artifact = ProfileArtifact::new(profile).with_source(w.source);
+        let bytes = artifact.to_bytes();
+        let decoded = ProfileArtifact::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{}: decode failed: {e}", w.name));
+        assert_eq!(decoded, artifact, "{}: lossy round trip", w.name);
+        assert_eq!(
+            decoded.profile.shadow_stats, artifact.profile.shadow_stats,
+            "{}: shadow telemetry dropped",
+            w.name
+        );
+        assert_eq!(
+            decoded.to_bytes(),
+            bytes,
+            "{}: non-canonical encoding",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_real_artifact_is_a_typed_error() {
+    let w = &alchemist_workloads::all()[0];
+    let module = w.module();
+    let (profile, ..) = profile_module(
+        &module,
+        &w.exec_config(Scale::Tiny),
+        ProfileConfig::default(),
+    )
+    .expect("workload runs");
+    let artifact = ProfileArtifact::new(profile).with_source(w.source);
+    let bytes = artifact.to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            ProfileArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of a {}-byte artifact must not decode",
+            bytes.len()
+        );
+    }
+    // Structural corruption beyond truncation.
+    assert!(matches!(
+        ProfileArtifact::from_bytes(b"ALCT\x01\x00\x00\x00"),
+        Err(AlcpError::BadMagic(_))
+    ));
+    let mut future = bytes.clone();
+    future[4] = 0xff;
+    assert!(matches!(
+        ProfileArtifact::from_bytes(&future),
+        Err(AlcpError::UnsupportedVersion { .. })
+    ));
+    let mut flagged = bytes.clone();
+    flagged[7] |= 0x40;
+    assert!(matches!(
+        ProfileArtifact::from_bytes(&flagged),
+        Err(AlcpError::UnknownFlags(_))
+    ));
+    let mut trailing = bytes;
+    trailing.push(0);
+    assert!(matches!(
+        ProfileArtifact::from_bytes(&trailing),
+        Err(AlcpError::Malformed("trailing bytes after last section"))
+    ));
+}
+
+/// The decoder rejects out-of-order tables rather than silently accepting
+/// a second byte representation of the same profile.
+#[test]
+fn non_canonical_orderings_are_rejected() {
+    // Hand-assemble a header + profile whose two constructs arrive with a
+    // zero head delta (i.e. not strictly ascending).
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ALCP");
+    bytes.extend_from_slice(&alcp::ALCP_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u16.to_le_bytes());
+    bytes.extend_from_slice(&[0, 0, 0, 0, 0, 0]); // six zero counters
+    bytes.push(2); // two constructs
+    bytes.extend_from_slice(&[5, 0, 1, 1, 0, 0]); // head 5, kind 0, ttotal 1, inst 1, no edges/nesting
+    bytes.extend_from_slice(&[0, 0, 1, 1, 0, 0]); // head delta 0 -> malformed
+    assert!(matches!(
+        ProfileArtifact::from_bytes(&bytes),
+        Err(AlcpError::Malformed(
+            "construct heads not strictly ascending"
+        ))
+    ));
+}
+
+/// `(kind tag, edge head, edge tail, min_tdep, count)`
+type EdgeTuple = (u8, u32, u32, u64, u64);
+/// `(head, ttotal, inst, edges, nested-in counts)`
+type ConstructTuple = (u32, u64, u64, Vec<EdgeTuple>, Vec<(u32, u64)>);
+
+fn build_profile(constructs: Vec<ConstructTuple>, counters: [u64; 6]) -> DepProfile {
+    let mut p = DepProfile::new();
+    let [steps, dropped, intra, cross, pages, spills] = counters;
+    p.total_steps = steps;
+    p.dropped_readers = dropped;
+    p.intra_thread_deps = intra;
+    p.cross_thread_deps = cross;
+    p.shadow_stats.pages_allocated = pages;
+    p.shadow_stats.read_set_spills = spills;
+    for (head, ttotal, inst, edges, nested) in constructs {
+        let kind = match head % 3 {
+            0 => ConstructKind::Method,
+            1 => ConstructKind::Loop,
+            _ => ConstructKind::Branch,
+        };
+        let id = ConstructId::new(Pc(head), kind);
+        p.merge_duration(id, ttotal, inst);
+        for (k, eh, et, tdep, count) in edges {
+            let kind = match k % 3 {
+                0 => DepKind::Raw,
+                1 => DepKind::War,
+                _ => DepKind::Waw,
+            };
+            p.merge_edge(
+                id,
+                EdgeKey {
+                    kind,
+                    head: Pc(eh),
+                    tail: Pc(et),
+                },
+                EdgeStat {
+                    min_tdep: tdep,
+                    count,
+                    cross_count: count / 2,
+                    sample_addr: eh.wrapping_mul(7),
+                    sample_tids: (k as u32 % 2, 0),
+                },
+            );
+        }
+        for (anc, n) in nested {
+            p.merge_nested(id, Pc(anc), n);
+        }
+    }
+    p
+}
+
+fn arb_profile() -> impl Strategy<Value = DepProfile> {
+    let edge = (0u8..3, 0u32..2000, 0u32..2000, 0u64..10_000, 1u64..50);
+    let construct = (
+        0u32..2000,
+        1u64..100_000,
+        1u64..50,
+        proptest::collection::vec(edge, 0..6),
+        proptest::collection::vec((0u32..2000, 1u64..20), 0..3),
+    );
+    let n = 0u64..1_000_000;
+    let counters = (n.clone(), n.clone(), n.clone(), n.clone(), n.clone(), n)
+        .prop_map(|(a, b, c, d, e, f)| [a, b, c, d, e, f]);
+    (proptest::collection::vec(construct, 0..6), counters)
+        .prop_map(|(cs, counters)| build_profile(cs, counters))
+}
+
+/// `Option`-of strategy (the vendored shim has no `prop::option::of`):
+/// `None` one draw in four, `Some` of the inner strategy otherwise.
+fn opt<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (0u8..4, inner).prop_map(|(toss, v)| (toss > 0).then_some(v))
+}
+
+fn arb_tasks() -> impl Strategy<Value = TaskTrace> {
+    (
+        proptest::collection::vec((0u32..2000, 0u64..100, 1u64..50), 0..6),
+        proptest::collection::vec((0u64..10_000, 0u32..8), 0..4),
+        proptest::collection::vec((0u32..8, 0u32..8), 0..4),
+        0u64..1000,
+        0u64..100_000,
+    )
+        .prop_map(|(ts, joins, edges, cross, steps)| {
+            // Enter times are strictly increasing with disjoint intervals,
+            // matching what task extraction produces.
+            let mut clock = 0u64;
+            let mut tasks = Vec::new();
+            for (head, dur, gap) in ts {
+                clock += gap;
+                tasks.push(TaskInstance {
+                    head: Pc(head),
+                    t_enter: clock,
+                    t_exit: clock + dur,
+                });
+                clock += dur;
+            }
+            TaskTrace {
+                tasks,
+                main_joins: joins.into_iter().map(|(s, id)| (s, TaskId(id))).collect(),
+                task_edges: edges
+                    .into_iter()
+                    .map(|(a, b)| (TaskId(a), TaskId(b)))
+                    .collect(),
+                cross_thread_sharing: cross,
+                total_steps: steps,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_artifacts_round_trip_byte_identical(
+        profile in arb_profile(),
+        source in opt("[ -~]{0,64}"),
+        tasks in opt(arb_tasks()),
+    ) {
+        let mut artifact = ProfileArtifact::new(profile);
+        if let Some(s) = source {
+            artifact = artifact.with_source(s);
+        }
+        if let Some(t) = tasks {
+            artifact = artifact.with_tasks(t);
+        }
+        let bytes = artifact.to_bytes();
+        let decoded = ProfileArtifact::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(&decoded.profile.shadow_stats, &artifact.profile.shadow_stats);
+        prop_assert_eq!(&decoded, &artifact);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Random mutilation never panics; it either still decodes (the flip
+    /// hit a value byte) or yields a typed error.
+    #[test]
+    fn random_corruption_never_panics(
+        profile in arb_profile(),
+        flip_at in 0usize..1 << 20,
+        flip_bits in 1u8..=255,
+    ) {
+        let artifact = ProfileArtifact::new(profile).with_source("int main() { return 0; }");
+        let mut bytes = artifact.to_bytes();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= flip_bits;
+        let _ = ProfileArtifact::from_bytes(&bytes);
+    }
+}

@@ -11,15 +11,18 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
-    profile_batches_par_with, profile_source, shard_batch_counts, AlchemistProfiler, DepProfile,
-    ProfileConfig, ProfileReport,
+    profile_batches_par_with, profile_module, profile_source, shard_batch_counts,
+    AlchemistProfiler, DepProfile, PartialProfile, ProfileConfig, ProfileReport,
 };
 use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 use alchemist_parsim::{
     extract_tasks, extract_tasks_from_batches_par_with, render_timeline, simulate,
     suggest_candidates, ExtractConfig, SimConfig,
 };
-use alchemist_trace::{decode_batches_par_with, ChunkInfo, MultiSink, TraceReader, TraceWriter};
+use alchemist_trace::{
+    decode_batches_par_with, ChunkInfo, MultiSink, ProfileArtifact, TraceReader, TraceWriter,
+    ALCP_MAGIC, ALCP_VERSION,
+};
 use alchemist_vm::{
     run_with_metrics, CountingSink, EventBatch, ExecConfig, NullSink, Pc, Tid, Time, TraceSink,
     DEFAULT_BATCH_EVENTS,
@@ -47,17 +50,27 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
                     [--csv-constructs FILE] [--csv-edges FILE]
+  alchemist profile save <file.mc|trace.alct> [--input a,b,c]...
+                    [-o|--out FILE.alcp] [--jobs N]
+                    [--metrics text|json] [--metrics-out FILE]
+  alchemist profile merge <A.alcp> <B.alcp>... -o|--out FILE.alcp
+                    [--metrics text|json] [--metrics-out FILE]
+  alchemist profile query <FILE.alcp> [--analysis profile,advise,stats]
+                    [--construct PC|LABEL] [--top N] [--threads K]
+                    [--metrics text|json] [--metrics-out FILE]
   alchemist run <file.mc> [--input a,b,c] [--batch-size N]
+                [--profile-out FILE.alcp]
                 [--metrics text|json] [--metrics-out FILE]
   alchemist advise <file.mc> [--input a,b,c] [--threads K]
   alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
                      [--input a,b,c] [--threads K] [--timeline]
   alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
-                   [--chunk-events N] [--batch-size N]
+                   [--chunk-events N] [--batch-size N] [--profile-out FILE.alcp]
                    [--metrics text|json] [--metrics-out FILE]
   alchemist replay <trace.alct> [--analysis profile,advise,stats]
                    [--top N] [--threads K] [--jobs N] [--batch-size N]
-                   [--war-waw LABEL] [--metrics text|json] [--metrics-out FILE]
+                   [--war-waw LABEL] [--profile-out FILE.alcp]
+                   [--metrics text|json] [--metrics-out FILE]
   alchemist workloads [--json]";
 
 /// A CLI failure: a message, plus whether the generic usage block helps.
@@ -143,6 +156,8 @@ struct CommonArgs {
     timeline: bool,
     /// `Some` only when `--batch-size` was given explicitly.
     batch_size: Option<usize>,
+    /// Save the run's dependence profile as a `.alcp` artifact here.
+    profile_out: Option<String>,
     metrics: MetricsOpt,
 }
 
@@ -188,13 +203,57 @@ impl MetricsOpt {
         match &self.out {
             Some(path) => {
                 std::fs::write(path, &rendered)
-                    .map_err(|e| CliError::bare(format!("cannot write {path}: {e}")))?;
+                    .map_err(|e| CliError::bare(format!("cannot create {path}: {e}")))?;
                 eprintln!("wrote metrics to {path}");
             }
             None => print!("{rendered}"),
         }
         Ok(())
     }
+}
+
+/// Validates a comma-separated `--analysis` list against the analyses the
+/// offline consumers (`replay`, `profile query`) implement. An unknown
+/// name is a typed error naming the bad value and the valid set.
+fn parse_analyses(value: &str) -> Result<Vec<String>, CliError> {
+    let mut analyses: Vec<String> = Vec::new();
+    for a in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !matches!(a, "profile" | "advise" | "stats") {
+            return Err(CliError::bare(format!(
+                "unknown analysis `{a}` (expected profile, advise or stats)"
+            )));
+        }
+        if !analyses.iter().any(|seen| seen == a) {
+            analyses.push(a.to_owned());
+        }
+    }
+    if analyses.is_empty() {
+        return Err(CliError::bare(
+            "--analysis needs at least one of profile, advise, stats",
+        ));
+    }
+    Ok(analyses)
+}
+
+/// Writes a `.alcp` artifact to `path`, returning the byte count.
+fn write_artifact(
+    artifact: &ProfileArtifact,
+    path: &str,
+    metrics: Option<&Metrics>,
+) -> Result<u64, CliError> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| CliError::bare(format!("cannot create {path}: {e}")))?;
+    artifact
+        .save_to(BufWriter::new(f), metrics)
+        .map_err(|e| CliError::bare(format!("cannot write {path}: {e}")))
+}
+
+/// Loads a `.alcp` artifact; corrupt input surfaces the typed
+/// [`alchemist_trace::AlcpError`] with the file name attached.
+fn load_artifact(path: &str, metrics: Option<&Metrics>) -> Result<ProfileArtifact, CliError> {
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ProfileArtifact::load_from(BufReader::new(f), metrics)
+        .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))
 }
 
 fn parse_input_list(v: &str) -> Result<Vec<i64>, CliError> {
@@ -220,6 +279,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
     let mut privatize = Vec::new();
     let mut timeline = false;
     let mut batch_size = None;
+    let mut profile_out = None;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -265,6 +325,9 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
             "--batch-size" => {
                 batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone());
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -290,6 +353,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
         privatize,
         timeline,
         batch_size,
+        profile_out,
         metrics: MetricsOpt::validate(metrics_format, metrics_out)?,
     })
 }
@@ -311,6 +375,14 @@ fn render_profile_report(
 }
 
 fn profile_cmd(args: &[String]) -> Result<(), CliError> {
+    // `profile save|merge|query` operate on persistent `.alcp` artifacts;
+    // anything else is the classic live-profiling form.
+    match args.first().map(String::as_str) {
+        Some("save") => return profile_save_cmd(&args[1..]),
+        Some("merge") => return profile_merge_cmd(&args[1..]),
+        Some("query") => return profile_query_cmd(&args[1..]),
+        _ => {}
+    }
     let a = parse_common(
         "profile",
         args,
@@ -345,27 +417,463 @@ fn profile_cmd(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `profile save`: profile a source file (once per `--input`, aggregated
+/// through the order-independent [`PartialProfile`] merge) or replay a
+/// recorded trace, and persist the result as a `.alcp` artifact.
+fn profile_save_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &[
+        "--input",
+        "-o",
+        "--out",
+        "--jobs",
+        "--metrics",
+        "--metrics-out",
+    ];
+    let mut file = None;
+    let mut inputs: Vec<Vec<i64>> = Vec::new();
+    let mut out = None;
+    let mut jobs = 1usize;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => {
+                inputs.push(parse_input_list(it.next().ok_or("--input needs a value")?)?);
+            }
+            "-o" | "--out" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--jobs" => {
+                jobs = parse_ge1("--jobs", it.next())?;
+            }
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            flag if flag.starts_with('-') => return Err(unknown_flag("profile save", flag, FLAGS)),
+            path if file.is_none() => file = Some(path.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let mopt = MetricsOpt::validate(metrics_format, metrics_out)?;
+    let metrics = mopt.enabled().then(Metrics::new);
+    let m = metrics.as_ref();
+    let path = file.ok_or("profile save needs a source file or trace")?;
+    let out_path = out.unwrap_or_else(|| {
+        let mut p = std::path::PathBuf::from(&path);
+        p.set_extension("alcp");
+        p.display().to_string()
+    });
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact = if bytes.starts_with(&alchemist_trace::format::MAGIC) {
+        if !inputs.is_empty() {
+            return Err(CliError::bare(
+                "--input applies to source saves; a trace already fixes its input",
+            ));
+        }
+        save_from_trace(&path, jobs, m)?
+    } else if bytes.starts_with(&ALCP_MAGIC) {
+        return Err(CliError::bare(format!(
+            "{path} is already a profile artifact; use `profile merge` or `profile query`"
+        )));
+    } else {
+        let source = String::from_utf8(bytes)
+            .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))?;
+        save_from_source(&source, inputs, m)?
+    };
+    let n = write_artifact(&artifact, &out_path, m)?;
+    println!(
+        "wrote profile artifact to {out_path} ({n} bytes, {} constructs, \
+         {} recorded instructions)",
+        artifact.profile.len(),
+        artifact.profile.total_steps
+    );
+    if let Some(metrics) = &metrics {
+        mopt.emit(metrics, "profile save")?;
+    }
+    Ok(())
+}
+
+/// Profiles `source` once per input vector (no `--input` means one run on
+/// the empty input) and aggregates the runs into one artifact. Single-run
+/// saves also embed the best candidate's task summary so `profile query
+/// --analysis advise` can simulate offline.
+fn save_from_source(
+    source: &str,
+    mut inputs: Vec<Vec<i64>>,
+    m: Option<&Metrics>,
+) -> Result<ProfileArtifact, CliError> {
+    let module = alchemist_vm::compile_source(source).map_err(|e| e.to_string())?;
+    if inputs.is_empty() {
+        inputs.push(Vec::new());
+    }
+    let single_run = inputs.len() == 1;
+    let mut aggregated = PartialProfile::new();
+    for (i, input) in inputs.iter().enumerate() {
+        let exec_cfg = ExecConfig::with_input(input.clone());
+        let (profile, ..) = profile_module(&module, &exec_cfg, ProfileConfig::default())
+            .map_err(|e| e.to_string())?;
+        if i > 0 {
+            if let Some(m) = m {
+                m.incr(Counter::ProfileMerges);
+            }
+        }
+        aggregated.merge(&PartialProfile::from(profile));
+    }
+    let mut artifact = ProfileArtifact::new(aggregated.seal()).with_source(source);
+    if single_run {
+        // One extra run extracts the best candidate's task schedule; a
+        // multi-input aggregate has no single schedule to embed.
+        let report = ProfileReport::new(&artifact.profile, &module);
+        let candidates = suggest_candidates(&report, &module, 0.02, 0);
+        if let Some(best) = candidates.first() {
+            let mut cfg = ExtractConfig::default().mark(best.head);
+            for v in &best.privatize {
+                cfg = cfg.privatize(v);
+            }
+            let tasks = extract_tasks(&module, &ExecConfig::with_input(inputs[0].clone()), cfg)
+                .map_err(|e| e.to_string())?;
+            artifact = artifact.with_tasks(tasks);
+        }
+    }
+    Ok(artifact)
+}
+
+/// Replays a recorded trace (chunk-parallel with `--jobs`) into a profile
+/// artifact, embedding the trace's source and the best candidate's task
+/// summary — all offline, no re-execution.
+fn save_from_trace(
+    path: &str,
+    jobs: usize,
+    m: Option<&Metrics>,
+) -> Result<ProfileArtifact, CliError> {
+    let reader = open_trace(path)?;
+    let module = trace_module(&reader)?;
+    let source = reader
+        .source()
+        .expect("trace_module required the source")
+        .to_owned();
+    let (batches, summary) = decode_batches_par_with(reader, jobs, m)
+        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+    let (profile, _, _) = profile_batches_par_with(
+        &module,
+        &batches,
+        summary.total_steps,
+        ProfileConfig::default(),
+        jobs,
+        m,
+    );
+    let mut artifact = ProfileArtifact::new(profile).with_source(source);
+    let report = ProfileReport::new(&artifact.profile, &module);
+    let candidates = suggest_candidates(&report, &module, 0.02, 0);
+    if let Some(best) = candidates.first() {
+        let mut cfg = ExtractConfig::default().mark(best.head);
+        for v in &best.privatize {
+            cfg = cfg.privatize(v);
+        }
+        let tasks = extract_tasks_from_batches_par_with(
+            &module,
+            cfg,
+            &batches,
+            summary.total_steps,
+            jobs,
+            m,
+        );
+        artifact = artifact.with_tasks(tasks);
+    }
+    Ok(artifact)
+}
+
+/// `profile merge`: fold N artifacts into one through the
+/// order-independent [`PartialProfile`] algebra.
+fn profile_merge_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &["-o", "--out", "--metrics", "--metrics-out"];
+    let mut files: Vec<String> = Vec::new();
+    let mut out = None;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(unknown_flag("profile merge", flag, FLAGS))
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    let mopt = MetricsOpt::validate(metrics_format, metrics_out)?;
+    let metrics = mopt.enabled().then(Metrics::new);
+    let m = metrics.as_ref();
+    if files.is_empty() {
+        return Err("profile merge needs at least one .alcp artifact".into());
+    }
+    let out_path = out.ok_or("profile merge needs -o|--out FILE.alcp")?;
+    let mut merged = load_artifact(&files[0], m)?;
+    for f in &files[1..] {
+        let other = load_artifact(f, m)?;
+        merged
+            .merge(other, m)
+            .map_err(|e| CliError::bare(format!("{f}: {e}")))?;
+    }
+    let n = write_artifact(&merged, &out_path, m)?;
+    println!(
+        "merged {} artifact(s) into {out_path} ({n} bytes, {} constructs, \
+         {} recorded instructions)",
+        files.len(),
+        merged.profile.len(),
+        merged.profile.total_steps
+    );
+    if let Some(metrics) = &metrics {
+        mopt.emit(metrics, "profile merge")?;
+    }
+    Ok(())
+}
+
+/// `profile query`: run the offline analyses over a saved artifact —
+/// no re-execution, no trace, just the `.alcp` file.
+fn profile_query_cmd(args: &[String]) -> Result<(), CliError> {
+    const FLAGS: &[&str] = &[
+        "--analysis",
+        "--construct",
+        "--top",
+        "--threads",
+        "--metrics",
+        "--metrics-out",
+    ];
+    let mut file = None;
+    let mut analysis = "profile".to_owned();
+    let mut construct: Option<String> = None;
+    let mut top = 10;
+    let mut threads = 4;
+    let mut metrics_format = None;
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--analysis" => {
+                analysis = it.next().ok_or("--analysis needs a value")?.clone();
+            }
+            "--construct" => {
+                construct = Some(it.next().ok_or("--construct needs a pc or label")?.clone());
+            }
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--metrics" => {
+                metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(unknown_flag("profile query", flag, FLAGS))
+            }
+            path if file.is_none() => file = Some(path.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let mopt = MetricsOpt::validate(metrics_format, metrics_out)?;
+    let metrics = mopt.enabled().then(Metrics::new);
+    let m = metrics.as_ref();
+    let path = file.ok_or("profile query needs a .alcp artifact")?;
+    let analyses = parse_analyses(&analysis)?;
+    if construct.is_some() && !analyses.iter().any(|a| a == "profile") {
+        return Err(CliError::bare("--construct requires the profile analysis"));
+    }
+    let artifact = load_artifact(&path, m)?;
+    let need_module = analyses.iter().any(|a| a == "profile" || a == "advise");
+    let module = if need_module {
+        let src = artifact.source.as_deref().ok_or_else(|| {
+            CliError::bare("profile artifact has no embedded source; cannot rebuild the module")
+        })?;
+        Some(
+            alchemist_vm::compile_source(src)
+                .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))?,
+        )
+    } else {
+        None
+    };
+    for (i, analysis) in analyses.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match analysis.as_str() {
+            // The profile analysis deliberately never prints the file path:
+            // two artifacts with equal contents (e.g. a merge of per-run
+            // saves vs a direct aggregated save) query identically.
+            "profile" => {
+                let md = module.as_ref().expect("compiled above");
+                println!(
+                    "profile artifact: {} recorded instructions, {} static constructs",
+                    artifact.profile.total_steps,
+                    artifact.profile.len()
+                );
+                println!();
+                let report = ProfileReport::new(&artifact.profile, md);
+                render_profile_report(&report, top, None)?;
+                if let Some(sel) = &construct {
+                    let (label, head) = if let Ok(pc) = sel.parse::<u32>() {
+                        let c = artifact
+                            .profile
+                            .construct(Pc(pc))
+                            .ok_or_else(|| CliError::bare(format!("no construct at pc {pc}")))?;
+                        (format!("pc {pc}"), c.id.head)
+                    } else {
+                        let c = report
+                            .find(sel)
+                            .ok_or_else(|| format!("no construct matching `{sel}`"))?;
+                        (c.label.clone(), c.head)
+                    };
+                    println!("\nWAR/WAW profile for {label}:");
+                    print!("{}", report.render_war_waw(head));
+                }
+            }
+            "advise" => {
+                let md = module.as_ref().expect("compiled above");
+                let report = ProfileReport::new(&artifact.profile, md);
+                let candidates = suggest_candidates(&report, md, 0.02, 0);
+                if candidates.is_empty() {
+                    println!("no construct qualifies for asynchronous execution");
+                    println!("(every sizable construct has violating RAW dependences)");
+                    continue;
+                }
+                println!("parallelization candidates (largest first):\n");
+                for c in &candidates {
+                    println!(
+                        "  {:<30} {:>5.1}% of run, violating RAW: {}",
+                        c.label,
+                        c.norm_size * 100.0,
+                        c.violating_raw
+                    );
+                    if !c.privatize.is_empty() {
+                        println!("      privatize: {}", c.privatize.join(", "));
+                    }
+                }
+                match &artifact.tasks {
+                    Some(tasks) => {
+                        let sim = simulate(tasks, &SimConfig::with_threads(threads));
+                        println!(
+                            "\nsimulating `{}` (embedded task summary) on {} threads: \
+                             {:.2}x speedup ({} tasks, {} joins)",
+                            candidates[0].label, threads, sim.speedup, sim.tasks, sim.main_joins
+                        );
+                        if tasks.cross_thread_sharing > 0 {
+                            println!(
+                                "cross-thread: {} dependences already run on separate program \
+                                 threads (excluded from serialization cost)",
+                                tasks.cross_thread_sharing
+                            );
+                        }
+                    }
+                    None => println!(
+                        "\n(no embedded task summary: merged artifacts drop schedules; \
+                         re-run `profile save` on a single run or a trace to simulate offline)"
+                    ),
+                }
+            }
+            "stats" => {
+                let file_bytes = std::fs::metadata(&path)
+                    .map_err(|e| format!("cannot stat {path}: {e}"))?
+                    .len();
+                println!("profile artifact {path}: format v{ALCP_VERSION}, {file_bytes} bytes");
+                match &artifact.source {
+                    Some(s) => println!("embedded source: yes ({} lines)", s.lines().count()),
+                    None => println!("embedded source: no"),
+                }
+                match &artifact.tasks {
+                    Some(t) => println!(
+                        "task summary: yes ({} tasks, {} joins)",
+                        t.tasks.len(),
+                        t.main_joins.len()
+                    ),
+                    None => println!("task summary: no"),
+                }
+                let edges: usize = artifact.profile.constructs().map(|c| c.edges.len()).sum();
+                println!(
+                    "profile: {} recorded instructions, {} constructs, {} dependence edges",
+                    artifact.profile.total_steps,
+                    artifact.profile.len(),
+                    edges
+                );
+                println!(
+                    "dependences: {} intra-thread, {} cross-thread",
+                    artifact.profile.intra_thread_deps, artifact.profile.cross_thread_deps
+                );
+                println!(
+                    "reads dropped at reader cap: {}",
+                    artifact.profile.dropped_readers
+                );
+            }
+            _ => unreachable!("validated by parse_analyses"),
+        }
+    }
+    if let Some(metrics) = &metrics {
+        mopt.emit(metrics, "profile query")?;
+    }
+    Ok(())
+}
+
 fn run_cmd(args: &[String]) -> Result<(), CliError> {
     let a = parse_common(
         "run",
         args,
-        &["--input", "--batch-size", "--metrics", "--metrics-out"],
+        &[
+            "--input",
+            "--batch-size",
+            "--profile-out",
+            "--metrics",
+            "--metrics-out",
+        ],
     )?;
     let metrics = a.metrics.enabled().then(Metrics::new);
     let m = metrics.as_ref();
-    let out = {
+    let (out, profile) = {
         let _total_span = span_opt(m, Stage::Total);
         let module = {
             let _parse_span = span_opt(m, Stage::Parse);
             alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?
         };
         // `run` observes nothing (NullSink), so batching is opt-in here: the
-        // default stays the zero-overhead per-event baseline.
+        // default stays the zero-overhead per-event baseline. With
+        // --profile-out the profiler rides the run instead.
         let exec_config = ExecConfig {
             batch_events: a.batch_size.unwrap_or(0),
             ..ExecConfig::with_input(a.input)
         };
-        run_with_metrics(&module, &exec_config, &mut NullSink, m).map_err(|e| e.to_string())?
+        if a.profile_out.is_some() {
+            let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
+            let out =
+                run_with_metrics(&module, &exec_config, &mut prof, m).map_err(|e| e.to_string())?;
+            let p = prof.into_profile(out.steps);
+            (out, Some(p))
+        } else {
+            let out = run_with_metrics(&module, &exec_config, &mut NullSink, m)
+                .map_err(|e| e.to_string())?;
+            (out, None)
+        }
     };
     for v in &out.output {
         println!("{v}");
@@ -374,6 +882,11 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
         "exit value: {} ({} instructions)",
         out.exit_value, out.steps
     );
+    if let (Some(path), Some(p)) = (&a.profile_out, profile) {
+        let artifact = ProfileArtifact::new(p).with_source(&*a.source);
+        write_artifact(&artifact, path, m)?;
+        eprintln!("wrote profile artifact to {path}");
+    }
     if let Some(metrics) = &metrics {
         a.metrics.emit(metrics, "run")?;
     }
@@ -489,6 +1002,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         "--out",
         "--chunk-events",
         "--batch-size",
+        "--profile-out",
         "--metrics",
         "--metrics-out",
     ];
@@ -497,6 +1011,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let mut input = Vec::new();
     let mut chunk_events = None;
     let mut batch_size = None;
+    let mut profile_out: Option<String> = None;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -507,6 +1022,9 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             }
             "-o" | "--out" => {
                 out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone());
             }
             "--chunk-events" => {
                 chunk_events = Some(
@@ -569,19 +1087,36 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             batch_events: batch_size.unwrap_or(0),
             ..ExecConfig::with_input(input)
         };
-        let outcome = run_with_metrics(&module, &exec_config, &mut writer, metrics.as_deref())
-            .map_err(|e| e.to_string())?;
+        // With --profile-out the profiler rides the same run through a
+        // sink fan-out: one execution yields both artifacts.
+        let mut prof = profile_out
+            .is_some()
+            .then(|| AlchemistProfiler::new(&module, ProfileConfig::default()));
+        let outcome = if let Some(p) = prof.as_mut() {
+            let mut fan = MultiSink::new();
+            fan.push(&mut writer).push(p);
+            run_with_metrics(&module, &exec_config, &mut fan, metrics.as_deref())
+        } else {
+            run_with_metrics(&module, &exec_config, &mut writer, metrics.as_deref())
+        }
+        .map_err(|e| e.to_string())?;
         let (_, stats) = writer
             .finish(outcome.steps)
             .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
-        Ok((outcome, stats))
+        let profile = prof.map(|p| p.into_profile(outcome.steps));
+        Ok((outcome, stats, profile))
     };
-    let (outcome, stats) = record().inspect_err(|_| {
+    let (outcome, stats, profile) = record().inspect_err(|_| {
         // A trap or write failure leaves a footer-less file behind; do not
         // hand the user a corrupt artifact produced by our own tool.
         let _ = std::fs::remove_file(&out_path);
     })?;
     drop(total_span);
+    if let (Some(path), Some(p)) = (&profile_out, profile) {
+        let artifact = ProfileArtifact::new(p).with_source(&*source);
+        write_artifact(&artifact, path, metrics.as_deref())?;
+        eprintln!("wrote profile artifact to {path}");
+    }
     println!(
         "recorded {} events in {} chunks to {out_path}",
         stats.events, stats.chunks
@@ -607,6 +1142,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         "--jobs",
         "--batch-size",
         "--war-waw",
+        "--profile-out",
         "--metrics",
         "--metrics-out",
     ];
@@ -617,6 +1153,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     let mut jobs = 1usize;
     let mut batch_size = None;
     let mut war_waw = None;
+    let mut profile_out = None;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -624,6 +1161,9 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         match a.as_str() {
             "--analysis" => {
                 analysis = it.next().ok_or("--analysis needs a value")?.clone();
+            }
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone());
             }
             "--metrics" => {
                 metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
@@ -662,22 +1202,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     let path = file.ok_or("replay needs a trace file")?;
     // `--analysis` accepts a comma-separated list; one decode pass serves
     // every requested analysis.
-    let mut analyses: Vec<String> = Vec::new();
-    for a in analysis.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        if !matches!(a, "profile" | "advise" | "stats") {
-            return Err(CliError::bare(format!(
-                "unknown analysis `{a}` (expected profile, advise or stats)"
-            )));
-        }
-        if !analyses.iter().any(|seen| seen == a) {
-            analyses.push(a.to_owned());
-        }
-    }
-    if analyses.is_empty() {
-        return Err(CliError::bare(
-            "--analysis needs at least one of profile, advise, stats",
-        ));
-    }
+    let analyses = parse_analyses(&analysis)?;
     run_replay(
         &path,
         &analyses,
@@ -686,6 +1211,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         jobs,
         batch_size,
         war_waw.as_deref(),
+        profile_out.as_deref(),
         &MetricsOpt::validate(metrics_format, metrics_out)?,
     )
 }
@@ -723,11 +1249,14 @@ fn run_replay(
     jobs: usize,
     batch_size: Option<usize>,
     war_waw: Option<&str>,
+    profile_out: Option<&str>,
     mopt: &MetricsOpt,
 ) -> Result<(), CliError> {
     let want = |name: &str| analyses.iter().any(|a| a == name);
     let need_advise = want("advise");
-    let need_profile = want("profile") || need_advise;
+    // --profile-out needs the profile computed even when no analysis
+    // prints it (replay straight into an artifact).
+    let need_profile = want("profile") || need_advise || profile_out.is_some();
     let need_stats = want("stats");
 
     // Replay always carries a Metrics: the stats analysis reads throughput
@@ -755,6 +1284,7 @@ fn run_replay(
     let mut counts = CountingSink::default();
     let mut addrs = AddrSpan::default();
     let mut drops = None;
+    let mut source_for_artifact: Option<String> = None;
     let module;
     let summary;
     {
@@ -772,6 +1302,11 @@ fn run_replay(
         };
         if need_stats {
             drops = module.as_ref().map(CapDrops::new);
+        }
+        // Grabbed before the decode consumes the reader: a saved artifact
+        // stays self-contained like the trace it came from.
+        if profile_out.is_some() {
+            source_for_artifact = reader.source().map(str::to_owned);
         }
 
         if jobs > 1 || need_advise {
@@ -917,6 +1452,17 @@ fn run_replay(
             }
             _ => unreachable!("validated in replay_cmd"),
         }
+    }
+    if let Some(out_path) = profile_out {
+        let p = profile.clone().expect("profiled above");
+        let mut artifact = ProfileArtifact::new(p);
+        if let Some(src) = source_for_artifact {
+            artifact = artifact.with_source(src);
+        }
+        write_artifact(&artifact, out_path, m)?;
+        // Stderr, like the shard summary: stdout stays byte-identical
+        // across job counts for the parity tests.
+        eprintln!("wrote profile artifact to {out_path}");
     }
     mopt.emit(&metrics, "replay")?;
     Ok(())
@@ -1189,11 +1735,12 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 .map_or("null".to_owned(), |s| format!("{s}"));
             // One Tiny-scale run per workload yields the exact event count
             // a recording of it would contain and — via an in-memory trace
-            // writer riding the same run — the exact encoded byte size (the
-            // suite is deterministic, so these are stable facts, not
-            // estimates).
+            // writer and a profiler riding the same run — the exact encoded
+            // byte sizes of both artifacts (the suite is deterministic, so
+            // these are stable facts, not estimates).
             let module = w.module();
             let mut counts = CountingSink::default();
+            let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
             let mut writer = if module.uses_threads() {
                 TraceWriter::new_v2(Vec::new(), None)
             } else {
@@ -1202,13 +1749,18 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?;
             let out = {
                 let mut fan = MultiSink::new();
-                fan.push(&mut counts).push(&mut writer);
+                fan.push(&mut counts).push(&mut writer).push(&mut prof);
                 alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut fan)
                     .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?
             };
             let (_, tstats) = writer
                 .finish(out.steps)
                 .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?;
+            // Like trace_bytes, profile_bytes is the source-less artifact:
+            // the size of the data, not of the embedded program text.
+            let profile_bytes = ProfileArtifact::new(prof.into_profile(out.steps))
+                .to_bytes()
+                .len();
             let events = counts.enters
                 + counts.exits
                 + counts.blocks
@@ -1218,7 +1770,7 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
             println!(
                 "  {{\"name\": \"{}\", \"loc\": {}, \"description\": \"{}\", \"source\": \"{}\", \
                  \"threaded\": {}, \"events\": {}, \"steps\": {}, \"trace_bytes\": {}, \
-                 \"paper_speedup\": {}}}{}",
+                 \"profile_bytes\": {}, \"paper_speedup\": {}}}{}",
                 json_escape(w.name),
                 w.loc(),
                 json_escape(w.description),
@@ -1227,6 +1779,7 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 events,
                 out.steps,
                 tstats.bytes,
+                profile_bytes,
                 speedup,
                 if i + 1 < suite.len() { "," } else { "" }
             );

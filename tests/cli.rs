@@ -643,3 +643,317 @@ fn profile_csv_exports_are_written() {
     let _ = std::fs::remove_file(c_path);
     let _ = std::fs::remove_file(e_path);
 }
+
+fn temp_artifact_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("alchemist-test-{name}-{}.alcp", std::process::id()))
+}
+
+/// The headline `.alcp` invariant, end to end through the binary: merging
+/// per-run artifacts yields byte-for-byte the artifact of the directly
+/// aggregated run, and `profile query` renders the same report for both.
+#[test]
+fn profile_save_merge_query_round_trips_through_files() {
+    let src = write_temp("alcp-rt", PROGRAM);
+    let (a, b) = (temp_artifact_path("rt-a"), temp_artifact_path("rt-b"));
+    let (merged, direct) = (temp_artifact_path("rt-m"), temp_artifact_path("rt-d"));
+
+    for (input, path) in [("1,2,3", &a), ("4,5", &b)] {
+        let out = bin()
+            .args(["profile", "save"])
+            .arg(&src)
+            .args(["--input", input, "-o"])
+            .arg(path)
+            .output()
+            .expect("spawns");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("wrote profile artifact"), "{stdout}");
+    }
+    let out = bin()
+        .args(["profile", "merge"])
+        .args([&a, &b])
+        .arg("-o")
+        .arg(&merged)
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["profile", "save"])
+        .arg(&src)
+        .args(["--input", "1,2,3", "--input", "4,5", "-o"])
+        .arg(&direct)
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&merged).expect("merged artifact"),
+        std::fs::read(&direct).expect("direct artifact"),
+        "merged artifact bytes differ from the direct aggregate's"
+    );
+
+    // Both query identically (the report never prints the file path), and
+    // the report names the hot construct.
+    let query = |p: &std::path::PathBuf| {
+        let out = bin()
+            .args(["profile", "query"])
+            .arg(p)
+            .args(["--analysis", "profile"])
+            .output()
+            .expect("spawns");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let report = query(&merged);
+    assert_eq!(report, query(&direct), "query outputs diverge");
+    assert!(report.contains("profile artifact:"), "{report}");
+    assert!(report.contains("Method main"), "{report}");
+
+    for p in [a, b, merged, direct] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(src);
+}
+
+/// The `--profile-out` rider writes the same bytes whether it rides a
+/// live `run`, a `record`, or a `replay` of the recorded trace; a full
+/// `profile save` of that trace additionally embeds the task summary but
+/// queries identically for the profile analysis.
+#[test]
+fn profile_out_rider_is_identical_across_run_record_and_replay() {
+    let src = write_temp("alcp-rider", PROGRAM);
+    let trace = temp_trace_path("alcp-rider");
+    let via_run = temp_artifact_path("rider-run");
+    let via_record = temp_artifact_path("rider-record");
+    let via_replay = temp_artifact_path("rider-replay");
+    let via_save = temp_artifact_path("rider-save");
+
+    let run = bin()
+        .args(["run"])
+        .arg(&src)
+        .arg("--profile-out")
+        .arg(&via_run)
+        .output()
+        .expect("spawns");
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let rec = bin()
+        .args(["record"])
+        .arg(&src)
+        .arg("-o")
+        .arg(&trace)
+        .arg("--profile-out")
+        .arg(&via_record)
+        .output()
+        .expect("spawns");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let rep = bin()
+        .args(["replay"])
+        .arg(&trace)
+        .args(["--analysis", "stats", "--profile-out"])
+        .arg(&via_replay)
+        .output()
+        .expect("spawns");
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
+    let reference = std::fs::read(&via_run).expect("run artifact");
+    assert_eq!(
+        std::fs::read(&via_record).expect("record artifact"),
+        reference,
+        "record rider diverges from run rider"
+    );
+    assert_eq!(
+        std::fs::read(&via_replay).expect("replay artifact"),
+        reference,
+        "replay rider diverges from run rider"
+    );
+
+    // A full save of the trace also embeds the task summary for offline
+    // advise (the rider deliberately skips that extra pass)...
+    let save = bin()
+        .args(["profile", "save"])
+        .arg(&trace)
+        .arg("-o")
+        .arg(&via_save)
+        .output()
+        .expect("spawns");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    let stats = bin()
+        .args(["profile", "query"])
+        .arg(&via_save)
+        .args(["--analysis", "stats"])
+        .output()
+        .expect("spawns");
+    let stats_out = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats_out.contains("task summary: yes"), "{stats_out}");
+    let advise = bin()
+        .args(["profile", "query"])
+        .arg(&via_save)
+        .args(["--analysis", "advise"])
+        .output()
+        .expect("spawns");
+    let advise_out = String::from_utf8_lossy(&advise.stdout);
+    assert!(advise_out.contains("embedded task summary"), "{advise_out}");
+    assert!(advise_out.contains("speedup"), "{advise_out}");
+
+    // ...while the profile analysis reads identically from either.
+    let query_profile = |p: &std::path::PathBuf| {
+        let out = bin()
+            .args(["profile", "query"])
+            .arg(p)
+            .output()
+            .expect("spawns");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        query_profile(&via_replay),
+        query_profile(&via_save),
+        "rider and full save render different profile reports"
+    );
+
+    for p in [via_run, via_record, via_replay, via_save] {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn profile_query_rejects_unknown_analysis_and_corrupt_artifacts() {
+    let src = write_temp("alcp-err", PROGRAM);
+    let artifact = temp_artifact_path("err");
+    let out = bin()
+        .args(["profile", "save"])
+        .arg(&src)
+        .arg("-o")
+        .arg(&artifact)
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Unknown analysis name: typed error naming the value and the menu.
+    let out = bin()
+        .args(["profile", "query"])
+        .arg(&artifact)
+        .args(["--analysis", "bogus"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown analysis `bogus`"), "{stderr}");
+    assert!(stderr.contains("profile, advise or stats"), "{stderr}");
+
+    // Truncation: typed decode error, not a panic.
+    let bytes = std::fs::read(&artifact).expect("artifact");
+    std::fs::write(&artifact, &bytes[..bytes.len() / 2]).expect("truncate");
+    let out = bin()
+        .args(["profile", "query"])
+        .arg(&artifact)
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+
+    // A trace is not a profile artifact: the magic is named.
+    let trace = temp_trace_path("alcp-err");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src)
+        .arg("-o")
+        .arg(&trace)
+        .output()
+        .expect("spawns");
+    assert!(rec.status.success());
+    let out = bin()
+        .args(["profile", "query"])
+        .arg(&trace)
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad magic"), "{stderr}");
+
+    let _ = std::fs::remove_file(artifact);
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(src);
+}
+
+/// `--metrics-out` and `--profile-out` into a missing directory fail with
+/// a typed `cannot create` error naming the path, not an unwrap.
+#[test]
+fn sink_paths_into_missing_directories_are_typed_errors() {
+    let src = write_temp("badsink", PROGRAM);
+    let cases: [&[&str]; 2] = [
+        &["--metrics", "text", "--metrics-out", "/no/such/dir/m.txt"],
+        &["--profile-out", "/no/such/dir/p.alcp"],
+    ];
+    for extra in cases {
+        let out = bin()
+            .args(["run"])
+            .arg(&src)
+            .args(extra)
+            .output()
+            .expect("spawns");
+        assert!(!out.status.success(), "{extra:?} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot create /no/such/dir/"),
+            "{extra:?}: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn workloads_json_reports_profile_bytes() {
+    let out = bin()
+        .args(["workloads", "--json"])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"profile_bytes\":"), "{stdout}");
+}
