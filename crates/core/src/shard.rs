@@ -5,10 +5,10 @@
 //! them parallelizable without touching the capture side. The scheme is the
 //! classic shadow-memory sharding used by parallel memory profilers:
 //!
-//! * memory events are partitioned by `addr % jobs` — every address's full
-//!   access history lands on exactly one shard, so per-address shadow state
-//!   (last write, read set, cap evictions) evolves *identically* to the
-//!   sequential run;
+//! * memory events are partitioned by a block-cyclic address split chosen
+//!   by [`ShardSpec`] — every address's full access history lands on
+//!   exactly one shard, so per-address shadow state (last write, read set,
+//!   cap evictions) evolves *identically* to the sequential run;
 //! * control events (enter/exit/block/predicate) are broadcast to all
 //!   shards, so every shard maintains an identical execution-index tree and
 //!   construct pool — dependence attribution needs the tree, and the tree
@@ -24,30 +24,205 @@
 //! determinism guarantee the `replay --jobs N` CLI path and the CI parity
 //! gate assert for every bundled workload.
 //!
-//! Memory note: `addr % jobs` interleaves *addresses*, so with the paged
-//! shadow layout every worker tends to fault its own copy of each touched
-//! page (only `1/jobs` of a page's cells live per worker) — sharded
-//! replay's shadow footprint is roughly `jobs ×` the sequential run's.
-//! That is the deliberate trade for load balance: partitioning by page
-//! (`(addr >> PAGE_SHIFT) % jobs`) would dedup the pages but put a small
-//! program's entire global segment (often a single page) on one shard,
-//! serializing the replay. Bounded by `jobs × touched pages`, the
-//! duplication is cheap at the job counts the CLI targets; revisit the
-//! granularity if job counts grow past tens.
+//! Memory note: the partition starts page-granular —
+//! `(addr >> PAGE_SHIFT) % jobs` with the page size matched to
+//! [`ShadowMemory`](crate::shadow::ShadowMemory)'s
+//! [`PAGE_WORDS`](crate::shadow::PAGE_WORDS)-cell
+//! pages — so each worker faults only the shadow pages it owns and the
+//! fleet's `pages_allocated` sums to the sequential run's instead of
+//! multiplying by `jobs`. Page ownership is only kept when the stream's
+//! page traffic actually spreads: [`ShardSpec::for_batches`] measures the
+//! per-shard balance at a ladder of block sizes
+//! ([`CANDIDATE_SHIFTS`]: 4096 → 512 → 64 → 8 → 1 words) and takes the
+//! coarsest stride whose max/min shard load stays within
+//! [`MAX_SHARD_IMBALANCE`]. Small single-threaded programs concentrate
+//! their globals and frame slots on one or two pages, so the ladder
+//! deliberately falls through to finer strides — ultimately `addr % jobs`,
+//! which rebalances perfectly but re-introduces the `jobs ×` page
+//! duplication. That duplication is bounded by `jobs × touched pages` and
+//! is the right trade below tens of jobs; streams that genuinely spread
+//! (threaded workloads whose spawned stacks live on their own pages, big
+//! multi-page arrays) keep whole-page ownership automatically.
 
 use crate::pool::PoolStats;
 use crate::profile::DepProfile;
 use crate::profiler::{AlchemistProfiler, ProfileConfig};
 use crate::runner::{profile_batches, profile_events};
+use crate::shadow::PAGE_SHIFT;
 use alchemist_lang::hir::FuncId;
 use alchemist_obs::{span_opt, Counter, Metrics, ShardMetrics, Stage};
 use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Tid, Time, TraceSink};
 use std::time::Instant;
 
-/// The shard owning `addr` when the address space is split `jobs` ways.
-#[inline]
-pub fn shard_of(addr: u32, jobs: u32) -> u32 {
-    addr % jobs.max(1)
+/// Block-size ladder (log2 words) the partition chooser walks, coarsest
+/// first: whole shadow pages, then 512-, 64- and 8-word blocks, down to
+/// single-word interleaving (`addr % jobs`, the pre-page-partition scheme).
+pub const CANDIDATE_SHIFTS: [u32; 5] = [PAGE_SHIFT, 9, 6, 3, 0];
+
+/// A candidate stride is accepted when `max <= MAX_SHARD_IMBALANCE * min`
+/// over its per-shard memory-event counts — the same `>2x` threshold the
+/// report's `shard imbalance` note uses.
+pub const MAX_SHARD_IMBALANCE: u64 = 2;
+
+/// The chooser samples at most ~this many rows (deterministic stride over
+/// the stream) so spec selection stays a fraction of one decode pass even
+/// at tens of millions of events.
+const CHOOSER_SAMPLE_ROWS: usize = 1 << 21;
+
+/// How a recorded stream's address space is split across replay workers: a
+/// block-cyclic partition `(addr >> shift) % jobs`.
+///
+/// `shift = PAGE_SHIFT` gives whole-page ownership (each worker faults
+/// only its own shadow pages); `shift = 0` is single-word interleaving
+/// (best balance, `jobs ×` page duplication). [`ShardSpec::for_batches`] /
+/// [`ShardSpec::for_events`] pick the coarsest balanced stride for a
+/// concrete stream; the choice is a pure function of the stream and `jobs`,
+/// so sequential/parallel parity holds for every choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    jobs: u32,
+    shift: u32,
+}
+
+impl ShardSpec {
+    /// A spec with an explicit block size (`1 << shift` words). `jobs` is
+    /// clamped to at least 1, `shift` to at most 31.
+    pub fn with_shift(jobs: u32, shift: u32) -> Self {
+        ShardSpec {
+            jobs: jobs.max(1),
+            shift: shift.min(31),
+        }
+    }
+
+    /// Worker count of the partition.
+    pub fn jobs(&self) -> u32 {
+        self.jobs
+    }
+
+    /// Log2 of the block size in words.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Block size in words (`1 << shift`).
+    pub fn block_words(&self) -> u32 {
+        1 << self.shift
+    }
+
+    /// The shard owning `addr`.
+    #[inline]
+    pub fn shard_of(&self, addr: u32) -> u32 {
+        (addr >> self.shift) % self.jobs
+    }
+
+    /// Chooses the coarsest balanced stride for a batched stream: walks
+    /// [`CANDIDATE_SHIFTS`] coarsest-first and returns the first whose
+    /// per-shard memory-event counts stay within [`MAX_SHARD_IMBALANCE`];
+    /// if none qualifies, the stride minimizing the *largest* shard (the
+    /// replay's critical path), coarsest-first on ties.
+    pub fn for_batches(batches: &[EventBatch], jobs: u32) -> Self {
+        if jobs <= 1 {
+            return Self::with_shift(jobs, PAGE_SHIFT);
+        }
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        let stride = (total / CHOOSER_SAMPLE_ROWS).max(1);
+        let addrs = batches
+            .iter()
+            .flat_map(|b| (0..b.len()).map(move |i| (b, i)))
+            .step_by(stride)
+            .filter(|(b, i)| b.tag(*i).is_memory())
+            .map(|(b, i)| b.addr(i));
+        Self::with_shift(jobs, choose_shift(jobs, addrs))
+    }
+
+    /// [`ShardSpec::for_batches`] over a per-event stream.
+    pub fn for_events(events: &[Event], jobs: u32) -> Self {
+        if jobs <= 1 {
+            return Self::with_shift(jobs, PAGE_SHIFT);
+        }
+        let stride = (events.len() / CHOOSER_SAMPLE_ROWS).max(1);
+        let addrs = events.iter().step_by(stride).filter_map(|ev| match *ev {
+            Event::Read { addr, .. } | Event::Write { addr, .. } => Some(addr),
+            _ => None,
+        });
+        Self::with_shift(jobs, choose_shift(jobs, addrs))
+    }
+}
+
+/// One counting pass over (sampled) memory addresses, tallying every
+/// candidate stride at once, then the ladder walk described on
+/// [`ShardSpec::for_batches`].
+fn choose_shift(jobs: u32, addrs: impl Iterator<Item = u32>) -> u32 {
+    let j = jobs as usize;
+    let mut counts = vec![0u64; CANDIDATE_SHIFTS.len() * j];
+    for addr in addrs {
+        for (si, &shift) in CANDIDATE_SHIFTS.iter().enumerate() {
+            counts[si * j + ((addr >> shift) % jobs) as usize] += 1;
+        }
+    }
+    let row_max_min = |si: usize| {
+        let row = &counts[si * j..(si + 1) * j];
+        (
+            *row.iter().max().unwrap_or(&0),
+            *row.iter().min().unwrap_or(&0),
+        )
+    };
+    for (si, &shift) in CANDIDATE_SHIFTS.iter().enumerate() {
+        let (max, min) = row_max_min(si);
+        if max <= MAX_SHARD_IMBALANCE * min {
+            return shift;
+        }
+    }
+    // Nothing balances (hot frame slots usually guarantee that for small
+    // single-threaded programs): minimize the critical path instead.
+    let mut best = (u64::MAX, CANDIDATE_SHIFTS[0]);
+    for (si, &shift) in CANDIDATE_SHIFTS.iter().enumerate() {
+        let (max, _) = row_max_min(si);
+        if max < best.0 {
+            best = (max, shift);
+        }
+    }
+    best.1
+}
+
+/// Default bound on in-flight sub-batches per shard channel.
+pub const SHARD_CHANNEL_DEPTH: usize = 16;
+
+/// Default flush threshold: a per-shard sub-batch is handed off once it has
+/// accumulated at least this many rows, so per-send channel cost amortizes
+/// over thousands of events.
+pub const SHARD_FLUSH_EVENTS: usize = 4096;
+
+/// Tunables for the batched fan-out's channel hand-off (the CLI exposes
+/// them as `replay --shard-depth` / `--shard-flush`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardTuning {
+    /// Bounded channel capacity, in sub-batches, per shard
+    /// ([`SHARD_CHANNEL_DEPTH`] by default). Peak buffered memory is
+    /// `jobs × channel_depth × flush_events` rows.
+    pub channel_depth: usize,
+    /// Minimum rows accumulated before a sub-batch is sent
+    /// ([`SHARD_FLUSH_EVENTS`] by default; the stream's tail flushes
+    /// whatever remains).
+    pub flush_events: usize,
+}
+
+impl Default for ShardTuning {
+    fn default() -> Self {
+        ShardTuning {
+            channel_depth: SHARD_CHANNEL_DEPTH,
+            flush_events: SHARD_FLUSH_EVENTS,
+        }
+    }
+}
+
+impl ShardTuning {
+    fn normalized(self) -> Self {
+        ShardTuning {
+            channel_depth: self.channel_depth.max(1),
+            flush_events: self.flush_events.max(1),
+        }
+    }
 }
 
 /// A [`TraceSink`] adapter that forwards every control event to `inner` but
@@ -60,23 +235,28 @@ pub fn shard_of(addr: u32, jobs: u32) -> u32 {
 #[derive(Debug)]
 pub struct ShardFilter<S> {
     shard: u32,
-    jobs: u32,
+    spec: ShardSpec,
     inner: S,
     /// Reused sub-batch for the `on_batch` bulk path.
     scratch: EventBatch,
 }
 
 impl<S> ShardFilter<S> {
-    /// Wraps `inner` as shard `shard` of `jobs`.
+    /// Wraps `inner` as shard `shard` of `spec`.
     ///
     /// # Panics
     ///
-    /// Panics if `shard >= jobs` (the filter would drop every memory event).
-    pub fn new(shard: u32, jobs: u32, inner: S) -> Self {
-        assert!(shard < jobs, "shard {shard} out of range for {jobs} jobs");
+    /// Panics if `shard >= spec.jobs()` (the filter would drop every
+    /// memory event).
+    pub fn new(shard: u32, spec: ShardSpec, inner: S) -> Self {
+        assert!(
+            shard < spec.jobs(),
+            "shard {shard} out of range for {} jobs",
+            spec.jobs()
+        );
         ShardFilter {
             shard,
-            jobs,
+            spec,
             inner,
             scratch: EventBatch::new(),
         }
@@ -89,7 +269,7 @@ impl<S> ShardFilter<S> {
 
     #[inline]
     fn owns(&self, addr: u32) -> bool {
-        shard_of(addr, self.jobs) == self.shard
+        self.spec.shard_of(addr) == self.shard
     }
 }
 
@@ -132,13 +312,28 @@ impl<S: TraceSink> TraceSink for ShardFilter<S> {
     }
 }
 
-/// Splits one batch into `jobs` per-shard sub-batches in a single pass:
-/// control rows are appended to every sub-batch, memory rows only to the
-/// shard owning their address ([`shard_of`]). Concatenating sub-batch `k`
-/// across a batch stream therefore reproduces exactly the event sub-stream
-/// a [`ShardFilter`] for shard `k` would deliver.
-pub fn partition_batch(batch: &EventBatch, jobs: u32) -> Vec<EventBatch> {
-    let jobs = jobs.max(1);
+/// Appends one batch's rows to per-shard accumulators in a single pass:
+/// control rows go to every accumulator, memory rows only to the shard
+/// owning their address under `spec`.
+fn partition_into(batch: &EventBatch, spec: ShardSpec, accs: &mut [EventBatch]) {
+    for i in 0..batch.len() {
+        if batch.tag(i).is_memory() {
+            accs[spec.shard_of(batch.addr(i)) as usize].push_index(batch, i);
+        } else {
+            for acc in accs.iter_mut() {
+                acc.push_index(batch, i);
+            }
+        }
+    }
+}
+
+/// Splits one batch into `spec.jobs()` per-shard sub-batches in a single
+/// pass: control rows are appended to every sub-batch, memory rows only to
+/// the shard owning their address ([`ShardSpec::shard_of`]). Concatenating
+/// sub-batch `k` across a batch stream therefore reproduces exactly the
+/// event sub-stream a [`ShardFilter`] for shard `k` would deliver.
+pub fn partition_batch(batch: &EventBatch, spec: ShardSpec) -> Vec<EventBatch> {
+    let jobs = spec.jobs();
     // Size sub-batches from one cheap tag scan — every sub-batch carries
     // all control rows plus its share of the memory rows. Capacity at
     // `batch.len()` each would pin ~jobs× the stream's memory.
@@ -148,20 +343,13 @@ pub fn partition_batch(batch: &EventBatch, jobs: u32) -> Vec<EventBatch> {
     let mut subs: Vec<EventBatch> = (0..jobs)
         .map(|_| EventBatch::with_capacity(capacity))
         .collect();
-    for i in 0..batch.len() {
-        if batch.tag(i).is_memory() {
-            subs[shard_of(batch.addr(i), jobs) as usize].push_index(batch, i);
-        } else {
-            for sub in &mut subs {
-                sub.push_index(batch, i);
-            }
-        }
-    }
+    partition_into(batch, spec, &mut subs);
     subs
 }
 
 /// Runs one sink per address shard over `events` on scoped worker threads
-/// and returns the finished sinks in shard order.
+/// and returns the finished sinks in shard order. The partition is chosen
+/// by [`ShardSpec::for_events`].
 ///
 /// This is the shared fan-out primitive behind [`profile_events_par`] and
 /// `alchemist_parsim::extract_tasks_from_events_par`: `make_sink(k)`
@@ -178,12 +366,26 @@ where
     F: Fn(u32) -> S + Sync,
 {
     let jobs = jobs.clamp(1, u32::MAX as usize);
+    let spec = ShardSpec::for_events(events, jobs as u32);
+    run_sharded_spec(events, spec, make_sink)
+}
+
+/// [`run_sharded`] with an explicit, caller-chosen partition.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded_spec<S, F>(events: &[Event], spec: ShardSpec, make_sink: F) -> Vec<S>
+where
+    S: TraceSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
     std::thread::scope(|s| {
         let make_sink = &make_sink;
-        let handles: Vec<_> = (0..jobs)
+        let handles: Vec<_> = (0..spec.jobs())
             .map(|k| {
                 s.spawn(move || {
-                    let mut filter = ShardFilter::new(k as u32, jobs as u32, make_sink(k as u32));
+                    let mut filter = ShardFilter::new(k, spec, make_sink(k));
                     for ev in events {
                         ev.dispatch(&mut filter);
                     }
@@ -203,15 +405,17 @@ where
 ///
 /// Unlike the per-event path — where every worker scans the *whole* stream
 /// behind a [`ShardFilter`] (O(jobs × N) filtering) — this splits each
-/// batch into per-shard sub-batches **once**, in a single pass
-/// ([`partition_batch`]), then lets every worker consume only its own
-/// sub-batches via bulk [`TraceSink::on_batch`] calls. Each worker's sink
-/// observes exactly the sub-stream the filter would deliver, so analyses
-/// merge identically.
+/// batch into per-shard sub-batches **once**, in a single pass, then lets
+/// every worker consume only its own sub-batches via bulk
+/// [`TraceSink::on_batch`] calls. Each worker's sink observes exactly the
+/// sub-stream the filter would deliver, so analyses merge identically.
 ///
-/// Sub-batches stream to the workers through bounded channels, so only
-/// O(jobs) of them are in flight at once — peak memory stays near the
-/// input stream's, instead of retaining a full per-shard copy.
+/// Sub-batches accumulate sender-side until they hold at least
+/// [`SHARD_FLUSH_EVENTS`] rows, then stream to the workers through bounded
+/// channels whose consumed batches are pooled back to the sender — the
+/// hand-off costs one channel round-trip per *thousands* of events and
+/// steady-state partitioning allocates nothing. Peak in-flight memory is
+/// `jobs × SHARD_CHANNEL_DEPTH` sub-batches.
 ///
 /// # Panics
 ///
@@ -221,16 +425,17 @@ where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
 {
-    run_sharded_batched_with(batches, jobs, None, make_sink)
+    run_sharded_batched_with(batches, jobs, ShardTuning::default(), None, make_sink)
 }
 
-/// [`run_sharded_batched`] with self-instrumentation: when `metrics` is
-/// `Some`, the partition/send loop runs under a `shard_partition` stage
-/// span, the sender's per-shard channel-send wait and the workers'
-/// recv-wait / busy time / delivered row counts are folded into per-shard
-/// [`ShardMetrics`] at join, and the batch/sub-batch counters are bumped.
-/// All timing is one clock pair per *sub-batch* (thousands of events), and
-/// with `None` this *is* [`run_sharded_batched`] — no clock reads at all.
+/// [`run_sharded_batched`] with explicit hand-off tuning and optional
+/// self-instrumentation: when `metrics` is `Some`, the partition/send loop
+/// runs under a `shard_partition` stage span, the sender's per-shard
+/// channel-send wait and the workers' recv-wait / busy time / delivered
+/// row counts are folded into per-shard [`ShardMetrics`] at join, and the
+/// batch/sub-batch counters are bumped. All timing is one clock pair per
+/// *sub-batch* (thousands of events), and with `None` this *is*
+/// [`run_sharded_batched`] — no clock reads at all.
 ///
 /// # Panics
 ///
@@ -238,6 +443,7 @@ where
 pub fn run_sharded_batched_with<S, F>(
     batches: &[EventBatch],
     jobs: usize,
+    tuning: ShardTuning,
     metrics: Option<&Metrics>,
     make_sink: F,
 ) -> Vec<S>
@@ -246,16 +452,47 @@ where
     F: Fn(u32) -> S + Sync,
 {
     let jobs = jobs.clamp(1, u32::MAX as usize);
+    let spec = ShardSpec::for_batches(batches, jobs as u32);
+    run_sharded_batched_spec(batches, spec, tuning, metrics, make_sink)
+}
+
+/// [`run_sharded_batched_with`] with an explicit, caller-chosen partition
+/// (callers that display or log the partition compute it once via
+/// [`ShardSpec::for_batches`] and pass it here, keeping the two in sync).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_sharded_batched_spec<S, F>(
+    batches: &[EventBatch],
+    spec: ShardSpec,
+    tuning: ShardTuning,
+    metrics: Option<&Metrics>,
+    make_sink: F,
+) -> Vec<S>
+where
+    S: TraceSink + Send,
+    F: Fn(u32) -> S + Sync,
+{
+    let jobs = spec.jobs() as usize;
+    let tuning = tuning.normalized();
     std::thread::scope(|s| {
         let make_sink = &make_sink;
+        // Consumed sub-batches flow back to the sender through an unbounded
+        // return channel and get refilled in place: the steady state
+        // recycles `jobs × channel_depth + jobs` batches with no allocation.
+        let (pool_tx, pool_rx) = std::sync::mpsc::channel::<EventBatch>();
         let (senders, handles): (Vec<_>, Vec<_>) = (0..jobs)
             .map(|k| {
-                let (tx, rx) = std::sync::mpsc::sync_channel::<EventBatch>(4);
+                let (tx, rx) = std::sync::mpsc::sync_channel::<EventBatch>(tuning.channel_depth);
+                let pool_tx = pool_tx.clone();
                 let handle = s.spawn(move || {
                     let mut sink = make_sink(k as u32);
                     let Some(m) = metrics else {
-                        while let Ok(sub) = rx.recv() {
+                        while let Ok(mut sub) = rx.recv() {
                             sink.on_batch(&sub);
+                            sub.clear();
+                            let _ = pool_tx.send(sub); // sender may have finished
                         }
                         return sink;
                     };
@@ -265,13 +502,15 @@ where
                     };
                     loop {
                         let t0 = Instant::now();
-                        let Ok(sub) = rx.recv() else { break };
+                        let Ok(mut sub) = rx.recv() else { break };
                         sm.recv_wait_ns += t0.elapsed().as_nanos() as u64;
                         sm.events += sub.len() as u64;
                         sm.mem_events += sub.tags().iter().filter(|t| t.is_memory()).count() as u64;
                         let t1 = Instant::now();
                         sink.on_batch(&sub);
                         sm.busy_ns += t1.elapsed().as_nanos() as u64;
+                        sub.clear();
+                        let _ = pool_tx.send(sub);
                     }
                     m.record_shard(sm);
                     sink
@@ -279,24 +518,44 @@ where
                 (tx, handle)
             })
             .unzip();
+        // Workers hold the remaining pool_tx clones.
+        drop(pool_tx);
         // One partitioning pass over the stream, instead of one filtered
-        // scan per worker; workers consume concurrently as batches split.
+        // scan per worker; workers consume concurrently as batches fill.
         {
             let _partition_span = span_opt(metrics, Stage::ShardPartition);
+            let mut acc: Vec<EventBatch> = (0..jobs)
+                .map(|_| EventBatch::with_capacity(tuning.flush_events))
+                .collect();
             let mut send_wait: Vec<u64> = vec![0; if metrics.is_some() { jobs } else { 0 }];
             let mut sent = 0u64;
+            let timed_send = |k: usize, sub: EventBatch, send_wait: &mut [u64]| {
+                if metrics.is_some() {
+                    let t0 = Instant::now();
+                    senders[k].send(sub).expect("shard worker hung up");
+                    send_wait[k] += t0.elapsed().as_nanos() as u64;
+                } else {
+                    senders[k].send(sub).expect("shard worker hung up");
+                }
+            };
             for batch in batches {
-                for (k, sub) in partition_batch(batch, jobs as u32).into_iter().enumerate() {
-                    if !sub.is_empty() {
-                        sent += 1;
-                        if metrics.is_some() {
-                            let t0 = Instant::now();
-                            senders[k].send(sub).expect("shard worker hung up");
-                            send_wait[k] += t0.elapsed().as_nanos() as u64;
-                        } else {
-                            senders[k].send(sub).expect("shard worker hung up");
-                        }
+                partition_into(batch, spec, &mut acc);
+                for (k, slot) in acc.iter_mut().enumerate() {
+                    if slot.len() < tuning.flush_events {
+                        continue;
                     }
+                    let fresh = pool_rx
+                        .try_recv()
+                        .unwrap_or_else(|_| EventBatch::with_capacity(tuning.flush_events));
+                    let full = std::mem::replace(slot, fresh);
+                    sent += 1;
+                    timed_send(k, full, &mut send_wait);
+                }
+            }
+            for (k, rest) in acc.into_iter().enumerate() {
+                if !rest.is_empty() {
+                    sent += 1;
+                    timed_send(k, rest, &mut send_wait);
                 }
             }
             if let Some(m) = metrics {
@@ -319,15 +578,21 @@ where
     })
 }
 
-/// Memory events per shard for a `jobs`-way split (control events are
-/// broadcast and not counted). Used by benches and `replay --jobs` to show
-/// how balanced the address partition is.
+/// Memory events per shard under the partition [`ShardSpec::for_events`]
+/// would choose for a `jobs`-way split (control events are broadcast and
+/// not counted). Used by benches and `replay --jobs` to show how balanced
+/// the address partition is.
 pub fn shard_event_counts(events: &[Event], jobs: usize) -> Vec<u64> {
-    let jobs = jobs.max(1);
-    let mut counts = vec![0u64; jobs];
+    let jobs = jobs.clamp(1, u32::MAX as usize);
+    shard_event_counts_spec(events, ShardSpec::for_events(events, jobs as u32))
+}
+
+/// [`shard_event_counts`] under an explicit partition.
+pub fn shard_event_counts_spec(events: &[Event], spec: ShardSpec) -> Vec<u64> {
+    let mut counts = vec![0u64; spec.jobs() as usize];
     for ev in events {
         if let Event::Read { addr, .. } | Event::Write { addr, .. } = *ev {
-            counts[shard_of(addr, jobs as u32) as usize] += 1;
+            counts[spec.shard_of(addr) as usize] += 1;
         }
     }
     counts
@@ -336,12 +601,17 @@ pub fn shard_event_counts(events: &[Event], jobs: usize) -> Vec<u64> {
 /// [`shard_event_counts`] over a batch stream: one pass over the tag and
 /// address columns, no row reconstruction.
 pub fn shard_batch_counts(batches: &[EventBatch], jobs: usize) -> Vec<u64> {
-    let jobs = jobs.max(1);
-    let mut counts = vec![0u64; jobs];
+    let jobs = jobs.clamp(1, u32::MAX as usize);
+    shard_batch_counts_spec(batches, ShardSpec::for_batches(batches, jobs as u32))
+}
+
+/// [`shard_batch_counts`] under an explicit partition.
+pub fn shard_batch_counts_spec(batches: &[EventBatch], spec: ShardSpec) -> Vec<u64> {
+    let mut counts = vec![0u64; spec.jobs() as usize];
     for batch in batches {
         for i in 0..batch.len() {
             if batch.tag(i).is_memory() {
-                counts[shard_of(batch.addr(i), jobs as u32) as usize] += 1;
+                counts[spec.shard_of(batch.addr(i)) as usize] += 1;
             }
         }
     }
@@ -353,9 +623,11 @@ pub fn shard_batch_counts(batches: &[EventBatch], jobs: usize) -> Vec<u64> {
 /// Shard 0 contributes everything (its control-derived statistics are
 /// identical to every other shard's); the remaining shards contribute only
 /// their dependence edges, dropped-reader counts and shadow-layout
-/// telemetry (summed: each worker faults its own pages, so the merged
-/// counters describe the fleet's total allocations, not the sequential
-/// run's — which is why they are excluded from profile equality).
+/// telemetry (summed: under a page-granular spec each page faults in
+/// exactly one worker and the sum equals the sequential run's; under
+/// finer strides workers fault overlapping pages and the sum reports the
+/// fleet's total — either way the counters are excluded from profile
+/// equality).
 pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
     let mut iter = shards.into_iter();
     let mut base = iter.next().unwrap_or_default();
@@ -510,10 +782,35 @@ pub fn profile_batches_par_with(
     jobs: usize,
     metrics: Option<&Metrics>,
 ) -> (DepProfile, PoolStats, usize) {
-    let result = if jobs <= 1 {
+    let jobs = jobs.clamp(1, u32::MAX as usize);
+    let spec = ShardSpec::for_batches(batches, jobs as u32);
+    profile_batches_par_spec(
+        module,
+        batches,
+        total_steps,
+        config,
+        spec,
+        ShardTuning::default(),
+        metrics,
+    )
+}
+
+/// [`profile_batches_par_with`] with an explicit partition and hand-off
+/// tuning — the CLI computes the [`ShardSpec`] once (to display it) and
+/// passes its `--shard-depth` / `--shard-flush` values through here.
+pub fn profile_batches_par_spec(
+    module: &Module,
+    batches: &[EventBatch],
+    total_steps: u64,
+    config: ProfileConfig,
+    spec: ShardSpec,
+    tuning: ShardTuning,
+    metrics: Option<&Metrics>,
+) -> (DepProfile, PoolStats, usize) {
+    let result = if spec.jobs() <= 1 {
         profile_batches(module, batches, total_steps, config)
     } else {
-        let profilers = run_sharded_batched_with(batches, jobs, metrics, |_| {
+        let profilers = run_sharded_batched_spec(batches, spec, tuning, metrics, |_| {
             AlchemistProfiler::new(module, config.clone())
         });
         finish_shard_profilers(profilers, total_steps, metrics)
@@ -554,6 +851,15 @@ mod tests {
         (module, rec.events, out.steps)
     }
 
+    /// Specs covering the ladder's extremes and a middle stride; parity and
+    /// partition properties must hold for every one of them.
+    fn specs(jobs: u32) -> Vec<ShardSpec> {
+        [PAGE_SHIFT, 6, 0]
+            .into_iter()
+            .map(|shift| ShardSpec::with_shift(jobs, shift))
+            .collect()
+    }
+
     #[test]
     fn shard_filter_partitions_memory_and_broadcasts_control() {
         let (_m, events, _) = record(CHURN);
@@ -562,22 +868,25 @@ mod tests {
         for ev in &events {
             ev.dispatch(&mut totals);
         }
-        let mut mem_seen = 0;
-        for k in 0..jobs {
-            let mut f = ShardFilter::new(k, jobs, CountingSink::default());
-            for ev in &events {
-                ev.dispatch(&mut f);
+        for spec in specs(jobs) {
+            let mut mem_seen = 0;
+            for k in 0..jobs {
+                let mut f = ShardFilter::new(k, spec, CountingSink::default());
+                for ev in &events {
+                    ev.dispatch(&mut f);
+                }
+                let c = f.into_inner();
+                assert_eq!(c.enters, totals.enters, "control broadcast");
+                assert_eq!(c.predicates, totals.predicates, "control broadcast");
+                mem_seen += c.reads + c.writes;
             }
-            let c = f.into_inner();
-            assert_eq!(c.enters, totals.enters, "control broadcast");
-            assert_eq!(c.predicates, totals.predicates, "control broadcast");
-            mem_seen += c.reads + c.writes;
+            assert_eq!(
+                mem_seen,
+                totals.reads + totals.writes,
+                "memory events partition exactly (shift {})",
+                spec.shift()
+            );
         }
-        assert_eq!(
-            mem_seen,
-            totals.reads + totals.writes,
-            "memory events partition exactly"
-        );
     }
 
     #[test]
@@ -592,6 +901,73 @@ mod tests {
             assert_eq!(counts.len(), jobs);
             assert_eq!(counts.iter().sum::<u64>(), totals.reads + totals.writes);
         }
+    }
+
+    #[test]
+    fn chooser_keeps_page_granularity_when_pages_balance() {
+        // Four equally hot pages: page-granular ownership is balanced, so
+        // the ladder should stop at PAGE_SHIFT.
+        let jobs = 4u32;
+        let addrs: Vec<u32> = (0..4096u32)
+            .map(|i| (i % 4) * (1 << PAGE_SHIFT) + (i * 7) % 4096)
+            .collect();
+        assert_eq!(choose_shift(jobs, addrs.into_iter()), PAGE_SHIFT);
+    }
+
+    #[test]
+    fn chooser_falls_through_when_one_page_dominates() {
+        // Everything on page 0, spread within the page: every coarse stride
+        // is pathologically clustered and the ladder must fall through to a
+        // finer one that balances (word interleave balances perfectly here).
+        let jobs = 4u32;
+        let addrs: Vec<u32> = (0..4096u32).collect();
+        let shift = choose_shift(jobs, addrs.clone().into_iter());
+        assert!(shift < PAGE_SHIFT, "page stride kept despite clustering");
+        let spec = ShardSpec::with_shift(jobs, shift);
+        let mut counts = vec![0u64; jobs as usize];
+        for a in addrs {
+            counts[spec.shard_of(a) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= MAX_SHARD_IMBALANCE * min, "{counts:?}");
+    }
+
+    #[test]
+    fn chooser_minimizes_critical_path_when_nothing_balances() {
+        // One address takes 90% of the traffic: no stride can balance, so
+        // the chooser must pick the stride with the smallest largest shard
+        // rather than panic or default blindly.
+        let jobs = 4u32;
+        let mut addrs = vec![5u32; 900];
+        addrs.extend((0..100u32).map(|i| i * 11));
+        let shift = choose_shift(jobs, addrs.iter().copied());
+        let best_max = CANDIDATE_SHIFTS
+            .iter()
+            .map(|&s| {
+                let spec = ShardSpec::with_shift(jobs, s);
+                let mut counts = vec![0u64; jobs as usize];
+                for &a in &addrs {
+                    counts[spec.shard_of(a) as usize] += 1;
+                }
+                *counts.iter().max().unwrap()
+            })
+            .min()
+            .unwrap();
+        let spec = ShardSpec::with_shift(jobs, shift);
+        let mut counts = vec![0u64; jobs as usize];
+        for &a in &addrs {
+            counts[spec.shard_of(a) as usize] += 1;
+        }
+        assert_eq!(*counts.iter().max().unwrap(), best_max);
+    }
+
+    #[test]
+    fn single_job_spec_is_page_granular_and_trivial() {
+        let spec = ShardSpec::for_events(&[], 1);
+        assert_eq!(spec.jobs(), 1);
+        assert_eq!(spec.shift(), PAGE_SHIFT);
+        assert_eq!(spec.shard_of(0xFFFF_FFFF), 0);
     }
 
     #[test]
@@ -643,7 +1019,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn shard_filter_rejects_out_of_range_shard() {
-        let _ = ShardFilter::new(4, 4, CountingSink::default());
+        let _ = ShardFilter::new(
+            4,
+            ShardSpec::with_shift(4, PAGE_SHIFT),
+            CountingSink::default(),
+        );
     }
 
     /// Batches the recorded stream into blocks of `size` events.
@@ -656,18 +1036,20 @@ mod tests {
         let (_m, events, _) = record(CHURN);
         let batch = EventBatch::from_events(&events);
         for jobs in [1u32, 2, 3, 5] {
-            let subs = partition_batch(&batch, jobs);
-            assert_eq!(subs.len(), jobs as usize);
-            for (k, sub) in subs.iter().enumerate() {
-                // The filter's per-event sub-stream is the ground truth.
-                let mut f =
-                    ShardFilter::new(k as u32, jobs, alchemist_vm::RecordingSink::default());
-                for ev in &events {
-                    ev.dispatch(&mut f);
+            for spec in specs(jobs) {
+                let subs = partition_batch(&batch, spec);
+                assert_eq!(subs.len(), jobs as usize);
+                for (k, sub) in subs.iter().enumerate() {
+                    // The filter's per-event sub-stream is the ground truth.
+                    let mut f =
+                        ShardFilter::new(k as u32, spec, alchemist_vm::RecordingSink::default());
+                    for ev in &events {
+                        ev.dispatch(&mut f);
+                    }
+                    let expect = f.into_inner().events;
+                    let got: Vec<Event> = sub.iter().collect();
+                    assert_eq!(got, expect, "jobs={jobs} shift={} shard={k}", spec.shift());
                 }
-                let expect = f.into_inner().events;
-                let got: Vec<Event> = sub.iter().collect();
-                assert_eq!(got, expect, "jobs={jobs} shard={k}");
             }
         }
     }
@@ -676,21 +1058,25 @@ mod tests {
     fn shard_filter_on_batch_equals_per_event_filtering() {
         let (_m, events, _) = record(CHURN);
         for jobs in [2u32, 3] {
-            for k in 0..jobs {
-                let mut per_event =
-                    ShardFilter::new(k, jobs, alchemist_vm::RecordingSink::default());
-                for ev in &events {
-                    ev.dispatch(&mut per_event);
+            for spec in specs(jobs) {
+                for k in 0..jobs {
+                    let mut per_event =
+                        ShardFilter::new(k, spec, alchemist_vm::RecordingSink::default());
+                    for ev in &events {
+                        ev.dispatch(&mut per_event);
+                    }
+                    let mut batched =
+                        ShardFilter::new(k, spec, alchemist_vm::RecordingSink::default());
+                    for batch in to_batches(&events, 17) {
+                        batched.on_batch(&batch);
+                    }
+                    assert_eq!(
+                        batched.into_inner().events,
+                        per_event.into_inner().events,
+                        "jobs={jobs} shift={} shard={k}",
+                        spec.shift()
+                    );
                 }
-                let mut batched = ShardFilter::new(k, jobs, alchemist_vm::RecordingSink::default());
-                for batch in to_batches(&events, 17) {
-                    batched.on_batch(&batch);
-                }
-                assert_eq!(
-                    batched.into_inner().events,
-                    per_event.into_inner().events,
-                    "jobs={jobs} shard={k}"
-                );
             }
         }
     }
@@ -714,6 +1100,62 @@ mod tests {
                 assert_eq!(depth, seq_depth, "batch_size={batch_size} jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn batched_profile_equals_sequential_under_every_ladder_stride() {
+        // The chooser picks ONE spec per stream, but parity must hold for
+        // every spec it could ever pick (any pure address partition works).
+        let (module, events, steps) = record(CHURN);
+        let (seq, _, _) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        let batches = to_batches(&events, 64);
+        for &shift in &CANDIDATE_SHIFTS {
+            let spec = ShardSpec::with_shift(3, shift);
+            let (par, _, _) = profile_batches_par_spec(
+                &module,
+                &batches,
+                steps,
+                ProfileConfig::default(),
+                spec,
+                ShardTuning::default(),
+                None,
+            );
+            assert_eq!(par, seq, "shift={shift}");
+        }
+    }
+
+    #[test]
+    fn tiny_flush_threshold_and_depth_still_merge_exactly() {
+        // Degenerate tuning (flush every row, depth 1) maximizes channel
+        // traffic; the merged profile must not change.
+        let (module, events, steps) = record(CHURN);
+        let (seq, _, _) = profile_events(
+            &module,
+            events.iter().copied(),
+            steps,
+            ProfileConfig::default(),
+        );
+        let batches = to_batches(&events, 16);
+        let tuning = ShardTuning {
+            channel_depth: 1,
+            flush_events: 1,
+        };
+        let spec = ShardSpec::for_batches(&batches, 3);
+        let (par, _, _) = profile_batches_par_spec(
+            &module,
+            &batches,
+            steps,
+            ProfileConfig::default(),
+            spec,
+            tuning,
+            None,
+        );
+        assert_eq!(par, seq);
     }
 
     #[test]
@@ -745,7 +1187,11 @@ mod tests {
             m.get(Counter::ShardBatchesPartitioned),
             batches.len() as u64
         );
-        assert!(m.get(Counter::ShardSubBatchesSent) >= batches.len() as u64);
+        // Fat hand-off: sub-batches accumulate to the flush threshold, so
+        // far fewer sends than input batches — but at least one flush per
+        // shard that received anything.
+        let sent = m.get(Counter::ShardSubBatchesSent);
+        assert!(sent >= 1 && sent <= (batches.len() * jobs) as u64, "{sent}");
 
         // Per-shard rows: one per shard, mem rows partition exactly, and
         // every shard carries its shadow telemetry.
@@ -763,6 +1209,35 @@ mod tests {
         // Stage spans fired exactly once each.
         assert_eq!(m.stage(Stage::ShardPartition).1, 1);
         assert_eq!(m.stage(Stage::Merge).1, 1);
+    }
+
+    #[test]
+    fn fat_handoff_sends_few_fat_sub_batches() {
+        // With the default 4096-row flush threshold, a multi-thousand-event
+        // stream split into small input batches must still reach each
+        // worker in a handful of fat sends, not one send per input batch.
+        let (module, events, steps) = record(CHURN);
+        let batches = to_batches(&events, 64);
+        let jobs = 2usize;
+        let m = Metrics::new();
+        let _ = profile_batches_par_with(
+            &module,
+            &batches,
+            steps,
+            ProfileConfig::default(),
+            jobs,
+            Some(&m),
+        );
+        let sent = m.get(Counter::ShardSubBatchesSent);
+        let delivered: u64 = m.shards().iter().map(|s| s.events).sum();
+        assert!(sent > 0);
+        // Average rows per send is bounded below by the stream size over
+        // the worst-case send count: ceil(rows_k / flush) + 1 per shard.
+        let min_avg = delivered / (2 * (delivered / SHARD_FLUSH_EVENTS as u64 + jobs as u64));
+        assert!(
+            delivered / sent >= min_avg.max(64),
+            "sent={sent} delivered={delivered}"
+        );
     }
 
     #[test]

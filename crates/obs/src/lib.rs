@@ -240,7 +240,9 @@ struct HistCell {
 /// and merged into [`Metrics`] exactly once at join time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
-    /// Shard index (`addr % jobs` partition lane).
+    /// Shard index (block-cyclic address-partition lane: page-granular
+    /// `(addr >> shift) % jobs`, with the stride chosen per stream by the
+    /// balance ladder in `alchemist_core::shard::ShardSpec`).
     pub shard: usize,
     /// Event rows delivered to this shard's sink (control rows are
     /// broadcast, so these overlap across shards).

@@ -18,6 +18,9 @@ pub enum Scale {
     Default,
     /// Larger inputs for overhead measurements.
     Large,
+    /// The tens-of-millions-of-events regime for parallel-replay benches:
+    /// big enough that per-event costs dominate setup and hand-off.
+    Huge,
 }
 
 impl Scale {
@@ -28,7 +31,35 @@ impl Scale {
             Scale::Small => 2,
             Scale::Default => 4,
             Scale::Large => 8,
+            Scale::Huge => 64,
         }
+    }
+
+    /// Every scale, smallest first.
+    pub fn all() -> [Scale; 5] {
+        [
+            Scale::Tiny,
+            Scale::Small,
+            Scale::Default,
+            Scale::Large,
+            Scale::Huge,
+        ]
+    }
+
+    /// The scale's lowercase CLI name (`--scale` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Large => "large",
+            Scale::Huge => "huge",
+        }
+    }
+
+    /// Parses a `--scale` value ([`Scale::name`] spelling).
+    pub fn parse(s: &str) -> Option<Scale> {
+        Scale::all().into_iter().find(|sc| sc.name() == s)
     }
 }
 
@@ -172,8 +203,17 @@ mod tests {
 
     #[test]
     fn scale_factors_are_monotone() {
-        assert!(Scale::Tiny.factor() < Scale::Small.factor());
-        assert!(Scale::Small.factor() < Scale::Default.factor());
-        assert!(Scale::Default.factor() < Scale::Large.factor());
+        let all = Scale::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].factor() < pair[1].factor(), "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for sc in Scale::all() {
+            assert_eq!(Scale::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(Scale::parse("gigantic"), None);
     }
 }

@@ -11,8 +11,9 @@
 
 use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
-    profile_batches_par_with, profile_module, profile_source, shard_batch_counts,
-    AlchemistProfiler, DepProfile, PartialProfile, ProfileConfig, ProfileReport,
+    profile_batches_par_spec, profile_batches_par_with, profile_module, profile_source,
+    shard_batch_counts_spec, AlchemistProfiler, DepProfile, PartialProfile, ProfileConfig,
+    ProfileReport, ShardSpec, ShardTuning,
 };
 use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 use alchemist_parsim::{
@@ -58,20 +59,25 @@ const USAGE: &str = "usage:
   alchemist profile query <FILE.alcp> [--analysis profile,advise,stats]
                     [--construct PC|LABEL] [--top N] [--threads K]
                     [--metrics text|json] [--metrics-out FILE]
-  alchemist run <file.mc> [--input a,b,c] [--batch-size N]
+  alchemist run <file.mc|workload> [--input a,b,c] [--scale S] [--batch-size N]
                 [--profile-out FILE.alcp]
                 [--metrics text|json] [--metrics-out FILE]
   alchemist advise <file.mc> [--input a,b,c] [--threads K]
   alchemist simulate <file.mc> --mark FUNC[,FUNC..] [--privatize a,b]
                      [--input a,b,c] [--threads K] [--timeline]
-  alchemist record <file.mc> [--input a,b,c] [-o|--out trace.alct]
-                   [--chunk-events N] [--batch-size N] [--profile-out FILE.alcp]
+  alchemist record <file.mc|workload> [--input a,b,c] [--scale S]
+                   [-o|--out trace.alct] [--chunk-events N] [--batch-size N]
+                   [--profile-out FILE.alcp]
                    [--metrics text|json] [--metrics-out FILE]
-  alchemist replay <trace.alct> [--analysis profile,advise,stats]
+  alchemist replay <trace.alct|workload> [--analysis profile,advise,stats]
                    [--top N] [--threads K] [--jobs N] [--batch-size N]
+                   [--scale S] [--shard-flush N] [--shard-depth N]
                    [--war-waw LABEL] [--profile-out FILE.alcp]
                    [--metrics text|json] [--metrics-out FILE]
-  alchemist workloads [--json]";
+  alchemist workloads [--json] [--scale S]
+
+where <workload> is a bundled workload name (see `alchemist workloads`)
+and S is one of tiny, small, default, large, huge (default tiny)";
 
 /// A CLI failure: a message, plus whether the generic usage block helps.
 ///
@@ -126,6 +132,54 @@ fn parse_ge1(flag: &str, value: Option<&String>) -> Result<usize, CliError> {
         return Err(CliError::bare(format!("{flag} must be >= 1")));
     }
     Ok(n)
+}
+
+/// Parses a `--scale` value into a workload input scale.
+fn parse_scale(value: Option<&String>) -> Result<Scale, CliError> {
+    let v = value.ok_or_else(|| CliError::from("--scale needs a value"))?;
+    Scale::parse(v).ok_or_else(|| {
+        CliError::bare(format!(
+            "--scale: unknown scale `{v}` (expected tiny, small, default, large or huge)"
+        ))
+    })
+}
+
+/// Resolves a positional program argument: an on-disk mini-C file, or the
+/// name of a bundled workload (`alchemist workloads` lists them). Workload
+/// names pick up their deterministic generated input at `--scale` (default
+/// tiny); an explicit `--input` overrides it. `--scale` is meaningless for
+/// a plain file — its input can only come from `--input` — so that
+/// combination is an error rather than a silent no-op.
+fn resolve_program(
+    arg: &str,
+    scale: Option<Scale>,
+    explicit_input: Vec<i64>,
+) -> Result<(String, Vec<i64>), CliError> {
+    if std::path::Path::new(arg).exists() {
+        if scale.is_some() {
+            return Err(CliError::bare(format!(
+                "--scale only applies to bundled workload names; `{arg}` is a file \
+                 (use --input to feed it data)"
+            )));
+        }
+        let source = std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+        return Ok((source, explicit_input));
+    }
+    match alchemist_workloads::by_name(arg) {
+        Some(w) => {
+            let input = if explicit_input.is_empty() {
+                w.input(scale.unwrap_or(Scale::Tiny))
+            } else {
+                explicit_input
+            };
+            Ok((w.source.to_owned(), input))
+        }
+        None => Err(format!(
+            "cannot read {arg}: no such file, and no bundled workload has that name \
+             (see `alchemist workloads`)"
+        )
+        .into()),
+    }
 }
 
 fn run_cli(args: &[String]) -> Result<(), CliError> {
@@ -280,6 +334,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
     let mut timeline = false;
     let mut batch_size = None;
     let mut profile_out = None;
+    let mut scale = None;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -288,6 +343,9 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
             return Err(unknown_flag(cmd, a, allowed));
         }
         match a.as_str() {
+            "--scale" => {
+                scale = Some(parse_scale(it.next())?);
+            }
             "--metrics" => {
                 metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
             }
@@ -340,7 +398,7 @@ fn parse_common(cmd: &str, args: &[String], allowed: &[&str]) -> Result<CommonAr
         }
     }
     let path = file.ok_or("no source file given")?;
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (source, input) = resolve_program(&path, scale, input)?;
     Ok(CommonArgs {
         source,
         input,
@@ -842,6 +900,7 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
         args,
         &[
             "--input",
+            "--scale",
             "--batch-size",
             "--profile-out",
             "--metrics",
@@ -998,6 +1057,7 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
 fn record_cmd(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[&str] = &[
         "--input",
+        "--scale",
         "-o",
         "--out",
         "--chunk-events",
@@ -1009,6 +1069,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut out = None;
     let mut input = Vec::new();
+    let mut scale = None;
     let mut chunk_events = None;
     let mut batch_size = None;
     let mut profile_out: Option<String> = None;
@@ -1019,6 +1080,9 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         match a.as_str() {
             "--input" => {
                 input = parse_input_list(it.next().ok_or("--input needs a value")?)?;
+            }
+            "--scale" => {
+                scale = Some(parse_scale(it.next())?);
             }
             "-o" | "--out" => {
                 out = Some(it.next().ok_or("-o needs a path")?.clone());
@@ -1052,15 +1116,21 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let metrics = mopt.enabled().then(|| Arc::new(Metrics::new()));
     let total_span = span_opt(metrics.as_deref(), Stage::Total);
     let path = file.ok_or("record needs a source file")?;
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (source, input) = resolve_program(&path, scale, input)?;
     let module = {
         let _parse_span = span_opt(metrics.as_deref(), Stage::Parse);
         alchemist_vm::compile_source(&source).map_err(|e| e.to_string())?
     };
     let out_path = out.unwrap_or_else(|| {
-        let mut p = std::path::PathBuf::from(&path);
-        p.set_extension("alct");
-        p.display().to_string()
+        if std::path::Path::new(&path).exists() {
+            let mut p = std::path::PathBuf::from(&path);
+            p.set_extension("alct");
+            p.display().to_string()
+        } else {
+            // A workload name ("gzip-1.3.5") is not a path; appending keeps
+            // the dots in the name intact instead of truncating at the last.
+            format!("{path}.alct")
+        }
     });
     let f =
         std::fs::File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
@@ -1141,6 +1211,9 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         "--threads",
         "--jobs",
         "--batch-size",
+        "--scale",
+        "--shard-flush",
+        "--shard-depth",
         "--war-waw",
         "--profile-out",
         "--metrics",
@@ -1152,6 +1225,9 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     let mut threads = 4;
     let mut jobs = 1usize;
     let mut batch_size = None;
+    let mut scale = None;
+    let mut shard_flush = None;
+    let mut shard_depth = None;
     let mut war_waw = None;
     let mut profile_out = None;
     let mut metrics_format = None;
@@ -1191,6 +1267,15 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
             "--batch-size" => {
                 batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
+            "--scale" => {
+                scale = Some(parse_scale(it.next())?);
+            }
+            "--shard-flush" => {
+                shard_flush = Some(parse_ge1("--shard-flush", it.next())?);
+            }
+            "--shard-depth" => {
+                shard_depth = Some(parse_ge1("--shard-depth", it.next())?);
+            }
             "--war-waw" => {
                 war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
             }
@@ -1203,17 +1288,92 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     // `--analysis` accepts a comma-separated list; one decode pass serves
     // every requested analysis.
     let analyses = parse_analyses(&analysis)?;
-    run_replay(
-        &path,
+    let tuning = ShardTuning {
+        channel_depth: shard_depth.unwrap_or(alchemist_core::SHARD_CHANNEL_DEPTH),
+        flush_events: shard_flush.unwrap_or(alchemist_core::SHARD_FLUSH_EVENTS),
+    };
+    // The positional may also name a bundled workload: record it to a
+    // temporary trace at the requested scale, replay that, clean up. This
+    // is what lets the perf suite drive tens-of-millions-of-events replays
+    // without shipping giant .alct files around.
+    let mut temp_trace = None;
+    let trace_path = if std::path::Path::new(&path).exists() {
+        if scale.is_some() {
+            return Err(CliError::bare(format!(
+                "--scale only applies to bundled workload names; `{path}` is a trace file"
+            )));
+        }
+        path.clone()
+    } else if let Some(w) = alchemist_workloads::by_name(&path) {
+        let sc = scale.unwrap_or(Scale::Tiny);
+        let p = record_workload_trace(w, sc)?;
+        eprintln!(
+            "recorded bundled workload `{}` at --scale {} to {}",
+            w.name,
+            sc.name(),
+            p.display()
+        );
+        let s = p.display().to_string();
+        temp_trace = Some(p);
+        s
+    } else {
+        return Err(format!(
+            "cannot read {path}: no such file, and no bundled workload has that name \
+             (see `alchemist workloads`)"
+        )
+        .into());
+    };
+    let result = run_replay(
+        &trace_path,
         &analyses,
         top,
         threads,
         jobs,
         batch_size,
+        tuning,
         war_waw.as_deref(),
         profile_out.as_deref(),
         &MetricsOpt::validate(metrics_format, metrics_out)?,
-    )
+    );
+    if let Some(p) = temp_trace {
+        let _ = std::fs::remove_file(p);
+    }
+    result
+}
+
+/// Records `w` at `scale` to a temporary self-contained trace, for
+/// `replay <workload>`. The file is the caller's to delete.
+fn record_workload_trace(
+    w: &alchemist_workloads::Workload,
+    scale: Scale,
+) -> Result<std::path::PathBuf, CliError> {
+    let path = std::env::temp_dir().join(format!(
+        "alchemist-replay-{}-{}-{}.alct",
+        w.name,
+        scale.name(),
+        std::process::id()
+    ));
+    let record = || -> Result<(), CliError> {
+        let module = w.module();
+        let f = std::fs::File::create(&path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut writer = if module.uses_threads() {
+            TraceWriter::new_v2(BufWriter::new(f), Some(w.source))
+        } else {
+            TraceWriter::new(BufWriter::new(f), Some(w.source))
+        }
+        .map_err(|e| CliError::bare(format!("cannot write {}: {e}", path.display())))?;
+        let out = alchemist_vm::run(&module, &w.exec_config(scale), &mut writer)
+            .map_err(|e| e.to_string())?;
+        writer
+            .finish(out.steps)
+            .map_err(|e| CliError::bare(format!("cannot write {}: {e}", path.display())))?;
+        Ok(())
+    };
+    record().inspect_err(|_| {
+        let _ = std::fs::remove_file(&path);
+    })?;
+    Ok(path)
 }
 
 fn open_trace(path: &str) -> Result<TraceReader<BufReader<std::fs::File>>, CliError> {
@@ -1248,6 +1408,7 @@ fn run_replay(
     threads: usize,
     jobs: usize,
     batch_size: Option<usize>,
+    tuning: ShardTuning,
     war_waw: Option<&str>,
     profile_out: Option<&str>,
     mopt: &MetricsOpt,
@@ -1335,22 +1496,28 @@ fn run_replay(
             }
             if need_profile {
                 let md = module.as_ref().expect("profile requires a module");
+                // One partition choice serves the profiler, the per-shard
+                // summary and the report's imbalance note.
+                let spec = ShardSpec::for_batches(&batches, jobs as u32);
                 let (p, _, _) = {
                     let _profile_span = span_opt(m, Stage::Profile);
-                    profile_batches_par_with(
+                    profile_batches_par_spec(
                         md,
                         &batches,
                         summary.total_steps,
                         ProfileConfig::default(),
-                        jobs,
+                        spec,
+                        tuning,
                         m,
                     )
                 };
                 if jobs > 1 {
-                    let per_shard = shard_batch_counts(&batches, jobs);
+                    let per_shard = shard_batch_counts_spec(&batches, spec);
                     let rendered: Vec<String> = per_shard.iter().map(|c| c.to_string()).collect();
                     eprintln!(
-                        "sharded replay across {jobs} workers (memory events per shard: {})",
+                        "sharded replay across {jobs} workers, block-cyclic over \
+                         {}-word blocks (memory events per shard: {})",
+                        spec.block_words(),
                         rendered.join(", ")
                     );
                     shard_counts = Some(per_shard);
@@ -1715,15 +1882,19 @@ fn json_escape(s: &str) -> String {
 }
 
 fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
-    const FLAGS: &[&str] = &["--json"];
+    const FLAGS: &[&str] = &["--json", "--scale"];
     let mut json = false;
-    for a in args {
+    let mut scale = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--scale" => scale = Some(parse_scale(it.next())?),
             flag if flag.starts_with('-') => return Err(unknown_flag("workloads", flag, FLAGS)),
             other => return Err(format!("unexpected argument `{other}`").into()),
         }
     }
+    let scale = scale.unwrap_or(Scale::Tiny);
     if json {
         println!("[");
         let suite = alchemist_workloads::all();
@@ -1733,11 +1904,12 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
                 .as_ref()
                 .and_then(|p| p.paper_speedup)
                 .map_or("null".to_owned(), |s| format!("{s}"));
-            // One Tiny-scale run per workload yields the exact event count
-            // a recording of it would contain and — via an in-memory trace
-            // writer and a profiler riding the same run — the exact encoded
-            // byte sizes of both artifacts (the suite is deterministic, so
-            // these are stable facts, not estimates).
+            // One run per workload at the requested --scale (default tiny)
+            // yields the exact event count a recording of it would contain
+            // and — via an in-memory trace writer and a profiler riding the
+            // same run — the exact encoded byte sizes of both artifacts
+            // (the suite is deterministic, so these are stable facts, not
+            // estimates).
             let module = w.module();
             let mut counts = CountingSink::default();
             let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
@@ -1750,7 +1922,7 @@ fn workloads_cmd(args: &[String]) -> Result<(), CliError> {
             let out = {
                 let mut fan = MultiSink::new();
                 fan.push(&mut counts).push(&mut writer).push(&mut prof);
-                alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut fan)
+                alchemist_vm::run(&module, &w.exec_config(scale), &mut fan)
                     .map_err(|e| CliError::bare(format!("workload {}: {e}", w.name)))?
             };
             let (_, tstats) = writer

@@ -274,7 +274,9 @@ fn parallel_replay_report_is_identical_to_sequential() {
     // Determinism guarantee: sharded replay's stdout is byte-identical,
     // modulo the one intentionally jobs-dependent line — the shard
     // imbalance note, which only a sharded run can observe. PROGRAM's
-    // addresses hash unevenly under `addr % 4`, so the note must appear.
+    // traffic clusters on a handful of hot words (the frame locals `i` and
+    // `c`), so no block-cyclic stride the partition ladder can pick spreads
+    // it evenly across 4 shards and the note must appear.
     let seq_out = String::from_utf8_lossy(&seq.stdout).into_owned();
     let par_out = String::from_utf8_lossy(&par.stdout).into_owned();
     assert!(
@@ -397,6 +399,136 @@ fn batch_size_is_validated_and_changes_nothing_observable() {
     assert!(b.status.success());
     assert_eq!(a.stdout, b.stdout, "replay report diverges");
     let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn scale_and_shard_tunables_are_validated() {
+    let src_path = write_temp("scaleflags", PROGRAM);
+    let trace_path = temp_trace_path("scaleflags");
+    let rec = bin()
+        .args(["record"])
+        .arg(&src_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(rec.status.success());
+    // The handoff tunables take the same >= 1 validation as --batch-size.
+    for flag in ["--shard-flush", "--shard-depth"] {
+        let out = bin()
+            .args(["replay"])
+            .arg(&trace_path)
+            .args([flag, "0"])
+            .output()
+            .expect("spawns");
+        assert!(!out.status.success(), "{flag}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(&format!("{flag} must be >= 1")),
+            "{flag}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // --scale is for bundled workload names; on a real file it is an
+    // error, not a silent no-op.
+    let out = bin()
+        .args(["run"])
+        .arg(&src_path)
+        .args(["--scale", "small"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--scale only applies"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A bad scale value names the accepted set.
+    let out = bin()
+        .args(["run", "ogg", "--scale", "gigantic"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown scale `gigantic`"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A positional that is neither a file nor a workload name fails with a
+    // message pointing at both possibilities.
+    let out = bin()
+        .args(["replay", "no_such_workload_anywhere"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no bundled workload has that name"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(src_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn workload_name_positional_records_and_replays() {
+    // `record <workload>` and `replay <workload>` resolve bundled names:
+    // replaying the name must render the same report as recording that
+    // workload to a file and replaying the file.
+    let trace_path =
+        std::env::temp_dir().join(format!("alchemist-test-wlname-{}.alct", std::process::id()));
+    let rec = bin()
+        .args(["record", "130.li", "-o"])
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let from_file = bin()
+        .args(["replay"])
+        .arg(&trace_path)
+        .output()
+        .expect("spawns");
+    assert!(from_file.status.success());
+    let from_name = bin().args(["replay", "130.li"]).output().expect("spawns");
+    assert!(
+        from_name.status.success(),
+        "{}",
+        String::from_utf8_lossy(&from_name.stderr)
+    );
+    assert_eq!(
+        from_file.stdout, from_name.stdout,
+        "workload-name replay diverges from file replay"
+    );
+    // The handoff tunables change scheduling, never results: a sharded
+    // replay with a degenerate 1-event flush and 1-deep channel still
+    // renders the sequential report (modulo the jobs-dependent imbalance
+    // note).
+    let tuned = bin()
+        .args(["replay", "130.li"])
+        .args(["--jobs", "3", "--shard-flush", "1", "--shard-depth", "1"])
+        .output()
+        .expect("spawns");
+    assert!(
+        tuned.status.success(),
+        "{}",
+        String::from_utf8_lossy(&tuned.stderr)
+    );
+    let strip = |bytes: &[u8]| -> String {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("note: shard imbalance"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    assert_eq!(
+        strip(&from_file.stdout),
+        strip(&tuned.stdout),
+        "shard tunables leaked into the report"
+    );
     let _ = std::fs::remove_file(trace_path);
 }
 

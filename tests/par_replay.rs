@@ -6,15 +6,16 @@
 //! release mode.
 
 use alchemist_core::{
-    profile_events, profile_events_par, profile_module, shard_event_counts, ProfileConfig,
+    partition_batch, profile_batches_par, profile_events, profile_events_par, profile_module,
+    shard_event_counts, ProfileConfig, ShardSpec, PAGE_SHIFT,
 };
 use alchemist_parsim::{extract_tasks, extract_tasks_from_events_par, ExtractConfig};
-use alchemist_trace::{decode_events_par, TraceReader, TraceWriter};
+use alchemist_trace::{decode_batches_par, decode_events_par, TraceReader, TraceWriter};
 use alchemist_vm::{Event, Module};
 use alchemist_workloads::Scale;
 
-/// Records one workload run into an in-memory trace.
-fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64) {
+/// Records one workload run at `scale` into an in-memory trace.
+fn record_at(w: &alchemist_workloads::Workload, scale: Scale) -> (Module, Vec<u8>, u64) {
     let module = w.module();
     // Threaded workloads need the v2 tid column; the paper's eight stay
     // on v1 so their byte-level format is untouched.
@@ -24,10 +25,15 @@ fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64) {
         TraceWriter::new(Vec::new(), Some(w.source))
     }
     .expect("header");
-    let outcome = alchemist_vm::run(&module, &w.exec_config(Scale::Tiny), &mut writer)
+    let outcome = alchemist_vm::run(&module, &w.exec_config(scale), &mut writer)
         .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
     let (bytes, _) = writer.finish(outcome.steps).expect("finish");
     (module, bytes, outcome.steps)
+}
+
+/// Records one workload run into an in-memory trace.
+fn record(w: &alchemist_workloads::Workload) -> (Module, Vec<u8>, u64) {
+    record_at(w, Scale::Tiny)
 }
 
 #[test]
@@ -85,6 +91,115 @@ fn parallel_replay_profile_equals_sequential_and_live_for_every_workload() {
             .filter(|e| matches!(e, Event::Read { .. } | Event::Write { .. }))
             .count() as u64;
         assert_eq!(counts.iter().sum::<u64>(), mem, "{}", w.name);
+    }
+}
+
+/// The partition property behind merge determinism: a shard owns
+/// **addresses** (whole block-cyclic blocks of them), so every memory
+/// event on an address — the address's entire access stream, in recorded
+/// order — lands in exactly one shard, and control events reach all of
+/// them. This holds for the page-granular partition and for every finer
+/// stride the balance ladder can fall back to.
+#[test]
+fn partition_routes_every_address_stream_to_exactly_one_shard() {
+    for w in alchemist_workloads::all() {
+        let (_, bytes, _) = record(w);
+        let (batches, _) =
+            decode_batches_par(TraceReader::new(bytes.as_slice()).expect("header"), 4)
+                .expect("decode");
+        let chosen = ShardSpec::for_batches(&batches, 4);
+        let page_granular = ShardSpec::with_shift(4, PAGE_SHIFT);
+        for spec in [chosen, page_granular] {
+            let mut owner: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+            for batch in &batches {
+                let shards = partition_batch(batch, spec);
+                assert_eq!(shards.len(), 4, "{}", w.name);
+                let controls: Vec<Event> = batch
+                    .iter()
+                    .filter(|e| !matches!(e, Event::Read { .. } | Event::Write { .. }))
+                    .collect();
+                let mut mem_total = 0;
+                for (k, shard) in shards.iter().enumerate() {
+                    let mut expected = Vec::new();
+                    for ev in batch.iter() {
+                        match ev {
+                            Event::Read { addr, .. } | Event::Write { addr, .. } => {
+                                let home = spec.shard_of(addr);
+                                let prev = owner.insert(addr, home);
+                                assert_eq!(
+                                    prev.unwrap_or(home),
+                                    home,
+                                    "{}: address {addr} changed shards mid-stream",
+                                    w.name
+                                );
+                                if home == k as u32 {
+                                    expected.push(ev);
+                                }
+                            }
+                            other => expected.push(other),
+                        }
+                    }
+                    let got: Vec<Event> = shard.iter().collect();
+                    assert_eq!(got, expected, "{}: shard {k} stream diverges", w.name);
+                    mem_total += got
+                        .iter()
+                        .filter(|e| matches!(e, Event::Read { .. } | Event::Write { .. }))
+                        .count();
+                    // Control events broadcast: each shard holds all of them.
+                    let shard_controls: Vec<Event> = got
+                        .iter()
+                        .copied()
+                        .filter(|e| !matches!(e, Event::Read { .. } | Event::Write { .. }))
+                        .collect();
+                    assert_eq!(shard_controls, controls, "{}: shard {k}", w.name);
+                }
+                let batch_mem = batch
+                    .iter()
+                    .filter(|e| matches!(e, Event::Read { .. } | Event::Write { .. }))
+                    .count();
+                assert_eq!(
+                    mem_total, batch_mem,
+                    "{}: memory events lost or duplicated",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// Parity must survive scaling: the partition chooser samples the stream
+/// and may land on a different stride at a different size, and bigger
+/// inputs shift frame locals and thread-stack pages around — none of
+/// which may leak into the merged profile. Small keeps the whole-suite
+/// sweep affordable; the Huge regime is covered by the perf harness.
+#[test]
+fn parity_holds_across_scales_and_job_counts() {
+    for w in alchemist_workloads::all() {
+        for scale in [Scale::Small, Scale::Default] {
+            let (module, bytes, _) = record_at(w, scale);
+            let (live, ..) =
+                profile_module(&module, &w.exec_config(scale), ProfileConfig::default())
+                    .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name));
+            let (batches, summary) =
+                decode_batches_par(TraceReader::new(bytes.as_slice()).expect("header"), 4)
+                    .expect("decode");
+            for jobs in [2usize, 3, 5] {
+                let (par, _, _) = profile_batches_par(
+                    &module,
+                    &batches,
+                    summary.total_steps,
+                    ProfileConfig::default(),
+                    jobs,
+                );
+                assert_eq!(
+                    par,
+                    live,
+                    "{}: parallel replay (jobs={jobs}, scale={}) diverges from live",
+                    w.name,
+                    scale.name()
+                );
+            }
+        }
     }
 }
 
