@@ -130,7 +130,8 @@ fn measure_replay(
             summary.total_steps,
             ProfileConfig::default(),
             4,
-        );
+        )
+        .expect("no shard panic");
         let _ = std::hint::black_box(profile);
     });
     rows.push(Row {

@@ -98,7 +98,8 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
             summary.total_steps,
             ProfileConfig::default(),
             4,
-        );
+        )
+        .expect("no shard panic");
         assert_eq!(bat, seq, "{name}: batched sharded profile must be equal");
     }
     for jobs in [2usize, 4] {
@@ -165,7 +166,8 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
                     summary.total_steps,
                     ProfileConfig::default(),
                     jobs,
-                );
+                )
+                .expect("no shard panic");
                 profile
             })
         });
@@ -179,7 +181,8 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
                     summary.total_steps,
                     ProfileConfig::default(),
                     jobs,
-                );
+                )
+                .expect("no shard panic");
                 profile
             })
         });
@@ -194,7 +197,8 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
                 summary.total_steps,
                 ProfileConfig::default(),
                 4,
-            );
+            )
+            .expect("no shard panic");
             profile
         })
     });
@@ -206,7 +210,8 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
                 summary.total_steps,
                 ProfileConfig::default(),
                 4,
-            );
+            )
+            .expect("no shard panic");
             profile
         })
     });

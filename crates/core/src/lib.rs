@@ -74,7 +74,8 @@ pub use shard::{
     merge_shard_profiles, partition_batch, profile_batches_par, profile_batches_par_spec,
     profile_batches_par_with, profile_events_par, run_sharded, run_sharded_batched,
     run_sharded_batched_spec, run_sharded_batched_with, run_sharded_spec, shard_batch_counts,
-    shard_batch_counts_spec, shard_event_counts, shard_event_counts_spec, ShardFilter, ShardSpec,
-    ShardTuning, CANDIDATE_SHIFTS, MAX_SHARD_IMBALANCE, SHARD_CHANNEL_DEPTH, SHARD_FLUSH_EVENTS,
+    shard_batch_counts_spec, shard_event_counts, shard_event_counts_spec, ShardError, ShardFilter,
+    ShardSpec, ShardTuning, CANDIDATE_SHIFTS, MAX_SHARD_IMBALANCE, SHARD_CHANNEL_DEPTH,
+    SHARD_FLUSH_EVENTS,
 };
 pub use stats::{constructs_to_csv, edges_to_csv, DistanceHistogram};

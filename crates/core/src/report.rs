@@ -135,6 +135,10 @@ pub struct ProfileReport {
     /// sharded replay (empty for sequential/live runs). Drives the render
     /// imbalance note.
     pub shard_events: Vec<u64>,
+    /// Caller-supplied caveats rendered as trailing `note:` lines — e.g.
+    /// the CLI's salvage note when a profile came from a `--recover`
+    /// replay that dropped corrupt chunks.
+    pub notes: Vec<String>,
 }
 
 impl ProfileReport {
@@ -199,7 +203,17 @@ impl ProfileReport {
             intra_thread_deps: profile.intra_thread_deps,
             cross_thread_deps: profile.cross_thread_deps,
             shard_events: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Appends a caveat rendered as a trailing `note:` line. Used for
+    /// facts the profile cannot see itself, like a salvaged replay having
+    /// dropped corrupt chunks (an incomplete profile must never print as
+    /// silently complete).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
     }
 
     /// Attaches per-shard memory-event counts from a sharded replay, so
@@ -272,6 +286,7 @@ impl ProfileReport {
             intra_thread_deps: self.intra_thread_deps,
             cross_thread_deps: self.cross_thread_deps,
             shard_events: self.shard_events.clone(),
+            notes: self.notes.clone(),
         };
         let denom = total_violating_raw.max(1) as f64;
         for c in &mut report.constructs {
@@ -357,6 +372,9 @@ impl ProfileReport {
             if ratio > 2.0 {
                 let _ = writeln!(out, "note: shard imbalance max/min = {ratio:.1}");
             }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
         }
         out
     }
@@ -530,6 +548,23 @@ mod tests {
             .remove_with_nested(main_head)
             .render(5)
             .contains("shard imbalance"));
+    }
+
+    #[test]
+    fn with_note_renders_trailing_note_lines_and_survives_refinement() {
+        let r = report_for(GZIP_MINI);
+        assert!(!r.render(5).contains("salvaged replay"));
+        let salvaged = r.with_note("salvaged replay: 2 of 9 chunk(s) skipped");
+        let text = salvaged.render(5);
+        assert!(
+            text.contains("note: salvaged replay: 2 of 9 chunk(s) skipped"),
+            "{text}"
+        );
+        let main_head = salvaged.find("Method main").unwrap().head;
+        assert!(salvaged
+            .remove_with_nested(main_head)
+            .render(5)
+            .contains("salvaged replay"));
     }
 
     #[test]

@@ -52,7 +52,84 @@ use crate::shadow::PAGE_SHIFT;
 use alchemist_lang::hir::FuncId;
 use alchemist_obs::{span_opt, Counter, Metrics, ShardMetrics, Stage};
 use alchemist_vm::{BlockId, Event, EventBatch, Module, Pc, Tid, Time, TraceSink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// A shard replay worker died mid-stream.
+///
+/// Workers run under [`catch_unwind`], so one shard's panic (an analysis
+/// bug, a poisoned sink) no longer aborts the whole replay: the panicking
+/// shard is reported here — with its id, how many events it had consumed
+/// and the panic payload — while the surviving shards drain their queues
+/// and join cleanly. Only the *first* failing shard (lowest id) is
+/// returned; the merged result is unusable either way once any address
+/// shard is missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Shard id of the worker that panicked.
+    pub shard: u32,
+    /// Events the worker had consumed before dying.
+    pub events: u64,
+    /// The panic payload, stringified (`&str` / `String` payloads verbatim,
+    /// anything else as `<non-string panic payload>`).
+    pub payload: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard worker {} panicked after {} events: {}",
+            self.shard, self.events, self.payload
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Stringifies a panic payload for [`ShardError::payload`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Joins every worker, collecting finished sinks; if any worker panicked,
+/// returns the lowest-id failure *after* all handles joined (surviving
+/// shards always drain cleanly, no thread is left detached).
+fn join_shards<S>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<S, (u64, String)>>>,
+) -> Result<Vec<S>, ShardError> {
+    let mut sinks = Vec::with_capacity(handles.len());
+    let mut first_err: Option<ShardError> = None;
+    for (k, handle) in handles.into_iter().enumerate() {
+        let joined = match handle.join() {
+            Ok(result) => result,
+            // The worker body is wrapped in catch_unwind, so a join error
+            // means the panic escaped the wrapper (e.g. a panicking Drop
+            // during unwind) — still report it rather than re-panic.
+            Err(payload) => Err((0, panic_message(payload))),
+        };
+        match joined {
+            Ok(sink) => sinks.push(sink),
+            Err((events, payload)) => {
+                first_err.get_or_insert(ShardError {
+                    shard: k as u32,
+                    events,
+                    payload,
+                });
+            }
+        }
+    }
+    match first_err {
+        None => Ok(sinks),
+        Some(err) => Err(err),
+    }
+}
 
 /// Block-size ladder (log2 words) the partition chooser walks, coarsest
 /// first: whole shadow pages, then 512-, 64- and 8-word blocks, down to
@@ -162,6 +239,9 @@ fn choose_shift(jobs: u32, addrs: impl Iterator<Item = u32>) -> u32 {
     }
     let row_max_min = |si: usize| {
         let row = &counts[si * j..(si + 1) * j];
+        // Invariant: `jobs >= 1` (clamped by every caller), so each row has
+        // at least one cell and the fallbacks below never fire — they exist
+        // only to keep the closure total.
         (
             *row.iter().max().unwrap_or(&0),
             *row.iter().min().unwrap_or(&0),
@@ -357,10 +437,11 @@ pub fn partition_batch(batch: &EventBatch, spec: ShardSpec) -> Vec<EventBatch> {
 /// in a [`ShardFilter`] and dispatches the whole stream, and the caller
 /// merges the returned sinks however its analysis requires.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any worker.
-pub fn run_sharded<S, F>(events: &[Event], jobs: usize, make_sink: F) -> Vec<S>
+/// [`ShardError`] if any worker panicked; the surviving workers are joined
+/// first, so no thread outlives the call.
+pub fn run_sharded<S, F>(events: &[Event], jobs: usize, make_sink: F) -> Result<Vec<S>, ShardError>
 where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
@@ -372,10 +453,15 @@ where
 
 /// [`run_sharded`] with an explicit, caller-chosen partition.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any worker.
-pub fn run_sharded_spec<S, F>(events: &[Event], spec: ShardSpec, make_sink: F) -> Vec<S>
+/// [`ShardError`] if any worker panicked; the surviving workers are joined
+/// first, so no thread outlives the call.
+pub fn run_sharded_spec<S, F>(
+    events: &[Event],
+    spec: ShardSpec,
+    make_sink: F,
+) -> Result<Vec<S>, ShardError>
 where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
@@ -385,18 +471,20 @@ where
         let handles: Vec<_> = (0..spec.jobs())
             .map(|k| {
                 s.spawn(move || {
-                    let mut filter = ShardFilter::new(k, spec, make_sink(k));
-                    for ev in events {
-                        ev.dispatch(&mut filter);
-                    }
-                    filter.into_inner()
+                    let mut done = 0u64;
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut filter = ShardFilter::new(k, spec, make_sink(k));
+                        for ev in events {
+                            ev.dispatch(&mut filter);
+                            done += 1;
+                        }
+                        filter.into_inner()
+                    }));
+                    result.map_err(|payload| (done, panic_message(payload)))
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+        join_shards(handles)
     })
 }
 
@@ -417,10 +505,16 @@ where
 /// steady-state partitioning allocates nothing. Peak in-flight memory is
 /// `jobs × SHARD_CHANNEL_DEPTH` sub-batches.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any worker.
-pub fn run_sharded_batched<S, F>(batches: &[EventBatch], jobs: usize, make_sink: F) -> Vec<S>
+/// [`ShardError`] if any worker panicked. A dead worker's channel simply
+/// stops accepting sends — the sender keeps feeding the surviving shards,
+/// which drain and join cleanly before the error is returned.
+pub fn run_sharded_batched<S, F>(
+    batches: &[EventBatch],
+    jobs: usize,
+    make_sink: F,
+) -> Result<Vec<S>, ShardError>
 where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
@@ -437,16 +531,16 @@ where
 /// *sub-batch* (thousands of events), and with `None` this *is*
 /// [`run_sharded_batched`] — no clock reads at all.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any worker.
+/// [`ShardError`] if any worker panicked (see [`run_sharded_batched`]).
 pub fn run_sharded_batched_with<S, F>(
     batches: &[EventBatch],
     jobs: usize,
     tuning: ShardTuning,
     metrics: Option<&Metrics>,
     make_sink: F,
-) -> Vec<S>
+) -> Result<Vec<S>, ShardError>
 where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
@@ -460,16 +554,16 @@ where
 /// (callers that display or log the partition compute it once via
 /// [`ShardSpec::for_batches`] and pass it here, keeping the two in sync).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Propagates a panic from any worker.
+/// [`ShardError`] if any worker panicked (see [`run_sharded_batched`]).
 pub fn run_sharded_batched_spec<S, F>(
     batches: &[EventBatch],
     spec: ShardSpec,
     tuning: ShardTuning,
     metrics: Option<&Metrics>,
     make_sink: F,
-) -> Vec<S>
+) -> Result<Vec<S>, ShardError>
 where
     S: TraceSink + Send,
     F: Fn(u32) -> S + Sync,
@@ -487,33 +581,42 @@ where
                 let (tx, rx) = std::sync::mpsc::sync_channel::<EventBatch>(tuning.channel_depth);
                 let pool_tx = pool_tx.clone();
                 let handle = s.spawn(move || {
-                    let mut sink = make_sink(k as u32);
-                    let Some(m) = metrics else {
-                        while let Ok(mut sub) = rx.recv() {
+                    // A panic anywhere below drops `rx`, which the sender
+                    // observes as a disconnected channel — not a deadlock.
+                    let mut done = 0u64;
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut sink = make_sink(k as u32);
+                        let Some(m) = metrics else {
+                            while let Ok(mut sub) = rx.recv() {
+                                done += sub.len() as u64;
+                                sink.on_batch(&sub);
+                                sub.clear();
+                                let _ = pool_tx.send(sub); // sender may have finished
+                            }
+                            return sink;
+                        };
+                        let mut sm = ShardMetrics {
+                            shard: k,
+                            ..ShardMetrics::default()
+                        };
+                        loop {
+                            let t0 = Instant::now();
+                            let Ok(mut sub) = rx.recv() else { break };
+                            sm.recv_wait_ns += t0.elapsed().as_nanos() as u64;
+                            done += sub.len() as u64;
+                            sm.events += sub.len() as u64;
+                            sm.mem_events +=
+                                sub.tags().iter().filter(|t| t.is_memory()).count() as u64;
+                            let t1 = Instant::now();
                             sink.on_batch(&sub);
+                            sm.busy_ns += t1.elapsed().as_nanos() as u64;
                             sub.clear();
-                            let _ = pool_tx.send(sub); // sender may have finished
+                            let _ = pool_tx.send(sub);
                         }
-                        return sink;
-                    };
-                    let mut sm = ShardMetrics {
-                        shard: k,
-                        ..ShardMetrics::default()
-                    };
-                    loop {
-                        let t0 = Instant::now();
-                        let Ok(mut sub) = rx.recv() else { break };
-                        sm.recv_wait_ns += t0.elapsed().as_nanos() as u64;
-                        sm.events += sub.len() as u64;
-                        sm.mem_events += sub.tags().iter().filter(|t| t.is_memory()).count() as u64;
-                        let t1 = Instant::now();
-                        sink.on_batch(&sub);
-                        sm.busy_ns += t1.elapsed().as_nanos() as u64;
-                        sub.clear();
-                        let _ = pool_tx.send(sub);
-                    }
-                    m.record_shard(sm);
-                    sink
+                        m.record_shard(sm);
+                        sink
+                    }));
+                    result.map_err(|payload| (done, panic_message(payload)))
                 });
                 (tx, handle)
             })
@@ -528,16 +631,25 @@ where
                 .map(|_| EventBatch::with_capacity(tuning.flush_events))
                 .collect();
             let mut send_wait: Vec<u64> = vec![0; if metrics.is_some() { jobs } else { 0 }];
+            // A send to a panicked worker fails with a disconnect (the
+            // worker dropped its receiver during unwind). The sub-batch is
+            // dropped and the shard marked dead — the panic itself is
+            // reported at join, and the other shards keep streaming.
+            let mut dead: Vec<bool> = vec![false; jobs];
             let mut sent = 0u64;
-            let timed_send = |k: usize, sub: EventBatch, send_wait: &mut [u64]| {
-                if metrics.is_some() {
-                    let t0 = Instant::now();
-                    senders[k].send(sub).expect("shard worker hung up");
-                    send_wait[k] += t0.elapsed().as_nanos() as u64;
-                } else {
-                    senders[k].send(sub).expect("shard worker hung up");
-                }
-            };
+            let timed_send =
+                |k: usize, sub: EventBatch, send_wait: &mut [u64], dead: &mut [bool]| {
+                    if dead[k] {
+                        return;
+                    }
+                    if metrics.is_some() {
+                        let t0 = Instant::now();
+                        dead[k] = senders[k].send(sub).is_err();
+                        send_wait[k] += t0.elapsed().as_nanos() as u64;
+                    } else {
+                        dead[k] = senders[k].send(sub).is_err();
+                    }
+                };
             for batch in batches {
                 partition_into(batch, spec, &mut acc);
                 for (k, slot) in acc.iter_mut().enumerate() {
@@ -549,13 +661,13 @@ where
                         .unwrap_or_else(|_| EventBatch::with_capacity(tuning.flush_events));
                     let full = std::mem::replace(slot, fresh);
                     sent += 1;
-                    timed_send(k, full, &mut send_wait);
+                    timed_send(k, full, &mut send_wait, &mut dead);
                 }
             }
             for (k, rest) in acc.into_iter().enumerate() {
                 if !rest.is_empty() {
                     sent += 1;
-                    timed_send(k, rest, &mut send_wait);
+                    timed_send(k, rest, &mut send_wait, &mut dead);
                 }
             }
             if let Some(m) = metrics {
@@ -571,10 +683,7 @@ where
             }
         }
         drop(senders); // close the channels so workers finish
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+        join_shards(handles)
     })
 }
 
@@ -630,6 +739,8 @@ pub fn shard_batch_counts_spec(batches: &[EventBatch], spec: ShardSpec) -> Vec<u
 /// equality).
 pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
     let mut iter = shards.into_iter();
+    // Invariant: callers pass one profile per shard and `jobs >= 1`; the
+    // default only materializes for an (accepted, degenerate) empty input.
     let mut base = iter.next().unwrap_or_default();
     for shard in iter {
         base.dropped_readers += shard.dropped_readers;
@@ -658,6 +769,10 @@ pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
 /// pool statistics and maximum depth — which are control-derived and
 /// identical in every shard. `jobs <= 1` falls back to the sequential path.
 ///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked (see [`run_sharded`]).
+///
 /// # Examples
 ///
 /// ```
@@ -672,7 +787,7 @@ pub fn merge_shard_profiles(shards: Vec<DepProfile>) -> DepProfile {
 /// let (seq, _, _) = profile_events(
 ///     &module, rec.events.iter().copied(), out.steps, ProfileConfig::default());
 /// let (par, _, _) = profile_events_par(
-///     &module, &rec.events, out.steps, ProfileConfig::default(), 4);
+///     &module, &rec.events, out.steps, ProfileConfig::default(), 4).unwrap();
 /// assert_eq!(par, seq);
 /// ```
 pub fn profile_events_par(
@@ -681,14 +796,19 @@ pub fn profile_events_par(
     total_steps: u64,
     config: ProfileConfig,
     jobs: usize,
-) -> (DepProfile, PoolStats, usize) {
+) -> Result<(DepProfile, PoolStats, usize), ShardError> {
     if jobs <= 1 {
-        return profile_events(module, events.iter().copied(), total_steps, config);
+        return Ok(profile_events(
+            module,
+            events.iter().copied(),
+            total_steps,
+            config,
+        ));
     }
     let profilers = run_sharded(events, jobs, |_| {
         AlchemistProfiler::new(module, config.clone())
-    });
-    finish_shard_profilers(profilers, total_steps, None)
+    })?;
+    Ok(finish_shard_profilers(profilers, total_steps, None))
 }
 
 /// Extracts per-shard profiles from finished profilers and merges them.
@@ -708,6 +828,8 @@ fn finish_shard_profilers(
             (prof.into_profile(total_steps), pool_stats, max_depth)
         })
         .collect();
+    // Invariant: the fan-out produced exactly `jobs >= 1` profilers, so
+    // shard 0 always exists here.
     let (pool_stats, max_depth) = (shards[0].1, shards[0].2);
     debug_assert!(
         shards
@@ -739,6 +861,11 @@ fn finish_shard_profilers(
 /// the per-event replay and live instrumentation of the recorded run.
 /// `jobs <= 1` falls back to the sequential batched path.
 ///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked (see
+/// [`run_sharded_batched`]).
+///
 /// # Examples
 ///
 /// ```
@@ -754,7 +881,7 @@ fn finish_shard_profilers(
 ///     &module, rec.events.iter().copied(), out.steps, ProfileConfig::default());
 /// let batches: Vec<EventBatch> = rec.events.chunks(16).map(EventBatch::from_events).collect();
 /// let (par, _, _) = profile_batches_par(
-///     &module, &batches, out.steps, ProfileConfig::default(), 4);
+///     &module, &batches, out.steps, ProfileConfig::default(), 4).unwrap();
 /// assert_eq!(par, seq);
 /// ```
 pub fn profile_batches_par(
@@ -763,7 +890,7 @@ pub fn profile_batches_par(
     total_steps: u64,
     config: ProfileConfig,
     jobs: usize,
-) -> (DepProfile, PoolStats, usize) {
+) -> Result<(DepProfile, PoolStats, usize), ShardError> {
     profile_batches_par_with(module, batches, total_steps, config, jobs, None)
 }
 
@@ -774,6 +901,11 @@ pub fn profile_batches_par(
 /// span, and the `profile.events` / `profile.deps` counters are bumped
 /// with the stream's event count and the merged dependence-detection
 /// total. The produced profile is **equal** to the uninstrumented one.
+///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked (see
+/// [`run_sharded_batched`]).
 pub fn profile_batches_par_with(
     module: &Module,
     batches: &[EventBatch],
@@ -781,7 +913,7 @@ pub fn profile_batches_par_with(
     config: ProfileConfig,
     jobs: usize,
     metrics: Option<&Metrics>,
-) -> (DepProfile, PoolStats, usize) {
+) -> Result<(DepProfile, PoolStats, usize), ShardError> {
     let jobs = jobs.clamp(1, u32::MAX as usize);
     let spec = ShardSpec::for_batches(batches, jobs as u32);
     profile_batches_par_spec(
@@ -798,6 +930,11 @@ pub fn profile_batches_par_with(
 /// [`profile_batches_par_with`] with an explicit partition and hand-off
 /// tuning — the CLI computes the [`ShardSpec`] once (to display it) and
 /// passes its `--shard-depth` / `--shard-flush` values through here.
+///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked (see
+/// [`run_sharded_batched`]).
 pub fn profile_batches_par_spec(
     module: &Module,
     batches: &[EventBatch],
@@ -806,13 +943,13 @@ pub fn profile_batches_par_spec(
     spec: ShardSpec,
     tuning: ShardTuning,
     metrics: Option<&Metrics>,
-) -> (DepProfile, PoolStats, usize) {
+) -> Result<(DepProfile, PoolStats, usize), ShardError> {
     let result = if spec.jobs() <= 1 {
         profile_batches(module, batches, total_steps, config)
     } else {
         let profilers = run_sharded_batched_spec(batches, spec, tuning, metrics, |_| {
             AlchemistProfiler::new(module, config.clone())
-        });
+        })?;
         finish_shard_profilers(profilers, total_steps, metrics)
     };
     if let Some(m) = metrics {
@@ -825,7 +962,7 @@ pub fn profile_batches_par_spec(
             result.0.intra_thread_deps + result.0.cross_thread_deps,
         );
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -981,7 +1118,8 @@ mod tests {
         );
         for jobs in [1usize, 2, 3, 4, 7, 16] {
             let (par, pool, depth) =
-                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs);
+                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs)
+                    .unwrap();
             assert_eq!(par, seq, "jobs={jobs}");
             assert_eq!(pool, seq_pool, "jobs={jobs}");
             assert_eq!(depth, seq_depth, "jobs={jobs}");
@@ -998,7 +1136,7 @@ mod tests {
             ..Default::default()
         };
         let (seq, _, _) = profile_events(&module, events.iter().copied(), steps, cfg.clone());
-        let (par, _, _) = profile_events_par(&module, &events, steps, cfg, 4);
+        let (par, _, _) = profile_events_par(&module, &events, steps, cfg, 4).unwrap();
         assert_eq!(par.dropped_readers, seq.dropped_readers);
         assert_eq!(par, seq);
     }
@@ -1012,7 +1150,8 @@ mod tests {
             steps,
             ProfileConfig::default(),
         );
-        let (par, _, _) = profile_events_par(&module, &events, steps, ProfileConfig::default(), 64);
+        let (par, _, _) =
+            profile_events_par(&module, &events, steps, ProfileConfig::default(), 64).unwrap();
         assert_eq!(par, seq);
     }
 
@@ -1094,7 +1233,8 @@ mod tests {
             let batches = to_batches(&events, batch_size);
             for jobs in [1usize, 2, 3, 7] {
                 let (par, pool, depth) =
-                    profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs);
+                    profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs)
+                        .unwrap();
                 assert_eq!(par, seq, "batch_size={batch_size} jobs={jobs}");
                 assert_eq!(pool, seq_pool, "batch_size={batch_size} jobs={jobs}");
                 assert_eq!(depth, seq_depth, "batch_size={batch_size} jobs={jobs}");
@@ -1124,7 +1264,8 @@ mod tests {
                 spec,
                 ShardTuning::default(),
                 None,
-            );
+            )
+            .unwrap();
             assert_eq!(par, seq, "shift={shift}");
         }
     }
@@ -1154,7 +1295,8 @@ mod tests {
             spec,
             tuning,
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(par, seq);
     }
 
@@ -1164,7 +1306,7 @@ mod tests {
         let batches = to_batches(&events, 16);
         let jobs = 3usize;
         let (plain, _, _) =
-            profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs);
+            profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs).unwrap();
         let m = Metrics::new();
         let (instr, _, _) = profile_batches_par_with(
             &module,
@@ -1173,7 +1315,8 @@ mod tests {
             ProfileConfig::default(),
             jobs,
             Some(&m),
-        );
+        )
+        .unwrap();
         assert_eq!(instr, plain);
 
         // Counters describe the stream and the merged profile.
@@ -1227,7 +1370,8 @@ mod tests {
             ProfileConfig::default(),
             jobs,
             Some(&m),
-        );
+        )
+        .unwrap();
         let sent = m.get(Counter::ShardSubBatchesSent);
         let delivered: u64 = m.shards().iter().map(|s| s.events).sum();
         assert!(sent > 0);
@@ -1251,5 +1395,72 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    /// A sink that panics on the first control event when armed.
+    #[derive(Debug)]
+    struct Bomb {
+        armed: bool,
+    }
+
+    impl TraceSink for Bomb {
+        fn on_block_entry(&mut self, _t: Time, _block: BlockId, _tid: Tid) {
+            if self.armed {
+                panic!("shard bomb detonated");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_worker_is_a_typed_error_on_the_event_path() {
+        let (_m, events, _) = record(CHURN);
+        let err = run_sharded(&events, 3, |k| Bomb { armed: k == 1 }).unwrap_err();
+        assert_eq!(err.shard, 1);
+        assert!(err.payload.contains("shard bomb"), "{}", err.payload);
+        let msg = err.to_string();
+        assert!(msg.contains("shard worker 1 panicked"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_worker_is_a_typed_error_on_the_batched_path() {
+        let (_m, events, _) = record(CHURN);
+        let batches = to_batches(&events, 16);
+        // Degenerate tuning maximizes post-mortem sends: the sender must
+        // absorb the dead shard's disconnected channel (not panic, not
+        // deadlock) while the surviving shards drain to completion.
+        let tuning = ShardTuning {
+            channel_depth: 1,
+            flush_events: 1,
+        };
+        let spec = ShardSpec::with_shift(3, 0);
+        let err =
+            run_sharded_batched_spec(&batches, spec, tuning, None, |k| Bomb { armed: k == 0 })
+                .unwrap_err();
+        assert_eq!(err.shard, 0);
+        assert!(err.payload.contains("shard bomb"), "{}", err.payload);
+    }
+
+    #[test]
+    fn healthy_fanout_still_returns_every_sink() {
+        let (_m, events, _) = record(CHURN);
+        let sinks = run_sharded(&events, 4, |_| Bomb { armed: false }).unwrap();
+        assert_eq!(sinks.len(), 4);
+        let batches = to_batches(&events, 16);
+        let sinks = run_sharded_batched(&batches, 4, |_| Bomb { armed: false }).unwrap();
+        assert_eq!(sinks.len(), 4);
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_reported_generically() {
+        #[derive(Debug)]
+        struct IntBomb;
+        impl TraceSink for IntBomb {
+            fn on_block_entry(&mut self, _t: Time, _block: BlockId, _tid: Tid) {
+                std::panic::panic_any(42u32);
+            }
+        }
+        let (_m, events, _) = record(CHURN);
+        let err = run_sharded(&events, 2, |_| IntBomb).unwrap_err();
+        assert_eq!(err.payload, "<non-string panic payload>");
     }
 }

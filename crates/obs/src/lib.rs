@@ -56,6 +56,10 @@ pub enum Counter {
     TraceBytesDecoded,
     /// Events decoded from the trace.
     TraceEventsDecoded,
+    /// Corrupt/truncated chunks skipped by salvage replay (`--recover`).
+    TraceChunksSkipped,
+    /// Events salvaged by recovery replay (what survived the damage).
+    TraceEventsSalvaged,
     /// Events run through dependence profiling.
     ProfileEvents,
     /// Distinct dependence edges detected (intra- + cross-thread).
@@ -75,7 +79,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// Every counter, in declaration (= report) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -90,6 +94,8 @@ impl Counter {
         Counter::TraceChunksDecoded,
         Counter::TraceBytesDecoded,
         Counter::TraceEventsDecoded,
+        Counter::TraceChunksSkipped,
+        Counter::TraceEventsSalvaged,
         Counter::ProfileEvents,
         Counter::ProfileDeps,
         Counter::ProfileSaves,
@@ -114,6 +120,8 @@ impl Counter {
             Counter::TraceChunksDecoded => "trace.chunks_decoded",
             Counter::TraceBytesDecoded => "trace.bytes_decoded",
             Counter::TraceEventsDecoded => "trace.events_decoded",
+            Counter::TraceChunksSkipped => "trace.chunks_skipped",
+            Counter::TraceEventsSalvaged => "trace.events_salvaged",
             Counter::ProfileEvents => "profile.events",
             Counter::ProfileDeps => "profile.deps",
             Counter::ProfileSaves => "profile.saves",

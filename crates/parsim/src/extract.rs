@@ -26,7 +26,7 @@
 
 use crate::task::{TaskId, TaskInstance, TaskTrace};
 use alchemist_core::shadow::{Access, ShadowMemory};
-use alchemist_core::shard::{run_sharded, run_sharded_batched};
+use alchemist_core::shard::{run_sharded, run_sharded_batched, ShardError};
 use alchemist_core::{ConstructId, ConstructKind};
 use alchemist_lang::hir::FuncId;
 use alchemist_obs::{span_opt, Counter, Metrics, Stage};
@@ -390,18 +390,28 @@ where
 /// dynamic dependence is detected by exactly one shard — and re-applies
 /// the sequential path's sort/dedup, so the result is **equal** to
 /// [`extract_tasks_from_events`] on the same stream.
+///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked; surviving shards are
+/// drained and joined before the error is returned.
 pub fn extract_tasks_from_events_par(
     module: &Module,
     config: ExtractConfig,
     events: &[Event],
     total_steps: u64,
     jobs: usize,
-) -> TaskTrace {
+) -> Result<TaskTrace, ShardError> {
     if jobs <= 1 {
-        return extract_tasks_from_events(module, config, events.iter().copied(), total_steps);
+        return Ok(extract_tasks_from_events(
+            module,
+            config,
+            events.iter().copied(),
+            total_steps,
+        ));
     }
-    let extractors = run_sharded(events, jobs, |_| TaskExtractor::new(module, config.clone()));
-    merge_shard_traces(extractors, total_steps)
+    let extractors = run_sharded(events, jobs, |_| TaskExtractor::new(module, config.clone()))?;
+    Ok(merge_shard_traces(extractors, total_steps))
 }
 
 /// Batched twin of [`extract_tasks_from_events_par`]: extracts a task
@@ -411,13 +421,17 @@ pub fn extract_tasks_from_events_par(
 /// The result is **equal** to [`extract_tasks_from_events`] over the
 /// concatenated batch rows. `jobs <= 1` runs one extractor sequentially,
 /// one `on_batch` call per batch.
+///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked.
 pub fn extract_tasks_from_batches_par(
     module: &Module,
     config: ExtractConfig,
     batches: &[EventBatch],
     total_steps: u64,
     jobs: usize,
-) -> TaskTrace {
+) -> Result<TaskTrace, ShardError> {
     extract_tasks_from_batches_par_with(module, config, batches, total_steps, jobs, None)
 }
 
@@ -427,6 +441,10 @@ pub fn extract_tasks_from_batches_par(
 /// task count. The internal shard fan-out is *not* instrumented — per-shard
 /// metrics rows stay reserved for the dependence-profiling shards, so a
 /// combined `replay` invocation reports one coherent shard table.
+///
+/// # Errors
+///
+/// [`ShardError`] if any shard worker panicked.
 pub fn extract_tasks_from_batches_par_with(
     module: &Module,
     config: ExtractConfig,
@@ -434,7 +452,7 @@ pub fn extract_tasks_from_batches_par_with(
     total_steps: u64,
     jobs: usize,
     metrics: Option<&Metrics>,
-) -> TaskTrace {
+) -> Result<TaskTrace, ShardError> {
     let _extract_span = span_opt(metrics, Stage::Extract);
     let trace = if jobs <= 1 {
         let mut extractor = TaskExtractor::new(module, config);
@@ -445,13 +463,13 @@ pub fn extract_tasks_from_batches_par_with(
     } else {
         let extractors = run_sharded_batched(batches, jobs, |_| {
             TaskExtractor::new(module, config.clone())
-        });
+        })?;
         merge_shard_traces(extractors, total_steps)
     };
     if let Some(m) = metrics {
         m.add(Counter::ParsimTasksExtracted, trace.tasks.len() as u64);
     }
-    trace
+    Ok(trace)
 }
 
 /// Merges per-shard extractor results: shard 0's control-derived task list
@@ -463,6 +481,8 @@ fn merge_shard_traces(extractors: Vec<TaskExtractor<'_>>, total_steps: u64) -> T
         .map(|e| e.into_trace(total_steps))
         .collect::<Vec<_>>()
         .into_iter();
+    // Invariant: only reached from the `jobs > 1` fan-out paths, which
+    // spawn (and here return) at least two extractors.
     let mut base = iter.next().expect("at least one shard");
     let mut edge_set: HashSet<(TaskId, TaskId)> = base.task_edges.iter().copied().collect();
     for shard in iter {
@@ -667,7 +687,8 @@ int main() {
             assert!(!seq.task_edges.is_empty(), "counter chain constrains");
             for jobs in [1usize, 2, 3, 4, 8] {
                 let par =
-                    extract_tasks_from_events_par(&m, cfg.clone(), &rec.events, out.steps, jobs);
+                    extract_tasks_from_events_par(&m, cfg.clone(), &rec.events, out.steps, jobs)
+                        .unwrap();
                 assert_eq!(par, seq, "jobs={jobs} respect_war_waw={respect}");
             }
         }
@@ -692,7 +713,8 @@ int main() {
         let seq = extract_tasks_from_events(&m, cfg.clone(), rec.events.iter().copied(), out.steps);
         let batches: Vec<EventBatch> = rec.events.chunks(23).map(EventBatch::from_events).collect();
         for jobs in [1usize, 2, 4, 8] {
-            let par = extract_tasks_from_batches_par(&m, cfg.clone(), &batches, out.steps, jobs);
+            let par =
+                extract_tasks_from_batches_par(&m, cfg.clone(), &batches, out.steps, jobs).unwrap();
             assert_eq!(par, seq, "jobs={jobs}");
         }
     }

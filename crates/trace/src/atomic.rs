@@ -1,0 +1,165 @@
+//! Crash-safe file creation: write into a hidden temp file, then rename it
+//! over the final path in one atomic step.
+//!
+//! Every file-producing path in the pipeline (trace recording, profile
+//! artifacts, metrics reports) commits through [`AtomicFile`], so a crash,
+//! SIGKILL or full disk mid-write can never leave a half-written file under
+//! the requested name — observers see either the old content or the
+//! complete new content. The temp file lives in the same directory as the
+//! target (rename is only atomic within a filesystem) and is deleted on
+//! drop if never committed.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A file that appears at its final path only when [`AtomicFile::commit`]
+/// succeeds. Dropping without committing deletes the temp file.
+#[derive(Debug)]
+pub struct AtomicFile {
+    /// `Some` until commit or drop.
+    file: Option<File>,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+}
+
+impl AtomicFile {
+    /// Opens `<path>.tmp.<pid>` for writing, in `path`'s directory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from creating the temp file (missing directory,
+    /// permissions, full disk).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<AtomicFile> {
+        let path = path.as_ref();
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".tmp.{}", std::process::id()));
+        let tmp_path = path.with_file_name(name);
+        let file = File::create(&tmp_path)?;
+        Ok(AtomicFile {
+            file: Some(file),
+            tmp_path,
+            final_path: path.to_path_buf(),
+        })
+    }
+
+    /// The path the committed file will appear at.
+    pub fn path(&self) -> &Path {
+        &self.final_path
+    }
+
+    /// Syncs the temp file to disk and renames it over the final path.
+    /// On failure the temp file is removed and the final path is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from `fsync` or the rename.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("file present until commit/drop");
+        let result = file
+            .sync_all()
+            .and_then(|()| fs::rename(&self.tmp_path, &self.final_path));
+        drop(file);
+        if result.is_err() {
+            let _ = fs::remove_file(&self.tmp_path);
+        }
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// One-shot atomic write: `bytes` appear at `path` entirely or not at all.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the temp-file write or the commit rename.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(bytes)?;
+    file.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alct_atomic_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn committed_writes_appear_at_the_final_path() {
+        let dir = scratch_dir("commit");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"payload").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"payload");
+        // No temp litter.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_files_never_become_visible() {
+        let dir = scratch_dir("abort");
+        let path = dir.join("out.bin");
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"half-writ").unwrap();
+            // Dropped without commit: simulated crash cleanup.
+        }
+        assert!(!path.exists(), "uncommitted file must not appear");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "temp cleaned up");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_replaces_existing_content_atomically() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new content");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_in_a_missing_directory_is_an_error() {
+        let dir = scratch_dir("missing");
+        let path = dir.join("no_such_subdir").join("out.bin");
+        assert!(AtomicFile::create(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -40,6 +40,16 @@ pub enum TraceError {
     /// A chunk declared a payload larger than the sanity limit, which on a
     /// corrupt file would otherwise trigger a giant allocation.
     ChunkTooLarge(u64),
+    /// A v3 chunk's payload did not match its stored CRC-32: positive
+    /// evidence of corruption (bit rot, torn write) rather than truncation.
+    ChecksumMismatch {
+        /// CRC stored in the chunk head.
+        expected: u32,
+        /// CRC computed over the payload as read.
+        actual: u32,
+        /// Index of the offending chunk (0-based, footer counts as one).
+        chunk_index: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -69,6 +79,17 @@ impl fmt::Display for TraceError {
             TraceError::BadEventTag(tag) => write!(f, "undefined event tag {tag}"),
             TraceError::ChunkTooLarge(n) => {
                 write!(f, "chunk payload of {n} bytes exceeds the sanity limit")
+            }
+            TraceError::ChecksumMismatch {
+                expected,
+                actual,
+                chunk_index,
+            } => {
+                write!(
+                    f,
+                    "corrupt trace: chunk {chunk_index} CRC mismatch \
+                     (stored {expected:08x}, computed {actual:08x})"
+                )
             }
         }
     }
@@ -113,6 +134,15 @@ mod tests {
             .to_string()
             .contains("chunk payload"));
         assert!(TraceError::BadEventTag(7).to_string().contains('7'));
+        let c = TraceError::ChecksumMismatch {
+            expected: 0xdead_beef,
+            actual: 0x0bad_f00d,
+            chunk_index: 3,
+        }
+        .to_string();
+        assert!(c.contains("deadbeef"));
+        assert!(c.contains("0badf00d"));
+        assert!(c.contains("chunk 3"));
     }
 
     #[test]

@@ -49,8 +49,13 @@
 //! ```
 //!
 //! Corrupt input never panics: every structural defect (foreign magic,
-//! future version, mid-chunk EOF, undefined event tag) decodes to a typed
-//! [`TraceError`].
+//! future version, mid-chunk EOF, undefined event tag, v3 CRC mismatch)
+//! decodes to a typed [`TraceError`]. When losing the damaged part is
+//! preferable to losing the whole trace, the salvage path —
+//! [`TraceReader::read_raw_chunks_recover`] / [`decode_batches_par_recover`]
+//! — skips corrupt or truncated chunks and tallies what was dropped in a
+//! [`RecoveryReport`]. Files are produced crash-safely through the
+//! [`atomic`] module's write-temp-then-rename commit.
 //!
 //! Beyond the event stream, the crate also persists the *result* of
 //! profiling: the [`alcp`] module defines `.alcp` profile artifacts — a
@@ -65,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod alcp;
+pub mod atomic;
 pub mod error;
 pub mod format;
 pub mod par;
@@ -74,10 +80,12 @@ pub mod varint;
 pub mod writer;
 
 pub use alcp::{AlcpError, ProfileArtifact, ALCP_MAGIC, ALCP_VERSION};
+pub use atomic::{write_atomic, AtomicFile};
 pub use error::TraceError;
 pub use par::{
-    decode_batches_par, decode_batches_par_with, decode_chunk, decode_chunk_into, decode_events_par,
+    decode_batches_par, decode_batches_par_recover, decode_batches_par_with, decode_chunk,
+    decode_chunk_into, decode_events_par,
 };
-pub use reader::{ChunkInfo, RawChunk, ReplaySummary, TraceReader};
+pub use reader::{ChunkInfo, RawChunk, RecoveryReport, ReplaySummary, TraceReader};
 pub use tee::{MultiSink, Tee};
-pub use writer::{TraceStats, TraceWriter, DEFAULT_CHUNK_EVENTS};
+pub use writer::{TraceStats, TraceWriter, DEFAULT_CHECKPOINT_CHUNKS, DEFAULT_CHUNK_EVENTS};

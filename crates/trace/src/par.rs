@@ -15,7 +15,7 @@
 
 use crate::error::TraceError;
 use crate::format::{self, CodecState};
-use crate::reader::{RawChunk, ReplaySummary, TraceReader};
+use crate::reader::{RawChunk, RecoveryReport, ReplaySummary, TraceReader};
 use alchemist_obs::{span_opt, Counter, Hist, Metrics, Stage};
 use alchemist_vm::{Event, EventBatch, Tid};
 use std::io::Read;
@@ -241,6 +241,63 @@ pub fn decode_batches_par_with<R: Read>(
     ))
 }
 
+/// Salvage twin of [`decode_batches_par_with`]: skips corrupt chunks
+/// instead of aborting and never fails past the header.
+///
+/// The chunk scan drops chunks with bad CRCs or truncated payloads
+/// ([`TraceReader::read_raw_chunks_recover`]); this layer additionally
+/// drops chunks whose payloads fail to *decode* — the only way v1/v2
+/// corruption (no CRC) can be detected — and folds those into the same
+/// [`RecoveryReport`]. Surviving batches are in trace order; the summary's
+/// `total_steps` is exact when the footer survived and a lower-bound
+/// estimate otherwise.
+pub fn decode_batches_par_recover<R: Read>(
+    mut reader: TraceReader<R>,
+    jobs: usize,
+    metrics: Option<&Metrics>,
+) -> (Vec<EventBatch>, ReplaySummary, RecoveryReport) {
+    let _decode_span = span_opt(metrics, Stage::Decode);
+    let (chunks, total_steps, mut report) = reader.read_raw_chunks_recover();
+    let jobs = jobs.max(1).min(chunks.len().max(1));
+    let decoded = decode_chunks_ordered(&chunks, jobs, |chunk| {
+        let t0 = metrics.map(|_| Instant::now());
+        let mut batch = EventBatch::with_capacity(chunk.events as usize);
+        decode_chunk_into(chunk, &mut batch)?;
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.observe_ns(Hist::DecodeChunkNs, t0.elapsed().as_nanos() as u64);
+            m.incr(Counter::TraceChunksDecoded);
+            m.add(Counter::TraceBytesDecoded, chunk.payload.len() as u64);
+        }
+        Ok(batch)
+    });
+    let mut batches = Vec::with_capacity(chunks.len());
+    let mut events = 0u64;
+    for (chunk, result) in chunks.iter().zip(decoded) {
+        match result {
+            Ok(batch) => {
+                events += batch.len() as u64;
+                batches.push(batch);
+            }
+            Err(err) => {
+                // The scan credited this chunk as salvaged; take it back.
+                report.events_salvaged -= chunk.events;
+                report.record_failure(&err, chunk.events, None);
+            }
+        }
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::TraceEventsDecoded, events);
+    }
+    (
+        batches,
+        ReplaySummary {
+            events,
+            total_steps,
+        },
+        report,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +486,106 @@ mod tests {
             let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
             assert_eq!(flat, live.events, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn recover_decode_of_a_clean_trace_matches_normal_decode() {
+        let fixtures = [
+            sample_trace_with(TraceWriter::new(Vec::new(), None).unwrap(), 7, 40, |_| {
+                Tid::MAIN
+            }),
+            sample_trace_with(TraceWriter::new_v2(Vec::new(), None).unwrap(), 7, 40, |i| {
+                Tid(i % 5)
+            }),
+            sample_trace_with(TraceWriter::new_v3(Vec::new(), None).unwrap(), 7, 40, |i| {
+                Tid(i % 5)
+            }),
+        ];
+        for (bytes, live) in &fixtures {
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let (batches, summary, report) = decode_batches_par_recover(reader, 4, None);
+            assert!(report.is_clean(), "{report:?}");
+            let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+            assert_eq!(flat, live.events);
+            assert_eq!(summary.events, live.events.len() as u64);
+            assert_eq!(report.events_salvaged, summary.events);
+        }
+    }
+
+    #[test]
+    fn recover_decode_salvages_prefixes_of_truncated_traces() {
+        let (bytes, live) = sample_trace(7, 40);
+        for cut in (10..bytes.len()).step_by(17) {
+            let Ok(reader) = TraceReader::new(&bytes[..cut]) else {
+                continue; // cut inside the header: nothing to salvage
+            };
+            let (batches, summary, report) = decode_batches_par_recover(reader, 4, None);
+            let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+            assert_eq!(
+                flat[..],
+                live.events[..flat.len()],
+                "cut={cut}: salvage must be a clean prefix"
+            );
+            assert_eq!(summary.events, flat.len() as u64);
+            assert!(
+                !report.is_clean() || cut == bytes.len(),
+                "cut={cut}: truncation must be reported"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_decode_never_errors_on_flipped_bytes() {
+        let (bytes, live) = sample_trace(7, 12);
+        for pos in (8..bytes.len()).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            let Ok(reader) = TraceReader::new(corrupt.as_slice()) else {
+                continue;
+            };
+            let (batches, summary, report) = decode_batches_par_recover(reader, 4, None);
+            let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+            assert_eq!(summary.events, flat.len() as u64, "flip at {pos}");
+            assert_eq!(report.events_salvaged, summary.events, "flip at {pos}");
+            if report.is_clean() {
+                assert_eq!(flat, live.events, "flip at {pos} was claimed clean");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_decode_skips_crc_corrupt_chunks_on_v3() {
+        let (bytes, live) =
+            sample_trace_with(TraceWriter::new_v3(Vec::new(), None).unwrap(), 7, 40, |i| {
+                Tid(i % 3)
+            });
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let (clean_batches, _, _) = decode_batches_par_recover(reader, 1, None);
+        assert!(clean_batches.len() >= 3);
+        // Corrupt one payload byte of an interior chunk.
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let (raw, _, _) = r.read_raw_chunks_recover();
+        let needle = raw[1].payload.as_slice();
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x80;
+        let reader = TraceReader::new(corrupt.as_slice()).unwrap();
+        let (batches, summary, report) = decode_batches_par_recover(reader, 4, None);
+        assert_eq!(report.chunks_skipped, 1, "{report:?}");
+        assert_eq!(report.crc_mismatches, 1);
+        assert!(report.footer_recovered);
+        let flat: Vec<Event> = batches.iter().flat_map(|b| b.iter()).collect();
+        let expect: Vec<Event> = clean_batches
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .flat_map(|(_, b)| b.iter())
+            .collect();
+        assert_eq!(flat, expect, "all chunks but the corrupt one survive");
+        assert_eq!(summary.events, live.events.len() as u64 - raw[1].events);
     }
 
     #[test]

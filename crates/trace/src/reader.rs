@@ -59,6 +59,84 @@ struct ChunkHeader {
     events: u64,
     t_first: u64,
     t_span: u64,
+    /// Stored payload CRC-32 (v3 traces only).
+    crc: Option<u32>,
+}
+
+/// What salvage replay (`--recover`) had to work around, and what it saved.
+///
+/// Produced by [`TraceReader::read_raw_chunks_recover`] /
+/// [`TraceReader::read_chunk_infos_recover`] (and refined by
+/// [`decode_batches_par_recover`](crate::decode_batches_par_recover), which
+/// also drops chunks whose *payloads* fail to decode). A report with
+/// [`RecoveryReport::is_clean`] `== true` means the salvaged result is
+/// exactly what a normal replay would have produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Event-bearing chunks seen in the stream, good and bad.
+    pub chunks_total: u64,
+    /// Chunks dropped (bad CRC, truncated, or undecodable payload).
+    pub chunks_skipped: u64,
+    /// Events delivered from surviving chunks.
+    pub events_salvaged: u64,
+    /// Events declared by dropped chunks (lower bound on what was lost).
+    pub events_lost: u64,
+    /// Byte offset of the first chunk that failed, if any failed.
+    pub first_bad_offset: Option<u64>,
+    /// The stream ended mid-chunk (or on a hard I/O error): everything
+    /// after `first_bad_offset` was abandoned.
+    pub truncated_tail: bool,
+    /// The footer was read intact; `total_steps` is exact, not estimated.
+    pub footer_recovered: bool,
+    /// Chunks whose stored CRC-32 did not match their payload (v3 only).
+    pub crc_mismatches: u64,
+    /// Chunks lost to truncation (stream ended inside header or payload).
+    pub truncations: u64,
+    /// Chunks lost to payload/structural decode errors.
+    pub decode_errors: u64,
+}
+
+impl RecoveryReport {
+    /// `true` when nothing was skipped, the tail was intact and the footer
+    /// was read — i.e. salvage degenerated to a normal full replay.
+    pub fn is_clean(&self) -> bool {
+        self.chunks_skipped == 0
+            && !self.truncated_tail
+            && self.footer_recovered
+            && self.decode_errors == 0
+    }
+
+    /// Folds one failed chunk into the tallies (shared by the scan and the
+    /// decode layers; the decode layer no longer knows file offsets, so
+    /// `offset` is optional).
+    pub(crate) fn record_failure(&mut self, err: &TraceError, events: u64, offset: Option<u64>) {
+        self.chunks_skipped += 1;
+        self.events_lost += events;
+        if self.first_bad_offset.is_none() {
+            self.first_bad_offset = offset;
+        }
+        match err {
+            TraceError::ChecksumMismatch { .. } => self.crc_mismatches += 1,
+            TraceError::Truncated(_) | TraceError::Io(_) => self.truncations += 1,
+            _ => self.decode_errors += 1,
+        }
+    }
+}
+
+/// A [`Read`] adapter that tracks the absolute byte offset, so salvage can
+/// report *where* a trace went bad.
+#[derive(Debug)]
+struct Counting<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> Read for Counting<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
 }
 
 /// Streaming decoder for `.alct` traces.
@@ -71,7 +149,7 @@ struct ChunkHeader {
 /// underlying stream.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
-    input: R,
+    input: Counting<R>,
     version: u16,
     source: Option<String>,
     /// Payload of the chunk being decoded.
@@ -86,6 +164,8 @@ pub struct TraceReader<R: Read> {
     total_steps: Option<u64>,
     finished: bool,
     events_read: u64,
+    /// Chunk headers read so far (context for checksum errors).
+    chunks_seen: u64,
     metrics: Option<Arc<Metrics>>,
 }
 
@@ -98,7 +178,11 @@ impl<R: Read> TraceReader<R> {
     /// foreign files, [`TraceError::Truncated`] for streams cut inside the
     /// header, [`TraceError::CorruptSource`] if the embedded program is not
     /// UTF-8.
-    pub fn new(mut input: R) -> Result<Self, TraceError> {
+    pub fn new(input: R) -> Result<Self, TraceError> {
+        let mut input = Counting {
+            inner: input,
+            offset: 0,
+        };
         let mut magic = [0u8; 4];
         read_exact_or(&mut input, &mut magic, "header magic")?;
         if magic != format::MAGIC {
@@ -145,6 +229,7 @@ impl<R: Read> TraceReader<R> {
             total_steps: None,
             finished: false,
             events_read: 0,
+            chunks_seen: 0,
             metrics: None,
         })
     }
@@ -190,6 +275,13 @@ impl<R: Read> TraceReader<R> {
         let events = need(varint::read_u64_from(&mut self.input))?;
         let t_first = need(varint::read_u64_from(&mut self.input))?;
         let t_span = need(varint::read_u64_from(&mut self.input))?;
+        let crc = if self.version >= format::VERSION_V3 {
+            let mut word = [0u8; 4];
+            read_exact_or(&mut self.input, &mut word, "chunk crc")?;
+            Some(u32::from_le_bytes(word))
+        } else {
+            None
+        };
         if payload_len > format::MAX_CHUNK_BYTES {
             return Err(TraceError::ChunkTooLarge(payload_len));
         }
@@ -197,22 +289,37 @@ impl<R: Read> TraceReader<R> {
         if events > payload_len {
             return Err(TraceError::Malformed("event count exceeds payload size"));
         }
+        self.chunks_seen += 1;
         Ok(Some(ChunkHeader {
             payload_len,
             events,
             t_first,
             t_span,
+            crc,
         }))
     }
 
-    fn read_payload(&mut self, payload_len: u64) -> Result<(), TraceError> {
-        self.chunk.resize(payload_len as usize, 0);
-        read_exact_or(&mut self.input, &mut self.chunk, "chunk payload")
+    /// Reads a chunk's payload into `self.chunk` and, on v3 traces,
+    /// verifies it against the stored CRC-32.
+    fn read_payload(&mut self, head: &ChunkHeader) -> Result<(), TraceError> {
+        self.chunk.resize(head.payload_len as usize, 0);
+        read_exact_or(&mut self.input, &mut self.chunk, "chunk payload")?;
+        if let Some(expected) = head.crc {
+            let actual = format::crc32(&self.chunk);
+            if actual != expected {
+                return Err(TraceError::ChecksumMismatch {
+                    expected,
+                    actual,
+                    chunk_index: self.chunks_seen - 1,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Handles a footer chunk; returns the decoded step count.
-    fn read_footer(&mut self, payload_len: u64) -> Result<u64, TraceError> {
-        self.read_payload(payload_len)?;
+    fn read_footer(&mut self, head: &ChunkHeader) -> Result<u64, TraceError> {
+        self.read_payload(head)?;
         let mut pos = 0;
         let steps = varint::read_u64(&self.chunk, &mut pos)?;
         if pos != self.chunk.len() {
@@ -239,10 +346,10 @@ impl<R: Read> TraceReader<R> {
             return Err(TraceError::Truncated("missing footer"));
         };
         if head.events == 0 {
-            self.read_footer(head.payload_len)?;
+            self.read_footer(&head)?;
             return Ok(false);
         }
-        self.read_payload(head.payload_len)?;
+        self.read_payload(&head)?;
         if let Some(m) = &self.metrics {
             m.incr(Counter::TraceChunksDecoded);
             m.add(Counter::TraceBytesDecoded, head.payload_len);
@@ -385,11 +492,11 @@ impl<R: Read> TraceReader<R> {
                 return Err(TraceError::Truncated("missing footer"));
             };
             if head.events == 0 {
-                self.read_footer(head.payload_len)?;
+                self.read_footer(&head)?;
                 return Ok(delivered);
             }
             let t_last = head.t_first.saturating_add(head.t_span);
-            self.read_payload(head.payload_len)?;
+            self.read_payload(&head)?;
             if t_last < t_lo || head.t_first > t_hi {
                 continue; // skip: payload consumed but never decoded
             }
@@ -435,10 +542,10 @@ impl<R: Read> TraceReader<R> {
                 return Err(TraceError::Truncated("missing footer"));
             };
             if head.events == 0 {
-                let total_steps = self.read_footer(head.payload_len)?;
+                let total_steps = self.read_footer(&head)?;
                 return Ok((chunks, total_steps));
             }
-            self.read_payload(head.payload_len)?;
+            self.read_payload(&head)?;
             chunks.push(RawChunk {
                 events: head.events,
                 t_first: head.t_first,
@@ -461,10 +568,10 @@ impl<R: Read> TraceReader<R> {
                 return Err(TraceError::Truncated("missing footer"));
             };
             if head.events == 0 {
-                self.read_footer(head.payload_len)?;
+                self.read_footer(&head)?;
                 return Ok(infos);
             }
-            self.read_payload(head.payload_len)?;
+            self.read_payload(&head)?;
             infos.push(ChunkInfo {
                 events: head.events,
                 t_first: head.t_first,
@@ -472,6 +579,112 @@ impl<R: Read> TraceReader<R> {
                 payload_bytes: head.payload_len,
             });
         }
+    }
+
+    /// Shared salvage walk: visits every intact event-bearing chunk,
+    /// absorbing failures into a [`RecoveryReport`] instead of propagating
+    /// them. Stops at damage it cannot resynchronise past (a mangled chunk
+    /// header, a truncated payload, a hard I/O error); a v3 CRC mismatch is
+    /// skippable because the payload length is still trusted. Returns the
+    /// footer's step count, or an estimate from the last seen chunk's time
+    /// range when the footer is missing.
+    fn recover_scan(
+        &mut self,
+        mut on_chunk: impl FnMut(&ChunkHeader, &mut Vec<u8>, u16),
+    ) -> (u64, RecoveryReport) {
+        let mut report = RecoveryReport::default();
+        let mut last_t_end: Option<u64> = None;
+        loop {
+            let chunk_start = self.input.offset;
+            let head = match self.read_chunk_header() {
+                Ok(Some(head)) => head,
+                // Clean EOF at a chunk boundary: the footer never made it.
+                Ok(None) => break,
+                Err(err) => {
+                    // A damaged header leaves no trustworthy payload length
+                    // to resynchronise over; abandon the tail.
+                    report.record_failure(&err, 0, Some(chunk_start));
+                    report.truncated_tail = true;
+                    break;
+                }
+            };
+            if head.events == 0 {
+                match self.read_footer(&head) {
+                    Ok(steps) => {
+                        report.footer_recovered = true;
+                        return (steps, report);
+                    }
+                    Err(err) => {
+                        report.record_failure(&err, 0, Some(chunk_start));
+                        break;
+                    }
+                }
+            }
+            report.chunks_total += 1;
+            let t_end = head.t_first.saturating_add(head.t_span);
+            last_t_end = Some(last_t_end.map_or(t_end, |t: u64| t.max(t_end)));
+            match self.read_payload(&head) {
+                Ok(()) => {
+                    report.events_salvaged += head.events;
+                    on_chunk(&head, &mut self.chunk, self.version);
+                }
+                Err(err) => {
+                    let resynced = matches!(err, TraceError::ChecksumMismatch { .. });
+                    report.record_failure(&err, head.events, Some(chunk_start));
+                    if resynced {
+                        continue; // payload fully consumed: next chunk is in sync
+                    }
+                    report.truncated_tail = true;
+                    break;
+                }
+            }
+        }
+        // No footer: estimate the run length from the last chunk's time
+        // range (an event at time t implies at least t + 1 retired steps).
+        let total = last_t_end.map_or(0, |t| t.saturating_add(1));
+        self.total_steps = Some(total);
+        self.finished = true;
+        (total, report)
+    }
+
+    /// Salvage twin of [`TraceReader::read_raw_chunks`]: reads every chunk
+    /// that survives validation, skipping corrupt ones instead of aborting,
+    /// and never fails — damage is tallied in the returned
+    /// [`RecoveryReport`]. The step count is exact when
+    /// [`RecoveryReport::footer_recovered`] is set and a lower-bound
+    /// estimate otherwise.
+    ///
+    /// Note: on v1/v2 traces (no per-chunk CRC) payload corruption is
+    /// invisible to this scan and only surfaces when the chunk is decoded —
+    /// [`decode_batches_par_recover`](crate::decode_batches_par_recover)
+    /// layers that on top.
+    pub fn read_raw_chunks_recover(&mut self) -> (Vec<RawChunk>, u64, RecoveryReport) {
+        let mut chunks = Vec::new();
+        let (total_steps, report) = self.recover_scan(|head, payload, version| {
+            chunks.push(RawChunk {
+                events: head.events,
+                t_first: head.t_first,
+                version,
+                payload: std::mem::take(payload),
+            });
+        });
+        (chunks, total_steps, report)
+    }
+
+    /// Salvage twin of [`TraceReader::read_chunk_infos`]: chunk metadata
+    /// for every chunk that survives validation, plus the recovery tally.
+    /// Infallible; see [`TraceReader::read_raw_chunks_recover`].
+    pub fn read_chunk_infos_recover(&mut self) -> (Vec<ChunkInfo>, u64, RecoveryReport) {
+        let mut infos = Vec::new();
+        let (total_steps, report) = self.recover_scan(|head, _payload, _version| {
+            infos.push(ChunkInfo {
+                events: head.events,
+                t_first: head.t_first,
+                t_last: head.t_first.saturating_add(head.t_span),
+                payload_bytes: head.payload_len,
+            });
+        });
+        (infos, total_steps, report)
     }
 }
 
@@ -790,10 +1003,10 @@ mod tests {
 
     #[test]
     fn future_version_error_reports_the_supported_range() {
-        // Hand-build a v3 header: magic + version 3 + empty flags.
+        // Hand-build a v4 header: magic + version 4 + empty flags.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&format::MAGIC);
-        bytes.extend_from_slice(&3u16.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
         bytes.extend_from_slice(&0u16.to_le_bytes());
         let err = TraceReader::new(bytes.as_slice()).unwrap_err();
         match err {
@@ -803,7 +1016,7 @@ mod tests {
                 max_supported,
                 chunk_index,
             } => {
-                assert_eq!(found, 3);
+                assert_eq!(found, 4);
                 assert_eq!(min_supported, format::MIN_VERSION);
                 assert_eq!(max_supported, format::MAX_VERSION);
                 assert_eq!(chunk_index, 0, "rejected at the header");
@@ -821,6 +1034,171 @@ mod tests {
             .unwrap();
         assert!(!chunks.is_empty());
         assert!(chunks.iter().all(|c| c.version == format::VERSION_V2));
+    }
+
+    /// A v3 trace mirroring `sample_v2_trace` (CRC per chunk).
+    fn sample_v3_trace(chunk_capacity: usize) -> (Vec<u8>, RecordingSink) {
+        let mut live = RecordingSink::default();
+        let mut w = TraceWriter::new_v3(Vec::new(), Some("spawn demo"))
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity);
+        let mut t = 0;
+        for i in 0..25u32 {
+            let tid = Tid(i % 3);
+            live.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
+            w.on_enter_function(t, FuncId(i % 3), 8 * i, tid);
+            t += 2;
+            live.on_read(t, i, Pc(i * 5), tid);
+            w.on_read(t, i, Pc(i * 5), tid);
+            t += 40;
+            live.on_exit_function(t, FuncId(i % 3), tid);
+            w.on_exit_function(t, FuncId(i % 3), tid);
+            t += 1;
+        }
+        let (bytes, _) = w.finish(t).unwrap();
+        (bytes, live)
+    }
+
+    #[test]
+    fn v3_roundtrips_with_thread_ids_and_verified_crcs() {
+        for chunk_capacity in [1usize, 7, 100_000] {
+            let (bytes, live) = sample_v3_trace(chunk_capacity);
+            let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(r.version(), format::VERSION_V3);
+            let mut replayed = RecordingSink::default();
+            let summary = r.replay_into(&mut replayed).unwrap();
+            assert_eq!(replayed, live, "chunk_capacity={chunk_capacity}");
+            assert_eq!(summary.events, live.events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn v3_detects_payload_corruption_positively() {
+        let (bytes, _) = sample_v3_trace(7);
+        // Flip one byte in the middle of the file (past the header).
+        let mut corrupt = bytes.clone();
+        let pos = bytes.len() / 2;
+        corrupt[pos] ^= 0x01;
+        let mut r = TraceReader::new(corrupt.as_slice()).unwrap();
+        let err = r.replay_into(&mut alchemist_vm::NullSink).unwrap_err();
+        // The flip lands in a payload (CRC mismatch) or a chunk head
+        // (structural error); either way it is a typed error, and a CRC
+        // mismatch carries both sums.
+        if let TraceError::ChecksumMismatch {
+            expected, actual, ..
+        } = err
+        {
+            assert_ne!(expected, actual);
+        }
+    }
+
+    #[test]
+    fn recover_scan_of_a_clean_trace_is_clean() {
+        let (bytes, live) = sample_v3_trace(5);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let (chunks, total_steps, report) = r.read_raw_chunks_recover();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.footer_recovered);
+        assert_eq!(report.chunks_skipped, 0);
+        assert_eq!(report.events_salvaged, live.events.len() as u64);
+        assert_eq!(report.first_bad_offset, None);
+        assert!(total_steps > 0);
+        assert_eq!(
+            chunks.iter().map(|c| c.events).sum::<u64>(),
+            live.events.len() as u64
+        );
+    }
+
+    #[test]
+    fn recover_skips_a_crc_corrupt_chunk_and_resyncs() {
+        let (bytes, live) = sample_v3_trace(5);
+        let (clean_chunks, _, _) = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_raw_chunks_recover();
+        assert!(clean_chunks.len() >= 3, "need interior chunks");
+        // Corrupt the middle chunk's payload: find it by scanning for its
+        // payload bytes (unique enough for this fixture) — instead, flip a
+        // byte inside every chunk payload one at a time via offsets from a
+        // fresh scan of the file layout.
+        let infos = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_chunk_infos()
+            .unwrap();
+        assert_eq!(infos.len(), clean_chunks.len());
+        // Walk the file re-deriving each chunk's payload offset: header is
+        // everything before the first chunk; simpler to corrupt by searching
+        // for each payload slice.
+        let target = 1; // second chunk
+        let needle = clean_chunks[target].payload.as_slice();
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("payload bytes present");
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xff;
+        let mut r = TraceReader::new(corrupt.as_slice()).unwrap();
+        let (chunks, total_steps, report) = r.read_raw_chunks_recover();
+        assert_eq!(report.chunks_skipped, 1, "{report:?}");
+        assert_eq!(report.crc_mismatches, 1);
+        assert!(!report.truncated_tail, "CRC skip must resync");
+        assert!(report.footer_recovered);
+        assert!(report.first_bad_offset.is_some());
+        assert_eq!(report.events_lost, clean_chunks[target].events);
+        assert_eq!(chunks.len(), clean_chunks.len() - 1);
+        // The surviving chunks are exactly the clean ones minus the target.
+        let survived: u64 = chunks.iter().map(|c| c.events).sum();
+        assert_eq!(
+            survived,
+            live.events.len() as u64 - clean_chunks[target].events
+        );
+        assert!(total_steps > 0);
+    }
+
+    #[test]
+    fn recover_salvages_the_prefix_of_a_truncated_trace() {
+        let (bytes, _) = sample_v3_trace(5);
+        let (clean_chunks, clean_steps, _) = TraceReader::new(bytes.as_slice())
+            .unwrap()
+            .read_raw_chunks_recover();
+        // Cut the file mid-way: salvage must return complete chunks only.
+        for cut in [bytes.len() / 3, bytes.len() / 2, bytes.len() - 3] {
+            let mut r = TraceReader::new(&bytes[..cut]).unwrap();
+            let (chunks, total_steps, report) = r.read_raw_chunks_recover();
+            assert!(!report.footer_recovered, "cut={cut}");
+            assert!(chunks.len() <= clean_chunks.len());
+            assert_eq!(
+                &chunks[..],
+                &clean_chunks[..chunks.len()],
+                "salvaged chunks must be a clean prefix (cut={cut})"
+            );
+            assert!(total_steps <= clean_steps);
+        }
+    }
+
+    #[test]
+    fn recover_estimates_steps_when_the_footer_is_missing() {
+        let (bytes, live) = sample_v3_trace(100_000); // single chunk
+                                                      // Chop off the footer exactly: scan for the last chunk boundary by
+                                                      // replaying sizes. Easiest: drop the trailing footer bytes —
+                                                      // footer = head varints (>=4 bytes) + crc(4) + payload(>=1).
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let (chunks, _, report) = r.read_raw_chunks_recover();
+        assert!(report.footer_recovered);
+        assert_eq!(chunks.len(), 1);
+        // Now truncate just past the single data chunk's payload end.
+        let needle = chunks[0].payload.as_slice();
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        let cut = pos + needle.len();
+        let mut r = TraceReader::new(&bytes[..cut]).unwrap();
+        let (chunks2, total_steps, report2) = r.read_raw_chunks_recover();
+        assert_eq!(chunks2, chunks);
+        assert!(!report2.footer_recovered);
+        assert!(!report2.truncated_tail, "clean cut at a chunk boundary");
+        let t_last = live.events.last().unwrap().time();
+        assert!(total_steps >= t_last, "{total_steps} vs t_last {t_last}");
     }
 
     #[test]

@@ -14,6 +14,12 @@ use std::time::Instant;
 /// How many events a chunk holds before it is flushed.
 pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
 
+/// Default checkpoint cadence: the underlying writer is flushed after every
+/// this many chunks, bounding how much a crash mid-record can lose to
+/// OS/BufWriter buffering (the salvage reader recovers everything up to the
+/// last complete chunk that reached the file).
+pub const DEFAULT_CHECKPOINT_CHUNKS: u64 = 16;
+
 // One default batch fills exactly one default chunk — replay's default
 // dispatch granularity and the docs rely on the coupling, so pin it.
 const _: () = assert!(DEFAULT_CHUNK_EVENTS == alchemist_vm::DEFAULT_BATCH_EVENTS);
@@ -52,7 +58,7 @@ impl TraceStats {
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     out: W,
-    /// Format version being written (1 or 2).
+    /// Format version being written (1, 2 or 3).
     version: u16,
     /// Encoded payload of the chunk being built.
     buf: Vec<u8>,
@@ -63,6 +69,8 @@ pub struct TraceWriter<W: Write> {
     chunk_t_first: Time,
     chunk_t_last: Time,
     chunk_capacity: usize,
+    /// Flush the underlying writer every this many chunks (0 = never).
+    checkpoint_interval: u64,
     events: u64,
     chunks: u64,
     bytes: u64,
@@ -97,6 +105,20 @@ impl<W: Write> TraceWriter<W> {
         Self::new_with_version(out, source, format::VERSION_V2)
     }
 
+    /// Creates a v3 writer: the v2 layout plus a per-chunk CRC-32, so a
+    /// reader can positively detect corruption and salvage around it
+    /// (`replay --recover`). Costs 4 bytes per chunk.
+    ///
+    /// v1/v2 output from the other constructors stays byte-for-byte
+    /// unchanged — the CRC word exists only in v3 files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if writing the header fails.
+    pub fn new_v3(out: W, source: Option<&str>) -> Result<Self, TraceError> {
+        Self::new_with_version(out, source, format::VERSION_V3)
+    }
+
     fn new_with_version(
         mut out: W,
         source: Option<&str>,
@@ -126,6 +148,7 @@ impl<W: Write> TraceWriter<W> {
             chunk_t_first: 0,
             chunk_t_last: 0,
             chunk_capacity: DEFAULT_CHUNK_EVENTS,
+            checkpoint_interval: DEFAULT_CHECKPOINT_CHUNKS,
             events: 0,
             chunks: 0,
             bytes: header.len() as u64,
@@ -145,7 +168,7 @@ impl<W: Write> TraceWriter<W> {
         self
     }
 
-    /// Format version this writer emits (1 or 2).
+    /// Format version this writer emits (1, 2 or 3).
     pub fn version(&self) -> u16 {
         self.version
     }
@@ -156,9 +179,27 @@ impl<W: Write> TraceWriter<W> {
         self
     }
 
+    /// Overrides the checkpoint cadence: the underlying writer is flushed
+    /// after every `chunks` complete chunks (0 disables checkpointing).
+    /// Defaults to [`DEFAULT_CHECKPOINT_CHUNKS`].
+    pub fn with_checkpoint_interval(mut self, chunks: u64) -> Self {
+        self.checkpoint_interval = chunks;
+        self
+    }
+
     /// Events recorded so far.
     pub fn events_recorded(&self) -> u64 {
         self.events
+    }
+
+    /// Timestamp of the most recent event, 0 before the first one.
+    ///
+    /// An interrupted recording has no final step count to put in the
+    /// footer; `last_event_time() + 1` is the same lower-bound estimate the
+    /// salvage reader derives for a footer-less trace, so the CLI's SIGINT
+    /// path finalizes with it.
+    pub fn last_event_time(&self) -> Time {
+        self.chunk_t_last
     }
 
     /// Bytes emitted so far (flushed chunks only).
@@ -171,7 +212,7 @@ impl<W: Write> TraceWriter<W> {
             return;
         }
         match self.version {
-            format::VERSION_V2 => self.chunk_tids.push(ev.tid().0),
+            v if v >= format::VERSION_V2 => self.chunk_tids.push(ev.tid().0),
             _ if ev.tid() != Tid::MAIN => {
                 // v1 has no thread-id column; silently dropping tids would
                 // corrupt the recording, so fail the run at finish().
@@ -214,6 +255,12 @@ impl<W: Write> TraceWriter<W> {
         varint::write_u64(&mut head, self.chunk_events);
         varint::write_u64(&mut head, self.chunk_t_first);
         varint::write_u64(&mut head, self.chunk_t_last - self.chunk_t_first);
+        if self.version >= format::VERSION_V3 {
+            // v3: CRC-32 of the payload (tid column + event stream), not
+            // counted in payload_len, between the head varints and payload.
+            let crc = format::crc32_concat(&tid_col, &self.buf);
+            head.extend_from_slice(&crc.to_le_bytes());
+        }
         self.out.write_all(&head)?;
         self.out.write_all(&tid_col)?;
         self.out.write_all(&self.buf)?;
@@ -222,6 +269,9 @@ impl<W: Write> TraceWriter<W> {
         self.buf.clear();
         self.chunk_tids.clear();
         self.chunk_events = 0;
+        if self.checkpoint_interval != 0 && self.chunks.is_multiple_of(self.checkpoint_interval) {
+            self.out.flush()?;
+        }
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             let ns = t0.elapsed().as_nanos() as u64;
             m.incr(Counter::TraceChunksWritten);
@@ -250,6 +300,9 @@ impl<W: Write> TraceWriter<W> {
         varint::write_u64(&mut head, 0);
         varint::write_u64(&mut head, self.chunk_t_last);
         varint::write_u64(&mut head, 0);
+        if self.version >= format::VERSION_V3 {
+            head.extend_from_slice(&format::crc32(&payload).to_le_bytes());
+        }
         self.out.write_all(&head)?;
         self.out.write_all(&payload)?;
         self.bytes += (head.len() + payload.len()) as u64;
@@ -424,6 +477,22 @@ mod tests {
         let v1 = record(TraceWriter::new(Vec::new(), None).unwrap());
         let v2 = record(TraceWriter::new_v2(Vec::new(), None).unwrap());
         assert_eq!(v2.bytes, v1.bytes + 10);
+    }
+
+    #[test]
+    fn v3_adds_exactly_one_crc_word_per_chunk_over_v2() {
+        let record = |mut w: TraceWriter<Vec<u8>>| {
+            for i in 0..10u64 {
+                w.on_read(i, i as u32, Pc(0), Tid::MAIN);
+            }
+            w.finish(10).unwrap()
+        };
+        let (_, v2) = record(TraceWriter::new_v2(Vec::new(), None).unwrap());
+        let (bytes, v3) = record(TraceWriter::new_v3(Vec::new(), None).unwrap());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), format::VERSION_V3);
+        // One data chunk + the footer, 4 CRC bytes each.
+        assert_eq!(v3.bytes, v2.bytes + 8);
+        assert_eq!(v3.chunks, 1);
     }
 
     #[test]

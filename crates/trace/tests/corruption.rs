@@ -2,7 +2,7 @@
 //! must decode to typed [`TraceError`]s — never panic, never allocate
 //! unboundedly.
 
-use alchemist_trace::{TraceError, TraceReader, TraceWriter};
+use alchemist_trace::{decode_batches_par_recover, TraceError, TraceReader, TraceWriter};
 use alchemist_vm::{compile_source, ExecConfig, NullSink};
 use proptest::prelude::*;
 
@@ -13,6 +13,21 @@ int work(int x) { int i; for (i = 0; i < 9; i++) g += x * i; return g; }
 int main() { int i; for (i = 0; i < 12; i++) { if (i % 2 == 0) work(i); } return g; }";
     let module = compile_source(src).expect("compiles");
     let mut w = TraceWriter::new(Vec::new(), Some(src))
+        .expect("header")
+        .with_chunk_capacity(64);
+    let out = alchemist_vm::run(&module, &ExecConfig::default(), &mut w).expect("runs");
+    let (bytes, stats) = w.finish(out.steps).expect("finish");
+    assert!(stats.chunks >= 3, "test needs a multi-chunk trace");
+    bytes
+}
+
+/// The same workload recorded under v3 (per-chunk CRC-32).
+fn valid_trace_v3() -> Vec<u8> {
+    let src = "int g;
+int work(int x) { int i; for (i = 0; i < 9; i++) g += x * i; return g; }
+int main() { int i; for (i = 0; i < 12; i++) { if (i % 2 == 0) work(i); } return g; }";
+    let module = compile_source(src).expect("compiles");
+    let mut w = TraceWriter::new_v3(Vec::new(), Some(src))
         .expect("header")
         .with_chunk_capacity(64);
     let out = alchemist_vm::run(&module, &ExecConfig::default(), &mut w).expect("runs");
@@ -44,23 +59,23 @@ fn future_version_is_rejected() {
         Err(TraceError::UnsupportedVersion {
             found: 0x7fff,
             min_supported: 1,
-            max_supported: 2,
+            max_supported: 3,
             chunk_index: 0,
         })
     ));
 }
 
 #[test]
-fn hand_built_v3_header_reports_supported_range() {
-    // A from-scratch header claiming format version 3 — one past the
+fn hand_built_v4_header_reports_supported_range() {
+    // A from-scratch header claiming format version 4 — one past the
     // newest this reader knows. The error must carry the found version,
     // the full supported range and the chunk index (0 = rejected at the
     // header, before any chunk decodes).
     let mut bytes = Vec::new();
     bytes.extend_from_slice(b"ALCT");
-    bytes.extend_from_slice(&3u16.to_le_bytes());
+    bytes.extend_from_slice(&4u16.to_le_bytes());
     bytes.extend_from_slice(&0u16.to_le_bytes());
-    let err = drain(&bytes).expect_err("v3 must be rejected");
+    let err = drain(&bytes).expect_err("v4 must be rejected");
     match &err {
         TraceError::UnsupportedVersion {
             found,
@@ -68,16 +83,16 @@ fn hand_built_v3_header_reports_supported_range() {
             max_supported,
             chunk_index,
         } => {
-            assert_eq!(*found, 3);
+            assert_eq!(*found, 4);
             assert_eq!(*min_supported, 1);
-            assert_eq!(*max_supported, 2);
+            assert_eq!(*max_supported, 3);
             assert_eq!(*chunk_index, 0);
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
     let msg = err.to_string();
-    assert!(msg.contains("version 3"), "{msg}");
-    assert!(msg.contains("1..=2"), "{msg}");
+    assert!(msg.contains("version 4"), "{msg}");
+    assert!(msg.contains("1..=3"), "{msg}");
 }
 
 #[test]
@@ -204,5 +219,35 @@ proptest! {
         let end = (start + noise.len()).min(bytes.len());
         bytes[start..end].copy_from_slice(&noise[..end - start]);
         let _ = drain(&bytes);
+    }
+
+    /// v3: any single-byte flip in a payload is caught by the chunk CRC
+    /// (typed error on the strict path), and the salvage path never errors
+    /// and never reports the mangled trace as clean.
+    #[test]
+    fn v3_flips_are_caught_and_salvage_never_panics(idx in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = valid_trace_v3();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = drain(&bytes);
+        if let Ok(reader) = TraceReader::new(bytes.as_slice()) {
+            let (_, summary, report) = decode_batches_par_recover(reader, 2, None);
+            prop_assert_eq!(report.events_salvaged, summary.events);
+        }
+    }
+
+    /// Salvage of any truncation never panics and keeps its own tallies
+    /// consistent.
+    #[test]
+    fn truncation_salvage_is_self_consistent(cut in any::<usize>()) {
+        let bytes = valid_trace_v3();
+        let cut = cut % (bytes.len() + 1);
+        if let Ok(reader) = TraceReader::new(&bytes[..cut]) {
+            let (batches, summary, report) = decode_batches_par_recover(reader, 2, None);
+            let delivered: u64 = batches.iter().map(|b| b.len() as u64).sum();
+            prop_assert_eq!(delivered, summary.events);
+            prop_assert_eq!(report.events_salvaged, summary.events);
+            prop_assert!(report.is_clean() || cut < bytes.len());
+        }
     }
 }

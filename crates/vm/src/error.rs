@@ -24,6 +24,9 @@ pub enum TrapKind {
         /// The configured limit.
         limit: u64,
     },
+    /// Execution was cancelled from outside (e.g. the CLI's SIGINT
+    /// handler via [`request_interrupt`](crate::interp::request_interrupt)).
+    Interrupted,
 }
 
 impl fmt::Display for TrapKind {
@@ -37,6 +40,7 @@ impl fmt::Display for TrapKind {
             TrapKind::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} instructions exceeded")
             }
+            TrapKind::Interrupted => write!(f, "execution interrupted"),
         }
     }
 }

@@ -27,6 +27,34 @@ use crate::op::{pack_ref, unpack_ref, BlockId, Op, Pc};
 use alchemist_lang::hir::{FuncId, Intrinsic};
 use alchemist_lang::{BinOp, UnOp};
 use alchemist_obs::{span_opt, Counter, Metrics, Stage};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global cancellation flag checked by every interpreter at each
+/// quantum boundary (once per [`ExecConfig::quantum`] instructions).
+///
+/// A global rather than a config field keeps [`ExecConfig`] a plain value
+/// type (it derives `PartialEq`/`Eq` and is pinned in golden tests) and —
+/// more importantly — lets an `extern "C"` signal handler flip it with a
+/// single async-signal-safe atomic store.
+static INTERRUPT: AtomicBool = AtomicBool::new(false);
+
+/// Requests cooperative cancellation of all running interpreters: the next
+/// quantum boundary returns a [`TrapKind::Interrupted`] trap. Safe to call
+/// from a signal handler.
+pub fn request_interrupt() {
+    INTERRUPT.store(true, Ordering::Release);
+}
+
+/// Clears a pending [`request_interrupt`] (call before starting a run that
+/// must not inherit a stale cancellation).
+pub fn clear_interrupt() {
+    INTERRUPT.store(false, Ordering::Release);
+}
+
+/// Whether cancellation has been requested and not yet cleared.
+pub fn interrupt_requested() -> bool {
+    INTERRUPT.load(Ordering::Acquire)
+}
 
 /// Execution parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -390,6 +418,13 @@ impl<'m> Interp<'m> {
         let mut quantum_left = self.quantum;
         loop {
             if quantum_left == 0 {
+                // Cancellation is polled here (once per quantum, not per
+                // instruction) so a SIGINT unwinds through the normal trap
+                // path: the sink has seen a consistent event prefix and a
+                // recording can still finalize its current chunk + footer.
+                if interrupt_requested() {
+                    return Err(self.trap(TrapKind::Interrupted, Pc(pc)));
+                }
                 quantum_left = self.quantum;
                 if let Some(next) = self.next_runnable() {
                     pc = self.context_switch(pc, next);

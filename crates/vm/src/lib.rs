@@ -53,7 +53,10 @@ pub use batch::{BatchingSink, EventBatch, EventTag, DEFAULT_BATCH_EVENTS};
 pub use compiler::compile;
 pub use error::{Trap, TrapKind};
 pub use events::{CountingSink, Event, NullSink, RecordingSink, Tid, Time, TraceSink};
-pub use interp::{run, run_with_metrics, ExecConfig, ExecOutcome, Interp};
+pub use interp::{
+    clear_interrupt, interrupt_requested, request_interrupt, run, run_with_metrics, ExecConfig,
+    ExecOutcome, Interp,
+};
 pub use module::{FuncInfo, GlobalInfo, Module};
 pub use op::{pack_ref, unpack_ref, BlockId, Op, Pc};
 

@@ -1,0 +1,61 @@
+//! Cooperative cancellation: `request_interrupt` must stop any in-flight
+//! run at the next quantum boundary with a typed `Interrupted` trap, and a
+//! cleared flag must leave later runs untouched.
+//!
+//! The flag is process-global (that is what makes it settable from a
+//! signal handler), so these tests live in their own integration binary
+//! and serialize on a mutex — no other test in this process calls `run`.
+
+use alchemist_vm::{
+    clear_interrupt, compile_source, interrupt_requested, request_interrupt, run, ExecConfig,
+    NullSink, RecordingSink, TrapKind,
+};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const SPIN: &str = "int g;
+int main() { int i; for (i = 0; i < 100000; i++) g += i; return g; }";
+
+#[test]
+fn pending_interrupt_traps_at_the_first_quantum_boundary() {
+    let _guard = SERIAL.lock().unwrap();
+    let module = compile_source(SPIN).unwrap();
+    request_interrupt();
+    assert!(interrupt_requested());
+    let err = run(&module, &ExecConfig::default(), &mut NullSink).unwrap_err();
+    clear_interrupt();
+    assert_eq!(err.kind, TrapKind::Interrupted);
+    assert!(err.to_string().contains("execution interrupted"));
+    // The flag is only observed, never consumed, by the interpreter —
+    // clearing is the caller's job (done above).
+    assert!(!interrupt_requested());
+}
+
+#[test]
+fn interrupted_runs_still_deliver_a_consistent_event_prefix() {
+    let _guard = SERIAL.lock().unwrap();
+    let module = compile_source(SPIN).unwrap();
+    // The sink sees whatever was emitted before the boundary; events are
+    // whole (no torn rows) and timestamps stay monotone.
+    let mut rec = RecordingSink::default();
+    request_interrupt();
+    let err = run(&module, &ExecConfig::default(), &mut rec).unwrap_err();
+    clear_interrupt();
+    assert_eq!(err.kind, TrapKind::Interrupted);
+    let times: Vec<u64> = rec.events.iter().map(|e| e.time()).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "monotone timestamps"
+    );
+}
+
+#[test]
+fn cleared_interrupt_does_not_affect_subsequent_runs() {
+    let _guard = SERIAL.lock().unwrap();
+    let module = compile_source(SPIN).unwrap();
+    request_interrupt();
+    clear_interrupt();
+    let out = run(&module, &ExecConfig::default(), &mut NullSink).unwrap();
+    assert!(out.steps > 0);
+}

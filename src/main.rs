@@ -13,7 +13,7 @@ use alchemist_core::shadow::{Access, ShadowMemory};
 use alchemist_core::{
     profile_batches_par_spec, profile_batches_par_with, profile_module, profile_source,
     shard_batch_counts_spec, AlchemistProfiler, DepProfile, PartialProfile, ProfileConfig,
-    ProfileReport, ShardSpec, ShardTuning,
+    ProfileReport, ShardError, ShardSpec, ShardTuning,
 };
 use alchemist_obs::{span_opt, Counter, Metrics, Stage};
 use alchemist_parsim::{
@@ -21,12 +21,13 @@ use alchemist_parsim::{
     suggest_candidates, ExtractConfig, SimConfig,
 };
 use alchemist_trace::{
-    decode_batches_par_with, ChunkInfo, MultiSink, ProfileArtifact, TraceReader, TraceWriter,
+    decode_batches_par_recover, decode_batches_par_with, write_atomic, AtomicFile, ChunkInfo,
+    MultiSink, ProfileArtifact, RecoveryReport, TraceError, TraceReader, TraceStats, TraceWriter,
     ALCP_MAGIC, ALCP_VERSION,
 };
 use alchemist_vm::{
     run_with_metrics, CountingSink, EventBatch, ExecConfig, NullSink, Pc, Tid, Time, TraceSink,
-    DEFAULT_BATCH_EVENTS,
+    TrapKind, DEFAULT_BATCH_EVENTS,
 };
 use alchemist_workloads::Scale;
 use std::io::{BufReader, BufWriter};
@@ -38,12 +39,17 @@ fn main() -> ExitCode {
     match run_cli(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {}", e.msg);
+            // SIGINT is a request, not a failure: no "error:" prefix.
+            if e.kind == ErrorKind::Interrupted {
+                eprintln!("{}", e.msg);
+            } else {
+                eprintln!("error: {}", e.msg);
+            }
             if e.show_usage {
                 eprintln!();
                 eprintln!("{USAGE}");
             }
-            ExitCode::FAILURE
+            ExitCode::from(e.kind.exit_code())
         }
     }
 }
@@ -52,7 +58,7 @@ const USAGE: &str = "usage:
   alchemist profile <file.mc> [--input a,b,c] [--top N] [--war-waw LABEL]
                     [--csv-constructs FILE] [--csv-edges FILE]
   alchemist profile save <file.mc|trace.alct> [--input a,b,c]...
-                    [-o|--out FILE.alcp] [--jobs N]
+                    [-o|--out FILE.alcp] [--jobs N] [--recover]
                     [--metrics text|json] [--metrics-out FILE]
   alchemist profile merge <A.alcp> <B.alcp>... -o|--out FILE.alcp
                     [--metrics text|json] [--metrics-out FILE]
@@ -67,19 +73,56 @@ const USAGE: &str = "usage:
                      [--input a,b,c] [--threads K] [--timeline]
   alchemist record <file.mc|workload> [--input a,b,c] [--scale S]
                    [-o|--out trace.alct] [--chunk-events N] [--batch-size N]
-                   [--profile-out FILE.alcp]
+                   [--crc] [--profile-out FILE.alcp]
                    [--metrics text|json] [--metrics-out FILE]
   alchemist replay <trace.alct|workload> [--analysis profile,advise,stats]
                    [--top N] [--threads K] [--jobs N] [--batch-size N]
                    [--scale S] [--shard-flush N] [--shard-depth N]
-                   [--war-waw LABEL] [--profile-out FILE.alcp]
+                   [--war-waw LABEL] [--profile-out FILE.alcp] [--recover]
                    [--metrics text|json] [--metrics-out FILE]
   alchemist workloads [--json] [--scale S]
 
 where <workload> is a bundled workload name (see `alchemist workloads`)
-and S is one of tiny, small, default, large, huge (default tiny)";
+and S is one of tiny, small, default, large, huge (default tiny)
 
-/// A CLI failure: a message, plus whether the generic usage block helps.
+exit codes: 0 success, 1 program error (compile error or runtime trap),
+2 usage, 3 I/O, 4 corrupt input, 5 internal error, 130 interrupted";
+
+/// The CLI's documented error taxonomy, one exit code per kind (see the
+/// trailing lines of [`USAGE`] and the README's exit-code table). Scripts
+/// and CI can branch on the code without parsing stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    /// The *profiled program* failed: compile error or runtime trap.
+    Runtime,
+    /// Bad invocation: unknown command/flag, invalid flag value.
+    Usage,
+    /// An OS-level file operation failed (open, create, write, stat).
+    Io,
+    /// Structurally corrupt input: an unreadable trace or artifact.
+    CorruptInput,
+    /// A defect on our side — e.g. a shard worker panicked mid-replay.
+    Internal,
+    /// SIGINT: the run was cancelled; partial artifacts were finalized.
+    Interrupted,
+}
+
+impl ErrorKind {
+    fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Runtime => 1,
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::CorruptInput => 4,
+            ErrorKind::Internal => 5,
+            // Shell convention for "terminated by SIGINT" (128 + 2).
+            ErrorKind::Interrupted => 130,
+        }
+    }
+}
+
+/// A CLI failure: a message, its [`ErrorKind`] (which fixes the exit
+/// code), plus whether the generic usage block helps.
 ///
 /// Unknown flags set `show_usage = false` — the error itself names the
 /// offending flag and the flags the command accepts, which is more useful
@@ -87,14 +130,41 @@ and S is one of tiny, small, default, large, huge (default tiny)";
 struct CliError {
     msg: String,
     show_usage: bool,
+    kind: ErrorKind,
 }
 
 impl CliError {
-    fn bare(msg: impl Into<String>) -> Self {
+    fn with_kind(msg: impl Into<String>, kind: ErrorKind) -> Self {
         CliError {
             msg: msg.into(),
             show_usage: false,
+            kind,
         }
+    }
+
+    fn bare(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::Usage)
+    }
+
+    /// The profiled program failed (compile error, runtime trap).
+    fn runtime(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::Runtime)
+    }
+
+    fn io(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::Io)
+    }
+
+    fn corrupt(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::CorruptInput)
+    }
+
+    fn internal(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::Internal)
+    }
+
+    fn interrupted(msg: impl Into<String>) -> Self {
+        Self::with_kind(msg, ErrorKind::Interrupted)
     }
 }
 
@@ -103,6 +173,7 @@ impl From<String> for CliError {
         CliError {
             msg,
             show_usage: true,
+            kind: ErrorKind::Usage,
         }
     }
 }
@@ -110,6 +181,22 @@ impl From<String> for CliError {
 impl From<&str> for CliError {
     fn from(msg: &str) -> Self {
         CliError::from(msg.to_owned())
+    }
+}
+
+impl From<ShardError> for CliError {
+    fn from(e: ShardError) -> Self {
+        CliError::internal(format!("internal error: {e}"))
+    }
+}
+
+/// Maps a failed trace read to the taxonomy: an OS-level failure is I/O,
+/// anything else (bad magic, truncation, CRC mismatch...) is corrupt input.
+fn trace_read_err(path: &str, e: &TraceError) -> CliError {
+    let msg = format!("cannot read {path}: {e}");
+    match e {
+        TraceError::Io(_) => CliError::io(msg),
+        _ => CliError::corrupt(msg),
     }
 }
 
@@ -162,7 +249,8 @@ fn resolve_program(
                  (use --input to feed it data)"
             )));
         }
-        let source = std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+        let source = std::fs::read_to_string(arg)
+            .map_err(|e| CliError::io(format!("cannot read {arg}: {e}")))?;
         return Ok((source, explicit_input));
     }
     match alchemist_workloads::by_name(arg) {
@@ -256,8 +344,10 @@ impl MetricsOpt {
         };
         match &self.out {
             Some(path) => {
-                std::fs::write(path, &rendered)
-                    .map_err(|e| CliError::bare(format!("cannot create {path}: {e}")))?;
+                // Atomic commit: a crash mid-write never leaves a torn
+                // report under the requested name.
+                write_atomic(path, rendered.as_bytes())
+                    .map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
                 eprintln!("wrote metrics to {path}");
             }
             None => print!("{rendered}"),
@@ -289,25 +379,35 @@ fn parse_analyses(value: &str) -> Result<Vec<String>, CliError> {
     Ok(analyses)
 }
 
-/// Writes a `.alcp` artifact to `path`, returning the byte count.
+/// Writes a `.alcp` artifact to `path` through an [`AtomicFile`] commit
+/// (the artifact appears complete or not at all), returning the byte count.
 fn write_artifact(
     artifact: &ProfileArtifact,
     path: &str,
     metrics: Option<&Metrics>,
 ) -> Result<u64, CliError> {
-    let f = std::fs::File::create(path)
-        .map_err(|e| CliError::bare(format!("cannot create {path}: {e}")))?;
-    artifact
-        .save_to(BufWriter::new(f), metrics)
-        .map_err(|e| CliError::bare(format!("cannot write {path}: {e}")))
+    let mut f =
+        AtomicFile::create(path).map_err(|e| CliError::io(format!("cannot create {path}: {e}")))?;
+    let n = artifact
+        .save_to(&mut f, metrics)
+        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
+    f.commit()
+        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
+    Ok(n)
 }
 
 /// Loads a `.alcp` artifact; corrupt input surfaces the typed
 /// [`alchemist_trace::AlcpError`] with the file name attached.
 fn load_artifact(path: &str, metrics: Option<&Metrics>) -> Result<ProfileArtifact, CliError> {
-    let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    ProfileArtifact::load_from(BufReader::new(f), metrics)
-        .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))
+    let f =
+        std::fs::File::open(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    ProfileArtifact::load_from(BufReader::new(f), metrics).map_err(|e| {
+        let msg = format!("cannot read {path}: {e}");
+        match e {
+            alchemist_trace::AlcpError::Io(_) => CliError::io(msg),
+            _ => CliError::corrupt(msg),
+        }
+    })
 }
 
 fn parse_input_list(v: &str) -> Result<Vec<i64>, CliError> {
@@ -452,7 +552,8 @@ fn profile_cmd(args: &[String]) -> Result<(), CliError> {
             "--csv-edges",
         ],
     )?;
-    let outcome = profile_source(&a.source, a.input).map_err(|e| e.to_string())?;
+    let outcome =
+        profile_source(&a.source, a.input).map_err(|e| CliError::runtime(e.to_string()))?;
     let report = outcome.report();
     println!(
         "profiled {} instructions, {} static constructs, exit value {}",
@@ -463,13 +564,13 @@ fn profile_cmd(args: &[String]) -> Result<(), CliError> {
     println!();
     render_profile_report(&report, a.top, a.war_waw.as_deref())?;
     if let Some(path) = a.csv_constructs {
-        std::fs::write(&path, alchemist_core::constructs_to_csv(&report))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(&path, alchemist_core::constructs_to_csv(&report).as_bytes())
+            .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
         println!("\nwrote construct table to {path}");
     }
     if let Some(path) = a.csv_edges {
-        std::fs::write(&path, alchemist_core::edges_to_csv(&report))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(&path, alchemist_core::edges_to_csv(&report).as_bytes())
+            .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
         println!("wrote edge table to {path}");
     }
     Ok(())
@@ -484,6 +585,7 @@ fn profile_save_cmd(args: &[String]) -> Result<(), CliError> {
         "-o",
         "--out",
         "--jobs",
+        "--recover",
         "--metrics",
         "--metrics-out",
     ];
@@ -491,6 +593,7 @@ fn profile_save_cmd(args: &[String]) -> Result<(), CliError> {
     let mut inputs: Vec<Vec<i64>> = Vec::new();
     let mut out = None;
     let mut jobs = 1usize;
+    let mut recover = false;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -505,6 +608,7 @@ fn profile_save_cmd(args: &[String]) -> Result<(), CliError> {
             "--jobs" => {
                 jobs = parse_ge1("--jobs", it.next())?;
             }
+            "--recover" => recover = true,
             "--metrics" => {
                 metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
             }
@@ -525,21 +629,27 @@ fn profile_save_cmd(args: &[String]) -> Result<(), CliError> {
         p.set_extension("alcp");
         p.display().to_string()
     });
-    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bytes =
+        std::fs::read(&path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
     let artifact = if bytes.starts_with(&alchemist_trace::format::MAGIC) {
         if !inputs.is_empty() {
             return Err(CliError::bare(
                 "--input applies to source saves; a trace already fixes its input",
             ));
         }
-        save_from_trace(&path, jobs, m)?
+        save_from_trace(&path, jobs, recover, m)?
     } else if bytes.starts_with(&ALCP_MAGIC) {
         return Err(CliError::bare(format!(
             "{path} is already a profile artifact; use `profile merge` or `profile query`"
         )));
     } else {
+        if recover {
+            return Err(CliError::bare(
+                "--recover applies to trace replays; a source save re-executes the program",
+            ));
+        }
         let source = String::from_utf8(bytes)
-            .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))?;
+            .map_err(|e| CliError::corrupt(format!("cannot read {path}: {e}")))?;
         save_from_source(&source, inputs, m)?
     };
     let n = write_artifact(&artifact, &out_path, m)?;
@@ -564,7 +674,8 @@ fn save_from_source(
     mut inputs: Vec<Vec<i64>>,
     m: Option<&Metrics>,
 ) -> Result<ProfileArtifact, CliError> {
-    let module = alchemist_vm::compile_source(source).map_err(|e| e.to_string())?;
+    let module =
+        alchemist_vm::compile_source(source).map_err(|e| CliError::runtime(e.to_string()))?;
     if inputs.is_empty() {
         inputs.push(Vec::new());
     }
@@ -573,7 +684,7 @@ fn save_from_source(
     for (i, input) in inputs.iter().enumerate() {
         let exec_cfg = ExecConfig::with_input(input.clone());
         let (profile, ..) = profile_module(&module, &exec_cfg, ProfileConfig::default())
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::runtime(e.to_string()))?;
         if i > 0 {
             if let Some(m) = m {
                 m.incr(Counter::ProfileMerges);
@@ -593,19 +704,54 @@ fn save_from_source(
                 cfg = cfg.privatize(v);
             }
             let tasks = extract_tasks(&module, &ExecConfig::with_input(inputs[0].clone()), cfg)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::runtime(e.to_string()))?;
             artifact = artifact.with_tasks(tasks);
         }
     }
     Ok(artifact)
 }
 
+/// One deterministic sentence describing what salvage dropped; doubles as
+/// the profile report's `note:` line and the stderr notice.
+fn salvage_note(report: &RecoveryReport) -> String {
+    format!(
+        "salvaged replay: skipped {} of {} chunk(s), >= {} event(s) lost \
+         ({} CRC mismatch(es), {} truncation(s), {} decode error(s){})",
+        report.chunks_skipped,
+        report.chunks_total,
+        report.events_lost,
+        report.crc_mismatches,
+        report.truncations,
+        report.decode_errors,
+        if report.footer_recovered {
+            ""
+        } else {
+            "; footer lost, total steps estimated"
+        }
+    )
+}
+
+/// Folds a `--recover` outcome into the metrics counters and — when
+/// anything was actually dropped — a stderr notice. Stdout is left to the
+/// per-analysis renderers so it stays byte-stable across job counts.
+fn surface_salvage(report: &RecoveryReport, metrics: Option<&Metrics>) {
+    if let Some(m) = metrics {
+        m.add(Counter::TraceChunksSkipped, report.chunks_skipped);
+        m.add(Counter::TraceEventsSalvaged, report.events_salvaged);
+    }
+    if !report.is_clean() {
+        eprintln!("{}", salvage_note(report));
+    }
+}
+
 /// Replays a recorded trace (chunk-parallel with `--jobs`) into a profile
 /// artifact, embedding the trace's source and the best candidate's task
-/// summary — all offline, no re-execution.
+/// summary — all offline, no re-execution. With `recover`, corrupt or
+/// truncated chunks are skipped instead of failing the save.
 fn save_from_trace(
     path: &str,
     jobs: usize,
+    recover: bool,
     m: Option<&Metrics>,
 ) -> Result<ProfileArtifact, CliError> {
     let reader = open_trace(path)?;
@@ -614,8 +760,13 @@ fn save_from_trace(
         .source()
         .expect("trace_module required the source")
         .to_owned();
-    let (batches, summary) = decode_batches_par_with(reader, jobs, m)
-        .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+    let (batches, summary) = if recover {
+        let (batches, summary, report) = decode_batches_par_recover(reader, jobs, m);
+        surface_salvage(&report, m);
+        (batches, summary)
+    } else {
+        decode_batches_par_with(reader, jobs, m).map_err(|e| trace_read_err(path, &e))?
+    };
     let (profile, _, _) = profile_batches_par_with(
         &module,
         &batches,
@@ -623,7 +774,7 @@ fn save_from_trace(
         ProfileConfig::default(),
         jobs,
         m,
-    );
+    )?;
     let mut artifact = ProfileArtifact::new(profile).with_source(source);
     let report = ProfileReport::new(&artifact.profile, &module);
     let candidates = suggest_candidates(&report, &module, 0.02, 0);
@@ -639,7 +790,7 @@ fn save_from_trace(
             summary.total_steps,
             jobs,
             m,
-        );
+        )?;
         artifact = artifact.with_tasks(tasks);
     }
     Ok(artifact)
@@ -678,21 +829,47 @@ fn profile_merge_cmd(args: &[String]) -> Result<(), CliError> {
         return Err("profile merge needs at least one .alcp artifact".into());
     }
     let out_path = out.ok_or("profile merge needs -o|--out FILE.alcp")?;
-    let mut merged = load_artifact(&files[0], m)?;
-    for f in &files[1..] {
-        let other = load_artifact(f, m)?;
-        merged
-            .merge(other, m)
-            .map_err(|e| CliError::bare(format!("{f}: {e}")))?;
+    // Corrupt or unreadable inputs are skipped with a warning, so one
+    // bit-rotted artifact cannot sink a fleet-wide merge; zero survivors
+    // is an error — never an empty output artifact at the requested path.
+    let mut merged: Option<ProfileArtifact> = None;
+    let mut survivors = 0usize;
+    for f in &files {
+        let artifact = match load_artifact(f, m) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("warning: skipping {f}: {}", e.msg);
+                continue;
+            }
+        };
+        survivors += 1;
+        match merged.as_mut() {
+            None => merged = Some(artifact),
+            Some(acc) => acc
+                .merge(artifact, m)
+                .map_err(|e| CliError::corrupt(format!("{f}: {e}")))?,
+        }
     }
+    let Some(merged) = merged else {
+        return Err(CliError::corrupt(format!(
+            "nothing was merged: all {} input artifact(s) were corrupt or unreadable",
+            files.len()
+        )));
+    };
     let n = write_artifact(&merged, &out_path, m)?;
     println!(
-        "merged {} artifact(s) into {out_path} ({n} bytes, {} constructs, \
+        "merged {survivors} artifact(s) into {out_path} ({n} bytes, {} constructs, \
          {} recorded instructions)",
-        files.len(),
         merged.profile.len(),
         merged.profile.total_steps
     );
+    if survivors < files.len() {
+        eprintln!(
+            "warning: {} of {} input(s) skipped as corrupt or unreadable",
+            files.len() - survivors,
+            files.len()
+        );
+    }
     if let Some(metrics) = &metrics {
         mopt.emit(metrics, "profile merge")?;
     }
@@ -769,7 +946,7 @@ fn profile_query_cmd(args: &[String]) -> Result<(), CliError> {
         })?;
         Some(
             alchemist_vm::compile_source(src)
-                .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))?,
+                .map_err(|e| CliError::corrupt(format!("embedded source does not compile: {e}")))?,
         )
     } else {
         None
@@ -854,7 +1031,7 @@ fn profile_query_cmd(args: &[String]) -> Result<(), CliError> {
             }
             "stats" => {
                 let file_bytes = std::fs::metadata(&path)
-                    .map_err(|e| format!("cannot stat {path}: {e}"))?
+                    .map_err(|e| CliError::io(format!("cannot stat {path}: {e}")))?
                     .len();
                 println!("profile artifact {path}: format v{ALCP_VERSION}, {file_bytes} bytes");
                 match &artifact.source {
@@ -913,7 +1090,7 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
         let _total_span = span_opt(m, Stage::Total);
         let module = {
             let _parse_span = span_opt(m, Stage::Parse);
-            alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?
+            alchemist_vm::compile_source(&a.source).map_err(|e| CliError::runtime(e.to_string()))?
         };
         // `run` observes nothing (NullSink), so batching is opt-in here: the
         // default stays the zero-overhead per-event baseline. With
@@ -924,13 +1101,13 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
         };
         if a.profile_out.is_some() {
             let mut prof = AlchemistProfiler::new(&module, ProfileConfig::default());
-            let out =
-                run_with_metrics(&module, &exec_config, &mut prof, m).map_err(|e| e.to_string())?;
+            let out = run_with_metrics(&module, &exec_config, &mut prof, m)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
             let p = prof.into_profile(out.steps);
             (out, Some(p))
         } else {
             let out = run_with_metrics(&module, &exec_config, &mut NullSink, m)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::runtime(e.to_string()))?;
             (out, None)
         }
     };
@@ -954,7 +1131,8 @@ fn run_cmd(args: &[String]) -> Result<(), CliError> {
 
 fn advise_cmd(args: &[String]) -> Result<(), CliError> {
     let a = parse_common("advise", args, &["--input", "--threads"])?;
-    let outcome = profile_source(&a.source, a.input.clone()).map_err(|e| e.to_string())?;
+    let outcome =
+        profile_source(&a.source, a.input.clone()).map_err(|e| CliError::runtime(e.to_string()))?;
     let report: ProfileReport = outcome.report();
     let candidates = suggest_candidates(&report, &outcome.module, 0.02, 0);
     if candidates.is_empty() {
@@ -981,7 +1159,7 @@ fn advise_cmd(args: &[String]) -> Result<(), CliError> {
         cfg = cfg.privatize(v);
     }
     let trace = extract_tasks(&outcome.module, &ExecConfig::with_input(a.input), cfg)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let sim = simulate(&trace, &SimConfig::with_threads(a.threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
@@ -1013,7 +1191,8 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
     if a.mark.is_empty() {
         return Err("simulate requires at least one --mark FUNC".into());
     }
-    let module = alchemist_vm::compile_source(&a.source).map_err(|e| e.to_string())?;
+    let module =
+        alchemist_vm::compile_source(&a.source).map_err(|e| CliError::runtime(e.to_string()))?;
     let mut cfg = ExtractConfig::default();
     for name in &a.mark {
         let head = module
@@ -1029,8 +1208,8 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
         }
         cfg = cfg.privatize(v);
     }
-    let trace =
-        extract_tasks(&module, &ExecConfig::with_input(a.input), cfg).map_err(|e| e.to_string())?;
+    let trace = extract_tasks(&module, &ExecConfig::with_input(a.input), cfg)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let sim_cfg = SimConfig::with_threads(a.threads);
     if a.timeline {
         print!("{}", render_timeline(&trace, &sim_cfg, 72));
@@ -1054,6 +1233,30 @@ fn simulate_cmd(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Installs a SIGINT handler that requests cooperative interpreter
+/// cancellation (an atomic store — async-signal-safe) instead of letting
+/// the default disposition kill the process, so `record` can finalize the
+/// current chunk and footer before exiting with code 130.
+///
+/// Raw FFI rather than a crate: std already links libc on every supported
+/// Unix, and the CLI must not grow a dependency for one syscall.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        alchemist_vm::request_interrupt();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
 fn record_cmd(args: &[String]) -> Result<(), CliError> {
     const FLAGS: &[&str] = &[
         "--input",
@@ -1062,6 +1265,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
         "--out",
         "--chunk-events",
         "--batch-size",
+        "--crc",
         "--profile-out",
         "--metrics",
         "--metrics-out",
@@ -1072,6 +1276,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let mut scale = None;
     let mut chunk_events = None;
     let mut batch_size = None;
+    let mut crc = false;
     let mut profile_out: Option<String> = None;
     let mut metrics_format = None;
     let mut metrics_out = None;
@@ -1101,6 +1306,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             "--batch-size" => {
                 batch_size = Some(parse_ge1("--batch-size", it.next())?);
             }
+            "--crc" => crc = true,
             "--metrics" => {
                 metrics_format = Some(it.next().ok_or("--metrics needs text or json")?.clone());
             }
@@ -1119,7 +1325,7 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
     let (source, input) = resolve_program(&path, scale, input)?;
     let module = {
         let _parse_span = span_opt(metrics.as_deref(), Stage::Parse);
-        alchemist_vm::compile_source(&source).map_err(|e| e.to_string())?
+        alchemist_vm::compile_source(&source).map_err(|e| CliError::runtime(e.to_string()))?
     };
     let out_path = out.unwrap_or_else(|| {
         if std::path::Path::new(&path).exists() {
@@ -1132,55 +1338,88 @@ fn record_cmd(args: &[String]) -> Result<(), CliError> {
             format!("{path}.alct")
         }
     });
-    let f =
-        std::fs::File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
-    let record = || -> Result<_, CliError> {
-        // Threaded programs need the v2 tid column; single-threaded
-        // programs keep emitting byte-identical v1 traces.
-        let mut writer = if module.uses_threads() {
-            TraceWriter::new_v2(BufWriter::new(f), Some(&source))
-        } else {
-            TraceWriter::new(BufWriter::new(f), Some(&source))
-        }
-        .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
-        if let Some(n) = chunk_events {
-            writer = writer.with_chunk_capacity(n);
-        }
-        if let Some(m) = &metrics {
-            writer = writer.with_metrics(Arc::clone(m));
-        }
-        // With --batch-size the interpreter hands the writer EventBatches
-        // of that many events; the encoded bytes are identical to the
-        // default per-event recording (the writer is statically
-        // dispatched, so batching is opt-in rather than a default win).
-        let exec_config = ExecConfig {
-            batch_events: batch_size.unwrap_or(0),
-            ..ExecConfig::with_input(input)
-        };
-        // With --profile-out the profiler rides the same run through a
-        // sink fan-out: one execution yields both artifacts.
-        let mut prof = profile_out
-            .is_some()
-            .then(|| AlchemistProfiler::new(&module, ProfileConfig::default()));
-        let outcome = if let Some(p) = prof.as_mut() {
-            let mut fan = MultiSink::new();
-            fan.push(&mut writer).push(p);
-            run_with_metrics(&module, &exec_config, &mut fan, metrics.as_deref())
-        } else {
-            run_with_metrics(&module, &exec_config, &mut writer, metrics.as_deref())
-        }
-        .map_err(|e| e.to_string())?;
-        let (_, stats) = writer
-            .finish(outcome.steps)
-            .map_err(|e| CliError::bare(format!("cannot write {out_path}: {e}")))?;
-        let profile = prof.map(|p| p.into_profile(outcome.steps));
-        Ok((outcome, stats, profile))
+    // The trace builds in a temp file and only renames over `out_path` when
+    // finalized, so a crash or trap never leaves a footer-less file under
+    // the requested name — dropping an uncommitted AtomicFile cleans up.
+    let f = AtomicFile::create(&out_path)
+        .map_err(|e| CliError::io(format!("cannot create {out_path}: {e}")))?;
+    // From here until commit, SIGINT means "finalize what you have": the
+    // handler flips the interpreter's cancellation flag and the trap below
+    // writes the final chunk + footer before exiting 130.
+    install_sigint_handler();
+    alchemist_vm::clear_interrupt();
+    // --crc asks for v3 (per-chunk CRC-32 for salvage replay); otherwise
+    // threaded programs need the v2 tid column and single-threaded programs
+    // keep emitting byte-identical v1 traces.
+    let mut writer = if crc {
+        TraceWriter::new_v3(BufWriter::new(f), Some(&source))
+    } else if module.uses_threads() {
+        TraceWriter::new_v2(BufWriter::new(f), Some(&source))
+    } else {
+        TraceWriter::new(BufWriter::new(f), Some(&source))
+    }
+    .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
+    if let Some(n) = chunk_events {
+        writer = writer.with_chunk_capacity(n);
+    }
+    if let Some(m) = &metrics {
+        writer = writer.with_metrics(Arc::clone(m));
+    }
+    // With --batch-size the interpreter hands the writer EventBatches
+    // of that many events; the encoded bytes are identical to the
+    // default per-event recording (the writer is statically
+    // dispatched, so batching is opt-in rather than a default win).
+    let exec_config = ExecConfig {
+        batch_events: batch_size.unwrap_or(0),
+        ..ExecConfig::with_input(input)
     };
-    let (outcome, stats, profile) = record().inspect_err(|_| {
-        // A trap or write failure leaves a footer-less file behind; do not
-        // hand the user a corrupt artifact produced by our own tool.
-        let _ = std::fs::remove_file(&out_path);
-    })?;
+    // With --profile-out the profiler rides the same run through a
+    // sink fan-out: one execution yields both artifacts.
+    let mut prof = profile_out
+        .is_some()
+        .then(|| AlchemistProfiler::new(&module, ProfileConfig::default()));
+    let run_result = if let Some(p) = prof.as_mut() {
+        let mut fan = MultiSink::new();
+        fan.push(&mut writer).push(p);
+        run_with_metrics(&module, &exec_config, &mut fan, metrics.as_deref())
+    } else {
+        run_with_metrics(&module, &exec_config, &mut writer, metrics.as_deref())
+    };
+    // Flush the final chunk, write the footer, fsync and rename: after
+    // this the trace at `out_path` is complete and replayable.
+    let finalize =
+        |writer: TraceWriter<BufWriter<AtomicFile>>, steps: u64| -> Result<TraceStats, CliError> {
+            let (w, stats) = writer
+                .finish(steps)
+                .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
+            let f = w
+                .into_inner()
+                .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
+            f.commit()
+                .map_err(|e| CliError::io(format!("cannot write {out_path}: {e}")))?;
+            Ok(stats)
+        };
+    let outcome = match run_result {
+        Ok(out) => out,
+        Err(trap) if trap.kind == TrapKind::Interrupted => {
+            // The run has no final step count; finalize with the same
+            // lower-bound estimate the salvage reader derives for a
+            // footer-less trace (last event time + 1).
+            let est = writer.last_event_time() + 1;
+            let stats = finalize(writer, est)?;
+            drop(total_span);
+            return Err(CliError::interrupted(format!(
+                "interrupted: finalized partial trace to {out_path} \
+                 ({} events in {} chunks; replayable as-is)",
+                stats.events, stats.chunks
+            )));
+        }
+        // Uncommitted AtomicFile drops here: temp removed, out_path
+        // untouched — a trap never publishes a half-recorded trace.
+        Err(trap) => return Err(CliError::runtime(trap.to_string())),
+    };
+    let stats = finalize(writer, outcome.steps)?;
+    let profile = prof.map(|p| p.into_profile(outcome.steps));
     drop(total_span);
     if let (Some(path), Some(p)) = (&profile_out, profile) {
         let artifact = ProfileArtifact::new(p).with_source(&*source);
@@ -1216,6 +1455,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         "--shard-depth",
         "--war-waw",
         "--profile-out",
+        "--recover",
         "--metrics",
         "--metrics-out",
     ];
@@ -1230,6 +1470,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
     let mut shard_depth = None;
     let mut war_waw = None;
     let mut profile_out = None;
+    let mut recover = false;
     let mut metrics_format = None;
     let mut metrics_out = None;
     let mut it = args.iter();
@@ -1279,6 +1520,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
             "--war-waw" => {
                 war_waw = Some(it.next().ok_or("--war-waw needs a label")?.clone());
             }
+            "--recover" => recover = true,
             flag if flag.starts_with('-') => return Err(unknown_flag("replay", flag, FLAGS)),
             path if file.is_none() => file = Some(path.to_owned()),
             other => return Err(format!("unexpected argument `{other}`").into()),
@@ -1317,11 +1559,15 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         temp_trace = Some(p);
         s
     } else {
-        return Err(format!(
-            "cannot read {path}: no such file, and no bundled workload has that name \
+        // Name the OS cause so "typo'd path" and "permission denied" read
+        // differently; no usage block — the invocation itself was fine.
+        let cause = std::fs::metadata(&path)
+            .err()
+            .map_or_else(|| "not a readable file".to_owned(), |e| e.to_string());
+        return Err(CliError::io(format!(
+            "cannot read {path}: {cause}, and no bundled workload has that name \
              (see `alchemist workloads`)"
-        )
-        .into());
+        )));
     };
     let result = run_replay(
         &trace_path,
@@ -1333,6 +1579,7 @@ fn replay_cmd(args: &[String]) -> Result<(), CliError> {
         tuning,
         war_waw.as_deref(),
         profile_out.as_deref(),
+        recover,
         &MetricsOpt::validate(metrics_format, metrics_out)?,
     );
     if let Some(p) = temp_trace {
@@ -1353,33 +1600,32 @@ fn record_workload_trace(
         scale.name(),
         std::process::id()
     ));
-    let record = || -> Result<(), CliError> {
-        let module = w.module();
-        let f = std::fs::File::create(&path)
-            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-        let mut writer = if module.uses_threads() {
-            TraceWriter::new_v2(BufWriter::new(f), Some(w.source))
-        } else {
-            TraceWriter::new(BufWriter::new(f), Some(w.source))
-        }
-        .map_err(|e| CliError::bare(format!("cannot write {}: {e}", path.display())))?;
-        let out = alchemist_vm::run(&module, &w.exec_config(scale), &mut writer)
-            .map_err(|e| e.to_string())?;
-        writer
-            .finish(out.steps)
-            .map_err(|e| CliError::bare(format!("cannot write {}: {e}", path.display())))?;
-        Ok(())
-    };
-    record().inspect_err(|_| {
-        let _ = std::fs::remove_file(&path);
-    })?;
+    let module = w.module();
+    // AtomicFile: a trap or write failure drops the uncommitted temp and
+    // never publishes a footer-less trace under `path`.
+    let f = AtomicFile::create(&path)
+        .map_err(|e| CliError::io(format!("cannot create {}: {e}", path.display())))?;
+    let wr_err = |e: TraceError| CliError::io(format!("cannot write {}: {e}", path.display()));
+    let mut writer = if module.uses_threads() {
+        TraceWriter::new_v2(BufWriter::new(f), Some(w.source))
+    } else {
+        TraceWriter::new(BufWriter::new(f), Some(w.source))
+    }
+    .map_err(wr_err)?;
+    let out = alchemist_vm::run(&module, &w.exec_config(scale), &mut writer)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let (bufw, _) = writer.finish(out.steps).map_err(wr_err)?;
+    bufw.into_inner()
+        .map_err(|e| CliError::io(format!("cannot write {}: {e}", path.display())))?
+        .commit()
+        .map_err(|e| CliError::io(format!("cannot write {}: {e}", path.display())))?;
     Ok(path)
 }
 
 fn open_trace(path: &str) -> Result<TraceReader<BufReader<std::fs::File>>, CliError> {
-    let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    TraceReader::new(BufReader::new(f))
-        .map_err(|e| CliError::bare(format!("cannot read {path}: {e}")))
+    let f =
+        std::fs::File::open(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    TraceReader::new(BufReader::new(f)).map_err(|e| trace_read_err(path, &e))
 }
 
 /// Recompiles the module a self-contained trace describes.
@@ -1390,7 +1636,7 @@ fn trace_module(
         .source()
         .ok_or_else(|| CliError::bare("trace has no embedded source; cannot rebuild the module"))?;
     alchemist_vm::compile_source(source)
-        .map_err(|e| CliError::bare(format!("embedded source does not compile: {e}")))
+        .map_err(|e| CliError::corrupt(format!("embedded source does not compile: {e}")))
 }
 
 /// Runs the requested analyses over one trace with **one decode pass**.
@@ -1411,6 +1657,7 @@ fn run_replay(
     tuning: ShardTuning,
     war_waw: Option<&str>,
     profile_out: Option<&str>,
+    recover: bool,
     mopt: &MetricsOpt,
 ) -> Result<(), CliError> {
     let want = |name: &str| analyses.iter().any(|a| a == name);
@@ -1431,15 +1678,23 @@ fn run_replay(
         let mut reader = open_trace(path)?;
         let version = reader.version();
         let source_lines = reader.source().map(|s| s.lines().count());
-        let infos = reader
-            .read_chunk_infos()
-            .map_err(|e| CliError::bare(format!("cannot scan {path}: {e}")))?;
+        let infos = if recover {
+            // Salvage scan: damaged chunks are skipped here exactly as the
+            // decode pass below will skip them, so both agree on the set.
+            let (infos, _, _) = reader.read_chunk_infos_recover();
+            infos
+        } else {
+            reader
+                .read_chunk_infos()
+                .map_err(|e| trace_read_err(path, &e))?
+        };
         Some((version, infos, source_lines))
     } else {
         None
     };
 
     let mut profile: Option<DepProfile> = None;
+    let mut recovery: Option<RecoveryReport> = None;
     let mut batches_kept: Option<Vec<EventBatch>> = None;
     let mut shard_counts: Option<Vec<u64>> = None;
     let mut counts = CountingSink::default();
@@ -1470,19 +1725,27 @@ fn run_replay(
             source_for_artifact = reader.source().map(str::to_owned);
         }
 
-        if jobs > 1 || need_advise {
+        if jobs > 1 || need_advise || recover {
             // Materialize the batch stream once; every analysis reuses it.
-            // The batches follow the trace's chunk boundaries here, so an
+            // (--recover rides this path too: the salvage reader indexes the
+            // whole file to find intact chunks past a damaged one.) The
+            // batches follow the trace's chunk boundaries here, so an
             // explicit --batch-size cannot take effect — say so rather than
             // silently ignoring the flag.
             if batch_size.is_some() {
                 eprintln!(
-                    "note: --batch-size is ignored with --jobs > 1 or --analysis advise \
-                     (batches follow the trace's chunk boundaries)"
+                    "note: --batch-size is ignored with --jobs > 1, --analysis advise or \
+                     --recover (batches follow the trace's chunk boundaries)"
                 );
             }
-            let (batches, s) = decode_batches_par_with(reader, jobs, m)
-                .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?;
+            let (batches, s) = if recover {
+                let (batches, s, rep) = decode_batches_par_recover(reader, jobs, m);
+                surface_salvage(&rep, m);
+                recovery = Some(rep);
+                (batches, s)
+            } else {
+                decode_batches_par_with(reader, jobs, m).map_err(|e| trace_read_err(path, &e))?
+            };
             summary = s;
             if need_stats {
                 let mut fan = MultiSink::new();
@@ -1509,7 +1772,7 @@ fn run_replay(
                         spec,
                         tuning,
                         m,
-                    )
+                    )?
                 };
                 if jobs > 1 {
                     let per_shard = shard_batch_counts_spec(&batches, spec);
@@ -1559,7 +1822,7 @@ fn run_replay(
                 };
                 reader
                     .replay_batched_into(&mut fan, batch_size.unwrap_or(DEFAULT_BATCH_EVENTS))
-                    .map_err(|e| CliError::bare(format!("replay of {path} failed: {e}")))?
+                    .map_err(|e| trace_read_err(path, &e))?
             };
             drop(fan);
             if let Some(p) = prof {
@@ -1594,13 +1857,18 @@ fn run_replay(
                 if let Some(c) = &shard_counts {
                     report = report.with_shard_events(c.clone());
                 }
+                // A salvaged profile is a lower bound, not the full run;
+                // say so on the report itself, not just on stderr.
+                if let Some(rep) = recovery.as_ref().filter(|r| !r.is_clean()) {
+                    report = report.with_note(salvage_note(rep));
+                }
                 render_profile_report(&report, top, war_waw)?;
             }
             "advise" => {
                 let p = profile.as_ref().expect("profiled above");
                 let md = module.as_ref().expect("advise requires a module");
                 let batches = batches_kept.as_ref().expect("advise keeps the batches");
-                render_advise(md, p, batches, summary.total_steps, threads, jobs, m);
+                render_advise(md, p, batches, summary.total_steps, threads, jobs, m)?;
             }
             "stats" => {
                 let (version, infos, source_lines) = stats_scan.as_ref().expect("scanned above");
@@ -1614,6 +1882,7 @@ fn run_replay(
                     &counts,
                     &addrs,
                     drops.as_ref(),
+                    recovery.as_ref(),
                     replay_wall_ns,
                 )?;
             }
@@ -1646,13 +1915,13 @@ fn render_advise(
     threads: usize,
     jobs: usize,
     metrics: Option<&Metrics>,
-) {
+) -> Result<(), CliError> {
     let report = ProfileReport::new(profile, module);
     let candidates = suggest_candidates(&report, module, 0.02, 0);
     if candidates.is_empty() {
         println!("no construct qualifies for asynchronous execution");
         println!("(every sizable construct has violating RAW dependences)");
-        return;
+        return Ok(());
     }
     println!("parallelization candidates (largest first):\n");
     for c in &candidates {
@@ -1674,7 +1943,7 @@ fn render_advise(
         cfg = cfg.privatize(v);
     }
     let trace =
-        extract_tasks_from_batches_par_with(module, cfg, batches, total_steps, jobs, metrics);
+        extract_tasks_from_batches_par_with(module, cfg, batches, total_steps, jobs, metrics)?;
     let sim = simulate(&trace, &SimConfig::with_threads(threads));
     println!(
         "\nsimulating `{}` as a future on {} threads: {:.2}x speedup \
@@ -1688,6 +1957,7 @@ fn render_advise(
             trace.cross_thread_sharing
         );
     }
+    Ok(())
 }
 
 /// Tracks the span of data addresses the replay touches.
@@ -1784,10 +2054,11 @@ fn render_stats(
     counts: &CountingSink,
     addrs: &AddrSpan,
     drops: Option<&CapDrops>,
+    recovery: Option<&RecoveryReport>,
     wall_ns: u64,
 ) -> Result<(), CliError> {
     let file_bytes = std::fs::metadata(path)
-        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .map_err(|e| CliError::io(format!("cannot stat {path}: {e}")))?
         .len();
     let payload: u64 = infos.iter().map(|c| c.payload_bytes).sum();
     println!("trace {path}: format v{version}");
@@ -1801,6 +2072,25 @@ fn render_stats(
         payload,
         file_bytes
     );
+    if let Some(rep) = recovery {
+        if rep.is_clean() {
+            println!("recovery: clean (all {} chunk(s) intact)", rep.chunks_total);
+        } else {
+            println!(
+                "recovery: skipped {} of {} chunk(s), >= {} event(s) lost \
+                 ({} CRC mismatch(es), {} truncation(s), {} decode error(s))",
+                rep.chunks_skipped,
+                rep.chunks_total,
+                rep.events_lost,
+                rep.crc_mismatches,
+                rep.truncations,
+                rep.decode_errors
+            );
+            if !rep.footer_recovered {
+                println!("recovery: footer lost; total steps is a lower-bound estimate");
+            }
+        }
+    }
     println!(
         "events: {} total — enters {}, exits {}, blocks {}, predicates {}, reads {}, writes {}",
         events,

@@ -131,7 +131,8 @@ fn batched_replay_paths_equal_per_event_for_every_workload() {
         assert_eq!(summary.total_steps, steps, "{}", w.name);
         for jobs in [1usize, 2, 4, 7] {
             let (par, ..) =
-                profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs);
+                profile_batches_par(&module, &batches, steps, ProfileConfig::default(), jobs)
+                    .expect("no shard panic");
             assert_eq!(
                 par, live,
                 "{}: batched sharded replay (jobs={jobs}) diverges",
@@ -172,7 +173,8 @@ fn batched_task_extraction_equals_live_for_parallel_workloads() {
                 &batches,
                 summary.total_steps,
                 jobs,
-            );
+            )
+            .expect("no shard panic");
             assert_eq!(
                 par, live,
                 "{}: batched extraction (jobs={jobs}) diverges",

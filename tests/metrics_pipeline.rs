@@ -62,7 +62,8 @@ fn counter_totals_agree_across_live_seq_and_par_replay() {
             ProfileConfig::default(),
             1,
             Some(&seq),
-        );
+        )
+        .expect("no shard panic");
 
         // Sharded replay: chunk-parallel decode, 4 address shards.
         let par = Arc::new(Metrics::new());
@@ -79,7 +80,8 @@ fn counter_totals_agree_across_live_seq_and_par_replay() {
             ProfileConfig::default(),
             4,
             Some(&par),
-        );
+        )
+        .expect("no shard panic");
         assert_eq!(par_profile, seq_profile, "{}: profiles diverge", w.name);
 
         // Events: what the VM emitted is what the writer encoded is what
@@ -198,7 +200,8 @@ fn page_partition_does_not_duplicate_shadow_pages() {
         spec,
         ShardTuning::default(),
         Some(&m),
-    );
+    )
+    .expect("no shard panic");
     let (seq, _, _) = profile_batches_par_with(
         &module,
         &batches,
@@ -206,7 +209,8 @@ fn page_partition_does_not_duplicate_shadow_pages() {
         ProfileConfig::default(),
         1,
         None,
-    );
+    )
+    .expect("no shard panic");
     assert_eq!(par, seq, "parity is not negotiable");
 
     let shards = m.shards();
@@ -252,7 +256,8 @@ fn handoff_sends_fat_sub_batches_and_workers_stay_busy() {
         spec,
         ShardTuning::default(),
         Some(&m),
-    );
+    )
+    .expect("no shard panic");
 
     let jobs = 4u64;
     let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
@@ -313,7 +318,8 @@ fn populated_report_round_trips_through_json() {
         ProfileConfig::default(),
         4,
         Some(&m),
-    );
+    )
+    .expect("no shard panic");
     let report = m.report("replay");
     assert_eq!(report.schema_version, SCHEMA_VERSION);
     assert!(report.shards.len() == 4);

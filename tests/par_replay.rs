@@ -77,7 +77,8 @@ fn parallel_replay_profile_equals_sequential_and_live_for_every_workload() {
         // Sharded replay equals both, for several worker counts.
         for jobs in [2usize, 4, 7] {
             let (par, ..) =
-                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs);
+                profile_events_par(&module, &events, steps, ProfileConfig::default(), jobs)
+                    .expect("no shard panic");
             assert_eq!(
                 par, live,
                 "{}: parallel replay (jobs={jobs}) diverges from live",
@@ -190,7 +191,8 @@ fn parity_holds_across_scales_and_job_counts() {
                     summary.total_steps,
                     ProfileConfig::default(),
                     jobs,
-                );
+                )
+                .expect("no shard panic");
                 assert_eq!(
                     par,
                     live,
@@ -227,7 +229,8 @@ fn parallel_task_extraction_equals_live_for_parallel_workloads() {
                 &events,
                 summary.total_steps,
                 jobs,
-            );
+            )
+            .expect("no shard panic");
             assert_eq!(
                 par, live,
                 "{}: sharded extraction (jobs={jobs}) diverges",

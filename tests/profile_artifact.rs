@@ -56,7 +56,8 @@ fn live_seq_and_sharded_replay_yield_the_same_artifact_bytes_for_every_workload(
             steps,
             ProfileConfig::default(),
         );
-        let (par, ..) = profile_events_par(&module, &events, steps, ProfileConfig::default(), 4);
+        let (par, ..) = profile_events_par(&module, &events, steps, ProfileConfig::default(), 4)
+            .expect("no shard panic");
         assert_eq!(seq, live, "{}: seq replay diverges from live", w.name);
         assert_eq!(par, live, "{}: jobs-4 replay diverges from live", w.name);
 
